@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Hashtbl Instance Lazy List Measure Option Printf Relstore Staged String Sys Tables Test Time Toolkit Unix Xmlkit Xmlshred Xmlstore Xmlwork Xpathkit

@@ -1,0 +1,574 @@
+(* Benchmark harness: regenerates every table and figure of the evaluation
+   (see DESIGN.md experiment index and EXPERIMENTS.md for paper-expected vs
+   measured). Run all experiments with `dune exec bench/main.exe`, or a
+   subset with e.g. `dune exec bench/main.exe -- T1 F1`. *)
+
+module Store = Xmlstore.Store
+module Dom = Xmlkit.Dom
+module Index = Xmlkit.Index
+
+let schemes = [ "textblob"; "tokens"; "edge"; "binary"; "interval"; "dewey"; "universal"; "inline" ]
+
+let auction ~scale ~seed =
+  Xmlwork.Auction.generate ~params:{ Xmlwork.Auction.default with scale; seed } ()
+
+let make_store scheme =
+  if String.equal scheme "inline" then
+    Store.create ~dtd:(Lazy.force Xmlwork.Auction.dtd) scheme
+  else Store.create scheme
+
+let loaded_store scheme dom =
+  let store = make_store scheme in
+  ignore (Store.add_document store dom);
+  store
+
+(* ------------------------------------------------------------------ *)
+(* T1: storage cost per scheme *)
+
+let t1 () =
+  let scales = [ 0.25; 0.5; 1.0 ] in
+  let rows =
+    List.concat_map
+      (fun scale ->
+        let dom = auction ~scale ~seed:42 in
+        let nodes = Dom.count_nodes dom in
+        List.map
+          (fun scheme ->
+            let store = loaded_store scheme dom in
+            let s = Store.stats store in
+            [
+              Printf.sprintf "%.2f" scale;
+              string_of_int nodes;
+              scheme;
+              string_of_int (List.length s.Store.tables);
+              string_of_int s.Store.total_rows;
+              Tables.kb s.Store.total_bytes;
+              string_of_int s.Store.total_index_entries;
+            ])
+          schemes)
+      scales
+  in
+  Tables.print ~title:"T1: storage cost (tuples and bytes per scheme)"
+    ~header:[ "scale"; "nodes"; "scheme"; "tables"; "tuples"; "KiB"; "index entries" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* T2: load (shred) time per scheme *)
+
+let t2 () =
+  let scales = [ 0.25; 0.5; 1.0 ] in
+  let rows =
+    List.concat_map
+      (fun scale ->
+        let dom = auction ~scale ~seed:42 in
+        let nodes = Dom.count_nodes dom in
+        List.map
+          (fun scheme ->
+            let _, parse_t = Tables.time (fun () -> Index.of_document dom) in
+            let _, t =
+              Tables.time (fun () ->
+                  let store = make_store scheme in
+                  ignore (Store.add_document store dom))
+            in
+            [
+              Printf.sprintf "%.2f" scale;
+              string_of_int nodes;
+              scheme;
+              Tables.ms t;
+              Tables.ms parse_t;
+              Printf.sprintf "%.1f" (float_of_int nodes /. t /. 1000.0);
+            ])
+          schemes)
+      scales
+  in
+  Tables.print ~title:"T2: document load (shred) time"
+    ~header:[ "scale"; "nodes"; "scheme"; "shred ms"; "index ms"; "knodes/s" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* F1: query response time across the workload *)
+
+let f1 () =
+  let dom = auction ~scale:0.5 ~seed:42 in
+  let ix = Index.of_document dom in
+  let stores = List.map (fun s -> (s, loaded_store s dom)) schemes in
+  let rows =
+    List.concat_map
+      (fun (q : Xmlwork.Queries.query) ->
+        let native_result, native_t =
+          Tables.time (fun () -> Xpathkit.Eval.select_strings ix q.Xmlwork.Queries.xpath)
+        in
+        let native_row =
+          [
+            q.Xmlwork.Queries.qid; "native"; Tables.ms native_t;
+            string_of_int (List.length native_result); "-"; "-";
+          ]
+        in
+        native_row
+        :: List.map
+             (fun (scheme, store) ->
+               let r, t = Tables.time (fun () -> Store.query store 0 q.Xmlwork.Queries.xpath) in
+               if r.Store.values <> native_result then
+                 Printf.eprintf "F1 MISMATCH: %s on %s\n" q.Xmlwork.Queries.qid scheme;
+               [
+                 q.Xmlwork.Queries.qid;
+                 scheme;
+                 Tables.ms t;
+                 string_of_int (List.length r.Store.values);
+                 string_of_int (List.length r.Store.sql);
+                 (if r.Store.fallback then "fallback" else string_of_int r.Store.joins);
+               ])
+             stores)
+      Xmlwork.Queries.auction_queries
+  in
+  Tables.print ~title:"F1: query response time, auction workload (scale 0.5)"
+    ~header:[ "query"; "scheme"; "ms"; "results"; "stmts"; "joins" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* F2: scalability of Q1 (child chain) and Q5 (descendant) *)
+
+let f2 () =
+  let scales = [ 0.25; 0.5; 1.0; 2.0 ] in
+  let queries = [ "Q1"; "Q5" ] in
+  let rows =
+    List.concat_map
+      (fun scale ->
+        let dom = auction ~scale ~seed:42 in
+        let nodes = Dom.count_nodes dom in
+        let stores = List.map (fun s -> (s, loaded_store s dom)) schemes in
+        List.concat_map
+          (fun qid ->
+            let q = Option.get (Xmlwork.Queries.find qid) in
+            List.map
+              (fun (scheme, store) ->
+                let r, t = Tables.time (fun () -> Store.query store 0 q.Xmlwork.Queries.xpath) in
+                [
+                  qid;
+                  Printf.sprintf "%.2f" scale;
+                  string_of_int nodes;
+                  scheme;
+                  Tables.ms t;
+                  string_of_int (List.length r.Store.values);
+                ])
+              stores)
+          queries)
+      scales
+  in
+  Tables.print ~title:"F2: query time vs document size (Q1 child chain, Q5 descendant)"
+    ~header:[ "query"; "scale"; "nodes"; "scheme"; "ms"; "results" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* T3: full-document reconstruction *)
+
+let t3 () =
+  let docs =
+    [
+      ("auction", auction ~scale:0.5 ~seed:42, None);
+      ( "bibliography",
+        Xmlwork.Bibliography.generate ~params:{ Xmlwork.Bibliography.default with entries = 300 } (),
+        Some (Lazy.force Xmlwork.Bibliography.dtd) );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (doc_name, dom, dtd) ->
+        List.filter_map
+          (fun scheme ->
+            let store =
+              match (scheme, dtd) with
+              | "inline", Some d -> Some (Store.create ~dtd:d scheme)
+              | "inline", None -> Some (Store.create ~dtd:(Lazy.force Xmlwork.Auction.dtd) scheme)
+              | _ -> Some (Store.create scheme)
+            in
+            Option.map
+              (fun store ->
+                ignore (Store.add_document store dom);
+                let back, t = Tables.time (fun () -> Store.get_document store 0) in
+                [
+                  doc_name;
+                  string_of_int (Dom.count_nodes dom);
+                  scheme;
+                  Tables.ms t;
+                  (if Dom.equal dom back then "yes" else "NO!");
+                ])
+              store)
+          schemes)
+      docs
+  in
+  Tables.print ~title:"T3: full-document reconstruction time (round-trip verified)"
+    ~header:[ "document"; "nodes"; "scheme"; "ms"; "identical" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* F3: effect of secondary indexes *)
+
+let f3 () =
+  let dom = auction ~scale:1.0 ~seed:42 in
+  let queries = [ "Q1"; "Q5"; "Q9" ] in
+  let rows =
+    List.concat_map
+      (fun scheme ->
+        List.concat_map
+          (fun indexed ->
+            let store =
+              if String.equal scheme "inline" then
+                Store.create ~indexes:indexed ~dtd:(Lazy.force Xmlwork.Auction.dtd) scheme
+              else Store.create ~indexes:indexed scheme
+            in
+            ignore (Store.add_document store dom);
+            List.map
+              (fun qid ->
+                let q = Option.get (Xmlwork.Queries.find qid) in
+                let _, t = Tables.time (fun () -> Store.query store 0 q.Xmlwork.Queries.xpath) in
+                [ scheme; (if indexed then "yes" else "no"); qid; Tables.ms t ])
+              queries)
+          [ false; true ])
+      [ "edge"; "interval"; "dewey" ]
+  in
+  Tables.print ~title:"F3: effect of B+-tree indexes (scale 1.0)"
+    ~header:[ "scheme"; "indexed"; "query"; "ms" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* T4: SQL complexity of translated queries *)
+
+let t4 () =
+  let dom = auction ~scale:0.05 ~seed:42 in
+  let stores = List.map (fun s -> (s, loaded_store s dom)) schemes in
+  let rows =
+    List.concat_map
+      (fun (q : Xmlwork.Queries.query) ->
+        List.map
+          (fun (scheme, store) ->
+            let r = Store.query store 0 q.Xmlwork.Queries.xpath in
+            [
+              q.Xmlwork.Queries.qid;
+              scheme;
+              (if r.Store.fallback then "fallback" else "sql");
+              string_of_int (List.length r.Store.sql);
+              string_of_int r.Store.joins;
+            ])
+          stores)
+      Xmlwork.Queries.auction_queries
+  in
+  Tables.print
+    ~title:"T4: SQL complexity per translated query (statements and joins)"
+    ~header:[ "query"; "scheme"; "mode"; "statements"; "joins" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* T5: DTD inlining statistics *)
+
+let t5 () =
+  let dtds =
+    [
+      ("auction", Lazy.force Xmlwork.Auction.dtd);
+      ("bibliography", Lazy.force Xmlwork.Bibliography.dtd);
+      ("recursive parts", Lazy.force Xmlwork.Deep.dtd);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (doc_name, dtd) ->
+        let layout = Xmlshred.Inline.derive_layout dtd in
+        let tables = layout.Xmlshred.Inline.tables in
+        let columns =
+          List.fold_left
+            (fun acc t -> acc + List.length (Xmlshred.Inline.table_columns t))
+            0 tables
+        in
+        [
+          doc_name;
+          string_of_int (List.length (Xmlkit.Dtd.element_names dtd));
+          string_of_int (List.length tables);
+          string_of_int columns;
+          String.concat " "
+            (List.map (fun t -> t.Xmlshred.Inline.t_type) tables);
+        ])
+      dtds
+  in
+  Tables.print ~title:"T5: DTD inlining statistics (element types vs. generated tables)"
+    ~header:[ "DTD"; "element types"; "tables"; "columns"; "tabled types" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* T6: XMill-style compression (structure/data separation) *)
+
+let t6 () =
+  let docs =
+    [
+      ("auction 0.5", auction ~scale:0.5 ~seed:42);
+      ("auction 1.0", auction ~scale:1.0 ~seed:42);
+      ( "bibliography",
+        Xmlwork.Bibliography.generate
+          ~params:{ Xmlwork.Bibliography.default with entries = 400 }
+          () );
+      ("parts", Xmlwork.Deep.generate ~params:{ Xmlwork.Deep.default with depth = 10 } ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (doc_name, dom) ->
+        let s = Xmlkit.Compress.measure dom in
+        let packed, t_enc = Tables.time (fun () -> Xmlkit.Compress.encode dom) in
+        let back, t_dec = Tables.time (fun () -> Xmlkit.Compress.decode packed) in
+        let ratio a b = Printf.sprintf "%.2f" (float_of_int a /. float_of_int b) in
+        [
+          doc_name;
+          Tables.kb s.Xmlkit.Compress.plain_bytes;
+          Tables.kb s.Xmlkit.Compress.flat_bytes;
+          Tables.kb s.Xmlkit.Compress.xmill_bytes;
+          ratio s.Xmlkit.Compress.plain_bytes s.Xmlkit.Compress.flat_bytes;
+          ratio s.Xmlkit.Compress.plain_bytes s.Xmlkit.Compress.xmill_bytes;
+          Tables.ms t_enc;
+          Tables.ms t_dec;
+          (if Dom.equal dom back then "yes" else "NO!");
+        ])
+      docs
+  in
+  Tables.print
+    ~title:
+      "T6: compression (plain vs flat-Huffman vs XMill-style separation, KiB and ratios)"
+    ~header:
+      [ "document"; "plain"; "flat"; "xmill"; "flat x"; "xmill x"; "enc ms"; "dec ms"; "identical" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* T7: DataGuide structural summaries *)
+
+let t7 () =
+  let docs =
+    [
+      ("auction 0.5", auction ~scale:0.5 ~seed:42);
+      ("auction 2.0", auction ~scale:2.0 ~seed:42);
+      ( "bibliography",
+        Xmlwork.Bibliography.generate
+          ~params:{ Xmlwork.Bibliography.default with entries = 400 }
+          () );
+      ("parts depth 10", Xmlwork.Deep.generate ~params:{ Xmlwork.Deep.default with depth = 10 } ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (doc_name, dom) ->
+        let ix = Index.of_document dom in
+        let dg, t_build = Tables.time (fun () -> Xmlkit.Dataguide.of_index ix) in
+        let nodes = Dom.count_nodes dom in
+        (* estimator exactness on the Q1 child chain (auction docs only) *)
+        let exactness =
+          if String.length doc_name >= 7 && String.sub doc_name 0 7 = "auction" then begin
+            let est =
+              Xmlkit.Dataguide.estimate dg
+                [ `Child "site"; `Child "regions"; `Child "europe"; `Child "item"; `Child "name" ]
+            in
+            let actual =
+              List.length (Xpathkit.Eval.select_nodes ix "/site/regions/europe/item/name")
+            in
+            Printf.sprintf "%d=%d" est actual
+          end
+          else "-"
+        in
+        [
+          doc_name;
+          string_of_int nodes;
+          string_of_int (Xmlkit.Dataguide.size dg);
+          Printf.sprintf "%.1f"
+            (float_of_int nodes /. float_of_int (max 1 (Xmlkit.Dataguide.size dg)));
+          Tables.ms t_build;
+          exactness;
+        ])
+      docs
+  in
+  Tables.print
+    ~title:"T7: strong DataGuide summary (distinct paths vs document nodes)"
+    ~header:[ "document"; "nodes"; "guide size"; "compression x"; "build ms"; "Q1 est=actual" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* F5: in-place update cost (the Dewey-vs-Interval asymmetry) *)
+
+let f5 () =
+  let scales = [ 0.25; 0.5; 1.0 ] in
+  let new_item =
+    Dom.element "item"
+      ~attrs:[ Dom.attr "id" "itemX" ]
+      [
+        Dom.element "name" [ Dom.text "new thing" ];
+        Dom.element "category" [ Dom.text "tools" ];
+        Dom.element "location" [ Dom.text "Japan" ];
+        Dom.element "quantity" [ Dom.text "1" ];
+        Dom.element "payment" [ Dom.text "Cash" ];
+        Dom.element "keyword" [ Dom.text "fresh" ];
+        Dom.element "description" [ Dom.text "a freshly appended item" ];
+      ]
+  in
+  let rows =
+    List.concat_map
+      (fun scale ->
+        let dom = auction ~scale ~seed:42 in
+        let nodes = Dom.count_nodes dom in
+        List.concat_map
+          (fun scheme ->
+            (* append early in document order: the worst case for interval *)
+            let store = Store.create scheme in
+            let doc = Store.add_document store dom in
+            let cost_append, t_append =
+              Tables.time ~repeat:1 (fun () ->
+                  Store.append_child store doc ~parent:"/site/regions/africa" new_item)
+            in
+            let cost_delete, t_delete =
+              Tables.time ~repeat:1 (fun () ->
+                  Store.delete_matching store doc "/site/regions/africa/item[@id='itemX']")
+            in
+            [
+              [
+                Printf.sprintf "%.2f" scale; string_of_int nodes; scheme; "append";
+                Tables.ms t_append;
+                string_of_int cost_append.Store.rows_inserted;
+                string_of_int cost_append.Store.rows_updated;
+                string_of_int cost_append.Store.rows_deleted;
+              ];
+              [
+                Printf.sprintf "%.2f" scale; string_of_int nodes; scheme; "delete";
+                Tables.ms t_delete;
+                string_of_int cost_delete.Store.rows_inserted;
+                string_of_int cost_delete.Store.rows_updated;
+                string_of_int cost_delete.Store.rows_deleted;
+              ];
+            ])
+          [ "edge"; "dewey"; "interval" ])
+      scales
+  in
+  Tables.print
+    ~title:"F5: in-place update cost (append/delete one item early in document order)"
+    ~header:[ "scale"; "nodes"; "scheme"; "op"; "ms"; "ins"; "upd"; "del" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* F6: ablation — Edge chain translation (one join-chain statement) vs
+   stepwise frontier evaluation for the same child-path queries *)
+
+let f6 () =
+  let queries = [ "Q1"; "Q4"; "Q8" ] in
+  let scales = [ 0.5; 1.0; 2.0 ] in
+  let rows =
+    List.concat_map
+      (fun scale ->
+        let dom = auction ~scale ~seed:42 in
+        let nodes = Dom.count_nodes dom in
+        let db = Relstore.Database.create () in
+        Xmlshred.Edge.create_schema db;
+        Xmlshred.Edge.create_indexes db;
+        Xmlshred.Edge.shred db ~doc:0 (Index.of_document dom);
+        List.concat_map
+          (fun qid ->
+            let q = Option.get (Xmlwork.Queries.find qid) in
+            let simple =
+              Option.get (Xmlshred.Pathquery.analyze (Xpathkit.Parser.parse_path q.Xmlwork.Queries.xpath))
+            in
+            let chain_targets, t_chain =
+              Tables.time (fun () ->
+                  let sql = Xmlshred.Edge.chain_sql ~doc:0 simple in
+                  Xmlshred.Mapping.int_column (Relstore.Database.query db sql))
+            in
+            let (step_targets, step_sqls), t_step =
+              Tables.time (fun () -> Xmlshred.Edge.stepwise db ~doc:0 simple)
+            in
+            if chain_targets <> step_targets then Printf.eprintf "F6 MISMATCH on %s\n" qid;
+            [
+              [
+                Printf.sprintf "%.2f" scale; string_of_int nodes; qid; "chain"; Tables.ms t_chain;
+                "1"; string_of_int (List.length chain_targets);
+              ];
+              [
+                Printf.sprintf "%.2f" scale; string_of_int nodes; qid; "stepwise";
+                Tables.ms t_step;
+                string_of_int (List.length step_sqls);
+                string_of_int (List.length step_targets);
+              ];
+            ])
+          queries)
+      scales
+  in
+  Tables.print
+    ~title:"F6: ablation — Edge join-chain SQL vs stepwise frontier evaluation"
+    ~header:[ "scale"; "nodes"; "query"; "mode"; "ms"; "stmts"; "results" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* F4: micro-benchmarks via Bechamel — one Test.make per component *)
+
+let f4 () =
+  let open Bechamel in
+  let open Toolkit in
+  let doc_src = Xmlkit.Serializer.to_string (auction ~scale:0.05 ~seed:42) in
+  let dom = Xmlkit.Parser.parse doc_src in
+  let ix = Index.of_document dom in
+  let store = loaded_store "interval" dom in
+  let tests =
+    [
+      Test.make ~name:"xml-parse" (Staged.stage (fun () -> Xmlkit.Parser.parse doc_src));
+      Test.make ~name:"xml-serialize" (Staged.stage (fun () -> Xmlkit.Serializer.to_string dom));
+      Test.make ~name:"index-build" (Staged.stage (fun () -> Index.of_document dom));
+      Test.make ~name:"xpath-parse"
+        (Staged.stage (fun () -> Xpathkit.Parser.parse "/site/people/person[@id='p1']/name"));
+      Test.make ~name:"xpath-native-q5" (Staged.stage (fun () -> Xpathkit.Eval.select_strings ix "//keyword"));
+      Test.make ~name:"sql-parse"
+        (Staged.stage (fun () ->
+             Relstore.Sql_parser.parse_statement
+               "SELECT a.x, count(*) FROM t a, u b WHERE a.k = b.k GROUP BY a.x ORDER BY a.x"));
+      Test.make ~name:"interval-q1"
+        (Staged.stage (fun () -> Store.query store 0 "/site/regions/europe/item/name"));
+      Test.make ~name:"btree-insert-1k"
+        (Staged.stage (fun () ->
+             let t = Relstore.Btree.create () in
+             for i = 0 to 999 do
+               Relstore.Btree.insert t [| Relstore.Value.Int (i * 37 mod 1000) |] i
+             done));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s/%s" tests in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> Printf.sprintf "%.1f" (e /. 1000.0)
+        | _ -> "n/a"
+      in
+      rows := [ name; estimate ] :: !rows)
+    results;
+  Tables.print ~title:"F4: micro-benchmarks (Bechamel, OLS estimate)"
+    ~header:[ "benchmark"; "us/op" ]
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("T1", t1); ("T2", t2); ("F1", f1); ("F2", f2); ("T3", t3); ("F3", f3);
+    ("T4", t4); ("T5", t5); ("T6", t6); ("T7", t7); ("F5", f5); ("F6", f6); ("F4", f4);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  print_endline "XML storage & retrieval benchmark suite";
+  print_endline "(see DESIGN.md for the experiment index, EXPERIMENTS.md for analysis)";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Printf.printf "[%s completed in %.1fs]\n" name (Unix.gettimeofday () -. t0)
+      | None ->
+        Printf.eprintf "unknown experiment %s (available: %s)\n" name
+          (String.concat ", " (List.map fst experiments)))
+    requested

@@ -1,0 +1,282 @@
+(* Command-line interface to the XML store.
+
+     xmlstore schemes
+     xmlstore query -s interval doc.xml "/site//item/name" [--show-sql]
+     xmlstore shred -s edge doc.xml [--dump]
+     xmlstore roundtrip -s dewey doc.xml
+     xmlstore validate doc.xml            (DTD from the internal subset)
+     xmlstore generate auction --scale 0.5 > doc.xml *)
+
+open Cmdliner
+module Store = Xmlstore.Store
+module Db = Relstore.Database
+
+let read_store ?dtd_file scheme path =
+  let parsed =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Xmlkit.Parser.parse_full s
+  in
+  let dtd =
+    match dtd_file with
+    | Some f ->
+      let ic = open_in_bin f in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some (Xmlkit.Dtd.parse s)
+    | None -> Option.map Xmlkit.Dtd.parse parsed.Xmlkit.Parser.internal_subset
+  in
+  let store =
+    match dtd with
+    | Some d -> Store.create ~dtd:d scheme
+    | None -> Store.create scheme
+  in
+  let doc = Store.add_document ~name:path store parsed.Xmlkit.Parser.document in
+  (store, doc, parsed.Xmlkit.Parser.document)
+
+(* common options *)
+let scheme_arg =
+  let doc = "Mapping scheme: " ^ String.concat ", " (Store.schemes ()) ^ "." in
+  Arg.(value & opt string "edge" & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML document.")
+
+let dtd_arg =
+  Arg.(value & opt (some file) None & info [ "dtd" ] ~docv:"DTD" ~doc:"External DTD file (needed by the inline scheme if the document has no internal subset).")
+
+(* schemes *)
+let schemes_cmd =
+  let run () =
+    List.iter
+      (fun id ->
+        let descr =
+          match Xmlshred.Registry.find id with
+          | Some m ->
+            let module M = (val m : Xmlshred.Mapping.MAPPING) in
+            M.description
+          | None -> "DTD-driven shared inlining (Shanmugasundaram et al.)"
+        in
+        Printf.printf "%-10s %s\n" id descr)
+      (Store.schemes ())
+  in
+  Cmd.v (Cmd.info "schemes" ~doc:"List available mapping schemes.") Term.(const run $ const ())
+
+(* query *)
+let query_cmd =
+  let xpath_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH" ~doc:"Absolute XPath.")
+  in
+  let show_sql = Arg.(value & flag & info [ "show-sql" ] ~doc:"Print the SQL executed.") in
+  let as_xml = Arg.(value & flag & info [ "xml" ] ~doc:"Print result subtrees as XML.") in
+  let run scheme dtd_file path xpath show_sql as_xml =
+    let store, doc, _ = read_store ?dtd_file scheme path in
+    let r = Store.query store doc xpath in
+    if show_sql then begin
+      Printf.eprintf "-- %d SQL statement(s), %d join(s)%s\n" (List.length r.Store.sql)
+        r.Store.joins
+        (if r.Store.fallback then " [fallback: evaluated natively]" else "");
+      List.iter (Printf.eprintf "-- %s\n") r.Store.sql
+    end;
+    if as_xml then
+      List.iter
+        (fun n -> print_endline (Xmlkit.Serializer.node_to_string n))
+        (Lazy.force r.Store.nodes)
+    else List.iter print_endline r.Store.values
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Shred a document and run an XPath query against the relational form.")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpath_arg $ show_sql $ as_xml)
+
+(* shred *)
+let shred_cmd =
+  let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Dump every table's contents.") in
+  let run scheme dtd_file path dump =
+    let store, _, _ = read_store ?dtd_file scheme path in
+    let stats = Store.stats store in
+    Printf.printf "scheme:  %s\ntables:  %d\ntuples:  %d\nbytes:   %d\nindexes: %d entries\n"
+      stats.Store.scheme_id
+      (List.length stats.Store.tables)
+      stats.Store.total_rows stats.Store.total_bytes stats.Store.total_index_entries;
+    List.iter
+      (fun t ->
+        Printf.printf "  %-24s %6d rows %8d bytes\n" t.Db.st_table t.Db.st_rows t.Db.st_bytes)
+      stats.Store.tables;
+    if dump then
+      List.iter
+        (fun t ->
+          if not (String.equal t.Db.st_table "documents") then begin
+            Printf.printf "\n-- %s\n" t.Db.st_table;
+            print_endline
+              (Db.render_result
+                 (Db.query (Store.database store)
+                    (Printf.sprintf "SELECT * FROM %s" t.Db.st_table)))
+          end)
+        stats.Store.tables
+  in
+  Cmd.v
+    (Cmd.info "shred" ~doc:"Shred a document and report (or dump) the relational storage.")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ dump)
+
+(* roundtrip *)
+let roundtrip_cmd =
+  let run scheme dtd_file path =
+    let store, doc, original = read_store ?dtd_file scheme path in
+    let back = Store.get_document store doc in
+    if Xmlkit.Dom.equal original back then begin
+      print_endline "round-trip: identical";
+      exit 0
+    end
+    else begin
+      print_endline "round-trip: DIFFERENT";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "roundtrip" ~doc:"Shred, reconstruct, and compare with the original.")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg)
+
+(* validate *)
+let validate_cmd =
+  let run dtd_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    let parsed = Xmlkit.Parser.parse_full s in
+    let dtd =
+      match dtd_file with
+      | Some f ->
+        let ic = open_in_bin f in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        Some (Xmlkit.Dtd.parse s)
+      | None -> Option.map Xmlkit.Dtd.parse parsed.Xmlkit.Parser.internal_subset
+    in
+    match dtd with
+    | None ->
+      prerr_endline "no DTD: document has no internal subset and --dtd was not given";
+      exit 2
+    | Some dtd -> (
+      match Xmlkit.Dtd.validate dtd parsed.Xmlkit.Parser.document with
+      | [] ->
+        print_endline "valid";
+        exit 0
+      | violations ->
+        List.iter (fun v -> print_endline (Xmlkit.Dtd.violation_to_string v)) violations;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Validate a document against its DTD.")
+    Term.(const run $ dtd_arg $ file_arg)
+
+(* generate *)
+let generate_cmd =
+  let kind_arg =
+    Arg.(required & pos 0 (some (enum [ ("auction", `Auction); ("bibliography", `Bib); ("parts", `Parts) ])) None
+         & info [] ~docv:"KIND" ~doc:"Workload: auction, bibliography, or parts.")
+  in
+  let scale = Arg.(value & opt float 0.1 & info [ "scale" ] ~doc:"Auction scale factor.") in
+  let entries = Arg.(value & opt int 100 & info [ "entries" ] ~doc:"Bibliography entry count.") in
+  let depth = Arg.(value & opt int 6 & info [ "depth" ] ~doc:"Parts hierarchy depth.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let run kind scale entries depth seed =
+    let dom =
+      match kind with
+      | `Auction -> Xmlwork.Auction.generate ~params:{ Xmlwork.Auction.default with scale; seed } ()
+      | `Bib -> Xmlwork.Bibliography.generate ~params:{ Xmlwork.Bibliography.seed; entries } ()
+      | `Parts -> Xmlwork.Deep.generate ~params:{ Xmlwork.Deep.default with seed; depth } ()
+    in
+    print_string (Xmlkit.Serializer.pretty dom)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic workload document on stdout.")
+    Term.(const run $ kind_arg $ scale $ entries $ depth $ seed)
+
+(* sql: open a store and run raw SQL against it *)
+let sql_cmd =
+  let stmt_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SQL" ~doc:"SQL statement.")
+  in
+  let run scheme dtd_file path stmt =
+    let store, _, _ = read_store ?dtd_file scheme path in
+    match Store.sql store stmt with
+    | Db.Rows r -> print_endline (Db.render_result r)
+    | Db.Affected n -> Printf.printf "%d row(s) affected\n" n
+    | Db.Done msg -> print_endline msg
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Shred a document and run raw SQL against its relational form.")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ stmt_arg)
+
+(* save: shred to a persistent SQL dump *)
+let save_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Dump file.")
+  in
+  let run scheme dtd_file path out =
+    let store, _, _ = read_store ?dtd_file scheme path in
+    Store.save store out;
+    Printf.printf "saved %s under scheme %s to %s\n" path scheme out
+  in
+  Cmd.v
+    (Cmd.info "save" ~doc:"Shred a document and persist the store as a SQL dump.")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ out_arg)
+
+(* query-saved: reopen a dump and query it *)
+let query_saved_cmd =
+  let dump_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DUMP" ~doc:"Store dump produced by save.")
+  in
+  let xpath_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH" ~doc:"Absolute XPath.")
+  in
+  let doc_arg =
+    Arg.(value & opt int 0 & info [ "doc" ] ~docv:"ID" ~doc:"Document id inside the store.")
+  in
+  let run scheme dtd_file dump xpath doc_id =
+    let dtd =
+      Option.map
+        (fun f ->
+          let ic = open_in_bin f in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          Xmlkit.Dtd.parse s)
+        dtd_file
+    in
+    let store = Store.load ?dtd ~scheme dump in
+    List.iter print_endline (Store.query_values store doc_id xpath)
+  in
+  Cmd.v
+    (Cmd.info "query-saved" ~doc:"Reopen a persisted store and run an XPath query.")
+    Term.(const run $ scheme_arg $ dtd_arg $ dump_arg $ xpath_arg $ doc_arg)
+
+(* transform: FLWOR over a document *)
+let transform_cmd =
+  let flwor_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FLWOR"
+         ~doc:"for \\$v in PATH [where COND] [order by KEY [descending]] return TEMPLATE")
+  in
+  let run path flwor =
+    let dom = Xmlkit.Parser.parse_file path in
+    let ix = Xmlkit.Index.of_document dom in
+    print_endline (Xpathkit.Flwor.run_to_string ix flwor)
+  in
+  Cmd.v
+    (Cmd.info "transform" ~doc:"Run a FLWOR transformation over a document.")
+    Term.(const run $ file_arg $ flwor_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "xmlstore" ~version:"1.0.0"
+       ~doc:"Store and retrieve XML documents using a relational database.")
+    [
+      schemes_cmd; query_cmd; shred_cmd; roundtrip_cmd; validate_cmd; generate_cmd; sql_cmd;
+      save_cmd; query_saved_cmd; transform_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

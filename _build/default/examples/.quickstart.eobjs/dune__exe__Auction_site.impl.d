@@ -1,0 +1,1 @@
+examples/auction_site.ml: List Printf Xmlkit Xmlstore Xmlwork

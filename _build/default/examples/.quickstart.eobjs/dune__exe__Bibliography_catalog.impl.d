@@ -1,0 +1,1 @@
+examples/bibliography_catalog.ml: Lazy List Printf String Xmlkit Xmlshred Xmlstore Xmlwork

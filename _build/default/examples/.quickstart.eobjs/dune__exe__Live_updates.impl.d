@@ -1,0 +1,1 @@
+examples/live_updates.ml: Filename List Printf String Sys Xmlkit Xmlstore

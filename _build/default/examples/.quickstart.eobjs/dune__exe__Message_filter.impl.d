@@ -1,0 +1,1 @@
+examples/message_filter.ml: Hashtbl List Printf String Xmlkit Xmlstore Xpathkit

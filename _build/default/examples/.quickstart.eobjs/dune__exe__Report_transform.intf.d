@@ -1,0 +1,1 @@
+examples/report_transform.mli:

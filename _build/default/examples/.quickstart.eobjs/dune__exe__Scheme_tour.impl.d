@@ -1,0 +1,1 @@
+examples/scheme_tour.ml: List Printf Relstore String Xmlkit Xmlstore

@@ -1,0 +1,65 @@
+(* Live updates: structural edits on the stored form without re-shredding,
+   and what they cost under different schemes — plus persisting the edited
+   store to disk and reopening it. *)
+
+module Store = Xmlstore.Store
+module Dom = Xmlkit.Dom
+
+let inventory =
+  {|<inventory>
+      <warehouse city="Hamburg">
+        <pallet sku="A1"><count>10</count></pallet>
+        <pallet sku="A2"><count>4</count></pallet>
+      </warehouse>
+      <warehouse city="Nagoya">
+        <pallet sku="B7"><count>31</count></pallet>
+      </warehouse>
+    </inventory>|}
+
+let new_pallet sku n =
+  Dom.element "pallet"
+    ~attrs:[ Dom.attr "sku" sku ]
+    [ Dom.element "count" [ Dom.text (string_of_int n) ] ]
+
+let show_cost label (c : Store.update_cost) =
+  Printf.printf "  %-28s ins=%d upd=%d del=%d\n" label c.Store.rows_inserted
+    c.Store.rows_updated c.Store.rows_deleted
+
+let () =
+  (* the same edit script under two schemes with opposite update costs *)
+  List.iter
+    (fun scheme ->
+      Printf.printf "=== %s\n" scheme;
+      let store = Store.create scheme in
+      let doc = Store.add_string ~name:"inventory" store inventory in
+      show_cost "append pallet to Hamburg"
+        (Store.append_child store doc ~parent:"/inventory/warehouse[@city='Hamburg']"
+           (new_pallet "A3" 7));
+      show_cost "append pallet to Nagoya"
+        (Store.append_child store doc ~parent:"/inventory/warehouse[@city='Nagoya']"
+           (new_pallet "B8" 2));
+      show_cost "delete empty-ish pallets" (Store.delete_matching store doc "//pallet[count < 5]");
+      Printf.printf "  remaining SKUs: %s\n\n"
+        (String.concat ", " (Store.query_values store doc "//pallet/@sku")))
+    [ "dewey"; "interval" ];
+
+  (* edits survive persistence *)
+  let store = Store.create "edge" in
+  let doc = Store.add_string store inventory in
+  ignore (Store.append_child store doc ~parent:"/inventory/warehouse[@city='Nagoya']" (new_pallet "B9" 12));
+  let path = Filename.temp_file "inventory" ".sql" in
+  Store.save store path;
+  let reopened = Store.load ~scheme:"edge" path in
+  Sys.remove path;
+  Printf.printf "after save/load, Nagoya holds: %s\n"
+    (String.concat ", "
+       (Store.query_values reopened doc "/inventory/warehouse[@city='Nagoya']/pallet/@sku"));
+
+  (* query across all documents in a store *)
+  let multi = Store.create "interval" in
+  ignore (Store.add_string ~name:"d0" multi "<inventory><warehouse city=\"Oslo\"/></inventory>");
+  ignore (Store.add_string ~name:"d1" multi inventory);
+  List.iter
+    (fun (doc_id, r) ->
+      Printf.printf "doc %d has %d warehouse(s)\n" doc_id (List.length r.Store.values))
+    (Store.query_all multi "//warehouse/@city")

@@ -1,0 +1,69 @@
+(* Message broker: route XML messages by XPath predicates — the streaming
+   scenario. Transient messages are matched with the native evaluator (no
+   store); matched ones are archived into a relational store for later
+   querying. *)
+
+module Store = Xmlstore.Store
+module Index = Xmlkit.Index
+
+type rule = { rule_name : string; condition : string }
+
+let rules =
+  [
+    { rule_name = "high-value orders"; condition = "/order[total > 500]" };
+    { rule_name = "rush orders"; condition = "/order[@priority='rush']" };
+    { rule_name = "book orders"; condition = "//line[category='books']" };
+  ]
+
+let messages =
+  [
+    {|<order id="o1" priority="rush"><customer>ada</customer><total>120</total>
+        <line><category>tools</category><qty>2</qty></line></order>|};
+    {|<order id="o2" priority="normal"><customer>bob</customer><total>740</total>
+        <line><category>books</category><qty>1</qty></line>
+        <line><category>coins</category><qty>3</qty></line></order>|};
+    {|<order id="o3" priority="normal"><customer>cyd</customer><total>80</total>
+        <line><category>stamps</category><qty>5</qty></line></order>|};
+    {|<order id="o4" priority="rush"><customer>dan</customer><total>510</total>
+        <line><category>books</category><qty>7</qty></line></order>|};
+  ]
+
+let () =
+  (* archive store for matched messages *)
+  let archive = Store.create "interval" in
+  let matched = Hashtbl.create 8 in
+
+  List.iter
+    (fun src ->
+      let dom = Xmlkit.Parser.parse src in
+      let ix = Index.of_document dom in
+      let order_id =
+        match Xpathkit.Eval.select_strings ix "/order/@id" with o :: _ -> o | [] -> "?"
+      in
+      let hits =
+        List.filter
+          (fun r -> Xpathkit.Eval.select_nodes ix r.condition <> [])
+          rules
+      in
+      if hits <> [] then begin
+        let doc = Store.add_document ~name:order_id archive dom in
+        Hashtbl.replace matched order_id doc;
+        Printf.printf "message %s routed to: %s\n" order_id
+          (String.concat ", " (List.map (fun r -> r.rule_name) hits))
+      end
+      else Printf.printf "message %s dropped (no rule matched)\n" order_id)
+    messages;
+
+  (* the archive is a real store: query across what was kept *)
+  print_newline ();
+  Hashtbl.iter
+    (fun order_id doc ->
+      let customer = Store.query_values archive doc "/order/customer" in
+      let categories = Store.query_values archive doc "//line/category" in
+      Printf.printf "archived %s: customer=%s categories=[%s]\n" order_id
+        (String.concat "," customer)
+        (String.concat ", " categories))
+    matched;
+  Printf.printf "\narchive holds %d of %d messages\n"
+    (List.length (Store.documents archive))
+    (List.length messages)

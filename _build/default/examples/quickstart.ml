@@ -1,0 +1,59 @@
+(* Quickstart: store a document relationally, query it with XPath, look at
+   the SQL, get the document back.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Store = Xmlstore.Store
+
+let catalog =
+  {|<catalog>
+      <book isbn="0201537710">
+        <title>Foundations of Databases</title>
+        <author>Abiteboul</author><author>Hull</author><author>Vianu</author>
+        <price>55</price>
+      </book>
+      <book isbn="1558605088">
+        <title>Data on the Web</title>
+        <author>Abiteboul</author><author>Buneman</author><author>Suciu</author>
+        <price>40</price>
+      </book>
+      <book isbn="0070447563">
+        <title>Database System Concepts</title>
+        <author>Silberschatz</author>
+        <price>89</price>
+      </book>
+    </catalog>|}
+
+let () =
+  (* 1. create a store backed by the Edge mapping *)
+  let store = Store.create "edge" in
+
+  (* 2. shred a document into relations *)
+  let doc = Store.add_string ~name:"catalog" store catalog in
+
+  (* 3. query with XPath; execution happens in SQL *)
+  print_endline "All titles:";
+  List.iter (Printf.printf "  - %s\n") (Store.query_values store doc "/catalog/book/title");
+
+  print_endline "\nBooks under 60:";
+  List.iter (Printf.printf "  - %s\n")
+    (Store.query_values store doc "/catalog/book[price < 60]/title");
+
+  print_endline "\nISBN of every book by Suciu:";
+  List.iter (Printf.printf "  - %s\n")
+    (Store.query_values store doc "//book[author='Suciu']/@isbn");
+
+  (* 4. look at the SQL a query turns into *)
+  print_endline "\nThe SQL behind /catalog/book/title:";
+  List.iter (Printf.printf "  %s\n") (Store.translate_sql store doc "/catalog/book/title");
+
+  (* 5. inspect the relational storage *)
+  let stats = Store.stats store in
+  Printf.printf "\nStored as %d tuples (%d bytes) in %d table(s)\n" stats.Store.total_rows
+    stats.Store.total_bytes
+    (List.length stats.Store.tables);
+
+  (* 6. and get the document back, byte-equivalent *)
+  let back = Store.get_document store doc in
+  Printf.printf "\nRound-trip identical: %b\n"
+    (Xmlkit.Dom.equal (Xmlkit.Parser.parse catalog) back)

@@ -1,0 +1,44 @@
+(* Report generation: transform a stored auction site into a fresh XML
+   report with FLWOR — retrieve relationally, reshape declaratively. *)
+
+module Store = Xmlstore.Store
+module Index = Xmlkit.Index
+module Flwor = Xpathkit.Flwor
+
+let () =
+  let dom =
+    Xmlwork.Auction.generate ~params:{ Xmlwork.Auction.default with scale = 0.15; seed = 99 } ()
+  in
+  (* the document lives in the relational store ... *)
+  let store = Store.create "interval" in
+  let doc = Store.add_document store dom in
+  (* ... and comes back out for transformation *)
+  let ix = Index.of_document (Store.get_document store doc) in
+
+  print_endline "Expensive closed auctions (price > 500):";
+  print_endline
+    (Flwor.run_to_string ix
+       "for $c in //closed_auction where $c/price > 500 order by $c/price descending return \
+        <sale auction=\"{$c/@id}\" price=\"{$c/price}\" buyer=\"{$c/buyer}\"/>");
+
+  print_endline "\nItems per region:";
+  print_endline
+    (Flwor.run_to_string ix
+       "for $r in /site/regions/* return <region name=\"{name($r)}\" \
+        items=\"{count($r/item)}\"/>");
+
+  print_endline "\nUS items with their keywords:";
+  print_endline
+    (Flwor.run_to_string ix
+       "for $i in //item, $k in $i/keyword where $i/location = 'United States' return \
+        <hit item=\"{string($i/name)}\">{string($k)}</hit>");
+
+  (* transformations compose with storage: archive the report itself *)
+  let report =
+    Flwor.run_to_string ix
+      "for $p in //person[profile/age > 60] return <senior id=\"{$p/@id}\">{$p/name}</senior>"
+  in
+  let archive = Store.create "edge" in
+  let rid = Store.add_string ~name:"senior-report" archive ("<report>" ^ report ^ "</report>") in
+  Printf.printf "\narchived report lists %d senior member(s)\n"
+    (Store.query_count archive rid "/report/senior")

@@ -1,0 +1,1 @@
+lib/core/store.ml: Array Lazy List Option Printf Relstore String Xmlkit Xmlshred Xpathkit

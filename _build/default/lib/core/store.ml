@@ -1,0 +1,220 @@
+(* The public facade: an XML store backed by a relational database through a
+   chosen shredding scheme. This is the API a downstream application uses;
+   everything below it (relational engine, mappings, translators) is
+   implementation. *)
+
+module Dom = Xmlkit.Dom
+module Index = Xmlkit.Index
+module Db = Relstore.Database
+
+exception Store_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Store_error s)) fmt
+
+type t = {
+  db : Db.t;
+  mapping : Xmlshred.Mapping.mapping;
+  scheme : string;
+  dtd : Xmlkit.Dtd.t option;
+  validate : bool;
+  indexes : bool;
+  mutable next_doc : int;
+}
+
+type doc_id = int
+
+let schemes () = Xmlshred.Registry.ids () @ [ "inline" ]
+
+let resolve_mapping ~scheme ~dtd =
+  if String.equal scheme "inline" then
+    match dtd with
+    | Some d -> Xmlshred.Inline.make d
+    | None -> err "the inline scheme requires a DTD (pass ~dtd)"
+  else
+    match Xmlshred.Registry.find scheme with
+    | Some m -> m
+    | None ->
+      err "unknown scheme %s (available: %s)" scheme (String.concat ", " (schemes ()))
+
+(* [validate] (only meaningful with a DTD) checks documents against the DTD
+   before storing them. *)
+let create ?dtd ?(validate = false) ?(indexes = true) scheme =
+  let mapping = resolve_mapping ~scheme ~dtd in
+  let db = Db.create () in
+  ignore
+    (Db.exec db
+       "CREATE TABLE IF NOT EXISTS documents (doc INTEGER NOT NULL, name TEXT, root_tag TEXT \
+        NOT NULL, nodes INTEGER NOT NULL, depth INTEGER NOT NULL)");
+  let module M = (val mapping : Xmlshred.Mapping.MAPPING) in
+  M.create_schema db;
+  if indexes then M.create_indexes db;
+  { db; mapping; scheme; dtd; validate; indexes; next_doc = 0 }
+
+let scheme t = t.scheme
+let database t = t.db
+
+let add_document ?name t (dom : Dom.t) : doc_id =
+  (match (t.validate, t.dtd) with
+  | true, Some dtd ->
+    let violations = Xmlkit.Dtd.validate dtd dom in
+    if violations <> [] then
+      err "document is not valid against the DTD: %s"
+        (String.concat "; " (List.map Xmlkit.Dtd.violation_to_string violations))
+  | _ -> ());
+  let ix = Index.of_document dom in
+  let doc = t.next_doc in
+  let module M = (val t.mapping : Xmlshred.Mapping.MAPPING) in
+  M.shred t.db ~doc ix;
+  (* schemes with data-dependent tables (binary, universal) may have created
+     new tables during the shred; index creation is idempotent *)
+  if t.indexes then M.create_indexes t.db;
+  Db.insert_row t.db "documents"
+    [
+      Relstore.Value.Int doc;
+      (match name with Some n -> Relstore.Value.Text n | None -> Relstore.Value.Null);
+      Relstore.Value.Text dom.Dom.root.Dom.tag;
+      Relstore.Value.Int (Dom.count_nodes dom);
+      Relstore.Value.Int (Dom.depth dom);
+    ];
+  t.next_doc <- doc + 1;
+  doc
+
+let add_string ?name t src = add_document ?name t (Xmlkit.Parser.parse src)
+let add_file ?name t path = add_document ?name t (Xmlkit.Parser.parse_file path)
+
+type doc_info = { doc : doc_id; doc_name : string option; root_tag : string; nodes : int; depth : int }
+
+let documents t =
+  let r = Db.query t.db "SELECT doc, name, root_tag, nodes, depth FROM documents ORDER BY doc" in
+  List.map
+    (fun row ->
+      {
+        doc = (match row.(0) with Relstore.Value.Int i -> i | _ -> err "bad doc id");
+        doc_name =
+          (match row.(1) with Relstore.Value.Null -> None | v -> Some (Relstore.Value.to_string v));
+        root_tag = Relstore.Value.to_string row.(2);
+        nodes = (match row.(3) with Relstore.Value.Int i -> i | _ -> 0);
+        depth = (match row.(4) with Relstore.Value.Int i -> i | _ -> 0);
+      })
+    r.Relstore.Executor.rows
+
+let check_doc t doc =
+  if not (List.exists (fun d -> d.doc = doc) (documents t)) then
+    err "no document with id %d" doc
+
+let get_document t doc =
+  check_doc t doc;
+  let module M = (val t.mapping : Xmlshred.Mapping.MAPPING) in
+  M.reconstruct t.db ~doc
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+type result = {
+  values : string list;  (* XPath string-values in document order *)
+  nodes : Dom.node list Lazy.t;  (* reconstructed result subtrees *)
+  sql : string list;  (* SQL statements executed *)
+  joins : int;
+  fallback : bool;  (* answered by reconstruction + native evaluation *)
+}
+
+let query t doc (xpath : string) : result =
+  check_doc t doc;
+  let path = Xpathkit.Parser.parse_path xpath in
+  let module M = (val t.mapping : Xmlshred.Mapping.MAPPING) in
+  let r = M.query t.db ~doc path in
+  {
+    values = r.Xmlshred.Mapping.values;
+    nodes = r.Xmlshred.Mapping.nodes;
+    sql = r.Xmlshred.Mapping.sql;
+    joins = r.Xmlshred.Mapping.joins;
+    fallback = r.Xmlshred.Mapping.fallback;
+  }
+
+let query_values t doc xpath = (query t doc xpath).values
+let query_nodes t doc xpath = Lazy.force (query t doc xpath).nodes
+let query_count t doc xpath = List.length (query t doc xpath).values
+
+(* Evaluate one path against every stored document. *)
+let query_all t xpath =
+  List.map (fun info -> (info.doc, query t info.doc xpath)) (documents t)
+
+let translate_sql t doc xpath =
+  (* the SQL a query would run, without materializing values *)
+  (query t doc xpath).sql
+
+(* ------------------------------------------------------------------ *)
+(* Updates (supported by the edge, dewey, and interval schemes) *)
+
+type update_cost = { rows_inserted : int; rows_updated : int; rows_deleted : int }
+
+let updater t =
+  match Xmlshred.Updates.find t.scheme with
+  | Some u -> u
+  | None -> err "scheme %s does not support in-place updates" t.scheme
+
+let cost_of (c : Xmlshred.Updates.cost) =
+  {
+    rows_inserted = c.Xmlshred.Updates.inserted;
+    rows_updated = c.Xmlshred.Updates.updated;
+    rows_deleted = c.Xmlshred.Updates.deleted;
+  }
+
+let append_child t doc ~parent node =
+  check_doc t doc;
+  let module U = (val updater t : Xmlshred.Updates.UPDATER) in
+  cost_of (U.append_child t.db ~doc ~parent:(Xpathkit.Parser.parse_path parent) node)
+
+let delete_matching t doc xpath =
+  check_doc t doc;
+  let module U = (val updater t : Xmlshred.Updates.UPDATER) in
+  cost_of (U.delete_matching t.db ~doc (Xpathkit.Parser.parse_path xpath))
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+type stats = {
+  scheme_id : string;
+  document_count : int;
+  tables : Relstore.Database.table_stats list;
+  total_rows : int;
+  total_bytes : int;
+  total_index_entries : int;
+}
+
+let stats t =
+  let tables =
+    List.filter
+      (fun s -> not (String.equal s.Relstore.Database.st_table "documents"))
+      (Db.stats t.db)
+  in
+  {
+    scheme_id = t.scheme;
+    document_count = List.length (documents t);
+    tables;
+    total_rows = List.fold_left (fun a s -> a + s.Relstore.Database.st_rows) 0 tables;
+    total_bytes = List.fold_left (fun a s -> a + s.Relstore.Database.st_bytes) 0 tables;
+    total_index_entries =
+      List.fold_left (fun a s -> a + s.Relstore.Database.st_index_entries) 0 tables;
+  }
+
+(* Raw SQL access for power users and the CLI. *)
+let sql t statement = Db.exec t.db statement
+let explain t select = Db.explain t.db select
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: the store round-trips through the relational dump. *)
+
+let save t path = Db.dump_to_file t.db path
+
+let load ?dtd ?(validate = false) ~scheme path =
+  let mapping = resolve_mapping ~scheme ~dtd in
+  let db = Db.restore_from_file path in
+  if Option.is_none (Db.find_table db "documents") then
+    err "%s does not contain a document registry (not a store dump?)" path;
+  let next_doc =
+    match (Db.query db "SELECT max(doc) FROM documents").Relstore.Executor.rows with
+    | [ [| Relstore.Value.Int m |] ] -> m + 1
+    | _ -> 0
+  in
+  { db; mapping; scheme; dtd; validate; indexes = true; next_doc }

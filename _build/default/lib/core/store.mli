@@ -1,0 +1,110 @@
+(** An XML store backed by a relational database through a chosen shredding
+    scheme.
+
+    {[
+      let store = Store.create "edge" in
+      let doc = Store.add_string store "<site>...</site>" in
+      Store.query_values store doc "/site/people/person/name"
+    ]} *)
+
+exception Store_error of string
+
+type t
+type doc_id = int
+
+val schemes : unit -> string list
+(** Available scheme ids: ["edge"; "binary"; "interval"; "dewey";
+    "universal"; "inline"]. *)
+
+val create : ?dtd:Xmlkit.Dtd.t -> ?validate:bool -> ?indexes:bool -> string -> t
+(** [create scheme] builds an empty store. The ["inline"] scheme requires
+    [~dtd]. [~validate:true] checks each document against the DTD before
+    storing. [~indexes:false] skips the scheme's recommended secondary
+    indexes (benchmark F3 measures the difference). *)
+
+val scheme : t -> string
+val database : t -> Relstore.Database.t
+(** The underlying relational database (inspection, raw SQL). *)
+
+(** {1 Documents} *)
+
+val add_document : ?name:string -> t -> Xmlkit.Dom.t -> doc_id
+val add_string : ?name:string -> t -> string -> doc_id
+val add_file : ?name:string -> t -> string -> doc_id
+
+type doc_info = {
+  doc : doc_id;
+  doc_name : string option;
+  root_tag : string;
+  nodes : int;
+  depth : int;
+}
+
+val documents : t -> doc_info list
+val get_document : t -> doc_id -> Xmlkit.Dom.t
+(** Reconstruct the full document from its relations. *)
+
+(** {1 Queries} *)
+
+type result = {
+  values : string list;  (** XPath string-values, document order *)
+  nodes : Xmlkit.Dom.node list Lazy.t;  (** reconstructed result subtrees *)
+  sql : string list;  (** SQL statements executed *)
+  joins : int;
+  fallback : bool;
+      (** true when the path was outside the translatable subset and was
+          answered by reconstructing the document and evaluating natively *)
+}
+
+val query : t -> doc_id -> string -> result
+(** [query t doc xpath] evaluates an absolute XPath location path. *)
+
+val query_values : t -> doc_id -> string -> string list
+val query_nodes : t -> doc_id -> string -> Xmlkit.Dom.node list
+val query_count : t -> doc_id -> string -> int
+val query_all : t -> string -> (doc_id * result) list
+(** Evaluate one path against every stored document. *)
+
+val translate_sql : t -> doc_id -> string -> string list
+
+(** {1 In-place updates}
+
+    Supported by the [edge], [dewey], and [interval] schemes; the cost
+    record exposes how many rows each scheme had to touch — the
+    machine-independent measure behind experiment F5 (Dewey appends touch
+    only the new subtree; Interval renumbers every following node). *)
+
+type update_cost = { rows_inserted : int; rows_updated : int; rows_deleted : int }
+
+val append_child : t -> doc_id -> parent:string -> Xmlkit.Dom.node -> update_cost
+(** [append_child t doc ~parent node] appends [node] (an element subtree)
+    as the last child of the single element selected by the XPath
+    [parent]. *)
+
+val delete_matching : t -> doc_id -> string -> update_cost
+(** Delete every element (subtree included) selected by the path. *)
+
+(** {1 Statistics and raw SQL} *)
+
+type stats = {
+  scheme_id : string;
+  document_count : int;
+  tables : Relstore.Database.table_stats list;
+  total_rows : int;
+  total_bytes : int;
+  total_index_entries : int;
+}
+
+val stats : t -> stats
+val sql : t -> string -> Relstore.Database.exec_result
+val explain : t -> string -> string
+
+(** {1 Persistence} *)
+
+val save : t -> string -> unit
+(** Write the whole store (all tables, data, and index definitions) as a
+    SQL script. *)
+
+val load : ?dtd:Xmlkit.Dtd.t -> ?validate:bool -> scheme:string -> string -> t
+(** Reopen a store saved with {!save}. The scheme must match the one the
+    dump was produced with ([inline] additionally needs the same DTD). *)

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Array Btree Buffer Executor Expr_eval Hashtbl List Option Plan Planner Printf Schema Sql_ast Sql_parser Stats String Table Value

@@ -1,0 +1,1 @@
+lib/relational/database.mli: Executor Plan Planner Schema Stats Table Value

@@ -1,0 +1,1 @@
+lib/relational/executor.ml: Array Btree Expr_eval Hashtbl List Option Plan Planner Printf Sql_ast Table Value

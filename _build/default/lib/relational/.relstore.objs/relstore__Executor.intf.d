@@ -1,0 +1,1 @@
+lib/relational/executor.mli: Expr_eval Plan Planner Value

@@ -1,0 +1,1 @@
+lib/relational/expr_eval.ml: Array Float Hashtbl List Printf Schema Sql_ast String Value

@@ -1,0 +1,1 @@
+lib/relational/expr_eval.mli: Schema Sql_ast Value

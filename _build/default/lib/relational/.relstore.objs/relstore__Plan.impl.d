@@ -1,0 +1,1 @@
+lib/relational/plan.ml: List Printf Sql_ast String

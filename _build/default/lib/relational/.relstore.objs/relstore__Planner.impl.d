@@ -1,0 +1,1 @@
+lib/relational/planner.ml: Float Hashtbl Lazy List Option Plan Printf Schema Sql_ast Stats String Table Value

@@ -1,0 +1,1 @@
+lib/relational/planner.mli: Plan Sql_ast Stats Table

@@ -1,0 +1,1 @@
+lib/relational/stats.ml: Array Hashtbl List Printf Schema String Table Value

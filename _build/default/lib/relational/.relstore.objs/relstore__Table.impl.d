@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Btree Bytes List Printf Schema String Value Vec

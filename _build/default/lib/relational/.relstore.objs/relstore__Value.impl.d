@@ -1,0 +1,1 @@
+lib/relational/value.ml: Bool Buffer Float Hashtbl Int Printf String

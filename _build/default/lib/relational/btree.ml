@@ -1,0 +1,280 @@
+(* B+-tree mapping composite keys (Value.t arrays, compared
+   lexicographically) to postings lists of row ids. Non-unique by design:
+   secondary indexes over heap tables.
+
+   Classic algorithm: sorted keys in every node, splits on overflow, leaves
+   chained for range scans. Deletion removes row ids from postings and drops
+   empty keys from leaves without rebalancing (underfull leaves are
+   tolerated); the tree never hands back freed nodes, which is the standard
+   lazy-deletion tradeoff for an in-memory index. *)
+
+let order = 32
+(* max keys per node; min after split is order/2 *)
+
+type key = Value.t array
+
+let compare_key (a : key) (b : key) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i >= n then Int.compare (Array.length a) (Array.length b)
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* A prefix comparison: does [k] start with [prefix]? Used to scan an index
+   on (a, b) with only a bound on a. *)
+let key_has_prefix (k : key) (prefix : key) =
+  Array.length prefix <= Array.length k
+  &&
+  let rec go i =
+    i >= Array.length prefix || (Value.compare k.(i) prefix.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+type node =
+  | Leaf of leaf
+  | Internal of internal
+
+and leaf = {
+  mutable keys : key array;
+  mutable postings : int list array;  (* row ids per key, most recent first *)
+  mutable next : leaf option;
+}
+
+and internal = {
+  mutable seps : key array;  (* seps.(i) = smallest key reachable under children.(i+1) *)
+  mutable children : node array;
+}
+
+type t = { mutable root : node; mutable entries : int; mutable distinct : int }
+
+let create () =
+  { root = Leaf { keys = [||]; postings = [||]; next = None }; entries = 0; distinct = 0 }
+
+let entry_count t = t.entries
+let distinct_keys t = t.distinct
+
+(* Index of the first key >= k, by binary search. *)
+let lower_bound keys k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_key keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Which child of an internal node covers key k. *)
+let child_index (n : internal) k =
+  let lo = ref 0 and hi = ref (Array.length n.seps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_key n.seps.(mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert a i v =
+  let n = Array.length a in
+  let b = Array.make (n + 1) v in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+let array_remove a i =
+  let n = Array.length a in
+  let b = Array.sub a 0 (n - 1) in
+  Array.blit a (i + 1) b i (n - 1 - i);
+  b
+
+(* Result of inserting into a subtree: possibly a split (separator + new
+   right sibling). *)
+type split = No_split | Split of key * node
+
+let rec insert_node node k rowid t =
+  match node with
+  | Leaf leaf ->
+    let i = lower_bound leaf.keys k in
+    if i < Array.length leaf.keys && compare_key leaf.keys.(i) k = 0 then begin
+      leaf.postings.(i) <- rowid :: leaf.postings.(i);
+      t.entries <- t.entries + 1;
+      No_split
+    end
+    else begin
+      leaf.keys <- array_insert leaf.keys i k;
+      leaf.postings <- array_insert leaf.postings i [ rowid ];
+      t.entries <- t.entries + 1;
+      t.distinct <- t.distinct + 1;
+      if Array.length leaf.keys <= order then No_split
+      else begin
+        let mid = Array.length leaf.keys / 2 in
+        let right =
+          {
+            keys = Array.sub leaf.keys mid (Array.length leaf.keys - mid);
+            postings = Array.sub leaf.postings mid (Array.length leaf.postings - mid);
+            next = leaf.next;
+          }
+        in
+        leaf.keys <- Array.sub leaf.keys 0 mid;
+        leaf.postings <- Array.sub leaf.postings 0 mid;
+        leaf.next <- Some right;
+        Split (right.keys.(0), Leaf right)
+      end
+    end
+  | Internal n -> (
+    let ci = child_index n k in
+    match insert_node n.children.(ci) k rowid t with
+    | No_split -> No_split
+    | Split (sep, new_child) ->
+      n.seps <- array_insert n.seps ci sep;
+      n.children <- array_insert n.children (ci + 1) new_child;
+      if Array.length n.children <= order then No_split
+      else begin
+        let mid = Array.length n.seps / 2 in
+        let up = n.seps.(mid) in
+        let right =
+          {
+            seps = Array.sub n.seps (mid + 1) (Array.length n.seps - mid - 1);
+            children = Array.sub n.children (mid + 1) (Array.length n.children - mid - 1);
+          }
+        in
+        n.seps <- Array.sub n.seps 0 mid;
+        n.children <- Array.sub n.children 0 (mid + 1);
+        Split (up, Internal right)
+      end)
+
+let insert t k rowid =
+  match insert_node t.root k rowid t with
+  | No_split -> ()
+  | Split (sep, right) -> t.root <- Internal { seps = [| sep |]; children = [| t.root; right |] }
+
+let rec find_leaf node k =
+  match node with
+  | Leaf leaf -> leaf
+  | Internal n -> find_leaf n.children.(child_index n k) k
+
+let rec leftmost_leaf = function
+  | Leaf leaf -> leaf
+  | Internal n -> leftmost_leaf n.children.(0)
+
+let lookup t k =
+  let leaf = find_leaf t.root k in
+  let i = lower_bound leaf.keys k in
+  if i < Array.length leaf.keys && compare_key leaf.keys.(i) k = 0 then List.rev leaf.postings.(i)
+  else []
+
+let remove t k rowid =
+  let leaf = find_leaf t.root k in
+  let i = lower_bound leaf.keys k in
+  if i < Array.length leaf.keys && compare_key leaf.keys.(i) k = 0 then begin
+    let before = leaf.postings.(i) in
+    let after = List.filter (fun r -> r <> rowid) before in
+    if List.length after < List.length before then begin
+      t.entries <- t.entries - (List.length before - List.length after);
+      if after = [] then begin
+        leaf.keys <- array_remove leaf.keys i;
+        leaf.postings <- array_remove leaf.postings i;
+        t.distinct <- t.distinct - 1
+      end
+      else leaf.postings.(i) <- after
+    end
+  end
+
+type bound = Unbounded | Inclusive of key | Exclusive of key
+
+let below_upper upper k =
+  match upper with
+  | Unbounded -> true
+  | Inclusive u -> compare_key k u <= 0
+  | Exclusive u -> compare_key k u < 0
+
+let above_lower lower k =
+  match lower with
+  | Unbounded -> true
+  | Inclusive l -> compare_key k l >= 0
+  | Exclusive l -> compare_key k l > 0
+
+(* Iterate (key, rowid) pairs with keys in [lower, upper], ascending. *)
+let iter_range t ~lower ~upper f =
+  let start_leaf =
+    match lower with
+    | Unbounded -> leftmost_leaf t.root
+    | Inclusive k | Exclusive k -> find_leaf t.root k
+  in
+  let rec walk (leaf : leaf) =
+    let continue_ = ref true in
+    let n = Array.length leaf.keys in
+    let i = ref 0 in
+    while !continue_ && !i < n do
+      let k = leaf.keys.(!i) in
+      if not (below_upper upper k) then continue_ := false
+      else begin
+        if above_lower lower k then List.iter (fun rowid -> f k rowid) (List.rev leaf.postings.(!i));
+        incr i
+      end
+    done;
+    if !continue_ then match leaf.next with Some nxt -> walk nxt | None -> ()
+  in
+  walk start_leaf
+
+let range t ~lower ~upper =
+  let acc = ref [] in
+  iter_range t ~lower ~upper (fun k rowid -> acc := (k, rowid) :: !acc);
+  List.rev !acc
+
+let iter t f = iter_range t ~lower:Unbounded ~upper:Unbounded f
+
+(* Scan all entries whose key starts with [prefix]. *)
+let iter_prefix t prefix f =
+  let start_leaf = find_leaf t.root prefix in
+  let rec walk (leaf : leaf) =
+    let continue_ = ref true in
+    let n = Array.length leaf.keys in
+    let i = ref 0 in
+    while !continue_ && !i < n do
+      let k = leaf.keys.(!i) in
+      if compare_key k prefix >= 0 && not (key_has_prefix k prefix) then continue_ := false
+      else begin
+        if key_has_prefix k prefix then List.iter (fun rowid -> f k rowid) (List.rev leaf.postings.(!i));
+        incr i
+      end
+    done;
+    if !continue_ then match leaf.next with Some nxt -> walk nxt | None -> ()
+  in
+  walk start_leaf
+
+let rec node_height = function
+  | Leaf _ -> 1
+  | Internal n -> 1 + node_height n.children.(0)
+
+let height t = node_height t.root
+
+(* Structural invariants, used by tests: key order within and across leaves,
+   separator correctness, postings non-empty. *)
+let check_invariants t =
+  let ok = ref true in
+  let prev = ref None in
+  iter t (fun k _ ->
+      (match !prev with
+      | Some p when compare_key p k > 0 -> ok := false
+      | Some _ | None -> ());
+      prev := Some k);
+  let rec check_node lo hi = function
+    | Leaf leaf ->
+      Array.iter
+        (fun k ->
+          (match lo with Some l when compare_key k l < 0 -> ok := false | Some _ | None -> ());
+          match hi with Some h when compare_key k h >= 0 -> ok := false | Some _ | None -> ())
+        leaf.keys;
+      Array.iter (fun p -> if p = [] then ok := false) leaf.postings
+    | Internal n ->
+      if Array.length n.children <> Array.length n.seps + 1 then ok := false;
+      Array.iteri
+        (fun i child ->
+          let lo' = if i = 0 then lo else Some n.seps.(i - 1) in
+          let hi' = if i = Array.length n.seps then hi else Some n.seps.(i) in
+          check_node lo' hi' child)
+        n.children
+  in
+  check_node None None t.root;
+  !ok

@@ -1,0 +1,37 @@
+(** B+-tree secondary index: composite keys (compared lexicographically) to
+    postings lists of row ids. Non-unique. Leaves are chained for range
+    scans; deletion is lazy (no rebalancing). *)
+
+type key = Value.t array
+
+val compare_key : key -> key -> int
+val key_has_prefix : key -> key -> bool
+
+type t
+
+val create : unit -> t
+val insert : t -> key -> int -> unit
+val remove : t -> key -> int -> unit
+(** Remove one (key, rowid) posting if present. *)
+
+val lookup : t -> key -> int list
+(** Row ids for an exact key, in insertion order. *)
+
+type bound = Unbounded | Inclusive of key | Exclusive of key
+
+val iter_range : t -> lower:bound -> upper:bound -> (key -> int -> unit) -> unit
+(** Visit (key, rowid) pairs with the key within the bounds, ascending. *)
+
+val range : t -> lower:bound -> upper:bound -> (key * int) list
+val iter : t -> (key -> int -> unit) -> unit
+val iter_prefix : t -> key -> (key -> int -> unit) -> unit
+(** Visit entries whose key starts with the given prefix (for composite
+    indexes probed on a prefix of their columns). *)
+
+val entry_count : t -> int
+val distinct_keys : t -> int
+val height : t -> int
+
+val check_invariants : t -> bool
+(** Structural invariants (key order, separator bounds, non-empty
+    postings); used by tests. *)

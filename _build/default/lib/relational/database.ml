@@ -1,0 +1,262 @@
+(* Top-level database: catalog of tables plus SQL entry points. *)
+
+type t = { tables : (string, Table.t) Hashtbl.t; col_stats : Stats.t }
+
+exception Db_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Db_error s)) fmt
+
+let create () = { tables = Hashtbl.create 16; col_stats = Stats.create () }
+
+let key name = String.lowercase_ascii name
+
+let find_table t name = Hashtbl.find_opt t.tables (key name)
+
+let get_table t name =
+  match find_table t name with
+  | Some tbl -> tbl
+  | None -> err "no such table: %s" name
+
+let table_names t =
+  Hashtbl.fold (fun _ tbl acc -> Table.name tbl :: acc) t.tables []
+  |> List.sort String.compare
+
+let create_table t schema =
+  let k = key schema.Schema.table_name in
+  if Hashtbl.mem t.tables k then err "table %s already exists" schema.Schema.table_name;
+  let tbl = Table.create schema in
+  Hashtbl.add t.tables k tbl;
+  tbl
+
+let drop_table t name =
+  let k = key name in
+  let existed = Hashtbl.mem t.tables k in
+  Hashtbl.remove t.tables k;
+  existed
+
+let catalog t : Planner.catalog =
+  { Planner.find_table = find_table t; stats = t.col_stats }
+
+(* Per-column statistics, refreshed on demand (see Stats). *)
+let analyze t name = Stats.get t.col_stats (get_table t name)
+
+let analyze_to_string t name =
+  let tbl = get_table t name in
+  Printf.sprintf "%s: %d rows\n%s" name (Table.row_count tbl)
+    (Stats.to_string (analyze t name) (Table.schema tbl))
+
+(* Direct (non-SQL) fast paths used by the shredders for bulk loading. *)
+let insert_row t name values = ignore (Table.insert (get_table t name) (Array.of_list values))
+let insert_row_array t name values = ignore (Table.insert (get_table t name) values)
+
+(* ------------------------------------------------------------------ *)
+(* SQL execution *)
+
+type exec_result =
+  | Rows of Executor.result
+  | Affected of int
+  | Done of string
+
+let const_value e =
+  let f = Expr_eval.compile [||] e in
+  f [||]
+
+let exec_statement t (stmt : Sql_ast.statement) =
+  match stmt with
+  | Sql_ast.Select_stmt q ->
+    let plan = Planner.plan_query (catalog t) q in
+    Rows (Executor.run (catalog t) plan)
+  | Sql_ast.Insert { table; columns; rows } ->
+    let tbl = get_table t table in
+    let schema = Table.schema tbl in
+    let arity = Schema.arity schema in
+    let positions =
+      match columns with
+      | None -> Array.init arity (fun i -> i)
+      | Some cols -> Array.of_list (List.map (Schema.column_index schema) cols)
+    in
+    List.iter
+      (fun row_exprs ->
+        if List.length row_exprs <> Array.length positions then
+          err "INSERT into %s: %d columns but %d values" table (Array.length positions)
+            (List.length row_exprs);
+        let row = Array.make arity Value.Null in
+        List.iteri (fun i e -> row.(positions.(i)) <- const_value e) row_exprs;
+        ignore (Table.insert tbl row))
+      rows;
+    Affected (List.length rows)
+  | Sql_ast.Update { table; sets; where } ->
+    let tbl = get_table t table in
+    let schema = Table.schema tbl in
+    let layout = Expr_eval.layout_of_schema ~alias:(Table.name tbl) schema in
+    let pred =
+      match where with
+      | None -> fun _ -> true
+      | Some w -> Expr_eval.compile_predicate layout w
+    in
+    let setters =
+      List.map (fun (c, e) -> (Schema.column_index schema c, Expr_eval.compile layout e)) sets
+    in
+    let victims = Table.fold (fun acc rowid row -> if pred row then (rowid, row) :: acc else acc) [] tbl in
+    List.iter
+      (fun (rowid, row) ->
+        let row' = Array.copy row in
+        List.iter (fun (ci, f) -> row'.(ci) <- f row) setters;
+        ignore (Table.update tbl rowid row'))
+      victims;
+    Affected (List.length victims)
+  | Sql_ast.Delete { table; where } ->
+    let tbl = get_table t table in
+    let layout = Expr_eval.layout_of_schema ~alias:(Table.name tbl) (Table.schema tbl) in
+    let pred =
+      match where with
+      | None -> fun _ -> true
+      | Some w -> Expr_eval.compile_predicate layout w
+    in
+    let victims = Table.fold (fun acc rowid row -> if pred row then rowid :: acc else acc) [] tbl in
+    List.iter (fun rowid -> ignore (Table.delete tbl rowid)) victims;
+    Affected (List.length victims)
+  | Sql_ast.Create_table { table; defs; if_not_exists } ->
+    if if_not_exists && Option.is_some (find_table t table) then Done "table exists"
+    else begin
+      let columns =
+        List.map
+          (fun d -> Schema.column d.Sql_ast.def_name ~nullable:(not d.Sql_ast.def_not_null) d.Sql_ast.def_ty)
+          defs
+      in
+      ignore (create_table t (Schema.make table columns));
+      Done (Printf.sprintf "created table %s" table)
+    end
+  | Sql_ast.Create_index { index; table; columns; if_not_exists } ->
+    let tbl = get_table t table in
+    if if_not_exists && Option.is_some (Table.find_index tbl index) then Done "index exists"
+    else begin
+      ignore (Table.create_index tbl ~index_name:index ~columns);
+      Done (Printf.sprintf "created index %s" index)
+    end
+  | Sql_ast.Drop_table { table; if_exists } ->
+    if drop_table t table then Done (Printf.sprintf "dropped table %s" table)
+    else if if_exists then Done "no such table"
+    else err "no such table: %s" table
+  | Sql_ast.Drop_index { index; table } ->
+    let tbl = get_table t table in
+    if Table.drop_index tbl index then Done (Printf.sprintf "dropped index %s" index)
+    else err "no such index: %s on %s" index table
+
+let exec t sql = exec_statement t (Sql_parser.parse_statement sql)
+
+let exec_script t sql = List.map (exec_statement t) (Sql_parser.parse_script sql)
+
+(* SELECT or fail; convenience for callers that expect rows back. *)
+let query t sql =
+  match exec t sql with
+  | Rows r -> r
+  | Affected _ | Done _ -> err "not a SELECT statement: %s" sql
+
+let plan_of t sql =
+  match Sql_parser.parse_statement sql with
+  | Sql_ast.Select_stmt q -> Planner.plan_query (catalog t) q
+  | _ -> err "EXPLAIN supports only SELECT statements"
+
+let explain t sql = Plan.to_string (plan_of t sql)
+
+(* ------------------------------------------------------------------ *)
+(* Storage statistics (benchmark experiment T1) *)
+
+type table_stats = {
+  st_table : string;
+  st_rows : int;
+  st_bytes : int;
+  st_indexes : int;
+  st_index_entries : int;
+}
+
+let stats t =
+  List.map
+    (fun name ->
+      let tbl = get_table t name in
+      let ixs = Table.indexes tbl in
+      {
+        st_table = name;
+        st_rows = Table.row_count tbl;
+        st_bytes = Table.byte_size tbl;
+        st_indexes = List.length ixs;
+        st_index_entries =
+          List.fold_left (fun acc ix -> acc + Btree.entry_count ix.Table.tree) 0 ixs;
+      })
+    (table_names t)
+
+let total_rows t = List.fold_left (fun acc s -> acc + s.st_rows) 0 (stats t)
+let total_bytes t = List.fold_left (fun acc s -> acc + s.st_bytes) 0 (stats t)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: a SQL-script dump that [restore] replays. Tables are
+   emitted in name order; inserts preserve live-row order; indexes are
+   rebuilt after the data so restore cost matches a bulk load. *)
+
+let dump t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun name ->
+      let tbl = get_table t name in
+      let schema = Table.schema tbl in
+      Buffer.add_string buf
+        (Printf.sprintf "CREATE TABLE %s (%s);\n" (Table.name tbl)
+           (String.concat ", "
+              (Array.to_list
+                 (Array.map
+                    (fun c ->
+                      Printf.sprintf "%s %s%s" c.Schema.col_name
+                        (Value.ty_to_string c.Schema.col_ty)
+                        (if c.Schema.nullable then "" else " NOT NULL"))
+                    schema.Schema.columns))));
+      Table.iter
+        (fun _ row ->
+          Buffer.add_string buf
+            (Printf.sprintf "INSERT INTO %s VALUES (%s);\n" (Table.name tbl)
+               (String.concat ", " (Array.to_list (Array.map Value.to_sql_literal row)))))
+        tbl;
+      List.iter
+        (fun ix ->
+          let cols =
+            Array.to_list
+              (Array.map (fun ci -> schema.Schema.columns.(ci).Schema.col_name) ix.Table.key_columns)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "CREATE INDEX %s ON %s (%s);\n" ix.Table.index_name (Table.name tbl)
+               (String.concat ", " cols)))
+        (Table.indexes tbl))
+    (table_names t);
+  Buffer.contents buf
+
+let restore script =
+  let db = create () in
+  ignore (exec_script db script);
+  db
+
+let dump_to_file t path =
+  let oc = open_out_bin path in
+  output_string oc (dump t);
+  close_out oc
+
+let restore_from_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  restore s
+
+(* Render a result set as an aligned text table (CLI / examples). *)
+let render_result (r : Executor.result) =
+  let cells = r.Executor.columns :: List.map (fun row -> Array.to_list (Array.map Value.to_string row)) r.Executor.rows in
+  let ncols = List.length r.Executor.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell))
+    cells;
+  let line cells =
+    String.concat " | "
+      (List.mapi (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ') cells)
+  in
+  let sep = String.concat "-+-" (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  String.concat "\n" (line r.Executor.columns :: sep :: List.map line (List.tl cells))

@@ -1,0 +1,80 @@
+(** Top-level database: a catalog of tables plus SQL entry points. *)
+
+type t
+
+exception Db_error of string
+
+val create : unit -> t
+
+(** {1 Catalog} *)
+
+val find_table : t -> string -> Table.t option
+(** Case-insensitive. *)
+
+val get_table : t -> string -> Table.t
+(** @raise Db_error when absent. *)
+
+val table_names : t -> string list
+val create_table : t -> Schema.t -> Table.t
+val drop_table : t -> string -> bool
+val catalog : t -> Planner.catalog
+
+val analyze : t -> string -> Stats.table_stats
+(** Per-column statistics of a table (cached; refreshed when the row count
+    drifts). The planner consults the same cache for its estimates. *)
+
+val analyze_to_string : t -> string -> string
+
+(** {1 Direct row access (bulk-load fast path for the shredders)} *)
+
+val insert_row : t -> string -> Value.t list -> unit
+val insert_row_array : t -> string -> Value.t array -> unit
+
+(** {1 SQL execution} *)
+
+type exec_result =
+  | Rows of Executor.result  (** SELECT *)
+  | Affected of int  (** INSERT / UPDATE / DELETE *)
+  | Done of string  (** DDL *)
+
+val exec : t -> string -> exec_result
+(** Parse and execute one statement. *)
+
+val exec_script : t -> string -> exec_result list
+(** Execute a [;]-separated sequence of statements. *)
+
+val query : t -> string -> Executor.result
+(** Like {!exec} but requires a SELECT. @raise Db_error otherwise. *)
+
+val plan_of : t -> string -> Plan.t
+(** The plan a SELECT would run (inspection / join counting). *)
+
+val explain : t -> string -> string
+(** Rendered plan tree. *)
+
+(** {1 Statistics and rendering} *)
+
+type table_stats = {
+  st_table : string;
+  st_rows : int;
+  st_bytes : int;
+  st_indexes : int;
+  st_index_entries : int;
+}
+
+val stats : t -> table_stats list
+val total_rows : t -> int
+val total_bytes : t -> int
+
+val render_result : Executor.result -> string
+(** Aligned text table (CLI, examples). *)
+
+(** {1 Persistence} *)
+
+val dump : t -> string
+(** A SQL script (CREATE TABLE / INSERT / CREATE INDEX) that {!restore}
+    replays into an identical database. *)
+
+val restore : string -> t
+val dump_to_file : t -> string -> unit
+val restore_from_file : string -> t

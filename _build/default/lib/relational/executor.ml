@@ -1,0 +1,401 @@
+(* Plan interpreter: the classic iterator (open/next/close) model, with
+   cursors represented as closures. Pipelining operators (scan, filter,
+   project, limit) stream; blocking operators (sort, hash-join build,
+   aggregate, distinct-set) materialize their input when opened. *)
+
+exception Exec_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+type cursor = unit -> Value.t array option
+
+let of_list rows : cursor =
+  let remaining = ref rows in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | r :: rest ->
+      remaining := rest;
+      Some r
+
+let to_list (c : cursor) =
+  let rec go acc = match c () with None -> List.rev acc | Some r -> go (r :: acc) in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Layout computation *)
+
+let rec layout_of cat (plan : Plan.t) : Expr_eval.layout =
+  match plan with
+  | Plan.Seq_scan { table; alias }
+  | Plan.Index_scan { table; alias; _ }
+  | Plan.Index_probes { table; alias; _ } ->
+    let t =
+      match cat.Planner.find_table table with
+      | Some t -> t
+      | None -> err "no such table: %s" table
+    in
+    Expr_eval.layout_of_schema ~alias (Table.schema t)
+  | Plan.Filter (_, p) | Plan.Sort (_, p) | Plan.Distinct p | Plan.Limit (_, p) ->
+    layout_of cat p
+  | Plan.Project (cols, _) ->
+    Array.of_list
+      (List.map (fun (_, name) -> { Expr_eval.slot_alias = ""; slot_name = name }) cols)
+  | Plan.Nl_join (l, r) -> Expr_eval.layout_concat (layout_of cat l) (layout_of cat r)
+  | Plan.Hash_join { build; probe; _ } ->
+    Expr_eval.layout_concat (layout_of cat probe) (layout_of cat build)
+  | Plan.Aggregate { group_by; aggregates; _ } ->
+    Array.of_list
+      (List.mapi (fun i _ -> { Expr_eval.slot_alias = ""; slot_name = Printf.sprintf "#g%d" i }) group_by
+      @ List.mapi
+          (fun i _ -> { Expr_eval.slot_alias = ""; slot_name = Printf.sprintf "#a%d" i })
+          aggregates)
+  | Plan.Union_all [] -> err "empty UNION"
+  | Plan.Union_all (p :: _) -> layout_of cat p
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation accumulators *)
+
+type agg_state = {
+  mutable a_rows : int;  (* rows seen, for count star *)
+  mutable a_count : int;  (* non-null args *)
+  mutable a_int_sum : int;
+  mutable a_float_sum : float;
+  mutable a_saw_float : bool;
+  mutable a_min : Value.t;
+  mutable a_max : Value.t;
+  a_seen : (Value.t, unit) Hashtbl.t option;  (* for DISTINCT *)
+}
+
+let new_agg_state (a : Plan.agg) =
+  {
+    a_rows = 0;
+    a_count = 0;
+    a_int_sum = 0;
+    a_float_sum = 0.0;
+    a_saw_float = false;
+    a_min = Value.Null;
+    a_max = Value.Null;
+    a_seen = (if a.agg_distinct then Some (Hashtbl.create 16) else None);
+  }
+
+let agg_feed (a : Plan.agg) st (v : Value.t) =
+  st.a_rows <- st.a_rows + 1;
+  if a.Plan.agg_star then ()
+  else if Value.is_null v then ()
+  else begin
+    let counted =
+      match st.a_seen with
+      | None -> true
+      | Some seen ->
+        if Hashtbl.mem seen v then false
+        else begin
+          Hashtbl.add seen v ();
+          true
+        end
+    in
+    if counted then begin
+      st.a_count <- st.a_count + 1;
+      (match v with
+      | Value.Int i -> st.a_int_sum <- st.a_int_sum + i
+      | Value.Float f ->
+        st.a_saw_float <- true;
+        st.a_float_sum <- st.a_float_sum +. f
+      | Value.Bool _ | Value.Text _ | Value.Null -> ());
+      if Value.is_null st.a_min || Value.compare v st.a_min < 0 then st.a_min <- v;
+      if Value.is_null st.a_max || Value.compare v st.a_max > 0 then st.a_max <- v
+    end
+  end
+
+let agg_result (a : Plan.agg) st =
+  match a.Plan.agg_func with
+  | "count" -> Value.Int (if a.Plan.agg_star then st.a_rows else st.a_count)
+  | "sum" ->
+    if st.a_count = 0 then Value.Null
+    else if st.a_saw_float then Value.Float (st.a_float_sum +. float_of_int st.a_int_sum)
+    else Value.Int st.a_int_sum
+  | "avg" ->
+    if st.a_count = 0 then Value.Null
+    else Value.Float ((st.a_float_sum +. float_of_int st.a_int_sum) /. float_of_int st.a_count)
+  | "min" -> st.a_min
+  | "max" -> st.a_max
+  | f -> err "unknown aggregate %s" f
+
+(* ------------------------------------------------------------------ *)
+(* Operator compilation *)
+
+let const_value e =
+  (* Bounds in index scans are constant expressions. *)
+  let f = Expr_eval.compile [||] e in
+  f [||]
+
+let rec open_plan cat (plan : Plan.t) : cursor =
+  match plan with
+  | Plan.Seq_scan { table; _ } ->
+    let t =
+      match cat.Planner.find_table table with
+      | Some t -> t
+      | None -> err "no such table: %s" table
+    in
+    (* Materialize row ids at open time so the cursor is stable under
+       concurrent mutation of the table. *)
+    let rows = ref [] in
+    Table.iter (fun _ row -> rows := row :: !rows) t;
+    of_list (List.rev !rows)
+  | Plan.Index_scan { table; index_name; lower; upper; _ } ->
+    let t =
+      match cat.Planner.find_table table with
+      | Some t -> t
+      | None -> err "no such table: %s" table
+    in
+    let ix =
+      match Table.find_index t index_name with
+      | Some ix -> ix
+      | None -> err "no such index: %s on %s" index_name table
+    in
+    let lower_v = Option.map (fun (e, incl) -> (const_value e, incl)) lower in
+    let upper_v = Option.map (fun (e, incl) -> (const_value e, incl)) upper in
+    let tree_lower =
+      match lower_v with
+      | Some (v, _) -> Btree.Inclusive [| v |]
+      | None -> Btree.Unbounded
+    in
+    let rowids = ref [] in
+    let exception Stop in
+    (try
+       Btree.iter_range ix.Table.tree ~lower:tree_lower ~upper:Btree.Unbounded (fun key rowid ->
+           let first = key.(0) in
+           (match upper_v with
+           | Some (v, incl) ->
+             let c = Value.compare first v in
+             if (incl && c > 0) || ((not incl) && c >= 0) then raise Stop
+           | None -> ());
+           let passes_lower =
+             match lower_v with
+             | Some (v, incl) ->
+               let c = Value.compare first v in
+               if incl then c >= 0 else c > 0
+             | None -> true
+           in
+           if passes_lower then rowids := rowid :: !rowids)
+     with Stop -> ());
+    let rows = List.filter_map (fun rowid -> Table.get t rowid) (List.rev !rowids) in
+    of_list rows
+  | Plan.Index_probes { table; index_name; keys; _ } ->
+    let t =
+      match cat.Planner.find_table table with
+      | Some t -> t
+      | None -> err "no such table: %s" table
+    in
+    let ix =
+      match Table.find_index t index_name with
+      | Some ix -> ix
+      | None -> err "no such index: %s on %s" index_name table
+    in
+    let rowids =
+      List.concat_map
+        (fun e ->
+          (* prefix probe so composite indexes answer single-column keys *)
+          let acc = ref [] in
+          Btree.iter_prefix ix.Table.tree [| const_value e |] (fun _ r -> acc := r :: !acc);
+          List.rev !acc)
+        keys
+    in
+    (* dedup in case probe keys repeat *)
+    let rowids = List.sort_uniq compare rowids in
+    of_list (List.filter_map (fun rowid -> Table.get t rowid) rowids)
+  | Plan.Filter (e, input) ->
+    let layout = layout_of cat input in
+    let pred = Expr_eval.compile_predicate layout e in
+    let child = open_plan cat input in
+    let rec next () =
+      match child () with
+      | None -> None
+      | Some row -> if pred row then Some row else next ()
+    in
+    next
+  | Plan.Project (cols, input) ->
+    let layout = layout_of cat input in
+    let fs = List.map (fun (e, _) -> Expr_eval.compile layout e) cols in
+    let child = open_plan cat input in
+    fun () ->
+      Option.map (fun row -> Array.of_list (List.map (fun f -> f row) fs)) (child ())
+  | Plan.Nl_join (l, r) ->
+    let left = open_plan cat l in
+    (* Materialize the inner side once. *)
+    let right_rows = to_list (open_plan cat r) in
+    let current_left = ref None in
+    let pending = ref [] in
+    let rec next () =
+      match !pending with
+      | rr :: rest ->
+        pending := rest;
+        let lr = match !current_left with Some lr -> lr | None -> assert false in
+        Some (Array.append lr rr)
+      | [] -> (
+        match left () with
+        | None -> None
+        | Some lr ->
+          current_left := Some lr;
+          pending := right_rows;
+          next ())
+    in
+    next
+  | Plan.Hash_join { build; probe; build_keys; probe_keys } ->
+    let build_layout = layout_of cat build in
+    let probe_layout = layout_of cat probe in
+    let bks = List.map (Expr_eval.compile build_layout) build_keys in
+    let pks = List.map (Expr_eval.compile probe_layout) probe_keys in
+    let table = Hashtbl.create 256 in
+    let build_cursor = open_plan cat build in
+    let rec fill () =
+      match build_cursor () with
+      | None -> ()
+      | Some row ->
+        let key = List.map (fun f -> f row) bks in
+        if not (List.exists Value.is_null key) then Hashtbl.add table key row;
+        fill ()
+    in
+    fill ();
+    let probe_cursor = open_plan cat probe in
+    let current_probe = ref None in
+    let pending = ref [] in
+    let rec next () =
+      match !pending with
+      | br :: rest ->
+        pending := rest;
+        let pr = match !current_probe with Some pr -> pr | None -> assert false in
+        Some (Array.append pr br)
+      | [] -> (
+        match probe_cursor () with
+        | None -> None
+        | Some pr ->
+          let key = List.map (fun f -> f pr) pks in
+          if List.exists Value.is_null key then next ()
+          else begin
+            current_probe := Some pr;
+            (* find_all returns most-recent first; order within a key does
+               not matter for join semantics *)
+            pending := Hashtbl.find_all table key;
+            next ()
+          end)
+    in
+    next
+  | Plan.Aggregate { group_by; aggregates; input } ->
+    let layout = layout_of cat input in
+    let gfs = List.map (Expr_eval.compile layout) group_by in
+    let afs =
+      List.map
+        (fun (a : Plan.agg) ->
+          match a.Plan.agg_arg with
+          | Some e -> (a, Some (Expr_eval.compile layout e))
+          | None -> (a, None))
+        aggregates
+    in
+    let groups : (Value.t list, agg_state list) Hashtbl.t = Hashtbl.create 64 in
+    let group_order = ref [] in
+    let child = open_plan cat input in
+    let rec consume () =
+      match child () with
+      | None -> ()
+      | Some row ->
+        let key = List.map (fun f -> f row) gfs in
+        let states =
+          match Hashtbl.find_opt groups key with
+          | Some s -> s
+          | None ->
+            let s = List.map (fun (a, _) -> new_agg_state a) afs in
+            Hashtbl.add groups key s;
+            group_order := key :: !group_order;
+            s
+        in
+        List.iter2
+          (fun (a, f) st ->
+            let v = match f with Some f -> f row | None -> Value.Null in
+            agg_feed a st v)
+          afs states;
+        consume ()
+    in
+    consume ();
+    let emit key =
+      let states = Hashtbl.find groups key in
+      Array.of_list (key @ List.map2 (fun (a, _) st -> agg_result a st) afs states)
+    in
+    let keys = List.rev !group_order in
+    let rows =
+      if keys = [] && group_by = [] then
+        (* aggregate over an empty input still yields one row *)
+        [ Array.of_list (List.map (fun (a, _) -> agg_result a (new_agg_state a)) afs) ]
+      else List.map emit keys
+    in
+    of_list rows
+  | Plan.Sort (items, input) ->
+    let layout = layout_of cat input in
+    let keys =
+      List.map
+        (fun { Sql_ast.order_expr; descending } -> (Expr_eval.compile layout order_expr, descending))
+        items
+    in
+    let rows = to_list (open_plan cat input) in
+    let cmp a b =
+      let rec go = function
+        | [] -> 0
+        | (f, desc) :: rest ->
+          let c = Value.compare (f a) (f b) in
+          if c <> 0 then if desc then -c else c else go rest
+      in
+      go keys
+    in
+    of_list (List.stable_sort cmp rows)
+  | Plan.Distinct input ->
+    let child = open_plan cat input in
+    let seen = Hashtbl.create 256 in
+    let rec next () =
+      match child () with
+      | None -> None
+      | Some row ->
+        let key = Array.to_list row in
+        if Hashtbl.mem seen key then next ()
+        else begin
+          Hashtbl.add seen key ();
+          Some row
+        end
+    in
+    next
+  | Plan.Limit (n, input) ->
+    let child = open_plan cat input in
+    let remaining = ref n in
+    fun () ->
+      if !remaining <= 0 then None
+      else begin
+        match child () with
+        | None -> None
+        | Some row ->
+          decr remaining;
+          Some row
+      end
+  | Plan.Union_all plans ->
+    let pending = ref plans in
+    let current = ref (fun () -> None) in
+    let rec next () =
+      match !current () with
+      | Some row -> Some row
+      | None -> (
+        match !pending with
+        | [] -> None
+        | p :: rest ->
+          pending := rest;
+          current := open_plan cat p;
+          next ())
+    in
+    next
+
+(* ------------------------------------------------------------------ *)
+
+type result = { columns : string list; rows : Value.t array list }
+
+let run cat plan =
+  let layout = layout_of cat plan in
+  let columns = Array.to_list (Array.map (fun s -> s.Expr_eval.slot_name) layout) in
+  let rows = to_list (open_plan cat plan) in
+  { columns; rows }

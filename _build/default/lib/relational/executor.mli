@@ -1,0 +1,22 @@
+(** Plan interpreter: the iterator (open/next/close) model with cursors as
+    closures. Pipelining operators (scan, filter, project, limit) stream;
+    blocking operators (sort, hash-join build, aggregate) materialize their
+    input when opened. *)
+
+exception Exec_error of string
+
+type cursor = unit -> Value.t array option
+
+val of_list : Value.t array list -> cursor
+val to_list : cursor -> Value.t array list
+
+val layout_of : Planner.catalog -> Plan.t -> Expr_eval.layout
+(** The output row layout of a plan node. *)
+
+val open_plan : Planner.catalog -> Plan.t -> cursor
+(** Compile and open a plan; pull rows with the returned cursor. *)
+
+type result = { columns : string list; rows : Value.t array list }
+
+val run : Planner.catalog -> Plan.t -> result
+(** [open_plan] + drain. *)

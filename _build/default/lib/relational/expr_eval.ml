@@ -1,0 +1,263 @@
+(* Runtime expression evaluation. Expressions are compiled once against a
+   row layout into closures, so per-row evaluation never resolves names.
+
+   Semantics follow SQL: three-valued logic (NULL propagates through
+   comparisons and arithmetic; AND/OR are Kleene), integer division
+   truncates, LIKE supports % and _. *)
+
+open Sql_ast
+
+type slot = { slot_alias : string; slot_name : string }
+
+type layout = slot array
+
+exception Eval_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let layout_concat (a : layout) (b : layout) : layout = Array.append a b
+
+let layout_of_schema ~alias (schema : Schema.t) : layout =
+  Array.map (fun c -> { slot_alias = alias; slot_name = c.Schema.col_name }) schema.Schema.columns
+
+(* Resolve a column reference to a slot position. Unqualified names must be
+   unambiguous across the layout. *)
+let resolve (layout : layout) ~table ~column =
+  let lcol = String.lowercase_ascii column in
+  let matches i s =
+    String.equal (String.lowercase_ascii s.slot_name) lcol
+    && (match table with
+       | None -> true
+       | Some t -> String.equal (String.lowercase_ascii s.slot_alias) (String.lowercase_ascii t))
+    && i >= 0
+  in
+  let found = ref [] in
+  Array.iteri (fun i s -> if matches i s then found := i :: !found) layout;
+  match !found with
+  | [ i ] -> i
+  | [] ->
+    err "unknown column %s%s"
+      (match table with Some t -> t ^ "." | None -> "")
+      column
+  | _ ->
+    err "ambiguous column %s%s"
+      (match table with Some t -> t ^ "." | None -> "")
+      column
+
+(* SQL LIKE: % matches any sequence, _ any single character. *)
+let like_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* memoized recursion over (pi, si) *)
+  let memo = Hashtbl.create 16 in
+  let rec go pi si =
+    match Hashtbl.find_opt memo (pi, si) with
+    | Some r -> r
+    | None ->
+      let r =
+        if pi >= np then si >= ns
+        else
+          match pattern.[pi] with
+          | '%' -> go (pi + 1) si || (si < ns && go pi (si + 1))
+          | '_' -> si < ns && go (pi + 1) (si + 1)
+          | c -> si < ns && s.[si] = c && go (pi + 1) (si + 1)
+      in
+      Hashtbl.add memo (pi, si) r;
+      r
+  in
+  go 0 0
+
+let bool3_and a b =
+  match (a, b) with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Bool true, Value.Bool true -> Value.Bool true
+  | (Value.Bool true | Value.Null), (Value.Bool true | Value.Null) -> Value.Null
+  | _ -> err "AND applied to non-boolean values"
+
+let bool3_or a b =
+  match (a, b) with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Bool false, Value.Bool false -> Value.Bool false
+  | (Value.Bool false | Value.Null), (Value.Bool false | Value.Null) -> Value.Null
+  | _ -> err "OR applied to non-boolean values"
+
+let bool3_not = function
+  | Value.Bool b -> Value.Bool (not b)
+  | Value.Null -> Value.Null
+  | v -> err "NOT applied to %s" (Value.to_string v)
+
+let arith op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y -> (
+    match op with
+    | Add -> Value.Int (x + y)
+    | Sub -> Value.Int (x - y)
+    | Mul -> Value.Int (x * y)
+    | Div -> if y = 0 then err "division by zero" else Value.Int (x / y)
+    | Mod -> if y = 0 then err "modulo by zero" else Value.Int (x mod y)
+    | _ -> assert false)
+  | _ -> (
+    match (Value.as_float a, Value.as_float b) with
+    | Some x, Some y -> (
+      match op with
+      | Add -> Value.Float (x +. y)
+      | Sub -> Value.Float (x -. y)
+      | Mul -> Value.Float (x *. y)
+      | Div -> if y = 0.0 then err "division by zero" else Value.Float (x /. y)
+      | Mod -> err "modulo requires integers"
+      | _ -> assert false)
+    | _ ->
+      err "arithmetic on non-numeric values %s and %s" (Value.to_string a) (Value.to_string b))
+
+let compare_op op a b =
+  match Value.sql_compare a b with
+  | None -> Value.Null
+  | Some c ->
+    Value.Bool
+      (match op with
+      | Eq -> c = 0
+      | Neq -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0
+      | _ -> assert false)
+
+let as_text = function
+  | Value.Null -> None
+  | v -> Some (Value.to_string v)
+
+(* Scalar function library. *)
+let scalar_call func (args : Value.t list) =
+  match (String.lowercase_ascii func, args) with
+  | "length", [ v ] -> (
+    match as_text v with None -> Value.Null | Some s -> Value.Int (String.length s))
+  | "lower", [ v ] -> (
+    match as_text v with None -> Value.Null | Some s -> Value.Text (String.lowercase_ascii s))
+  | "upper", [ v ] -> (
+    match as_text v with None -> Value.Null | Some s -> Value.Text (String.uppercase_ascii s))
+  | "abs", [ Value.Int i ] -> Value.Int (abs i)
+  | "abs", [ Value.Float f ] -> Value.Float (Float.abs f)
+  | "abs", [ Value.Null ] -> Value.Null
+  | "substr", [ v; Value.Int start ] -> (
+    match as_text v with
+    | None -> Value.Null
+    | Some s ->
+      let start = max 1 start in
+      if start > String.length s then Value.Text ""
+      else Value.Text (String.sub s (start - 1) (String.length s - start + 1)))
+  | "substr", [ v; Value.Int start; Value.Int len ] -> (
+    match as_text v with
+    | None -> Value.Null
+    | Some s ->
+      let start = max 1 start in
+      if start > String.length s || len <= 0 then Value.Text ""
+      else Value.Text (String.sub s (start - 1) (min len (String.length s - start + 1))))
+  | "coalesce", args -> (
+    match List.find_opt (fun v -> not (Value.is_null v)) args with
+    | Some v -> v
+    | None -> Value.Null)
+  | "nullif", [ a; b ] -> if Value.equal a b then Value.Null else a
+  | "instr", [ v; w ] -> (
+    match (as_text v, as_text w) with
+    | Some s, Some sub ->
+      let n = String.length s and m = String.length sub in
+      let rec find i =
+        if i + m > n then 0 else if String.sub s i m = sub then i + 1 else find (i + 1)
+      in
+      Value.Int (find 0)
+    | _ -> Value.Null)
+  | "to_number", [ v ] -> (
+    (* XPath-style numeric cast: NULL (not an error) on non-numeric text,
+       so comparisons on it are simply unknown *)
+    match v with
+    | Value.Int _ | Value.Float _ -> v
+    | Value.Null | Value.Bool _ -> Value.Null
+    | Value.Text s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some f -> Value.Float f
+      | None -> (
+        match int_of_string_opt (String.trim s) with
+        | Some i -> Value.Int i
+        | None -> Value.Null)))
+  | "cast_int", [ v ] -> Value.coerce Value.TInt v
+  | "cast_float", [ v ] -> Value.coerce Value.TFloat v
+  | "cast_text", [ v ] -> Value.coerce Value.TText v
+  | f, args -> err "unknown function %s/%d" f (List.length args)
+
+(* Compile an expression against a layout. Aggregate calls must have been
+   rewritten away by the planner before compilation. *)
+let rec compile (layout : layout) (e : expr) : Value.t array -> Value.t =
+  match e with
+  | Lit v -> fun _ -> v
+  | Col { table; column } ->
+    let i = resolve layout ~table ~column in
+    fun row -> row.(i)
+  | Binop (And, a, b) ->
+    let fa = compile layout a and fb = compile layout b in
+    fun row -> bool3_and (fa row) (fb row)
+  | Binop (Or, a, b) ->
+    let fa = compile layout a and fb = compile layout b in
+    fun row -> bool3_or (fa row) (fb row)
+  | Binop (Concat, a, b) ->
+    let fa = compile layout a and fb = compile layout b in
+    fun row -> (
+      match (fa row, fb row) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | x, y -> Value.Text (Value.to_string x ^ Value.to_string y))
+  | Binop (((Add | Sub | Mul | Div | Mod) as op), a, b) ->
+    let fa = compile layout a and fb = compile layout b in
+    fun row -> arith op (fa row) (fb row)
+  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+    let fa = compile layout a and fb = compile layout b in
+    fun row -> compare_op op (fa row) (fb row)
+  | Unop (Neg, a) ->
+    let fa = compile layout a in
+    fun row -> (
+      match fa row with
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | Value.Null -> Value.Null
+      | v -> err "cannot negate %s" (Value.to_string v))
+  | Unop (Not, a) ->
+    let fa = compile layout a in
+    fun row -> bool3_not (fa row)
+  | Is_null { negated; arg } ->
+    let fa = compile layout arg in
+    fun row ->
+      let isnull = Value.is_null (fa row) in
+      Value.Bool (if negated then not isnull else isnull)
+  | Like { negated; arg; pattern } ->
+    let fa = compile layout arg and fp = compile layout pattern in
+    fun row -> (
+      match (fa row, fp row) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | v, p ->
+        let m = like_match ~pattern:(Value.to_string p) (Value.to_string v) in
+        Value.Bool (if negated then not m else m))
+  | In_list { negated; arg; items } ->
+    let fa = compile layout arg in
+    let fitems = List.map (compile layout) items in
+    fun row ->
+      let v = fa row in
+      if Value.is_null v then Value.Null
+      else
+        let hit = List.exists (fun f -> Value.equal (f row) v) fitems in
+        Value.Bool (if negated then not hit else hit)
+  | Between { arg; low; high } ->
+    let fa = compile layout arg and fl = compile layout low and fh = compile layout high in
+    fun row ->
+      bool3_and (compare_op Ge (fa row) (fl row)) (compare_op Le (fa row) (fh row))
+  | Call { func; star; distinct = _; args } ->
+    if star || List.mem (String.lowercase_ascii func) aggregate_functions then
+      err "aggregate %s used outside of an aggregation context" func
+    else
+      let fargs = List.map (compile layout) args in
+      fun row -> scalar_call func (List.map (fun f -> f row) fargs)
+
+(* WHERE-clause truth: NULL and FALSE both reject the row. *)
+let is_true = function Value.Bool true -> true | _ -> false
+
+let compile_predicate layout e =
+  let f = compile layout e in
+  fun row -> is_true (f row)

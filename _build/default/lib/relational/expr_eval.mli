@@ -1,0 +1,36 @@
+(** Runtime expression evaluation.
+
+    Expressions compile once against a row layout into closures, so per-row
+    evaluation never resolves names. Semantics follow SQL: three-valued
+    logic (NULL propagates; AND/OR are Kleene), integer division truncates,
+    LIKE supports [%] and [_]. *)
+
+type slot = { slot_alias : string; slot_name : string }
+
+type layout = slot array
+
+exception Eval_error of string
+
+val layout_concat : layout -> layout -> layout
+val layout_of_schema : alias:string -> Schema.t -> layout
+
+val resolve : layout -> table:string option -> column:string -> int
+(** Slot position of a column reference; unqualified names must be
+    unambiguous. @raise Eval_error otherwise. *)
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE: [%] matches any sequence, [_] any single character. *)
+
+val scalar_call : string -> Value.t list -> Value.t
+(** The scalar function library: [length], [lower], [upper], [abs],
+    [substr], [coalesce], [nullif], [instr], [to_number] (NULL on
+    non-numeric text), [cast_int]/[cast_float]/[cast_text].
+    @raise Eval_error for unknown functions. *)
+
+val compile : layout -> Sql_ast.expr -> Value.t array -> Value.t
+(** Aggregate calls must have been rewritten away by the planner. *)
+
+val is_true : Value.t -> bool
+(** WHERE-clause truth: NULL and FALSE both reject. *)
+
+val compile_predicate : layout -> Sql_ast.expr -> Value.t array -> bool

@@ -1,0 +1,133 @@
+(* Logical/physical query plan. The planner lowers a parsed SELECT into this
+   tree; the executor interprets it with the iterator model. *)
+
+type agg = {
+  agg_func : string;  (* count | sum | avg | min | max, lowercased *)
+  agg_distinct : bool;
+  agg_star : bool;
+  agg_arg : Sql_ast.expr option;
+}
+
+type t =
+  | Seq_scan of { table : string; alias : string }
+  | Index_scan of {
+      table : string;
+      alias : string;
+      index_name : string;
+      (* Bounds are constant expressions over the leading index column,
+         evaluated once when the cursor opens. *)
+      lower : (Sql_ast.expr * bool) option;  (* expr, inclusive *)
+      upper : (Sql_ast.expr * bool) option;
+    }
+  | Index_probes of {
+      table : string;
+      alias : string;
+      index_name : string;
+      (* constant probe keys for the leading index column (IN-list) *)
+      keys : Sql_ast.expr list;
+    }
+  | Filter of Sql_ast.expr * t
+  | Project of (Sql_ast.expr * string) list * t
+  | Nl_join of t * t  (* cross product; equi-joins become Hash_join *)
+  | Hash_join of {
+      build : t;
+      probe : t;
+      build_keys : Sql_ast.expr list;
+      probe_keys : Sql_ast.expr list;
+    }
+  | Aggregate of { group_by : Sql_ast.expr list; aggregates : agg list; input : t }
+  | Sort of Sql_ast.order_item list * t
+  | Distinct of t
+  | Limit of int * t
+  | Union_all of t list
+
+let agg_to_string a =
+  if a.agg_star then Printf.sprintf "%s(*)" a.agg_func
+  else
+    Printf.sprintf "%s(%s%s)" a.agg_func
+      (if a.agg_distinct then "DISTINCT " else "")
+      (match a.agg_arg with Some e -> Sql_ast.expr_to_string e | None -> "")
+
+let rec to_lines indent plan =
+  let pad = String.make (indent * 2) ' ' in
+  let line s = pad ^ s in
+  match plan with
+  | Seq_scan { table; alias } ->
+    [ line (Printf.sprintf "SeqScan %s%s" table (if alias = table then "" else " AS " ^ alias)) ]
+  | Index_scan { table; alias; index_name; lower; upper } ->
+    let bound_str = function
+      | None -> "-inf/+inf"
+      | Some (e, incl) -> Sql_ast.expr_to_string e ^ if incl then " (incl)" else " (excl)"
+    in
+    [
+      line
+        (Printf.sprintf "IndexScan %s%s USING %s [%s .. %s]" table
+           (if alias = table then "" else " AS " ^ alias)
+           index_name
+           (bound_str lower) (bound_str upper));
+    ]
+  | Index_probes { table; alias; index_name; keys } ->
+    [
+      line
+        (Printf.sprintf "IndexProbes %s%s USING %s IN (%s)" table
+           (if alias = table then "" else " AS " ^ alias)
+           index_name
+           (String.concat ", " (List.map Sql_ast.expr_to_string keys)));
+    ]
+  | Filter (e, input) ->
+    line (Printf.sprintf "Filter (%s)" (Sql_ast.expr_to_string e)) :: to_lines (indent + 1) input
+  | Project (cols, input) ->
+    line
+      (Printf.sprintf "Project [%s]"
+         (String.concat ", " (List.map (fun (e, n) -> Sql_ast.expr_to_string e ^ " AS " ^ n) cols)))
+    :: to_lines (indent + 1) input
+  | Nl_join (l, r) ->
+    (line "NestedLoopJoin" :: to_lines (indent + 1) l) @ to_lines (indent + 1) r
+  | Hash_join { build; probe; build_keys; probe_keys } ->
+    (line
+       (Printf.sprintf "HashJoin (%s = %s)"
+          (String.concat ", " (List.map Sql_ast.expr_to_string probe_keys))
+          (String.concat ", " (List.map Sql_ast.expr_to_string build_keys)))
+    :: to_lines (indent + 1) probe)
+    @ to_lines (indent + 1) build
+  | Aggregate { group_by; aggregates; input } ->
+    line
+      (Printf.sprintf "Aggregate [%s]%s"
+         (String.concat ", " (List.map agg_to_string aggregates))
+         (match group_by with
+         | [] -> ""
+         | gs -> " GROUP BY " ^ String.concat ", " (List.map Sql_ast.expr_to_string gs)))
+    :: to_lines (indent + 1) input
+  | Sort (items, input) ->
+    line
+      (Printf.sprintf "Sort [%s]"
+         (String.concat ", "
+            (List.map
+               (fun { Sql_ast.order_expr; descending } ->
+                 Sql_ast.expr_to_string order_expr ^ if descending then " DESC" else "")
+               items)))
+    :: to_lines (indent + 1) input
+  | Distinct input -> line "Distinct" :: to_lines (indent + 1) input
+  | Limit (n, input) -> line (Printf.sprintf "Limit %d" n) :: to_lines (indent + 1) input
+  | Union_all plans ->
+    line "UnionAll" :: List.concat_map (to_lines (indent + 1)) plans
+
+let to_string plan = String.concat "\n" (to_lines 0 plan)
+
+(* Metrics used by the benchmark harness (query complexity per mapping). *)
+let rec count_joins = function
+  | Seq_scan _ | Index_scan _ | Index_probes _ -> 0
+  | Filter (_, p) | Project (_, p) | Sort (_, p) | Distinct p | Limit (_, p) -> count_joins p
+  | Aggregate { input; _ } -> count_joins input
+  | Nl_join (l, r) -> 1 + count_joins l + count_joins r
+  | Hash_join { build; probe; _ } -> 1 + count_joins build + count_joins probe
+  | Union_all ps -> List.fold_left (fun acc p -> acc + count_joins p) 0 ps
+
+let rec count_index_scans = function
+  | Seq_scan _ -> 0
+  | Index_scan _ | Index_probes _ -> 1
+  | Filter (_, p) | Project (_, p) | Sort (_, p) | Distinct p | Limit (_, p) -> count_index_scans p
+  | Aggregate { input; _ } -> count_index_scans input
+  | Nl_join (l, r) -> count_index_scans l + count_index_scans r
+  | Hash_join { build; probe; _ } -> count_index_scans build + count_index_scans probe
+  | Union_all ps -> List.fold_left (fun acc p -> acc + count_index_scans p) 0 ps

@@ -1,0 +1,49 @@
+(** Query plans. The planner lowers a parsed SELECT into this tree; the
+    executor interprets it with the iterator model. *)
+
+type agg = {
+  agg_func : string;  (** count | sum | avg | min | max, lowercased *)
+  agg_distinct : bool;
+  agg_star : bool;
+  agg_arg : Sql_ast.expr option;
+}
+
+type t =
+  | Seq_scan of { table : string; alias : string }
+  | Index_scan of {
+      table : string;
+      alias : string;
+      index_name : string;
+      lower : (Sql_ast.expr * bool) option;
+          (** constant bound over the leading index column; bool = inclusive *)
+      upper : (Sql_ast.expr * bool) option;
+    }
+  | Index_probes of {
+      table : string;
+      alias : string;
+      index_name : string;
+      keys : Sql_ast.expr list;  (** IN-list probe keys *)
+    }
+  | Filter of Sql_ast.expr * t
+  | Project of (Sql_ast.expr * string) list * t
+  | Nl_join of t * t  (** cross product; equi-joins become {!Hash_join} *)
+  | Hash_join of {
+      build : t;
+      probe : t;
+      build_keys : Sql_ast.expr list;
+      probe_keys : Sql_ast.expr list;
+    }
+  | Aggregate of { group_by : Sql_ast.expr list; aggregates : agg list; input : t }
+  | Sort of Sql_ast.order_item list * t
+  | Distinct of t
+  | Limit of int * t
+  | Union_all of t list
+
+val agg_to_string : agg -> string
+val to_string : t -> string
+(** Rendered plan tree (EXPLAIN output). *)
+
+val count_joins : t -> int
+(** Join operators in the plan (benchmark T4's complexity measure). *)
+
+val count_index_scans : t -> int

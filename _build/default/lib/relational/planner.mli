@@ -1,0 +1,20 @@
+(** Query planner: lowers a parsed SELECT into a {!Plan.t}.
+
+    Pipeline: qualify column references → split the WHERE conjunction →
+    choose per-table access paths (B+-tree index for equality / range /
+    IN-list / prefix-LIKE predicates, else sequential scan) → greedy join
+    ordering (hash joins on equi-predicates, nested loops otherwise) →
+    aggregation rewriting → sort / project / distinct / limit. *)
+
+exception Plan_error of string
+
+type catalog = {
+  find_table : string -> Table.t option;
+  stats : Stats.t;  (** per-column statistics cache driving estimates *)
+}
+
+val make_catalog : (string -> Table.t option) -> catalog
+
+val plan_select : catalog -> Sql_ast.select -> Plan.t
+val plan_query : catalog -> Sql_ast.query -> Plan.t
+(** A UNION ALL of selects becomes {!Plan.Union_all}. *)

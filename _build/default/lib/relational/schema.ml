@@ -1,0 +1,61 @@
+(* Table schemas. *)
+
+type column = { col_name : string; col_ty : Value.ty; nullable : bool }
+
+type t = { table_name : string; columns : column array }
+
+exception Schema_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Schema_error s)) fmt
+
+let make table_name columns =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let key = String.lowercase_ascii c.col_name in
+      if Hashtbl.mem seen key then err "duplicate column %s in table %s" c.col_name table_name;
+      Hashtbl.add seen key ())
+    columns;
+  { table_name; columns = Array.of_list columns }
+
+let column name ?(nullable = true) col_ty = { col_name = name; col_ty; nullable }
+
+let arity t = Array.length t.columns
+let column_names t = Array.to_list (Array.map (fun c -> c.col_name) t.columns)
+
+let find_column t name =
+  let lname = String.lowercase_ascii name in
+  let rec go i =
+    if i >= Array.length t.columns then None
+    else if String.equal (String.lowercase_ascii t.columns.(i).col_name) lname then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let column_index t name =
+  match find_column t name with
+  | Some i -> i
+  | None -> err "table %s has no column %s" t.table_name name
+
+(* Validate and coerce a row against the schema. *)
+let coerce_row t row =
+  if Array.length row <> arity t then
+    err "table %s expects %d values, got %d" t.table_name (arity t) (Array.length row);
+  Array.mapi
+    (fun i v ->
+      let c = t.columns.(i) in
+      let v = Value.coerce c.col_ty v in
+      if Value.is_null v && not c.nullable then
+        err "column %s.%s is NOT NULL" t.table_name c.col_name;
+      v)
+    row
+
+let to_string t =
+  Printf.sprintf "%s(%s)" t.table_name
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun c ->
+               Printf.sprintf "%s %s%s" c.col_name (Value.ty_to_string c.col_ty)
+                 (if c.nullable then "" else " NOT NULL"))
+             t.columns)))

@@ -1,0 +1,28 @@
+(** Table schemas: named, typed, optionally non-nullable columns. *)
+
+type column = { col_name : string; col_ty : Value.ty; nullable : bool }
+
+type t = { table_name : string; columns : column array }
+
+exception Schema_error of string
+
+val make : string -> column list -> t
+(** @raise Schema_error on duplicate column names (case-insensitive). *)
+
+val column : string -> ?nullable:bool -> Value.ty -> column
+(** [column name ty] is nullable by default. *)
+
+val arity : t -> int
+val column_names : t -> string list
+
+val find_column : t -> string -> int option
+(** Case-insensitive position lookup. *)
+
+val column_index : t -> string -> int
+(** @raise Schema_error when the column does not exist. *)
+
+val coerce_row : t -> Value.t array -> Value.t array
+(** Validate and coerce a row: arity, column types, NOT NULL.
+    @raise Schema_error / Value.Type_error on violation. *)
+
+val to_string : t -> string

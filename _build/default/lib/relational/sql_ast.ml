@@ -1,0 +1,237 @@
+(* Abstract syntax for the SQL subset.
+
+   Grammar summary:
+     SELECT [DISTINCT] proj, ... FROM t [alias], ... [JOIN t [alias] ON e]*
+       [WHERE e] [GROUP BY e, ...] [HAVING e] [ORDER BY e [ASC|DESC], ...]
+       [LIMIT n]  { UNION ALL <select> }*
+     INSERT INTO t [(cols)] VALUES (v, ...), ...
+     UPDATE t SET c = e, ... [WHERE e]
+     DELETE FROM t [WHERE e]
+     CREATE TABLE [IF NOT EXISTS] t (c TYPE [NOT NULL], ...)
+     CREATE INDEX [IF NOT EXISTS] i ON t (c, ...)
+     DROP TABLE t / DROP INDEX i ON t
+   Expressions: literals, [table.]column, arithmetic, ||, comparisons,
+   LIKE, BETWEEN, IN (list), IS [NOT] NULL, AND/OR/NOT, scalar and
+   aggregate function calls. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Concat
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Lit of Value.t
+  | Col of { table : string option; column : string }
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Is_null of { negated : bool; arg : expr }
+  | Like of { negated : bool; arg : expr; pattern : expr }
+  | In_list of { negated : bool; arg : expr; items : expr list }
+  | Between of { arg : expr; low : expr; high : expr }
+  | Call of { func : string; star : bool; distinct : bool; args : expr list }
+
+type projection =
+  | All  (* SELECT * *)
+  | Table_all of string  (* SELECT t.* *)
+  | Proj of expr * string option  (* expr [AS alias] *)
+
+type table_ref = { table : string; alias : string option }
+
+type order_item = { order_expr : expr; descending : bool }
+
+type select = {
+  distinct : bool;
+  projections : projection list;
+  from : table_ref list;  (* cross product; JOIN..ON folds its condition into where *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : order_item list;
+  limit : int option;
+}
+
+type query = select list
+(* UNION ALL of the member selects; results are concatenated. *)
+
+type column_def = { def_name : string; def_ty : Value.ty; def_not_null : bool }
+
+type statement =
+  | Select_stmt of query
+  | Insert of { table : string; columns : string list option; rows : expr list list }
+  | Update of { table : string; sets : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Create_table of { table : string; defs : column_def list; if_not_exists : bool }
+  | Create_index of { index : string; table : string; columns : string list; if_not_exists : bool }
+  | Drop_table of { table : string; if_exists : bool }
+  | Drop_index of { index : string; table : string }
+
+(* ------------------------------------------------------------------ *)
+(* Printing (also used by EXPLAIN and by tests that round-trip SQL) *)
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Concat -> "||"
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR"
+
+let precedence = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq | Lt | Le | Gt | Ge -> 3
+  | Add | Sub | Concat -> 4
+  | Mul | Div | Mod -> 5
+
+let rec expr_to_string ?(prec = 0) e =
+  let s =
+    match e with
+    | Lit v -> Value.to_sql_literal v
+    | Col { table = None; column } -> column
+    | Col { table = Some t; column } -> t ^ "." ^ column
+    | Binop (op, a, b) ->
+      let p = precedence op in
+      Printf.sprintf "%s %s %s" (expr_to_string ~prec:p a) (binop_to_string op)
+        (expr_to_string ~prec:(p + 1) b)
+    | Unop (Neg, a) -> "-" ^ expr_to_string ~prec:6 a
+    | Unop (Not, a) -> "NOT " ^ expr_to_string ~prec:6 a
+    | Is_null { negated; arg } ->
+      Printf.sprintf "%s IS %sNULL" (expr_to_string ~prec:6 arg) (if negated then "NOT " else "")
+    | Like { negated; arg; pattern } ->
+      Printf.sprintf "%s %sLIKE %s" (expr_to_string ~prec:4 arg)
+        (if negated then "NOT " else "")
+        (expr_to_string ~prec:4 pattern)
+    | In_list { negated; arg; items } ->
+      Printf.sprintf "%s %sIN (%s)" (expr_to_string ~prec:4 arg)
+        (if negated then "NOT " else "")
+        (String.concat ", " (List.map expr_to_string items))
+    | Between { arg; low; high } ->
+      Printf.sprintf "%s BETWEEN %s AND %s" (expr_to_string ~prec:4 arg)
+        (expr_to_string ~prec:4 low) (expr_to_string ~prec:4 high)
+    | Call { func; star = true; _ } -> Printf.sprintf "%s(*)" func
+    | Call { func; distinct; args; _ } ->
+      Printf.sprintf "%s(%s%s)" func
+        (if distinct then "DISTINCT " else "")
+        (String.concat ", " (List.map expr_to_string args))
+  in
+  let needs_parens = match e with Binop (op, _, _) -> precedence op < prec | _ -> false in
+  if needs_parens then "(" ^ s ^ ")" else s
+
+let expr_to_string e = expr_to_string ~prec:0 e
+
+let projection_to_string = function
+  | All -> "*"
+  | Table_all t -> t ^ ".*"
+  | Proj (e, None) -> expr_to_string e
+  | Proj (e, Some a) -> expr_to_string e ^ " AS " ^ a
+
+let select_to_string (s : select) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if s.distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf (String.concat ", " (List.map projection_to_string s.projections));
+  Buffer.add_string buf " FROM ";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun { table; alias } ->
+            match alias with None -> table | Some a -> table ^ " " ^ a)
+          s.from));
+  (match s.where with
+  | Some w ->
+    Buffer.add_string buf " WHERE ";
+    Buffer.add_string buf (expr_to_string w)
+  | None -> ());
+  (match s.group_by with
+  | [] -> ()
+  | gs ->
+    Buffer.add_string buf " GROUP BY ";
+    Buffer.add_string buf (String.concat ", " (List.map expr_to_string gs)));
+  (match s.having with
+  | Some h ->
+    Buffer.add_string buf " HAVING ";
+    Buffer.add_string buf (expr_to_string h)
+  | None -> ());
+  (match s.order_by with
+  | [] -> ()
+  | os ->
+    Buffer.add_string buf " ORDER BY ";
+    Buffer.add_string buf
+      (String.concat ", "
+         (List.map
+            (fun { order_expr; descending } ->
+              expr_to_string order_expr ^ if descending then " DESC" else "")
+            os)));
+  (match s.limit with
+  | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n)
+  | None -> ());
+  Buffer.contents buf
+
+let query_to_string q = String.concat " UNION ALL " (List.map select_to_string q)
+
+let statement_to_string = function
+  | Select_stmt q -> query_to_string q
+  | Insert { table; columns; rows } ->
+    Printf.sprintf "INSERT INTO %s%s VALUES %s" table
+      (match columns with
+      | None -> ""
+      | Some cs -> " (" ^ String.concat ", " cs ^ ")")
+      (String.concat ", "
+         (List.map (fun r -> "(" ^ String.concat ", " (List.map expr_to_string r) ^ ")") rows))
+  | Update { table; sets; where } ->
+    Printf.sprintf "UPDATE %s SET %s%s" table
+      (String.concat ", " (List.map (fun (c, e) -> c ^ " = " ^ expr_to_string e) sets))
+      (match where with None -> "" | Some w -> " WHERE " ^ expr_to_string w)
+  | Delete { table; where } ->
+    Printf.sprintf "DELETE FROM %s%s" table
+      (match where with None -> "" | Some w -> " WHERE " ^ expr_to_string w)
+  | Create_table { table; defs; if_not_exists } ->
+    Printf.sprintf "CREATE TABLE %s%s (%s)"
+      (if if_not_exists then "IF NOT EXISTS " else "")
+      table
+      (String.concat ", "
+         (List.map
+            (fun d ->
+              Printf.sprintf "%s %s%s" d.def_name (Value.ty_to_string d.def_ty)
+                (if d.def_not_null then " NOT NULL" else ""))
+            defs))
+  | Create_index { index; table; columns; if_not_exists } ->
+    Printf.sprintf "CREATE INDEX %s%s ON %s (%s)"
+      (if if_not_exists then "IF NOT EXISTS " else "")
+      index table (String.concat ", " columns)
+  | Drop_table { table; if_exists } ->
+    Printf.sprintf "DROP TABLE %s%s" (if if_exists then "IF EXISTS " else "") table
+  | Drop_index { index; table } -> Printf.sprintf "DROP INDEX %s ON %s" index table
+
+(* Structural helpers used by the planner *)
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Lit _ | Col _ -> acc
+  | Binop (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Unop (_, a) -> fold_expr f acc a
+  | Is_null { arg; _ } -> fold_expr f acc arg
+  | Like { arg; pattern; _ } -> fold_expr f (fold_expr f acc arg) pattern
+  | In_list { arg; items; _ } -> List.fold_left (fold_expr f) (fold_expr f acc arg) items
+  | Between { arg; low; high } -> fold_expr f (fold_expr f (fold_expr f acc arg) low) high
+  | Call { args; _ } -> List.fold_left (fold_expr f) acc args
+
+let aggregate_functions = [ "count"; "sum"; "avg"; "min"; "max" ]
+
+let is_aggregate_call = function
+  | Call { func; _ } -> List.mem (String.lowercase_ascii func) aggregate_functions
+  | _ -> false
+
+let contains_aggregate e =
+  fold_expr (fun acc sub -> acc || is_aggregate_call sub) false e
+
+(* Tables (or aliases) an expression refers to. *)
+let referenced_tables e =
+  fold_expr
+    (fun acc sub ->
+      match sub with
+      | Col { table = Some t; _ } -> if List.mem t acc then acc else t :: acc
+      | _ -> acc)
+    [] e

@@ -1,0 +1,90 @@
+(** Abstract syntax for the SQL subset.
+
+    Grammar summary:
+    {v
+    SELECT [DISTINCT] proj, ... FROM t [alias], ... [JOIN t [alias] ON e]*
+      [WHERE e] [GROUP BY e, ...] [HAVING e] [ORDER BY e [ASC|DESC], ...]
+      [LIMIT n]  { UNION ALL <select> }*
+    INSERT INTO t [(cols)] VALUES (v, ...), ...
+    UPDATE t SET c = e, ... [WHERE e]
+    DELETE FROM t [WHERE e]
+    CREATE TABLE [IF NOT EXISTS] t (c TYPE [NOT NULL], ...)
+    CREATE INDEX [IF NOT EXISTS] i ON t (c, ...)
+    DROP TABLE t / DROP INDEX i ON t
+    v} *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Concat
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Lit of Value.t
+  | Col of { table : string option; column : string }
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Is_null of { negated : bool; arg : expr }
+  | Like of { negated : bool; arg : expr; pattern : expr }
+  | In_list of { negated : bool; arg : expr; items : expr list }
+  | Between of { arg : expr; low : expr; high : expr }
+  | Call of { func : string; star : bool; distinct : bool; args : expr list }
+
+type projection =
+  | All  (** [SELECT *] *)
+  | Table_all of string  (** [SELECT t.*] *)
+  | Proj of expr * string option  (** [expr [AS alias]] *)
+
+type table_ref = { table : string; alias : string option }
+
+type order_item = { order_expr : expr; descending : bool }
+
+type select = {
+  distinct : bool;
+  projections : projection list;
+  from : table_ref list;  (** cross product; [JOIN..ON] folds into [where] *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : order_item list;
+  limit : int option;
+}
+
+type query = select list
+(** UNION ALL of the member selects. *)
+
+type column_def = { def_name : string; def_ty : Value.ty; def_not_null : bool }
+
+type statement =
+  | Select_stmt of query
+  | Insert of { table : string; columns : string list option; rows : expr list list }
+  | Update of { table : string; sets : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Create_table of { table : string; defs : column_def list; if_not_exists : bool }
+  | Create_index of { index : string; table : string; columns : string list; if_not_exists : bool }
+  | Drop_table of { table : string; if_exists : bool }
+  | Drop_index of { index : string; table : string }
+
+(** {1 Printing} — stable enough that [parse (print x) = x] round-trips. *)
+
+val binop_to_string : binop -> string
+val precedence : binop -> int
+val expr_to_string : expr -> string
+val projection_to_string : projection -> string
+val select_to_string : select -> string
+val query_to_string : query -> string
+val statement_to_string : statement -> string
+
+(** {1 Structural helpers used by the planner} *)
+
+val fold_expr : ('a -> expr -> 'a) -> 'a -> expr -> 'a
+(** Pre-order fold over an expression and all subexpressions. *)
+
+val aggregate_functions : string list
+val is_aggregate_call : expr -> bool
+val contains_aggregate : expr -> bool
+
+val referenced_tables : expr -> string list
+(** Table qualifiers appearing in column references. *)

@@ -1,0 +1,134 @@
+(* SQL tokenizer. Keywords are case-insensitive; identifiers keep their
+   case and may be double-quoted to escape reserved words. *)
+
+type token =
+  | Ident of string
+  | Keyword of string  (* uppercased *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Symbol of string  (* punctuation and operators *)
+  | Eof
+
+exception Lex_error of string
+
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER";
+    "ASC"; "DESC"; "LIMIT"; "AS"; "AND"; "OR"; "NOT"; "NULL"; "TRUE"; "FALSE";
+    "LIKE"; "IN"; "BETWEEN"; "IS"; "INSERT"; "INTO"; "VALUES"; "UPDATE"; "SET";
+    "DELETE"; "CREATE"; "TABLE"; "INDEX"; "DROP"; "ON"; "JOIN"; "INNER"; "LEFT";
+    "OUTER"; "UNION"; "ALL"; "IF"; "EXISTS"; "PRIMARY"; "KEY"; "UNIQUE";
+  ]
+
+let is_keyword s = List.mem (String.uppercase_ascii s) keywords
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let peek () = if !pos < n then src.[!pos] else '\000' in
+  let peek2 () = if !pos + 1 < n then src.[!pos + 1] else '\000' in
+  let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !pos < n do
+    let c = peek () in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '-' && peek2 () = '-' then begin
+      (* line comment *)
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      if is_keyword word then push (Keyword (String.uppercase_ascii word)) else push (Ident word)
+    end
+    else if c = '"' then begin
+      (* quoted identifier *)
+      incr pos;
+      let start = !pos in
+      while !pos < n && src.[!pos] <> '"' do
+        incr pos
+      done;
+      if !pos >= n then raise (Lex_error "unterminated quoted identifier");
+      push (Ident (String.sub src start (!pos - start)));
+      incr pos
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then raise (Lex_error "unterminated string literal")
+        else if src.[!pos] = '\'' then
+          if !pos + 1 < n && src.[!pos + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2;
+            go ()
+          end
+          else incr pos
+        else begin
+          Buffer.add_char buf src.[!pos];
+          incr pos;
+          go ()
+        end
+      in
+      go ();
+      push (String_lit (Buffer.contents buf))
+    end
+    else if is_digit c || (c = '.' && is_digit (peek2 ())) then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      let is_float = ref false in
+      if !pos < n && src.[!pos] = '.' then begin
+        is_float := true;
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done
+      end;
+      if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+        is_float := true;
+        incr pos;
+        if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done
+      end;
+      let text = String.sub src start (!pos - start) in
+      if !is_float then push (Float_lit (float_of_string text))
+      else push (Int_lit (int_of_string text))
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      match two with
+      | "<>" | "!=" | "<=" | ">=" | "||" ->
+        push (Symbol (if two = "!=" then "<>" else two));
+        pos := !pos + 2
+      | _ -> (
+        match c with
+        | '=' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '(' | ')' | ',' | '.' | ';' ->
+          push (Symbol (String.make 1 c));
+          incr pos
+        | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c)))
+    end
+  done;
+  push Eof;
+  List.rev !tokens
+
+let token_to_string = function
+  | Ident s -> s
+  | Keyword s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Symbol s -> s
+  | Eof -> "<eof>"

@@ -1,0 +1,21 @@
+(** SQL tokenizer. Keywords are case-insensitive; identifiers keep their
+    case and may be double-quoted to escape reserved words; [--] starts a
+    line comment. *)
+
+type token =
+  | Ident of string
+  | Keyword of string  (** uppercased *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Symbol of string
+  | Eof
+
+exception Lex_error of string
+
+val is_keyword : string -> bool
+val tokenize : string -> token list
+(** Ends with [Eof]. @raise Lex_error on unterminated literals or stray
+    characters. *)
+
+val token_to_string : token -> string

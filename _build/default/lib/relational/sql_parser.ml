@@ -1,0 +1,483 @@
+(* Recursive-descent parser for the SQL subset described in [Sql_ast]. *)
+
+open Sql_ast
+
+exception Parse_error of string
+
+let perr fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { tokens : Sql_lexer.token array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let accept_keyword st kw =
+  match peek st with
+  | Sql_lexer.Keyword k when String.equal k kw ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_keyword st kw =
+  if not (accept_keyword st kw) then
+    perr "expected %s, found %s" kw (Sql_lexer.token_to_string (peek st))
+
+let accept_symbol st sym =
+  match peek st with
+  | Sql_lexer.Symbol s when String.equal s sym ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_symbol st sym =
+  if not (accept_symbol st sym) then
+    perr "expected %S, found %s" sym (Sql_lexer.token_to_string (peek st))
+
+let expect_ident st =
+  match next st with
+  | Sql_lexer.Ident s -> s
+  | t -> perr "expected an identifier, found %s" (Sql_lexer.token_to_string t)
+
+(* expression parsing, precedence climbing:
+   or < and < not < comparison/LIKE/IN/BETWEEN/IS < add < mul < unary < atom *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if accept_keyword st "OR" then Binop (Or, left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if accept_keyword st "AND" then Binop (And, left, parse_and st) else left
+
+and parse_not st =
+  if accept_keyword st "NOT" then Unop (Not, parse_not st) else parse_comparison st
+
+and parse_comparison st =
+  let left = parse_additive st in
+  match peek st with
+  | Sql_lexer.Symbol ("=" | "<>" | "<" | "<=" | ">" | ">=") ->
+    let op =
+      match next st with
+      | Sql_lexer.Symbol "=" -> Eq
+      | Sql_lexer.Symbol "<>" -> Neq
+      | Sql_lexer.Symbol "<" -> Lt
+      | Sql_lexer.Symbol "<=" -> Le
+      | Sql_lexer.Symbol ">" -> Gt
+      | Sql_lexer.Symbol ">=" -> Ge
+      | _ -> assert false
+    in
+    Binop (op, left, parse_additive st)
+  | Sql_lexer.Keyword "IS" ->
+    advance st;
+    let negated = accept_keyword st "NOT" in
+    expect_keyword st "NULL";
+    Is_null { negated; arg = left }
+  | Sql_lexer.Keyword "LIKE" ->
+    advance st;
+    Like { negated = false; arg = left; pattern = parse_additive st }
+  | Sql_lexer.Keyword "IN" ->
+    advance st;
+    expect_symbol st "(";
+    let items = parse_expr_list st in
+    expect_symbol st ")";
+    In_list { negated = false; arg = left; items }
+  | Sql_lexer.Keyword "BETWEEN" ->
+    advance st;
+    let low = parse_additive st in
+    expect_keyword st "AND";
+    let high = parse_additive st in
+    Between { arg = left; low; high }
+  | Sql_lexer.Keyword "NOT" -> (
+    (* x NOT LIKE / NOT IN *)
+    advance st;
+    match peek st with
+    | Sql_lexer.Keyword "LIKE" ->
+      advance st;
+      Like { negated = true; arg = left; pattern = parse_additive st }
+    | Sql_lexer.Keyword "IN" ->
+      advance st;
+      expect_symbol st "(";
+      let items = parse_expr_list st in
+      expect_symbol st ")";
+      In_list { negated = true; arg = left; items }
+    | t -> perr "expected LIKE or IN after NOT, found %s" (Sql_lexer.token_to_string t))
+  | _ -> left
+
+and parse_additive st =
+  let left = ref (parse_multiplicative st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Sql_lexer.Symbol "+" ->
+      advance st;
+      left := Binop (Add, !left, parse_multiplicative st)
+    | Sql_lexer.Symbol "-" ->
+      advance st;
+      left := Binop (Sub, !left, parse_multiplicative st)
+    | Sql_lexer.Symbol "||" ->
+      advance st;
+      left := Binop (Concat, !left, parse_multiplicative st)
+    | _ -> continue_ := false
+  done;
+  !left
+
+and parse_multiplicative st =
+  let left = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Sql_lexer.Symbol "*" ->
+      advance st;
+      left := Binop (Mul, !left, parse_unary st)
+    | Sql_lexer.Symbol "/" ->
+      advance st;
+      left := Binop (Div, !left, parse_unary st)
+    | Sql_lexer.Symbol "%" ->
+      advance st;
+      left := Binop (Mod, !left, parse_unary st)
+    | _ -> continue_ := false
+  done;
+  !left
+
+and parse_unary st =
+  if accept_symbol st "-" then Unop (Neg, parse_unary st) else parse_atom st
+
+and parse_atom st =
+  match next st with
+  | Sql_lexer.Int_lit i -> Lit (Value.Int i)
+  | Sql_lexer.Float_lit f -> Lit (Value.Float f)
+  | Sql_lexer.String_lit s -> Lit (Value.Text s)
+  | Sql_lexer.Keyword "NULL" -> Lit Value.Null
+  | Sql_lexer.Keyword "TRUE" -> Lit (Value.Bool true)
+  | Sql_lexer.Keyword "FALSE" -> Lit (Value.Bool false)
+  | Sql_lexer.Symbol "(" ->
+    let e = parse_expr st in
+    expect_symbol st ")";
+    e
+  | Sql_lexer.Ident name -> (
+    match peek st with
+    | Sql_lexer.Symbol "(" ->
+      (* function call *)
+      advance st;
+      if accept_symbol st "*" then begin
+        expect_symbol st ")";
+        Call { func = name; star = true; distinct = false; args = [] }
+      end
+      else begin
+        let distinct = accept_keyword st "DISTINCT" in
+        if accept_symbol st ")" then Call { func = name; star = false; distinct; args = [] }
+        else begin
+          let args = parse_expr_list st in
+          expect_symbol st ")";
+          Call { func = name; star = false; distinct; args }
+        end
+      end
+    | Sql_lexer.Symbol "." ->
+      advance st;
+      let column = expect_ident st in
+      Col { table = Some name; column }
+    | _ -> Col { table = None; column = name })
+  | t -> perr "unexpected token %s in expression" (Sql_lexer.token_to_string t)
+
+and parse_expr_list st =
+  let first = parse_expr st in
+  let rec go acc = if accept_symbol st "," then go (parse_expr st :: acc) else List.rev acc in
+  go [ first ]
+
+(* SELECT *)
+
+let parse_projection st =
+  if accept_symbol st "*" then All
+  else begin
+    (* t.* needs lookahead: Ident '.' '*' *)
+    match (peek st, st.tokens.(min (st.pos + 1) (Array.length st.tokens - 1)),
+           st.tokens.(min (st.pos + 2) (Array.length st.tokens - 1))) with
+    | Sql_lexer.Ident t, Sql_lexer.Symbol ".", Sql_lexer.Symbol "*" ->
+      st.pos <- st.pos + 3;
+      Table_all t
+    | _ ->
+      let e = parse_expr st in
+      let alias =
+        if accept_keyword st "AS" then Some (expect_ident st)
+        else
+          match peek st with
+          | Sql_lexer.Ident a ->
+            advance st;
+            Some a
+          | _ -> None
+      in
+      Proj (e, alias)
+  end
+
+let parse_table_ref st =
+  let table = expect_ident st in
+  let alias =
+    if accept_keyword st "AS" then Some (expect_ident st)
+    else
+      match peek st with
+      | Sql_lexer.Ident a ->
+        advance st;
+        Some a
+      | _ -> None
+  in
+  { table; alias }
+
+let parse_select st : select =
+  expect_keyword st "SELECT";
+  let distinct = accept_keyword st "DISTINCT" in
+  let projections =
+    let first = parse_projection st in
+    let rec go acc =
+      if accept_symbol st "," then go (parse_projection st :: acc) else List.rev acc
+    in
+    go [ first ]
+  in
+  expect_keyword st "FROM";
+  let from = ref [ parse_table_ref st ] in
+  let join_conds = ref [] in
+  let rec more_tables () =
+    if accept_symbol st "," then begin
+      from := !from @ [ parse_table_ref st ];
+      more_tables ()
+    end
+    else if
+      accept_keyword st "JOIN"
+      || (accept_keyword st "INNER" && (expect_keyword st "JOIN"; true))
+    then begin
+      let tr = parse_table_ref st in
+      from := !from @ [ tr ];
+      expect_keyword st "ON";
+      join_conds := parse_expr st :: !join_conds;
+      more_tables ()
+    end
+  in
+  more_tables ();
+  let where =
+    if accept_keyword st "WHERE" then Some (parse_expr st) else None
+  in
+  let where =
+    (* fold JOIN..ON conditions into WHERE *)
+    List.fold_left
+      (fun acc cond -> match acc with None -> Some cond | Some w -> Some (Binop (And, w, cond)))
+      where (List.rev !join_conds)
+  in
+  let group_by =
+    if accept_keyword st "GROUP" then begin
+      expect_keyword st "BY";
+      parse_expr_list st
+    end
+    else []
+  in
+  let having = if accept_keyword st "HAVING" then Some (parse_expr st) else None in
+  let order_by =
+    if accept_keyword st "ORDER" then begin
+      expect_keyword st "BY";
+      let item () =
+        let e = parse_expr st in
+        let descending =
+          if accept_keyword st "DESC" then true
+          else begin
+            ignore (accept_keyword st "ASC");
+            false
+          end
+        in
+        { order_expr = e; descending }
+      in
+      let first = item () in
+      let rec go acc = if accept_symbol st "," then go (item () :: acc) else List.rev acc in
+      go [ first ]
+    end
+    else []
+  in
+  let limit =
+    if accept_keyword st "LIMIT" then
+      match next st with
+      | Sql_lexer.Int_lit n -> Some n
+      | t -> perr "expected an integer after LIMIT, found %s" (Sql_lexer.token_to_string t)
+    else None
+  in
+  { distinct; projections; from = !from; where; group_by; having; order_by; limit }
+
+let parse_query st : query =
+  let first = parse_select st in
+  let rec go acc =
+    if accept_keyword st "UNION" then begin
+      expect_keyword st "ALL";
+      go (parse_select st :: acc)
+    end
+    else List.rev acc
+  in
+  go [ first ]
+
+(* other statements *)
+
+let parse_column_def st =
+  let def_name = expect_ident st in
+  let ty_name =
+    match next st with
+    | Sql_lexer.Ident s -> s
+    | Sql_lexer.Keyword s -> s
+    | t -> perr "expected a type name, found %s" (Sql_lexer.token_to_string t)
+  in
+  let def_ty =
+    match Value.ty_of_string ty_name with
+    | Some ty -> ty
+    | None -> perr "unknown column type %s" ty_name
+  in
+  (* optional (n) length, accepted and ignored *)
+  if accept_symbol st "(" then begin
+    (match next st with Sql_lexer.Int_lit _ -> () | t -> perr "expected a length, found %s" (Sql_lexer.token_to_string t));
+    expect_symbol st ")"
+  end;
+  let def_not_null =
+    if accept_keyword st "NOT" then begin
+      expect_keyword st "NULL";
+      true
+    end
+    else false
+  in
+  (* PRIMARY KEY accepted as a no-op marker *)
+  if accept_keyword st "PRIMARY" then expect_keyword st "KEY";
+  { def_name; def_ty; def_not_null }
+
+let parse_ident_list st =
+  let first = expect_ident st in
+  let rec go acc = if accept_symbol st "," then go (expect_ident st :: acc) else List.rev acc in
+  go [ first ]
+
+let parse_statement_inner st =
+  match peek st with
+  | Sql_lexer.Keyword "SELECT" -> Select_stmt (parse_query st)
+  | Sql_lexer.Keyword "INSERT" ->
+    advance st;
+    expect_keyword st "INTO";
+    let table = expect_ident st in
+    let columns =
+      if accept_symbol st "(" then begin
+        let cs = parse_ident_list st in
+        expect_symbol st ")";
+        Some cs
+      end
+      else None
+    in
+    expect_keyword st "VALUES";
+    let row () =
+      expect_symbol st "(";
+      let vs = parse_expr_list st in
+      expect_symbol st ")";
+      vs
+    in
+    let first = row () in
+    let rec go acc = if accept_symbol st "," then go (row () :: acc) else List.rev acc in
+    Insert { table; columns; rows = go [ first ] }
+  | Sql_lexer.Keyword "UPDATE" ->
+    advance st;
+    let table = expect_ident st in
+    expect_keyword st "SET";
+    let set () =
+      let c = expect_ident st in
+      expect_symbol st "=";
+      (c, parse_expr st)
+    in
+    let first = set () in
+    let rec go acc = if accept_symbol st "," then go (set () :: acc) else List.rev acc in
+    let sets = go [ first ] in
+    let where = if accept_keyword st "WHERE" then Some (parse_expr st) else None in
+    Update { table; sets; where }
+  | Sql_lexer.Keyword "DELETE" ->
+    advance st;
+    expect_keyword st "FROM";
+    let table = expect_ident st in
+    let where = if accept_keyword st "WHERE" then Some (parse_expr st) else None in
+    Delete { table; where }
+  | Sql_lexer.Keyword "CREATE" -> (
+    advance st;
+    match next st with
+    | Sql_lexer.Keyword "TABLE" ->
+      let if_not_exists =
+        if accept_keyword st "IF" then begin
+          expect_keyword st "NOT";
+          expect_keyword st "EXISTS";
+          true
+        end
+        else false
+      in
+      let table = expect_ident st in
+      expect_symbol st "(";
+      let first = parse_column_def st in
+      let rec go acc =
+        if accept_symbol st "," then go (parse_column_def st :: acc) else List.rev acc
+      in
+      let defs = go [ first ] in
+      expect_symbol st ")";
+      Create_table { table; defs; if_not_exists }
+    | Sql_lexer.Keyword ("INDEX" | "UNIQUE") ->
+      (* UNIQUE INDEX accepted; uniqueness is not enforced *)
+      (match st.tokens.(st.pos - 1) with
+      | Sql_lexer.Keyword "UNIQUE" -> expect_keyword st "INDEX"
+      | _ -> ());
+      let if_not_exists =
+        if accept_keyword st "IF" then begin
+          expect_keyword st "NOT";
+          expect_keyword st "EXISTS";
+          true
+        end
+        else false
+      in
+      let index = expect_ident st in
+      expect_keyword st "ON";
+      let table = expect_ident st in
+      expect_symbol st "(";
+      let columns = parse_ident_list st in
+      expect_symbol st ")";
+      Create_index { index; table; columns; if_not_exists }
+    | t -> perr "expected TABLE or INDEX after CREATE, found %s" (Sql_lexer.token_to_string t))
+  | Sql_lexer.Keyword "DROP" -> (
+    advance st;
+    match next st with
+    | Sql_lexer.Keyword "TABLE" ->
+      let if_exists =
+        if accept_keyword st "IF" then begin
+          expect_keyword st "EXISTS";
+          true
+        end
+        else false
+      in
+      Drop_table { table = expect_ident st; if_exists }
+    | Sql_lexer.Keyword "INDEX" ->
+      let index = expect_ident st in
+      expect_keyword st "ON";
+      let table = expect_ident st in
+      Drop_index { index; table }
+    | t -> perr "expected TABLE or INDEX after DROP, found %s" (Sql_lexer.token_to_string t))
+  | t -> perr "unexpected start of statement: %s" (Sql_lexer.token_to_string t)
+
+let parse_statement src =
+  let tokens = Array.of_list (Sql_lexer.tokenize src) in
+  let st = { tokens; pos = 0 } in
+  let stmt = parse_statement_inner st in
+  ignore (accept_symbol st ";");
+  (match peek st with
+  | Sql_lexer.Eof -> ()
+  | t -> perr "trailing input after statement: %s" (Sql_lexer.token_to_string t));
+  stmt
+
+let parse_script src =
+  let tokens = Array.of_list (Sql_lexer.tokenize src) in
+  let st = { tokens; pos = 0 } in
+  let rec go acc =
+    match peek st with
+    | Sql_lexer.Eof -> List.rev acc
+    | _ ->
+      let stmt = parse_statement_inner st in
+      ignore (accept_symbol st ";");
+      go (stmt :: acc)
+  in
+  go []

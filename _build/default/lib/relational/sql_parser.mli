@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the SQL subset (grammar in {!Sql_ast}). *)
+
+exception Parse_error of string
+
+val parse_statement : string -> Sql_ast.statement
+(** One statement with an optional trailing [;].
+    @raise Parse_error on syntax errors or trailing input. *)
+
+val parse_script : string -> Sql_ast.statement list
+(** A [;]-separated sequence. *)

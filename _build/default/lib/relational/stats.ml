@@ -1,0 +1,86 @@
+(* Per-column statistics (ANALYZE): distinct counts, null fractions, and
+   min/max, collected in one table scan. The planner's cardinality
+   estimates use them when present, replacing the fixed "equality keeps
+   1/20th of the rows" guess with rows/distinct. *)
+
+type column_stats = {
+  cs_distinct : int;
+  cs_nulls : int;
+  cs_min : Value.t;  (* Null when the column is all-NULL or empty *)
+  cs_max : Value.t;
+}
+
+type table_stats = {
+  ts_rows : int;
+  ts_columns : column_stats array;  (* by column position *)
+}
+
+(* Statistics registry keyed by table name; tables are analyzed on demand
+   and the entry is dropped when its row count drifts. *)
+type t = { tbl : (string, table_stats) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 8 }
+
+let analyze_table (table : Table.t) : table_stats =
+  let arity = Schema.arity (Table.schema table) in
+  let seen = Array.init arity (fun _ -> Hashtbl.create 64) in
+  let nulls = Array.make arity 0 in
+  let mins = Array.make arity Value.Null in
+  let maxs = Array.make arity Value.Null in
+  let rows = ref 0 in
+  Table.iter
+    (fun _ row ->
+      incr rows;
+      Array.iteri
+        (fun i v ->
+          if Value.is_null v then nulls.(i) <- nulls.(i) + 1
+          else begin
+            Hashtbl.replace seen.(i) v ();
+            if Value.is_null mins.(i) || Value.compare v mins.(i) < 0 then mins.(i) <- v;
+            if Value.is_null maxs.(i) || Value.compare v maxs.(i) > 0 then maxs.(i) <- v
+          end)
+        row)
+    table;
+  {
+    ts_rows = !rows;
+    ts_columns =
+      Array.init arity (fun i ->
+          {
+            cs_distinct = Hashtbl.length seen.(i);
+            cs_nulls = nulls.(i);
+            cs_min = mins.(i);
+            cs_max = maxs.(i);
+          });
+  }
+
+(* Fetch (and lazily refresh) statistics for a table. Refreshes when the
+   live row count moved more than 20% since the last ANALYZE. *)
+let get t (table : Table.t) : table_stats =
+  let name = Table.name table in
+  let current_rows = Table.row_count table in
+  let fresh st =
+    let drift = abs (st.ts_rows - current_rows) in
+    drift * 5 <= max 1 st.ts_rows
+  in
+  match Hashtbl.find_opt t.tbl name with
+  | Some st when fresh st -> st
+  | _ ->
+    let st = analyze_table table in
+    Hashtbl.replace t.tbl name st;
+    st
+
+(* Selectivity of an equality predicate on one column: 1/distinct. *)
+let eq_selectivity st ~column =
+  if column < 0 || column >= Array.length st.ts_columns then 0.05
+  else
+    let cs = st.ts_columns.(column) in
+    if cs.cs_distinct <= 0 then 0.05 else 1.0 /. float_of_int cs.cs_distinct
+
+let to_string (st : table_stats) schema =
+  String.concat "\n"
+    (List.mapi
+       (fun i (c : Schema.column) ->
+         let cs = st.ts_columns.(i) in
+         Printf.sprintf "  %-16s distinct=%d nulls=%d min=%s max=%s" c.Schema.col_name
+           cs.cs_distinct cs.cs_nulls (Value.to_string cs.cs_min) (Value.to_string cs.cs_max))
+       (Array.to_list schema.Schema.columns))

@@ -1,0 +1,29 @@
+(** Per-column statistics (ANALYZE) consumed by the planner's cardinality
+    estimates. *)
+
+type column_stats = {
+  cs_distinct : int;
+  cs_nulls : int;
+  cs_min : Value.t;  (** [Null] when the column is all-NULL or empty *)
+  cs_max : Value.t;
+}
+
+type table_stats = { ts_rows : int; ts_columns : column_stats array }
+
+type t
+(** Statistics cache keyed by table name. *)
+
+val create : unit -> t
+
+val analyze_table : Table.t -> table_stats
+(** One full scan. *)
+
+val get : t -> Table.t -> table_stats
+(** Cached; re-analyzed when the live row count drifted more than 20%
+    since the last scan. *)
+
+val eq_selectivity : table_stats -> column:int -> float
+(** Estimated fraction of rows kept by an equality predicate on the
+    column: [1 / distinct]. *)
+
+val to_string : table_stats -> Schema.t -> string

@@ -1,0 +1,135 @@
+(* Heap table: rows in a growable array addressed by row id, with tombstone
+   deletion and attached B+-tree secondary indexes kept in sync by every
+   mutation. *)
+
+type index = {
+  index_name : string;
+  key_columns : int array;  (* column positions forming the key *)
+  tree : Btree.t;
+}
+
+type t = {
+  schema : Schema.t;
+  rows : Value.t array Vec.t;
+  mutable deleted : Bytes.t;  (* tombstone bitmap, 1 byte per row *)
+  mutable live : int;
+  mutable indexes : index list;
+  mutable bytes : int;  (* approximate payload bytes, for storage-cost reporting *)
+}
+
+let create schema =
+  {
+    schema;
+    rows = Vec.create ~dummy:[||];
+    deleted = Bytes.create 0;
+    live = 0;
+    indexes = [];
+    bytes = 0;
+  }
+
+let schema t = t.schema
+let name t = t.schema.Schema.table_name
+let row_count t = t.live
+let allocated_rows t = Vec.length t.rows
+
+let value_bytes = function
+  | Value.Null -> 1
+  | Value.Int _ -> 8
+  | Value.Float _ -> 8
+  | Value.Bool _ -> 1
+  | Value.Text s -> String.length s + 4
+
+let row_bytes row = Array.fold_left (fun acc v -> acc + value_bytes v) 0 row
+
+let byte_size t = t.bytes
+
+let is_deleted t rowid = Bytes.get t.deleted rowid = '\001'
+
+let get t rowid =
+  if rowid < 0 || rowid >= Vec.length t.rows || is_deleted t rowid then None
+  else Some (Vec.get t.rows rowid)
+
+let key_of_row index row = Array.map (fun ci -> row.(ci)) index.key_columns
+
+let insert t row =
+  let row = Schema.coerce_row t.schema row in
+  let rowid = Vec.push t.rows row in
+  if Bytes.length t.deleted <= rowid then begin
+    let grown = Bytes.make (max 64 (2 * (rowid + 1))) '\000' in
+    Bytes.blit t.deleted 0 grown 0 (Bytes.length t.deleted);
+    t.deleted <- grown
+  end;
+  t.live <- t.live + 1;
+  t.bytes <- t.bytes + row_bytes row;
+  List.iter (fun ix -> Btree.insert ix.tree (key_of_row ix row) rowid) t.indexes;
+  rowid
+
+let delete t rowid =
+  match get t rowid with
+  | None -> false
+  | Some row ->
+    Bytes.set t.deleted rowid '\001';
+    t.live <- t.live - 1;
+    t.bytes <- t.bytes - row_bytes row;
+    List.iter (fun ix -> Btree.remove ix.tree (key_of_row ix row) rowid) t.indexes;
+    true
+
+let update t rowid new_row =
+  match get t rowid with
+  | None -> false
+  | Some old_row ->
+    let new_row = Schema.coerce_row t.schema new_row in
+    List.iter
+      (fun ix ->
+        let old_key = key_of_row ix old_row and new_key = key_of_row ix new_row in
+        if Btree.compare_key old_key new_key <> 0 then begin
+          Btree.remove ix.tree old_key rowid;
+          Btree.insert ix.tree new_key rowid
+        end)
+      t.indexes;
+    t.bytes <- t.bytes - row_bytes old_row + row_bytes new_row;
+    Vec.set t.rows rowid new_row;
+    true
+
+let iter f t =
+  Vec.iteri (fun rowid row -> if not (is_deleted t rowid) then f rowid row) t.rows
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun rowid row -> acc := f !acc rowid row) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc _ row -> row :: acc) [] t)
+
+exception Index_error of string
+
+let create_index t ~index_name ~columns =
+  if List.exists (fun ix -> String.equal ix.index_name index_name) t.indexes then
+    raise (Index_error (Printf.sprintf "index %s already exists" index_name));
+  let key_columns = Array.of_list (List.map (Schema.column_index t.schema) columns) in
+  let tree = Btree.create () in
+  iter (fun rowid row -> Btree.insert tree (Array.map (fun ci -> row.(ci)) key_columns) rowid) t;
+  let ix = { index_name; key_columns; tree } in
+  t.indexes <- t.indexes @ [ ix ];
+  ix
+
+let drop_index t index_name =
+  let before = List.length t.indexes in
+  t.indexes <- List.filter (fun ix -> not (String.equal ix.index_name index_name)) t.indexes;
+  List.length t.indexes < before
+
+let indexes t = t.indexes
+
+let find_index t index_name =
+  List.find_opt (fun ix -> String.equal ix.index_name index_name) t.indexes
+
+(* An index whose key starts with exactly the given column positions, for
+   planner probe selection. *)
+let index_with_prefix t cols =
+  let matches ix =
+    Array.length ix.key_columns >= Array.length cols
+    &&
+    let rec go i = i >= Array.length cols || (ix.key_columns.(i) = cols.(i) && go (i + 1)) in
+    go 0
+  in
+  List.find_opt matches t.indexes

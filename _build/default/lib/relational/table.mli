@@ -1,0 +1,50 @@
+(** Heap tables: rows addressed by row id, tombstone deletion, and attached
+    B+-tree secondary indexes kept in sync by every mutation. *)
+
+type index = {
+  index_name : string;
+  key_columns : int array;  (** column positions forming the key *)
+  tree : Btree.t;
+}
+
+type t
+
+exception Index_error of string
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val name : t -> string
+
+val row_count : t -> int
+(** Live rows (excludes tombstones). *)
+
+val allocated_rows : t -> int
+val byte_size : t -> int
+(** Approximate payload bytes of live rows (storage-cost reporting). *)
+
+val get : t -> int -> Value.t array option
+(** [None] for out-of-range or deleted row ids. *)
+
+val insert : t -> Value.t array -> int
+(** Validate, coerce, store; returns the new row id. Updates indexes. *)
+
+val delete : t -> int -> bool
+(** Tombstone a row; [false] if it was already gone. Updates indexes. *)
+
+val update : t -> int -> Value.t array -> bool
+(** Replace a row in place. Updates indexes whose key changed. *)
+
+val iter : (int -> Value.t array -> unit) -> t -> unit
+val fold : ('a -> int -> Value.t array -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Value.t array list
+
+val create_index : t -> index_name:string -> columns:string list -> index
+(** Build a B+-tree over existing rows. @raise Index_error on duplicates. *)
+
+val drop_index : t -> string -> bool
+val indexes : t -> index list
+val find_index : t -> string -> index option
+
+val index_with_prefix : t -> int array -> index option
+(** An index whose key starts with exactly the given column positions
+    (planner probe selection). *)

@@ -1,0 +1,108 @@
+(* SQL values. The engine is dynamically typed at the row level but
+   statically typed at the schema level; [coerce] enforces column types on
+   insert. *)
+
+type ty = TInt | TFloat | TBool | TText
+
+type t = Null | Int of int | Float of float | Bool of bool | Text of string
+
+let ty_to_string = function
+  | TInt -> "INTEGER"
+  | TFloat -> "REAL"
+  | TBool -> "BOOLEAN"
+  | TText -> "TEXT"
+
+let ty_of_string s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" | "BIGINT" | "SMALLINT" -> Some TInt
+  | "REAL" | "FLOAT" | "DOUBLE" -> Some TFloat
+  | "BOOL" | "BOOLEAN" -> Some TBool
+  | "TEXT" | "VARCHAR" | "CHAR" | "STRING" | "CLOB" -> Some TText
+  | _ -> None
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Bool _ -> Some TBool
+  | Text _ -> Some TText
+
+let is_null = function Null -> true | Int _ | Float _ | Bool _ | Text _ -> false
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f ->
+    (* Keep integral floats readable but unambiguous. *)
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.12g" f
+  | Bool b -> if b then "TRUE" else "FALSE"
+  | Text s -> s
+
+let to_sql_literal = function
+  | Text s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+  | v -> to_string v
+
+(* Total order used by ORDER BY, B+-trees, and grouping: NULL sorts first,
+   then bools, ints/floats mixed numerically, then text. *)
+let compare a b =
+  let rank = function Null -> 0 | Bool _ -> 1 | Int _ | Float _ -> 2 | Text _ -> 3 in
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Text x, Text y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+(* SQL comparison semantics: any comparison with NULL is unknown. *)
+let sql_compare a b = if is_null a || is_null b then None else Some (compare a b)
+
+(* Coerce a value into a column type; used on INSERT. *)
+let coerce ty v =
+  match (ty, v) with
+  | _, Null -> Null
+  | TInt, Int _ | TFloat, Float _ | TBool, Bool _ | TText, Text _ -> v
+  | TFloat, Int i -> Float (float_of_int i)
+  | TInt, Float f when Float.is_integer f -> Int (int_of_float f)
+  | TText, Int i -> Text (string_of_int i)
+  | TText, Float f -> Text (to_string (Float f))
+  | TText, Bool b -> Text (to_string (Bool b))
+  | TInt, Text s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some i -> Int i
+    | None -> type_error "cannot store %S in an INTEGER column" s)
+  | TFloat, Text s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some f -> Float f
+    | None -> type_error "cannot store %S in a REAL column" s)
+  | TBool, Text s -> (
+    match String.uppercase_ascii (String.trim s) with
+    | "TRUE" | "T" | "1" -> Bool true
+    | "FALSE" | "F" | "0" -> Bool false
+    | _ -> type_error "cannot store %S in a BOOLEAN column" s)
+  | (TBool | TInt | TFloat), (Int _ | Float _ | Bool _) ->
+    type_error "cannot store %s in a %s column" (to_string v) (ty_to_string ty)
+
+(* Numeric view used by arithmetic and numeric aggregates. *)
+let as_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Bool _ | Text _ | Null -> None
+
+let hash = Hashtbl.hash

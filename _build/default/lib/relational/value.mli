@@ -1,0 +1,44 @@
+(** SQL values and column types.
+
+    The engine is dynamically typed at the row level but statically typed
+    at the schema level; {!coerce} enforces column types on insert. *)
+
+type ty = TInt | TFloat | TBool | TText
+
+type t = Null | Int of int | Float of float | Bool of bool | Text of string
+
+exception Type_error of string
+
+val ty_to_string : ty -> string
+val ty_of_string : string -> ty option
+(** Accepts the usual SQL spellings ([INT]/[INTEGER]/[BIGINT], [VARCHAR],
+    ...); [None] for unknown names. *)
+
+val type_of : t -> ty option
+(** [None] for [Null]. *)
+
+val is_null : t -> bool
+
+val to_string : t -> string
+(** Display form ([NULL], [TRUE], integral floats as [2.0], ...). *)
+
+val to_sql_literal : t -> string
+(** Render as a SQL literal (strings quoted with [''] doubling). *)
+
+val compare : t -> t -> int
+(** Total order used by ORDER BY, B+-trees and grouping: NULL first, then
+    booleans, numbers (ints and floats compared numerically), text. *)
+
+val equal : t -> t -> bool
+
+val sql_compare : t -> t -> int option
+(** SQL comparison semantics: [None] (unknown) if either side is NULL. *)
+
+val coerce : ty -> t -> t
+(** Coerce a value into a column type (NULL passes through); used on
+    INSERT. @raise Type_error when the value cannot be represented. *)
+
+val as_float : t -> float option
+(** Numeric view used by arithmetic and numeric aggregates. *)
+
+val hash : t -> int

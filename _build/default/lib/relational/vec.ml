@@ -1,0 +1,47 @@
+(* Growable array. OCaml 5.1's stdlib predates [Dynarray]; this is the small
+   subset the engine needs, specialised to never shrink. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ~dummy = { data = Array.make 16 dummy; len = 0; dummy }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set";
+  t.data.(i) <- v
+
+let ensure_capacity t n =
+  if n > Array.length t.data then begin
+    let cap = ref (Array.length t.data) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let data = Array.make !cap t.dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t v =
+  ensure_capacity t (t.len + 1);
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t = List.rev (fold_left (fun acc v -> v :: acc) [] t)

@@ -1,0 +1,14 @@
+(** Growable array (OCaml 5.1 predates [Dynarray]); never shrinks. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> int
+(** Returns the index of the new element. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_list : 'a t -> 'a list

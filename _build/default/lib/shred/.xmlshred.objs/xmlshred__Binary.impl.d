@@ -1,0 +1,1 @@
+lib/shred/binary.ml: Array Edge Hashtbl List Mapping Option Pathquery Printf Relstore String Xmlkit Xpathkit

@@ -1,0 +1,1 @@
+lib/shred/dewey.ml: Array Hashtbl List Mapping Option Pathquery Printf Relstore String Xmlkit Xpathkit

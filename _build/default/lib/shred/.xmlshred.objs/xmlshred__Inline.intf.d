@@ -1,0 +1,1 @@
+lib/shred/inline.mli: Mapping Xmlkit

@@ -1,0 +1,1 @@
+lib/shred/mapping.ml: Array Buffer Char Lazy List Printf Relstore String Xmlkit Xpathkit

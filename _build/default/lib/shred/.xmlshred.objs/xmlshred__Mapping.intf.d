@@ -1,0 +1,1 @@
+lib/shred/mapping.mli: Lazy Relstore Xmlkit Xpathkit

@@ -1,0 +1,1 @@
+lib/shred/pathquery.ml: Buffer Float Fun List Option Printf String Xpathkit

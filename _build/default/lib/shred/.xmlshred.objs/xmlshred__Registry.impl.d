@@ -1,0 +1,1 @@
+lib/shred/registry.ml: Binary Dewey Edge Interval List Mapping String Textblob Tokens Universal

@@ -1,0 +1,1 @@
+lib/shred/registry.mli: Mapping

@@ -1,0 +1,1 @@
+lib/shred/textblob.ml: Mapping Printf Relstore Xmlkit

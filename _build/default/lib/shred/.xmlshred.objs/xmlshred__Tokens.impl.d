@@ -1,0 +1,1 @@
+lib/shred/tokens.ml: Array List Mapping Printf Relstore Xmlkit

@@ -1,0 +1,1 @@
+lib/shred/universal.ml: Array Edge Hashtbl List Mapping Option Pathquery Printf Relstore String Xmlkit Xpathkit

@@ -1,0 +1,1 @@
+lib/shred/updates.ml: Array Dewey Edge Interval List Mapping Pathquery Printf Relstore String Xmlkit Xpathkit

@@ -1,0 +1,1 @@
+lib/shred/updates.mli: Relstore Xmlkit Xpathkit

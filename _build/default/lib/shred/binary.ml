@@ -1,0 +1,672 @@
+(* The Binary mapping: the Edge table horizontally partitioned by label —
+   one table per element tag, one per attribute name, one for character
+   data. A registry table maps labels to their (sanitized, uniquified)
+   table names.
+
+     bt_<tag>  (doc, source, ordinal, target)          element edges
+     ba_<name> (doc, source, ordinal, target, value)   attribute edges
+     b_cdata   (doc, source, ordinal, target, value)   text nodes
+     b_misc    (doc, source, ordinal, kind, name, target, value)
+     b_labels  (kind, label, tbl)                      registry
+
+   Named child chains join small per-tag tables (the Binary win); wildcard
+   and '//' steps must consult every element table (the Binary pain), which
+   this implementation does stepwise, one query per table per frontier. *)
+
+module Dom = Xmlkit.Dom
+module Index = Xmlkit.Index
+module Db = Relstore.Database
+module Value = Relstore.Value
+open Mapping
+
+let id = "binary"
+let description = "one table per element/attribute label (partitioned edge)"
+
+let create_schema db =
+  ignore
+    (Db.exec db
+       "CREATE TABLE IF NOT EXISTS b_labels (kind TEXT NOT NULL, label TEXT NOT NULL, tbl \
+        TEXT NOT NULL)");
+  ignore
+    (Db.exec db
+       "CREATE TABLE IF NOT EXISTS b_cdata (doc INTEGER NOT NULL, source INTEGER NOT NULL, \
+        ordinal INTEGER NOT NULL, target INTEGER NOT NULL, value TEXT)");
+  ignore
+    (Db.exec db
+       "CREATE TABLE IF NOT EXISTS b_misc (doc INTEGER NOT NULL, source INTEGER NOT NULL, \
+        ordinal INTEGER NOT NULL, kind TEXT NOT NULL, name TEXT, target INTEGER NOT NULL, \
+        value TEXT)")
+
+(* Registry access. [kind] is "e" or "a". *)
+let label_table db ~kind label =
+  let r =
+    Db.query db
+      (Printf.sprintf "SELECT tbl FROM b_labels WHERE kind = %s AND label = %s"
+         (Pathquery.quote kind) (Pathquery.quote label))
+  in
+  match string_column r with [ t ] -> Some t | [] -> None | _ -> err "duplicate label %s" label
+
+let all_label_tables db ~kind =
+  let r =
+    Db.query db
+      (Printf.sprintf "SELECT label, tbl FROM b_labels WHERE kind = %s ORDER BY label"
+         (Pathquery.quote kind))
+  in
+  List.map
+    (fun row -> (Value.to_string row.(0), Value.to_string row.(1)))
+    r.Relstore.Executor.rows
+
+let ensure_label_table db ~kind label =
+  match label_table db ~kind label with
+  | Some t -> t
+  | None ->
+    (* uniquify sanitized names: hat and h_t would collide *)
+    let base = Printf.sprintf "b%s_%s" kind (sanitize label) in
+    let existing = List.map snd (all_label_tables db ~kind:"e") @ List.map snd (all_label_tables db ~kind:"a") in
+    let rec unique candidate n =
+      if List.mem candidate existing then unique (Printf.sprintf "%s_%d" base n) (n + 1)
+      else candidate
+    in
+    let tbl = unique base 1 in
+    (match kind with
+    | "e" ->
+      ignore
+        (Db.exec db
+           (Printf.sprintf
+              "CREATE TABLE %s (doc INTEGER NOT NULL, source INTEGER NOT NULL, ordinal \
+               INTEGER NOT NULL, target INTEGER NOT NULL)"
+              tbl))
+    | "a" ->
+      ignore
+        (Db.exec db
+           (Printf.sprintf
+              "CREATE TABLE %s (doc INTEGER NOT NULL, source INTEGER NOT NULL, ordinal \
+               INTEGER NOT NULL, target INTEGER NOT NULL, value TEXT)"
+              tbl))
+    | k -> err "bad label kind %s" k);
+    ignore
+      (Db.exec db
+         (Printf.sprintf "INSERT INTO b_labels VALUES (%s, %s, %s)" (Pathquery.quote kind)
+            (Pathquery.quote label) (Pathquery.quote tbl)));
+    tbl
+
+let create_indexes db =
+  ignore (Db.exec db "CREATE INDEX IF NOT EXISTS b_cdata_source ON b_cdata (source)");
+  ignore (Db.exec db "CREATE INDEX IF NOT EXISTS b_misc_source ON b_misc (source)");
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (_, tbl) ->
+          ignore
+            (Db.exec db
+               (Printf.sprintf "CREATE INDEX IF NOT EXISTS %s_source ON %s (source)" tbl tbl));
+          ignore
+            (Db.exec db
+               (Printf.sprintf "CREATE INDEX IF NOT EXISTS %s_target ON %s (target)" tbl tbl)))
+        (all_label_tables db ~kind))
+    [ "e"; "a" ]
+
+let shred db ~doc ix =
+  for n = 1 to Index.count ix - 1 do
+    let source = Index.parent ix n in
+    let ordinal = Index.ordinal ix n in
+    match Index.kind ix n with
+    | Index.Element ->
+      let tbl = ensure_label_table db ~kind:"e" (Index.name ix n) in
+      Db.insert_row_array db tbl
+        [| Value.Int doc; Value.Int source; Value.Int ordinal; Value.Int n |]
+    | Index.Attribute ->
+      let tbl = ensure_label_table db ~kind:"a" (Index.name ix n) in
+      Db.insert_row_array db tbl
+        [| Value.Int doc; Value.Int source; Value.Int ordinal; Value.Int n; Value.Text (Index.value ix n) |]
+    | Index.Text ->
+      Db.insert_row_array db "b_cdata"
+        [| Value.Int doc; Value.Int source; Value.Int ordinal; Value.Int n; Value.Text (Index.value ix n) |]
+    | Index.Comment ->
+      Db.insert_row_array db "b_misc"
+        [|
+          Value.Int doc; Value.Int source; Value.Int ordinal; Value.Text "c"; Value.Null;
+          Value.Int n; Value.Text (Index.value ix n);
+        |]
+    | Index.Pi ->
+      Db.insert_row_array db "b_misc"
+        [|
+          Value.Int doc; Value.Int source; Value.Int ordinal; Value.Text "p";
+          Value.Text (Index.name ix n); Value.Int n; Value.Text (Index.value ix n);
+        |]
+    | Index.Document -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Reconstruction: merge all partitions back into edge rows. *)
+
+type row = {
+  r_source : int;
+  r_ordinal : int;
+  r_kind : string;
+  r_name : string;
+  r_target : int;
+  r_value : string;
+}
+
+let fetch_all db ~doc =
+  let rows = ref [] in
+  List.iter
+    (fun (label, tbl) ->
+      let r =
+        Db.query db
+          (Printf.sprintf "SELECT source, ordinal, target FROM %s WHERE doc = %d" tbl doc)
+      in
+      List.iter
+        (fun a ->
+          rows :=
+            {
+              r_source = (match a.(0) with Value.Int i -> i | _ -> err "bad source");
+              r_ordinal = (match a.(1) with Value.Int i -> i | _ -> err "bad ordinal");
+              r_kind = "e";
+              r_name = label;
+              r_target = (match a.(2) with Value.Int i -> i | _ -> err "bad target");
+              r_value = "";
+            }
+            :: !rows)
+        r.Relstore.Executor.rows)
+    (all_label_tables db ~kind:"e");
+  List.iter
+    (fun (label, tbl) ->
+      let r =
+        Db.query db
+          (Printf.sprintf "SELECT source, ordinal, target, value FROM %s WHERE doc = %d" tbl doc)
+      in
+      List.iter
+        (fun a ->
+          rows :=
+            {
+              r_source = (match a.(0) with Value.Int i -> i | _ -> err "bad source");
+              r_ordinal = (match a.(1) with Value.Int i -> i | _ -> err "bad ordinal");
+              r_kind = "a";
+              r_name = label;
+              r_target = (match a.(2) with Value.Int i -> i | _ -> err "bad target");
+              r_value = Value.to_string a.(3);
+            }
+            :: !rows)
+        r.Relstore.Executor.rows)
+    (all_label_tables db ~kind:"a");
+  let r =
+    Db.query db
+      (Printf.sprintf "SELECT source, ordinal, target, value FROM b_cdata WHERE doc = %d" doc)
+  in
+  List.iter
+    (fun a ->
+      rows :=
+        {
+          r_source = (match a.(0) with Value.Int i -> i | _ -> err "bad source");
+          r_ordinal = (match a.(1) with Value.Int i -> i | _ -> err "bad ordinal");
+          r_kind = "t";
+          r_name = "";
+          r_target = (match a.(2) with Value.Int i -> i | _ -> err "bad target");
+          r_value = Value.to_string a.(3);
+        }
+        :: !rows)
+    r.Relstore.Executor.rows;
+  let r =
+    Db.query db
+      (Printf.sprintf
+         "SELECT source, ordinal, kind, name, target, value FROM b_misc WHERE doc = %d" doc)
+  in
+  List.iter
+    (fun a ->
+      rows :=
+        {
+          r_source = (match a.(0) with Value.Int i -> i | _ -> err "bad source");
+          r_ordinal = (match a.(1) with Value.Int i -> i | _ -> err "bad ordinal");
+          r_kind = Value.to_string a.(2);
+          r_name = (match a.(3) with Value.Null -> "" | v -> Value.to_string v);
+          r_target = (match a.(4) with Value.Int i -> i | _ -> err "bad target");
+          r_value = Value.to_string a.(5);
+        }
+        :: !rows)
+    r.Relstore.Executor.rows;
+  !rows
+
+let build_tree by_source (r : row) =
+  let rec build (r : row) : Dom.node =
+    match r.r_kind with
+    | "e" ->
+      let children = Option.value ~default:[] (Hashtbl.find_opt by_source r.r_target) in
+      let children = List.sort (fun a b -> compare a.r_ordinal b.r_ordinal) children in
+      let attrs, content = List.partition (fun c -> c.r_kind = "a") children in
+      Dom.Element
+        {
+          Dom.tag = r.r_name;
+          attrs = List.map (fun a -> Dom.attr a.r_name a.r_value) attrs;
+          children = List.map build content;
+        }
+    | "t" -> Dom.Text r.r_value
+    | "c" -> Dom.Comment r.r_value
+    | "p" -> Dom.Pi { target = r.r_name; data = r.r_value }
+    | "a" -> Dom.Text r.r_value
+    | k -> err "unknown kind %s" k
+  in
+  build r
+
+let reconstruct db ~doc =
+  let rows = fetch_all db ~doc in
+  let by_source = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace by_source r.r_source
+        (r :: Option.value ~default:[] (Hashtbl.find_opt by_source r.r_source)))
+    rows;
+  match Option.value ~default:[] (Hashtbl.find_opt by_source 0) with
+  | [ root ] -> (
+    match build_tree by_source root with
+    | Dom.Element e -> Dom.document e
+    | _ -> err "root is not an element")
+  | [] -> err "document %d is not stored" doc
+  | _ -> err "document %d has multiple roots" doc
+
+(* Subtree of one node, via repeated per-source fetches. *)
+let rec node_of_target db ~doc ~kind ~name ~value target : Dom.node =
+  match kind with
+  | "t" | "a" -> if kind = "t" then Dom.Text value else Dom.Text value
+  | "c" -> Dom.Comment value
+  | "p" -> Dom.Pi { target = name; data = value }
+  | "e" ->
+    let attrs = ref [] and content = ref [] in
+    List.iter
+      (fun (label, tbl) ->
+        let r =
+          Db.query db
+            (Printf.sprintf "SELECT target, ordinal FROM %s WHERE doc = %d AND source = %d" tbl
+               doc target)
+        in
+        List.iter
+          (fun a ->
+            let t = match a.(0) with Value.Int i -> i | _ -> err "bad target" in
+            let o = match a.(1) with Value.Int i -> i | _ -> err "bad ordinal" in
+            content := (o, node_of_target db ~doc ~kind:"e" ~name:label ~value:"" t) :: !content)
+          r.Relstore.Executor.rows)
+      (all_label_tables db ~kind:"e");
+    List.iter
+      (fun (label, tbl) ->
+        let r =
+          Db.query db
+            (Printf.sprintf "SELECT ordinal, value FROM %s WHERE doc = %d AND source = %d" tbl
+               doc target)
+        in
+        List.iter
+          (fun a ->
+            let o = match a.(0) with Value.Int i -> i | _ -> err "bad ordinal" in
+            attrs := (o, Dom.attr label (Value.to_string a.(1))) :: !attrs)
+          r.Relstore.Executor.rows)
+      (all_label_tables db ~kind:"a");
+    let r =
+      Db.query db
+        (Printf.sprintf "SELECT ordinal, value FROM b_cdata WHERE doc = %d AND source = %d" doc
+           target)
+    in
+    List.iter
+      (fun a ->
+        let o = match a.(0) with Value.Int i -> i | _ -> err "bad ordinal" in
+        content := (o, Dom.Text (Value.to_string a.(1))) :: !content)
+      r.Relstore.Executor.rows;
+    let r =
+      Db.query db
+        (Printf.sprintf
+           "SELECT ordinal, kind, name, value FROM b_misc WHERE doc = %d AND source = %d" doc
+           target)
+    in
+    List.iter
+      (fun a ->
+        let o = match a.(0) with Value.Int i -> i | _ -> err "bad ordinal" in
+        let node =
+          match Value.to_string a.(1) with
+          | "c" -> Dom.Comment (Value.to_string a.(3))
+          | _ -> Dom.Pi { target = Value.to_string a.(2); data = Value.to_string a.(3) }
+        in
+        content := (o, node) :: !content)
+      r.Relstore.Executor.rows;
+    Dom.Element
+      {
+        Dom.tag = name;
+        attrs = List.map snd (List.sort compare !attrs);
+        children = List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) !content);
+      }
+  | k -> err "unknown kind %s" k
+
+(* Locate a node's (kind, name, value) by target id — scans partitions. *)
+let describe_target db ~doc target =
+  let find_in tbl extra_cols =
+    let r =
+      Db.query db
+        (Printf.sprintf "SELECT %s FROM %s WHERE doc = %d AND target = %d" extra_cols tbl doc
+           target)
+    in
+    r.Relstore.Executor.rows
+  in
+  let rec try_elements = function
+    | [] -> None
+    | (label, tbl) :: rest ->
+      if find_in tbl "target" <> [] then Some ("e", label, "") else try_elements rest
+  in
+  let rec try_attrs = function
+    | [] -> None
+    | (label, tbl) :: rest -> (
+      match find_in tbl "value" with
+      | [ [| v |] ] -> Some ("a", label, Value.to_string v)
+      | _ -> try_attrs rest)
+  in
+  match try_elements (all_label_tables db ~kind:"e") with
+  | Some d -> d
+  | None -> (
+    match try_attrs (all_label_tables db ~kind:"a") with
+    | Some d -> d
+    | None -> (
+      match find_in "b_cdata" "value" with
+      | [ [| v |] ] -> ("t", "", Value.to_string v)
+      | _ -> (
+        match find_in "b_misc" "kind, name, value" with
+        | [ [| k; n; v |] ] ->
+          ( Value.to_string k,
+            (match n with Value.Null -> "" | n -> Value.to_string n),
+            Value.to_string v )
+        | _ -> err "no node with target %d" target)))
+
+(* ------------------------------------------------------------------ *)
+(* Query translation *)
+
+let pred_sql db ~doc ~cur ~fresh (p : Pathquery.pred) =
+  let module P = Pathquery in
+  (* Missing label tables mean the predicate can never hold. *)
+  let need_table kind label k =
+    match label_table db ~kind label with None -> None | Some tbl -> Some (k tbl)
+  in
+  match p with
+  | P.Has_child c ->
+    need_table "e" c (fun tbl ->
+        let a = fresh () in
+        ( [ (tbl, a) ],
+          [ Printf.sprintf "%s.doc = %d" a doc; Printf.sprintf "%s.source = %s.target" a cur ] ))
+  | P.Has_attr at ->
+    need_table "a" at (fun tbl ->
+        let a = fresh () in
+        ( [ (tbl, a) ],
+          [ Printf.sprintf "%s.doc = %d" a doc; Printf.sprintf "%s.source = %s.target" a cur ] ))
+  | P.Attr_value (at, op, v) ->
+    need_table "a" at (fun tbl ->
+        let a = fresh () in
+        ( [ (tbl, a) ],
+          [
+            Printf.sprintf "%s.doc = %d" a doc;
+            Printf.sprintf "%s.source = %s.target" a cur;
+            Printf.sprintf "%s.value %s %s" a (P.cmp_to_sql op) (P.quote v);
+          ] ))
+  | P.Attr_number (at, op, v) ->
+    need_table "a" at (fun tbl ->
+        let a = fresh () in
+        ( [ (tbl, a) ],
+          [
+            Printf.sprintf "%s.doc = %d" a doc;
+            Printf.sprintf "%s.source = %s.target" a cur;
+            Printf.sprintf "to_number(%s.value) %s %s" a (P.cmp_to_sql op) (P.number_literal v);
+          ] ))
+  | P.Child_value (c, op, v) ->
+    need_table "e" c (fun tbl ->
+        let a = fresh () and t = fresh () in
+        ( [ (tbl, a); ("b_cdata", t) ],
+          [
+            Printf.sprintf "%s.doc = %d" a doc;
+            Printf.sprintf "%s.source = %s.target" a cur;
+            Printf.sprintf "%s.doc = %d" t doc;
+            Printf.sprintf "%s.source = %s.target" t a;
+            Printf.sprintf "%s.value %s %s" t (P.cmp_to_sql op) (P.quote v);
+          ] ))
+  | P.Child_number (c, op, v) ->
+    need_table "e" c (fun tbl ->
+        let a = fresh () and t = fresh () in
+        ( [ (tbl, a); ("b_cdata", t) ],
+          [
+            Printf.sprintf "%s.doc = %d" a doc;
+            Printf.sprintf "%s.source = %s.target" a cur;
+            Printf.sprintf "%s.doc = %d" t doc;
+            Printf.sprintf "%s.source = %s.target" t a;
+            Printf.sprintf "to_number(%s.value) %s %s" t (P.cmp_to_sql op) (P.number_literal v);
+          ] ))
+
+exception Empty_result
+
+(* Single-statement chain translation for named child paths. Raises
+   [Empty_result] when a referenced label does not exist in the store. *)
+let chain_sql db ~doc (simple : Pathquery.t) =
+  let module P = Pathquery in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "x%d" !counter
+  in
+  let froms = ref [] and wheres = ref [] in
+  let add_from tbl a = froms := (tbl, a) :: !froms in
+  let add_where w = wheres := w :: !wheres in
+  let prev = ref None in
+  List.iter
+    (fun (s : P.step) ->
+      assert (not s.P.desc);
+      let tag = match s.P.test with P.Tag n -> n | P.Any_tag -> err "wildcard in chain" in
+      let tbl = match label_table db ~kind:"e" tag with Some t -> t | None -> raise Empty_result in
+      let e = fresh () in
+      add_from tbl e;
+      add_where (Printf.sprintf "%s.doc = %d" e doc);
+      (match !prev with
+      | None -> add_where (Printf.sprintf "%s.source = 0" e)
+      | Some p -> add_where (Printf.sprintf "%s.source = %s.target" e p));
+      List.iter
+        (fun pr ->
+          match pred_sql db ~doc ~cur:e ~fresh pr with
+          | None -> raise Empty_result
+          | Some (extra_from, extra_where) ->
+            List.iter (fun (t, a) -> add_from t a) extra_from;
+            List.iter add_where extra_where)
+        s.P.preds;
+      prev := Some e)
+    simple.P.steps;
+  let last = match !prev with Some p -> p | None -> err "empty path" in
+  let result_alias =
+    match simple.P.tgt with
+    | P.Elements -> last
+    | P.Attr_of a -> (
+      match label_table db ~kind:"a" a with
+      | None -> raise Empty_result
+      | Some tbl ->
+        let at = fresh () in
+        add_from tbl at;
+        add_where (Printf.sprintf "%s.doc = %d" at doc);
+        add_where (Printf.sprintf "%s.source = %s.target" at last);
+        at)
+    | P.Text_of ->
+      let tx = fresh () in
+      add_from "b_cdata" tx;
+      add_where (Printf.sprintf "%s.doc = %d" tx doc);
+      add_where (Printf.sprintf "%s.source = %s.target" tx last);
+      tx
+  in
+  Printf.sprintf "SELECT DISTINCT %s.target FROM %s WHERE %s ORDER BY %s.target" result_alias
+    (String.concat ", " (List.rev_map (fun (t, a) -> t ^ " " ^ a) !froms))
+    (String.concat " AND " (List.rev !wheres))
+    result_alias
+
+(* Stepwise evaluation for '//' and wildcards: each step consults one table
+   per candidate tag — the partitioning tax. *)
+let stepwise db ~doc (simple : Pathquery.t) =
+  let module P = Pathquery in
+  let sqls = ref [] in
+  let run sql =
+    sqls := sql :: !sqls;
+    int_column (Db.query db sql)
+  in
+  let children_of ids ~tag_filter =
+    let tables =
+      match tag_filter with
+      | Some n -> ( match label_table db ~kind:"e" n with Some t -> [ (n, t) ] | None -> [])
+      | None -> all_label_tables db ~kind:"e"
+    in
+    Edge.batched ids (fun chunk ->
+        List.concat_map
+          (fun (_, tbl) ->
+            run
+              (Printf.sprintf "SELECT target FROM %s WHERE doc = %d AND source IN (%s)" tbl doc
+                 (Edge.in_list chunk)))
+          tables)
+  in
+  let check_pred target (p : P.pred) =
+    let probe sql = run sql <> [] in
+    match p with
+    | P.Has_child c -> (
+      match label_table db ~kind:"e" c with
+      | None -> false
+      | Some tbl ->
+        probe
+          (Printf.sprintf "SELECT target FROM %s WHERE doc = %d AND source = %d LIMIT 1" tbl doc
+             target))
+    | P.Has_attr a -> (
+      match label_table db ~kind:"a" a with
+      | None -> false
+      | Some tbl ->
+        probe
+          (Printf.sprintf "SELECT target FROM %s WHERE doc = %d AND source = %d LIMIT 1" tbl doc
+             target))
+    | P.Attr_value (a, op, v) -> (
+      match label_table db ~kind:"a" a with
+      | None -> false
+      | Some tbl ->
+        probe
+          (Printf.sprintf
+             "SELECT target FROM %s WHERE doc = %d AND source = %d AND value %s %s LIMIT 1" tbl
+             doc target (P.cmp_to_sql op) (P.quote v)))
+    | P.Attr_number (a, op, v) -> (
+      match label_table db ~kind:"a" a with
+      | None -> false
+      | Some tbl ->
+        probe
+          (Printf.sprintf
+             "SELECT target FROM %s WHERE doc = %d AND source = %d AND to_number(value) %s %s \
+              LIMIT 1"
+             tbl doc target (P.cmp_to_sql op) (P.number_literal v)))
+    | P.Child_value (c, op, v) -> (
+      match label_table db ~kind:"e" c with
+      | None -> false
+      | Some tbl ->
+        probe
+          (Printf.sprintf
+             "SELECT t.target FROM %s e, b_cdata t WHERE e.doc = %d AND e.source = %d AND \
+              t.doc = %d AND t.source = e.target AND t.value %s %s LIMIT 1"
+             tbl doc target doc (P.cmp_to_sql op) (P.quote v)))
+    | P.Child_number (c, op, v) -> (
+      match label_table db ~kind:"e" c with
+      | None -> false
+      | Some tbl ->
+        probe
+          (Printf.sprintf
+             "SELECT t.target FROM %s e, b_cdata t WHERE e.doc = %d AND e.source = %d AND \
+              t.doc = %d AND t.source = e.target AND to_number(t.value) %s %s LIMIT 1"
+             tbl doc target doc (P.cmp_to_sql op) (P.number_literal v)))
+  in
+  let step_frontier frontier (s : P.step) =
+    let matches =
+      if s.P.desc then begin
+        let acc = ref [] in
+        let current = ref frontier in
+        while !current <> [] do
+          let all_children = children_of !current ~tag_filter:None in
+          let hits =
+            match s.P.test with
+            | P.Any_tag -> all_children
+            | P.Tag n -> children_of !current ~tag_filter:(Some n)
+          in
+          acc := hits @ !acc;
+          current := all_children
+        done;
+        List.sort_uniq compare !acc
+      end
+      else
+        children_of frontier
+          ~tag_filter:(match s.P.test with P.Tag n -> Some n | P.Any_tag -> None)
+        |> List.sort_uniq compare
+    in
+    List.filter (fun t -> List.for_all (check_pred t) s.P.preds) matches
+  in
+  let final = List.fold_left step_frontier [ 0 ] simple.P.steps in
+  let targets =
+    match simple.P.tgt with
+    | P.Elements -> List.sort_uniq compare final
+    | P.Attr_of a -> (
+      match label_table db ~kind:"a" a with
+      | None -> []
+      | Some tbl ->
+        Edge.batched final (fun chunk ->
+            run
+              (Printf.sprintf "SELECT target FROM %s WHERE doc = %d AND source IN (%s)" tbl doc
+                 (Edge.in_list chunk)))
+        |> List.sort_uniq compare)
+    | P.Text_of ->
+      Edge.batched final (fun chunk ->
+          run
+            (Printf.sprintf "SELECT target FROM b_cdata WHERE doc = %d AND source IN (%s)" doc
+               (Edge.in_list chunk)))
+      |> List.sort_uniq compare
+  in
+  (targets, List.rev !sqls)
+
+let is_named_chain (simple : Pathquery.t) =
+  List.for_all
+    (fun (s : Pathquery.step) ->
+      (not s.Pathquery.desc) && match s.Pathquery.test with Pathquery.Tag _ -> true | _ -> false)
+    simple.Pathquery.steps
+
+let materialize db ~doc targets sqls joins =
+  let node_of t =
+    let kind, name, value = describe_target db ~doc t in
+    node_of_target db ~doc ~kind ~name ~value t
+  in
+  {
+    values =
+      List.map
+        (fun t ->
+          let kind, name, value = describe_target db ~doc t in
+          match kind with
+          | "e" -> Dom.string_value (node_of_target db ~doc ~kind ~name ~value t)
+          | _ -> value)
+        targets;
+    nodes = lazy (List.map node_of targets);
+    sql = sqls;
+    joins;
+    fallback = false;
+  }
+
+let query db ~doc (path : Xpathkit.Ast.path) : query_result =
+  match Pathquery.analyze path with
+  | None -> fallback_query ~reconstruct db ~doc path
+  | Some simple ->
+    if is_named_chain simple then begin
+      match chain_sql db ~doc simple with
+      | sql ->
+        let plan = Db.plan_of db sql in
+        materialize db ~doc (int_column (Db.query db sql)) [ sql ]
+          (Relstore.Plan.count_joins plan)
+      | exception Empty_result ->
+        { values = []; nodes = lazy []; sql = []; joins = 0; fallback = false }
+    end
+    else begin
+      let targets, sqls = stepwise db ~doc simple in
+      materialize db ~doc targets sqls 0
+    end
+
+let mapping : Mapping.mapping =
+  (module struct
+    let id = id
+    let description = description
+    let create_schema = create_schema
+    let create_indexes = create_indexes
+    let shred = shred
+    let reconstruct = reconstruct
+    let query = query
+  end)

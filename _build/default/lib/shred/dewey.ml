@@ -1,0 +1,311 @@
+(* The Dewey-order mapping (Tatarinov et al. 2002): each node's key is its
+   materialized root-to-node ordinal path, e.g. "0001.0003.0002".
+
+     dewey(doc, label, parent_label, kind, name, value, level, ordinal)
+
+   Components are zero-padded to four digits so plain string order is
+   document order (fanout up to 9999). Attribute components carry an 'a'
+   prefix to keep them out of the element component space. Child steps are
+   equality joins on [parent_label]; descendant steps are prefix-LIKE
+   predicates over the label — cheap subtree extraction, expensive
+   comparisons, exactly the trade-off the paper reports. *)
+
+module Dom = Xmlkit.Dom
+module Index = Xmlkit.Index
+module Db = Relstore.Database
+module Value = Relstore.Value
+open Mapping
+
+let id = "dewey"
+let description = "Dewey order labels (Tatarinov et al.)"
+
+let create_schema db =
+  ignore
+    (Db.exec db
+       "CREATE TABLE IF NOT EXISTS dewey (doc INTEGER NOT NULL, label TEXT NOT NULL, \
+        parent_label TEXT NOT NULL, kind TEXT NOT NULL, name TEXT, value TEXT, level INTEGER \
+        NOT NULL, ordinal INTEGER NOT NULL)")
+
+let create_indexes db =
+  ignore (Db.exec db "CREATE INDEX IF NOT EXISTS dewey_label ON dewey (label)");
+  ignore (Db.exec db "CREATE INDEX IF NOT EXISTS dewey_parent ON dewey (parent_label)");
+  ignore (Db.exec db "CREATE INDEX IF NOT EXISTS dewey_name ON dewey (name)")
+
+(* Attribute components use a '!' prefix: '!' < '0' in ASCII, so an
+   element's attributes sort before its content children and before any
+   descendant's components — plain string order stays document order. *)
+let component ~attr ordinal =
+  if ordinal > 9999 then err "Dewey labels support fanout up to 9999 (got %d)" ordinal;
+  if attr then Printf.sprintf "!%04d" ordinal else Printf.sprintf "%04d" ordinal
+
+let shred db ~doc ix =
+  (* labels.(n) = Dewey label of node n *)
+  let labels = Array.make (Index.count ix) "" in
+  for n = 1 to Index.count ix - 1 do
+    let parent = Index.parent ix n in
+    let parent_label = labels.(parent) in
+    let attr = Index.kind ix n = Index.Attribute in
+    let comp = component ~attr (Index.ordinal ix n) in
+    let label = if parent_label = "" then comp else parent_label ^ "." ^ comp in
+    labels.(n) <- label;
+    let name =
+      match Index.kind ix n with
+      | Index.Element | Index.Attribute | Index.Pi -> Value.Text (Index.name ix n)
+      | _ -> Value.Null
+    in
+    let value =
+      match Index.kind ix n with
+      | Index.Element | Index.Document -> Value.Null
+      | _ -> Value.Text (Index.value ix n)
+    in
+    Db.insert_row_array db "dewey"
+      [|
+        Value.Int doc;
+        Value.Text label;
+        Value.Text parent_label;
+        Value.Text (kind_code (Index.kind ix n));
+        name;
+        value;
+        Value.Int (Index.level ix n);
+        Value.Int (Index.ordinal ix n);
+      |]
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Reconstruction *)
+
+type row = {
+  r_label : string;
+  r_parent : string;
+  r_kind : string;
+  r_name : string;
+  r_value : string;
+  r_ordinal : int;
+}
+
+let row_of_values a =
+  {
+    r_label = Value.to_string a.(0);
+    r_parent = Value.to_string a.(1);
+    r_kind = Value.to_string a.(2);
+    r_name = (match a.(3) with Value.Null -> "" | v -> Value.to_string v);
+    r_value = (match a.(4) with Value.Null -> "" | v -> Value.to_string v);
+    r_ordinal = (match a.(5) with Value.Int i -> i | _ -> err "bad ordinal");
+  }
+
+let build_forest rows root_label =
+  let by_parent = Hashtbl.create 256 in
+  let by_label = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace by_label r.r_label r;
+      Hashtbl.replace by_parent r.r_parent
+        (r :: Option.value ~default:[] (Hashtbl.find_opt by_parent r.r_parent)))
+    rows;
+  let rec build r : Dom.node =
+    match r.r_kind with
+    | "e" ->
+      let children = Option.value ~default:[] (Hashtbl.find_opt by_parent r.r_label) in
+      let attrs, content = List.partition (fun c -> c.r_kind = "a") children in
+      let sorted l = List.sort (fun a b -> compare a.r_ordinal b.r_ordinal) l in
+      Dom.Element
+        {
+          Dom.tag = r.r_name;
+          attrs = List.map (fun a -> Dom.attr a.r_name a.r_value) (sorted attrs);
+          children = List.map build (sorted content);
+        }
+    | "t" | "a" -> Dom.Text r.r_value
+    | "c" -> Dom.Comment r.r_value
+    | "p" -> Dom.Pi { target = r.r_name; data = r.r_value }
+    | k -> err "unknown kind %s" k
+  in
+  match Hashtbl.find_opt by_label root_label with
+  | Some r -> build r
+  | None -> err "no node labelled %s" root_label
+
+let fetch_all db ~doc =
+  let r =
+    Db.query db
+      (Printf.sprintf
+         "SELECT label, parent_label, kind, name, value, ordinal FROM dewey WHERE doc = %d" doc)
+  in
+  List.map row_of_values r.Relstore.Executor.rows
+
+let reconstruct db ~doc =
+  let rows = fetch_all db ~doc in
+  match List.find_opt (fun r -> r.r_parent = "") rows with
+  | Some root -> (
+    match build_forest rows root.r_label with
+    | Dom.Element e -> Dom.document e
+    | _ -> err "root is not an element")
+  | None -> err "document %d is not stored" doc
+
+(* Subtree of one label: the Dewey strength — a prefix scan over the label
+   index. Two statements (exact + prefix) so each can use the index; an OR
+   would force a full scan. *)
+let subtree_rows db ~doc label =
+  let fetch cond =
+    let r =
+      Db.query db
+        (Printf.sprintf
+           "SELECT label, parent_label, kind, name, value, ordinal FROM dewey WHERE doc = %d \
+            AND %s"
+           doc cond)
+    in
+    List.map row_of_values r.Relstore.Executor.rows
+  in
+  fetch (Printf.sprintf "label = %s" (Pathquery.quote label))
+  @ fetch (Printf.sprintf "label LIKE %s" (Pathquery.quote (label ^ ".%")))
+
+let node_of_label db ~doc label = build_forest (subtree_rows db ~doc label) label
+
+let string_value_of_label db ~doc label =
+  let rows = subtree_rows db ~doc label in
+  match List.find_opt (fun r -> r.r_label = label) rows with
+  | Some r when r.r_kind <> "e" -> r.r_value
+  | Some _ ->
+    (* concatenate text descendants in label order *)
+    rows
+    |> List.filter (fun r -> r.r_kind = "t")
+    |> List.sort (fun a b -> compare a.r_label b.r_label)
+    |> List.map (fun r -> r.r_value)
+    |> String.concat ""
+  | None -> err "no node labelled %s" label
+
+(* ------------------------------------------------------------------ *)
+(* Query translation: single statement; child steps join on parent_label,
+   descendant steps use label-prefix LIKE over a concatenated pattern. *)
+
+let pred_sql ~doc ~cur ~fresh (p : Pathquery.pred) =
+  let module P = Pathquery in
+  let child_conds a ~kind ~name =
+    [
+      Printf.sprintf "%s.doc = %d" a doc;
+      Printf.sprintf "%s.parent_label = %s.label" a cur;
+      Printf.sprintf "%s.kind = '%s'" a kind;
+      Printf.sprintf "%s.name = %s" a (P.quote name);
+    ]
+  in
+  match p with
+  | P.Has_child c ->
+    let a = fresh () in
+    ([ a ], child_conds a ~kind:"e" ~name:c)
+  | P.Has_attr at ->
+    let a = fresh () in
+    ([ a ], child_conds a ~kind:"a" ~name:at)
+  | P.Attr_value (at, op, v) ->
+    let a = fresh () in
+    ( [ a ],
+      child_conds a ~kind:"a" ~name:at
+      @ [ Printf.sprintf "%s.value %s %s" a (P.cmp_to_sql op) (P.quote v) ] )
+  | P.Attr_number (at, op, v) ->
+    let a = fresh () in
+    ( [ a ],
+      child_conds a ~kind:"a" ~name:at
+      @ [ Printf.sprintf "to_number(%s.value) %s %s" a (P.cmp_to_sql op) (P.number_literal v) ] )
+  | P.Child_value (c, op, v) ->
+    let a = fresh () and t = fresh () in
+    ( [ a; t ],
+      child_conds a ~kind:"e" ~name:c
+      @ [
+          Printf.sprintf "%s.doc = %d" t doc;
+          Printf.sprintf "%s.parent_label = %s.label" t a;
+          Printf.sprintf "%s.kind = 't'" t;
+          Printf.sprintf "%s.value %s %s" t (P.cmp_to_sql op) (P.quote v);
+        ] )
+  | P.Child_number (c, op, v) ->
+    let a = fresh () and t = fresh () in
+    ( [ a; t ],
+      child_conds a ~kind:"e" ~name:c
+      @ [
+          Printf.sprintf "%s.doc = %d" t doc;
+          Printf.sprintf "%s.parent_label = %s.label" t a;
+          Printf.sprintf "%s.kind = 't'" t;
+          Printf.sprintf "to_number(%s.value) %s %s" t (P.cmp_to_sql op) (P.number_literal v);
+        ] )
+
+let translate ~doc (simple : Pathquery.t) =
+  let module P = Pathquery in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "d%d" !counter
+  in
+  let froms = ref [] and wheres = ref [] in
+  let add_from a = froms := a :: !froms in
+  let add_where w = wheres := w :: !wheres in
+  let prev = ref None in
+  List.iter
+    (fun (s : P.step) ->
+      let e = fresh () in
+      add_from e;
+      add_where (Printf.sprintf "%s.doc = %d" e doc);
+      add_where (Printf.sprintf "%s.kind = 'e'" e);
+      (match s.P.test with
+      | P.Tag n -> add_where (Printf.sprintf "%s.name = %s" e (P.quote n))
+      | P.Any_tag -> ());
+      (match (!prev, s.P.desc) with
+      | None, false -> add_where (Printf.sprintf "%s.parent_label = ''" e)
+      | None, true -> ()  (* any element *)
+      | Some p, false -> add_where (Printf.sprintf "%s.parent_label = %s.label" e p)
+      | Some p, true ->
+        (* descendant: label extends the ancestor's label *)
+        add_where (Printf.sprintf "%s.label LIKE %s.label || '.%%'" e p));
+      List.iter
+        (fun pr ->
+          let extra_from, extra_where = pred_sql ~doc ~cur:e ~fresh pr in
+          List.iter add_from extra_from;
+          List.iter add_where extra_where)
+        s.P.preds;
+      prev := Some e)
+    simple.P.steps;
+  let last = match !prev with Some p -> p | None -> err "empty path" in
+  let result_alias =
+    match simple.P.tgt with
+    | P.Elements -> last
+    | P.Attr_of a ->
+      let at = fresh () in
+      add_from at;
+      add_where (Printf.sprintf "%s.doc = %d" at doc);
+      add_where (Printf.sprintf "%s.parent_label = %s.label" at last);
+      add_where (Printf.sprintf "%s.kind = 'a'" at);
+      add_where (Printf.sprintf "%s.name = %s" at (P.quote a));
+      at
+    | P.Text_of ->
+      let tx = fresh () in
+      add_from tx;
+      add_where (Printf.sprintf "%s.doc = %d" tx doc);
+      add_where (Printf.sprintf "%s.parent_label = %s.label" tx last);
+      add_where (Printf.sprintf "%s.kind = 't'" tx);
+      tx
+  in
+  Printf.sprintf "SELECT DISTINCT %s.label FROM %s WHERE %s ORDER BY %s.label" result_alias
+    (String.concat ", " (List.rev_map (fun a -> "dewey " ^ a) !froms))
+    (String.concat " AND " (List.rev !wheres))
+    result_alias
+
+let query db ~doc (path : Xpathkit.Ast.path) : query_result =
+  match Pathquery.analyze path with
+  | None -> fallback_query ~reconstruct db ~doc path
+  | Some simple ->
+    let sql = translate ~doc simple in
+    let plan = Db.plan_of db sql in
+    let labels = string_column (Db.query db sql) in
+    {
+      values = List.map (string_value_of_label db ~doc) labels;
+      nodes = lazy (List.map (node_of_label db ~doc) labels);
+      sql = [ sql ];
+      joins = Relstore.Plan.count_joins plan;
+      fallback = false;
+    }
+
+let mapping : Mapping.mapping =
+  (module struct
+    let id = id
+    let description = description
+    let create_schema = create_schema
+    let create_indexes = create_indexes
+    let shred = shred
+    let reconstruct = reconstruct
+    let query = query
+  end)

@@ -1,0 +1,493 @@
+(* The Edge mapping (Florescu & Kossmann 1999): the whole document forest in
+   one table, one row per parent-to-child edge.
+
+     edge(doc, source, ordinal, kind, name, target, value)
+
+   - [source]/[target] are node ids (the pre-order ids of Xmlkit.Index; the
+     document node is 0, so the root element's edge has source 0).
+   - [kind] is 'e' element, 'a' attribute, 't' text, 'c' comment, 'p' PI.
+   - [name] is the tag / attribute name / PI target, NULL for text.
+   - [value] is the text content / attribute value, NULL for elements.
+
+   Path queries over named child chains become a single self-join chain —
+   one join per step. '//' has no bounded-length SQL equivalent, so it runs
+   as iterative frontier expansion, one query per tree level: exactly the
+   weakness the literature reports for Edge. *)
+
+module Dom = Xmlkit.Dom
+module Index = Xmlkit.Index
+module Db = Relstore.Database
+module Value = Relstore.Value
+open Mapping
+
+let id = "edge"
+let description = "single edge table (Florescu & Kossmann)"
+
+let create_schema db =
+  ignore
+    (Db.exec db
+       "CREATE TABLE IF NOT EXISTS edge (doc INTEGER NOT NULL, source INTEGER NOT NULL, \
+        ordinal INTEGER NOT NULL, kind TEXT NOT NULL, name TEXT, target INTEGER NOT NULL, \
+        value TEXT)")
+
+let create_indexes db =
+  ignore (Db.exec db "CREATE INDEX IF NOT EXISTS edge_source ON edge (source)");
+  ignore (Db.exec db "CREATE INDEX IF NOT EXISTS edge_name ON edge (name)");
+  ignore (Db.exec db "CREATE INDEX IF NOT EXISTS edge_target ON edge (target)")
+
+let shred db ~doc ix =
+  let insert ~source ~ordinal ~kind ~name ~target ~value =
+    Db.insert_row_array db "edge"
+      [|
+        Value.Int doc;
+        Value.Int source;
+        Value.Int ordinal;
+        Value.Text kind;
+        (match name with Some n -> Value.Text n | None -> Value.Null);
+        Value.Int target;
+        (match value with Some v -> Value.Text v | None -> Value.Null);
+      |]
+  in
+  for n = 1 to Index.count ix - 1 do
+    let source = Index.parent ix n in
+    let ordinal = Index.ordinal ix n in
+    match Index.kind ix n with
+    | Index.Element -> insert ~source ~ordinal ~kind:"e" ~name:(Some (Index.name ix n)) ~target:n ~value:None
+    | Index.Attribute ->
+      insert ~source ~ordinal ~kind:"a" ~name:(Some (Index.name ix n)) ~target:n
+        ~value:(Some (Index.value ix n))
+    | Index.Text -> insert ~source ~ordinal ~kind:"t" ~name:None ~target:n ~value:(Some (Index.value ix n))
+    | Index.Comment ->
+      insert ~source ~ordinal ~kind:"c" ~name:None ~target:n ~value:(Some (Index.value ix n))
+    | Index.Pi ->
+      insert ~source ~ordinal ~kind:"p" ~name:(Some (Index.name ix n)) ~target:n
+        ~value:(Some (Index.value ix n))
+    | Index.Document -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Reconstruction *)
+
+type row = { r_source : int; r_ordinal : int; r_kind : string; r_name : string; r_target : int; r_value : string }
+
+let fetch_all_edges db ~doc =
+  let r =
+    Db.query db
+      (Printf.sprintf
+         "SELECT source, ordinal, kind, name, target, value FROM edge WHERE doc = %d" doc)
+  in
+  List.map
+    (fun row ->
+      {
+        r_source = (match row.(0) with Value.Int i -> i | _ -> err "bad source");
+        r_ordinal = (match row.(1) with Value.Int i -> i | _ -> err "bad ordinal");
+        r_kind = Value.to_string row.(2);
+        r_name = (match row.(3) with Value.Null -> "" | v -> Value.to_string v);
+        r_target = (match row.(4) with Value.Int i -> i | _ -> err "bad target");
+        r_value = (match row.(5) with Value.Null -> "" | v -> Value.to_string v);
+      })
+    r.Relstore.Executor.rows
+
+let build_tree rows_by_source target_row =
+  let rec build (r : row) : Dom.node =
+    match r.r_kind with
+    | "e" ->
+      let children = Option.value ~default:[] (Hashtbl.find_opt rows_by_source r.r_target) in
+      let children = List.sort (fun a b -> compare a.r_ordinal b.r_ordinal) children in
+      let attrs, content = List.partition (fun c -> c.r_kind = "a") children in
+      Dom.Element
+        {
+          Dom.tag = r.r_name;
+          attrs = List.map (fun a -> Dom.attr a.r_name a.r_value) attrs;
+          children = List.map build content;
+        }
+    | "t" -> Dom.Text r.r_value
+    | "c" -> Dom.Comment r.r_value
+    | "p" -> Dom.Pi { target = r.r_name; data = r.r_value }
+    | "a" -> Dom.Text r.r_value
+    | k -> err "unknown edge kind %s" k
+  in
+  build target_row
+
+let group_by_source rows =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt tbl r.r_source) in
+      Hashtbl.replace tbl r.r_source (r :: existing))
+    rows;
+  tbl
+
+let reconstruct db ~doc =
+  let rows = fetch_all_edges db ~doc in
+  let by_source = group_by_source rows in
+  match Option.value ~default:[] (Hashtbl.find_opt by_source 0) with
+  | [ root_row ] -> (
+    match build_tree by_source root_row with
+    | Dom.Element e -> Dom.document e
+    | _ -> err "root edge is not an element")
+  | [] -> err "document %d is not stored" doc
+  | _ -> err "document %d has multiple roots" doc
+
+(* Subtree reconstruction for query results: per-node recursive fetch. *)
+let rec node_of_target db ~doc target =
+  let r =
+    Db.query db
+      (Printf.sprintf
+         "SELECT kind, name, value FROM edge WHERE doc = %d AND target = %d" doc target)
+  in
+  match r.Relstore.Executor.rows with
+  | [ [| kind; name; value |] ] -> (
+    let name = match name with Value.Null -> "" | v -> Value.to_string v in
+    let value = match value with Value.Null -> "" | v -> Value.to_string v in
+    match Value.to_string kind with
+    | "e" ->
+      let kids =
+        Db.query db
+          (Printf.sprintf
+             "SELECT target, kind, name, value FROM edge WHERE doc = %d AND source = %d \
+              ORDER BY ordinal"
+             doc target)
+      in
+      let attrs = ref [] and content = ref [] in
+      List.iter
+        (fun row ->
+          let t = match row.(0) with Value.Int i -> i | _ -> err "bad target" in
+          match Value.to_string row.(1) with
+          | "a" ->
+            attrs :=
+              Dom.attr (Value.to_string row.(2))
+                (match row.(3) with Value.Null -> "" | v -> Value.to_string v)
+              :: !attrs
+          | _ -> content := node_of_target db ~doc t :: !content)
+        kids.Relstore.Executor.rows;
+      Dom.Element { Dom.tag = name; attrs = List.rev !attrs; children = List.rev !content }
+    | "t" -> Dom.Text value
+    | "c" -> Dom.Comment value
+    | "p" -> Dom.Pi { target = name; data = value }
+    | "a" -> Dom.Text value
+    | k -> err "unknown edge kind %s" k)
+  | [] -> err "no edge with target %d" target
+  | _ -> err "multiple edges with target %d" target
+
+let string_value_of_target db ~doc target =
+  (* attribute/text targets carry their value inline; elements concatenate
+     descendant text *)
+  let node = node_of_target db ~doc target in
+  Dom.string_value node
+
+(* ------------------------------------------------------------------ *)
+(* Query translation *)
+
+(* SQL condition fragments for one step's predicates. [cur] is the alias
+   whose .target is the context element; [fresh] mints auxiliary aliases.
+   Returns (extra FROM aliases, extra WHERE conjuncts). *)
+let pred_sql ~doc ~cur ~fresh (p : Pathquery.pred) =
+  let module P = Pathquery in
+  match p with
+  | P.Has_child c ->
+    let a = fresh () in
+    ( [ a ],
+      [
+        Printf.sprintf "%s.doc = %d" a doc;
+        Printf.sprintf "%s.source = %s.target" a cur;
+        Printf.sprintf "%s.kind = 'e'" a;
+        Printf.sprintf "%s.name = %s" a (P.quote c);
+      ] )
+  | P.Has_attr at ->
+    let a = fresh () in
+    ( [ a ],
+      [
+        Printf.sprintf "%s.doc = %d" a doc;
+        Printf.sprintf "%s.source = %s.target" a cur;
+        Printf.sprintf "%s.kind = 'a'" a;
+        Printf.sprintf "%s.name = %s" a (P.quote at);
+      ] )
+  | P.Attr_value (at, op, v) ->
+    let a = fresh () in
+    ( [ a ],
+      [
+        Printf.sprintf "%s.doc = %d" a doc;
+        Printf.sprintf "%s.source = %s.target" a cur;
+        Printf.sprintf "%s.kind = 'a'" a;
+        Printf.sprintf "%s.name = %s" a (P.quote at);
+        Printf.sprintf "%s.value %s %s" a (P.cmp_to_sql op) (P.quote v);
+      ] )
+  | P.Attr_number (at, op, v) ->
+    let a = fresh () in
+    ( [ a ],
+      [
+        Printf.sprintf "%s.doc = %d" a doc;
+        Printf.sprintf "%s.source = %s.target" a cur;
+        Printf.sprintf "%s.kind = 'a'" a;
+        Printf.sprintf "%s.name = %s" a (P.quote at);
+        Printf.sprintf "to_number(%s.value) %s %s" a (P.cmp_to_sql op) (P.number_literal v);
+      ] )
+  | P.Child_value (c, op, v) ->
+    let a = fresh () and t = fresh () in
+    ( [ a; t ],
+      [
+        Printf.sprintf "%s.doc = %d" a doc;
+        Printf.sprintf "%s.source = %s.target" a cur;
+        Printf.sprintf "%s.kind = 'e'" a;
+        Printf.sprintf "%s.name = %s" a (P.quote c);
+        Printf.sprintf "%s.doc = %d" t doc;
+        Printf.sprintf "%s.source = %s.target" t a;
+        Printf.sprintf "%s.kind = 't'" t;
+        Printf.sprintf "%s.value %s %s" t (P.cmp_to_sql op) (P.quote v);
+      ] )
+  | P.Child_number (c, op, v) ->
+    let a = fresh () and t = fresh () in
+    ( [ a; t ],
+      [
+        Printf.sprintf "%s.doc = %d" a doc;
+        Printf.sprintf "%s.source = %s.target" a cur;
+        Printf.sprintf "%s.kind = 'e'" a;
+        Printf.sprintf "%s.name = %s" a (P.quote c);
+        Printf.sprintf "%s.doc = %d" t doc;
+        Printf.sprintf "%s.source = %s.target" t a;
+        Printf.sprintf "%s.kind = 't'" t;
+        Printf.sprintf "to_number(%s.value) %s %s" t (P.cmp_to_sql op) (P.number_literal v);
+      ] )
+
+(* A pure named/wildcard child chain becomes a single join-chain SELECT. *)
+let chain_sql ~doc (simple : Pathquery.t) =
+  let module P = Pathquery in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "x%d" !counter
+  in
+  let froms = ref [] and wheres = ref [] in
+  let add_from a = froms := a :: !froms in
+  let add_where w = wheres := w :: !wheres in
+  let prev = ref None in
+  List.iter
+    (fun (s : P.step) ->
+      assert (not s.P.desc);
+      let e = fresh () in
+      add_from e;
+      add_where (Printf.sprintf "%s.doc = %d" e doc);
+      add_where (Printf.sprintf "%s.kind = 'e'" e);
+      (match s.P.test with
+      | P.Tag n -> add_where (Printf.sprintf "%s.name = %s" e (P.quote n))
+      | P.Any_tag -> ());
+      (match !prev with
+      | None -> add_where (Printf.sprintf "%s.source = 0" e)
+      | Some p -> add_where (Printf.sprintf "%s.source = %s.target" e p));
+      List.iter
+        (fun pr ->
+          let extra_from, extra_where = pred_sql ~doc ~cur:e ~fresh pr in
+          List.iter add_from extra_from;
+          List.iter add_where extra_where)
+        s.P.preds;
+      prev := Some e)
+    simple.P.steps;
+  let last = match !prev with Some p -> p | None -> err "empty path" in
+  let result_alias, result_col =
+    match simple.P.tgt with
+    | P.Elements -> (last, "target")
+    | P.Attr_of a ->
+      let at = fresh () in
+      add_from at;
+      add_where (Printf.sprintf "%s.doc = %d" at doc);
+      add_where (Printf.sprintf "%s.source = %s.target" at last);
+      add_where (Printf.sprintf "%s.kind = 'a'" at);
+      add_where (Printf.sprintf "%s.name = %s" at (P.quote a));
+      (at, "target")
+    | P.Text_of ->
+      let tx = fresh () in
+      add_from tx;
+      add_where (Printf.sprintf "%s.doc = %d" tx doc);
+      add_where (Printf.sprintf "%s.source = %s.target" tx last);
+      add_where (Printf.sprintf "%s.kind = 't'" tx);
+      (tx, "target")
+  in
+  Printf.sprintf "SELECT DISTINCT %s.%s FROM %s WHERE %s ORDER BY %s.%s" result_alias
+    result_col
+    (String.concat ", " (List.rev_map (fun a -> "edge " ^ a) !froms))
+    (String.concat " AND " (List.rev !wheres))
+    result_alias result_col
+
+(* Stepwise evaluation: frontier of element ids, one SQL per step (and one
+   per level for '//'). Used whenever the path contains '//' or a wildcard
+   where the single-statement chain would not apply. *)
+let in_list ids = String.concat ", " (List.map string_of_int ids)
+
+let batched ids f =
+  let rec chunks acc = function
+    | [] -> List.rev acc
+    | ids ->
+      let rec take n acc = function
+        | [] -> (List.rev acc, [])
+        | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let chunk, rest = take 100 [] ids in
+      chunks (chunk :: acc) rest
+  in
+  List.concat_map f (chunks [] ids)
+
+(* Does element [target] satisfy a predicate? One small probe query. *)
+let check_pred db ~doc ~sqls target (p : Pathquery.pred) =
+  let module P = Pathquery in
+  let run sql =
+    sqls := sql :: !sqls;
+    int_column (Db.query db sql) <> []
+  in
+  match p with
+  | P.Has_child c ->
+    run
+      (Printf.sprintf
+         "SELECT target FROM edge WHERE doc = %d AND source = %d AND kind = 'e' AND name = %s \
+          LIMIT 1"
+         doc target (P.quote c))
+  | P.Has_attr a ->
+    run
+      (Printf.sprintf
+         "SELECT target FROM edge WHERE doc = %d AND source = %d AND kind = 'a' AND name = %s \
+          LIMIT 1"
+         doc target (P.quote a))
+  | P.Attr_value (a, op, v) ->
+    run
+      (Printf.sprintf
+         "SELECT target FROM edge WHERE doc = %d AND source = %d AND kind = 'a' AND name = %s \
+          AND value %s %s LIMIT 1"
+         doc target (P.quote a) (P.cmp_to_sql op) (P.quote v))
+  | P.Attr_number (a, op, v) ->
+    run
+      (Printf.sprintf
+         "SELECT target FROM edge WHERE doc = %d AND source = %d AND kind = 'a' AND name = %s \
+          AND to_number(value) %s %s LIMIT 1"
+         doc target (P.quote a) (P.cmp_to_sql op) (P.number_literal v))
+  | P.Child_value (c, op, v) ->
+    run
+      (Printf.sprintf
+         "SELECT t.target FROM edge e, edge t WHERE e.doc = %d AND e.source = %d AND e.kind = \
+          'e' AND e.name = %s AND t.doc = %d AND t.source = e.target AND t.kind = 't' AND \
+          t.value %s %s LIMIT 1"
+         doc target (P.quote c) doc (P.cmp_to_sql op) (P.quote v))
+  | P.Child_number (c, op, v) ->
+    run
+      (Printf.sprintf
+         "SELECT t.target FROM edge e, edge t WHERE e.doc = %d AND e.source = %d AND e.kind = \
+          'e' AND e.name = %s AND t.doc = %d AND t.source = e.target AND t.kind = 't' AND \
+          to_number(t.value) %s %s LIMIT 1"
+         doc target (P.quote c) doc (P.cmp_to_sql op) (P.number_literal v))
+
+let stepwise db ~doc (simple : Pathquery.t) =
+  let module P = Pathquery in
+  let sqls = ref [] in
+  let children_of ids ~name_filter =
+    batched ids (fun chunk ->
+        let name_cond =
+          match name_filter with
+          | Some n -> Printf.sprintf " AND name = %s" (P.quote n)
+          | None -> ""
+        in
+        let sql =
+          Printf.sprintf
+            "SELECT target FROM edge WHERE doc = %d AND kind = 'e' AND source IN (%s)%s" doc
+            (in_list chunk) name_cond
+        in
+        sqls := sql :: !sqls;
+        int_column (Db.query db sql))
+  in
+  let step_frontier frontier (s : P.step) =
+    let matches =
+      if s.P.desc then begin
+        (* level-by-level expansion collecting matches at every depth *)
+        let acc = ref [] in
+        let current = ref frontier in
+        while !current <> [] do
+          let all_children = children_of !current ~name_filter:None in
+          let hits =
+            match s.P.test with
+            | P.Any_tag -> all_children
+            | P.Tag n ->
+              (* re-filter by name with one query per chunk *)
+              batched !current (fun chunk ->
+                  let sql =
+                    Printf.sprintf
+                      "SELECT target FROM edge WHERE doc = %d AND kind = 'e' AND source IN \
+                       (%s) AND name = %s"
+                      doc (in_list chunk) (P.quote n)
+                  in
+                  sqls := sql :: !sqls;
+                  int_column (Db.query db sql))
+          in
+          acc := hits @ !acc;
+          current := all_children
+        done;
+        List.sort_uniq compare !acc
+      end
+      else
+        children_of frontier
+          ~name_filter:(match s.P.test with P.Tag n -> Some n | P.Any_tag -> None)
+    in
+    List.filter (fun t -> List.for_all (check_pred db ~doc ~sqls t) s.P.preds) matches
+  in
+  let final = List.fold_left step_frontier [ 0 ] simple.P.steps in
+  let targets =
+    match simple.P.tgt with
+    | P.Elements -> List.sort_uniq compare final
+    | P.Attr_of a ->
+      batched final (fun chunk ->
+          let sql =
+            Printf.sprintf
+              "SELECT target FROM edge WHERE doc = %d AND kind = 'a' AND name = %s AND source \
+               IN (%s)"
+              doc (P.quote a) (in_list chunk)
+          in
+          sqls := sql :: !sqls;
+          int_column (Db.query db sql))
+      |> List.sort_uniq compare
+    | P.Text_of ->
+      batched final (fun chunk ->
+          let sql =
+            Printf.sprintf
+              "SELECT target FROM edge WHERE doc = %d AND kind = 't' AND source IN (%s)" doc
+              (in_list chunk)
+          in
+          sqls := sql :: !sqls;
+          int_column (Db.query db sql))
+      |> List.sort_uniq compare
+  in
+  (targets, List.rev !sqls)
+
+let is_pure_chain (simple : Pathquery.t) =
+  List.for_all (fun (s : Pathquery.step) -> not s.Pathquery.desc) simple.Pathquery.steps
+
+let query db ~doc (path : Xpathkit.Ast.path) : query_result =
+  match Pathquery.analyze path with
+  | None -> fallback_query ~reconstruct db ~doc path
+  | Some simple ->
+    let targets, sqls, joins =
+      if is_pure_chain simple then begin
+        let sql = chain_sql ~doc simple in
+        let plan = Db.plan_of db sql in
+        (int_column (Db.query db sql), [ sql ], Relstore.Plan.count_joins plan)
+      end
+      else begin
+        let targets, sqls = stepwise db ~doc simple in
+        (targets, sqls, 0)
+      end
+    in
+    {
+      values = List.map (string_value_of_target db ~doc) targets;
+      nodes = lazy (List.map (node_of_target db ~doc) targets);
+      sql = sqls;
+      joins;
+      fallback = false;
+    }
+
+let mapping : Mapping.mapping =
+  (module struct
+    let id = id
+    let description = description
+    let create_schema = create_schema
+    let create_indexes = create_indexes
+    let shred = shred
+    let reconstruct = reconstruct
+    let query = query
+  end)

@@ -1,0 +1,47 @@
+(** The DTD-inlining mapping (Shanmugasundaram et al. 1999, "shared
+    inlining").
+
+    The DTD's element-type graph decides the relational schema: a type gets
+    its own table when it is the root, shared (in-degree >= 2), set-valued
+    (a '*' edge after content-model simplification), or recursive; every
+    other type inlines into its nearest tabled ancestor as a column group.
+
+    Parameterized by a DTD, so it is constructed with {!make} rather than
+    registered in {!Registry}. Documents must conform to the DTD
+    (data-centric: no mixed content, comments, or PIs). *)
+
+exception Unsupported of string
+(** Raised at shred time when a document steps outside the DTD (undeclared
+    children/attributes, repeated singletons, mixed content, wrong root). *)
+
+(** {1 Schema derivation} — exposed for the T5 experiment and tooling. *)
+
+type inline_node = {
+  in_type : string;
+  in_tag : string;
+  in_quant : Xmlkit.Dtd.quant;
+  col_id : string;  (** ["id"] for the table's own node *)
+  col_ord : string;
+  col_pcdata : string option;
+  col_attrs : (string * string) list;  (** attribute name -> column *)
+  children : child_spec list;  (** in DTD field order *)
+}
+
+and child_spec = Inlined of inline_node | Tabled of string
+
+type table_info = { t_type : string; t_name : string; root_node : inline_node }
+
+type layout = {
+  dtd : Xmlkit.Dtd.t;
+  tables : table_info list;  (** root type first *)
+  root_type : string;
+}
+
+val derive_layout : Xmlkit.Dtd.t -> layout
+val table_of : layout -> string -> table_info
+val table_columns : table_info -> (string * string) list
+(** Column name and SQL type, in CREATE TABLE order. *)
+
+(** {1 The mapping} *)
+
+val make : Xmlkit.Dtd.t -> Mapping.mapping

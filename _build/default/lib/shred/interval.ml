@@ -1,0 +1,316 @@
+(* The Interval mapping (Grust 2002/2004 "accelerating XPath"): one row per
+   node carrying its pre-order rank, subtree size, level, and parent.
+
+     accel(doc, pre, size, level, kind, name, value, parent, ordinal)
+
+   The descendant axis is a range predicate —
+   [d.pre > a.pre AND d.pre <= a.pre + a.size] — so '//' costs a single
+   self-join instead of Edge's per-level iteration. Every translated path is
+   one SQL statement. *)
+
+module Dom = Xmlkit.Dom
+module Index = Xmlkit.Index
+module Db = Relstore.Database
+module Value = Relstore.Value
+open Mapping
+
+let id = "interval"
+let description = "pre/size/level interval encoding (Grust)"
+
+let create_schema db =
+  ignore
+    (Db.exec db
+       "CREATE TABLE IF NOT EXISTS accel (doc INTEGER NOT NULL, pre INTEGER NOT NULL, size \
+        INTEGER NOT NULL, level INTEGER NOT NULL, kind TEXT NOT NULL, name TEXT, value TEXT, \
+        parent INTEGER NOT NULL, ordinal INTEGER NOT NULL)")
+
+let create_indexes db =
+  ignore (Db.exec db "CREATE INDEX IF NOT EXISTS accel_pre ON accel (pre)");
+  ignore (Db.exec db "CREATE INDEX IF NOT EXISTS accel_name ON accel (name)");
+  ignore (Db.exec db "CREATE INDEX IF NOT EXISTS accel_parent ON accel (parent)")
+
+let shred db ~doc ix =
+  for n = 1 to Index.count ix - 1 do
+    let kind = kind_code (Index.kind ix n) in
+    let name =
+      match Index.kind ix n with
+      | Index.Element | Index.Attribute | Index.Pi -> Value.Text (Index.name ix n)
+      | _ -> Value.Null
+    in
+    let value =
+      match Index.kind ix n with
+      | Index.Element | Index.Document -> Value.Null
+      | _ -> Value.Text (Index.value ix n)
+    in
+    Db.insert_row_array db "accel"
+      [|
+        Value.Int doc;
+        Value.Int n;
+        Value.Int (Index.size ix n);
+        Value.Int (Index.level ix n);
+        Value.Text kind;
+        name;
+        value;
+        Value.Int (Index.parent ix n);
+        Value.Int (Index.ordinal ix n);
+      |]
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Reconstruction *)
+
+type row = {
+  r_pre : int;
+  r_kind : string;
+  r_name : string;
+  r_value : string;
+  r_parent : int;
+  r_ordinal : int;
+}
+
+let row_of_values a =
+  {
+    r_pre = (match a.(0) with Value.Int i -> i | _ -> err "bad pre");
+    r_kind = Value.to_string a.(1);
+    r_name = (match a.(2) with Value.Null -> "" | v -> Value.to_string v);
+    r_value = (match a.(3) with Value.Null -> "" | v -> Value.to_string v);
+    r_parent = (match a.(4) with Value.Int i -> i | _ -> err "bad parent");
+    r_ordinal = (match a.(5) with Value.Int i -> i | _ -> err "bad ordinal");
+  }
+
+let build_forest rows root_pre =
+  let by_parent = Hashtbl.create 256 in
+  let by_pre = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace by_pre r.r_pre r;
+      Hashtbl.replace by_parent r.r_parent
+        (r :: Option.value ~default:[] (Hashtbl.find_opt by_parent r.r_parent)))
+    rows;
+  let rec build (r : row) : Dom.node =
+    match r.r_kind with
+    | "e" ->
+      let children = Option.value ~default:[] (Hashtbl.find_opt by_parent r.r_pre) in
+      let attrs, content = List.partition (fun c -> c.r_kind = "a") children in
+      let sorted l = List.sort (fun a b -> compare a.r_ordinal b.r_ordinal) l in
+      Dom.Element
+        {
+          Dom.tag = r.r_name;
+          attrs = List.map (fun a -> Dom.attr a.r_name a.r_value) (sorted attrs);
+          children = List.map build (sorted content);
+        }
+    | "t" | "a" -> Dom.Text r.r_value
+    | "c" -> Dom.Comment r.r_value
+    | "p" -> Dom.Pi { target = r.r_name; data = r.r_value }
+    | k -> err "unknown kind %s" k
+  in
+  match Hashtbl.find_opt by_pre root_pre with
+  | Some r -> build r
+  | None -> err "node %d is not stored" root_pre
+
+let fetch_range db ~doc ~lo ~hi =
+  let r =
+    Db.query db
+      (Printf.sprintf
+         "SELECT pre, kind, name, value, parent, ordinal FROM accel WHERE doc = %d AND pre >= \
+          %d AND pre <= %d"
+         doc lo hi)
+  in
+  List.map row_of_values r.Relstore.Executor.rows
+
+let reconstruct db ~doc =
+  let rows = fetch_range db ~doc ~lo:1 ~hi:max_int in
+  match List.find_opt (fun r -> r.r_parent = 0) rows with
+  | Some root -> (
+    match build_forest rows root.r_pre with
+    | Dom.Element e -> Dom.document e
+    | _ -> err "root is not an element")
+  | None -> err "document %d is not stored" doc
+
+let node_of_pre db ~doc pre =
+  let r =
+    Db.query db
+      (Printf.sprintf "SELECT size FROM accel WHERE doc = %d AND pre = %d" doc pre)
+  in
+  match int_column r with
+  | [ size ] -> build_forest (fetch_range db ~doc ~lo:pre ~hi:(pre + size)) pre
+  | _ -> err "node %d is not stored" pre
+
+let string_value_of_pre db ~doc pre =
+  let r =
+    Db.query db
+      (Printf.sprintf "SELECT size, kind, value FROM accel WHERE doc = %d AND pre = %d" doc pre)
+  in
+  match r.Relstore.Executor.rows with
+  | [ [| size; kind; value |] ] -> (
+    match Value.to_string kind with
+    | "e" ->
+      let size = match size with Value.Int i -> i | _ -> err "bad size" in
+      let texts =
+        Db.query db
+          (Printf.sprintf
+             "SELECT value FROM accel WHERE doc = %d AND pre > %d AND pre <= %d AND kind = 't' \
+              ORDER BY pre"
+             doc pre (pre + size))
+      in
+      String.concat "" (string_column texts)
+    | _ -> ( match value with Value.Null -> "" | v -> Value.to_string v))
+  | _ -> err "node %d is not stored" pre
+
+(* ------------------------------------------------------------------ *)
+(* Query translation: always a single statement. *)
+
+let pred_sql ~doc ~cur ~fresh (p : Pathquery.pred) =
+  let module P = Pathquery in
+  match p with
+  | P.Has_child c ->
+    let a = fresh () in
+    ( [ a ],
+      [
+        Printf.sprintf "%s.doc = %d" a doc;
+        Printf.sprintf "%s.parent = %s.pre" a cur;
+        Printf.sprintf "%s.kind = 'e'" a;
+        Printf.sprintf "%s.name = %s" a (P.quote c);
+      ] )
+  | P.Has_attr at ->
+    let a = fresh () in
+    ( [ a ],
+      [
+        Printf.sprintf "%s.doc = %d" a doc;
+        Printf.sprintf "%s.parent = %s.pre" a cur;
+        Printf.sprintf "%s.kind = 'a'" a;
+        Printf.sprintf "%s.name = %s" a (P.quote at);
+      ] )
+  | P.Attr_value (at, op, v) ->
+    let a = fresh () in
+    ( [ a ],
+      [
+        Printf.sprintf "%s.doc = %d" a doc;
+        Printf.sprintf "%s.parent = %s.pre" a cur;
+        Printf.sprintf "%s.kind = 'a'" a;
+        Printf.sprintf "%s.name = %s" a (P.quote at);
+        Printf.sprintf "%s.value %s %s" a (P.cmp_to_sql op) (P.quote v);
+      ] )
+  | P.Attr_number (at, op, v) ->
+    let a = fresh () in
+    ( [ a ],
+      [
+        Printf.sprintf "%s.doc = %d" a doc;
+        Printf.sprintf "%s.parent = %s.pre" a cur;
+        Printf.sprintf "%s.kind = 'a'" a;
+        Printf.sprintf "%s.name = %s" a (P.quote at);
+        Printf.sprintf "to_number(%s.value) %s %s" a (P.cmp_to_sql op) (P.number_literal v);
+      ] )
+  | P.Child_value (c, op, v) ->
+    let a = fresh () and t = fresh () in
+    ( [ a; t ],
+      [
+        Printf.sprintf "%s.doc = %d" a doc;
+        Printf.sprintf "%s.parent = %s.pre" a cur;
+        Printf.sprintf "%s.kind = 'e'" a;
+        Printf.sprintf "%s.name = %s" a (P.quote c);
+        Printf.sprintf "%s.doc = %d" t doc;
+        Printf.sprintf "%s.parent = %s.pre" t a;
+        Printf.sprintf "%s.kind = 't'" t;
+        Printf.sprintf "%s.value %s %s" t (P.cmp_to_sql op) (P.quote v);
+      ] )
+  | P.Child_number (c, op, v) ->
+    let a = fresh () and t = fresh () in
+    ( [ a; t ],
+      [
+        Printf.sprintf "%s.doc = %d" a doc;
+        Printf.sprintf "%s.parent = %s.pre" a cur;
+        Printf.sprintf "%s.kind = 'e'" a;
+        Printf.sprintf "%s.name = %s" a (P.quote c);
+        Printf.sprintf "%s.doc = %d" t doc;
+        Printf.sprintf "%s.parent = %s.pre" t a;
+        Printf.sprintf "%s.kind = 't'" t;
+        Printf.sprintf "to_number(%s.value) %s %s" t (P.cmp_to_sql op) (P.number_literal v);
+      ] )
+
+let translate ~doc (simple : Pathquery.t) =
+  let module P = Pathquery in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "v%d" !counter
+  in
+  let froms = ref [] and wheres = ref [] in
+  let add_from a = froms := a :: !froms in
+  let add_where w = wheres := w :: !wheres in
+  let prev = ref None in
+  List.iter
+    (fun (s : P.step) ->
+      let e = fresh () in
+      add_from e;
+      add_where (Printf.sprintf "%s.doc = %d" e doc);
+      add_where (Printf.sprintf "%s.kind = 'e'" e);
+      (match s.P.test with
+      | P.Tag n -> add_where (Printf.sprintf "%s.name = %s" e (P.quote n))
+      | P.Any_tag -> ());
+      (match (!prev, s.P.desc) with
+      | None, false -> add_where (Printf.sprintf "%s.parent = 0" e)
+      | None, true -> ()  (* any element in the document *)
+      | Some p, false -> add_where (Printf.sprintf "%s.parent = %s.pre" e p)
+      | Some p, true ->
+        (* the interval containment test: the whole point of this scheme *)
+        add_where (Printf.sprintf "%s.pre > %s.pre" e p);
+        add_where (Printf.sprintf "%s.pre <= %s.pre + %s.size" e p p));
+      List.iter
+        (fun pr ->
+          let extra_from, extra_where = pred_sql ~doc ~cur:e ~fresh pr in
+          List.iter add_from extra_from;
+          List.iter add_where extra_where)
+        s.P.preds;
+      prev := Some e)
+    simple.P.steps;
+  let last = match !prev with Some p -> p | None -> err "empty path" in
+  let result_alias =
+    match simple.P.tgt with
+    | P.Elements -> last
+    | P.Attr_of a ->
+      let at = fresh () in
+      add_from at;
+      add_where (Printf.sprintf "%s.doc = %d" at doc);
+      add_where (Printf.sprintf "%s.parent = %s.pre" at last);
+      add_where (Printf.sprintf "%s.kind = 'a'" at);
+      add_where (Printf.sprintf "%s.name = %s" at (P.quote a));
+      at
+    | P.Text_of ->
+      let tx = fresh () in
+      add_from tx;
+      add_where (Printf.sprintf "%s.doc = %d" tx doc);
+      add_where (Printf.sprintf "%s.parent = %s.pre" tx last);
+      add_where (Printf.sprintf "%s.kind = 't'" tx);
+      tx
+  in
+  Printf.sprintf "SELECT DISTINCT %s.pre FROM %s WHERE %s ORDER BY %s.pre" result_alias
+    (String.concat ", " (List.rev_map (fun a -> "accel " ^ a) !froms))
+    (String.concat " AND " (List.rev !wheres))
+    result_alias
+
+let query db ~doc (path : Xpathkit.Ast.path) : query_result =
+  match Pathquery.analyze path with
+  | None -> fallback_query ~reconstruct db ~doc path
+  | Some simple ->
+    let sql = translate ~doc simple in
+    let plan = Db.plan_of db sql in
+    let pres = int_column (Db.query db sql) in
+    {
+      values = List.map (string_value_of_pre db ~doc) pres;
+      nodes = lazy (List.map (node_of_pre db ~doc) pres);
+      sql = [ sql ];
+      joins = Relstore.Plan.count_joins plan;
+      fallback = false;
+    }
+
+let mapping : Mapping.mapping =
+  (module struct
+    let id = id
+    let description = description
+    let create_schema = create_schema
+    let create_indexes = create_indexes
+    let shred = shred
+    let reconstruct = reconstruct
+    let query = query
+  end)

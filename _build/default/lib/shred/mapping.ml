@@ -1,0 +1,98 @@
+(* Common interface implemented by every shredding scheme. *)
+
+module Dom = Xmlkit.Dom
+module Index = Xmlkit.Index
+module Db = Relstore.Database
+
+(* Result of running a translated path query. [values] are the XPath
+   string-values of the selected nodes in document order — the unit of
+   comparison against the native evaluator. [nodes] reconstructs the
+   selected subtrees on demand. [sql] lists every SQL statement executed;
+   [fallback] is set when the path was outside the translatable subset and
+   was answered by reconstructing the document and evaluating natively. *)
+type query_result = {
+  values : string list;
+  nodes : Dom.node list Lazy.t;
+  sql : string list;
+  joins : int;
+  fallback : bool;
+}
+
+module type MAPPING = sig
+  val id : string
+  val description : string
+
+  val create_schema : Db.t -> unit
+  (** Create the mapping's base tables (idempotent). *)
+
+  val create_indexes : Db.t -> unit
+  (** Create the mapping's recommended secondary indexes; kept separate so
+      the benchmark harness can measure indexed vs unindexed (F3). *)
+
+  val shred : Db.t -> doc:int -> Index.t -> unit
+  (** Store one document under document id [doc]. *)
+
+  val reconstruct : Db.t -> doc:int -> Dom.t
+  (** Rebuild the full document from its relations. *)
+
+  val query : Db.t -> doc:int -> Xpathkit.Ast.path -> query_result
+  (** Evaluate an absolute XPath location path against the stored form. *)
+end
+
+type mapping = (module MAPPING)
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers *)
+
+exception Shred_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Shred_error s)) fmt
+
+(* Fallback evaluation used by every scheme for untranslatable paths:
+   reconstruct, evaluate natively, and report it. *)
+let fallback_query ~reconstruct db ~doc path =
+  let dom = reconstruct db ~doc in
+  let ix = Index.of_document dom in
+  let nodes = Xpathkit.Eval.eval_path (Xpathkit.Eval.root_context ix) path in
+  {
+    values = List.map (Index.string_value ix) nodes;
+    nodes = lazy (List.map (Index.to_node ix) nodes);
+    sql = [];
+    joins = 0;
+    fallback = true;
+  }
+
+(* Single-column int results of a SELECT. *)
+let int_column (r : Relstore.Executor.result) =
+  List.map
+    (fun row ->
+      match row.(0) with
+      | Relstore.Value.Int i -> i
+      | v -> err "expected an integer, got %s" (Relstore.Value.to_string v))
+    r.Relstore.Executor.rows
+
+let string_column (r : Relstore.Executor.result) =
+  List.map (fun row -> Relstore.Value.to_string row.(0)) r.Relstore.Executor.rows
+
+(* Kind codes shared by the node-table schemes. *)
+let kind_code = function
+  | Index.Element -> "e"
+  | Index.Attribute -> "a"
+  | Index.Text -> "t"
+  | Index.Comment -> "c"
+  | Index.Pi -> "p"
+  | Index.Document -> "d"
+
+(* Sanitize a tag into a SQL identifier fragment (Binary mapping table
+   names, Universal/Inline column names). Collisions are disambiguated by
+   the caller via a registry table. *)
+let sanitize tag =
+  let buf = Buffer.create (String.length tag) in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then
+        Buffer.add_char buf (Char.lowercase_ascii c)
+      else Buffer.add_char buf '_')
+    tag;
+  let s = Buffer.contents buf in
+  if s = "" || (s.[0] >= '0' && s.[0] <= '9') then "t" ^ s else s

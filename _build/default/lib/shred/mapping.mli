@@ -1,0 +1,56 @@
+(** Common interface implemented by every shredding scheme. *)
+
+module Dom = Xmlkit.Dom
+module Index = Xmlkit.Index
+module Db = Relstore.Database
+
+exception Shred_error of string
+
+(** Result of a translated path query. [values] are XPath string-values in
+    document order — the unit of comparison against the native evaluator.
+    [fallback] marks paths outside the translatable subset, answered by
+    reconstructing the document and evaluating natively. *)
+type query_result = {
+  values : string list;
+  nodes : Dom.node list Lazy.t;  (** reconstructed result subtrees *)
+  sql : string list;  (** every SQL statement executed *)
+  joins : int;
+  fallback : bool;
+}
+
+module type MAPPING = sig
+  val id : string
+  val description : string
+
+  val create_schema : Db.t -> unit
+  (** Create the mapping's base tables (idempotent). *)
+
+  val create_indexes : Db.t -> unit
+  (** Recommended secondary indexes; separate so benchmark F3 can measure
+      indexed vs unindexed. *)
+
+  val shred : Db.t -> doc:int -> Index.t -> unit
+  val reconstruct : Db.t -> doc:int -> Dom.t
+  val query : Db.t -> doc:int -> Xpathkit.Ast.path -> query_result
+end
+
+type mapping = (module MAPPING)
+
+(** {1 Helpers shared by the scheme implementations} *)
+
+val err : ('a, unit, string, 'b) format4 -> 'a
+(** @raise Shred_error *)
+
+val fallback_query :
+  reconstruct:(Db.t -> doc:int -> Dom.t) -> Db.t -> doc:int -> Xpathkit.Ast.path -> query_result
+(** Reconstruct, evaluate natively, flag the result. *)
+
+val int_column : Relstore.Executor.result -> int list
+val string_column : Relstore.Executor.result -> string list
+
+val kind_code : Index.kind -> string
+(** 'e' element, 'a' attribute, 't' text, 'c' comment, 'p' PI, 'd'
+    document. *)
+
+val sanitize : string -> string
+(** Tag name to SQL identifier fragment; callers uniquify collisions. *)

@@ -1,0 +1,13 @@
+(* Registry of available mapping schemes. *)
+
+let all : Mapping.mapping list = [ Edge.mapping; Binary.mapping; Interval.mapping; Dewey.mapping; Universal.mapping; Textblob.mapping; Tokens.mapping ]
+
+let ids () =
+  List.map (fun m -> let module M = (val m : Mapping.MAPPING) in M.id) all
+
+let find id =
+  List.find_opt
+    (fun m ->
+      let module M = (val m : Mapping.MAPPING) in
+      String.equal M.id id)
+    all

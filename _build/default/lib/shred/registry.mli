@@ -1,0 +1,8 @@
+(** Registry of the statically-available mapping schemes.
+
+    The [inline] scheme is absent here because it is parameterized by a
+    DTD; construct it with {!Inline.make}. *)
+
+val all : Mapping.mapping list
+val ids : unit -> string list
+val find : string -> Mapping.mapping option

@@ -1,0 +1,631 @@
+(* The Universal-table mapping: one wide relation equivalent to the full
+   outer join of all Binary tables — the straw-man baseline. One row per
+   edge, with a column group per label, only the owning label's group
+   non-NULL:
+
+     univ(doc, source, ordinal,
+          e_<tag>_t,  e_<tag>_v,   ... per element tag
+          a_<name>_t, a_<name>_v,  ... per attribute name)
+     u_labels(kind, label, col)    label registry
+
+   An element edge fills (e_<tag>_t = child id, e_<tag>_v = the child's
+   text when it is a text-only leaf); an attribute edge fills its a_ pair.
+   The scheme targets data-centric XML: mixed content, comments, and
+   processing instructions are rejected at shred time (the documented
+   lossiness of the universal relation). New labels in later documents
+   widen the table (rebuild + copy).
+
+   The experiments show what the literature shows: tuple count equals
+   Edge's, but bytes balloon with the NULL padding. *)
+
+module Dom = Xmlkit.Dom
+module Index = Xmlkit.Index
+module Db = Relstore.Database
+module Value = Relstore.Value
+open Mapping
+
+let id = "universal"
+let description = "single wide universal table (outer join of all binary tables)"
+
+let create_schema db =
+  ignore
+    (Db.exec db
+       "CREATE TABLE IF NOT EXISTS u_labels (kind TEXT NOT NULL, label TEXT NOT NULL, col \
+        TEXT NOT NULL)");
+  ignore
+    (Db.exec db
+       "CREATE TABLE IF NOT EXISTS univ (doc INTEGER NOT NULL, source INTEGER NOT NULL, \
+        ordinal INTEGER NOT NULL)")
+
+let create_indexes db =
+  ignore (Db.exec db "CREATE INDEX IF NOT EXISTS univ_source ON univ (source)")
+
+(* Registry: labels and their column bases. *)
+let labels db =
+  let r = Db.query db "SELECT kind, label, col FROM u_labels" in
+  List.map
+    (fun a -> (Value.to_string a.(0), Value.to_string a.(1), Value.to_string a.(2)))
+    r.Relstore.Executor.rows
+
+let col_of db ~kind label =
+  List.find_map
+    (fun (k, l, c) -> if k = kind && l = label then Some c else None)
+    (labels db)
+
+let id_col ~kind col = Printf.sprintf "%s_%s_t" kind col
+let val_col ~kind col = Printf.sprintf "%s_%s_v" kind col
+
+(* Widen the table for any labels not yet registered: rebuild + copy. *)
+let ensure_labels db new_labels =
+  let existing = labels db in
+  let missing =
+    List.filter
+      (fun (k, l) -> not (List.exists (fun (k', l', _) -> k = k' && l = l') existing))
+      new_labels
+  in
+  if missing <> [] then begin
+    let taken = ref (List.map (fun (_, _, c) -> c) existing) in
+    let fresh label =
+      let base = sanitize label in
+      let rec unique candidate n =
+        if List.mem candidate !taken then unique (Printf.sprintf "%s_%d" base n) (n + 1)
+        else candidate
+      in
+      let c = unique base 1 in
+      taken := c :: !taken;
+      c
+    in
+    let added = List.map (fun (k, l) -> (k, l, fresh l)) missing in
+    List.iter
+      (fun (k, l, c) ->
+        ignore
+          (Db.exec db
+             (Printf.sprintf "INSERT INTO u_labels VALUES (%s, %s, %s)" (Pathquery.quote k)
+                (Pathquery.quote l) (Pathquery.quote c))))
+      added;
+    (* rebuild univ with the wider schema, copying old rows *)
+    let all = existing @ added in
+    let old_cols =
+      [ "doc"; "source"; "ordinal" ]
+      @ List.concat_map (fun (k, _, c) -> [ id_col ~kind:k c; val_col ~kind:k c ]) existing
+    in
+    let old_rows =
+      (Db.query db (Printf.sprintf "SELECT %s FROM univ" (String.concat ", " old_cols)))
+        .Relstore.Executor.rows
+    in
+    ignore (Db.exec db "DROP TABLE univ");
+    let col_defs =
+      [ "doc INTEGER NOT NULL"; "source INTEGER NOT NULL"; "ordinal INTEGER NOT NULL" ]
+      @ List.concat_map
+          (fun (k, _, c) ->
+            [ id_col ~kind:k c ^ " INTEGER"; val_col ~kind:k c ^ " TEXT" ])
+          all
+    in
+    ignore (Db.exec db (Printf.sprintf "CREATE TABLE univ (%s)" (String.concat ", " col_defs)));
+    let pad = 2 * List.length added in
+    List.iter
+      (fun row ->
+        Db.insert_row_array db "univ" (Array.append row (Array.make pad Value.Null)))
+      old_rows;
+    create_indexes db
+  end
+
+(* Width of the current univ row and position of each column. *)
+let univ_columns db =
+  [ "doc"; "source"; "ordinal" ]
+  @ List.concat_map (fun (k, _, c) -> [ id_col ~kind:k c; val_col ~kind:k c ]) (labels db)
+
+(* Text-only leaf content of an element, or None when it has element
+   children. Raises on mixed content. *)
+let leaf_text ix n =
+  let kids = Index.children ix n in
+  let texts = List.filter (fun c -> Index.kind ix c = Index.Text) kids in
+  let elems = List.filter (fun c -> Index.kind ix c = Index.Element) kids in
+  if List.exists (fun c -> match Index.kind ix c with Index.Comment | Index.Pi -> true | _ -> false) kids
+  then err "universal mapping does not support comments or processing instructions";
+  match (texts, elems) with
+  | [], [] -> Some ""
+  | _, [] -> Some (String.concat "" (List.map (Index.value ix) texts))
+  | [], _ -> None
+  | _, _ -> err "universal mapping does not support mixed content"
+
+let shred db ~doc ix =
+  (* collect labels *)
+  let labs = ref [] in
+  for n = 1 to Index.count ix - 1 do
+    match Index.kind ix n with
+    | Index.Element ->
+      let l = ("e", Index.name ix n) in
+      if not (List.mem l !labs) then labs := l :: !labs
+    | Index.Attribute ->
+      let l = ("a", Index.name ix n) in
+      if not (List.mem l !labs) then labs := l :: !labs
+    | _ -> ()
+  done;
+  ensure_labels db (List.rev !labs);
+  let all = labels db in
+  let cols = univ_columns db in
+  let width = List.length cols in
+  let pos =
+    let tbl = Hashtbl.create 32 in
+    List.iteri (fun i c -> Hashtbl.add tbl c i) cols;
+    fun c -> Hashtbl.find tbl c
+  in
+  let col_for kind label =
+    match List.find_opt (fun (k, l, _) -> k = kind && l = label) all with
+    | Some (_, _, c) -> c
+    | None -> err "label %s not registered" label
+  in
+  let insert_edge ~source ~ordinal ~kind ~label ~target ~value =
+    let row = Array.make width Value.Null in
+    row.(0) <- Value.Int doc;
+    row.(1) <- Value.Int source;
+    row.(2) <- Value.Int ordinal;
+    let c = col_for kind label in
+    row.(pos (id_col ~kind c)) <- Value.Int target;
+    (match value with Some v -> row.(pos (val_col ~kind c)) <- Value.Text v | None -> ());
+    Db.insert_row_array db "univ" row
+  in
+  for n = 1 to Index.count ix - 1 do
+    match Index.kind ix n with
+    | Index.Element ->
+      insert_edge ~source:(Index.parent ix n) ~ordinal:(Index.ordinal ix n) ~kind:"e"
+        ~label:(Index.name ix n) ~target:n ~value:(leaf_text ix n)
+    | Index.Attribute ->
+      insert_edge ~source:(Index.parent ix n) ~ordinal:(Index.ordinal ix n) ~kind:"a"
+        ~label:(Index.name ix n) ~target:n ~value:(Some (Index.value ix n))
+    | Index.Text | Index.Comment | Index.Pi | Index.Document -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Reconstruction *)
+
+(* A decoded edge: which label the row carries, plus ids. *)
+type edge = {
+  g_source : int;
+  g_ordinal : int;
+  g_kind : string;
+  g_label : string;
+  g_target : int;
+  g_value : string option;
+}
+
+let decode_rows db rows =
+  let all = labels db in
+  let cols = univ_columns db in
+  List.filter_map
+    (fun (row : Value.t array) ->
+      let get name =
+        let rec go i = function
+          | [] -> err "missing column %s" name
+          | c :: _ when c = name -> row.(i)
+          | _ :: rest -> go (i + 1) rest
+        in
+        go 0 cols
+      in
+      let source = match get "source" with Value.Int i -> i | _ -> err "bad source" in
+      let ordinal = match get "ordinal" with Value.Int i -> i | _ -> err "bad ordinal" in
+      List.find_map
+        (fun (k, l, c) ->
+          match get (id_col ~kind:k c) with
+          | Value.Int t ->
+            Some
+              {
+                g_source = source;
+                g_ordinal = ordinal;
+                g_kind = k;
+                g_label = l;
+                g_target = t;
+                g_value =
+                  (match get (val_col ~kind:k c) with
+                  | Value.Null -> None
+                  | v -> Some (Value.to_string v));
+              }
+          | _ -> None)
+        all)
+    rows
+
+let fetch_edges db ~doc ~where =
+  let sql =
+    Printf.sprintf "SELECT %s FROM univ WHERE doc = %d%s"
+      (String.concat ", " (univ_columns db))
+      doc
+      (if where = "" then "" else " AND " ^ where)
+  in
+  (sql, decode_rows db (Db.query db sql).Relstore.Executor.rows)
+
+let build_tree by_source (e : edge) =
+  let rec build (e : edge) : Dom.node =
+    let children = Option.value ~default:[] (Hashtbl.find_opt by_source e.g_target) in
+    let attrs, elems = List.partition (fun c -> c.g_kind = "a") children in
+    let sorted l = List.sort (fun a b -> compare a.g_ordinal b.g_ordinal) l in
+    let content =
+      match (elems, e.g_value) with
+      | [], Some "" -> []
+      | [], Some v -> [ Dom.Text v ]
+      | [], None -> []
+      | es, _ -> List.map build (sorted es)
+    in
+    Dom.Element
+      {
+        Dom.tag = e.g_label;
+        attrs =
+          List.map (fun a -> Dom.attr a.g_label (Option.value ~default:"" a.g_value)) (sorted attrs);
+        children = content;
+      }
+  in
+  build e
+
+let group_by_source edges =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace tbl e.g_source
+        (e :: Option.value ~default:[] (Hashtbl.find_opt tbl e.g_source)))
+    edges;
+  tbl
+
+let reconstruct db ~doc =
+  let _, edges = fetch_edges db ~doc ~where:"" in
+  let by_source = group_by_source edges in
+  match Option.value ~default:[] (Hashtbl.find_opt by_source 0) with
+  | [ root ] -> (
+    match build_tree by_source root with
+    | Dom.Element e -> Dom.document e
+    | _ -> err "root is not an element")
+  | [] -> err "document %d is not stored" doc
+  | _ -> err "document %d has multiple roots" doc
+
+(* Subtree by node id: repeated source fetches. *)
+let rec node_of_target db ~doc (e : edge) : Dom.node =
+  let _, children = fetch_edges db ~doc ~where:(Printf.sprintf "source = %d" e.g_target) in
+  let attrs, elems = List.partition (fun c -> c.g_kind = "a") children in
+  let sorted l = List.sort (fun a b -> compare a.g_ordinal b.g_ordinal) l in
+  let content =
+    match (elems, e.g_value) with
+    | [], Some "" | [], None -> []
+    | [], Some v -> [ Dom.Text v ]
+    | es, _ -> List.map (node_of_target db ~doc) (sorted es)
+  in
+  Dom.Element
+    {
+      Dom.tag = e.g_label;
+      attrs =
+        List.map (fun a -> Dom.attr a.g_label (Option.value ~default:"" a.g_value)) (sorted attrs);
+      children = content;
+    }
+
+(* Find the edge row pointing at a given node id. *)
+let edge_of_target db ~doc ~kind ~label target =
+  match col_of db ~kind label with
+  | None -> err "unknown label %s" label
+  | Some c -> (
+    let _, edges =
+      fetch_edges db ~doc ~where:(Printf.sprintf "%s = %d" (id_col ~kind c) target)
+    in
+    match edges with
+    | [ e ] -> e
+    | [] -> err "no edge with target %d" target
+    | _ -> err "multiple edges with target %d" target)
+
+(* ------------------------------------------------------------------ *)
+(* Query translation *)
+
+exception Empty_result
+
+(* Named child chains in one statement; target values selected directly. *)
+let chain_sql db ~doc (simple : Pathquery.t) =
+  let module P = Pathquery in
+  let ecol tag = match col_of db ~kind:"e" tag with Some c -> c | None -> raise Empty_result in
+  let acol at = match col_of db ~kind:"a" at with Some c -> c | None -> raise Empty_result in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "u%d" !counter
+  in
+  let froms = ref [] and wheres = ref [] in
+  let add_from a = froms := a :: !froms in
+  let add_where w = wheres := w :: !wheres in
+  (* current element id expression and its tag column *)
+  let prev = ref None in
+  List.iter
+    (fun (s : P.step) ->
+      assert (not s.P.desc);
+      let tag = match s.P.test with P.Tag n -> n | P.Any_tag -> err "wildcard in chain" in
+      let c = ecol tag in
+      let u = fresh () in
+      add_from u;
+      add_where (Printf.sprintf "%s.doc = %d" u doc);
+      add_where (Printf.sprintf "%s.%s IS NOT NULL" u (id_col ~kind:"e" c));
+      (match !prev with
+      | None -> add_where (Printf.sprintf "%s.source = 0" u)
+      | Some (p, pc) -> add_where (Printf.sprintf "%s.source = %s.%s" u p (id_col ~kind:"e" pc)));
+      let cur_id = Printf.sprintf "%s.%s" u (id_col ~kind:"e" c) in
+      List.iter
+        (fun pr ->
+          match pr with
+          | P.Has_child ch ->
+            let cc = ecol ch in
+            let a = fresh () in
+            add_from a;
+            add_where (Printf.sprintf "%s.doc = %d" a doc);
+            add_where (Printf.sprintf "%s.source = %s" a cur_id);
+            add_where (Printf.sprintf "%s.%s IS NOT NULL" a (id_col ~kind:"e" cc))
+          | P.Has_attr at ->
+            let ac = acol at in
+            let a = fresh () in
+            add_from a;
+            add_where (Printf.sprintf "%s.doc = %d" a doc);
+            add_where (Printf.sprintf "%s.source = %s" a cur_id);
+            add_where (Printf.sprintf "%s.%s IS NOT NULL" a (id_col ~kind:"a" ac))
+          | P.Attr_value (at, op, v) ->
+            let ac = acol at in
+            let a = fresh () in
+            add_from a;
+            add_where (Printf.sprintf "%s.doc = %d" a doc);
+            add_where (Printf.sprintf "%s.source = %s" a cur_id);
+            add_where
+              (Printf.sprintf "%s.%s %s %s" a (val_col ~kind:"a" ac) (P.cmp_to_sql op) (P.quote v))
+          | P.Attr_number (at, op, v) ->
+            let ac = acol at in
+            let a = fresh () in
+            add_from a;
+            add_where (Printf.sprintf "%s.doc = %d" a doc);
+            add_where (Printf.sprintf "%s.source = %s" a cur_id);
+            add_where
+              (Printf.sprintf "to_number(%s.%s) %s %s" a (val_col ~kind:"a" ac) (P.cmp_to_sql op)
+                 (P.number_literal v))
+          | P.Child_value (ch, op, v) ->
+            let cc = ecol ch in
+            let a = fresh () in
+            add_from a;
+            add_where (Printf.sprintf "%s.doc = %d" a doc);
+            add_where (Printf.sprintf "%s.source = %s" a cur_id);
+            add_where
+              (Printf.sprintf "%s.%s %s %s" a (val_col ~kind:"e" cc) (P.cmp_to_sql op) (P.quote v))
+          | P.Child_number (ch, op, v) ->
+            let cc = ecol ch in
+            let a = fresh () in
+            add_from a;
+            add_where (Printf.sprintf "%s.doc = %d" a doc);
+            add_where (Printf.sprintf "%s.source = %s" a cur_id);
+            add_where
+              (Printf.sprintf "to_number(%s.%s) %s %s" a (val_col ~kind:"e" cc) (P.cmp_to_sql op)
+                 (P.number_literal v)))
+        s.P.preds;
+      prev := Some (u, c))
+    simple.P.steps;
+  let last, lc = match !prev with Some p -> p | None -> err "empty path" in
+  let last_id = Printf.sprintf "%s.%s" last (id_col ~kind:"e" lc) in
+  let select, order, shape =
+    match simple.P.tgt with
+    | P.Elements ->
+      (last_id, last_id, `Element (List.rev simple.P.steps |> List.hd |> fun s ->
+        match s.P.test with P.Tag n -> n | P.Any_tag -> assert false))
+    | P.Attr_of a ->
+      let ac = acol a in
+      let at = fresh () in
+      add_from at;
+      add_where (Printf.sprintf "%s.doc = %d" at doc);
+      add_where (Printf.sprintf "%s.source = %s" at last_id);
+      add_where (Printf.sprintf "%s.%s IS NOT NULL" at (id_col ~kind:"a" ac)) |> ignore;
+      ( Printf.sprintf "%s.%s, %s.%s" at (id_col ~kind:"a" ac) at (val_col ~kind:"a" ac),
+        Printf.sprintf "%s.%s" at (id_col ~kind:"a" ac),
+        `Value )
+    | P.Text_of ->
+      add_where (Printf.sprintf "%s.%s IS NOT NULL" last (val_col ~kind:"e" lc));
+      ( Printf.sprintf "%s, %s.%s" last_id last (val_col ~kind:"e" lc),
+        last_id,
+        `Value )
+  in
+  let sql =
+    Printf.sprintf "SELECT DISTINCT %s FROM %s WHERE %s ORDER BY %s" select
+      (String.concat ", " (List.rev_map (fun a -> "univ " ^ a) !froms))
+      (String.concat " AND " (List.rev !wheres))
+      order
+  in
+  (sql, shape)
+
+(* Stepwise evaluation for '//' and wildcards: fetch the full column group
+   of each frontier batch and decode in OCaml — the universal table makes
+   every navigation touch the whole wide row. *)
+let stepwise db ~doc (simple : Pathquery.t) =
+  let module P = Pathquery in
+  let sqls = ref [] in
+  let fetch where =
+    let sql, edges = fetch_edges db ~doc ~where in
+    sqls := sql :: !sqls;
+    edges
+  in
+  let children_of ids =
+    Edge.batched ids (fun chunk ->
+        fetch (Printf.sprintf "source IN (%s)" (Edge.in_list chunk)))
+  in
+  let check_pred (e : edge) (p : P.pred) =
+    let kids = fetch (Printf.sprintf "source = %d" e.g_target) in
+    match p with
+    | P.Has_child c -> List.exists (fun k -> k.g_kind = "e" && k.g_label = c) kids
+    | P.Has_attr a -> List.exists (fun k -> k.g_kind = "a" && k.g_label = a) kids
+    | P.Attr_value (a, op, v) ->
+      List.exists
+        (fun k ->
+          k.g_kind = "a" && k.g_label = a
+          &&
+          let kv = Option.value ~default:"" k.g_value in
+          let c = compare kv v in
+          match op with
+          | P.Ceq -> c = 0
+          | P.Cneq -> c <> 0
+          | P.Clt -> c < 0
+          | P.Cle -> c <= 0
+          | P.Cgt -> c > 0
+          | P.Cge -> c >= 0)
+        kids
+    | P.Attr_number (a, op, v) ->
+      List.exists
+        (fun k ->
+          k.g_kind = "a" && k.g_label = a
+          &&
+          match float_of_string_opt (Option.value ~default:"" k.g_value) with
+          | None -> false
+          | Some f -> (
+            match op with
+            | P.Ceq -> f = v
+            | P.Cneq -> f <> v
+            | P.Clt -> f < v
+            | P.Cle -> f <= v
+            | P.Cgt -> f > v
+            | P.Cge -> f >= v))
+        kids
+    | P.Child_value (c, op, v) ->
+      List.exists
+        (fun k ->
+          k.g_kind = "e" && k.g_label = c
+          &&
+          let kv = Option.value ~default:"" k.g_value in
+          let cr = compare kv v in
+          match op with
+          | P.Ceq -> cr = 0
+          | P.Cneq -> cr <> 0
+          | P.Clt -> cr < 0
+          | P.Cle -> cr <= 0
+          | P.Cgt -> cr > 0
+          | P.Cge -> cr >= 0)
+        kids
+    | P.Child_number (c, op, v) ->
+      List.exists
+        (fun k ->
+          k.g_kind = "e" && k.g_label = c
+          &&
+          match float_of_string_opt (Option.value ~default:"" k.g_value) with
+          | None -> false
+          | Some f -> (
+            match op with
+            | P.Ceq -> f = v
+            | P.Cneq -> f <> v
+            | P.Clt -> f < v
+            | P.Cle -> f <= v
+            | P.Cgt -> f > v
+            | P.Cge -> f >= v))
+        kids
+  in
+  let matches_test (e : edge) = function
+    | P.Tag n -> e.g_kind = "e" && e.g_label = n
+    | P.Any_tag -> e.g_kind = "e"
+  in
+  let step_frontier frontier (s : P.step) =
+    let matched =
+      if s.P.desc then begin
+        let acc = ref [] in
+        let current = ref frontier in
+        while !current <> [] do
+          let kids =
+            children_of (List.map (fun e -> e.g_target) !current)
+            |> List.filter (fun e -> e.g_kind = "e")
+          in
+          acc := List.filter (fun e -> matches_test e s.P.test) kids @ !acc;
+          current := kids
+        done;
+        List.sort_uniq (fun a b -> compare a.g_target b.g_target) !acc
+      end
+      else
+        children_of (List.map (fun e -> e.g_target) frontier)
+        |> List.filter (fun e -> matches_test e s.P.test)
+        |> List.sort_uniq (fun a b -> compare a.g_target b.g_target)
+    in
+    List.filter (fun e -> List.for_all (check_pred e) s.P.preds) matched
+  in
+  (* pseudo-edge for the document node *)
+  let start = { g_source = -1; g_ordinal = 0; g_kind = "e"; g_label = ""; g_target = 0; g_value = None } in
+  let final = List.fold_left step_frontier [ start ] simple.P.steps in
+  let result =
+    match simple.P.tgt with
+    | P.Elements -> `Edges final
+    | P.Attr_of a ->
+      `Values
+        (List.concat_map
+           (fun e ->
+             fetch (Printf.sprintf "source = %d" e.g_target)
+             |> List.filter (fun k -> k.g_kind = "a" && k.g_label = a)
+             |> List.map (fun k -> (k.g_target, Option.value ~default:"" k.g_value)))
+           final
+        |> List.sort_uniq compare)
+    | P.Text_of ->
+      `Values
+        (List.filter_map
+           (fun e -> match e.g_value with Some v when v <> "" -> Some (e.g_target, v) | _ -> None)
+           final
+        |> List.sort_uniq compare)
+  in
+  (result, List.rev !sqls)
+
+let is_named_chain (simple : Pathquery.t) =
+  List.for_all
+    (fun (s : Pathquery.step) ->
+      (not s.Pathquery.desc) && match s.Pathquery.test with Pathquery.Tag _ -> true | _ -> false)
+    simple.Pathquery.steps
+
+let result_of_edges db ~doc edges sqls joins =
+  let edges = List.sort (fun a b -> compare a.g_target b.g_target) edges in
+  {
+    values = List.map (fun e -> Dom.string_value (node_of_target db ~doc e)) edges;
+    nodes = lazy (List.map (node_of_target db ~doc) edges);
+    sql = sqls;
+    joins;
+    fallback = false;
+  }
+
+let result_of_values values sqls joins =
+  let values = List.sort compare values in
+  {
+    values = List.map snd values;
+    nodes = lazy (List.map (fun (_, v) -> Dom.Text v) values);
+    sql = sqls;
+    joins;
+    fallback = false;
+  }
+
+let query db ~doc (path : Xpathkit.Ast.path) : query_result =
+  match Pathquery.analyze path with
+  | None -> fallback_query ~reconstruct db ~doc path
+  | Some simple ->
+    if is_named_chain simple then begin
+      match chain_sql db ~doc simple with
+      | sql, shape -> (
+        let plan = Db.plan_of db sql in
+        let joins = Relstore.Plan.count_joins plan in
+        let rows = (Db.query db sql).Relstore.Executor.rows in
+        match shape with
+        | `Element tag ->
+          let ids = List.map (fun r -> match r.(0) with Value.Int i -> i | _ -> err "bad id") rows in
+          result_of_edges db ~doc
+            (List.map (fun t -> edge_of_target db ~doc ~kind:"e" ~label:tag t) ids)
+            [ sql ] joins
+        | `Value ->
+          result_of_values
+            (List.map
+               (fun r ->
+                 ( (match r.(0) with Value.Int i -> i | _ -> err "bad id"),
+                   match r.(1) with Value.Null -> "" | v -> Value.to_string v ))
+               rows)
+            [ sql ] joins)
+      | exception Empty_result ->
+        { values = []; nodes = lazy []; sql = []; joins = 0; fallback = false }
+    end
+    else begin
+      let result, sqls = stepwise db ~doc simple in
+      match result with
+      | `Edges edges -> result_of_edges db ~doc edges sqls 0
+      | `Values vs -> result_of_values vs sqls 0
+    end
+
+let mapping : Mapping.mapping =
+  (module struct
+    let id = id
+    let description = description
+    let create_schema = create_schema
+    let create_indexes = create_indexes
+    let shred = shred
+    let reconstruct = reconstruct
+    let query = query
+  end)

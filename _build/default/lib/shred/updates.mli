@@ -1,0 +1,25 @@
+(** In-place update operations on stored documents, for the schemes where
+    the literature defines them: edge, dewey (cheap by design), and
+    interval (renumbers every following node — the weakness ORDPath-style
+    labels address). *)
+
+type cost = { inserted : int; updated : int; deleted : int }
+(** Rows touched: the machine-independent cost measure of experiment F5. *)
+
+val zero : cost
+val cost_total : cost -> int
+
+module type UPDATER = sig
+  val id : string
+
+  val append_child :
+    Relstore.Database.t -> doc:int -> parent:Xpathkit.Ast.path -> Xmlkit.Dom.node -> cost
+  (** Append an element subtree as the last child of the single element
+      selected by [parent]; fails if it selects zero or several. *)
+
+  val delete_matching : Relstore.Database.t -> doc:int -> Xpathkit.Ast.path -> cost
+  (** Delete every element (subtree included) selected by the path. *)
+end
+
+val all : (module UPDATER) list
+val find : string -> (module UPDATER) option

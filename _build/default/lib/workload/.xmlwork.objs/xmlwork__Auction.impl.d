@@ -1,0 +1,1 @@
+lib/workload/auction.ml: Array List Printf Rng String Xmlkit

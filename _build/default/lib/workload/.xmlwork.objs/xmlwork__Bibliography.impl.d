@@ -1,0 +1,1 @@
+lib/workload/bibliography.ml: List Printf Rng String Xmlkit

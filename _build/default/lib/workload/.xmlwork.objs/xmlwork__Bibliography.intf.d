@@ -1,0 +1,1 @@
+lib/workload/bibliography.mli: Lazy Xmlkit

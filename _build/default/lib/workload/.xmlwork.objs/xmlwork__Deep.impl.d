@@ -1,0 +1,1 @@
+lib/workload/deep.ml: List Printf Rng Xmlkit

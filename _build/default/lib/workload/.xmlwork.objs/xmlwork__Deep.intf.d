@@ -1,0 +1,1 @@
+lib/workload/deep.mli: Lazy Xmlkit

@@ -1,0 +1,173 @@
+(* XMark-style auction-site document generator.
+
+   Mirrors the structural skeleton of the XMark benchmark (Schmidt et al.):
+   a site with regions holding items, people with profiles, and open and
+   closed auctions with bidders — the workload the surveyed storage papers
+   evaluate on. [scale] is roughly proportional to node count: scale 1.0
+   produces about 2000 people+items+auctions elements. Deterministic for a
+   given seed. *)
+
+module Dom = Xmlkit.Dom
+
+type params = {
+  seed : int;
+  scale : float;
+  description_words : int;  (* size of free-text descriptions *)
+}
+
+let default = { seed = 42; scale = 0.1; description_words = 8 }
+
+let regions = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let categories = [| "art"; "books"; "coins"; "stamps"; "tools"; "toys" |]
+
+let gen_item rng ~region:_ ~item_id ~description_words =
+  let n_keywords = Rng.range rng 1 4 in
+  let keywords =
+    List.init n_keywords (fun _ -> Dom.element "keyword" [ Dom.text (Rng.word rng) ])
+  in
+  Dom.element
+    ~attrs:[ Dom.attr "id" (Printf.sprintf "item%d" item_id) ]
+    "item"
+    ([
+       Dom.element "name" [ Dom.text (Rng.sentence rng 2) ];
+       Dom.element "category" [ Dom.text (Rng.pick rng categories) ];
+       Dom.element "location" [ Dom.text (Rng.pick rng [| "United States"; "Germany"; "Japan"; "Brazil" |]) ];
+       Dom.element "quantity" [ Dom.text (string_of_int (Rng.range rng 1 10)) ];
+       Dom.element "payment" [ Dom.text (Rng.pick rng [| "Cash"; "Creditcard"; "Check" |]) ];
+     ]
+    @ keywords
+    @ [ Dom.element "description" [ Dom.text (Rng.sentence rng description_words) ] ])
+
+let gen_person rng ~person_id =
+  let has_age = Rng.int rng 4 > 0 in
+  let has_income = Rng.bool rng in
+  let profile_children =
+    [ Dom.element "interest" [ Dom.text (Rng.pick rng categories) ] ]
+    @ (if has_age then [ Dom.element "age" [ Dom.text (string_of_int (Rng.range rng 18 80)) ] ] else [])
+    @
+    if has_income then
+      [ Dom.element "income" [ Dom.text (string_of_int (Rng.range rng 20000 120000)) ] ]
+    else []
+  in
+  Dom.element
+    ~attrs:[ Dom.attr "id" (Printf.sprintf "person%d" person_id) ]
+    "person"
+    [
+      Dom.element "name" [ Dom.text (String.capitalize_ascii (Rng.word rng) ^ " " ^ String.capitalize_ascii (Rng.word rng)) ];
+      Dom.element "emailaddress" [ Dom.text (Rng.word rng ^ "@" ^ Rng.word rng ^ ".example") ];
+      Dom.element "city" [ Dom.text (String.capitalize_ascii (Rng.word rng)) ];
+      Dom.element "profile" profile_children;
+    ]
+
+let gen_open_auction rng ~auction_id ~n_items ~n_people =
+  let n_bidders = Rng.range rng 0 4 in
+  let bidders =
+    List.init n_bidders (fun _ ->
+        Dom.element "bidder"
+          [
+            Dom.element "personref"
+              [ Dom.text (Printf.sprintf "person%d" (Rng.int rng (max 1 n_people))) ];
+            Dom.element "increase" [ Dom.text (string_of_int (Rng.range rng 1 50)) ];
+          ])
+  in
+  Dom.element
+    ~attrs:[ Dom.attr "id" (Printf.sprintf "open%d" auction_id) ]
+    "open_auction"
+    ([
+       Dom.element "itemref" [ Dom.text (Printf.sprintf "item%d" (Rng.int rng (max 1 n_items))) ];
+       Dom.element "initial" [ Dom.text (string_of_int (Rng.range rng 1 100)) ];
+     ]
+    @ bidders
+    @ [ Dom.element "current" [ Dom.text (string_of_int (Rng.range rng 1 500)) ] ])
+
+let gen_closed_auction rng ~auction_id ~n_items ~n_people =
+  Dom.element
+    ~attrs:[ Dom.attr "id" (Printf.sprintf "closed%d" auction_id) ]
+    "closed_auction"
+    [
+      Dom.element "seller" [ Dom.text (Printf.sprintf "person%d" (Rng.int rng (max 1 n_people))) ];
+      Dom.element "buyer" [ Dom.text (Printf.sprintf "person%d" (Rng.int rng (max 1 n_people))) ];
+      Dom.element "itemref" [ Dom.text (Printf.sprintf "item%d" (Rng.int rng (max 1 n_items))) ];
+      Dom.element "price" [ Dom.text (string_of_int (Rng.range rng 1 1000)) ];
+      Dom.element "quantity" [ Dom.text (string_of_int (Rng.range rng 1 5)) ];
+    ]
+
+let generate ?(params = default) () : Dom.t =
+  let rng = Rng.create params.seed in
+  let base = int_of_float (100.0 *. params.scale) in
+  let n_items = max 2 (6 * base / 5) in
+  let n_people = max 2 (5 * base / 5) in
+  let n_open = max 1 (3 * base / 5) in
+  let n_closed = max 1 (2 * base / 5) in
+  let items_per_region = Array.make (Array.length regions) [] in
+  for i = 0 to n_items - 1 do
+    let r = Rng.int rng (Array.length regions) in
+    items_per_region.(r) <-
+      gen_item rng ~region:regions.(r) ~item_id:i ~description_words:params.description_words
+      :: items_per_region.(r)
+  done;
+  let region_elements =
+    Array.to_list
+      (Array.mapi (fun i items -> Dom.element regions.(i) (List.rev items)) items_per_region)
+  in
+  let people = List.init n_people (fun i -> gen_person rng ~person_id:i) in
+  let opens = List.init n_open (fun i -> gen_open_auction rng ~auction_id:i ~n_items ~n_people) in
+  let closeds =
+    List.init n_closed (fun i -> gen_closed_auction rng ~auction_id:i ~n_items ~n_people)
+  in
+  Dom.doc
+    (Dom.elem "site"
+       [
+         Dom.element "regions" region_elements;
+         Dom.element "people" people;
+         Dom.element "open_auctions" opens;
+         Dom.element "closed_auctions" closeds;
+       ])
+
+(* DTD matching the generator's output (for the Inline scheme and for
+   validation). *)
+let dtd_source =
+  "<!ELEMENT site (regions, people, open_auctions, closed_auctions)>\n\
+   <!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>\n\
+   <!ELEMENT africa (item*)>\n\
+   <!ELEMENT asia (item*)>\n\
+   <!ELEMENT australia (item*)>\n\
+   <!ELEMENT europe (item*)>\n\
+   <!ELEMENT namerica (item*)>\n\
+   <!ELEMENT samerica (item*)>\n\
+   <!ELEMENT item (name, category, location, quantity, payment, keyword*, description)>\n\
+   <!ATTLIST item id CDATA #REQUIRED>\n\
+   <!ELEMENT name (#PCDATA)>\n\
+   <!ELEMENT category (#PCDATA)>\n\
+   <!ELEMENT location (#PCDATA)>\n\
+   <!ELEMENT quantity (#PCDATA)>\n\
+   <!ELEMENT payment (#PCDATA)>\n\
+   <!ELEMENT keyword (#PCDATA)>\n\
+   <!ELEMENT description (#PCDATA)>\n\
+   <!ELEMENT people (person*)>\n\
+   <!ELEMENT person (name, emailaddress, city, profile)>\n\
+   <!ATTLIST person id CDATA #REQUIRED>\n\
+   <!ELEMENT emailaddress (#PCDATA)>\n\
+   <!ELEMENT city (#PCDATA)>\n\
+   <!ELEMENT profile (interest, age?, income?)>\n\
+   <!ELEMENT interest (#PCDATA)>\n\
+   <!ELEMENT age (#PCDATA)>\n\
+   <!ELEMENT income (#PCDATA)>\n\
+   <!ELEMENT open_auctions (open_auction*)>\n\
+   <!ELEMENT open_auction (itemref, initial, bidder*, current)>\n\
+   <!ATTLIST open_auction id CDATA #REQUIRED>\n\
+   <!ELEMENT itemref (#PCDATA)>\n\
+   <!ELEMENT initial (#PCDATA)>\n\
+   <!ELEMENT bidder (personref, increase)>\n\
+   <!ELEMENT personref (#PCDATA)>\n\
+   <!ELEMENT increase (#PCDATA)>\n\
+   <!ELEMENT current (#PCDATA)>\n\
+   <!ELEMENT closed_auctions (closed_auction*)>\n\
+   <!ELEMENT closed_auction (seller, buyer, itemref, price, quantity)>\n\
+   <!ATTLIST closed_auction id CDATA #REQUIRED>\n\
+   <!ELEMENT seller (#PCDATA)>\n\
+   <!ELEMENT buyer (#PCDATA)>\n\
+   <!ELEMENT price (#PCDATA)>"
+
+let dtd = lazy (Xmlkit.Dtd.parse dtd_source)

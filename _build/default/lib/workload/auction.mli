@@ -1,0 +1,22 @@
+(** XMark-style auction-site document generator.
+
+    Mirrors the structural skeleton of the XMark benchmark (Schmidt et
+    al.): regions holding items, people with profiles, and open/closed
+    auctions with bidders — the workload the surveyed storage papers
+    evaluate on. Deterministic for a given seed. *)
+
+type params = {
+  seed : int;
+  scale : float;  (** scale 1.0 ≈ 5000 data-model nodes *)
+  description_words : int;  (** free-text description length *)
+}
+
+val default : params
+(** seed 42, scale 0.1. *)
+
+val generate : ?params:params -> unit -> Xmlkit.Dom.t
+
+val dtd_source : string
+val dtd : Xmlkit.Dtd.t Lazy.t
+(** DTD matching the generator's output (for the inline scheme and for
+    validation). *)

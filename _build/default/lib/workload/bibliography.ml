@@ -1,0 +1,63 @@
+(* DBLP-style bibliography generator: a flat sequence of publication
+   records, the shallow data-centric shape where DTD inlining shines. *)
+
+module Dom = Xmlkit.Dom
+
+type params = { seed : int; entries : int }
+
+let default = { seed = 7; entries = 200 }
+
+let journals = [| "TODS"; "VLDB Journal"; "SIGMOD Record"; "TKDE"; "Information Systems" |]
+
+let gen_author rng =
+  Dom.element "author"
+    [
+      Dom.element "first" [ Dom.text (String.capitalize_ascii (Rng.word rng)) ];
+      Dom.element "last" [ Dom.text (String.capitalize_ascii (Rng.word rng)) ];
+    ]
+
+let gen_entry rng i =
+  let year = string_of_int (Rng.range rng 1975 2003) in
+  let n_authors = Rng.range rng 1 4 in
+  let authors = List.init n_authors (fun _ -> gen_author rng) in
+  if Rng.bool rng then
+    Dom.element
+      ~attrs:[ Dom.attr "key" (Printf.sprintf "conf-%d" i); Dom.attr "year" year ]
+      "inproceedings"
+      ([ Dom.element "title" [ Dom.text (Rng.sentence rng 6) ] ]
+      @ authors
+      @ [
+          Dom.element "booktitle" [ Dom.text ("Proc. " ^ String.uppercase_ascii (Rng.word rng)) ];
+          Dom.element "pages" [ Dom.text (Printf.sprintf "%d-%d" (Rng.range rng 1 400) (Rng.range rng 401 800)) ];
+        ])
+  else
+    Dom.element
+      ~attrs:[ Dom.attr "key" (Printf.sprintf "jour-%d" i); Dom.attr "year" year ]
+      "article"
+      ([ Dom.element "title" [ Dom.text (Rng.sentence rng 6) ] ]
+      @ authors
+      @ [
+          Dom.element "journal" [ Dom.text (Rng.pick rng journals) ];
+          Dom.element "volume" [ Dom.text (string_of_int (Rng.range rng 1 30)) ];
+        ])
+
+let generate ?(params = default) () : Dom.t =
+  let rng = Rng.create params.seed in
+  Dom.doc (Dom.elem "bib" (List.init params.entries (fun i -> gen_entry rng i)))
+
+let dtd_source =
+  "<!ELEMENT bib ((inproceedings | article)*)>\n\
+   <!ELEMENT inproceedings (title, author+, booktitle, pages)>\n\
+   <!ATTLIST inproceedings key CDATA #REQUIRED year CDATA #REQUIRED>\n\
+   <!ELEMENT article (title, author+, journal, volume)>\n\
+   <!ATTLIST article key CDATA #REQUIRED year CDATA #REQUIRED>\n\
+   <!ELEMENT title (#PCDATA)>\n\
+   <!ELEMENT author (first, last)>\n\
+   <!ELEMENT first (#PCDATA)>\n\
+   <!ELEMENT last (#PCDATA)>\n\
+   <!ELEMENT booktitle (#PCDATA)>\n\
+   <!ELEMENT pages (#PCDATA)>\n\
+   <!ELEMENT journal (#PCDATA)>\n\
+   <!ELEMENT volume (#PCDATA)>"
+
+let dtd = lazy (Xmlkit.Dtd.parse dtd_source)

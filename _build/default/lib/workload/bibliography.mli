@@ -1,0 +1,10 @@
+(** DBLP-style bibliography generator: a flat sequence of publication
+    records, the shallow data-centric shape where DTD inlining shines. *)
+
+type params = { seed : int; entries : int }
+
+val default : params
+
+val generate : ?params:params -> unit -> Xmlkit.Dom.t
+val dtd_source : string
+val dtd : Xmlkit.Dtd.t Lazy.t

@@ -1,0 +1,35 @@
+(* Deeply recursive part-hierarchy generator: stresses '//' handling and
+   recursive-DTD support (experiment T5 and the Edge vs Interval gap in
+   F1/F2). *)
+
+module Dom = Xmlkit.Dom
+
+type params = { seed : int; depth : int; fanout : int }
+
+let default = { seed = 3; depth = 8; fanout = 2 }
+
+let generate ?(params = default) () : Dom.t =
+  let rng = Rng.create params.seed in
+  let counter = ref 0 in
+  let rec part depth =
+    let id = !counter in
+    incr counter;
+    let children =
+      if depth = 0 then []
+      else List.init (Rng.range rng 1 params.fanout) (fun _ -> part (depth - 1))
+    in
+    Dom.element "part"
+      (Dom.element "partname" [ Dom.text (Printf.sprintf "%s-%d" (Rng.word rng) id) ]
+      :: Dom.element "weight" [ Dom.text (string_of_int (Rng.range rng 1 100)) ]
+      :: children)
+  in
+  match part params.depth with
+  | Dom.Element e -> Dom.doc e
+  | _ -> assert false
+
+let dtd_source =
+  "<!ELEMENT part (partname, weight, part*)>\n\
+   <!ELEMENT partname (#PCDATA)>\n\
+   <!ELEMENT weight (#PCDATA)>"
+
+let dtd = lazy (Xmlkit.Dtd.parse dtd_source)

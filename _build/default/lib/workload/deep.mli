@@ -1,0 +1,10 @@
+(** Deeply recursive part-hierarchy generator: stresses '//' handling and
+    recursive-DTD support. *)
+
+type params = { seed : int; depth : int; fanout : int }
+
+val default : params
+
+val generate : ?params:params -> unit -> Xmlkit.Dom.t
+val dtd_source : string
+val dtd : Xmlkit.Dtd.t Lazy.t

@@ -1,0 +1,44 @@
+(* The benchmark query workload Q1-Q12 against the auction documents: the
+   path-query classes the surveyed storage papers compare on (child chains,
+   attribute access, value and attribute predicates, '//' at and below the
+   root, wildcards, positional predicates, upward navigation, and an
+   aggregate). *)
+
+type query = {
+  qid : string;
+  xpath : string;
+  about : string;
+  translatable : bool;  (* inside the SQL-translatable subset *)
+}
+
+let auction_queries =
+  [
+    { qid = "Q1"; xpath = "/site/regions/europe/item/name";
+      about = "4-step child chain"; translatable = true };
+    { qid = "Q2"; xpath = "/site/people/person/@id";
+      about = "child chain ending in an attribute"; translatable = true };
+    { qid = "Q3"; xpath = "/site/people/person[name='Silver Fox']/name";
+      about = "child-value equality predicate"; translatable = true };
+    { qid = "Q4"; xpath = "/site/open_auctions/open_auction/bidder/increase";
+      about = "long child chain into repeated structure"; translatable = true };
+    { qid = "Q5"; xpath = "//keyword";
+      about = "descendant everywhere (the '//' stress test)"; translatable = true };
+    { qid = "Q6"; xpath = "/site//item/name";
+      about = "descendant mid-path then child"; translatable = true };
+    { qid = "Q7"; xpath = "//item[location='United States']/name";
+      about = "descendant with a value predicate"; translatable = true };
+    { qid = "Q8"; xpath = "/site/closed_auctions/closed_auction/price";
+      about = "child chain over closed auctions"; translatable = true };
+    { qid = "Q9"; xpath = "//person[@id='person0']/name";
+      about = "attribute-value point lookup"; translatable = true };
+    { qid = "Q10"; xpath = "/site/regions/*/item";
+      about = "wildcard step"; translatable = true };
+    { qid = "Q11"; xpath = "/site/open_auctions/open_auction/bidder[1]/increase";
+      about = "positional predicate (untranslatable: falls back)"; translatable = false };
+    { qid = "Q12"; xpath = "//profile[age > 30]/../name";
+      about = "upward step after predicate (untranslatable: falls back)"; translatable = false };
+  ]
+
+let find qid = List.find_opt (fun q -> String.equal q.qid qid) auction_queries
+
+let translatable = List.filter (fun q -> q.translatable) auction_queries

@@ -1,0 +1,13 @@
+(** The benchmark query workload Q1-Q12 against the auction documents: the
+    path-query classes the surveyed storage papers compare on. *)
+
+type query = {
+  qid : string;
+  xpath : string;
+  about : string;
+  translatable : bool;  (** inside the SQL-translatable subset *)
+}
+
+val auction_queries : query list
+val find : string -> query option
+val translatable : query list

@@ -1,0 +1,50 @@
+(* Deterministic splitmix64 PRNG: benchmark workloads must be reproducible
+   across runs and machines, independent of Stdlib.Random's state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range";
+  lo + int t (hi - lo + 1)
+
+let bool t = int t 2 = 0
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick";
+  arr.(int t (Array.length arr))
+
+let pick_list t l = List.nth l (int t (List.length l))
+
+(* Pseudo-words from a fixed lexicon; sentence for text content. *)
+let lexicon =
+  [|
+    "quick"; "brown"; "fox"; "jumps"; "lazy"; "dog"; "ancient"; "river"; "silver"; "mountain";
+    "hidden"; "garden"; "broken"; "mirror"; "golden"; "thread"; "silent"; "harbor"; "distant";
+    "signal"; "winter"; "summer"; "carbon"; "copper"; "stone"; "paper"; "cloud"; "ember";
+    "willow"; "meadow"; "harvest"; "lantern"; "compass"; "voyage"; "beacon"; "cipher";
+  |]
+
+let word t = pick t lexicon
+
+let sentence t n_words =
+  let buf = Buffer.create 64 in
+  for i = 0 to n_words - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (word t)
+  done;
+  Buffer.contents buf

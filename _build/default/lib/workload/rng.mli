@@ -1,0 +1,21 @@
+(** Deterministic splitmix64 PRNG: benchmark workloads must be reproducible
+    across runs and machines, independent of [Stdlib.Random]. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+val int : t -> int -> int
+(** Uniform in [\[0, bound)]. *)
+
+val range : t -> int -> int -> int
+(** Uniform in [\[lo, hi\]] inclusive. *)
+
+val bool : t -> bool
+val pick : t -> 'a array -> 'a
+val pick_list : t -> 'a list -> 'a
+val word : t -> string
+(** A word from a fixed lexicon. *)
+
+val sentence : t -> int -> string
+(** [sentence t n] is [n] space-separated lexicon words. *)

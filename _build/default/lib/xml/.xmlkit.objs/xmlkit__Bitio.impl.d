@@ -1,0 +1,1 @@
+lib/xml/bitio.ml: Buffer Char String

@@ -1,0 +1,1 @@
+lib/xml/compress.ml: Array Buffer Char Dom Hashtbl Huffman List Parser Printf Serializer String

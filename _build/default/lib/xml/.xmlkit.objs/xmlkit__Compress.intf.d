@@ -1,0 +1,1 @@
+lib/xml/compress.mli: Dom

@@ -1,0 +1,1 @@
+lib/xml/dataguide.ml: Array Buffer Index List Printf String

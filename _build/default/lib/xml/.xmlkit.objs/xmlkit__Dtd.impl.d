@@ -1,0 +1,1 @@
+lib/xml/dtd.ml: Buffer Dom Hashtbl List Option Printf String

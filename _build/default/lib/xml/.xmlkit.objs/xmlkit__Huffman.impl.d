@@ -1,0 +1,1 @@
+lib/xml/huffman.ml: Array Bitio Buffer Char List Option String

@@ -1,0 +1,1 @@
+lib/xml/index.ml: Array Buffer Dom Hashtbl List

@@ -1,0 +1,1 @@
+lib/xml/namespace.ml: Dom List String

@@ -1,0 +1,1 @@
+lib/xml/sax.ml: Dom List Printf String

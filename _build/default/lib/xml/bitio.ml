@@ -1,0 +1,51 @@
+(* Bit-level writer/reader used by the Huffman coder. Bits are packed
+   MSB-first into bytes. *)
+
+module Writer = struct
+  type t = { buf : Buffer.t; mutable acc : int; mutable nbits : int }
+
+  let create () = { buf = Buffer.create 256; acc = 0; nbits = 0 }
+
+  let put_bit t b =
+    t.acc <- (t.acc lsl 1) lor (if b then 1 else 0);
+    t.nbits <- t.nbits + 1;
+    if t.nbits = 8 then begin
+      Buffer.add_char t.buf (Char.chr t.acc);
+      t.acc <- 0;
+      t.nbits <- 0
+    end
+
+  (* Write [len] bits of [code], most significant first. *)
+  let put_bits t ~code ~len =
+    for i = len - 1 downto 0 do
+      put_bit t ((code lsr i) land 1 = 1)
+    done
+
+  (* Pad the final partial byte with zeros and return the contents. *)
+  let contents t =
+    if t.nbits > 0 then begin
+      t.acc <- t.acc lsl (8 - t.nbits);
+      Buffer.add_char t.buf (Char.chr t.acc);
+      t.acc <- 0;
+      t.nbits <- 0
+    end;
+    Buffer.contents t.buf
+end
+
+module Reader = struct
+  type t = { src : string; mutable pos : int; mutable acc : int; mutable nbits : int }
+
+  let create src = { src; pos = 0; acc = 0; nbits = 0 }
+
+  exception End_of_stream
+
+  let get_bit t =
+    if t.nbits = 0 then begin
+      if t.pos >= String.length t.src then raise End_of_stream;
+      t.acc <- Char.code t.src.[t.pos];
+      t.pos <- t.pos + 1;
+      t.nbits <- 8
+    end;
+    t.nbits <- t.nbits - 1;
+    (t.acc lsr t.nbits) land 1 = 1
+end

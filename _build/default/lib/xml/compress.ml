@@ -1,0 +1,281 @@
+(* XMill-style XML compression (Liefke & Suciu 2000): separate the document
+   structure from its character data, route data into per-tag containers so
+   values with the same meaning sit together, then compress skeleton and
+   containers independently. With the same order-0 Huffman coder, this
+   separation beats compressing the flat serialized text — which is the
+   claim experiment T6 measures.
+
+   Format (all integers varint-encoded):
+     magic "XK01"
+     tag dictionary    (count, then NUL-separated names)
+     attr dictionary
+     pi dictionary
+     skeleton blob     (Huffman-coded op stream)
+     container count, then per container: id, Huffman-coded blob
+
+   Skeleton ops: 0 = end element, 1 = text (next string from the enclosing
+   tag's text container), 2 = comment, 3 = attribute (+ attr id), 4 = PI
+   (+ pi id), 5 + tag_id = start element. *)
+
+exception Corrupt of string
+
+(* varints *)
+let put_varint buf n =
+  let n = ref n in
+  let continue_ = ref true in
+  while !continue_ do
+    let b = !n land 0x7F in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue_ := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+type cursor = { src : string; mutable pos : int }
+
+let get_varint cur =
+  let shift = ref 0 and result = ref 0 and continue_ = ref true in
+  while !continue_ do
+    if cur.pos >= String.length cur.src then raise (Corrupt "truncated varint");
+    let b = Char.code cur.src.[cur.pos] in
+    cur.pos <- cur.pos + 1;
+    result := !result lor ((b land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue_ := false
+  done;
+  !result
+
+let get_blob cur =
+  let len = get_varint cur in
+  if cur.pos + len > String.length cur.src then raise (Corrupt "truncated blob");
+  let s = String.sub cur.src cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+let put_blob buf s =
+  put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+(* string dictionaries *)
+module Dict = struct
+  type t = { tbl : (string, int) Hashtbl.t; mutable names : string list; mutable next : int }
+
+  let create () = { tbl = Hashtbl.create 32; names = []; next = 0 }
+
+  let intern t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some i -> i
+    | None ->
+      let i = t.next in
+      Hashtbl.add t.tbl name i;
+      t.names <- name :: t.names;
+      t.next <- i + 1;
+      i
+
+  let to_list t = List.rev t.names
+
+  let write buf t =
+    let names = to_list t in
+    put_varint buf (List.length names);
+    List.iter (fun n -> put_blob buf n) names
+
+  let read cur =
+    let n = get_varint cur in
+    Array.init n (fun _ -> get_blob cur)
+end
+
+(* op codes *)
+let op_end = 0
+let op_text = 1
+let op_comment = 2
+let op_attr = 3
+let op_pi = 4
+let op_start_base = 5
+
+type containers = {
+  (* per tag id: text content; per attr id: values; plus comments and PI data *)
+  mutable text : Buffer.t array;
+  mutable attr : Buffer.t array;
+  comments : Buffer.t;
+  pis : Buffer.t;
+}
+
+let grow arr i =
+  if i < Array.length arr then arr
+  else begin
+    let bigger = Array.init (max (i + 1) (2 * Array.length arr)) (fun _ -> Buffer.create 16) in
+    Array.blit arr 0 bigger 0 (Array.length arr);
+    bigger
+  end
+
+let add_string_to container s =
+  Buffer.add_string container s;
+  Buffer.add_char container '\x00'
+
+let encode (doc : Dom.t) : string =
+  let tags = Dict.create () and attrs = Dict.create () and pis = Dict.create () in
+  let skel = Buffer.create 1024 in
+  let cs =
+    { text = Array.init 8 (fun _ -> Buffer.create 64);
+      attr = Array.init 8 (fun _ -> Buffer.create 64);
+      comments = Buffer.create 16;
+      pis = Buffer.create 16 }
+  in
+  let rec element (e : Dom.element) =
+    let tid = Dict.intern tags e.Dom.tag in
+    put_varint skel (op_start_base + tid);
+    List.iter
+      (fun { Dom.attr_name; attr_value } ->
+        let aid = Dict.intern attrs attr_name in
+        put_varint skel op_attr;
+        put_varint skel aid;
+        cs.attr <- grow cs.attr aid;
+        add_string_to cs.attr.(aid) attr_value)
+      e.Dom.attrs;
+    List.iter
+      (fun child ->
+        match child with
+        | Dom.Element c -> element c
+        | Dom.Text s | Dom.Cdata s ->
+          put_varint skel op_text;
+          cs.text <- grow cs.text tid;
+          add_string_to cs.text.(tid) s
+        | Dom.Comment s ->
+          put_varint skel op_comment;
+          add_string_to cs.comments s
+        | Dom.Pi { target; data } ->
+          let pid = Dict.intern pis target in
+          put_varint skel op_pi;
+          put_varint skel pid;
+          add_string_to cs.pis data)
+      e.Dom.children;
+    put_varint skel op_end
+  in
+  element doc.Dom.root;
+  let out = Buffer.create 1024 in
+  Buffer.add_string out "XK01";
+  Dict.write out tags;
+  Dict.write out attrs;
+  Dict.write out pis;
+  put_blob out (Huffman.encode (Buffer.contents skel));
+  (* containers: only non-empty ones are written *)
+  let entries = ref [] in
+  Array.iteri
+    (fun i b -> if Buffer.length b > 0 then entries := (0, i, Buffer.contents b) :: !entries)
+    cs.text;
+  Array.iteri
+    (fun i b -> if Buffer.length b > 0 then entries := (1, i, Buffer.contents b) :: !entries)
+    cs.attr;
+  if Buffer.length cs.comments > 0 then entries := (2, 0, Buffer.contents cs.comments) :: !entries;
+  if Buffer.length cs.pis > 0 then entries := (3, 0, Buffer.contents cs.pis) :: !entries;
+  let entries = List.rev !entries in
+  put_varint out (List.length entries);
+  List.iter
+    (fun (kind, i, data) ->
+      put_varint out kind;
+      put_varint out i;
+      put_blob out (Huffman.encode data))
+    entries;
+  Buffer.contents out
+
+(* Streaming reader over a NUL-separated container. *)
+type strings = { data : string; mutable at : int }
+
+let next_string st =
+  match String.index_from_opt st.data st.at '\x00' with
+  | None -> raise (Corrupt "container exhausted")
+  | Some stop ->
+    let s = String.sub st.data st.at (stop - st.at) in
+    st.at <- stop + 1;
+    s
+
+let decode (packed : string) : Dom.t =
+  if String.length packed < 4 || String.sub packed 0 4 <> "XK01" then
+    raise (Corrupt "bad magic");
+  let cur = { src = packed; pos = 4 } in
+  let tags = Dict.read cur in
+  let attrs = Dict.read cur in
+  let pis = Dict.read cur in
+  let skel = Huffman.decode (get_blob cur) in
+  let n_containers = get_varint cur in
+  let text_containers = Hashtbl.create 8 in
+  let attr_containers = Hashtbl.create 8 in
+  let comments = ref { data = ""; at = 0 } in
+  let pi_data = ref { data = ""; at = 0 } in
+  for _ = 1 to n_containers do
+    let kind = get_varint cur in
+    let i = get_varint cur in
+    let data = Huffman.decode (get_blob cur) in
+    match kind with
+    | 0 -> Hashtbl.replace text_containers i { data; at = 0 }
+    | 1 -> Hashtbl.replace attr_containers i { data; at = 0 }
+    | 2 -> comments := { data; at = 0 }
+    | 3 -> pi_data := { data; at = 0 }
+    | k -> raise (Corrupt (Printf.sprintf "unknown container kind %d" k))
+  done;
+  let text_of tid =
+    match Hashtbl.find_opt text_containers tid with
+    | Some st -> next_string st
+    | None -> raise (Corrupt "missing text container")
+  in
+  let attr_of aid =
+    match Hashtbl.find_opt attr_containers aid with
+    | Some st -> next_string st
+    | None -> raise (Corrupt "missing attribute container")
+  in
+  (* replay the skeleton *)
+  let skel_cur = { src = skel; pos = 0 } in
+  let name_of arr i kind =
+    if i < Array.length arr then arr.(i) else raise (Corrupt ("bad " ^ kind ^ " id"))
+  in
+  let rec read_element tid : Dom.element =
+    let tag = name_of tags tid "tag" in
+    let my_attrs = ref [] in
+    let children = ref [] in
+    let rec go () =
+      if skel_cur.pos >= String.length skel then raise (Corrupt "skeleton ended early");
+      let op = get_varint skel_cur in
+      if op = op_end then ()
+      else begin
+        (if op = op_attr then
+           let aid = get_varint skel_cur in
+           my_attrs := Dom.attr (name_of attrs aid "attribute") (attr_of aid) :: !my_attrs
+         else if op = op_text then children := Dom.Text (text_of tid) :: !children
+         else if op = op_comment then children := Dom.Comment (next_string !comments) :: !children
+         else if op = op_pi then begin
+           let pid = get_varint skel_cur in
+           children :=
+             Dom.Pi { target = name_of pis pid "pi"; data = next_string !pi_data } :: !children
+         end
+         else
+           let child_tid = op - op_start_base in
+           children := Dom.Element (read_element child_tid) :: !children);
+        go ()
+      end
+    in
+    go ();
+    { Dom.tag; attrs = List.rev !my_attrs; children = List.rev !children }
+  in
+  let first = get_varint skel_cur in
+  if first < op_start_base then raise (Corrupt "skeleton must start with an element");
+  Dom.document (read_element (first - op_start_base))
+
+(* The baseline the tutorial compares against: the same Huffman coder over
+   the flat serialized text. *)
+let encode_flat (doc : Dom.t) : string = Huffman.encode (Serializer.to_string doc)
+let decode_flat (packed : string) : Dom.t = Parser.parse (Huffman.decode packed)
+
+type sizes = {
+  plain_bytes : int;
+  flat_bytes : int;  (* Huffman over the serialized text *)
+  xmill_bytes : int;  (* structure/data separation, per-container Huffman *)
+}
+
+let measure (doc : Dom.t) : sizes =
+  {
+    plain_bytes = String.length (Serializer.to_string doc);
+    flat_bytes = String.length (encode_flat doc);
+    xmill_bytes = String.length (encode doc);
+  }

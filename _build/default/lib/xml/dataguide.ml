@@ -1,0 +1,119 @@
+(* Strong DataGuide (Goldman & Widom 1997): the trie of distinct
+   root-to-node label paths, each annotated with its instance count. For
+   tree-shaped data the strong DataGuide is linear in the number of
+   distinct paths, typically far smaller than the document — the structural
+   summary the tutorial's "index structures for path expressions" section
+   surveys.
+
+   Attribute paths are included with an "@" prefix on the final label. *)
+
+type node = {
+  dg_label : string;
+  mutable dg_count : int;  (* instances of this exact path *)
+  mutable dg_children : (string * node) list;  (* insertion order *)
+}
+
+type t = { dg_root : node; total_nodes : int }
+
+let make_node label = { dg_label = label; dg_count = 0; dg_children = [] }
+
+let child_of parent label =
+  match List.assoc_opt label parent.dg_children with
+  | Some n -> n
+  | None ->
+    let n = make_node label in
+    parent.dg_children <- parent.dg_children @ [ (label, n) ];
+    n
+
+let of_index (ix : Index.t) : t =
+  let root = make_node "" in
+  (* guide.(i) = dataguide node of document node i (elements only) *)
+  let guide = Array.make (Index.count ix) root in
+  for i = 1 to Index.count ix - 1 do
+    match Index.kind ix i with
+    | Index.Element ->
+      let parent_guide = guide.(Index.parent ix i) in
+      let g = child_of parent_guide (Index.name ix i) in
+      g.dg_count <- g.dg_count + 1;
+      guide.(i) <- g
+    | Index.Attribute ->
+      let parent_guide = guide.(Index.parent ix i) in
+      let g = child_of parent_guide ("@" ^ Index.name ix i) in
+      g.dg_count <- g.dg_count + 1;
+      guide.(i) <- g
+    | Index.Text | Index.Comment | Index.Pi | Index.Document -> ()
+  done;
+  { dg_root = root; total_nodes = Index.count ix - 1 }
+
+let of_document doc = of_index (Index.of_document doc)
+
+(* All distinct label paths with their instance counts, preorder. *)
+let paths t =
+  let acc = ref [] in
+  let rec walk prefix node =
+    List.iter
+      (fun (label, child) ->
+        let path = prefix @ [ label ] in
+        acc := (path, child.dg_count) :: !acc;
+        walk path child)
+      node.dg_children
+  in
+  walk [] t.dg_root;
+  List.rev !acc
+
+let distinct_paths t = List.length (paths t)
+
+(* Size of the summary in trie nodes (the compression the literature
+   reports: distinct paths ≪ document nodes). *)
+let size t = distinct_paths t
+
+let count_path t labels =
+  let rec go node = function
+    | [] -> node.dg_count
+    | l :: rest -> (
+      match List.assoc_opt l node.dg_children with
+      | Some child -> go child rest
+      | None -> 0)
+  in
+  match labels with [] -> 0 | _ -> go t.dg_root labels
+
+(* Estimate the result cardinality of a simple downward path: a sequence of
+   child / descendant steps with a label or wildcard. Exact for pure child
+   paths on tree data; descendant steps sum over all matching depths. *)
+type estimate_step = [ `Child of string | `Desc of string | `Child_any | `Desc_any ]
+
+let estimate t (steps : estimate_step list) =
+  (* walk sets of dataguide nodes; wildcard and descendant steps cover
+     elements only (attribute paths carry the '@' prefix) *)
+  let is_element (label, _) = not (String.length label > 0 && label.[0] = '@') in
+  let rec descendants node =
+    List.concat_map
+      (fun (_, c) -> c :: descendants c)
+      (List.filter is_element node.dg_children)
+  in
+  let apply nodes step =
+    match step with
+    | `Child label ->
+      List.filter_map (fun n -> List.assoc_opt label n.dg_children) nodes
+    | `Child_any ->
+      List.concat_map (fun n -> List.map snd (List.filter is_element n.dg_children)) nodes
+    | `Desc label ->
+      List.concat_map
+        (fun n -> List.filter (fun d -> String.equal d.dg_label label) (descendants n))
+        nodes
+    | `Desc_any -> List.concat_map descendants nodes
+  in
+  let final = List.fold_left apply [ t.dg_root ] steps in
+  (* distinct dataguide nodes may repeat across branches; sum counts of the
+     de-duplicated set *)
+  let seen = ref [] in
+  List.iter (fun n -> if not (List.memq n !seen) then seen := n :: !seen) final;
+  List.fold_left (fun acc n -> acc + n.dg_count) 0 !seen
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (path, count) ->
+      Buffer.add_string buf (Printf.sprintf "/%s (%d)\n" (String.concat "/" path) count))
+    (paths t);
+  Buffer.contents buf

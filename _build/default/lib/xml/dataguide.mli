@@ -1,0 +1,35 @@
+(** Strong DataGuide (Goldman & Widom 1997): the trie of distinct
+    root-to-node label paths, annotated with instance counts — the
+    structural summary surveyed under "index structures for path
+    expressions". Attribute paths carry an ["@"] prefix on the final
+    label. *)
+
+type node = {
+  dg_label : string;
+  mutable dg_count : int;
+  mutable dg_children : (string * node) list;
+}
+
+type t = { dg_root : node; total_nodes : int }
+
+val of_index : Index.t -> t
+val of_document : Dom.t -> t
+
+val paths : t -> (string list * int) list
+(** Every distinct label path with its instance count, preorder. *)
+
+val distinct_paths : t -> int
+val size : t -> int
+(** Trie nodes; the summary-vs-document compression the literature
+    reports. *)
+
+val count_path : t -> string list -> int
+(** Exact instance count of one label path ([0] if absent). *)
+
+type estimate_step = [ `Child of string | `Desc of string | `Child_any | `Desc_any ]
+
+val estimate : t -> estimate_step list -> int
+(** Cardinality estimate for a simple downward path; exact for pure child
+    paths over tree data. *)
+
+val to_string : t -> string

@@ -1,0 +1,134 @@
+(* Immutable XML tree. This is the construction / serialization view of a
+   document; [Index] derives the navigable, id-addressed view used by query
+   evaluation and shredding. *)
+
+type attribute = { attr_name : string; attr_value : string }
+
+type node =
+  | Element of element
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+and element = { tag : string; attrs : attribute list; children : node list }
+
+type t = {
+  decl : decl option;
+  doctype : string option;  (* raw DOCTYPE name, if present *)
+  root : element;
+}
+
+and decl = { version : string; encoding : string option; standalone : bool option }
+
+let element ?(attrs = []) tag children = Element { tag; attrs; children }
+let elem ?(attrs = []) tag children = { tag; attrs; children }
+let attr name value = { attr_name = name; attr_value = value }
+let text s = Text s
+let cdata s = Cdata s
+let comment s = Comment s
+let pi target data = Pi { target; data }
+
+let doc ?decl ?doctype root = { decl; doctype; root }
+let document root = { decl = None; doctype = None; root }
+
+let tag e = e.tag
+let attrs e = e.attrs
+let children e = e.children
+
+let attr_value e name =
+  let rec find = function
+    | [] -> None
+    | a :: rest -> if String.equal a.attr_name name then Some a.attr_value else find rest
+  in
+  find e.attrs
+
+(* Child elements only, in document order. *)
+let child_elements e =
+  List.filter_map (function Element c -> Some c | Text _ | Cdata _ | Comment _ | Pi _ -> None)
+    e.children
+
+let find_child e name =
+  let rec find = function
+    | [] -> None
+    | Element c :: _ when String.equal c.tag name -> Some c
+    | _ :: rest -> find rest
+  in
+  find e.children
+
+let find_children e name =
+  List.filter (fun c -> String.equal c.tag name) (child_elements e)
+
+(* Concatenation of all descendant text, the XPath string-value of an
+   element. *)
+let string_value_of_element e =
+  let buf = Buffer.create 64 in
+  let rec go = function
+    | Element c -> List.iter go c.children
+    | Text s | Cdata s -> Buffer.add_string buf s
+    | Comment _ | Pi _ -> ()
+  in
+  List.iter go e.children;
+  Buffer.contents buf
+
+let string_value = function
+  | Element e -> string_value_of_element e
+  | Text s | Cdata s -> s
+  | Comment s -> s
+  | Pi { data; _ } -> data
+
+let rec count_nodes_in_node = function
+  | Element e ->
+    1 + List.length e.attrs
+    + List.fold_left (fun acc c -> acc + count_nodes_in_node c) 0 e.children
+  | Text _ | Cdata _ | Comment _ | Pi _ -> 1
+
+(* Number of data-model nodes (elements, attributes, texts, comments, PIs),
+   excluding the document node itself. *)
+let count_nodes t = count_nodes_in_node (Element t.root)
+
+(* Element nesting only; leaves contribute no level. *)
+let rec depth_of_node = function
+  | Element e ->
+    1 + List.fold_left (fun acc c -> max acc (depth_of_node c)) 0 e.children
+  | Text _ | Cdata _ | Comment _ | Pi _ -> 0
+
+let depth t = depth_of_node (Element t.root)
+
+(* Structural equality that treats CDATA as text and ignores the XML
+   declaration: the notion of equality preserved by shred/reconstruct
+   round-trips. Adjacent text nodes are merged before comparison. *)
+let rec normalize_children acc = function
+  | [] -> List.rev acc
+  | (Text a | Cdata a) :: (Text b | Cdata b) :: rest ->
+    normalize_children acc (Text (a ^ b) :: rest)
+  | (Text "" | Cdata "") :: rest -> normalize_children acc rest
+  | (Text s | Cdata s) :: rest -> normalize_children (Text s :: acc) rest
+  | (Element e) :: rest ->
+    normalize_children (Element { e with children = normalize_children [] e.children } :: acc) rest
+  | (Comment _ as n) :: rest | (Pi _ as n) :: rest -> normalize_children (n :: acc) rest
+
+let normalize_element e = { e with children = normalize_children [] e.children }
+
+let equal_attribute a b =
+  String.equal a.attr_name b.attr_name && String.equal a.attr_value b.attr_value
+
+let sort_attrs attrs =
+  List.sort (fun a b -> String.compare a.attr_name b.attr_name) attrs
+
+let rec equal_node a b =
+  match (a, b) with
+  | (Text x | Cdata x), (Text y | Cdata y) -> String.equal x y
+  | Comment x, Comment y -> String.equal x y
+  | Pi x, Pi y -> String.equal x.target y.target && String.equal x.data y.data
+  | Element x, Element y -> equal_element x y
+  | (Element _ | Text _ | Cdata _ | Comment _ | Pi _), _ -> false
+
+and equal_element x y =
+  String.equal x.tag y.tag
+  && List.length x.attrs = List.length y.attrs
+  && List.for_all2 equal_attribute (sort_attrs x.attrs) (sort_attrs y.attrs)
+  && List.length x.children = List.length y.children
+  && List.for_all2 equal_node x.children y.children
+
+let equal a b = equal_element (normalize_element a.root) (normalize_element b.root)

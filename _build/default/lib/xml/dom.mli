@@ -1,0 +1,87 @@
+(** Immutable XML document tree.
+
+    This is the construction and serialization view of a document. Query
+    evaluation and shredding work on the id-addressed view derived by
+    {!Index.of_document}. *)
+
+type attribute = { attr_name : string; attr_value : string }
+
+type node =
+  | Element of element
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+and element = { tag : string; attrs : attribute list; children : node list }
+
+type t = {
+  decl : decl option;
+  doctype : string option;
+  root : element;
+}
+
+and decl = { version : string; encoding : string option; standalone : bool option }
+
+(** {1 Construction} *)
+
+val element : ?attrs:attribute list -> string -> node list -> node
+(** [element tag children] builds an element node. *)
+
+val elem : ?attrs:attribute list -> string -> node list -> element
+(** Like {!element} but returns the bare element (e.g. for a document root). *)
+
+val attr : string -> string -> attribute
+val text : string -> node
+val cdata : string -> node
+val comment : string -> node
+val pi : string -> string -> node
+
+val doc : ?decl:decl -> ?doctype:string -> element -> t
+val document : element -> t
+(** [document root] wraps [root] with no XML declaration or doctype. *)
+
+(** {1 Access} *)
+
+val tag : element -> string
+val attrs : element -> attribute list
+val children : element -> node list
+
+val attr_value : element -> string -> string option
+(** [attr_value e name] is the value of attribute [name] on [e], if any. *)
+
+val child_elements : element -> element list
+(** Element children only, in document order. *)
+
+val find_child : element -> string -> element option
+(** First child element with the given tag. *)
+
+val find_children : element -> string -> element list
+(** All child elements with the given tag, in document order. *)
+
+val string_value : node -> string
+(** XPath string-value: concatenated descendant text for elements, content
+    for text/CDATA/comment/PI nodes. *)
+
+val string_value_of_element : element -> string
+
+val count_nodes : t -> int
+(** Number of data-model nodes (elements, attributes, texts, comments, PIs)
+    in the document, excluding the document node itself. *)
+
+val depth : t -> int
+(** Maximum element-nesting depth; a document holding only its root has
+    depth 1. *)
+
+(** {1 Equality} *)
+
+val normalize_element : element -> element
+(** Merge adjacent text nodes, drop empty ones, fold CDATA into text. *)
+
+val equal_node : node -> node -> bool
+val equal_element : element -> element -> bool
+
+val equal : t -> t -> bool
+(** Structural equality after normalization, with attribute order ignored
+    and CDATA treated as text: the equality preserved by shred/reconstruct
+    round-trips. *)

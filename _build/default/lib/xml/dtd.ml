@@ -1,0 +1,613 @@
+(* Document Type Definitions: content-model AST, parser for the internal
+   subset, Brzozowski-derivative validation, and the content-model
+   simplification rewrite system of Shanmugasundaram et al. 1999 that the
+   Inline shredding scheme relies on:
+
+     (e1, e2)*  ->  e1*, e2*        (e1, e2)?  ->  e1?, e2?
+     (e1 | e2)  ->  e1?, e2?        e**        ->  e*
+     e*?  /  e?* ->  e*             ..a*..a*.. ->  a*
+
+   After simplification every element's content is a set of
+   (child element, quantifier) pairs plus a PCDATA flag. *)
+
+type content =
+  | Pcdata
+  | Empty
+  | Any
+  | Child of string
+  | Seq of content list
+  | Choice of content list
+  | Star of content
+  | Plus of content
+  | Opt of content
+  | Mixed of string list  (* (#PCDATA | a | b)* *)
+
+type att_type = Cdata | Id | Idref | Idrefs | Nmtoken | Nmtokens | Enum of string list
+
+type att_default = Required | Implied | Fixed of string | Default of string
+
+type attribute = { att_name : string; att_type : att_type; att_default : att_default }
+
+type element_decl = { elt_name : string; content : content }
+
+type t = {
+  elements : (string * element_decl) list;
+  attlists : (string * attribute list) list;
+  root : string option;
+}
+
+let empty = { elements = []; attlists = []; root = None }
+
+let find_element t name = List.assoc_opt name t.elements
+let find_attributes t name = Option.value ~default:[] (List.assoc_opt name t.attlists)
+let element_names t = List.map fst t.elements
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let rec content_to_string = function
+  | Pcdata -> "#PCDATA"
+  | Empty -> "EMPTY"
+  | Any -> "ANY"
+  | Child s -> s
+  | Seq cs -> "(" ^ String.concat ", " (List.map content_to_string cs) ^ ")"
+  | Choice cs -> "(" ^ String.concat " | " (List.map content_to_string cs) ^ ")"
+  | Star c -> content_to_string c ^ "*"
+  | Plus c -> content_to_string c ^ "+"
+  | Opt c -> content_to_string c ^ "?"
+  | Mixed names -> "(" ^ String.concat " | " ("#PCDATA" :: names) ^ ")*"
+
+let att_type_to_string = function
+  | Cdata -> "CDATA"
+  | Id -> "ID"
+  | Idref -> "IDREF"
+  | Idrefs -> "IDREFS"
+  | Nmtoken -> "NMTOKEN"
+  | Nmtokens -> "NMTOKENS"
+  | Enum vs -> "(" ^ String.concat " | " vs ^ ")"
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (_, d) ->
+      Buffer.add_string buf
+        (Printf.sprintf "<!ELEMENT %s %s>\n" d.elt_name
+           (match d.content with
+           | (Child _ | Pcdata) as c -> "(" ^ content_to_string c ^ ")"
+           | c -> content_to_string c)))
+    t.elements;
+  List.iter
+    (fun (elt, atts) ->
+      List.iter
+        (fun a ->
+          let dflt =
+            match a.att_default with
+            | Required -> "#REQUIRED"
+            | Implied -> "#IMPLIED"
+            | Fixed v -> Printf.sprintf "#FIXED %S" v
+            | Default v -> Printf.sprintf "%S" v
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "<!ATTLIST %s %s %s %s>\n" elt a.att_name
+               (att_type_to_string a.att_type) dflt))
+        atts)
+    t.attlists;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing the internal subset *)
+
+exception Dtd_error of string
+
+type pstate = { src : string; mutable pos : int }
+
+let perr fmt = Printf.ksprintf (fun s -> raise (Dtd_error s)) fmt
+
+let peof st = st.pos >= String.length st.src
+let pc st = if peof st then '\000' else st.src.[st.pos]
+let padv st = st.pos <- st.pos + 1
+
+let pskip_ws st =
+  while (not (peof st)) && (match pc st with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+    padv st
+  done
+
+let plooking st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let pskip st s = if plooking st s then st.pos <- st.pos + String.length s else perr "expected %S" s
+
+let pname st =
+  let start = st.pos in
+  let ok c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '.' || c = ':'
+  in
+  while (not (peof st)) && ok (pc st) do
+    padv st
+  done;
+  if st.pos = start then perr "expected a name at offset %d" start;
+  String.sub st.src start (st.pos - start)
+
+(* content-model grammar:
+   cp      := ( '(' choice-or-seq ')' | name | '#PCDATA' ) quant?
+   quant   := '*' | '+' | '?' *)
+let rec parse_cp st =
+  pskip_ws st;
+  let base =
+    if pc st = '(' then begin
+      padv st;
+      parse_group st
+    end
+    else if plooking st "#PCDATA" then begin
+      pskip st "#PCDATA";
+      Pcdata
+    end
+    else Child (pname st)
+  in
+  apply_quant st base
+
+and apply_quant st base =
+  match pc st with
+  | '*' ->
+    padv st;
+    Star base
+  | '+' ->
+    padv st;
+    Plus base
+  | '?' ->
+    padv st;
+    Opt base
+  | _ -> base
+
+and parse_group st =
+  let first = parse_cp st in
+  pskip_ws st;
+  match pc st with
+  | ')' ->
+    padv st;
+    first
+  | '|' ->
+    let rec go acc =
+      pskip_ws st;
+      match pc st with
+      | '|' ->
+        padv st;
+        go (parse_cp st :: acc)
+      | ')' ->
+        padv st;
+        List.rev acc
+      | c -> perr "unexpected %C in choice group" c
+    in
+    let items = go [ first ] in
+    (* Mixed content: (#PCDATA | a | b) *)
+    (match items with
+    | Pcdata :: rest when List.for_all (function Child _ -> true | _ -> false) rest ->
+      let names = List.map (function Child n -> n | _ -> assert false) rest in
+      (* The grammar requires a '*' after a mixed group with names. *)
+      if pc st = '*' then begin
+        padv st;
+        Mixed names
+      end
+      else if names = [] then Pcdata
+      else Mixed names
+    | _ -> Choice items)
+  | ',' ->
+    let rec go acc =
+      pskip_ws st;
+      match pc st with
+      | ',' ->
+        padv st;
+        go (parse_cp st :: acc)
+      | ')' ->
+        padv st;
+        List.rev acc
+      | c -> perr "unexpected %C in sequence group" c
+    in
+    Seq (go [ first ])
+  | c -> perr "unexpected %C in content group" c
+
+let parse_content_spec st =
+  pskip_ws st;
+  if plooking st "EMPTY" then begin
+    pskip st "EMPTY";
+    Empty
+  end
+  else if plooking st "ANY" then begin
+    pskip st "ANY";
+    Any
+  end
+  else if pc st = '(' then begin
+    padv st;
+    let g = parse_group st in
+    match apply_quant st g with
+    | Mixed _ as m -> m
+    | Star (Mixed _ as m) -> m
+    | Star (Pcdata) -> Pcdata
+    | other -> other
+  end
+  else perr "expected a content specification"
+
+let parse_quoted st =
+  let q = pc st in
+  if q <> '"' && q <> '\'' then perr "expected a quoted value";
+  padv st;
+  let start = st.pos in
+  while (not (peof st)) && pc st <> q do
+    padv st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  if peof st then perr "unterminated quoted value";
+  padv st;
+  s
+
+let parse_att_type st =
+  pskip_ws st;
+  if plooking st "CDATA" then begin
+    pskip st "CDATA";
+    Cdata
+  end
+  else if plooking st "IDREFS" then begin
+    pskip st "IDREFS";
+    Idrefs
+  end
+  else if plooking st "IDREF" then begin
+    pskip st "IDREF";
+    Idref
+  end
+  else if plooking st "ID" then begin
+    pskip st "ID";
+    Id
+  end
+  else if plooking st "NMTOKENS" then begin
+    pskip st "NMTOKENS";
+    Nmtokens
+  end
+  else if plooking st "NMTOKEN" then begin
+    pskip st "NMTOKEN";
+    Nmtoken
+  end
+  else if pc st = '(' then begin
+    padv st;
+    let rec go acc =
+      pskip_ws st;
+      let v = pname st in
+      pskip_ws st;
+      match pc st with
+      | '|' ->
+        padv st;
+        go (v :: acc)
+      | ')' ->
+        padv st;
+        List.rev (v :: acc)
+      | c -> perr "unexpected %C in enumerated attribute type" c
+    in
+    Enum (go [])
+  end
+  else perr "expected an attribute type"
+
+let parse_att_default st =
+  pskip_ws st;
+  if plooking st "#REQUIRED" then begin
+    pskip st "#REQUIRED";
+    Required
+  end
+  else if plooking st "#IMPLIED" then begin
+    pskip st "#IMPLIED";
+    Implied
+  end
+  else if plooking st "#FIXED" then begin
+    pskip st "#FIXED";
+    pskip_ws st;
+    Fixed (parse_quoted st)
+  end
+  else Default (parse_quoted st)
+
+let parse ?root src =
+  let st = { src; pos = 0 } in
+  let elements = ref [] in
+  let attlists = Hashtbl.create 16 in
+  let attlist_order = ref [] in
+  let rec go () =
+    pskip_ws st;
+    if peof st then ()
+    else if plooking st "<!--" then begin
+      (* comment *)
+      pskip st "<!--";
+      let rec skip () =
+        if peof st then perr "unterminated comment in DTD"
+        else if plooking st "-->" then pskip st "-->"
+        else begin
+          padv st;
+          skip ()
+        end
+      in
+      skip ();
+      go ()
+    end
+    else if plooking st "<!ELEMENT" then begin
+      pskip st "<!ELEMENT";
+      pskip_ws st;
+      let name = pname st in
+      let content = parse_content_spec st in
+      pskip_ws st;
+      pskip st ">";
+      if not (List.mem_assoc name !elements) then
+        elements := !elements @ [ (name, { elt_name = name; content }) ];
+      go ()
+    end
+    else if plooking st "<!ATTLIST" then begin
+      pskip st "<!ATTLIST";
+      pskip_ws st;
+      let elt = pname st in
+      let rec atts acc =
+        pskip_ws st;
+        if pc st = '>' then begin
+          padv st;
+          List.rev acc
+        end
+        else begin
+          let att_name = pname st in
+          let att_type = parse_att_type st in
+          let att_default = parse_att_default st in
+          atts ({ att_name; att_type; att_default } :: acc)
+        end
+      in
+      let new_atts = atts [] in
+      if not (Hashtbl.mem attlists elt) then attlist_order := !attlist_order @ [ elt ];
+      let existing = Option.value ~default:[] (Hashtbl.find_opt attlists elt) in
+      Hashtbl.replace attlists elt (existing @ new_atts);
+      go ()
+    end
+    else if plooking st "<!ENTITY" || plooking st "<!NOTATION" || plooking st "<?" then begin
+      (* Skip declarations we do not model. *)
+      let rec skip () =
+        if peof st then perr "unterminated declaration in DTD"
+        else if pc st = '>' then padv st
+        else begin
+          padv st;
+          skip ()
+        end
+      in
+      skip ();
+      go ()
+    end
+    else perr "unexpected content in DTD at offset %d" st.pos
+  in
+  go ();
+  let attlists = List.map (fun e -> (e, Hashtbl.find attlists e)) !attlist_order in
+  let root =
+    match root with
+    | Some _ -> root
+    | None -> ( match !elements with (n, _) :: _ -> Some n | [] -> None)
+  in
+  { elements = !elements; attlists; root }
+
+(* ------------------------------------------------------------------ *)
+(* Validation via Brzozowski derivatives over child-tag sequences *)
+
+let rec nullable = function
+  | Pcdata | Empty | Any | Mixed _ -> true
+  | Child _ -> false
+  | Seq cs -> List.for_all nullable cs
+  | Choice cs -> List.exists nullable cs
+  | Star _ | Opt _ -> true
+  | Plus c -> nullable c
+
+(* Derivative of a content model with respect to a child element tag.
+   [None] means the tag is not accepted at this point. *)
+let rec derive c tag =
+  match c with
+  | Empty | Pcdata -> None
+  | Any -> Some Any
+  | Mixed names -> if List.mem tag names then Some (Mixed names) else None
+  | Child n -> if String.equal n tag then Some (Seq []) else None
+  | Opt inner -> derive inner tag
+  | Star inner -> (
+    match derive inner tag with
+    | Some d -> Some (Seq [ d; Star inner ])
+    | None -> None)
+  | Plus inner -> derive (Seq [ inner; Star inner ]) tag
+  | Choice cs ->
+    let ds = List.filter_map (fun c -> derive c tag) cs in
+    (match ds with [] -> None | [ d ] -> Some d | ds -> Some (Choice ds))
+  | Seq [] -> None
+  | Seq (first :: rest) -> (
+    match derive first tag with
+    | Some d -> Some (Seq (d :: rest))
+    | None -> if nullable first then derive (Seq rest) tag else None)
+
+type violation = { element : string; reason : string }
+
+let violation_to_string v = Printf.sprintf "<%s>: %s" v.element v.reason
+
+let content_allows_pcdata = function
+  | Pcdata | Mixed _ | Any -> true
+  | Empty | Child _ | Seq _ | Choice _ | Star _ | Plus _ | Opt _ -> false
+
+(* Validate one element's direct content against its declaration. *)
+let check_element t (e : Dom.element) =
+  match find_element t e.tag with
+  | None -> [ { element = e.tag; reason = "element type is not declared" } ]
+  | Some decl ->
+    let violations = ref [] in
+    let bad reason = violations := { element = e.tag; reason } :: !violations in
+    (* attributes *)
+    let decls = find_attributes t e.tag in
+    List.iter
+      (fun a ->
+        match a.att_default with
+        | Required ->
+          if Option.is_none (Dom.attr_value e a.att_name) then
+            bad (Printf.sprintf "missing required attribute %s" a.att_name)
+        | Fixed v -> (
+          match Dom.attr_value e a.att_name with
+          | Some actual when not (String.equal actual v) ->
+            bad (Printf.sprintf "attribute %s must be fixed to %S" a.att_name v)
+          | Some _ | None -> ())
+        | Implied | Default _ -> ())
+      decls;
+    List.iter
+      (fun { Dom.attr_name; attr_value } ->
+        match List.find_opt (fun a -> String.equal a.att_name attr_name) decls with
+        | None -> bad (Printf.sprintf "attribute %s is not declared" attr_name)
+        | Some { att_type = Enum allowed; _ } ->
+          if not (List.mem attr_value allowed) then
+            bad (Printf.sprintf "attribute %s has value %S outside its enumeration" attr_name attr_value)
+        | Some _ -> ())
+      e.attrs;
+    (* content *)
+    (match decl.content with
+    | Empty ->
+      if e.children <> [] then bad "declared EMPTY but has content"
+    | content ->
+      let child_tags =
+        List.filter_map
+          (function
+            | Dom.Element c -> Some c.Dom.tag
+            | Dom.Text s | Dom.Cdata s ->
+              if content_allows_pcdata content then None
+              else if String.trim s = "" then None
+              else Some "#PCDATA"
+            | Dom.Comment _ | Dom.Pi _ -> None)
+          e.children
+      in
+      let rec run c = function
+        | [] -> if not (nullable c) then bad "content ended before the model was satisfied"
+        | "#PCDATA" :: _ -> bad "character data not allowed by the content model"
+        | tag :: rest -> (
+          match derive c tag with
+          | Some c' -> run c' rest
+          | None -> bad (Printf.sprintf "child <%s> not allowed here by model %s" tag (content_to_string content)))
+      in
+      run content child_tags);
+    List.rev !violations
+
+(* Document-wide ID uniqueness and IDREF referential integrity. *)
+let check_ids t (doc : Dom.t) =
+  let violations = ref [] in
+  let ids = Hashtbl.create 16 in
+  let refs = ref [] in
+  let rec collect (e : Dom.element) =
+    let decls = find_attributes t e.Dom.tag in
+    List.iter
+      (fun { Dom.attr_name; attr_value } ->
+        match List.find_opt (fun a -> String.equal a.att_name attr_name) decls with
+        | Some { att_type = Id; _ } ->
+          if Hashtbl.mem ids attr_value then
+            violations :=
+              { element = e.Dom.tag; reason = Printf.sprintf "duplicate ID %S" attr_value }
+              :: !violations
+          else Hashtbl.add ids attr_value ()
+        | Some { att_type = Idref; _ } -> refs := (e.Dom.tag, attr_value) :: !refs
+        | Some { att_type = Idrefs; _ } ->
+          List.iter
+            (fun v -> if v <> "" then refs := (e.Dom.tag, v) :: !refs)
+            (String.split_on_char ' ' attr_value)
+        | Some _ | None -> ())
+      e.Dom.attrs;
+    List.iter
+      (function Dom.Element c -> collect c | Dom.Text _ | Dom.Cdata _ | Dom.Comment _ | Dom.Pi _ -> ())
+      e.Dom.children
+  in
+  collect doc.Dom.root;
+  List.iter
+    (fun (tag, target) ->
+      if not (Hashtbl.mem ids target) then
+        violations :=
+          { element = tag; reason = Printf.sprintf "IDREF %S has no matching ID" target }
+          :: !violations)
+    (List.rev !refs);
+  List.rev !violations
+
+let validate t (doc : Dom.t) =
+  let violations = ref [] in
+  (match t.root with
+  | Some r when not (String.equal r doc.Dom.root.Dom.tag) ->
+    violations := [ { element = doc.Dom.root.Dom.tag; reason = Printf.sprintf "root element should be <%s>" r } ]
+  | Some _ | None -> ());
+  let rec go (e : Dom.element) =
+    violations := !violations @ check_element t e;
+    List.iter (function Dom.Element c -> go c | Dom.Text _ | Dom.Cdata _ | Dom.Comment _ | Dom.Pi _ -> ()) e.children
+  in
+  go doc.Dom.root;
+  !violations @ check_ids t doc
+
+let is_valid t doc = validate t doc = []
+
+(* ------------------------------------------------------------------ *)
+(* Simplification for the Inline mapping *)
+
+type quant = One | QOpt | QStar
+
+let quant_to_string = function One -> "1" | QOpt -> "?" | QStar -> "*"
+
+type simple = { has_pcdata : bool; fields : (string * quant) list }
+
+let quant_or a b =
+  (* Combine quantifiers of the same child met on alternate branches /
+     repeated positions. *)
+  match (a, b) with
+  | QStar, _ | _, QStar -> QStar
+  | QOpt, QOpt -> QOpt
+  | One, One -> QStar  (* a, a -> a* : repetition of the same tag *)
+  | One, QOpt | QOpt, One -> QStar
+
+let weaken = function One -> QOpt | q -> q
+
+let under_star = function _ -> QStar
+
+(* Normalize a content model into the (child, quantifier) set + pcdata flag
+   used by the inlining algorithm. The rewrite rules of the paper are folded
+   into this single recursion: sequencing merges field maps with
+   [quant_or]; choice weakens One to QOpt first; Star/Plus force QStar. *)
+let simplify content =
+  let merge m1 m2 =
+    List.fold_left
+      (fun acc (name, q) ->
+        match List.assoc_opt name acc with
+        | None -> acc @ [ (name, q) ]
+        | Some q0 -> List.map (fun (n, q') -> if String.equal n name then (n, quant_or q0 q) else (n, q')) acc)
+      m1 m2
+  in
+  let map_q f m = List.map (fun (n, q) -> (n, f q)) m in
+  let rec go = function
+    | Pcdata -> { has_pcdata = true; fields = [] }
+    | Empty -> { has_pcdata = false; fields = [] }
+    | Any -> { has_pcdata = true; fields = [] }
+    | Mixed names -> { has_pcdata = true; fields = List.map (fun n -> (n, QStar)) names }
+    | Child n -> { has_pcdata = false; fields = [ (n, One) ] }
+    | Opt c ->
+      let s = go c in
+      { s with fields = map_q weaken s.fields }
+    | Star c | Plus c ->
+      (* e+ is approximated by e* per the paper ("be less specific"). *)
+      let s = go c in
+      { s with fields = map_q under_star s.fields }
+    | Seq cs ->
+      List.fold_left
+        (fun acc c ->
+          let s = go c in
+          { has_pcdata = acc.has_pcdata || s.has_pcdata; fields = merge acc.fields s.fields })
+        { has_pcdata = false; fields = [] }
+        cs
+    | Choice cs ->
+      (* (e1 | e2) -> e1?, e2? *)
+      List.fold_left
+        (fun acc c ->
+          let s = go c in
+          let weakened = map_q weaken s.fields in
+          { has_pcdata = acc.has_pcdata || s.has_pcdata; fields = merge acc.fields weakened })
+        { has_pcdata = false; fields = [] }
+        cs
+  in
+  go content
+
+(* Element-type graph edges: parent -> child with its simplified quantifier. *)
+let edges t =
+  List.concat_map
+    (fun (name, decl) ->
+      let s = simplify decl.content in
+      List.map (fun (child, q) -> (name, child, q)) s.fields)
+    t.elements

@@ -1,0 +1,78 @@
+(** Document Type Definitions.
+
+    Content-model AST, parser for the internal DTD subset, validation via
+    Brzozowski derivatives, and the content-model simplification used by the
+    Inline shredding scheme (Shanmugasundaram et al. 1999). *)
+
+type content =
+  | Pcdata
+  | Empty
+  | Any
+  | Child of string
+  | Seq of content list
+  | Choice of content list
+  | Star of content
+  | Plus of content
+  | Opt of content
+  | Mixed of string list  (** [(#PCDATA | a | b)*] *)
+
+type att_type = Cdata | Id | Idref | Idrefs | Nmtoken | Nmtokens | Enum of string list
+type att_default = Required | Implied | Fixed of string | Default of string
+type attribute = { att_name : string; att_type : att_type; att_default : att_default }
+type element_decl = { elt_name : string; content : content }
+
+type t = {
+  elements : (string * element_decl) list;
+  attlists : (string * attribute list) list;
+  root : string option;
+}
+
+exception Dtd_error of string
+
+val empty : t
+val parse : ?root:string -> string -> t
+(** Parse the text of an internal DTD subset (the part between ['['] and
+    [']'] of a DOCTYPE). [root] overrides the document-type name; by default
+    the first declared element is taken as root.
+    @raise Dtd_error on malformed input. *)
+
+val find_element : t -> string -> element_decl option
+val find_attributes : t -> string -> attribute list
+val element_names : t -> string list
+
+val content_to_string : content -> string
+val att_type_to_string : att_type -> string
+val to_string : t -> string
+(** Render back as [<!ELEMENT ...>] / [<!ATTLIST ...>] declarations. *)
+
+(** {1 Validation} *)
+
+type violation = { element : string; reason : string }
+
+val violation_to_string : violation -> string
+
+val nullable : content -> bool
+val derive : content -> string -> content option
+(** Brzozowski derivative of a content model by a child tag; [None] if the
+    tag is not accepted at this point. *)
+
+val validate : t -> Dom.t -> violation list
+val is_valid : t -> Dom.t -> bool
+
+(** {1 Simplification (Inline mapping)} *)
+
+type quant = One | QOpt | QStar
+
+val quant_to_string : quant -> string
+val quant_or : quant -> quant -> quant
+
+type simple = { has_pcdata : bool; fields : (string * quant) list }
+
+val simplify : content -> simple
+(** Apply the rewrite system [(e1,e2)* -> e1*,e2*], [(e1|e2) -> e1?,e2?],
+    [e** -> e*], [..a*..a*.. -> a*] and collapse the model into a set of
+    (child, quantifier) pairs plus a PCDATA flag. *)
+
+val edges : t -> (string * string * quant) list
+(** Element-type graph: one (parent, child, quantifier) edge per simplified
+    field of every declared element. *)

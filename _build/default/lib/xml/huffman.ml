@@ -1,0 +1,152 @@
+(* Canonical Huffman coding over bytes. The encoded form carries the 256
+   code lengths (one byte each) followed by the bit stream, so decoding
+   needs no other context. Used by [Compress] for the XMill-style container
+   compressor. *)
+
+(* Build code lengths with a simple heap-free two-queue construction over
+   the byte frequencies. Lengths are capped at 255 (unreachable for 256
+   symbols). *)
+
+type node = Leaf of int * int (* freq, symbol *) | Node of int * node * node
+
+let freq_of node = match node with Leaf (f, _) -> f | Node (f, _, _) -> f
+
+let build_tree freqs =
+  let leaves =
+    Array.to_list freqs
+    |> List.mapi (fun sym f -> (sym, f))
+    |> List.filter (fun (_, f) -> f > 0)
+    |> List.map (fun (sym, f) -> Leaf (f, sym))
+  in
+  match leaves with
+  | [] -> None
+  | [ Leaf (f, sym) ] ->
+    (* a single distinct symbol still needs one bit *)
+    Some (Node (f, Leaf (f, sym), Leaf (0, (sym + 1) land 0xFF)))
+  | leaves ->
+    let sorted = List.sort (fun a b -> compare (freq_of a) (freq_of b)) leaves in
+    let rec merge = function
+      | [ t ] -> t
+      | a :: b :: rest ->
+        let merged = Node (freq_of a + freq_of b, a, b) in
+        (* insert keeping the list sorted by frequency *)
+        let rec insert = function
+          | [] -> [ merged ]
+          | x :: xs when freq_of x < freq_of merged -> x :: insert xs
+          | xs -> merged :: xs
+        in
+        merge (insert rest)
+      | [] -> assert false
+    in
+    Some (merge sorted)
+
+let code_lengths tree =
+  let lengths = Array.make 256 0 in
+  let rec walk depth = function
+    | Leaf (_, sym) -> lengths.(sym) <- max 1 depth
+    | Node (_, l, r) ->
+      walk (depth + 1) l;
+      walk (depth + 1) r
+  in
+  (match tree with Some t -> walk 0 t | None -> ());
+  lengths
+
+(* Canonical codes from lengths: symbols sorted by (length, symbol). *)
+let canonical_codes lengths =
+  let symbols =
+    Array.to_list lengths
+    |> List.mapi (fun sym len -> (sym, len))
+    |> List.filter (fun (_, len) -> len > 0)
+    |> List.sort (fun (s1, l1) (s2, l2) -> if l1 <> l2 then compare l1 l2 else compare s1 s2)
+  in
+  let codes = Array.make 256 (0, 0) in
+  let code = ref 0 in
+  let prev_len = ref 0 in
+  List.iter
+    (fun (sym, len) ->
+      code := !code lsl (len - !prev_len);
+      prev_len := len;
+      codes.(sym) <- (!code, len);
+      incr code)
+    symbols;
+  codes
+
+let encode (data : string) : string =
+  let freqs = Array.make 256 0 in
+  String.iter (fun c -> freqs.(Char.code c) <- freqs.(Char.code c) + 1) data;
+  let lengths = code_lengths (build_tree freqs) in
+  let codes = canonical_codes lengths in
+  let out = Buffer.create (String.length data / 2 + 300) in
+  (* header: original length (8-byte LE) + 256 code lengths *)
+  let n = String.length data in
+  for i = 0 to 7 do
+    Buffer.add_char out (Char.chr ((n lsr (8 * i)) land 0xFF))
+  done;
+  Array.iter (fun len -> Buffer.add_char out (Char.chr len)) lengths;
+  let w = Bitio.Writer.create () in
+  String.iter
+    (fun c ->
+      let code, len = codes.(Char.code c) in
+      Bitio.Writer.put_bits w ~code ~len)
+    data;
+  Buffer.add_string out (Bitio.Writer.contents w);
+  Buffer.contents out
+
+exception Corrupt of string
+
+(* Decoding table: walk the canonical codes bit by bit via a binary trie
+   rebuilt from the lengths. *)
+type trie = T_leaf of int | T_node of trie option * trie option
+
+let build_trie lengths =
+  let codes = canonical_codes lengths in
+  let root = ref (T_node (None, None)) in
+  let insert sym (code, len) =
+    let rec go node depth =
+      match node with
+      | T_leaf _ -> raise (Corrupt "overlapping codes")
+      | T_node (l, r) ->
+        if depth = len then raise (Corrupt "code too short")
+        else begin
+          let bit = (code lsr (len - depth - 1)) land 1 in
+          let child = if bit = 0 then l else r in
+          let child' =
+            if depth + 1 = len then
+              match child with
+              | None -> T_leaf sym
+              | Some _ -> raise (Corrupt "duplicate code")
+            else go (Option.value ~default:(T_node (None, None)) child) (depth + 1)
+          in
+          if bit = 0 then T_node (Some child', r) else T_node (l, Some child')
+        end
+    in
+    root := go !root 0
+  in
+  Array.iteri (fun sym (code, len) -> if len > 0 then insert sym (code, len)) codes;
+  Array.iteri (fun sym len -> ignore sym; ignore len) lengths;
+  !root
+
+let decode (packed : string) : string =
+  if String.length packed < 8 + 256 then raise (Corrupt "truncated header");
+  let n = ref 0 in
+  for i = 7 downto 0 do
+    n := (!n lsl 8) lor Char.code packed.[i]
+  done;
+  let lengths = Array.init 256 (fun i -> Char.code packed.[8 + i]) in
+  let trie = build_trie lengths in
+  let r = Bitio.Reader.create (String.sub packed (8 + 256) (String.length packed - 8 - 256)) in
+  let out = Buffer.create !n in
+  (try
+     for _ = 1 to !n do
+       let rec walk = function
+         | T_leaf sym -> Buffer.add_char out (Char.chr sym)
+         | T_node (l, rgt) -> (
+           let bit = Bitio.Reader.get_bit r in
+           match (if bit then rgt else l) with
+           | Some child -> walk child
+           | None -> raise (Corrupt "invalid code path"))
+       in
+       walk trie
+     done
+   with Bitio.Reader.End_of_stream -> raise (Corrupt "bit stream ended early"));
+  Buffer.contents out

@@ -1,0 +1,10 @@
+(** Canonical Huffman coding over bytes.
+
+    The encoded form is self-contained: an 8-byte length, the 256 code
+    lengths, then the bit stream. Used by {!Compress} per container. *)
+
+exception Corrupt of string
+
+val encode : string -> string
+val decode : string -> string
+(** Exact inverse of {!encode}. @raise Corrupt on malformed input. *)

@@ -1,0 +1,246 @@
+(* Id-addressed document view.
+
+   Every node (document root, elements, attributes, texts, comments, PIs)
+   gets a pre-order integer id; the arrays below give O(1) access to the
+   structural properties query evaluation needs. Attribute nodes are
+   numbered immediately after their owner element, before its content
+   children, so the id order is a total document order and an element's
+   descendant set is exactly the id range (id, id + size].
+
+   This is simultaneously the native evaluation store and the source of the
+   pre/post interval encoding ("accel" relation) used by the Interval
+   shredding scheme. *)
+
+type kind = Document | Element | Attribute | Text | Comment | Pi
+
+let kind_to_string = function
+  | Document -> "doc"
+  | Element -> "elem"
+  | Attribute -> "attr"
+  | Text -> "text"
+  | Comment -> "comment"
+  | Pi -> "pi"
+
+type t = {
+  kind : kind array;
+  name : string array;  (* tag / attribute name / PI target; "" otherwise *)
+  value : string array;  (* text content / attribute value / comment; "" for elements *)
+  parent : int array;  (* -1 for the document node *)
+  first_child : int array;  (* first content child (attributes excluded); -1 if none *)
+  next_sibling : int array;  (* next content sibling; -1 if none. Attributes chain to the next attribute. *)
+  size : int array;  (* number of descendants, attributes included *)
+  level : int array;  (* document node is level 0, root element level 1 *)
+  ordinal : int array;  (* 1-based position among the parent's content children; attribute order for attributes *)
+}
+
+let nil = -1
+
+let count (t : t) = Array.length t.kind
+let kind t i = t.kind.(i)
+let name t i = t.name.(i)
+let value t i = t.value.(i)
+let parent t i = t.parent.(i)
+let size t i = t.size.(i)
+let level t i = t.level.(i)
+let ordinal t i = t.ordinal.(i)
+let root_element t = t.first_child.(0)
+
+(* Post-order rank, derived from pre-order and size: pre + size works as a
+   post order for interval containment tests. *)
+let post t i = i + t.size.(i)
+
+let of_document (doc : Dom.t) =
+  let n = 1 + Dom.count_nodes doc in
+  let kind = Array.make n Document in
+  let name = Array.make n "" in
+  let value = Array.make n "" in
+  let parent = Array.make n nil in
+  let first_child = Array.make n nil in
+  let next_sibling = Array.make n nil in
+  let size = Array.make n 0 in
+  let level = Array.make n 0 in
+  let ordinal = Array.make n 0 in
+  let next = ref 1 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  (* Returns the id assigned to [node]; fills size on the way back up. *)
+  let rec visit_node lvl parent_id ord (node : Dom.node) =
+    match node with
+    | Dom.Element e -> visit_element lvl parent_id ord e
+    | Dom.Text s | Dom.Cdata s ->
+      let id = fresh () in
+      kind.(id) <- Text;
+      value.(id) <- s;
+      parent.(id) <- parent_id;
+      level.(id) <- lvl;
+      ordinal.(id) <- ord;
+      id
+    | Dom.Comment s ->
+      let id = fresh () in
+      kind.(id) <- Comment;
+      value.(id) <- s;
+      parent.(id) <- parent_id;
+      level.(id) <- lvl;
+      ordinal.(id) <- ord;
+      id
+    | Dom.Pi { target; data } ->
+      let id = fresh () in
+      kind.(id) <- Pi;
+      name.(id) <- target;
+      value.(id) <- data;
+      parent.(id) <- parent_id;
+      level.(id) <- lvl;
+      ordinal.(id) <- ord;
+      id
+  and visit_element lvl parent_id ord (e : Dom.element) =
+    let id = fresh () in
+    kind.(id) <- Element;
+    name.(id) <- e.tag;
+    parent.(id) <- parent_id;
+    level.(id) <- lvl;
+    ordinal.(id) <- ord;
+    (* Attributes first: they share the element's descendant range. *)
+    let prev_attr = ref nil in
+    List.iteri
+      (fun i { Dom.attr_name; attr_value } ->
+        let aid = fresh () in
+        kind.(aid) <- Attribute;
+        name.(aid) <- attr_name;
+        value.(aid) <- attr_value;
+        parent.(aid) <- id;
+        level.(aid) <- lvl + 1;
+        ordinal.(aid) <- i + 1;
+        if !prev_attr <> nil then next_sibling.(!prev_attr) <- aid;
+        prev_attr := aid)
+      e.attrs;
+    let prev_child = ref nil in
+    List.iteri
+      (fun i c ->
+        let cid = visit_node (lvl + 1) id (i + 1) c in
+        if !prev_child = nil then first_child.(id) <- cid
+        else next_sibling.(!prev_child) <- cid;
+        prev_child := cid)
+      e.children;
+    size.(id) <- !next - id - 1;
+    id
+  in
+  let root_id = visit_element 1 0 1 doc.Dom.root in
+  first_child.(0) <- root_id;
+  size.(0) <- !next - 1;
+  assert (!next = n);
+  { kind; name; value; parent; first_child; next_sibling; size; level; ordinal }
+
+(* Iteration helpers used by the XPath evaluator and the shredders. *)
+
+let attributes t i =
+  if t.kind.(i) <> Element then []
+  else begin
+    (* Attributes occupy ids i+1 .. i+k until the first non-attribute. *)
+    let rec go j acc =
+      if j < count t && t.kind.(j) = Attribute && t.parent.(j) = i then go (j + 1) (j :: acc)
+      else List.rev acc
+    in
+    go (i + 1) []
+  end
+
+let children t i =
+  let rec go j acc = if j = nil then List.rev acc else go t.next_sibling.(j) (j :: acc) in
+  go t.first_child.(i) []
+
+let descendants_or_self t i =
+  (* All non-attribute nodes in (i, i + size]; include i itself. *)
+  let stop = i + t.size.(i) in
+  let rec go j acc =
+    if j > stop then List.rev acc
+    else if t.kind.(j) = Attribute then go (j + 1) acc
+    else go (j + 1) (j :: acc)
+  in
+  go i []
+
+let descendants t i = match descendants_or_self t i with [] -> [] | _ :: rest -> rest
+
+let ancestors t i =
+  let rec go j acc = if j = nil then List.rev acc else go t.parent.(j) (j :: acc) in
+  go t.parent.(i) []
+
+let following_siblings t i =
+  if t.kind.(i) = Attribute then []
+  else
+    let rec go j acc = if j = nil then List.rev acc else go t.next_sibling.(j) (j :: acc) in
+    go t.next_sibling.(i) []
+
+let preceding_siblings t i =
+  (* In reverse document order, as the XPath axis requires. *)
+  if t.kind.(i) = Attribute || t.parent.(i) = nil then []
+  else
+    let rec go j acc =
+      if j = nil || j = i then acc else go t.next_sibling.(j) (j :: acc)
+    in
+    go t.first_child.(t.parent.(i)) []
+
+(* XPath string-value of an arbitrary node. *)
+let string_value t i =
+  match t.kind.(i) with
+  | Text | Attribute | Comment | Pi -> t.value.(i)
+  | Element | Document ->
+    let buf = Buffer.create 64 in
+    let stop = i + t.size.(i) in
+    for j = i to stop do
+      if t.kind.(j) = Text then Buffer.add_string buf t.value.(j)
+    done;
+    Buffer.contents buf
+
+(* Rebuild the immutable subtree rooted at an element or other node id. *)
+let rec to_node t i : Dom.node =
+  match t.kind.(i) with
+  | Element ->
+    let attrs =
+      List.map (fun a -> { Dom.attr_name = t.name.(a); attr_value = t.value.(a) }) (attributes t i)
+    in
+    Dom.Element { Dom.tag = t.name.(i); attrs; children = List.map (to_node t) (children t i) }
+  | Text -> Dom.Text t.value.(i)
+  | Comment -> Dom.Comment t.value.(i)
+  | Pi -> Dom.Pi { target = t.name.(i); data = t.value.(i) }
+  | Attribute -> Dom.Text t.value.(i)  (* attribute in node position: its value *)
+  | Document -> to_node t (root_element t)
+
+let to_document t =
+  match to_node t (root_element t) with
+  | Dom.Element e -> Dom.document e
+  | Dom.Text _ | Dom.Cdata _ | Dom.Comment _ | Dom.Pi _ -> invalid_arg "Index.to_document"
+
+(* Statistics consumed by the benchmark harness. *)
+type stats = {
+  nodes : int;
+  elements : int;
+  attributes_ : int;
+  texts : int;
+  max_depth : int;
+  distinct_tags : int;
+}
+
+let stats t =
+  let elements = ref 0 and attributes_ = ref 0 and texts = ref 0 and max_depth = ref 0 in
+  let tags = Hashtbl.create 64 in
+  for i = 1 to count t - 1 do
+    (match t.kind.(i) with
+    | Element ->
+      incr elements;
+      Hashtbl.replace tags t.name.(i) ()
+    | Attribute -> incr attributes_
+    | Text -> incr texts
+    | Comment | Pi | Document -> ());
+    (* element nesting depth only *)
+    if t.kind.(i) = Element && t.level.(i) > !max_depth then max_depth := t.level.(i)
+  done;
+  {
+    nodes = count t - 1;
+    elements = !elements;
+    attributes_ = !attributes_;
+    texts = !texts;
+    max_depth = !max_depth;
+    distinct_tags = Hashtbl.length tags;
+  }

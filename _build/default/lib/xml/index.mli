@@ -1,0 +1,82 @@
+(** Id-addressed document view.
+
+    Every node gets a pre-order integer id (the document node is id 0, the
+    root element {!root_element}). Attribute nodes are numbered immediately
+    after their owner element, so ids form a total document order and the
+    descendants of node [i] are exactly the ids in [(i, i + size i]].
+
+    This view is both the native XPath evaluation store and the source of
+    the pre/post interval encoding used by the Interval shredding scheme. *)
+
+type kind = Document | Element | Attribute | Text | Comment | Pi
+
+val kind_to_string : kind -> string
+
+type t
+
+val nil : int
+(** The absent-node sentinel, [-1]. *)
+
+val of_document : Dom.t -> t
+
+(** {1 Node properties} *)
+
+val count : t -> int
+(** Total number of nodes including the document node. Valid ids are
+    [0 .. count - 1]. *)
+
+val kind : t -> int -> kind
+val name : t -> int -> string
+val value : t -> int -> string
+val parent : t -> int -> int
+val size : t -> int -> int
+(** Number of descendants (attributes included). *)
+
+val level : t -> int -> int
+(** Depth; the document node is level 0, the root element level 1. *)
+
+val ordinal : t -> int -> int
+(** 1-based position among the parent's content children (attribute order
+    for attributes). *)
+
+val post : t -> int -> int
+(** Post-order rank derived as [pre + size]; usable for interval
+    containment tests. *)
+
+val root_element : t -> int
+
+(** {1 Axes} *)
+
+val attributes : t -> int -> int list
+val children : t -> int -> int list
+val descendants : t -> int -> int list
+val descendants_or_self : t -> int -> int list
+val ancestors : t -> int -> int list
+(** Nearest first, ending with the document node. *)
+
+val following_siblings : t -> int -> int list
+val preceding_siblings : t -> int -> int list
+(** In reverse document order (nearest first), as the XPath axis requires. *)
+
+(** {1 Values} *)
+
+val string_value : t -> int -> string
+(** XPath string-value (concatenated descendant text for elements). *)
+
+val to_node : t -> int -> Dom.node
+(** Rebuild the immutable subtree rooted at a node id. *)
+
+val to_document : t -> Dom.t
+
+(** {1 Statistics} *)
+
+type stats = {
+  nodes : int;
+  elements : int;
+  attributes_ : int;
+  texts : int;
+  max_depth : int;
+  distinct_tags : int;
+}
+
+val stats : t -> stats

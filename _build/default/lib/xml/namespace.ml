@@ -1,0 +1,60 @@
+(* XML namespace resolution. Names are kept as raw qnames ("ns:local")
+   throughout the library — the mapping schemes shred qnames — but this
+   module computes in-scope bindings and expanded names for applications
+   that need them. *)
+
+type binding = { prefix : string; uri : string }
+
+type expanded = { uri : string option; local : string }
+
+let xml_uri = "http://www.w3.org/XML/1998/namespace"
+
+let split_qname qname =
+  match String.index_opt qname ':' with
+  | None -> (None, qname)
+  | Some i -> (Some (String.sub qname 0 i), String.sub qname (i + 1) (String.length qname - i - 1))
+
+let prefix_of qname = fst (split_qname qname)
+let local_of qname = snd (split_qname qname)
+
+(* Bindings declared directly on an element via xmlns / xmlns:p
+   attributes. *)
+let declared_bindings (e : Dom.element) =
+  List.filter_map
+    (fun { Dom.attr_name; attr_value } ->
+      if String.equal attr_name "xmlns" then Some { prefix = ""; uri = attr_value }
+      else
+        match split_qname attr_name with
+        | Some "xmlns", local -> Some { prefix = local; uri = attr_value }
+        | _ -> None)
+    e.Dom.attrs
+
+(* In-scope bindings for [e], innermost declaration winning. [scope] is the
+   enclosing scope (outermost call passes []). *)
+let in_scope scope e =
+  let own = declared_bindings e in
+  own @ List.filter (fun b -> not (List.exists (fun o -> String.equal o.prefix b.prefix) own)) scope
+
+let resolve scope qname =
+  let prefix, local = split_qname qname in
+  match prefix with
+  | Some "xml" -> { uri = Some xml_uri; local }
+  | Some p -> (
+    match List.find_opt (fun b -> String.equal b.prefix p) scope with
+    | Some b -> { uri = Some b.uri; local }
+    | None -> { uri = None; local })
+  | None -> (
+    match List.find_opt (fun b -> String.equal b.prefix "") scope with
+    | Some b when not (String.equal b.uri "") -> { uri = Some b.uri; local }
+    | Some _ | None -> { uri = None; local })
+
+(* Walk the tree computing each element's expanded name. *)
+let fold_resolved f init (doc : Dom.t) =
+  let rec go scope acc (e : Dom.element) =
+    let scope = in_scope scope e in
+    let acc = f acc scope e in
+    List.fold_left
+      (fun acc -> function Dom.Element c -> go scope acc c | Dom.Text _ | Dom.Cdata _ | Dom.Comment _ | Dom.Pi _ -> acc)
+      acc e.Dom.children
+  in
+  go [] init doc.Dom.root

@@ -1,0 +1,31 @@
+(** XML namespace resolution.
+
+    Names stay raw qnames ("ns:local") throughout the library — the mapping
+    schemes shred qnames — but this module computes in-scope bindings and
+    expanded names for applications that need them. *)
+
+type binding = { prefix : string; uri : string }
+(** [prefix = ""] is the default namespace. *)
+
+type expanded = { uri : string option; local : string }
+
+val xml_uri : string
+(** The reserved [xml:] namespace. *)
+
+val split_qname : string -> string option * string
+val prefix_of : string -> string option
+val local_of : string -> string
+
+val declared_bindings : Dom.element -> binding list
+(** Bindings declared directly on the element via [xmlns] / [xmlns:p]. *)
+
+val in_scope : binding list -> Dom.element -> binding list
+(** [in_scope outer e]: [e]'s scope given the enclosing scope, innermost
+    declaration winning. *)
+
+val resolve : binding list -> string -> expanded
+(** Expand a qname against a scope ([xml:] handled, unbound prefixes map to
+    [uri = None]). *)
+
+val fold_resolved : ('a -> binding list -> Dom.element -> 'a) -> 'a -> Dom.t -> 'a
+(** Walk all elements with their in-scope bindings. *)

@@ -1,0 +1,427 @@
+(* Hand-rolled recursive-descent XML 1.0 parser.
+
+   Supports: prolog, DOCTYPE with internal subset (captured as raw text so
+   that [Dtd.parse] can process it), elements, attributes with single or
+   double quotes, character data, predefined and numeric entity references,
+   CDATA sections, comments, and processing instructions.
+
+   Unsupported by design (documented in README): external DTD subsets,
+   user-defined general entities. *)
+
+type error = { line : int; col : int; message : string }
+
+exception Parse_error of error
+
+let error_to_string e = Printf.sprintf "XML parse error at %d:%d: %s" e.line e.col e.message
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  keep_whitespace : bool;
+}
+
+let fail st message = raise (Parse_error { line = st.line; col = st.col; message })
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let advance st =
+  if not (eof st) then begin
+    (if st.src.[st.pos] = '\n' then begin
+       st.line <- st.line + 1;
+       st.col <- 1
+     end
+     else st.col <- st.col + 1);
+    st.pos <- st.pos + 1
+  end
+
+let expect st c =
+  if peek st = c then advance st
+  else fail st (Printf.sprintf "expected %C, found %C" c (peek st))
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip_string st s =
+  if looking_at st s then String.iter (fun _ -> advance st) s
+  else fail st (Printf.sprintf "expected %S" s)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then
+    fail st (Printf.sprintf "expected a name, found %C" (peek st));
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Decode one &...; reference into [buf]. The leading '&' has not been
+   consumed yet. *)
+let parse_reference st buf =
+  expect st '&';
+  if peek st = '#' then begin
+    advance st;
+    let hex = peek st = 'x' in
+    if hex then advance st;
+    let start = st.pos in
+    let is_digit c =
+      if hex then
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+      else c >= '0' && c <= '9'
+    in
+    while is_digit (peek st) do
+      advance st
+    done;
+    if st.pos = start then fail st "empty character reference";
+    let digits = String.sub st.src start (st.pos - start) in
+    expect st ';';
+    let code =
+      try int_of_string ((if hex then "0x" else "") ^ digits)
+      with Failure _ -> fail st "invalid character reference"
+    in
+    if code < 0 || code > 0x10FFFF then fail st "character reference out of range";
+    (* UTF-8 encode the code point. *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  end
+  else begin
+    let name = parse_name st in
+    expect st ';';
+    match name with
+    | "lt" -> Buffer.add_char buf '<'
+    | "gt" -> Buffer.add_char buf '>'
+    | "amp" -> Buffer.add_char buf '&'
+    | "apos" -> Buffer.add_char buf '\''
+    | "quot" -> Buffer.add_char buf '"'
+    | other -> fail st (Printf.sprintf "unknown entity &%s;" other)
+  end
+
+let parse_attribute_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | c when c = quote -> advance st
+    | '\000' -> fail st "unterminated attribute value"
+    | '<' -> fail st "'<' is not allowed in attribute values"
+    | '&' ->
+      parse_reference st buf;
+      go ()
+    | c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_attributes st =
+  let rec go acc =
+    skip_ws st;
+    if is_name_start (peek st) then begin
+      let name = parse_name st in
+      skip_ws st;
+      expect st '=';
+      skip_ws st;
+      let value = parse_attribute_value st in
+      if List.exists (fun a -> String.equal a.Dom.attr_name name) acc then
+        fail st (Printf.sprintf "duplicate attribute %s" name);
+      go (Dom.attr name value :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let parse_comment st =
+  skip_string st "<!--";
+  let start = st.pos in
+  let rec go () =
+    if eof st then fail st "unterminated comment"
+    else if looking_at st "-->" then begin
+      let s = String.sub st.src start (st.pos - start) in
+      skip_string st "-->";
+      s
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let parse_cdata st =
+  skip_string st "<![CDATA[";
+  let start = st.pos in
+  let rec go () =
+    if eof st then fail st "unterminated CDATA section"
+    else if looking_at st "]]>" then begin
+      let s = String.sub st.src start (st.pos - start) in
+      skip_string st "]]>";
+      s
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let parse_pi st =
+  skip_string st "<?";
+  let target = parse_name st in
+  skip_ws st;
+  let start = st.pos in
+  let rec go () =
+    if eof st then fail st "unterminated processing instruction"
+    else if looking_at st "?>" then begin
+      let data = String.sub st.src start (st.pos - start) in
+      skip_string st "?>";
+      (target, data)
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+(* Raw character data up to the next '<'. Entity references are decoded. *)
+let parse_chardata st =
+  let buf = Buffer.create 32 in
+  let rec go () =
+    match peek st with
+    | '<' | '\000' -> ()
+    | '&' ->
+      parse_reference st buf;
+      go ()
+    | c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let is_all_whitespace s =
+  let rec go i = i >= String.length s || (is_space s.[i] && go (i + 1)) in
+  go 0
+
+let rec parse_content st tag acc =
+  if eof st then fail st (Printf.sprintf "unterminated element <%s>" tag)
+  else if looking_at st "</" then begin
+    skip_string st "</";
+    let name = parse_name st in
+    if not (String.equal name tag) then
+      fail st (Printf.sprintf "mismatched end tag: expected </%s>, found </%s>" tag name);
+    skip_ws st;
+    expect st '>';
+    List.rev acc
+  end
+  else if looking_at st "<!--" then begin
+    let c = parse_comment st in
+    parse_content st tag (Dom.comment c :: acc)
+  end
+  else if looking_at st "<![CDATA[" then begin
+    let c = parse_cdata st in
+    parse_content st tag (Dom.cdata c :: acc)
+  end
+  else if looking_at st "<?" then begin
+    let target, data = parse_pi st in
+    parse_content st tag (Dom.pi target data :: acc)
+  end
+  else if peek st = '<' then begin
+    let e = parse_element st in
+    parse_content st tag (Dom.Element e :: acc)
+  end
+  else begin
+    let s = parse_chardata st in
+    let acc =
+      if (not st.keep_whitespace) && is_all_whitespace s then acc
+      else if String.equal s "" then acc
+      else Dom.text s :: acc
+    in
+    parse_content st tag acc
+  end
+
+and parse_element st =
+  expect st '<';
+  let tag = parse_name st in
+  let attrs = parse_attributes st in
+  skip_ws st;
+  if looking_at st "/>" then begin
+    skip_string st "/>";
+    Dom.elem ~attrs tag []
+  end
+  else begin
+    expect st '>';
+    let children = parse_content st tag [] in
+    Dom.elem ~attrs tag children
+  end
+
+let parse_xml_decl st =
+  if looking_at st "<?xml" && is_space st.src.[st.pos + 5] then begin
+    skip_string st "<?xml";
+    let attrs = parse_attributes st in
+    skip_ws st;
+    skip_string st "?>";
+    let find name = List.find_opt (fun a -> String.equal a.Dom.attr_name name) attrs in
+    let version = match find "version" with Some a -> a.attr_value | None -> "1.0" in
+    let encoding = Option.map (fun a -> a.Dom.attr_value) (find "encoding") in
+    let standalone =
+      match find "standalone" with
+      | Some { attr_value = "yes"; _ } -> Some true
+      | Some { attr_value = "no"; _ } -> Some false
+      | Some _ | None -> None
+    in
+    Some { Dom.version; encoding; standalone }
+  end
+  else None
+
+(* Capture the DOCTYPE declaration. Returns the document-type name and the
+   raw text of the internal subset (between '[' and ']'), if present. *)
+let parse_doctype st =
+  skip_string st "<!DOCTYPE";
+  skip_ws st;
+  let name = parse_name st in
+  skip_ws st;
+  (* Skip an external id (SYSTEM/PUBLIC ...) without fetching it. *)
+  let rec skip_external () =
+    match peek st with
+    | '[' | '>' | '\000' -> ()
+    | '"' | '\'' ->
+      let q = peek st in
+      advance st;
+      while (not (eof st)) && peek st <> q do
+        advance st
+      done;
+      expect st q;
+      skip_external ()
+    | _ ->
+      advance st;
+      skip_external ()
+  in
+  skip_external ();
+  let subset =
+    if peek st = '[' then begin
+      advance st;
+      let start = st.pos in
+      let depth = ref 0 in
+      let rec go () =
+        if eof st then fail st "unterminated DOCTYPE internal subset"
+        else
+          match peek st with
+          | ']' when !depth = 0 -> String.sub st.src start (st.pos - start)
+          | '<' ->
+            incr depth;
+            advance st;
+            go ()
+          | '>' ->
+            decr depth;
+            advance st;
+            go ()
+          | _ ->
+            advance st;
+            go ()
+      in
+      let s = go () in
+      expect st ']';
+      Some s
+    end
+    else None
+  in
+  skip_ws st;
+  expect st '>';
+  (name, subset)
+
+type parsed = { document : Dom.t; internal_subset : string option }
+
+let parse_full ?(keep_whitespace = false) src =
+  let st = { src; pos = 0; line = 1; col = 1; keep_whitespace } in
+  (* UTF-8 byte-order mark *)
+  if looking_at st "\xEF\xBB\xBF" then skip_string st "\xEF\xBB\xBF";
+  skip_ws st;
+  let decl = parse_xml_decl st in
+  let doctype = ref None in
+  let subset = ref None in
+  let rec skip_misc () =
+    skip_ws st;
+    if looking_at st "<!--" then begin
+      ignore (parse_comment st);
+      skip_misc ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      let name, sub = parse_doctype st in
+      doctype := Some name;
+      subset := sub;
+      skip_misc ()
+    end
+    else if looking_at st "<?" && not (looking_at st "<?xml ") then begin
+      ignore (parse_pi st);
+      skip_misc ()
+    end
+  in
+  skip_misc ();
+  if eof st then fail st "document has no root element";
+  let root = parse_element st in
+  (* Trailing misc *)
+  let rec trailing () =
+    skip_ws st;
+    if looking_at st "<!--" then begin
+      ignore (parse_comment st);
+      trailing ()
+    end
+    else if looking_at st "<?" then begin
+      ignore (parse_pi st);
+      trailing ()
+    end
+    else if not (eof st) then fail st "content after the root element"
+  in
+  trailing ();
+  { document = { Dom.decl; doctype = !doctype; root }; internal_subset = !subset }
+
+let parse ?keep_whitespace src = (parse_full ?keep_whitespace src).document
+
+let parse_element_string src =
+  let st = { src; pos = 0; line = 1; col = 1; keep_whitespace = false } in
+  skip_ws st;
+  parse_element st
+
+let parse_file ?keep_whitespace path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse ?keep_whitespace s

@@ -1,0 +1,30 @@
+(** XML 1.0 parser.
+
+    Supports elements, attributes, character data with predefined and
+    numeric entity references, CDATA sections, comments, processing
+    instructions, and DOCTYPE declarations with an internal subset (captured
+    raw for {!Dtd.parse}). External DTD subsets and user-defined general
+    entities are not supported. *)
+
+type error = { line : int; col : int; message : string }
+
+exception Parse_error of error
+
+val error_to_string : error -> string
+
+type parsed = { document : Dom.t; internal_subset : string option }
+
+val parse : ?keep_whitespace:bool -> string -> Dom.t
+(** [parse src] parses a complete document. By default, whitespace-only text
+    nodes between elements are dropped ("ignorable whitespace"); pass
+    [~keep_whitespace:true] to retain them.
+    @raise Parse_error on malformed input. *)
+
+val parse_full : ?keep_whitespace:bool -> string -> parsed
+(** Like {!parse} but also returns the raw internal DTD subset, if the
+    document carried one. *)
+
+val parse_element_string : string -> Dom.element
+(** Parse a single element (no prolog). *)
+
+val parse_file : ?keep_whitespace:bool -> string -> Dom.t

@@ -1,0 +1,66 @@
+(* SAX-style event stream over a parsed tree: the linear "token stream"
+   representation. Shredders that want a single pass over the document in
+   document order fold over this stream instead of recursing over [Dom]. *)
+
+type event =
+  | Start_element of { tag : string; attrs : Dom.attribute list }
+  | End_element of string
+  | Characters of string
+  | Comment_event of string
+  | Pi_event of { target : string; data : string }
+
+let event_to_string = function
+  | Start_element { tag; _ } -> Printf.sprintf "<%s>" tag
+  | End_element tag -> Printf.sprintf "</%s>" tag
+  | Characters s -> Printf.sprintf "text(%S)" s
+  | Comment_event s -> Printf.sprintf "comment(%S)" s
+  | Pi_event { target; _ } -> Printf.sprintf "pi(%s)" target
+
+let fold f init (doc : Dom.t) =
+  let rec node acc = function
+    | Dom.Element e ->
+      let acc = f acc (Start_element { tag = e.tag; attrs = e.attrs }) in
+      let acc = List.fold_left node acc e.children in
+      f acc (End_element e.tag)
+    | Dom.Text s | Dom.Cdata s -> f acc (Characters s)
+    | Dom.Comment s -> f acc (Comment_event s)
+    | Dom.Pi { target; data } -> f acc (Pi_event { target; data })
+  in
+  node init (Dom.Element doc.Dom.root)
+
+let iter f doc = fold (fun () e -> f e) () doc
+
+let to_list doc = List.rev (fold (fun acc e -> e :: acc) [] doc)
+
+(* Rebuild a document from a well-formed event stream; inverse of
+   [to_list]. *)
+exception Invalid_stream of string
+
+let of_list events =
+  let rec build stack events =
+    match events with
+    | [] -> (
+      match stack with
+      | [ (("", []), children) ] -> (
+        match List.rev children with
+        | [ Dom.Element root ] -> Dom.document root
+        | _ -> raise (Invalid_stream "stream must contain exactly one root element"))
+      | _ -> raise (Invalid_stream "unbalanced start/end events"))
+    | Start_element { tag; attrs } :: rest -> build (((tag, attrs), []) :: stack) rest
+    | End_element tag :: rest -> (
+      match stack with
+      | ((open_tag, attrs), children) :: ((ptag, pattrs), pchildren) :: outer ->
+        if not (String.equal open_tag tag) then
+          raise (Invalid_stream (Printf.sprintf "end tag %s does not match %s" tag open_tag));
+        let e = Dom.Element { Dom.tag; attrs; children = List.rev children } in
+        build (((ptag, pattrs), e :: pchildren) :: outer) rest
+      | _ -> raise (Invalid_stream "end event without a matching start"))
+    | Characters s :: rest -> add (Dom.Text s) stack rest
+    | Comment_event s :: rest -> add (Dom.Comment s) stack rest
+    | Pi_event { target; data } :: rest -> add (Dom.Pi { target; data }) stack rest
+  and add node stack rest =
+    match stack with
+    | (hdr, children) :: outer -> build ((hdr, node :: children) :: outer) rest
+    | [] -> raise (Invalid_stream "content outside the root element")
+  in
+  build [ (("", []), []) ] events

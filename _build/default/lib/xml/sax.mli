@@ -1,0 +1,21 @@
+(** SAX-style event stream over a parsed tree: the linear "token stream"
+    representation. Shredders that want a single document-order pass fold
+    over this stream instead of recursing over {!Dom}. *)
+
+type event =
+  | Start_element of { tag : string; attrs : Dom.attribute list }
+  | End_element of string
+  | Characters of string
+  | Comment_event of string
+  | Pi_event of { target : string; data : string }
+
+exception Invalid_stream of string
+
+val event_to_string : event -> string
+val fold : ('a -> event -> 'a) -> 'a -> Dom.t -> 'a
+val iter : (event -> unit) -> Dom.t -> unit
+val to_list : Dom.t -> event list
+
+val of_list : event list -> Dom.t
+(** Rebuild a document from a well-formed stream; inverse of {!to_list}.
+    @raise Invalid_stream on unbalanced or misplaced events. *)

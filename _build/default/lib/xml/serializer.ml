@@ -1,0 +1,146 @@
+(* XML serialization: compact, pretty-printed, and canonical forms. The
+   canonical form (sorted attributes, no insignificant whitespace, CDATA
+   folded into text) is the byte-level fixpoint used by round-trip tests. *)
+
+let escape_text buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_attr buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s
+
+type mode = Compact | Pretty of int | Canonical
+
+let add_attrs buf ~sort attrs =
+  let attrs =
+    if sort then
+      List.sort (fun a b -> String.compare a.Dom.attr_name b.Dom.attr_name) attrs
+    else attrs
+  in
+  List.iter
+    (fun { Dom.attr_name; attr_value } ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf attr_name;
+      Buffer.add_string buf "=\"";
+      escape_attr buf attr_value;
+      Buffer.add_char buf '"')
+    attrs
+
+let rec add_node buf mode level (node : Dom.node) =
+  let indent n =
+    match mode with
+    | Pretty width ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (n * width) ' ')
+    | Compact | Canonical -> ()
+  in
+  match node with
+  | Dom.Text s -> escape_text buf s
+  | Dom.Cdata s -> (
+    match mode with
+    | Canonical -> escape_text buf s
+    | Compact | Pretty _ ->
+      Buffer.add_string buf "<![CDATA[";
+      Buffer.add_string buf s;
+      Buffer.add_string buf "]]>")
+  | Dom.Comment s ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "-->"
+  | Dom.Pi { target; data } ->
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf target;
+    if not (String.equal data "") then begin
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf data
+    end;
+    Buffer.add_string buf "?>"
+  | Dom.Element e ->
+    Buffer.add_char buf '<';
+    Buffer.add_string buf e.tag;
+    add_attrs buf ~sort:(mode = Canonical) e.attrs;
+    (match e.children with
+    | [] -> (
+      match mode with
+      | Canonical ->
+        (* Canonical XML always uses an explicit end tag. *)
+        Buffer.add_string buf "></";
+        Buffer.add_string buf e.tag;
+        Buffer.add_char buf '>'
+      | Compact | Pretty _ -> Buffer.add_string buf "/>")
+    | children ->
+      Buffer.add_char buf '>';
+      let only_text =
+        List.for_all
+          (function Dom.Text _ | Dom.Cdata _ -> true | Dom.Element _ | Dom.Comment _ | Dom.Pi _ -> false)
+          children
+      in
+      if only_text || mode = Compact || mode = Canonical then
+        List.iter (add_node buf (if only_text then mode else mode) level) children
+      else begin
+        List.iter
+          (fun c ->
+            indent (level + 1);
+            add_node buf mode (level + 1) c)
+          children;
+        indent level
+      end;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf e.tag;
+      Buffer.add_char buf '>')
+
+let node_to_string ?(mode = Compact) node =
+  let buf = Buffer.create 256 in
+  add_node buf mode 0 node;
+  Buffer.contents buf
+
+let element_to_string ?mode e = node_to_string ?mode (Dom.Element e)
+
+let to_string ?(mode = Compact) (t : Dom.t) =
+  let buf = Buffer.create 1024 in
+  (match (mode, t.decl) with
+  | Canonical, _ | _, None -> ()
+  | _, Some { version; encoding; standalone } ->
+    Buffer.add_string buf "<?xml version=\"";
+    Buffer.add_string buf version;
+    Buffer.add_char buf '"';
+    (match encoding with
+    | Some e ->
+      Buffer.add_string buf " encoding=\"";
+      Buffer.add_string buf e;
+      Buffer.add_char buf '"'
+    | None -> ());
+    (match standalone with
+    | Some b ->
+      Buffer.add_string buf " standalone=\"";
+      Buffer.add_string buf (if b then "yes" else "no");
+      Buffer.add_char buf '"'
+    | None -> ());
+    Buffer.add_string buf "?>";
+    if mode <> Compact then Buffer.add_char buf '\n');
+  add_node buf mode 0 (Dom.Element t.root);
+  (match mode with Pretty _ -> Buffer.add_char buf '\n' | Compact | Canonical -> ());
+  Buffer.contents buf
+
+let canonical t = to_string ~mode:Canonical { t with decl = None; doctype = None }
+let pretty ?(width = 2) t = to_string ~mode:(Pretty width) t
+
+let to_file ?mode path t =
+  let oc = open_out_bin path in
+  output_string oc (to_string ?mode t);
+  close_out oc

@@ -1,0 +1,19 @@
+(** XML serialization. *)
+
+type mode =
+  | Compact  (** no insignificant whitespace, self-closing empty tags *)
+  | Pretty of int  (** indented with the given width *)
+  | Canonical
+      (** sorted attributes, explicit end tags, CDATA folded into text, no
+          XML declaration: a byte-level fixpoint suitable for round-trip
+          comparison *)
+
+val to_string : ?mode:mode -> Dom.t -> string
+val node_to_string : ?mode:mode -> Dom.node -> string
+val element_to_string : ?mode:mode -> Dom.element -> string
+
+val canonical : Dom.t -> string
+(** [to_string ~mode:Canonical] with declaration and doctype stripped. *)
+
+val pretty : ?width:int -> Dom.t -> string
+val to_file : ?mode:mode -> string -> Dom.t -> unit

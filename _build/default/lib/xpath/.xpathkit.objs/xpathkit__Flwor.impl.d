@@ -1,0 +1,1 @@
+lib/xpath/flwor.ml: Ast Buffer Eval Float List Option Parser Printf String Xmlkit

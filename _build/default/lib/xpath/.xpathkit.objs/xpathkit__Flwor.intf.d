@@ -1,0 +1,1 @@
+lib/xpath/flwor.mli: Xmlkit

@@ -1,0 +1,130 @@
+(* XPath 1.0 (subset) abstract syntax. *)
+
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Attribute
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Self
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+
+type node_test =
+  | Name of string
+  | Wildcard
+  | Text_test
+  | Comment_test
+  | Node_test
+
+type step = { axis : axis; test : node_test; predicates : expr list }
+
+and path = { absolute : bool; steps : step list }
+
+and binary =
+  | Or | And
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | Add | Sub | Mul | Div | Mod
+  | Union
+
+and expr =
+  | Path of path
+  | Literal of string
+  | Number of float
+  | Binary of binary * expr * expr
+  | Negate of expr
+  | Fun_call of string * expr list
+  (* a path applied to the result of a primary expression, e.g. (..)/a;
+     the subset only produces this for function results that are node-sets *)
+  | Filtered of expr * expr list  (* primary expression with predicates *)
+  | Var_path of string * path  (* $v or $v/rel/ative/path *)
+
+let is_forward_axis = function
+  | Child | Descendant | Descendant_or_self | Attribute | Self | Following_sibling | Following ->
+    true
+  | Parent | Ancestor | Ancestor_or_self | Preceding_sibling | Preceding -> false
+
+let axis_to_string = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Attribute -> "attribute"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Self -> "self"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Following -> "following"
+  | Preceding -> "preceding"
+
+let axis_of_string = function
+  | "child" -> Some Child
+  | "descendant" -> Some Descendant
+  | "descendant-or-self" -> Some Descendant_or_self
+  | "attribute" -> Some Attribute
+  | "parent" -> Some Parent
+  | "ancestor" -> Some Ancestor
+  | "ancestor-or-self" -> Some Ancestor_or_self
+  | "self" -> Some Self
+  | "following-sibling" -> Some Following_sibling
+  | "preceding-sibling" -> Some Preceding_sibling
+  | "following" -> Some Following
+  | "preceding" -> Some Preceding
+  | _ -> None
+
+let test_to_string = function
+  | Name n -> n
+  | Wildcard -> "*"
+  | Text_test -> "text()"
+  | Comment_test -> "comment()"
+  | Node_test -> "node()"
+
+let binary_to_string = function
+  | Or -> "or" | And -> "and"
+  | Eq -> "=" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "div" | Mod -> "mod"
+  | Union -> "|"
+
+let rec step_to_string s =
+  let base =
+    match (s.axis, s.test) with
+    | Child, t -> test_to_string t
+    | Attribute, t -> "@" ^ test_to_string t
+    | Self, Node_test -> "."
+    | Parent, Node_test -> ".."
+    | axis, t -> axis_to_string axis ^ "::" ^ test_to_string t
+  in
+  base ^ String.concat "" (List.map (fun p -> "[" ^ expr_to_string p ^ "]") s.predicates)
+
+and path_to_string p =
+  let steps = String.concat "/" (List.map step_to_string p.steps) in
+  if p.absolute then "/" ^ steps else steps
+
+and expr_to_string = function
+  | Path p -> path_to_string p
+  | Literal s -> "'" ^ s ^ "'"
+  | Number f -> if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f
+  | Binary (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binary_to_string op) (expr_to_string b)
+  | Negate e -> "-" ^ expr_to_string e
+  | Fun_call (f, args) -> f ^ "(" ^ String.concat ", " (List.map expr_to_string args) ^ ")"
+  | Filtered (e, preds) ->
+    "(" ^ expr_to_string e ^ ")"
+    ^ String.concat "" (List.map (fun p -> "[" ^ expr_to_string p ^ "]") preds)
+  | Var_path (v, { steps = []; _ }) -> "$" ^ v
+  | Var_path (v, p) -> "$" ^ v ^ "/" ^ path_to_string p
+
+(* Structural queries used by the SQL translators. *)
+
+let rec path_of_expr = function
+  | Path p -> Some p
+  | Filtered (e, []) -> path_of_expr e
+  | _ -> None
+
+(* Depth of navigation: steps count, used for reporting. *)
+let step_count p = List.length p.steps

@@ -1,0 +1,399 @@
+(* Native XPath evaluator over the id-addressed document view
+   (Xmlkit.Index). This is the in-memory baseline the relational mapping
+   schemes are compared against, and the reference implementation the
+   property tests use to validate every XPath-to-SQL translator. *)
+
+module Index = Xmlkit.Index
+
+exception Eval_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+type value =
+  | Nodes of int list  (* distinct, in document order *)
+  | Num of float
+  | Str of string
+  | Boolean of bool
+
+(* ------------------------------------------------------------------ *)
+(* XPath 1.0 type conversions *)
+
+let number_of_string s =
+  match float_of_string_opt (String.trim s) with Some f -> f | None -> Float.nan
+
+let string_of_number f =
+  if Float.is_nan f then "NaN"
+  else if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+  else Printf.sprintf "%.12g" f
+
+let to_string doc = function
+  | Str s -> s
+  | Num f -> string_of_number f
+  | Boolean b -> if b then "true" else "false"
+  | Nodes [] -> ""
+  | Nodes (n :: _) -> Index.string_value doc n
+
+let to_number doc = function
+  | Num f -> f
+  | Str s -> number_of_string s
+  | Boolean b -> if b then 1.0 else 0.0
+  | Nodes _ as v -> number_of_string (to_string doc v)
+
+let to_boolean = function
+  | Boolean b -> b
+  | Num f -> (not (Float.is_nan f)) && f <> 0.0
+  | Str s -> String.length s > 0
+  | Nodes ns -> ns <> []
+
+(* ------------------------------------------------------------------ *)
+(* Axes and node tests *)
+
+let axis_nodes doc axis n =
+  match axis with
+  | Ast.Child -> Index.children doc n
+  | Ast.Descendant -> Index.descendants doc n
+  | Ast.Descendant_or_self -> Index.descendants_or_self doc n
+  | Ast.Attribute -> Index.attributes doc n
+  | Ast.Parent -> ( match Index.parent doc n with -1 -> [] | p -> [ p ])
+  | Ast.Ancestor -> Index.ancestors doc n
+  | Ast.Ancestor_or_self -> n :: Index.ancestors doc n
+  | Ast.Self -> [ n ]
+  | Ast.Following_sibling -> Index.following_siblings doc n
+  | Ast.Preceding_sibling -> Index.preceding_siblings doc n
+  | Ast.Following ->
+    (* everything after n in document order, minus its descendants and all
+       attribute nodes *)
+    let start = n + Index.size doc n + 1 in
+    let rec go i acc =
+      if i >= Index.count doc then List.rev acc
+      else if Index.kind doc i = Index.Attribute then go (i + 1) acc
+      else go (i + 1) (i :: acc)
+    in
+    go start []
+  | Ast.Preceding ->
+    (* everything before n in document order, minus its ancestors, the
+       document node, and attributes; reverse order (nearest first) *)
+    let ancestors = Index.ancestors doc n in
+    let rec go i acc =
+      if i >= n then acc
+      else if
+        Index.kind doc i = Index.Attribute
+        || Index.kind doc i = Index.Document
+        || List.mem i ancestors
+      then go (i + 1) acc
+      else go (i + 1) (i :: acc)
+    in
+    go 0 []
+
+let test_matches doc axis test n =
+  match test with
+  | Ast.Node_test -> true
+  | Ast.Text_test -> Index.kind doc n = Index.Text
+  | Ast.Comment_test -> Index.kind doc n = Index.Comment
+  | Ast.Wildcard | Ast.Name _ -> (
+    (* Name/wildcard tests match the axis's principal node type. *)
+    let principal =
+      match axis with Ast.Attribute -> Index.Attribute | _ -> Index.Element
+    in
+    Index.kind doc n = principal
+    &&
+    match test with
+    | Ast.Wildcard -> true
+    | Ast.Name name -> String.equal (Index.name doc n) name
+    | _ -> assert false)
+
+let sort_doc_order ns = List.sort_uniq compare ns
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+type context = {
+  doc : Index.t;
+  node : int;
+  position : int;
+  size : int;
+  bindings : (string * value) list;  (* in-scope $variables, innermost first *)
+}
+
+let rec eval_expr ctx (e : Ast.expr) : value =
+  match e with
+  | Ast.Literal s -> Str s
+  | Ast.Number f -> Num f
+  | Ast.Negate e -> Num (-.to_number ctx.doc (eval_expr ctx e))
+  | Ast.Path p -> Nodes (eval_path ctx p)
+  | Ast.Binary (Ast.Union, a, b) -> (
+    match (eval_expr ctx a, eval_expr ctx b) with
+    | Nodes x, Nodes y -> Nodes (sort_doc_order (x @ y))
+    | _ -> err "| requires node-sets on both sides")
+  | Ast.Binary (Ast.Or, a, b) ->
+    Boolean (to_boolean (eval_expr ctx a) || to_boolean (eval_expr ctx b))
+  | Ast.Binary (Ast.And, a, b) ->
+    Boolean (to_boolean (eval_expr ctx a) && to_boolean (eval_expr ctx b))
+  | Ast.Binary (((Ast.Eq | Ast.Neq) as op), a, b) ->
+    Boolean (eval_equality ctx op (eval_expr ctx a) (eval_expr ctx b))
+  | Ast.Binary (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), a, b) ->
+    Boolean (eval_relational ctx op (eval_expr ctx a) (eval_expr ctx b))
+  | Ast.Binary (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod) as op), a, b) ->
+    let x = to_number ctx.doc (eval_expr ctx a) and y = to_number ctx.doc (eval_expr ctx b) in
+    Num
+      (match op with
+      | Ast.Add -> x +. y
+      | Ast.Sub -> x -. y
+      | Ast.Mul -> x *. y
+      | Ast.Div -> x /. y
+      | Ast.Mod -> Float.rem x y
+      | _ -> assert false)
+  | Ast.Fun_call (f, args) -> eval_function ctx f args
+  | Ast.Filtered (e, preds) -> (
+    match eval_expr ctx e with
+    | Nodes ns ->
+      let filtered =
+        List.fold_left (fun ns pred -> filter_predicate ctx ~reverse:false ns pred) ns preds
+      in
+      Nodes filtered
+    | _ -> err "predicates apply only to node-sets")
+  | Ast.Var_path (v, rel) -> (
+    match List.assoc_opt v ctx.bindings with
+    | None -> err "unbound variable $%s" v
+    | Some bound -> (
+      match (bound, rel.Ast.steps) with
+      | value, [] -> value
+      | Nodes ns, _ -> Nodes (eval_steps ctx rel.Ast.steps (sort_doc_order ns))
+      | _, _ -> err "$%s is not a node-set; cannot navigate from it" v))
+
+(* Existential comparison semantics of XPath 1.0. *)
+and eval_equality ctx op va vb =
+  let cmp_atomic x y =
+    (* if either is boolean: boolean compare; elif number: numeric; else string *)
+    match (x, y) with
+    | Boolean _, _ | _, Boolean _ -> to_boolean x = to_boolean y
+    | Num _, _ | _, Num _ -> to_number ctx.doc x = to_number ctx.doc y
+    | _ -> String.equal (to_string ctx.doc x) (to_string ctx.doc y)
+  in
+  let result =
+    match (va, vb) with
+    | Nodes xs, Nodes ys ->
+      let ys_vals = List.map (fun y -> Index.string_value ctx.doc y) ys in
+      List.exists
+        (fun x ->
+          let xv = Index.string_value ctx.doc x in
+          List.exists (fun yv -> String.equal xv yv) ys_vals)
+        xs
+    | Nodes xs, other | other, Nodes xs ->
+      List.exists (fun x -> cmp_atomic (Str (Index.string_value ctx.doc x)) other) xs
+    | a, b -> cmp_atomic a b
+  in
+  match op with Ast.Eq -> result | Ast.Neq -> eval_neq ctx va vb | _ -> assert false
+
+and eval_neq ctx va vb =
+  (* != is existential too, not the negation of = *)
+  let cmp_atomic x y =
+    match (x, y) with
+    | Boolean _, _ | _, Boolean _ -> to_boolean x <> to_boolean y
+    | Num _, _ | _, Num _ -> to_number ctx.doc x <> to_number ctx.doc y
+    | _ -> not (String.equal (to_string ctx.doc x) (to_string ctx.doc y))
+  in
+  match (va, vb) with
+  | Nodes xs, Nodes ys ->
+    List.exists
+      (fun x ->
+        List.exists
+          (fun y ->
+            not
+              (String.equal (Index.string_value ctx.doc x) (Index.string_value ctx.doc y)))
+          ys)
+      xs
+  | Nodes xs, other | other, Nodes xs ->
+    List.exists (fun x -> cmp_atomic (Str (Index.string_value ctx.doc x)) other) xs
+  | a, b -> cmp_atomic a b
+
+and eval_relational ctx op va vb =
+  let num v = to_number ctx.doc v in
+  let cmp x y =
+    match op with
+    | Ast.Lt -> x < y
+    | Ast.Le -> x <= y
+    | Ast.Gt -> x > y
+    | Ast.Ge -> x >= y
+    | _ -> assert false
+  in
+  match (va, vb) with
+  | Nodes xs, Nodes ys ->
+    List.exists
+      (fun x ->
+        List.exists
+          (fun y ->
+            cmp
+              (number_of_string (Index.string_value ctx.doc x))
+              (number_of_string (Index.string_value ctx.doc y)))
+          ys)
+      xs
+  | Nodes xs, other ->
+    let yv = num other in
+    List.exists (fun x -> cmp (number_of_string (Index.string_value ctx.doc x)) yv) xs
+  | other, Nodes ys ->
+    let xv = num other in
+    List.exists (fun y -> cmp xv (number_of_string (Index.string_value ctx.doc y))) ys
+  | a, b -> cmp (num a) (num b)
+
+and filter_predicate ctx ~reverse ns pred =
+  (* position() counts along the axis direction: for reverse axes the
+     nearest node is position 1. [ns] arrives in axis order. *)
+  ignore reverse;
+  let size = List.length ns in
+  List.filteri
+    (fun i n ->
+      let pctx = { ctx with node = n; position = i + 1; size } in
+      match eval_expr pctx pred with
+      | Num f -> Float.equal f (float_of_int (i + 1))
+      | v -> to_boolean v)
+    ns
+
+and eval_step ctx step n =
+  let candidates = axis_nodes ctx.doc step.Ast.axis n in
+  let tested = List.filter (test_matches ctx.doc step.Ast.axis step.Ast.test) candidates in
+  let filtered =
+    List.fold_left
+      (fun ns pred ->
+        filter_predicate ctx ~reverse:(not (Ast.is_forward_axis step.Ast.axis)) ns pred)
+      tested step.Ast.predicates
+  in
+  filtered
+
+and eval_steps ctx steps nodes =
+  match steps with
+  | [] -> nodes
+  | step :: rest ->
+    let results = List.concat_map (fun n -> eval_step ctx step n) nodes in
+    eval_steps ctx rest (sort_doc_order results)
+
+and eval_path ctx (p : Ast.path) =
+  let start = if p.Ast.absolute then [ 0 ] else [ ctx.node ] in
+  eval_steps ctx p.Ast.steps start
+
+and eval_function ctx f args =
+  let arg i = List.nth args i in
+  let nargs = List.length args in
+  let stringv v = to_string ctx.doc v in
+  let ctx_string () =
+    if nargs = 0 then Index.string_value ctx.doc ctx.node else stringv (eval_expr ctx (arg 0))
+  in
+  match (String.lowercase_ascii f, nargs) with
+  | "position", 0 -> Num (float_of_int ctx.position)
+  | "last", 0 -> Num (float_of_int ctx.size)
+  | "count", 1 -> (
+    match eval_expr ctx (arg 0) with
+    | Nodes ns -> Num (float_of_int (List.length ns))
+    | _ -> err "count() requires a node-set")
+  | "not", 1 -> Boolean (not (to_boolean (eval_expr ctx (arg 0))))
+  | "true", 0 -> Boolean true
+  | "false", 0 -> Boolean false
+  | "boolean", 1 -> Boolean (to_boolean (eval_expr ctx (arg 0)))
+  | "number", (0 | 1) ->
+    if nargs = 0 then Num (number_of_string (Index.string_value ctx.doc ctx.node))
+    else Num (to_number ctx.doc (eval_expr ctx (arg 0)))
+  | "string", (0 | 1) -> Str (ctx_string ())
+  | "string-length", (0 | 1) -> Num (float_of_int (String.length (ctx_string ())))
+  | "concat", _ when nargs >= 2 ->
+    Str (String.concat "" (List.map (fun a -> stringv (eval_expr ctx a)) args))
+  | "contains", 2 ->
+    let s = stringv (eval_expr ctx (arg 0)) and sub = stringv (eval_expr ctx (arg 1)) in
+    let n = String.length s and m = String.length sub in
+    let rec find i = i + m <= n && (String.sub s i m = sub || find (i + 1)) in
+    Boolean (m = 0 || find 0)
+  | "starts-with", 2 ->
+    let s = stringv (eval_expr ctx (arg 0)) and p = stringv (eval_expr ctx (arg 1)) in
+    Boolean (String.length p <= String.length s && String.sub s 0 (String.length p) = p)
+  | "substring-before", 2 | "substring-after", 2 ->
+    let s = stringv (eval_expr ctx (arg 0)) and sep = stringv (eval_expr ctx (arg 1)) in
+    let n = String.length s and m = String.length sep in
+    let rec find i = if i + m > n then None else if String.sub s i m = sep then Some i else find (i + 1) in
+    (match find 0 with
+    | None -> Str ""
+    | Some i ->
+      if String.lowercase_ascii f = "substring-before" then Str (String.sub s 0 i)
+      else Str (String.sub s (i + m) (n - i - m)))
+  | "substring", (2 | 3) ->
+    (* XPath rounding rules: position is 1-based, arguments are rounded *)
+    let s = stringv (eval_expr ctx (arg 0)) in
+    let start = Float.round (to_number ctx.doc (eval_expr ctx (arg 1))) in
+    let len =
+      if nargs = 3 then Float.round (to_number ctx.doc (eval_expr ctx (arg 2)))
+      else Float.infinity
+    in
+    if Float.is_nan start || Float.is_nan len then Str ""
+    else begin
+      let first = int_of_float (max 1.0 start) in
+      let stop =
+        if Float.is_integer (start +. len) || len = Float.infinity then
+          if len = Float.infinity then String.length s + 1
+          else int_of_float (start +. len)
+        else int_of_float (start +. len)
+      in
+      let first_i = first - 1 and stop_i = min (String.length s) (stop - 1) in
+      if first_i >= String.length s || stop_i <= first_i then Str ""
+      else Str (String.sub s first_i (stop_i - first_i))
+    end
+  | "translate", 3 ->
+    let s = stringv (eval_expr ctx (arg 0)) in
+    let from = stringv (eval_expr ctx (arg 1)) in
+    let into = stringv (eval_expr ctx (arg 2)) in
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match String.index_opt from c with
+        | None -> Buffer.add_char buf c
+        | Some i -> if i < String.length into then Buffer.add_char buf into.[i])
+      s;
+    Str (Buffer.contents buf)
+  | "normalize-space", (0 | 1) ->
+    let s = ctx_string () in
+    let words =
+      String.split_on_char ' ' (String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s)
+      |> List.filter (fun w -> w <> "")
+    in
+    Str (String.concat " " words)
+  | "name", 0 | "local-name", 0 -> Str (Index.name ctx.doc ctx.node)
+  | "name", 1 | "local-name", 1 -> (
+    match eval_expr ctx (arg 0) with
+    | Nodes [] -> Str ""
+    | Nodes (n :: _) -> Str (Index.name ctx.doc n)
+    | _ -> err "name() requires a node-set")
+  | "sum", 1 -> (
+    match eval_expr ctx (arg 0) with
+    | Nodes ns ->
+      Num
+        (List.fold_left
+           (fun acc n -> acc +. number_of_string (Index.string_value ctx.doc n))
+           0.0 ns)
+    | _ -> err "sum() requires a node-set")
+  | "floor", 1 -> Num (Float.floor (to_number ctx.doc (eval_expr ctx (arg 0))))
+  | "ceiling", 1 -> Num (Float.ceil (to_number ctx.doc (eval_expr ctx (arg 0))))
+  | "round", 1 -> Num (Float.round (to_number ctx.doc (eval_expr ctx (arg 0))))
+  | f, n -> err "unknown function %s/%d" f n
+
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let root_context doc = { doc; node = 0; position = 1; size = 1; bindings = [] }
+
+let bind ctx name value = { ctx with bindings = (name, value) :: ctx.bindings }
+
+let eval doc expr = eval_expr (root_context doc) expr
+
+let eval_string doc src = eval doc (Parser.parse src)
+
+let select_nodes doc src =
+  match eval_string doc src with
+  | Nodes ns -> ns
+  | _ -> err "expression %s does not yield a node-set" src
+
+let select_strings doc src =
+  List.map (Index.string_value doc) (select_nodes doc src)
+
+let value_to_string doc v = to_string doc v
+
+let value_equal doc a b =
+  match (a, b) with
+  | Nodes x, Nodes y -> x = y
+  | _ -> String.equal (to_string doc a) (to_string doc b)

@@ -1,0 +1,56 @@
+(** Native XPath evaluator over the id-addressed document view
+    ({!Xmlkit.Index}).
+
+    This is the in-memory baseline the relational mapping schemes are
+    compared against, and the reference implementation the property tests
+    use to validate every XPath-to-SQL translator. *)
+
+module Index = Xmlkit.Index
+
+exception Eval_error of string
+
+type value =
+  | Nodes of int list  (** distinct node ids, in document order *)
+  | Num of float
+  | Str of string
+  | Boolean of bool
+
+type context = {
+  doc : Index.t;
+  node : int;
+  position : int;
+  size : int;
+  bindings : (string * value) list;  (** in-scope [$variables], innermost first *)
+}
+
+val root_context : Index.t -> context
+val bind : context -> string -> value -> context
+(** Add a [$variable] binding (used by {!Flwor}). *)
+
+(** {1 Evaluation} *)
+
+val eval_expr : context -> Ast.expr -> value
+val eval_path : context -> Ast.path -> int list
+val eval : Index.t -> Ast.expr -> value
+(** Evaluate from the document root context. *)
+
+val eval_string : Index.t -> string -> value
+(** Parse then evaluate. *)
+
+val select_nodes : Index.t -> string -> int list
+(** @raise Eval_error if the expression does not yield a node-set. *)
+
+val select_strings : Index.t -> string -> string list
+(** String-values of {!select_nodes}, in document order. *)
+
+(** {1 XPath 1.0 conversions} *)
+
+val to_string : Index.t -> value -> string
+val to_number : Index.t -> value -> float
+val to_boolean : value -> bool
+val number_of_string : string -> float
+(** NaN for non-numeric text, as the spec requires. *)
+
+val string_of_number : float -> string
+val value_to_string : Index.t -> value -> string
+val value_equal : Index.t -> value -> value -> bool

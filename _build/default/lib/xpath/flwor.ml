@@ -1,0 +1,290 @@
+(* FLWOR-lite: the for/where/order by/return core of XQuery, evaluated
+   natively over the document index — the "XML transformation language" use
+   case of the tutorial.
+
+     for $a in //open_auction, $b in $a/bidder
+     where $b/increase > 10
+     order by $b/increase descending
+     return <bid auction="{$a/@id}">{$b/increase}</bid>
+
+   The return template is ordinary XML whose attribute values and text may
+   contain {expr} holes. A node-set hole splices deep copies of the nodes;
+   any other value splices its string form. Clauses may nest additional
+   [for] variables (a comma-separated list); tuples stream in document
+   order before [order by] applies. *)
+
+exception Flwor_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Flwor_error s)) fmt
+
+module Dom = Xmlkit.Dom
+module Index = Xmlkit.Index
+
+type clause = { var : string; source : Ast.expr }
+
+type t = {
+  clauses : clause list;  (* for $v in e, $v2 in e2, ... *)
+  where : Ast.expr option;
+  order_by : (Ast.expr * bool) option;  (* expr, descending *)
+  template : Dom.node list;  (* parsed return template with {…} still in text *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+(* Split the source into the clause header and the return template by
+   finding the top-level "return" keyword. *)
+let split_return src =
+  let n = String.length src in
+  let rec find i depth_quote =
+    if i + 6 > n then err "missing 'return' clause"
+    else
+      match depth_quote with
+      | Some q -> if src.[i] = q then find (i + 1) None else find (i + 1) depth_quote
+      | None ->
+        if src.[i] = '\'' || src.[i] = '"' then find (i + 1) (Some src.[i])
+        else if
+          String.sub src i 6 = "return"
+          && (i = 0 || src.[i - 1] = ' ' || src.[i - 1] = '\n' || src.[i - 1] = '\t')
+          && i + 6 < n
+          && (src.[i + 6] = ' ' || src.[i + 6] = '\n' || src.[i + 6] = '\t' || src.[i + 6] = '<')
+        then i
+        else find (i + 1) None
+  in
+  let at = find 0 None in
+  (String.sub src 0 at, String.sub src (at + 6) (n - at - 6))
+
+let is_word c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '-'
+
+(* Find a top-level keyword in the header (not inside quotes). *)
+let find_keyword src kw =
+  let n = String.length src and k = String.length kw in
+  let rec go i quote =
+    if i >= n then None
+    else
+      match quote with
+      | Some q -> if src.[i] = q then go (i + 1) None else go (i + 1) quote
+      | None ->
+        if src.[i] = '\'' || src.[i] = '"' then go (i + 1) (Some src.[i])
+        else if
+          i + k <= n
+          && String.sub src i k = kw
+          && (i = 0 || not (is_word src.[i - 1]))
+          && (i + k = n || not (is_word src.[i + k]))
+        then Some i
+        else go (i + 1) None
+  in
+  go 0 None
+
+let trim = String.trim
+
+(* "for $a in e1, $b in e2" -> clauses. Commas inside parentheses or
+   brackets belong to the expressions, so split at depth 0 only. *)
+let parse_clauses src =
+  let src = trim src in
+  if not (String.length src > 4 && String.sub src 0 4 = "for ") then
+    err "a FLWOR expression starts with 'for'";
+  let body = String.sub src 4 (String.length src - 4) in
+  let parts = ref [] in
+  let buf = Buffer.create 32 in
+  let depth = ref 0 and quote = ref None in
+  String.iter
+    (fun c ->
+      match !quote with
+      | Some q ->
+        Buffer.add_char buf c;
+        if c = q then quote := None
+      | None -> (
+        match c with
+        | '\'' | '"' ->
+          quote := Some c;
+          Buffer.add_char buf c
+        | '(' | '[' ->
+          incr depth;
+          Buffer.add_char buf c
+        | ')' | ']' ->
+          decr depth;
+          Buffer.add_char buf c
+        | ',' when !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+        | c -> Buffer.add_char buf c))
+    body;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map
+    (fun part ->
+      let part = trim part in
+      if not (String.length part > 1 && part.[0] = '$') then
+        err "clause %S must start with a $variable" part;
+      match find_keyword part "in" with
+      | None -> err "clause %S lacks 'in'" part
+      | Some i ->
+        let var = trim (String.sub part 1 (i - 1)) in
+        let source = Parser.parse (String.sub part (i + 2) (String.length part - i - 2)) in
+        { var; source })
+    !parts
+
+let parse (src : string) : t =
+  let header, template_src = split_return src in
+  let header = trim header in
+  let where_at = find_keyword header "where" in
+  let order_at = find_keyword header "order" in
+  let clause_end =
+    match (where_at, order_at) with
+    | Some w, Some o -> min w o
+    | Some w, None -> w
+    | None, Some o -> o
+    | None, None -> String.length header
+  in
+  let clauses = parse_clauses (String.sub header 0 clause_end) in
+  let where =
+    Option.map
+      (fun w ->
+        let stop = match order_at with Some o when o > w -> o | _ -> String.length header in
+        Parser.parse (String.sub header (w + 5) (stop - w - 5)))
+      where_at
+  in
+  let order_by =
+    Option.map
+      (fun o ->
+        let rest = trim (String.sub header o (String.length header - o)) in
+        if not (String.length rest > 8 && String.sub rest 0 8 = "order by") then
+          err "expected 'order by'";
+        let expr_src = trim (String.sub rest 8 (String.length rest - 8)) in
+        let descending =
+          String.length expr_src > 10
+          && String.sub expr_src (String.length expr_src - 10) 10 = "descending"
+        in
+        let expr_src =
+          if descending then trim (String.sub expr_src 0 (String.length expr_src - 10))
+          else if
+            String.length expr_src > 9
+            && String.sub expr_src (String.length expr_src - 9) 9 = "ascending"
+          then trim (String.sub expr_src 0 (String.length expr_src - 9))
+          else expr_src
+        in
+        (Parser.parse expr_src, descending))
+      order_at
+  in
+  (* the template is XML: braces are plain characters to the XML parser *)
+  let template_src = trim template_src in
+  let template =
+    if template_src = "" then err "empty return template"
+    else if template_src.[0] = '<' then
+      [ Dom.Element (Xmlkit.Parser.parse_element_string template_src) ]
+    else [ Dom.Text template_src ]
+  in
+  { clauses; where; order_by; template }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+(* Split "text {expr} more {expr2}" into parts. *)
+let split_holes s =
+  let parts = ref [] in
+  let buf = Buffer.create 32 in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    if s.[!i] = '{' then begin
+      if Buffer.length buf > 0 then parts := `Text (Buffer.contents buf) :: !parts;
+      Buffer.clear buf;
+      let stop =
+        match String.index_from_opt s !i '}' with
+        | Some j -> j
+        | None -> err "unterminated { in template"
+      in
+      parts := `Hole (String.sub s (!i + 1) (stop - !i - 1)) :: !parts;
+      i := stop + 1
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  if Buffer.length buf > 0 then parts := `Text (Buffer.contents buf) :: !parts;
+  List.rev !parts
+
+let eval_hole ctx src =
+  Eval.eval_expr ctx (Parser.parse src)
+
+let instantiate ctx (template : Dom.node list) : Dom.node list =
+  let rec node (t : Dom.node) : Dom.node list =
+    match t with
+    | Dom.Text s ->
+      List.concat_map
+        (function
+          | `Text txt -> [ Dom.Text txt ]
+          | `Hole h -> (
+            match eval_hole ctx h with
+            | Eval.Nodes ns -> List.map (Index.to_node ctx.Eval.doc) ns
+            | v -> [ Dom.Text (Eval.to_string ctx.Eval.doc v) ]))
+        (split_holes s)
+    | Dom.Cdata s -> [ Dom.Cdata s ]
+    | Dom.Comment s -> [ Dom.Comment s ]
+    | Dom.Pi p -> [ Dom.Pi p ]
+    | Dom.Element e ->
+      let attrs =
+        List.map
+          (fun { Dom.attr_name; attr_value } ->
+            let value =
+              String.concat ""
+                (List.map
+                   (function
+                     | `Text txt -> txt
+                     | `Hole h -> Eval.to_string ctx.Eval.doc (eval_hole ctx h))
+                   (split_holes attr_value))
+            in
+            Dom.attr attr_name value)
+          e.Dom.attrs
+      in
+      [ Dom.Element { Dom.tag = e.Dom.tag; attrs; children = List.concat_map node e.Dom.children } ]
+  in
+  List.concat_map node template
+
+let eval (doc : Index.t) (q : t) : Dom.node list =
+  let base_ctx = Eval.root_context doc in
+  (* expand the clause list into binding tuples, leftmost varying slowest *)
+  let rec tuples ctx = function
+    | [] -> [ ctx ]
+    | { var; source } :: rest ->
+      let nodes =
+        match Eval.eval_expr ctx source with
+        | Eval.Nodes ns -> ns
+        | _ -> err "for $%s must iterate a node-set" var
+      in
+      List.concat_map (fun n -> tuples (Eval.bind ctx var (Eval.Nodes [ n ])) rest) nodes
+  in
+  let all = tuples base_ctx q.clauses in
+  let kept =
+    match q.where with
+    | None -> all
+    | Some cond -> List.filter (fun ctx -> Eval.to_boolean (Eval.eval_expr ctx cond)) all
+  in
+  let ordered =
+    match q.order_by with
+    | None -> kept
+    | Some (key, descending) ->
+      let keyed =
+        List.map
+          (fun ctx ->
+            let v = Eval.eval_expr ctx key in
+            (* numeric order when both sides are numeric, else string *)
+            (Eval.to_number doc v, Eval.to_string doc v, ctx))
+          kept
+      in
+      let cmp (n1, s1, _) (n2, s2, _) =
+        let c =
+          if Float.is_nan n1 || Float.is_nan n2 then compare s1 s2 else compare n1 n2
+        in
+        if descending then -c else c
+      in
+      List.map (fun (_, _, ctx) -> ctx) (List.stable_sort cmp keyed)
+  in
+  List.concat_map (fun ctx -> instantiate ctx q.template) ordered
+
+let run doc src = eval doc (parse src)
+
+let run_to_string doc src =
+  String.concat "" (List.map Xmlkit.Serializer.node_to_string (run doc src))

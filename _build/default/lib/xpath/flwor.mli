@@ -1,0 +1,26 @@
+(** FLWOR-lite: the for / where / order by / return core of XQuery,
+    evaluated natively over the document index — the tutorial's "XML
+    transformation language" use case.
+
+    {v
+    for $a in //open_auction, $b in $a/bidder
+    where $b/increase > 10
+    order by $b/increase descending
+    return <bid auction="{$a/@id}">{$b/increase}</bid>
+    v}
+
+    The return template is ordinary XML whose attribute values and text may
+    contain [{expr}] holes; a node-set hole splices deep copies of the
+    selected subtrees, any other value splices its string form. Multiple
+    [for] clauses iterate the tuple space in document order. *)
+
+exception Flwor_error of string
+
+type t
+
+val parse : string -> t
+(** @raise Flwor_error / Parser.Parse_error on malformed input. *)
+
+val eval : Xmlkit.Index.t -> t -> Xmlkit.Dom.node list
+val run : Xmlkit.Index.t -> string -> Xmlkit.Dom.node list
+val run_to_string : Xmlkit.Index.t -> string -> string

@@ -1,0 +1,432 @@
+(* XPath 1.0 (subset) parser: tokenizer + recursive descent.
+
+   Implements the XPath lexical disambiguation rule: a name is an operator
+   (and/or/div/mod) and '*' is multiplication exactly when the preceding
+   token could end an operand. *)
+
+exception Parse_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | Tname of string  (* NCName or QName *)
+  | Tnum of float
+  | Tstr of string
+  | Tslash | Tdslash
+  | Tlbracket | Trbracket | Tlparen | Trparen
+  | Tat | Tdot | Tddot | Tcomma | Taxis_sep  (* :: *)
+  | Tstar
+  | Tvar of string  (* $name *)
+  | Tpipe
+  | Top of string  (* = != < <= > >= + - and or div mod *)
+  | Teof
+
+let token_to_string = function
+  | Tname s -> s
+  | Tnum f -> string_of_float f
+  | Tstr s -> "'" ^ s ^ "'"
+  | Tslash -> "/"
+  | Tdslash -> "//"
+  | Tlbracket -> "["
+  | Trbracket -> "]"
+  | Tlparen -> "("
+  | Trparen -> ")"
+  | Tat -> "@"
+  | Tdot -> "."
+  | Tddot -> ".."
+  | Tcomma -> ","
+  | Taxis_sep -> "::"
+  | Tstar -> "*"
+  | Tvar v -> "$" ^ v
+  | Tpipe -> "|"
+  | Top s -> s
+  | Teof -> "<eof>"
+
+(* Can the previous token end an operand? If so, a following name/star is an
+   operator (XPath 1.0, section 3.7). *)
+let ends_operand = function
+  | Tname _ | Tnum _ | Tstr _ | Trbracket | Trparen | Tdot | Tddot | Tstar | Tvar _ -> true
+  | _ -> false
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let prev () = match !toks with t :: _ -> Some t | [] -> None in
+  let push t = toks := t :: !toks in
+  let is_name_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let is_name_char c =
+    is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '/' then
+      if !pos + 1 < n && src.[!pos + 1] = '/' then begin
+        push Tdslash;
+        pos := !pos + 2
+      end
+      else begin
+        push Tslash;
+        incr pos
+      end
+    else if c = '[' then (push Tlbracket; incr pos)
+    else if c = ']' then (push Trbracket; incr pos)
+    else if c = '(' then (push Tlparen; incr pos)
+    else if c = ')' then (push Trparen; incr pos)
+    else if c = '@' then (push Tat; incr pos)
+    else if c = '$' then begin
+      incr pos;
+      let start = !pos in
+      while !pos < n && is_name_char src.[!pos] do incr pos done;
+      if !pos = start then err "expected a variable name after $";
+      push (Tvar (String.sub src start (!pos - start)))
+    end
+    else if c = ',' then (push Tcomma; incr pos)
+    else if c = '|' then (push Tpipe; incr pos)
+    else if c = ':' && !pos + 1 < n && src.[!pos + 1] = ':' then begin
+      push Taxis_sep;
+      pos := !pos + 2
+    end
+    else if c = '.' then
+      if !pos + 1 < n && src.[!pos + 1] = '.' then begin
+        push Tddot;
+        pos := !pos + 2
+      end
+      else if !pos + 1 < n && is_digit src.[!pos + 1] then begin
+        (* .5 style number *)
+        let start = !pos in
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do incr pos done;
+        push (Tnum (float_of_string (String.sub src start (!pos - start))))
+      end
+      else begin
+        push Tdot;
+        incr pos
+      end
+    else if c = '\'' || c = '"' then begin
+      let q = c in
+      incr pos;
+      let start = !pos in
+      while !pos < n && src.[!pos] <> q do incr pos done;
+      if !pos >= n then err "unterminated string literal";
+      push (Tstr (String.sub src start (!pos - start)));
+      incr pos
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do incr pos done;
+      if !pos < n && src.[!pos] = '.' && not (!pos + 1 < n && src.[!pos + 1] = '.') then begin
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do incr pos done
+      end;
+      push (Tnum (float_of_string (String.sub src start (!pos - start))))
+    end
+    else if c = '*' then begin
+      (match prev () with
+      | Some p when ends_operand p -> push (Top "*")
+      | _ -> push Tstar);
+      incr pos
+    end
+    else if c = '=' then (push (Top "="); incr pos)
+    else if c = '!' && !pos + 1 < n && src.[!pos + 1] = '=' then begin
+      push (Top "!=");
+      pos := !pos + 2
+    end
+    else if c = '<' then
+      if !pos + 1 < n && src.[!pos + 1] = '=' then (push (Top "<="); pos := !pos + 2)
+      else (push (Top "<"); incr pos)
+    else if c = '>' then
+      if !pos + 1 < n && src.[!pos + 1] = '=' then (push (Top ">="); pos := !pos + 2)
+      else (push (Top ">"); incr pos)
+    else if c = '+' then (push (Top "+"); incr pos)
+    else if c = '-' then (push (Top "-"); incr pos)
+    else if is_name_start c then begin
+      let start = !pos in
+      while !pos < n && is_name_char src.[!pos] do incr pos done;
+      (* one optional QName colon (prefix:local), never the '::' separator *)
+      if
+        !pos + 1 < n && src.[!pos] = ':' && src.[!pos + 1] <> ':'
+        && is_name_start src.[!pos + 1]
+      then begin
+        incr pos;
+        while !pos < n && is_name_char src.[!pos] do incr pos done
+      end;
+      let name = String.sub src start (!pos - start) in
+      match name with
+      | ("and" | "or" | "div" | "mod")
+        when (match prev () with Some p -> ends_operand p | None -> false) ->
+        push (Top name)
+      | _ -> push (Tname name)
+    end
+    else err "unexpected character %C in XPath expression" c
+  done;
+  push Teof;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+
+type state = { tokens : token array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+let peek2 st = if st.pos + 1 < Array.length st.tokens then st.tokens.(st.pos + 1) else Teof
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let accept st t =
+  if peek st = t then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect st t =
+  if not (accept st t) then
+    err "expected %s, found %s" (token_to_string t) (token_to_string (peek st))
+
+let node_test_of_name st name =
+  (* name '(' ')' forms: text(), node(), comment() *)
+  if peek st = Tlparen then begin
+    advance st;
+    expect st Trparen;
+    match name with
+    | "text" -> Ast.Text_test
+    | "node" -> Ast.Node_test
+    | "comment" -> Ast.Comment_test
+    | f -> err "unknown node-type test %s()" f
+  end
+  else Ast.Name name
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if accept st (Top "or") then Ast.Binary (Ast.Or, left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_equality st in
+  if accept st (Top "and") then Ast.Binary (Ast.And, left, parse_and st) else left
+
+and parse_equality st =
+  let left = ref (parse_relational st) in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept st (Top "=") then left := Ast.Binary (Ast.Eq, !left, parse_relational st)
+    else if accept st (Top "!=") then left := Ast.Binary (Ast.Neq, !left, parse_relational st)
+    else continue_ := false
+  done;
+  !left
+
+and parse_relational st =
+  let left = ref (parse_additive st) in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept st (Top "<") then left := Ast.Binary (Ast.Lt, !left, parse_additive st)
+    else if accept st (Top "<=") then left := Ast.Binary (Ast.Le, !left, parse_additive st)
+    else if accept st (Top ">") then left := Ast.Binary (Ast.Gt, !left, parse_additive st)
+    else if accept st (Top ">=") then left := Ast.Binary (Ast.Ge, !left, parse_additive st)
+    else continue_ := false
+  done;
+  !left
+
+and parse_additive st =
+  let left = ref (parse_multiplicative st) in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept st (Top "+") then left := Ast.Binary (Ast.Add, !left, parse_multiplicative st)
+    else if accept st (Top "-") then left := Ast.Binary (Ast.Sub, !left, parse_multiplicative st)
+    else continue_ := false
+  done;
+  !left
+
+and parse_multiplicative st =
+  let left = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept st (Top "*") then left := Ast.Binary (Ast.Mul, !left, parse_unary st)
+    else if accept st (Top "div") then left := Ast.Binary (Ast.Div, !left, parse_unary st)
+    else if accept st (Top "mod") then left := Ast.Binary (Ast.Mod, !left, parse_unary st)
+    else continue_ := false
+  done;
+  !left
+
+and parse_unary st =
+  if accept st (Top "-") then Ast.Negate (parse_unary st) else parse_union st
+
+and parse_union st =
+  let left = parse_path_expr st in
+  if accept st Tpipe then Ast.Binary (Ast.Union, left, parse_union st) else left
+
+and parse_path_expr st =
+  match peek st with
+  | Tnum f ->
+    advance st;
+    Ast.Number f
+  | Tstr s ->
+    advance st;
+    Ast.Literal s
+  | Tvar v ->
+    advance st;
+    let rel =
+      if accept st Tslash then { Ast.absolute = false; steps = parse_relative_steps st }
+      else if accept st Tdslash then
+        {
+          Ast.absolute = false;
+          steps =
+            { Ast.axis = Ast.Descendant_or_self; test = Ast.Node_test; predicates = [] }
+            :: parse_relative_steps st;
+        }
+      else { Ast.absolute = false; steps = [] }
+    in
+    Ast.Var_path (v, rel)
+  | Tlparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Trparen;
+    let preds = parse_predicates st in
+    let e = if preds = [] then e else Ast.Filtered (e, preds) in
+    continue_path st e
+  | Tname f when peek2 st = Tlparen && (match f with "text" | "node" | "comment" -> false | _ -> true) ->
+    (* function call *)
+    advance st;
+    advance st;
+    let args =
+      if peek st = Trparen then []
+      else begin
+        let first = parse_expr st in
+        let rec go acc = if accept st Tcomma then go (parse_expr st :: acc) else List.rev acc in
+        go [ first ]
+      end
+    in
+    expect st Trparen;
+    let call = Ast.Fun_call (f, args) in
+    let preds = parse_predicates st in
+    let call = if preds = [] then call else Ast.Filtered (call, preds) in
+    continue_path st call
+  | _ -> Ast.Path (parse_location_path st)
+
+(* After a parenthesized/function primary, allow /path and //path. *)
+and continue_path st primary =
+  if peek st = Tslash || peek st = Tdslash then begin
+    let steps = ref [] in
+    (if accept st Tdslash then
+       steps := [ { Ast.axis = Ast.Descendant_or_self; test = Ast.Node_test; predicates = [] } ]
+     else ignore (accept st Tslash));
+    let rest = parse_relative_steps st in
+    match primary with
+    | Ast.Path p -> Ast.Path { p with steps = p.Ast.steps @ !steps @ rest }
+    | other ->
+      (* Represent primary/path as Filtered wrapped: the evaluator handles
+         Filtered followed by steps via a dedicated constructor; the subset
+         encodes it as a Path on a Filtered base, which we do not support —
+         reject cleanly. *)
+      ignore other;
+      err "a path may only follow a parenthesized node-set in this subset"
+  end
+  else primary
+
+and parse_predicates st =
+  let rec go acc =
+    if accept st Tlbracket then begin
+      let e = parse_expr st in
+      expect st Trbracket;
+      go (e :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+and parse_step st =
+  match peek st with
+  | Tdot ->
+    advance st;
+    { Ast.axis = Ast.Self; test = Ast.Node_test; predicates = parse_predicates st }
+  | Tddot ->
+    advance st;
+    { Ast.axis = Ast.Parent; test = Ast.Node_test; predicates = parse_predicates st }
+  | Tat ->
+    advance st;
+    let test =
+      match peek st with
+      | Tstar ->
+        advance st;
+        Ast.Wildcard
+      | Tname n ->
+        advance st;
+        Ast.Name n
+      | t -> err "expected an attribute name after @, found %s" (token_to_string t)
+    in
+    { Ast.axis = Ast.Attribute; test; predicates = parse_predicates st }
+  | Tstar ->
+    advance st;
+    { Ast.axis = Ast.Child; test = Ast.Wildcard; predicates = parse_predicates st }
+  | Tname name -> (
+    if peek2 st = Taxis_sep then begin
+      advance st;
+      advance st;
+      match Ast.axis_of_string name with
+      | None -> err "unknown axis %s" name
+      | Some axis ->
+        let test =
+          match peek st with
+          | Tstar ->
+            advance st;
+            Ast.Wildcard
+          | Tname n ->
+            advance st;
+            node_test_of_name st n
+          | t -> err "expected a node test after %s::, found %s" name (token_to_string t)
+        in
+        { Ast.axis; test; predicates = parse_predicates st }
+    end
+    else begin
+      advance st;
+      let test = node_test_of_name st name in
+      { Ast.axis = Ast.Child; test; predicates = parse_predicates st }
+    end)
+  | t -> err "expected a step, found %s" (token_to_string t)
+
+and parse_relative_steps st =
+  let first = parse_step st in
+  let rec go acc =
+    if accept st Tdslash then
+      let s = parse_step st in
+      go (s :: { Ast.axis = Ast.Descendant_or_self; test = Ast.Node_test; predicates = [] } :: acc)
+    else if accept st Tslash then go (parse_step st :: acc)
+    else List.rev acc
+  in
+  go [ first ]
+
+and parse_location_path st =
+  match peek st with
+  | Tslash ->
+    advance st;
+    (* bare "/" selects the document root *)
+    (match peek st with
+    | Teof | Trbracket | Trparen | Tcomma | Top _ | Tpipe -> { Ast.absolute = true; steps = [] }
+    | _ -> { Ast.absolute = true; steps = parse_relative_steps st })
+  | Tdslash ->
+    advance st;
+    let rest = parse_relative_steps st in
+    {
+      Ast.absolute = true;
+      steps = { Ast.axis = Ast.Descendant_or_self; test = Ast.Node_test; predicates = [] } :: rest;
+    }
+  | _ -> { Ast.absolute = false; steps = parse_relative_steps st }
+
+let parse src =
+  let tokens = Array.of_list (tokenize src) in
+  if Array.length tokens = 1 then err "empty XPath expression";
+  let st = { tokens; pos = 0 } in
+  let e = parse_expr st in
+  (match peek st with
+  | Teof -> ()
+  | t -> err "trailing input after expression: %s" (token_to_string t));
+  e
+
+let parse_path src =
+  match parse src with
+  | Ast.Path p -> p
+  | _ -> err "expected a location path, got a general expression: %s" src

@@ -1,0 +1,15 @@
+(** XPath 1.0 (subset) parser.
+
+    Implements the XPath lexical disambiguation rule: a name is an operator
+    ([and]/[or]/[div]/[mod]) and [*] is multiplication exactly when the
+    preceding token could end an operand. Abbreviations [//], [.], [..],
+    and [@name] expand to their full-axis forms. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.expr
+(** A full expression (paths, comparisons, arithmetic, function calls,
+    unions). @raise Parse_error on malformed input or trailing tokens. *)
+
+val parse_path : string -> Ast.path
+(** Like {!parse} but requires a location path. *)

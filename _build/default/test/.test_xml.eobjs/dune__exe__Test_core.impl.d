@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Lazy List Relstore String Xmlkit Xmlstore Xmlwork Xpathkit

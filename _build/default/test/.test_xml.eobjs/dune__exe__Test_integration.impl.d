@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename Lazy List Relstore String Sys Xmlkit Xmlstore Xmlwork Xpathkit

@@ -1,0 +1,1 @@
+test/test_shred.ml: Alcotest List Printf QCheck QCheck_alcotest Relstore String Xmlkit Xmlshred Xpathkit

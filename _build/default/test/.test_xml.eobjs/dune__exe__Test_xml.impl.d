@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Char Compress Dataguide Dom Dtd Huffman Index List Namespace Parser Printf QCheck QCheck_alcotest Sax Serializer String Xmlkit Xpathkit

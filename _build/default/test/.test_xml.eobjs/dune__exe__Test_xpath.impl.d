@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest List QCheck QCheck_alcotest String Xmlkit Xpathkit

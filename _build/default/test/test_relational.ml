@@ -1,0 +1,831 @@
+(* Unit and property tests for the relational engine. *)
+
+open Relstore
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let value_testable =
+  Alcotest.testable (fun fmt v -> Format.pp_print_string fmt (Value.to_string v)) Value.equal
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_compare () =
+  check_bool "int eq" true (Value.equal (Value.Int 3) (Value.Int 3));
+  check_bool "int/float numeric eq" true (Value.equal (Value.Int 3) (Value.Float 3.0));
+  check_int "int lt" (-1) (compare (Value.compare (Value.Int 1) (Value.Int 2)) 0);
+  check_bool "null sorts first" true (Value.compare Value.Null (Value.Int min_int) < 0);
+  check_bool "text order" true (Value.compare (Value.Text "a") (Value.Text "b") < 0);
+  check_bool "sql_compare null is none" true (Value.sql_compare Value.Null (Value.Int 1) = None)
+
+let test_value_coerce () =
+  Alcotest.check value_testable "text->int" (Value.Int 42) (Value.coerce Value.TInt (Value.Text "42"));
+  Alcotest.check value_testable "int->float" (Value.Float 2.0) (Value.coerce Value.TFloat (Value.Int 2));
+  Alcotest.check value_testable "int->text" (Value.Text "7") (Value.coerce Value.TText (Value.Int 7));
+  Alcotest.check value_testable "null passes" Value.Null (Value.coerce Value.TInt Value.Null);
+  Alcotest.check_raises "bad int" (Value.Type_error "cannot store \"xyz\" in an INTEGER column")
+    (fun () -> ignore (Value.coerce Value.TInt (Value.Text "xyz")))
+
+(* ------------------------------------------------------------------ *)
+(* B+-tree *)
+
+let key i = [| Value.Int i |]
+
+let test_btree_basic () =
+  let t = Btree.create () in
+  for i = 0 to 999 do
+    Btree.insert t (key ((i * 37) mod 1000)) i
+  done;
+  check_int "entries" 1000 (Btree.entry_count t);
+  check_int "distinct" 1000 (Btree.distinct_keys t);
+  check_bool "invariants" true (Btree.check_invariants t);
+  (* 37 is coprime with 1000, so each key got exactly one posting *)
+  check_int "lookup 0" 1 (List.length (Btree.lookup t (key 0)));
+  check_int "lookup missing" 0 (List.length (Btree.lookup t (key 5000)))
+
+let test_btree_duplicates () =
+  let t = Btree.create () in
+  for i = 0 to 99 do
+    Btree.insert t (key (i mod 10)) i
+  done;
+  check_int "postings per key" 10 (List.length (Btree.lookup t (key 3)));
+  Btree.remove t (key 3) 3;
+  check_int "after remove" 9 (List.length (Btree.lookup t (key 3)));
+  check_bool "invariants after remove" true (Btree.check_invariants t)
+
+let test_btree_range () =
+  let t = Btree.create () in
+  for i = 1 to 500 do
+    Btree.insert t (key i) i
+  done;
+  let hits =
+    Btree.range t ~lower:(Btree.Inclusive (key 100)) ~upper:(Btree.Exclusive (key 110))
+  in
+  check_int "range size" 10 (List.length hits);
+  (match hits with
+  | (k, _) :: _ -> Alcotest.check value_testable "first key" (Value.Int 100) k.(0)
+  | [] -> Alcotest.fail "empty range");
+  check_int "height grows" 2 (min 2 (Btree.height t))
+
+let test_btree_composite () =
+  let t = Btree.create () in
+  Btree.insert t [| Value.Text "a"; Value.Int 1 |] 1;
+  Btree.insert t [| Value.Text "a"; Value.Int 2 |] 2;
+  Btree.insert t [| Value.Text "b"; Value.Int 1 |] 3;
+  let hits = ref [] in
+  Btree.iter_prefix t [| Value.Text "a" |] (fun _ rowid -> hits := rowid :: !hits);
+  check_int "prefix scan" 2 (List.length !hits)
+
+(* Property: B+-tree agrees with a reference association model. *)
+let btree_model_prop =
+  QCheck.Test.make ~name:"btree agrees with model" ~count:200
+    QCheck.(list (pair (int_range 0 100) (int_range 0 1000)))
+    (fun ops ->
+      let t = Btree.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, rowid) ->
+          Btree.insert t (key k) rowid;
+          Hashtbl.replace model k (rowid :: Option.value ~default:[] (Hashtbl.find_opt model k)))
+        ops;
+      Btree.check_invariants t
+      && Hashtbl.fold
+           (fun k expected acc ->
+             acc && List.sort compare (Btree.lookup t (key k)) = List.sort compare expected)
+           model true)
+
+let btree_range_prop =
+  QCheck.Test.make ~name:"btree range equals filtered model" ~count:200
+    QCheck.(pair (list (int_range 0 200)) (pair (int_range 0 200) (int_range 0 200)))
+    (fun (keys, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let t = Btree.create () in
+      List.iteri (fun i k -> Btree.insert t (key k) i) keys;
+      let got =
+        Btree.range t ~lower:(Btree.Inclusive (key lo)) ~upper:(Btree.Inclusive (key hi))
+        |> List.map (fun (k, _) -> match k.(0) with Value.Int i -> i | _ -> assert false)
+        |> List.sort compare
+      in
+      let expected = List.filter (fun k -> k >= lo && k <= hi) keys |> List.sort compare in
+      got = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let people_schema =
+  Schema.make "people"
+    [
+      Schema.column "id" ~nullable:false Value.TInt;
+      Schema.column "name" Value.TText;
+      Schema.column "age" Value.TInt;
+    ]
+
+let test_table_crud () =
+  let t = Table.create people_schema in
+  let r1 = Table.insert t [| Value.Int 1; Value.Text "ada"; Value.Int 36 |] in
+  let _r2 = Table.insert t [| Value.Int 2; Value.Text "bob"; Value.Int 25 |] in
+  check_int "rows" 2 (Table.row_count t);
+  check_bool "delete" true (Table.delete t r1);
+  check_int "rows after delete" 1 (Table.row_count t);
+  check_bool "get deleted" true (Table.get t r1 = None);
+  check_bool "double delete" false (Table.delete t r1)
+
+let test_table_index_maintenance () =
+  let t = Table.create people_schema in
+  let ix = Table.create_index t ~index_name:"people_age" ~columns:[ "age" ] in
+  let r1 = Table.insert t [| Value.Int 1; Value.Text "ada"; Value.Int 36 |] in
+  let _ = Table.insert t [| Value.Int 2; Value.Text "bob"; Value.Int 36 |] in
+  check_int "two with age 36" 2 (List.length (Btree.lookup ix.Table.tree [| Value.Int 36 |]));
+  ignore (Table.update t r1 [| Value.Int 1; Value.Text "ada"; Value.Int 37 |]);
+  check_int "one with age 36" 1 (List.length (Btree.lookup ix.Table.tree [| Value.Int 36 |]));
+  check_int "one with age 37" 1 (List.length (Btree.lookup ix.Table.tree [| Value.Int 37 |]));
+  ignore (Table.delete t r1);
+  check_int "none with 37 after delete" 0 (List.length (Btree.lookup ix.Table.tree [| Value.Int 37 |]))
+
+let test_table_not_null () =
+  let t = Table.create people_schema in
+  Alcotest.check_raises "null id rejected"
+    (Schema.Schema_error "column people.id is NOT NULL") (fun () ->
+      ignore (Table.insert t [| Value.Null; Value.Text "x"; Value.Int 1 |]))
+
+(* ------------------------------------------------------------------ *)
+(* SQL end to end *)
+
+let db_with_people () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE people (id INTEGER NOT NULL, name TEXT, age INTEGER, city TEXT)");
+  ignore
+    (Database.exec db
+       "INSERT INTO people (id, name, age, city) VALUES (1, 'ada', 36, 'london'), (2, 'bob', \
+        25, 'paris'), (3, 'cyd', 36, 'london'), (4, 'dan', NULL, 'rome')");
+  db
+
+let rows db sql = (Database.query db sql).Executor.rows
+
+let test_sql_select_where () =
+  let db = db_with_people () in
+  check_int "age filter" 2 (List.length (rows db "SELECT name FROM people WHERE age = 36"));
+  check_int "and" 1
+    (List.length (rows db "SELECT name FROM people WHERE age = 36 AND name = 'ada'"));
+  check_int "or" 3
+    (List.length (rows db "SELECT name FROM people WHERE age = 36 OR name = 'bob'"));
+  check_int "null comparison excludes" 0
+    (List.length (rows db "SELECT name FROM people WHERE age <> 25 AND age <> 36"));
+  check_int "is null" 1 (List.length (rows db "SELECT name FROM people WHERE age IS NULL"));
+  check_int "is not null" 3 (List.length (rows db "SELECT name FROM people WHERE age IS NOT NULL"))
+
+let test_sql_expressions () =
+  let db = db_with_people () in
+  (match rows db "SELECT age + 1 FROM people WHERE name = 'ada'" with
+  | [ [| v |] ] -> Alcotest.check value_testable "age+1" (Value.Int 37) v
+  | _ -> Alcotest.fail "expected one row");
+  (match rows db "SELECT name || '!' FROM people WHERE id = 2" with
+  | [ [| v |] ] -> Alcotest.check value_testable "concat" (Value.Text "bob!") v
+  | _ -> Alcotest.fail "expected one row");
+  (match rows db "SELECT upper(name) FROM people WHERE id = 1" with
+  | [ [| v |] ] -> Alcotest.check value_testable "upper" (Value.Text "ADA") v
+  | _ -> Alcotest.fail "expected one row");
+  check_int "like" 1 (List.length (rows db "SELECT name FROM people WHERE name LIKE 'a%'"));
+  check_int "in list" 2 (List.length (rows db "SELECT name FROM people WHERE name IN ('ada', 'bob')"));
+  check_int "between" 2 (List.length (rows db "SELECT name FROM people WHERE age BETWEEN 30 AND 40"))
+
+let test_sql_order_limit () =
+  let db = db_with_people () in
+  let got = rows db "SELECT name FROM people WHERE age IS NOT NULL ORDER BY age DESC, name" in
+  let names = List.map (fun r -> Value.to_string r.(0)) got in
+  Alcotest.(check (list string)) "order" [ "ada"; "cyd"; "bob" ] names;
+  check_int "limit" 2 (List.length (rows db "SELECT name FROM people ORDER BY id LIMIT 2"))
+
+let test_sql_aggregates () =
+  let db = db_with_people () in
+  (match rows db "SELECT count(*), count(age), min(age), max(age), avg(age) FROM people" with
+  | [ [| c; ca; mn; mx; av |] ] ->
+    Alcotest.check value_testable "count*" (Value.Int 4) c;
+    Alcotest.check value_testable "count age" (Value.Int 3) ca;
+    Alcotest.check value_testable "min" (Value.Int 25) mn;
+    Alcotest.check value_testable "max" (Value.Int 36) mx;
+    (match av with
+    | Value.Float f -> check_bool "avg" true (Float.abs (f -. 97.0 /. 3.0) < 1e-9)
+    | _ -> Alcotest.fail "avg not float")
+  | _ -> Alcotest.fail "expected one row");
+  let got = rows db "SELECT city, count(*) FROM people GROUP BY city ORDER BY city" in
+  let render = List.map (fun r -> Printf.sprintf "%s:%s" (Value.to_string r.(0)) (Value.to_string r.(1))) got in
+  Alcotest.(check (list string)) "group" [ "london:2"; "paris:1"; "rome:1" ] render;
+  check_int "having" 1
+    (List.length (rows db "SELECT city FROM people GROUP BY city HAVING count(*) > 1"));
+  (match rows db "SELECT count(*) FROM people WHERE age > 100" with
+  | [ [| c |] ] -> Alcotest.check value_testable "empty count" (Value.Int 0) c
+  | _ -> Alcotest.fail "expected one row")
+
+let test_sql_join () =
+  let db = db_with_people () in
+  ignore (Database.exec db "CREATE TABLE cities (cname TEXT, country TEXT)");
+  ignore
+    (Database.exec db
+       "INSERT INTO cities VALUES ('london', 'uk'), ('paris', 'fr'), ('rome', 'it')");
+  let got =
+    rows db
+      "SELECT p.name, c.country FROM people p, cities c WHERE p.city = c.cname AND p.age = 36 \
+       ORDER BY p.name"
+  in
+  check_int "join rows" 2 (List.length got);
+  (match got with
+  | [| n; c |] :: _ ->
+    check_string "name" "ada" (Value.to_string n);
+    check_string "country" "uk" (Value.to_string c)
+  | _ -> Alcotest.fail "bad join result");
+  (* explicit JOIN ... ON syntax *)
+  let got2 =
+    rows db "SELECT p.name FROM people p JOIN cities c ON p.city = c.cname WHERE c.country = 'fr'"
+  in
+  check_int "join..on" 1 (List.length got2)
+
+let test_sql_self_join () =
+  let db = db_with_people () in
+  let got =
+    rows db
+      "SELECT a.name, b.name FROM people a, people b WHERE a.city = b.city AND a.id < b.id"
+  in
+  check_int "same-city pairs" 1 (List.length got)
+
+let test_sql_union_distinct () =
+  let db = db_with_people () in
+  check_int "union all" 8
+    (List.length (rows db "SELECT name FROM people UNION ALL SELECT name FROM people"));
+  check_int "distinct cities" 3 (List.length (rows db "SELECT DISTINCT city FROM people"))
+
+let test_sql_update_delete () =
+  let db = db_with_people () in
+  (match Database.exec db "UPDATE people SET age = 26 WHERE name = 'bob'" with
+  | Database.Affected 1 -> ()
+  | _ -> Alcotest.fail "update affected");
+  (match rows db "SELECT age FROM people WHERE name = 'bob'" with
+  | [ [| v |] ] -> Alcotest.check value_testable "updated" (Value.Int 26) v
+  | _ -> Alcotest.fail "one row");
+  (match Database.exec db "DELETE FROM people WHERE city = 'london'" with
+  | Database.Affected 2 -> ()
+  | _ -> Alcotest.fail "delete affected");
+  check_int "remaining" 2 (List.length (rows db "SELECT id FROM people"))
+
+let test_sql_index_scan_used () =
+  let db = db_with_people () in
+  ignore (Database.exec db "CREATE INDEX people_name ON people (name)");
+  let plan = Database.plan_of db "SELECT age FROM people WHERE name = 'ada'" in
+  check_int "uses index" 1 (Plan.count_index_scans plan);
+  (* same result either way *)
+  check_int "index result" 1 (List.length (rows db "SELECT age FROM people WHERE name = 'ada'"));
+  let plan2 = Database.plan_of db "SELECT age FROM people WHERE age = 36" in
+  check_int "no index on age" 0 (Plan.count_index_scans plan2)
+
+let test_sql_index_range () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE nums (n INTEGER)");
+  for i = 1 to 200 do
+    ignore (Database.exec db (Printf.sprintf "INSERT INTO nums VALUES (%d)" i))
+  done;
+  ignore (Database.exec db "CREATE INDEX nums_n ON nums (n)");
+  check_int "range via index" 50
+    (List.length (rows db "SELECT n FROM nums WHERE n > 100 AND n <= 150"));
+  check_int "like prefix" 1 (List.length (rows db "SELECT n FROM nums WHERE n = 7"))
+
+let test_sql_errors () =
+  let db = db_with_people () in
+  let expect_failure name sql =
+    match Database.exec db sql with
+    | exception _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected an error")
+  in
+  expect_failure "unknown table" "SELECT * FROM nosuch";
+  expect_failure "unknown column" "SELECT nosuch FROM people";
+  expect_failure "ambiguous column" "SELECT name FROM people a, people b";
+  expect_failure "syntax" "SELECT FROM WHERE";
+  expect_failure "duplicate table" "CREATE TABLE people (x INTEGER)"
+
+let test_sql_roundtrip_print () =
+  (* parse -> print -> parse is stable *)
+  let sqls =
+    [
+      "SELECT a.x, b.y AS z FROM t a, u b WHERE a.k = b.k AND a.x > 3 ORDER BY b.y DESC LIMIT 5";
+      "SELECT DISTINCT name FROM people WHERE name LIKE 'a%' OR age IN (1, 2, 3)";
+      "SELECT city, count(*) FROM people GROUP BY city HAVING count(*) > 1";
+    ]
+  in
+  List.iter
+    (fun sql ->
+      let printed = Sql_ast.statement_to_string (Sql_parser.parse_statement sql) in
+      let reprinted = Sql_ast.statement_to_string (Sql_parser.parse_statement printed) in
+      check_string sql printed reprinted)
+    sqls
+
+let test_render_result () =
+  let db = db_with_people () in
+  let r = Database.query db "SELECT name, age FROM people WHERE id = 1" in
+  let s = Database.render_result r in
+  check_bool "header present" true (String.length s > 0 && String.sub s 0 4 = "name")
+
+(* ------------------------------------------------------------------ *)
+(* Expression semantics *)
+
+let scalar db sql =
+  match (Database.query db sql).Executor.rows with
+  | [ [| v |] ] -> v
+  | _ -> Alcotest.fail ("expected a single value from " ^ sql)
+
+let test_like_matcher () =
+  let cases =
+    [
+      ("abc", "abc", true); ("a%", "abc", true); ("%c", "abc", true); ("%b%", "abc", true);
+      ("a_c", "abc", true); ("a_c", "abbc", false); ("%", "", true); ("_", "", false);
+      ("a%z", "az", true); ("a%z", "abcz", true); ("a%z", "abcy", false);
+      ("%%", "anything", true); ("a__", "abc", true); ("a__", "ab", false);
+    ]
+  in
+  List.iter
+    (fun (pattern, s, expected) ->
+      check_bool
+        (Printf.sprintf "LIKE %S on %S" pattern s)
+        expected
+        (Expr_eval.like_match ~pattern s))
+    cases
+
+let test_three_valued_logic () =
+  let db = db_with_people () in
+  (* dan's age is NULL: NULL-involved comparisons are unknown, and WHERE
+     treats unknown as false *)
+  check_int "null = null not true" 0
+    (List.length (rows db "SELECT name FROM people WHERE age = age AND name = 'dan'"));
+  (* Kleene: FALSE AND NULL = FALSE (row rejected), TRUE OR NULL = TRUE *)
+  check_int "true or null" 1
+    (List.length (rows db "SELECT name FROM people WHERE name = 'dan' OR age > 100"));
+  check_int "not null is unknown" 0
+    (List.length (rows db "SELECT name FROM people WHERE NOT (age = 36) AND name = 'dan'"));
+  check_int "is null picks dan" 1
+    (List.length (rows db "SELECT name FROM people WHERE age IS NULL"))
+
+let test_scalar_functions () =
+  let db = db_with_people () in
+  Alcotest.check value_testable "coalesce" (Value.Int 0)
+    (scalar db "SELECT coalesce(age, 0) FROM people WHERE name = 'dan'");
+  Alcotest.check value_testable "nullif" Value.Null
+    (scalar db "SELECT nullif(name, 'ada') FROM people WHERE id = 1");
+  Alcotest.check value_testable "substr" (Value.Text "da")
+    (scalar db "SELECT substr(name, 2) FROM people WHERE id = 1");
+  Alcotest.check value_testable "substr len" (Value.Text "d")
+    (scalar db "SELECT substr(name, 2, 1) FROM people WHERE id = 1");
+  Alcotest.check value_testable "length" (Value.Int 3)
+    (scalar db "SELECT length(name) FROM people WHERE id = 1");
+  Alcotest.check value_testable "instr" (Value.Int 2)
+    (scalar db "SELECT instr(name, 'da') FROM people WHERE id = 1");
+  Alcotest.check value_testable "to_number bad text is null" Value.Null
+    (scalar db "SELECT to_number(name) FROM people WHERE id = 1");
+  Alcotest.check value_testable "to_number good"
+    (Value.Float 12.0)
+    (scalar db "SELECT to_number('12') FROM people WHERE id = 1");
+  Alcotest.check value_testable "abs" (Value.Int 5) (scalar db "SELECT abs(0 - 5) FROM people WHERE id = 1")
+
+let test_arithmetic_semantics () =
+  let db = db_with_people () in
+  Alcotest.check value_testable "int division truncates" (Value.Int 3)
+    (scalar db "SELECT 7 / 2 FROM people WHERE id = 1");
+  Alcotest.check value_testable "mod" (Value.Int 1)
+    (scalar db "SELECT 7 % 2 FROM people WHERE id = 1");
+  Alcotest.check value_testable "mixed is float" (Value.Float 3.5)
+    (scalar db "SELECT 7 / 2.0 FROM people WHERE id = 1");
+  Alcotest.check value_testable "null propagates" Value.Null
+    (scalar db "SELECT age + 1 FROM people WHERE name = 'dan'");
+  Alcotest.check value_testable "unary minus" (Value.Int (-36))
+    (scalar db "SELECT -age FROM people WHERE id = 1");
+  (match Database.query db "SELECT 1 / 0 FROM people WHERE id = 1" with
+  | exception Expr_eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "division by zero should raise")
+
+let test_aggregate_distinct () =
+  let db = db_with_people () in
+  Alcotest.check value_testable "count distinct cities" (Value.Int 3)
+    (scalar db "SELECT count(DISTINCT city) FROM people");
+  Alcotest.check value_testable "count distinct ages" (Value.Int 2)
+    (scalar db "SELECT count(DISTINCT age) FROM people");
+  Alcotest.check value_testable "sum distinct" (Value.Int 61)
+    (scalar db "SELECT sum(DISTINCT age) FROM people");
+  Alcotest.check value_testable "min text" (Value.Text "ada")
+    (scalar db "SELECT min(name) FROM people");
+  (* sum mixing int rows only stays Int *)
+  Alcotest.check value_testable "sum is int" (Value.Int 97) (scalar db "SELECT sum(age) FROM people")
+
+let test_group_by_expression () =
+  let db = db_with_people () in
+  let got = rows db "SELECT length(city), count(*) FROM people GROUP BY length(city) ORDER BY length(city)" in
+  let render = List.map (fun r -> Value.to_string r.(0) ^ ":" ^ Value.to_string r.(1)) got in
+  Alcotest.(check (list string)) "group by expr" [ "4:1"; "5:1"; "6:2" ] render
+
+let test_order_by_alias () =
+  let db = db_with_people () in
+  let got = rows db "SELECT name, age * 2 AS dbl FROM people WHERE age IS NOT NULL ORDER BY dbl" in
+  Alcotest.(check (list string)) "alias in order by" [ "bob"; "ada"; "cyd" ]
+    (List.map (fun r -> Value.to_string r.(0)) got)
+
+let test_quoted_identifiers_and_comments () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (\"select\" INTEGER) -- keyword column\n");
+  ignore (Database.exec db "INSERT INTO t VALUES (1), (2)");
+  check_int "quoted column works" 2 (List.length (rows db "SELECT \"select\" FROM t"));
+  check_int "filter on quoted" 1 (List.length (rows db "SELECT \"select\" FROM t WHERE \"select\" = 2"))
+
+let test_insert_column_subset () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (a INTEGER, b TEXT, c REAL)");
+  ignore (Database.exec db "INSERT INTO t (b) VALUES ('only-b')");
+  match rows db "SELECT a, b, c FROM t" with
+  | [ [| a; b; c |] ] ->
+    Alcotest.check value_testable "a null" Value.Null a;
+    Alcotest.check value_testable "b set" (Value.Text "only-b") b;
+    Alcotest.check value_testable "c null" Value.Null c
+  | _ -> Alcotest.fail "one row expected"
+
+let test_update_expression () =
+  let db = db_with_people () in
+  ignore (Database.exec db "UPDATE people SET age = age + 10 WHERE age IS NOT NULL");
+  Alcotest.check value_testable "ada aged" (Value.Int 46)
+    (scalar db "SELECT age FROM people WHERE name = 'ada'");
+  Alcotest.check value_testable "dan still null" Value.Null
+    (scalar db "SELECT age FROM people WHERE name = 'dan'")
+
+let test_in_list_index_probes () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (v INTEGER)");
+  for i = 1 to 100 do
+    ignore (Database.exec db (Printf.sprintf "INSERT INTO t VALUES (%d)" i))
+  done;
+  ignore (Database.exec db "CREATE INDEX t_v ON t (v)");
+  let plan = Database.plan_of db "SELECT v FROM t WHERE v IN (3, 7, 11)" in
+  let s = Plan.to_string plan in
+  check_bool "IndexProbes chosen" true
+    (String.length s >= 11
+    &&
+    let rec find i = i + 11 <= String.length s && (String.sub s i 11 = "IndexProbes" || find (i + 1)) in
+    find 0);
+  check_int "in-list results" 3 (List.length (rows db "SELECT v FROM t WHERE v IN (3, 7, 11)"));
+  (* duplicates in the probe list must not duplicate results *)
+  check_int "dup probes" 1 (List.length (rows db "SELECT v FROM t WHERE v IN (5, 5, 5)"))
+
+let test_between_index_range () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (v INTEGER)");
+  for i = 1 to 100 do
+    ignore (Database.exec db (Printf.sprintf "INSERT INTO t VALUES (%d)" i))
+  done;
+  ignore (Database.exec db "CREATE INDEX t_v ON t (v)");
+  check_int "between via index" 11 (List.length (rows db "SELECT v FROM t WHERE v BETWEEN 20 AND 30"));
+  (* merged one-sided bounds become a single bounded scan *)
+  let plan = Database.plan_of db "SELECT v FROM t WHERE v > 10 AND v <= 20" in
+  check_bool "no residual filter" true
+    (not (String.length (Plan.to_string plan) > 0 && String.sub (Plan.to_string plan) 0 6 = "Filter"))
+
+let test_like_prefix_index () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (s TEXT)");
+  List.iter
+    (fun s -> ignore (Database.exec db (Printf.sprintf "INSERT INTO t VALUES ('%s')" s)))
+    [ "apple"; "apricot"; "banana"; "avocado"; "applet" ];
+  ignore (Database.exec db "CREATE INDEX t_s ON t (s)");
+  check_int "prefix like" 2 (List.length (rows db "SELECT s FROM t WHERE s LIKE 'app%'"));
+  check_int "non-prefix like full scan" 2 (List.length (rows db "SELECT s FROM t WHERE s LIKE '%cot%' OR s LIKE '%cado'"))
+
+let test_sql_corner_cases () =
+  let db = db_with_people () in
+  check_int "limit 0" 0 (List.length (rows db "SELECT name FROM people LIMIT 0"));
+  check_int "order by on empty" 0
+    (List.length (rows db "SELECT name FROM people WHERE id > 99 ORDER BY name"));
+  (* NULL forms its own group *)
+  let got = rows db "SELECT age, count(*) FROM people GROUP BY age ORDER BY age" in
+  check_int "null group present" 3 (List.length got);
+  (match got with
+  | [| Value.Null; Value.Int 1 |] :: _ -> ()
+  | _ -> Alcotest.fail "null group should sort first");
+  (* HAVING without aggregates in projection *)
+  check_int "having on group column" 1
+    (List.length (rows db "SELECT city FROM people GROUP BY city HAVING city = 'rome'"));
+  (* aggregate over empty group-by-less input *)
+  (match rows db "SELECT sum(age), avg(age), min(age) FROM people WHERE id > 99" with
+  | [ [| s; a; m |] ] ->
+    Alcotest.check value_testable "sum empty" Value.Null s;
+    Alcotest.check value_testable "avg empty" Value.Null a;
+    Alcotest.check value_testable "min empty" Value.Null m
+  | _ -> Alcotest.fail "one row");
+  (* DISTINCT keeps first occurrence order *)
+  let got = rows db "SELECT DISTINCT city FROM people" in
+  Alcotest.(check (list string)) "distinct order" [ "london"; "paris"; "rome" ]
+    (List.map (fun r -> Value.to_string r.(0)) got)
+
+let test_btree_scale () =
+  let t = Btree.create () in
+  for i = 1 to 20_000 do
+    Btree.insert t [| Value.Int ((i * 7919) mod 20011) |] i
+  done;
+  check_int "entries" 20_000 (Btree.entry_count t);
+  check_bool "height reasonable" true (Btree.height t <= 5);
+  check_bool "invariants at scale" true (Btree.check_invariants t);
+  (* empty range when bounds cross *)
+  check_int "inverted range" 0
+    (List.length
+       (Btree.range t ~lower:(Btree.Inclusive [| Value.Int 100 |])
+          ~upper:(Btree.Inclusive [| Value.Int 50 |])))
+
+let test_column_stats () =
+  let db = db_with_people () in
+  let st = Database.analyze db "people" in
+  check_int "rows" 4 st.Stats.ts_rows;
+  (* columns: id, name, age, city *)
+  check_int "distinct ids" 4 st.Stats.ts_columns.(0).Stats.cs_distinct;
+  check_int "distinct ages" 2 st.Stats.ts_columns.(2).Stats.cs_distinct;
+  check_int "age nulls" 1 st.Stats.ts_columns.(2).Stats.cs_nulls;
+  Alcotest.check value_testable "min age" (Value.Int 25) st.Stats.ts_columns.(2).Stats.cs_min;
+  Alcotest.check value_testable "max age" (Value.Int 36) st.Stats.ts_columns.(2).Stats.cs_max;
+  check_int "distinct cities" 3 st.Stats.ts_columns.(3).Stats.cs_distinct;
+  check_bool "eq selectivity city" true
+    (Float.abs (Stats.eq_selectivity st ~column:3 -. (1.0 /. 3.0)) < 1e-9);
+  check_bool "printable" true (String.length (Database.analyze_to_string db "people") > 0)
+
+let test_stats_refresh_on_drift () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (v INTEGER)");
+  ignore (Database.exec db "INSERT INTO t VALUES (1), (2)");
+  let st1 = Database.analyze db "t" in
+  check_int "initial rows" 2 st1.Stats.ts_rows;
+  (* small drift keeps the cache; big drift refreshes *)
+  for i = 3 to 50 do
+    ignore (Database.exec db (Printf.sprintf "INSERT INTO t VALUES (%d)" i))
+  done;
+  let st2 = Database.analyze db "t" in
+  check_int "refreshed rows" 50 st2.Stats.ts_rows;
+  check_int "refreshed distinct" 50 st2.Stats.ts_columns.(0).Stats.cs_distinct
+
+let test_stats_drive_join_order () =
+  (* with statistics, the planner starts the join from the table whose
+     filtered estimate is smallest, i.e. the one with more distinct values
+     for the same predicate shape *)
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE lowcard (k INTEGER, tag TEXT)");
+  ignore (Database.exec db "CREATE TABLE highcard (k INTEGER, uniq TEXT)");
+  for i = 1 to 100 do
+    ignore
+      (Database.exec db
+         (Printf.sprintf "INSERT INTO lowcard VALUES (%d, 'tag%d')" i (i mod 2)));
+    ignore
+      (Database.exec db (Printf.sprintf "INSERT INTO highcard VALUES (%d, 'u%d')" i i))
+  done;
+  let plan =
+    Database.plan_of db
+      "SELECT l.k FROM lowcard l, highcard h WHERE l.k = h.k AND l.tag = 'tag1' AND h.uniq = \
+       'u5'"
+  in
+  (* highcard's equality keeps ~1 row (1/100) vs lowcard's ~50 (1/2):
+     highcard must be the probe (appears first under the hash join) *)
+  let s = Plan.to_string plan in
+  let idx sub =
+    let n = String.length sub in
+    let rec go i = if i + n > String.length s then -1 else if String.sub s i n = sub then i else go (i + 1) in
+    go 0
+  in
+  check_bool "both scanned" true (idx "highcard" >= 0 && idx "lowcard" >= 0);
+  check_bool "highcard drives the join" true (idx "highcard" < idx "lowcard")
+
+let test_stats_pick_selective_index () =
+  (* both columns are indexed and both have equality predicates; the
+     planner must probe the high-cardinality one *)
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (coarse TEXT, fine TEXT)");
+  for i = 1 to 200 do
+    ignore
+      (Database.exec db
+         (Printf.sprintf "INSERT INTO t VALUES ('c%d', 'f%d')" (i mod 2) i))
+  done;
+  ignore (Database.exec db "CREATE INDEX t_coarse ON t (coarse)");
+  ignore (Database.exec db "CREATE INDEX t_fine ON t (fine)");
+  let plan = Database.plan_of db "SELECT fine FROM t WHERE coarse = 'c1' AND fine = 'f7'" in
+  let s = Plan.to_string plan in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "probes the fine index" true (contains "USING t_fine");
+  check_int "one result" 1
+    (List.length (rows db "SELECT fine FROM t WHERE coarse = 'c1' AND fine = 'f7'"))
+
+let test_dump_restore () =
+  let db = db_with_people () in
+  ignore (Database.exec db "CREATE INDEX people_name ON people (name)");
+  let script = Database.dump db in
+  let db2 = Database.restore script in
+  (* identical contents *)
+  let all d = rows d "SELECT id, name, age, city FROM people ORDER BY id" in
+  check_bool "rows equal" true (all db = all db2);
+  (* indexes survive and are usable *)
+  let plan = Database.plan_of db2 "SELECT age FROM people WHERE name = 'ada'" in
+  check_int "restored index used" 1 (Plan.count_index_scans plan);
+  (* NULL round-trips *)
+  Alcotest.check value_testable "null age survives" Value.Null
+    (scalar db2 "SELECT age FROM people WHERE name = 'dan'");
+  (* strings with quotes round-trip *)
+  ignore (Database.exec db "INSERT INTO people VALUES (9, 'o''brien', 1, 'x''y')");
+  let db3 = Database.restore (Database.dump db) in
+  Alcotest.check value_testable "quoted text survives" (Value.Text "o'brien")
+    (scalar db3 "SELECT name FROM people WHERE id = 9")
+
+let test_vec () =
+  let v = Vec.create ~dummy:0 in
+  check_int "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    check_int "push index" i (Vec.push v (i * i))
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get" 81 (Vec.get v 9);
+  Vec.set v 9 (-1);
+  check_int "set" (-1) (Vec.get v 9);
+  check_int "fold" (List.length (Vec.to_list v)) 100;
+  (match Vec.get v 100 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of range get accepted")
+
+let test_union_all_order () =
+  let db = db_with_people () in
+  let got =
+    rows db
+      "SELECT name FROM people WHERE city = 'london' ORDER BY name UNION ALL SELECT name FROM \
+       people WHERE city = 'paris'"
+  in
+  Alcotest.(check (list string)) "union keeps member order" [ "ada"; "cyd"; "bob" ]
+    (List.map (fun r -> Value.to_string r.(0)) got)
+
+(* ------------------------------------------------------------------ *)
+(* Property: random single-table SELECTs agree with an OCaml-side
+   reference implementation (filter + sort + project done by hand). *)
+
+type ref_row = { rr_id : int; rr_grp : int; rr_val : int option }
+
+let sql_fuzz_prop =
+  let open QCheck in
+  let gen_rows =
+    Gen.(
+      list_size (int_range 0 40)
+        (let* grp = int_range 0 4 in
+         let* has_val = frequency [ (4, return true); (1, return false) ] in
+         let* v = int_range 0 20 in
+         return (grp, if has_val then Some v else None)))
+  in
+  let gen_query =
+    Gen.(
+      let* lo = int_range 0 20 in
+      let* op = oneofl [ `Gt; `Le; `Eq; `None ] in
+      let* desc = bool in
+      return (lo, op, desc))
+  in
+  Test.make ~name:"random SELECT matches reference implementation" ~count:300
+    (make
+       ~print:(fun (rows, (lo, _, desc)) ->
+         Printf.sprintf "%d rows, bound %d, desc %b" (List.length rows) lo desc)
+       Gen.(pair gen_rows gen_query))
+    (fun (raw_rows, (lo, op, desc)) ->
+      let db = Database.create () in
+      ignore (Database.exec db "CREATE TABLE t (id INTEGER, grp INTEGER, val INTEGER)");
+      let reference =
+        List.mapi
+          (fun i (grp, v) ->
+            ignore
+              (Database.exec db
+                 (Printf.sprintf "INSERT INTO t VALUES (%d, %d, %s)" i grp
+                    (match v with Some v -> string_of_int v | None -> "NULL")));
+            { rr_id = i; rr_grp = grp; rr_val = v })
+          raw_rows
+      in
+      let cond_sql, cond_ref =
+        match op with
+        | `Gt -> (Printf.sprintf " WHERE val > %d" lo, fun r -> match r.rr_val with Some v -> v > lo | None -> false)
+        | `Le -> (Printf.sprintf " WHERE val <= %d" lo, fun r -> match r.rr_val with Some v -> v <= lo | None -> false)
+        | `Eq -> (Printf.sprintf " WHERE grp = %d" (lo mod 5), fun r -> r.rr_grp = lo mod 5)
+        | `None -> ("", fun _ -> true)
+      in
+      let order = if desc then " ORDER BY id DESC" else " ORDER BY id" in
+      (* projection query *)
+      let got =
+        List.map
+          (fun r -> match r.(0) with Value.Int i -> i | _ -> -1)
+          (rows db ("SELECT id FROM t" ^ cond_sql ^ order))
+      in
+      let expected =
+        reference |> List.filter cond_ref
+        |> List.map (fun r -> r.rr_id)
+        |> fun l -> if desc then List.rev l else l
+      in
+      (* aggregate query *)
+      let agg_got =
+        match rows db ("SELECT count(*), sum(val) FROM t" ^ cond_sql) with
+        | [ [| Value.Int c; s |] ] ->
+          (c, match s with Value.Int v -> Some v | _ -> None)
+        | _ -> (-1, None)
+      in
+      let kept = List.filter cond_ref reference in
+      let vals = List.filter_map (fun r -> r.rr_val) kept in
+      let agg_expected =
+        (List.length kept, if vals = [] then None else Some (List.fold_left ( + ) 0 vals))
+      in
+      got = expected && agg_got = agg_expected)
+
+(* Property: WHERE pushdown and index scans never change results. *)
+let index_equivalence_prop =
+  QCheck.Test.make ~name:"index scan equals seq scan" ~count:50
+    QCheck.(pair (list (int_range 0 50)) (int_range 0 50))
+    (fun (values, probe) ->
+      let mk with_index =
+        let db = Database.create () in
+        ignore (Database.exec db "CREATE TABLE t (v INTEGER)");
+        List.iter (fun v -> Database.insert_row db "t" [ Value.Int v ]) values;
+        if with_index then ignore (Database.exec db "CREATE INDEX t_v ON t (v)");
+        let r =
+          Database.query db (Printf.sprintf "SELECT v FROM t WHERE v >= %d ORDER BY v" probe)
+        in
+        List.map (fun row -> Value.to_string row.(0)) r.Executor.rows
+      in
+      mk true = mk false)
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "coerce" `Quick test_value_coerce;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "basic" `Quick test_btree_basic;
+          Alcotest.test_case "duplicates" `Quick test_btree_duplicates;
+          Alcotest.test_case "range" `Quick test_btree_range;
+          Alcotest.test_case "composite" `Quick test_btree_composite;
+          QCheck_alcotest.to_alcotest btree_model_prop;
+          QCheck_alcotest.to_alcotest btree_range_prop;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "crud" `Quick test_table_crud;
+          Alcotest.test_case "index maintenance" `Quick test_table_index_maintenance;
+          Alcotest.test_case "not null" `Quick test_table_not_null;
+        ] );
+      ( "sql",
+        [
+          Alcotest.test_case "select/where" `Quick test_sql_select_where;
+          Alcotest.test_case "expressions" `Quick test_sql_expressions;
+          Alcotest.test_case "order/limit" `Quick test_sql_order_limit;
+          Alcotest.test_case "aggregates" `Quick test_sql_aggregates;
+          Alcotest.test_case "join" `Quick test_sql_join;
+          Alcotest.test_case "self join" `Quick test_sql_self_join;
+          Alcotest.test_case "union/distinct" `Quick test_sql_union_distinct;
+          Alcotest.test_case "update/delete" `Quick test_sql_update_delete;
+          Alcotest.test_case "index scan used" `Quick test_sql_index_scan_used;
+          Alcotest.test_case "index range" `Quick test_sql_index_range;
+          Alcotest.test_case "errors" `Quick test_sql_errors;
+          Alcotest.test_case "print round-trip" `Quick test_sql_roundtrip_print;
+          Alcotest.test_case "render" `Quick test_render_result;
+          QCheck_alcotest.to_alcotest index_equivalence_prop;
+          QCheck_alcotest.to_alcotest sql_fuzz_prop;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "LIKE matcher" `Quick test_like_matcher;
+          Alcotest.test_case "three-valued logic" `Quick test_three_valued_logic;
+          Alcotest.test_case "scalar functions" `Quick test_scalar_functions;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic_semantics;
+          Alcotest.test_case "aggregate DISTINCT" `Quick test_aggregate_distinct;
+          Alcotest.test_case "group by expression" `Quick test_group_by_expression;
+          Alcotest.test_case "order by alias" `Quick test_order_by_alias;
+          Alcotest.test_case "quoted identifiers/comments" `Quick test_quoted_identifiers_and_comments;
+          Alcotest.test_case "insert column subset" `Quick test_insert_column_subset;
+          Alcotest.test_case "update expression" `Quick test_update_expression;
+          Alcotest.test_case "union all order" `Quick test_union_all_order;
+        ] );
+      ( "access paths",
+        [
+          Alcotest.test_case "IN-list index probes" `Quick test_in_list_index_probes;
+          Alcotest.test_case "between range" `Quick test_between_index_range;
+          Alcotest.test_case "LIKE prefix index" `Quick test_like_prefix_index;
+        ] );
+      ( "corner cases",
+        [
+          Alcotest.test_case "sql corner cases" `Quick test_sql_corner_cases;
+          Alcotest.test_case "btree at scale" `Quick test_btree_scale;
+        ] );
+      ( "statistics",
+        [
+          Alcotest.test_case "analyze" `Quick test_column_stats;
+          Alcotest.test_case "refresh on drift" `Quick test_stats_refresh_on_drift;
+          Alcotest.test_case "stats drive join order" `Quick test_stats_drive_join_order;
+          Alcotest.test_case "stats pick the selective index" `Quick
+            test_stats_pick_selective_index;
+        ] );
+      ( "persistence",
+        [ Alcotest.test_case "dump/restore" `Quick test_dump_restore ] );
+      ("vec", [ Alcotest.test_case "operations" `Quick test_vec ]);
+    ]

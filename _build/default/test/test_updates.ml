@@ -1,0 +1,228 @@
+(* Tests for in-place updates: after any sequence of appends and deletes,
+   the stored document must equal the same operations applied to an
+   in-memory model, and queries must keep agreeing with the native
+   evaluator. *)
+
+module Store = Xmlstore.Store
+module Dom = Xmlkit.Dom
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_strings = Alcotest.(check (list string))
+
+let updatable = [ "edge"; "dewey"; "interval" ]
+
+let base_doc =
+  "<site><people><person id=\"p1\"><name>ada</name></person></people>\
+   <items><item><name>hat</name><keyword>red</keyword></item>\
+   <item><name>pin</name></item></items></site>"
+
+(* The in-memory model of the same operations. *)
+let model_append dom ~parent_tag node =
+  let rec go (e : Dom.element) =
+    if String.equal e.Dom.tag parent_tag then { e with Dom.children = e.Dom.children @ [ node ] }
+    else
+      { e with
+        Dom.children =
+          List.map
+            (function Dom.Element c -> Dom.Element (go c) | other -> other)
+            e.Dom.children }
+  in
+  { dom with Dom.root = go dom.Dom.root }
+
+let model_delete dom ~tag =
+  let rec strip (e : Dom.element) =
+    { e with
+      Dom.children =
+        List.filter_map
+          (function
+            | Dom.Element c -> if String.equal c.Dom.tag tag then None else Some (Dom.Element (strip c))
+            | other -> Some other)
+          e.Dom.children }
+  in
+  { dom with Dom.root = strip dom.Dom.root }
+
+let fresh_store scheme =
+  let store = Store.create scheme in
+  let doc = Store.add_string store base_doc in
+  (store, doc)
+
+let new_item =
+  Dom.element "item"
+    [ Dom.element "name" [ Dom.text "cap" ]; Dom.element "keyword" [ Dom.text "blue" ] ]
+
+let test_append scheme () =
+  let store, doc = fresh_store scheme in
+  let cost = Store.append_child store doc ~parent:"/site/items" new_item in
+  check_bool "inserted rows" true (cost.Store.rows_inserted > 0);
+  let expected = model_append (Xmlkit.Parser.parse base_doc) ~parent_tag:"items" (new_item) in
+  check_bool "document matches model" true (Dom.equal expected (Store.get_document store doc));
+  (* queries see the new content *)
+  check_strings "names" [ "hat"; "pin"; "cap" ] (Store.query_values store doc "/site/items/item/name");
+  check_strings "keywords" [ "red"; "blue" ] (Store.query_values store doc "//keyword")
+
+let test_append_nested scheme () =
+  let store, doc = fresh_store scheme in
+  (* append into a nested element, then into the appended subtree's parent *)
+  let sub = Dom.element "keyword" [ Dom.text "wool" ] in
+  ignore (Store.append_child store doc ~parent:"/site/items/item[name='pin']" sub);
+  check_strings "after nested append" [ "red"; "wool" ] (Store.query_values store doc "//keyword");
+  ignore (Store.append_child store doc ~parent:"/site/people" (Dom.element "person" [ Dom.element "name" [ Dom.text "bob" ] ]));
+  check_strings "people" [ "ada"; "bob" ] (Store.query_values store doc "/site/people/person/name");
+  (* full round trip still consistent *)
+  let back = Store.get_document store doc in
+  let ix = Xmlkit.Index.of_document back in
+  check_strings "reconstructed agrees" (Xpathkit.Eval.select_strings ix "//keyword")
+    (Store.query_values store doc "//keyword")
+
+let test_delete scheme () =
+  let store, doc = fresh_store scheme in
+  let cost = Store.delete_matching store doc "//keyword" in
+  check_bool "deleted rows" true (cost.Store.rows_deleted > 0);
+  let expected = model_delete (Xmlkit.Parser.parse base_doc) ~tag:"keyword" in
+  check_bool "document matches model" true (Dom.equal expected (Store.get_document store doc));
+  check_strings "gone" [] (Store.query_values store doc "//keyword");
+  (* delete a whole item *)
+  ignore (Store.delete_matching store doc "/site/items/item[name='hat']");
+  check_strings "one item left" [ "pin" ] (Store.query_values store doc "/site/items/item/name")
+
+let test_delete_multiple scheme () =
+  let store, doc = fresh_store scheme in
+  ignore (Store.delete_matching store doc "//item");
+  check_strings "all items gone" [] (Store.query_values store doc "//item/name");
+  check_strings "people survive" [ "ada" ] (Store.query_values store doc "//person/name");
+  let expected = model_delete (Xmlkit.Parser.parse base_doc) ~tag:"item" in
+  check_bool "matches model" true (Dom.equal expected (Store.get_document store doc))
+
+let test_update_errors scheme () =
+  let store, doc = fresh_store scheme in
+  (* parent path selecting several elements is rejected *)
+  (match Store.append_child store doc ~parent:"/site/items/item" new_item with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "ambiguous parent should fail");
+  (* parent path selecting nothing is rejected *)
+  (match Store.append_child store doc ~parent:"/site/nothing" new_item with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "missing parent should fail");
+  (* text nodes cannot be appended *)
+  match Store.append_child store doc ~parent:"/site/items" (Dom.text "loose") with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "non-element append should fail"
+
+let test_unsupported_scheme () =
+  let store = Store.create "universal" in
+  let doc = Store.add_string store "<a><b>x</b></a>" in
+  match Store.append_child store doc ~parent:"/a" new_item with
+  | exception Store.Store_error _ -> ()
+  | _ -> Alcotest.fail "universal should not support updates"
+
+let test_cost_shapes () =
+  (* the headline asymmetry: a Dewey append never updates existing rows,
+     an Interval append renumbers following nodes *)
+  let doc_src =
+    "<site><items>" ^ String.concat "" (List.init 30 (fun i -> Printf.sprintf "<item><name>n%d</name></item>" i))
+    ^ "</items><people><person><name>ada</name></person></people></site>"
+  in
+  let run scheme =
+    let store = Store.create scheme in
+    let doc = Store.add_string store doc_src in
+    (* append into items: everything under people follows it in document
+       order, so interval must renumber those rows *)
+    Store.append_child store doc ~parent:"/site/items" new_item
+  in
+  let dewey = run "dewey" in
+  let interval = run "interval" in
+  let edge = run "edge" in
+  check_int "dewey updates nothing" 0 dewey.Store.rows_updated;
+  check_int "edge updates nothing" 0 edge.Store.rows_updated;
+  check_bool "interval renumbers" true (interval.Store.rows_updated > 5);
+  check_int "same insert count" dewey.Store.rows_inserted interval.Store.rows_inserted
+
+(* Property: a random sequence of appends and deletes keeps the store equal
+   to the model. *)
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 6)
+      (oneof
+         [
+           map (fun i -> `Append_item i) (int_range 0 99);
+           map (fun i -> `Append_person i) (int_range 0 99);
+           return `Delete_keywords;
+           return `Delete_items;
+         ]))
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | `Append_item i -> Printf.sprintf "item%d" i
+             | `Append_person i -> Printf.sprintf "person%d" i
+             | `Delete_keywords -> "del-kw"
+             | `Delete_items -> "del-items")
+           ops))
+    ops_gen
+
+let apply_op_model dom = function
+  | `Append_item i ->
+    model_append dom ~parent_tag:"items"
+      (Dom.element "item"
+         [ Dom.element "name" [ Dom.text (Printf.sprintf "g%d" i) ];
+           Dom.element "keyword" [ Dom.text "k" ] ])
+  | `Append_person i ->
+    model_append dom ~parent_tag:"people"
+      (Dom.element "person" [ Dom.element "name" [ Dom.text (Printf.sprintf "p%d" i) ] ])
+  | `Delete_keywords -> model_delete dom ~tag:"keyword"
+  | `Delete_items -> model_delete dom ~tag:"item"
+
+let apply_op_store store doc = function
+  | `Append_item i ->
+    ignore
+      (Store.append_child store doc ~parent:"/site/items"
+         (Dom.element "item"
+            [ Dom.element "name" [ Dom.text (Printf.sprintf "g%d" i) ];
+              Dom.element "keyword" [ Dom.text "k" ] ]))
+  | `Append_person i ->
+    ignore
+      (Store.append_child store doc ~parent:"/site/people"
+         (Dom.element "person" [ Dom.element "name" [ Dom.text (Printf.sprintf "p%d" i) ] ]))
+  | `Delete_keywords -> ignore (Store.delete_matching store doc "//keyword")
+  | `Delete_items -> ignore (Store.delete_matching store doc "//item")
+
+let update_model_prop scheme =
+  QCheck.Test.make
+    ~name:(scheme ^ " update sequence matches model")
+    ~count:40 arb_ops
+    (fun ops ->
+      let store = Store.create scheme in
+      let doc = Store.add_string store base_doc in
+      let model = ref (Xmlkit.Parser.parse base_doc) in
+      List.iter
+        (fun op ->
+          apply_op_store store doc op;
+          model := apply_op_model !model op)
+        ops;
+      Dom.equal !model (Store.get_document store doc))
+
+let scheme_cases scheme =
+  ( scheme,
+    [
+      Alcotest.test_case "append" `Quick (test_append scheme);
+      Alcotest.test_case "append nested" `Quick (test_append_nested scheme);
+      Alcotest.test_case "delete" `Quick (test_delete scheme);
+      Alcotest.test_case "delete multiple" `Quick (test_delete_multiple scheme);
+      Alcotest.test_case "errors" `Quick (test_update_errors scheme);
+      QCheck_alcotest.to_alcotest (update_model_prop scheme);
+    ] )
+
+let () =
+  Alcotest.run "updates"
+    (List.map scheme_cases updatable
+    @ [
+        ( "general",
+          [
+            Alcotest.test_case "unsupported scheme" `Quick test_unsupported_scheme;
+            Alcotest.test_case "cost shapes" `Quick test_cost_shapes;
+          ] );
+      ])

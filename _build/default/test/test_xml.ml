@@ -1,0 +1,605 @@
+(* Unit and property tests for the XML substrate. *)
+
+open Xmlkit
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parse_basic () =
+  let doc = Parser.parse "<a x=\"1\"><b>hi</b><c/></a>" in
+  check_string "root tag" "a" doc.Dom.root.Dom.tag;
+  check_bool "attr" true (Dom.attr_value doc.Dom.root "x" = Some "1");
+  check_int "children" 2 (List.length doc.Dom.root.Dom.children);
+  match Dom.find_child doc.Dom.root "b" with
+  | Some b -> check_string "text" "hi" (Dom.string_value_of_element b)
+  | None -> Alcotest.fail "no <b>"
+
+let test_parse_entities () =
+  let doc = Parser.parse "<a>&lt;x&gt; &amp; &quot;y&quot; &#65;&#x42;</a>" in
+  check_string "decoded" "<x> & \"y\" AB" (Dom.string_value_of_element doc.Dom.root)
+
+let test_parse_cdata_comment_pi () =
+  let doc = Parser.parse "<a><![CDATA[<raw>&stuff;]]><!--note--><?target data?></a>" in
+  match doc.Dom.root.Dom.children with
+  | [ Dom.Cdata c; Dom.Comment m; Dom.Pi { target; data } ] ->
+    check_string "cdata" "<raw>&stuff;" c;
+    check_string "comment" "note" m;
+    check_string "pi target" "target" target;
+    check_string "pi data" "data" data
+  | _ -> Alcotest.fail "unexpected children"
+
+let test_parse_decl_doctype () =
+  let parsed =
+    Parser.parse_full
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?><!DOCTYPE book [<!ELEMENT book (#PCDATA)>]><book>x</book>"
+  in
+  (match parsed.Parser.document.Dom.decl with
+  | Some d ->
+    check_string "version" "1.0" d.Dom.version;
+    check_bool "encoding" true (d.Dom.encoding = Some "UTF-8")
+  | None -> Alcotest.fail "no decl");
+  check_bool "doctype name" true (parsed.Parser.document.Dom.doctype = Some "book");
+  match parsed.Parser.internal_subset with
+  | Some s -> check_bool "subset captured" true (String.length s > 0)
+  | None -> Alcotest.fail "no internal subset"
+
+let test_parse_whitespace_modes () =
+  let src = "<a>\n  <b>x</b>\n</a>" in
+  let stripped = Parser.parse src in
+  check_int "stripped" 1 (List.length stripped.Dom.root.Dom.children);
+  let kept = Parser.parse ~keep_whitespace:true src in
+  check_int "kept" 3 (List.length kept.Dom.root.Dom.children)
+
+let test_parse_errors () =
+  let expect_error name src =
+    match Parser.parse src with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected a parse error")
+  in
+  expect_error "mismatched tags" "<a><b></a></b>";
+  expect_error "unterminated" "<a><b>";
+  expect_error "bad entity" "<a>&nosuch;</a>";
+  expect_error "trailing content" "<a/><b/>";
+  expect_error "duplicate attr" "<a x=\"1\" x=\"2\"/>";
+  expect_error "lt in attr" "<a x=\"<\"/>";
+  expect_error "empty" "";
+  expect_error "unterminated comment" "<a><!-- foo</a>"
+
+let test_parse_misc () =
+  (* BOM *)
+  let doc = Parser.parse "\xEF\xBB\xBF<a>x</a>" in
+  check_string "bom skipped" "a" doc.Dom.root.Dom.tag;
+  (* DOCTYPE with an external SYSTEM id and no internal subset *)
+  let parsed = Parser.parse_full "<!DOCTYPE a SYSTEM \"http://example.com/a.dtd\"><a/>" in
+  check_bool "doctype name kept" true (parsed.Parser.document.Dom.doctype = Some "a");
+  check_bool "no internal subset" true (parsed.Parser.internal_subset = None);
+  (* PI and comment before the root *)
+  let doc = Parser.parse "<?style sheet?><!-- header --><a/>" in
+  check_string "root after misc" "a" doc.Dom.root.Dom.tag;
+  (* single-quoted attributes *)
+  let doc = Parser.parse "<a x='1'/>" in
+  check_bool "single quotes" true (Dom.attr_value doc.Dom.root "x" = Some "1");
+  (* supplementary-plane character reference encodes as 4-byte UTF-8 *)
+  let doc = Parser.parse "<a>&#x1F600;</a>" in
+  check_int "astral char utf8 length" 4 (String.length (Dom.string_value_of_element doc.Dom.root))
+
+let test_parse_deep_nesting () =
+  let depth = 2000 in
+  let src =
+    String.concat "" (List.init depth (fun i -> Printf.sprintf "<n%d>" i))
+    ^ "x"
+    ^ String.concat "" (List.init depth (fun i -> Printf.sprintf "</n%d>" (depth - 1 - i)))
+  in
+  let doc = Parser.parse src in
+  check_int "depth preserved" depth (Dom.depth doc);
+  (* the whole pipeline stays stack-safe at this depth *)
+  let ix = Index.of_document doc in
+  check_bool "index round trip" true (Dom.equal doc (Index.to_document ix));
+  check_string "serializer handles depth" "x" (Index.string_value ix (Index.root_element ix))
+
+let test_parse_error_position () =
+  match Parser.parse "<a>\n<b>\n</c>\n</a>" with
+  | exception Parser.Parse_error e ->
+    check_int "line" 3 e.Parser.line;
+    check_bool "message mentions tags" true
+      (String.length (Parser.error_to_string e) > 0)
+  | _ -> Alcotest.fail "expected error"
+
+(* ------------------------------------------------------------------ *)
+(* Serializer *)
+
+let test_serialize_roundtrip () =
+  let src = "<a x=\"1\" y=\"two\"><b>hi &amp; bye</b><c/><d>1 &lt; 2</d></a>" in
+  let doc = Parser.parse src in
+  let out = Serializer.to_string doc in
+  let doc2 = Parser.parse out in
+  check_bool "round trip" true (Dom.equal doc doc2)
+
+let test_canonical_fixpoint () =
+  let doc = Parser.parse "<a b=\"2\" a=\"1\"><x><![CDATA[raw]]></x></a>" in
+  let c1 = Serializer.canonical doc in
+  let c2 = Serializer.canonical (Parser.parse c1) in
+  check_string "canonical fixpoint" c1 c2;
+  check_string "sorted output" "<a a=\"1\" b=\"2\"><x>raw</x></a>" c1
+
+let test_pretty () =
+  let doc = Parser.parse "<a><b>x</b><c/></a>" in
+  let s = Serializer.pretty doc in
+  check_bool "has newlines" true (String.contains s '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Index *)
+
+let sample () = Parser.parse "<a i=\"1\"><b><c>x</c></b><b>y</b><d/></a>"
+
+let test_index_structure () =
+  let ix = Index.of_document (sample ()) in
+  let root = Index.root_element ix in
+  check_string "root name" "a" (Index.name ix root);
+  check_int "root level" 1 (Index.level ix root);
+  check_int "children of root" 3 (List.length (Index.children ix root));
+  check_int "attributes of root" 1 (List.length (Index.attributes ix root));
+  check_int "descendants" 7 (List.length (Index.descendants ix root) + 1);
+  (* node count: doc + a + @i + b + c + text + b + text + d = 9 *)
+  check_int "count" 9 (Index.count ix)
+
+let test_index_axes () =
+  let ix = Index.of_document (sample ()) in
+  let root = Index.root_element ix in
+  match Index.children ix root with
+  | [ b1; b2; d ] ->
+    check_string "b1" "b" (Index.name ix b1);
+    check_bool "sibling" true (Index.following_siblings ix b1 = [ b2; d ]);
+    check_bool "preceding of d nearest-first" true (Index.preceding_siblings ix d = [ b2; b1 ]);
+    check_bool "parent" true (Index.parent ix b1 = root);
+    check_int "ancestors of c" 3
+      (match Index.children ix b1 with
+      | c :: _ -> List.length (Index.ancestors ix c)
+      | [] -> -1)
+  | _ -> Alcotest.fail "children mismatch"
+
+let test_index_string_value () =
+  let ix = Index.of_document (sample ()) in
+  let root = Index.root_element ix in
+  check_string "string value" "xy" (Index.string_value ix root)
+
+let test_index_interval_property () =
+  (* descendant test: pre(d) in (pre(a), pre(a)+size(a)] *)
+  let ix = Index.of_document (sample ()) in
+  let root = Index.root_element ix in
+  let inside = Index.descendants ix root in
+  List.iter
+    (fun d ->
+      check_bool "interval contains" true (d > root && d <= root + Index.size ix root))
+    inside
+
+let test_index_to_document () =
+  let doc = sample () in
+  let ix = Index.of_document doc in
+  check_bool "reconstructed equal" true (Dom.equal doc (Index.to_document ix))
+
+let test_index_stats () =
+  let s = Index.stats (Index.of_document (sample ())) in
+  check_int "elements" 5 s.Index.elements;
+  check_int "attrs" 1 s.Index.attributes_;
+  check_int "texts" 2 s.Index.texts;
+  check_int "depth" 3 s.Index.max_depth;
+  check_int "tags" 4 s.Index.distinct_tags
+
+(* ------------------------------------------------------------------ *)
+(* DTD *)
+
+let book_dtd =
+  "<!ELEMENT book (title, author+, price?)>\n\
+   <!ELEMENT title (#PCDATA)>\n\
+   <!ELEMENT author (first?, last)>\n\
+   <!ELEMENT first (#PCDATA)>\n\
+   <!ELEMENT last (#PCDATA)>\n\
+   <!ELEMENT price (#PCDATA)>\n\
+   <!ATTLIST book isbn CDATA #REQUIRED year CDATA #IMPLIED>"
+
+let test_dtd_parse () =
+  let dtd = Dtd.parse book_dtd in
+  check_int "elements" 6 (List.length dtd.Dtd.elements);
+  check_bool "root" true (dtd.Dtd.root = Some "book");
+  (match Dtd.find_element dtd "book" with
+  | Some d ->
+    check_string "model" "(title, author+, price?)" (Dtd.content_to_string d.Dtd.content)
+  | None -> Alcotest.fail "no book");
+  check_int "attrs" 2 (List.length (Dtd.find_attributes dtd "book"))
+
+let test_dtd_validate_ok () =
+  let dtd = Dtd.parse book_dtd in
+  let doc =
+    Parser.parse
+      "<book isbn=\"1\"><title>t</title><author><last>l</last></author><price>9</price></book>"
+  in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map Dtd.violation_to_string (Dtd.validate dtd doc))
+
+let test_dtd_validate_bad () =
+  let dtd = Dtd.parse book_dtd in
+  let missing_attr = Parser.parse "<book><title>t</title><author><last>l</last></author></book>" in
+  check_bool "missing isbn" false (Dtd.is_valid dtd missing_attr);
+  let wrong_order = Parser.parse "<book isbn=\"1\"><author><last>l</last></author><title>t</title></book>" in
+  check_bool "wrong order" false (Dtd.is_valid dtd wrong_order);
+  let missing_author = Parser.parse "<book isbn=\"1\"><title>t</title></book>" in
+  check_bool "author+ requires one" false (Dtd.is_valid dtd missing_author);
+  let unknown_tag = Parser.parse "<book isbn=\"1\"><title>t</title><author><last>l</last></author><zz/></book>" in
+  check_bool "unknown element" false (Dtd.is_valid dtd unknown_tag)
+
+let test_dtd_derive () =
+  let model = Dtd.Seq [ Dtd.Child "a"; Dtd.Star (Dtd.Child "b") ] in
+  check_bool "not nullable" false (Dtd.nullable model);
+  (match Dtd.derive model "a" with
+  | Some d -> check_bool "after a, nullable" true (Dtd.nullable d)
+  | None -> Alcotest.fail "a rejected");
+  check_bool "b rejected first" true (Dtd.derive model "b" = None)
+
+let test_dtd_simplify () =
+  (* (e1, e2)* -> e1*, e2* *)
+  let s = Dtd.simplify (Dtd.Star (Dtd.Seq [ Dtd.Child "e1"; Dtd.Child "e2" ])) in
+  check_bool "star distributes" true
+    (s.Dtd.fields = [ ("e1", Dtd.QStar); ("e2", Dtd.QStar) ]);
+  (* (e1 | e2) -> e1?, e2? *)
+  let s = Dtd.simplify (Dtd.Choice [ Dtd.Child "e1"; Dtd.Child "e2" ]) in
+  check_bool "choice weakens" true (s.Dtd.fields = [ ("e1", Dtd.QOpt); ("e2", Dtd.QOpt) ]);
+  (* a, a -> a* *)
+  let s = Dtd.simplify (Dtd.Seq [ Dtd.Child "a"; Dtd.Child "a" ]) in
+  check_bool "repeat collapses" true (s.Dtd.fields = [ ("a", Dtd.QStar) ]);
+  (* e+ -> e* ; e?? -> e? *)
+  let s = Dtd.simplify (Dtd.Plus (Dtd.Child "e")) in
+  check_bool "plus weakens" true (s.Dtd.fields = [ ("e", Dtd.QStar) ]);
+  let s = Dtd.simplify (Dtd.Opt (Dtd.Opt (Dtd.Child "e"))) in
+  check_bool "opt idempotent" true (s.Dtd.fields = [ ("e", Dtd.QOpt) ]);
+  (* mixed *)
+  let s = Dtd.simplify (Dtd.Mixed [ "a"; "b" ]) in
+  check_bool "mixed pcdata" true s.Dtd.has_pcdata
+
+let test_dtd_id_idref () =
+  let dtd =
+    Dtd.parse
+      "<!ELEMENT db (rec*)>\n\
+       <!ELEMENT rec (#PCDATA)>\n\
+       <!ATTLIST rec id ID #REQUIRED ref IDREF #IMPLIED refs IDREFS #IMPLIED>"
+  in
+  let ok =
+    Parser.parse "<db><rec id=\"a\">x</rec><rec id=\"b\" ref=\"a\" refs=\"a b\">y</rec></db>"
+  in
+  Alcotest.(check (list string)) "ids valid" [] (List.map Dtd.violation_to_string (Dtd.validate dtd ok));
+  let dup = Parser.parse "<db><rec id=\"a\">x</rec><rec id=\"a\">y</rec></db>" in
+  check_bool "duplicate ID rejected" false (Dtd.is_valid dtd dup);
+  let dangling = Parser.parse "<db><rec id=\"a\" ref=\"zz\">x</rec></db>" in
+  check_bool "dangling IDREF rejected" false (Dtd.is_valid dtd dangling);
+  let dangling_s = Parser.parse "<db><rec id=\"a\" refs=\"a zz\">x</rec></db>" in
+  check_bool "dangling IDREFS rejected" false (Dtd.is_valid dtd dangling_s)
+
+let test_dtd_print_roundtrip () =
+  let dtd = Dtd.parse book_dtd in
+  let printed = Dtd.to_string dtd in
+  let dtd2 = Dtd.parse printed in
+  check_int "same element count" (List.length dtd.Dtd.elements) (List.length dtd2.Dtd.elements);
+  check_string "same print" printed (Dtd.to_string dtd2)
+
+(* ------------------------------------------------------------------ *)
+(* SAX *)
+
+let test_sax_roundtrip () =
+  let doc = sample () in
+  let events = Sax.to_list doc in
+  check_bool "starts with start" true
+    (match events with Sax.Start_element { tag = "a"; _ } :: _ -> true | _ -> false);
+  let doc2 = Sax.of_list events in
+  check_bool "rebuild" true (Dom.equal doc doc2)
+
+let test_sax_invalid_stream () =
+  let bad = [ Sax.Start_element { tag = "a"; attrs = [] }; Sax.End_element "b" ] in
+  match Sax.of_list bad with
+  | exception Sax.Invalid_stream _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_stream"
+
+(* ------------------------------------------------------------------ *)
+(* Namespaces *)
+
+let test_namespaces () =
+  let doc =
+    Parser.parse
+      "<a xmlns=\"urn:default\" xmlns:p=\"urn:p\"><p:b/><c xmlns=\"urn:inner\"/></a>"
+  in
+  let names =
+    Namespace.fold_resolved
+      (fun acc scope e ->
+        let r = Namespace.resolve scope e.Dom.tag in
+        (e.Dom.tag, r.Namespace.uri) :: acc)
+      [] doc
+  in
+  let names = List.rev names in
+  check_bool "default ns" true (List.assoc "a" names = Some "urn:default");
+  check_bool "prefixed" true (List.assoc "p:b" names = Some "urn:p");
+  check_bool "inner override" true (List.assoc "c" names = Some "urn:inner");
+  check_string "local" "b" (Namespace.local_of "p:b")
+
+(* ------------------------------------------------------------------ *)
+(* DataGuide *)
+
+let test_dataguide_structure () =
+  let dg = Dataguide.of_document (sample ()) in
+  (* sample: <a i="1"><b><c>x</c></b><b>y</b><d/></a> *)
+  check_int "distinct paths" 5 (Dataguide.distinct_paths dg);
+  check_int "a count" 1 (Dataguide.count_path dg [ "a" ]);
+  check_int "b count merges siblings" 2 (Dataguide.count_path dg [ "a"; "b" ]);
+  check_int "attr path" 1 (Dataguide.count_path dg [ "a"; "@i" ]);
+  check_int "missing" 0 (Dataguide.count_path dg [ "a"; "zz" ]);
+  check_int "deep" 1 (Dataguide.count_path dg [ "a"; "b"; "c" ])
+
+let test_dataguide_estimate () =
+  let dg = Dataguide.of_document (sample ()) in
+  check_int "child chain" 2 (Dataguide.estimate dg [ `Child "a"; `Child "b" ]);
+  check_int "desc" 2 (Dataguide.estimate dg [ `Desc "b" ]);
+  check_int "wildcard" 3 (Dataguide.estimate dg [ `Child "a"; `Child_any ]);
+  check_int "desc any" 5 (Dataguide.estimate dg [ `Desc_any ]);
+  check_int "desc under child" 1 (Dataguide.estimate dg [ `Child "a"; `Desc "c" ])
+
+let test_dataguide_much_smaller () =
+  (* repeated structure: many instances, few distinct paths *)
+  let src =
+    "<r>" ^ String.concat "" (List.init 100 (fun _ -> "<e><f>x</f><g>y</g></e>")) ^ "</r>"
+  in
+  let doc = Parser.parse src in
+  let dg = Dataguide.of_document doc in
+  check_int "four distinct paths" 4 (Dataguide.distinct_paths dg);
+  check_bool "guide much smaller than doc" true (Dataguide.size dg * 20 < Dom.count_nodes doc);
+  check_int "counts preserved" 100 (Dataguide.count_path dg [ "r"; "e"; "f" ])
+
+(* ------------------------------------------------------------------ *)
+(* Huffman + XMill-style compression *)
+
+let test_huffman_roundtrip () =
+  List.iter
+    (fun s -> check_string ("huffman " ^ String.escaped s) s (Huffman.decode (Huffman.encode s)))
+    [ ""; "a"; "aaaa"; "abracadabra"; String.init 256 Char.chr; String.make 1000 'x' ]
+
+let test_huffman_compresses () =
+  let skewed = String.concat "" (List.init 200 (fun i -> if i mod 10 = 0 then "z" else "a")) in
+  (* header is 264 bytes; payload must shrink far below input length *)
+  let packed = Huffman.encode skewed in
+  check_bool "skewed input shrinks" true (String.length packed - 264 < String.length skewed / 4)
+
+let test_huffman_corrupt () =
+  (match Huffman.decode "short" with
+  | exception Huffman.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated header accepted");
+  let valid = Huffman.encode "hello world" in
+  let truncated = String.sub valid 0 (String.length valid - 1) in
+  match Huffman.decode truncated with
+  | exception Huffman.Corrupt _ -> ()
+  | s -> if String.equal s "hello world" then Alcotest.fail "truncation unnoticed"
+
+let test_compress_roundtrip () =
+  let doc =
+    Parser.parse
+      "<bib><book year=\"1967\"><title>The politics of experience</title>\
+       <author>Laing</author><!--note--><?render fast?></book>\
+       <book year=\"1972\"><title>Knots</title><author>Laing</author></book></bib>"
+  in
+  let packed = Compress.encode doc in
+  check_bool "decode equals original" true (Dom.equal doc (Compress.decode packed));
+  check_bool "flat round-trip" true (Dom.equal doc (Compress.decode_flat (Compress.encode_flat doc)))
+
+let test_compress_separation_helps () =
+  (* repetitive data-centric content: containers group similar values *)
+  let doc =
+    Parser.parse
+      ("<log>"
+      ^ String.concat ""
+          (List.init 150 (fun i ->
+               Printf.sprintf "<entry level=\"info\"><ts>2003-01-%02d</ts><msg>request handled</msg></entry>"
+                 ((i mod 28) + 1)))
+      ^ "</log>")
+  in
+  let s = Compress.measure doc in
+  check_bool "flat beats plain" true (s.Compress.flat_bytes < s.Compress.plain_bytes);
+  check_bool "separation beats flat" true (s.Compress.xmill_bytes < s.Compress.flat_bytes)
+
+let test_compress_corrupt () =
+  (match Compress.decode "not a compressed doc" with
+  | exception Compress.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  let doc = Parser.parse "<a><b>hello</b></a>" in
+  let packed = Compress.encode doc in
+  let mangled = "XK01" ^ String.sub packed 4 (min 10 (String.length packed - 4)) in
+  match Compress.decode mangled with
+  | exception Compress.Corrupt _ -> ()
+  | exception Huffman.Corrupt _ -> ()
+  | _ -> Alcotest.fail "mangled body accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+(* Random tree generator shared by round-trip properties. *)
+let gen_tag = QCheck.Gen.oneofl [ "a"; "b"; "c"; "item"; "name"; "x1" ]
+
+let gen_text =
+  QCheck.Gen.map
+    (fun s -> "t" ^ s)  (* non-empty, avoids whitespace-only text nodes *)
+    (QCheck.Gen.string_size ~gen:(QCheck.Gen.oneofl [ 'a'; 'b'; '<'; '&'; '"'; ' '; 'z' ])
+       (QCheck.Gen.int_range 0 8))
+
+let gen_element =
+  QCheck.Gen.sized (fun size ->
+      let rec elem size =
+        let open QCheck.Gen in
+        let* tag = gen_tag in
+        let* nattrs = int_range 0 2 in
+        let* attr_vals = list_repeat nattrs gen_text in
+        let attrs =
+          List.mapi (fun i v -> Dom.attr (Printf.sprintf "k%d" i) v) attr_vals
+        in
+        if size = 0 then
+          let* t = gen_text in
+          return (Dom.elem ~attrs tag [ Dom.text t ])
+        else
+          let* nchildren = int_range 0 3 in
+          let* children =
+            list_repeat nchildren
+              (oneof
+                 [
+                   map (fun e -> Dom.Element e) (elem (size / 2));
+                   map (fun t -> Dom.text t) gen_text;
+                 ])
+          in
+          return (Dom.elem ~attrs tag children)
+      in
+      elem (min size 8))
+
+let arb_doc =
+  QCheck.make
+    ~print:(fun d -> Serializer.to_string d)
+    (QCheck.Gen.map Dom.document gen_element)
+
+let serialize_parse_prop =
+  QCheck.Test.make ~name:"serialize then parse is identity" ~count:300 arb_doc (fun doc ->
+      let doc2 = Parser.parse ~keep_whitespace:true (Serializer.to_string doc) in
+      Dom.equal doc doc2)
+
+let canonical_stable_prop =
+  QCheck.Test.make ~name:"canonical form is a fixpoint" ~count:300 arb_doc (fun doc ->
+      let c1 = Serializer.canonical doc in
+      let c2 = Serializer.canonical (Parser.parse ~keep_whitespace:true c1) in
+      String.equal c1 c2)
+
+let index_roundtrip_prop =
+  QCheck.Test.make ~name:"index to_document is identity" ~count:300 arb_doc (fun doc ->
+      Dom.equal doc (Index.to_document (Index.of_document doc)))
+
+let sax_roundtrip_prop =
+  QCheck.Test.make ~name:"sax of_list/to_list round-trips" ~count:300 arb_doc (fun doc ->
+      Dom.equal doc (Sax.of_list (Sax.to_list doc)))
+
+let huffman_roundtrip_prop =
+  QCheck.Test.make ~name:"huffman decode∘encode is identity" ~count:300
+    QCheck.(string_gen QCheck.Gen.(map Char.chr (int_range 0 255)))
+    (fun s -> String.equal s (Huffman.decode (Huffman.encode s)))
+
+let compress_roundtrip_prop =
+  QCheck.Test.make ~name:"xmill decode∘encode is identity" ~count:200 arb_doc (fun doc ->
+      Dom.equal doc (Compress.decode (Compress.encode doc)))
+
+(* DataGuide estimates are exact for predicate-free downward paths on
+   tree-shaped data: compare against the native XPath evaluator. *)
+let dataguide_exact_prop =
+  let gen =
+    QCheck.Gen.(
+      let tag = oneofl [ "a"; "b"; "c" ] in
+      let* doc = QCheck.gen arb_doc in
+      let* t1 = tag in
+      let* t2 = tag in
+      let* shape = oneofl [ `CC; `CD; `DC; `DD ] in
+      return (doc, t1, t2, shape))
+  in
+  QCheck.Test.make ~name:"dataguide estimate equals native count" ~count:200
+    (QCheck.make
+       ~print:(fun (d, t1, t2, _) -> Xmlkit.Serializer.to_string d ^ " " ^ t1 ^ "/" ^ t2)
+       gen)
+    (fun (doc, t1, t2, shape) ->
+      let dg = Dataguide.of_document doc in
+      let ix = Index.of_document doc in
+      let xpath, steps =
+        match shape with
+        | `CC -> ("/" ^ t1 ^ "/" ^ t2, [ `Child t1; `Child t2 ])
+        | `CD -> ("/" ^ t1 ^ "//" ^ t2, [ `Child t1; `Desc t2 ])
+        | `DC -> ("//" ^ t1 ^ "/" ^ t2, [ `Desc t1; `Child t2 ])
+        | `DD -> ("//" ^ t1 ^ "//" ^ t2, [ `Desc t1; `Desc t2 ])
+      in
+      let actual = List.length (Xpathkit.Eval.select_nodes ix xpath) in
+      Dataguide.estimate dg steps = actual)
+
+let index_sizes_prop =
+  QCheck.Test.make ~name:"index sizes partition the pre-order" ~count:300 arb_doc (fun doc ->
+      let ix = Index.of_document doc in
+      let ok = ref true in
+      for i = 0 to Index.count ix - 1 do
+        (* every node's interval nests within its parent's *)
+        let p = Index.parent ix i in
+        if p >= 0 then
+          if not (i > p && i + Index.size ix i <= p + Index.size ix p) then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "cdata/comment/pi" `Quick test_parse_cdata_comment_pi;
+          Alcotest.test_case "decl/doctype" `Quick test_parse_decl_doctype;
+          Alcotest.test_case "whitespace modes" `Quick test_parse_whitespace_modes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "misc constructs" `Quick test_parse_misc;
+          Alcotest.test_case "deep nesting" `Quick test_parse_deep_nesting;
+          Alcotest.test_case "error positions" `Quick test_parse_error_position;
+        ] );
+      ( "serializer",
+        [
+          Alcotest.test_case "round-trip" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "canonical fixpoint" `Quick test_canonical_fixpoint;
+          Alcotest.test_case "pretty" `Quick test_pretty;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "structure" `Quick test_index_structure;
+          Alcotest.test_case "axes" `Quick test_index_axes;
+          Alcotest.test_case "string value" `Quick test_index_string_value;
+          Alcotest.test_case "interval property" `Quick test_index_interval_property;
+          Alcotest.test_case "to_document" `Quick test_index_to_document;
+          Alcotest.test_case "stats" `Quick test_index_stats;
+        ] );
+      ( "dtd",
+        [
+          Alcotest.test_case "parse" `Quick test_dtd_parse;
+          Alcotest.test_case "validate ok" `Quick test_dtd_validate_ok;
+          Alcotest.test_case "validate bad" `Quick test_dtd_validate_bad;
+          Alcotest.test_case "derivatives" `Quick test_dtd_derive;
+          Alcotest.test_case "simplify" `Quick test_dtd_simplify;
+          Alcotest.test_case "ID/IDREF integrity" `Quick test_dtd_id_idref;
+          Alcotest.test_case "print round-trip" `Quick test_dtd_print_roundtrip;
+        ] );
+      ( "sax",
+        [
+          Alcotest.test_case "round-trip" `Quick test_sax_roundtrip;
+          Alcotest.test_case "invalid stream" `Quick test_sax_invalid_stream;
+        ] );
+      ("namespace", [ Alcotest.test_case "resolution" `Quick test_namespaces ]);
+      ( "dataguide",
+        [
+          Alcotest.test_case "structure" `Quick test_dataguide_structure;
+          Alcotest.test_case "estimate" `Quick test_dataguide_estimate;
+          Alcotest.test_case "summary compression" `Quick test_dataguide_much_smaller;
+        ] );
+      ( "compress",
+        [
+          Alcotest.test_case "huffman round-trip" `Quick test_huffman_roundtrip;
+          Alcotest.test_case "huffman compresses" `Quick test_huffman_compresses;
+          Alcotest.test_case "huffman corrupt input" `Quick test_huffman_corrupt;
+          Alcotest.test_case "xmill round-trip" `Quick test_compress_roundtrip;
+          Alcotest.test_case "separation helps" `Quick test_compress_separation_helps;
+          Alcotest.test_case "xmill corrupt input" `Quick test_compress_corrupt;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest serialize_parse_prop;
+          QCheck_alcotest.to_alcotest huffman_roundtrip_prop;
+          QCheck_alcotest.to_alcotest compress_roundtrip_prop;
+          QCheck_alcotest.to_alcotest canonical_stable_prop;
+          QCheck_alcotest.to_alcotest index_roundtrip_prop;
+          QCheck_alcotest.to_alcotest sax_roundtrip_prop;
+          QCheck_alcotest.to_alcotest dataguide_exact_prop;
+          QCheck_alcotest.to_alcotest index_sizes_prop;
+        ] );
+    ]

@@ -1,0 +1,410 @@
+(* Tests for the XPath parser and native evaluator. *)
+
+module Xparser = Xpathkit.Parser
+module Ast = Xpathkit.Ast
+module Eval = Xpathkit.Eval
+module Index = Xmlkit.Index
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_strings = Alcotest.(check (list string))
+
+let doc_src =
+  "<site>\
+   <people>\
+   <person id=\"p1\"><name>ada</name><age>36</age></person>\
+   <person id=\"p2\"><name>bob</name><age>25</age></person>\
+   <person id=\"p3\"><name>cyd</name></person>\
+   </people>\
+   <items>\
+   <item price=\"10\"><name>hat</name><keyword>red</keyword><keyword>wool</keyword></item>\
+   <item price=\"25\"><name>pin</name><sub><keyword>steel</keyword></sub></item>\
+   </items>\
+   </site>"
+
+let doc () = Index.of_document (Xmlkit.Parser.parse doc_src)
+
+let strings src = Eval.select_strings (doc ()) src
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parse_shapes () =
+  let p = Xparser.parse_path "/a/b/c" in
+  check_bool "absolute" true p.Ast.absolute;
+  check_int "steps" 3 (Ast.step_count p);
+  let p = Xparser.parse_path "//keyword" in
+  check_int "dslash expands" 2 (Ast.step_count p);
+  (match (List.hd p.Ast.steps).Ast.axis with
+  | Ast.Descendant_or_self -> ()
+  | _ -> Alcotest.fail "// should expand to descendant-or-self::node()");
+  let p = Xparser.parse_path "a//b" in
+  check_int "inner dslash" 3 (Ast.step_count p);
+  let p = Xparser.parse_path "person[@id='p1']/name" in
+  check_int "predicate steps" 2 (Ast.step_count p);
+  (match (List.hd p.Ast.steps).Ast.predicates with
+  | [ Ast.Binary (Ast.Eq, Ast.Path _, Ast.Literal "p1") ] -> ()
+  | _ -> Alcotest.fail "predicate shape")
+
+let test_parse_disambiguation () =
+  (* '*' as wildcard vs multiplication; 'and' as name vs operator *)
+  (match Xparser.parse "3 * 4" with
+  | Ast.Binary (Ast.Mul, Ast.Number 3.0, Ast.Number 4.0) -> ()
+  | _ -> Alcotest.fail "3 * 4");
+  (match Xparser.parse "/a/*" with
+  | Ast.Path { steps = [ _; { Ast.test = Ast.Wildcard; _ } ]; _ } -> ()
+  | _ -> Alcotest.fail "/a/*");
+  (match Xparser.parse "and" with
+  | Ast.Path { steps = [ { Ast.test = Ast.Name "and"; _ } ]; _ } -> ()
+  | _ -> Alcotest.fail "bare 'and' is a name");
+  match Xparser.parse "a and b" with
+  | Ast.Binary (Ast.And, _, _) -> ()
+  | _ -> Alcotest.fail "a and b"
+
+let test_parse_axes () =
+  List.iter
+    (fun (src, axis) ->
+      match Xparser.parse_path src with
+      | { Ast.steps = [ s ]; _ } when s.Ast.axis = axis -> ()
+      | _ -> Alcotest.fail src)
+    [
+      ("child::a", Ast.Child);
+      ("descendant::a", Ast.Descendant);
+      ("ancestor::a", Ast.Ancestor);
+      ("self::a", Ast.Self);
+      ("parent::a", Ast.Parent);
+      ("following-sibling::a", Ast.Following_sibling);
+      ("preceding-sibling::a", Ast.Preceding_sibling);
+      ("attribute::a", Ast.Attribute);
+      ("..", Ast.Parent);
+      (".", Ast.Self);
+    ]
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Xparser.parse src with
+      | exception Xparser.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("expected parse error: " ^ src))
+    [ ""; "/a["; "/a]"; "foo(("; "a/"; "nosuchaxis::a"; "@@x"; "'unterminated" ]
+
+let test_print_roundtrip () =
+  List.iter
+    (fun src ->
+      let e = Xparser.parse src in
+      let printed = Ast.expr_to_string e in
+      let e2 = Xparser.parse printed in
+      check_string src (Ast.expr_to_string e2) printed)
+    [
+      "/site/people/person[@id='p1']/name";
+      "//item[price > 10]/name";
+      "count(//keyword)";
+      "person[position() = 2]";
+      "a/b | c/d";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator *)
+
+let test_child_paths () =
+  check_strings "names" [ "ada"; "bob"; "cyd" ] (strings "/site/people/person/name");
+  check_strings "nothing" [] (strings "/site/people/item");
+  check_strings "wildcard" [ "ada36"; "bob25"; "cyd" ] (strings "/site/people/*")
+
+let test_attributes () =
+  check_strings "ids" [ "p1"; "p2"; "p3" ] (strings "/site/people/person/@id");
+  check_strings "prices" [ "10"; "25" ] (strings "//item/@price");
+  check_strings "attr wildcard" [ "p1"; "p2"; "p3" ] (strings "/site/people/person/@*")
+
+let test_descendant () =
+  check_strings "keywords everywhere" [ "red"; "wool"; "steel" ] (strings "//keyword");
+  check_strings "scoped" [ "steel" ] (strings "/site/items/item/sub//keyword");
+  check_strings "names under items" [ "hat"; "pin" ] (strings "/site/items//name");
+  (* descendant-or-self dedup: //item//keyword must not duplicate *)
+  check_strings "no dups" [ "red"; "wool"; "steel" ] (strings "//item//keyword")
+
+let test_predicates () =
+  check_strings "value predicate" [ "ada" ] (strings "//person[age=36]/name");
+  check_strings "attr predicate" [ "bob" ] (strings "//person[@id='p2']/name");
+  check_strings "positional" [ "ada" ] (strings "/site/people/person[1]/name");
+  check_strings "last()" [ "cyd" ] (strings "/site/people/person[last()]/name");
+  check_strings "position() = 2" [ "bob" ] (strings "/site/people/person[position()=2]/name");
+  check_strings "comparison" [ "pin" ] (strings "//item[@price > 10]/name");
+  check_strings "exists child" [ "hat"; "pin" ] (strings "//item[name]/name");
+  check_strings "no match" [] (strings "//person[age=99]/name");
+  check_strings "chained" [ "bob" ] (strings "//person[age][2]/name")
+
+let test_parent_ancestor () =
+  (* .. of the two ages are persons p1 p2; their names ada bob *)
+  check_strings "parent names" [ "ada"; "bob" ] (strings "//age/../name");
+  check_strings "ancestor" [ "p1" ] (strings "//person[name='ada']/age/ancestor::person/@id")
+
+let test_siblings () =
+  check_strings "following" [ "36" ] (strings "//person[@id='p1']/name/following-sibling::age");
+  check_strings "preceding" [ "ada" ] (strings "//person[@id='p1']/age/preceding-sibling::name")
+
+let test_following_preceding () =
+  (* document order: people(person p1(name,age) p2(name,age) p3(name))
+     items(item(name,kw,kw) item(name,sub(kw))) *)
+  check_strings "following finds later sections" [ "hat"; "pin" ]
+    (strings "//person[@id='p3']/following::item/name");
+  check_strings "following excludes own subtree" []
+    (strings "//items/following::item");
+  check_strings "preceding finds earlier elements" [ "ada"; "bob"; "cyd" ]
+    (strings "//items/preceding::person/name");
+  check_strings "preceding excludes ancestors" []
+    (strings "//person[@id='p1']/name/preceding::people");
+  (* following of the last keyword is empty within items *)
+  check_strings "tail has no following keyword" []
+    (strings "//sub/keyword/following::keyword")
+
+let test_substring_translate () =
+  let d = doc () in
+  let str src = Eval.to_string d (Eval.eval_string d src) in
+  check_string "substring 2-arg" "llo" (str "substring('hello', 3)");
+  check_string "substring 3-arg" "ell" (str "substring('hello', 2, 3)");
+  check_string "substring clamps" "he" (str "substring('hello', 0, 3)");
+  check_string "substring past end" "" (str "substring('hello', 9)");
+  check_string "translate maps" "HELLO" (str "translate('hello', 'helo', 'HELO')");
+  check_string "translate deletes" "hll" (str "translate('hello', 'eo', '')")
+
+let test_text_nodes () =
+  check_strings "text()" [ "ada"; "bob"; "cyd" ] (strings "/site/people/person/name/text()");
+  check_strings "node()" [ "ada" ] (strings "//person[@id='p1']/name/node()")
+
+let test_functions () =
+  let d = doc () in
+  let num src = Eval.to_number d (Eval.eval_string d src) in
+  let str src = Eval.to_string d (Eval.eval_string d src) in
+  let boolean src = Eval.to_boolean (Eval.eval_string d src) in
+  check_int "count" 3 (int_of_float (num "count(//keyword)"));
+  check_int "count items" 2 (int_of_float (num "count(//item)"));
+  check_string "concat" "ab" (str "concat('a', 'b')");
+  check_bool "contains" true (boolean "contains('hello', 'ell')");
+  check_bool "starts-with" true (boolean "starts-with('hello', 'he')");
+  check_bool "not" true (boolean "not(false())");
+  check_string "string number" "35" (str "string(35)");
+  check_int "string-length" 5 (int_of_float (num "string-length('hello')"));
+  check_string "normalize-space" "a b" (str "normalize-space('  a   b ')");
+  check_int "sum ages" 61 (int_of_float (num "sum(//age)"));
+  check_int "floor" 3 (int_of_float (num "floor(3.7)"));
+  check_int "arith" 17 (int_of_float (num "3 + 2 * 7"));
+  check_int "div" 5 (int_of_float (num "10 div 2"));
+  check_int "mod" 1 (int_of_float (num "7 mod 3"));
+  check_string "name fn" "person" (str "name(//person[1])");
+  check_bool "substring-before" true (String.equal "he" (str "substring-before('he-llo', '-')"));
+  check_bool "substring-after" true (String.equal "llo" (str "substring-after('he-llo', '-')"))
+
+let test_comparisons_existential () =
+  let d = doc () in
+  let boolean src = Eval.to_boolean (Eval.eval_string d src) in
+  (* node-set = literal is existential *)
+  check_bool "exists" true (boolean "//person/age = 36");
+  check_bool "not exists" false (boolean "//person/age = 99");
+  (* both = and != can hold at once on node-sets *)
+  check_bool "eq" true (boolean "//person/name = 'ada'");
+  check_bool "neq same set" true (boolean "//person/name != 'ada'");
+  check_bool "numeric vs nodeset" true (boolean "//item/@price > 20")
+
+let test_union () =
+  check_strings "union" [ "ada"; "bob"; "cyd"; "hat"; "pin" ]
+    (strings "/site/people/person/name | /site/items/item/name")
+
+let test_root_path () =
+  let d = doc () in
+  match Eval.eval_string d "/" with
+  | Eval.Nodes [ 0 ] -> ()
+  | _ -> Alcotest.fail "/ selects the document node"
+
+let test_relative_eval () =
+  (* relative path from root context = from document node *)
+  check_strings "relative" [ "ada"; "bob"; "cyd" ] (strings "site/people/person/name")
+
+(* ------------------------------------------------------------------ *)
+(* Properties: evaluator consistency *)
+
+let gen_doc_and_path =
+  (* small random documents over a fixed tag alphabet, plus random simple
+     paths; checks internal consistency identities *)
+  let open QCheck.Gen in
+  let tag = oneofl [ "a"; "b"; "c" ] in
+  let rec elem depth =
+    let* t = tag in
+    if depth = 0 then return (Xmlkit.Dom.elem t [ Xmlkit.Dom.text "x" ])
+    else
+      let* n = int_range 0 3 in
+      let* children = list_repeat n (map (fun e -> Xmlkit.Dom.Element e) (elem (depth - 1))) in
+      return (Xmlkit.Dom.elem t children)
+  in
+  let* root = elem 3 in
+  let* t1 = tag in
+  let* t2 = tag in
+  return (Xmlkit.Dom.document root, t1, t2)
+
+let arb_doc_and_path =
+  QCheck.make
+    ~print:(fun (d, t1, t2) -> Xmlkit.Serializer.to_string d ^ " //" ^ t1 ^ "/" ^ t2)
+    gen_doc_and_path
+
+let prop_descendant_equiv =
+  (* //t ≡ /descendant-or-self::node()/child::t ≡ union over children *)
+  QCheck.Test.make ~name:"// equals explicit descendant-or-self" ~count:200 arb_doc_and_path
+    (fun (d, t1, _) ->
+      let ix = Index.of_document d in
+      let a = Eval.select_nodes ix ("//" ^ t1) in
+      let b = Eval.select_nodes ix ("/descendant-or-self::node()/child::" ^ t1) in
+      a = b)
+
+let prop_child_of_descendant =
+  (* //t1/t2 results are all t2 elements whose parent is named t1 *)
+  QCheck.Test.make ~name:"//t1/t2 parent relationship" ~count:200 arb_doc_and_path
+    (fun (d, t1, t2) ->
+      let ix = Index.of_document d in
+      let results = Eval.select_nodes ix ("//" ^ t1 ^ "/" ^ t2) in
+      List.for_all
+        (fun n ->
+          String.equal (Index.name ix n) t2
+          && String.equal (Index.name ix (Index.parent ix n)) t1)
+        results)
+
+let prop_count_consistent =
+  QCheck.Test.make ~name:"count() equals node list length" ~count:200 arb_doc_and_path
+    (fun (d, t1, _) ->
+      let ix = Index.of_document d in
+      let ns = Eval.select_nodes ix ("//" ^ t1) in
+      let c = Eval.to_number ix (Eval.eval_string ix ("count(//" ^ t1 ^ ")")) in
+      int_of_float c = List.length ns)
+
+let prop_doc_order =
+  QCheck.Test.make ~name:"results are in document order" ~count:200 arb_doc_and_path
+    (fun (d, t1, _) ->
+      let ix = Index.of_document d in
+      let ns = Eval.select_nodes ix ("//" ^ t1) in
+      List.sort compare ns = ns)
+
+(* ------------------------------------------------------------------ *)
+(* Variables and FLWOR *)
+
+module Flwor = Xpathkit.Flwor
+
+let test_variables () =
+  let d = doc () in
+  let ctx = Eval.root_context d in
+  let people = Eval.eval_string d "//person" in
+  let ctx = Eval.bind ctx "p" people in
+  (match Eval.eval_expr ctx (Xparser.parse "$p/name") with
+  | Eval.Nodes ns -> check_int "navigate from variable" 3 (List.length ns)
+  | _ -> Alcotest.fail "expected nodes");
+  (match Eval.eval_expr ctx (Xparser.parse "count($p)") with
+  | Eval.Num f -> check_int "count var" 3 (int_of_float f)
+  | _ -> Alcotest.fail "expected number");
+  match Eval.eval_expr ctx (Xparser.parse "$missing") with
+  | exception Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "unbound variable should raise"
+
+let test_flwor_basic () =
+  let d = doc () in
+  let out =
+    Flwor.run_to_string d
+      "for $p in //person return <row id=\"{$p/@id}\">{$p/name}</row>"
+  in
+  check_string "rows"
+    "<row id=\"p1\"><name>ada</name></row><row id=\"p2\"><name>bob</name></row><row \
+     id=\"p3\"><name>cyd</name></row>"
+    out
+
+let test_flwor_where_order () =
+  let d = doc () in
+  let out =
+    Flwor.run_to_string d
+      "for $p in //person where $p/age > 0 order by $p/age descending return \
+       <a>{$p/age}</a>"
+  in
+  check_string "where+order" "<a><age>36</age></a><a><age>25</age></a>" out;
+  let out2 =
+    Flwor.run_to_string d
+      "for $i in //item order by $i/name return <n>{string($i/name)}</n>"
+  in
+  check_string "string order" "<n>hat</n><n>pin</n>" out2
+
+let test_flwor_join () =
+  (* two clauses = a join over the tuple space *)
+  let d = doc () in
+  let out =
+    Flwor.run_to_string d
+      "for $i in //item, $k in $i//keyword where $i/@price > 5 return <kw \
+       item=\"{string($i/name)}\">{string($k)}</kw>"
+  in
+  check_string "join"
+    "<kw item=\"hat\">red</kw><kw item=\"hat\">wool</kw><kw item=\"pin\">steel</kw>" out
+
+let test_flwor_computed_text () =
+  let d = doc () in
+  let out =
+    Flwor.run_to_string d
+      "for $p in //person[age] return <s>{concat($p/name, ':', $p/age)}</s>"
+  in
+  check_string "computed" "<s>ada:36</s><s>bob:25</s>" out
+
+let test_flwor_errors () =
+  let d = doc () in
+  List.iter
+    (fun src ->
+      match Flwor.run d src with
+      | exception Flwor.Flwor_error _ -> ()
+      | exception Xparser.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("expected failure: " ^ src))
+    [
+      "for $p in //person";  (* no return *)
+      "for p in //person return <a/>";  (* missing $ *)
+      "for $p //person return <a/>";  (* missing in *)
+      "for $p in 3 return <a/>";  (* not a node-set *)
+      "for $p in //person return <a>{unclosed</a>";
+    ]
+
+let () =
+  Alcotest.run "xpath"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "shapes" `Quick test_parse_shapes;
+          Alcotest.test_case "disambiguation" `Quick test_parse_disambiguation;
+          Alcotest.test_case "axes" `Quick test_parse_axes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "print round-trip" `Quick test_print_roundtrip;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "child paths" `Quick test_child_paths;
+          Alcotest.test_case "attributes" `Quick test_attributes;
+          Alcotest.test_case "descendant" `Quick test_descendant;
+          Alcotest.test_case "predicates" `Quick test_predicates;
+          Alcotest.test_case "parent/ancestor" `Quick test_parent_ancestor;
+          Alcotest.test_case "siblings" `Quick test_siblings;
+          Alcotest.test_case "following/preceding" `Quick test_following_preceding;
+          Alcotest.test_case "substring/translate" `Quick test_substring_translate;
+          Alcotest.test_case "text nodes" `Quick test_text_nodes;
+          Alcotest.test_case "functions" `Quick test_functions;
+          Alcotest.test_case "existential comparisons" `Quick test_comparisons_existential;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "root" `Quick test_root_path;
+          Alcotest.test_case "relative" `Quick test_relative_eval;
+        ] );
+      ( "flwor",
+        [
+          Alcotest.test_case "variables" `Quick test_variables;
+          Alcotest.test_case "basic" `Quick test_flwor_basic;
+          Alcotest.test_case "where/order" `Quick test_flwor_where_order;
+          Alcotest.test_case "join" `Quick test_flwor_join;
+          Alcotest.test_case "computed text" `Quick test_flwor_computed_text;
+          Alcotest.test_case "errors" `Quick test_flwor_errors;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_descendant_equiv;
+          QCheck_alcotest.to_alcotest prop_child_of_descendant;
+          QCheck_alcotest.to_alcotest prop_count_consistent;
+          QCheck_alcotest.to_alcotest prop_doc_order;
+        ] );
+    ]
