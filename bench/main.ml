@@ -465,8 +465,10 @@ let f6 () =
             in
             let chain_targets, t_chain =
               Tables.time (fun () ->
-                  let sql = Xmlshred.Edge.chain_sql ~doc:0 simple in
-                  Xmlshred.Mapping.int_column (Relstore.Database.query db sql))
+                  let q, params = Xmlshred.Edge.chain_query ~doc:0 simple in
+                  let prepared = Relstore.Database.prepare_query db q in
+                  Xmlshred.Mapping.int_column
+                    (Relstore.Database.query_prepared ~params db prepared))
             in
             let (step_targets, step_sqls), t_step =
               Tables.time (fun () -> Xmlshred.Edge.stepwise db ~doc:0 simple)
@@ -490,6 +492,93 @@ let f6 () =
   Tables.print
     ~title:"F6: ablation — Edge join-chain SQL vs stepwise frontier evaluation"
     ~header:[ "scale"; "nodes"; "query"; "mode"; "ms"; "stmts"; "results" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* F7: prepared-statement plan cache — cold-plan vs cached-plan latency.
+   Results are also written to BENCH_plancache.json for machine
+   consumption. *)
+
+let f7 () =
+  let dom = auction ~scale:0.5 ~seed:42 in
+  let queries = [ "Q1"; "Q4"; "Q5"; "Q8" ] in
+  let repeat = 25 in
+  (* planning overhead is deterministic, so the minimum over repeats is the
+     stable estimator — medians flip under GC noise on execution-dominated
+     queries *)
+  let best times = List.fold_left min infinity times in
+  let entries = ref [] in
+  let rows =
+    List.concat_map
+      (fun scheme ->
+        let store = loaded_store scheme dom in
+        List.filter_map
+          (fun qid ->
+            let q = Option.get (Xmlwork.Queries.find qid) in
+            let xpath = q.Xmlwork.Queries.xpath in
+            let probe = Store.query store 0 xpath in
+            if probe.Store.fallback then None
+            else begin
+              (* cold: cache disabled, so every statement execution pays
+                 lexing, parsing, and planning *)
+              let cold_values = ref probe.Store.values in
+              let cold_times =
+                List.init repeat (fun _ ->
+                    Store.set_plan_cache store false;
+                    let r, t = Tables.time ~repeat:1 (fun () -> Store.query store 0 xpath) in
+                    Store.set_plan_cache store true;
+                    cold_values := r.Store.values;
+                    t)
+              in
+              let cold = best cold_times in
+              (* cached: seed once, then every run hits the cache *)
+              Store.reset_cache_stats store;
+              ignore (Store.query store 0 xpath);
+              let cached_values = ref [] in
+              let cached_times =
+                List.init repeat (fun _ ->
+                    let r, t = Tables.time ~repeat:1 (fun () -> Store.query store 0 xpath) in
+                    cached_values := r.Store.values;
+                    t)
+              in
+              let cached = best cached_times in
+              let hits, misses, _ = Store.cache_stats store in
+              (* the cache must not change answers *)
+              Store.set_plan_cache store false;
+              let off = Store.query store 0 xpath in
+              Store.set_plan_cache store true;
+              let identical =
+                !cold_values = !cached_values && off.Store.values = !cached_values
+              in
+              if not identical then Printf.eprintf "F7 MISMATCH: %s on %s\n" qid scheme;
+              let speedup = if cached > 0. then cold /. cached else 0. in
+              entries :=
+                Printf.sprintf
+                  "    {\"scheme\": %S, \"query\": %S, \"cold_ms\": %.4f, \"cached_ms\": %.4f, \
+                   \"speedup\": %.2f, \"cache_hits\": %d, \"cache_misses\": %d, \"identical\": \
+                   %b}"
+                  scheme qid (cold *. 1000.) (cached *. 1000.) speedup hits misses identical
+                :: !entries;
+              Some
+                [
+                  scheme; qid; Tables.ms cold; Tables.ms cached;
+                  Printf.sprintf "%.2f" speedup; string_of_int hits; string_of_int misses;
+                  (if identical then "yes" else "NO!");
+                ]
+            end)
+          queries)
+      [ "edge"; "binary"; "interval"; "dewey"; "universal"; "inline" ]
+  in
+  let oc = open_out "BENCH_plancache.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"plancache\",\n  \"scale\": 0.5,\n  \"repeat\": %d,\n  \"entries\": \
+     [\n%s\n  ]\n}\n"
+    repeat
+    (String.concat ",\n" (List.rev !entries));
+  close_out oc;
+  Tables.print
+    ~title:"F7: plan cache — cold vs cached plan latency (also BENCH_plancache.json)"
+    ~header:[ "scheme"; "query"; "cold ms"; "cached ms"; "speedup"; "hits"; "misses"; "identical" ]
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -550,7 +639,8 @@ let f4 () =
 let experiments =
   [
     ("T1", t1); ("T2", t2); ("F1", f1); ("F2", f2); ("T3", t3); ("F3", f3);
-    ("T4", t4); ("T5", t5); ("T6", t6); ("T7", t7); ("F5", f5); ("F6", f6); ("F4", f4);
+    ("T4", t4); ("T5", t5); ("T6", t6); ("T7", t7); ("F5", f5); ("F6", f6); ("F7", f7);
+    ("F4", f4);
   ]
 
 let () =

@@ -71,14 +71,27 @@ let query_cmd =
   in
   let show_sql = Arg.(value & flag & info [ "show-sql" ] ~doc:"Print the SQL executed.") in
   let as_xml = Arg.(value & flag & info [ "xml" ] ~doc:"Print result subtrees as XML.") in
-  let run scheme dtd_file path xpath show_sql as_xml =
+  let repeat_arg =
+    Arg.(value & opt int 1
+         & info [ "repeat" ] ~docv:"N"
+             ~doc:"Run the query N times; repeats reuse cached plans (see --show-sql).")
+  in
+  let run scheme dtd_file path xpath show_sql as_xml repeat =
     let store, doc, _ = read_store ?dtd_file scheme path in
-    let r = Store.query store doc xpath in
+    Store.reset_cache_stats store;
+    let r = ref (Store.query store doc xpath) in
+    for _ = 2 to repeat do
+      r := Store.query store doc xpath
+    done;
+    let r = !r in
     if show_sql then begin
       Printf.eprintf "-- %d SQL statement(s), %d join(s)%s\n" (List.length r.Store.sql)
         r.Store.joins
         (if r.Store.fallback then " [fallback: evaluated natively]" else "");
-      List.iter (Printf.eprintf "-- %s\n") r.Store.sql
+      List.iter (Printf.eprintf "-- %s\n") r.Store.sql;
+      let hits, misses, invalidations = Store.cache_stats store in
+      Printf.eprintf "-- plan cache: %d hit(s), %d miss(es), %d invalidation(s)\n" hits misses
+        invalidations
     end;
     if as_xml then
       List.iter
@@ -88,7 +101,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Shred a document and run an XPath query against the relational form.")
-    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpath_arg $ show_sql $ as_xml)
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpath_arg $ show_sql $ as_xml $ repeat_arg)
 
 (* shred *)
 let shred_cmd =

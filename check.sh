@@ -1,0 +1,14 @@
+#!/bin/sh
+# Repo health check: build everything, run the test suite, build the bench
+# harness and examples, and run the plan-cache benchmark (writes
+# BENCH_plancache.json).
+set -eux
+
+dune build
+dune runtest
+dune build bench/main.exe
+dune build examples/
+dune exec bench/main.exe -- F7
+test -s BENCH_plancache.json
+
+echo "check.sh: all green"

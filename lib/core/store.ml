@@ -202,6 +202,14 @@ let stats t =
 let sql t statement = Db.exec t.db statement
 let explain t select = Db.explain t.db select
 
+(* Plan-cache visibility. Translated queries bind their variable parts
+   (doc ids, tag names, literals) as parameters, so repeated queries — and
+   [query_all] across documents — reuse one cached plan per statement
+   shape. *)
+let cache_stats t = Db.cache_stats t.db
+let reset_cache_stats t = Db.reset_cache_stats t.db
+let set_plan_cache t enabled = Db.set_plan_cache t.db enabled
+
 (* ------------------------------------------------------------------ *)
 (* Persistence: the store round-trips through the relational dump. *)
 

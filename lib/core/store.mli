@@ -99,6 +99,18 @@ val stats : t -> stats
 val sql : t -> string -> Relstore.Database.exec_result
 val explain : t -> string -> string
 
+val cache_stats : t -> int * int * int
+(** Prepared-plan cache [(hits, misses, invalidations)]. Translated queries
+    bind their variable parts as parameters, so repeated queries and
+    {!query_all} across documents reuse one cached plan per statement
+    shape. *)
+
+val reset_cache_stats : t -> unit
+
+val set_plan_cache : t -> bool -> unit
+(** Disable (and empty) or re-enable the plan cache; query results are
+    identical either way. *)
+
 (** {1 Persistence} *)
 
 val save : t -> string -> unit

@@ -1,12 +1,22 @@
-(* Top-level database: catalog of tables plus SQL entry points. *)
+(* Top-level database: catalog of tables plus SQL entry points.
 
-type t = { tables : (string, Table.t) Hashtbl.t; col_stats : Stats.t }
+   SELECT plans are cached by statement text (see Plan_cache): repeated
+   queries — parameterized or not — skip lexing, parsing, and planning.
+   The cache is cleared on any DDL and entries are revalidated against
+   table row counts, so stale plans never execute. *)
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  col_stats : Stats.t;
+  plan_cache : Plan_cache.t;
+}
 
 exception Db_error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Db_error s)) fmt
 
-let create () = { tables = Hashtbl.create 16; col_stats = Stats.create () }
+let create () =
+  { tables = Hashtbl.create 16; col_stats = Stats.create (); plan_cache = Plan_cache.create () }
 
 let key name = String.lowercase_ascii name
 
@@ -57,15 +67,51 @@ type exec_result =
   | Affected of int
   | Done of string
 
-let const_value e =
-  let f = Expr_eval.compile [||] e in
+let const_value params e =
+  let f = Expr_eval.compile ~params [||] e in
   f [||]
 
-let exec_statement t (stmt : Sql_ast.statement) =
+(* ------------------------------------------------------------------ *)
+(* Plan cache plumbing *)
+
+let row_count_of t name = Option.map Table.row_count (find_table t name)
+
+let cached_plan t text = Plan_cache.find t.plan_cache ~row_count:(row_count_of t) text
+
+let referenced_from_tables (q : Sql_ast.query) =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun (s : Sql_ast.select) ->
+         List.map (fun (tr : Sql_ast.table_ref) -> tr.Sql_ast.table) s.Sql_ast.from)
+       q)
+
+(* Plan [q] and remember the plan under [text], fingerprinted with the row
+   counts the planner saw. *)
+let plan_and_cache t ~text (q : Sql_ast.query) =
+  let plan = Planner.plan_query (catalog t) q in
+  let tables =
+    List.filter_map
+      (fun name -> Option.map (fun c -> (name, c)) (row_count_of t name))
+      (referenced_from_tables q)
+  in
+  Plan_cache.add t.plan_cache text ~tables plan;
+  plan
+
+let plan_for t ~text (q : Sql_ast.query) =
+  match cached_plan t text with Some plan -> plan | None -> plan_and_cache t ~text q
+
+let cache_stats t = Plan_cache.stats t.plan_cache
+let reset_cache_stats t = Plan_cache.reset_stats t.plan_cache
+let set_plan_cache t on = Plan_cache.set_enabled t.plan_cache on
+
+(* ------------------------------------------------------------------ *)
+
+let exec_statement ?(params = [||]) ?cache_text t (stmt : Sql_ast.statement) =
   match stmt with
   | Sql_ast.Select_stmt q ->
-    let plan = Planner.plan_query (catalog t) q in
-    Rows (Executor.run (catalog t) plan)
+    let text = match cache_text with Some s -> s | None -> Sql_ast.query_to_string q in
+    let plan = plan_and_cache t ~text q in
+    Rows (Executor.run ~params (catalog t) plan)
   | Sql_ast.Insert { table; columns; rows } ->
     let tbl = get_table t table in
     let schema = Table.schema tbl in
@@ -81,7 +127,7 @@ let exec_statement t (stmt : Sql_ast.statement) =
           err "INSERT into %s: %d columns but %d values" table (Array.length positions)
             (List.length row_exprs);
         let row = Array.make arity Value.Null in
-        List.iteri (fun i e -> row.(positions.(i)) <- const_value e) row_exprs;
+        List.iteri (fun i e -> row.(positions.(i)) <- const_value params e) row_exprs;
         ignore (Table.insert tbl row))
       rows;
     Affected (List.length rows)
@@ -92,10 +138,12 @@ let exec_statement t (stmt : Sql_ast.statement) =
     let pred =
       match where with
       | None -> fun _ -> true
-      | Some w -> Expr_eval.compile_predicate layout w
+      | Some w -> Expr_eval.compile_predicate ~params layout w
     in
     let setters =
-      List.map (fun (c, e) -> (Schema.column_index schema c, Expr_eval.compile layout e)) sets
+      List.map
+        (fun (c, e) -> (Schema.column_index schema c, Expr_eval.compile ~params layout e))
+        sets
     in
     let victims = Table.fold (fun acc rowid row -> if pred row then (rowid, row) :: acc else acc) [] tbl in
     List.iter
@@ -111,7 +159,7 @@ let exec_statement t (stmt : Sql_ast.statement) =
     let pred =
       match where with
       | None -> fun _ -> true
-      | Some w -> Expr_eval.compile_predicate layout w
+      | Some w -> Expr_eval.compile_predicate ~params layout w
     in
     let victims = Table.fold (fun acc rowid row -> if pred row then rowid :: acc else acc) [] tbl in
     List.iter (fun rowid -> ignore (Table.delete tbl rowid)) victims;
@@ -125,6 +173,7 @@ let exec_statement t (stmt : Sql_ast.statement) =
           defs
       in
       ignore (create_table t (Schema.make table columns));
+      Plan_cache.clear t.plan_cache;
       Done (Printf.sprintf "created table %s" table)
     end
   | Sql_ast.Create_index { index; table; columns; if_not_exists } ->
@@ -132,26 +181,65 @@ let exec_statement t (stmt : Sql_ast.statement) =
     if if_not_exists && Option.is_some (Table.find_index tbl index) then Done "index exists"
     else begin
       ignore (Table.create_index tbl ~index_name:index ~columns);
+      Plan_cache.clear t.plan_cache;
       Done (Printf.sprintf "created index %s" index)
     end
   | Sql_ast.Drop_table { table; if_exists } ->
-    if drop_table t table then Done (Printf.sprintf "dropped table %s" table)
+    if drop_table t table then begin
+      Plan_cache.clear t.plan_cache;
+      Done (Printf.sprintf "dropped table %s" table)
+    end
     else if if_exists then Done "no such table"
     else err "no such table: %s" table
   | Sql_ast.Drop_index { index; table } ->
     let tbl = get_table t table in
-    if Table.drop_index tbl index then Done (Printf.sprintf "dropped index %s" index)
+    if Table.drop_index tbl index then begin
+      Plan_cache.clear t.plan_cache;
+      Done (Printf.sprintf "dropped index %s" index)
+    end
     else err "no such index: %s on %s" index table
 
-let exec t sql = exec_statement t (Sql_parser.parse_statement sql)
+(* Text entry point: a plan-cache hit on the raw statement text skips the
+   lexer, parser, and planner entirely. *)
+let exec ?(params = [||]) t sql =
+  match cached_plan t sql with
+  | Some plan -> Rows (Executor.run ~params (catalog t) plan)
+  | None -> exec_statement ~params ~cache_text:sql t (Sql_parser.parse_statement sql)
 
 let exec_script t sql = List.map (exec_statement t) (Sql_parser.parse_script sql)
 
 (* SELECT or fail; convenience for callers that expect rows back. *)
-let query t sql =
-  match exec t sql with
+let query ?params t sql =
+  match exec ?params t sql with
   | Rows r -> r
   | Affected _ | Done _ -> err "not a SELECT statement: %s" sql
+
+(* ------------------------------------------------------------------ *)
+(* Prepared statements. A prepared handle pins the parsed query, not the
+   plan: each execution fetches the plan from the cache (replanning only
+   when DDL or stats drift invalidated it), so handles never go stale. *)
+
+type prepared = { p_text : string; p_query : Sql_ast.query }
+
+(* Planning is deferred to the first execution (or [prepared_plan]), so
+   constructing a handle touches the cache at most once per run. *)
+let prepare_query t (q : Sql_ast.query) =
+  ignore t;
+  { p_text = Sql_ast.query_to_string q; p_query = q }
+
+let prepare t sql =
+  match Sql_parser.parse_statement sql with
+  | Sql_ast.Select_stmt q ->
+    let p = { p_text = sql; p_query = q } in
+    ignore (plan_for t ~text:sql q);
+    p
+  | _ -> err "prepare supports only SELECT statements"
+
+let prepared_text p = p.p_text
+let prepared_plan t p = plan_for t ~text:p.p_text p.p_query
+
+let query_prepared ?(params = [||]) t p =
+  Executor.run ~params (catalog t) (prepared_plan t p)
 
 let plan_of t sql =
   match Sql_parser.parse_statement sql with

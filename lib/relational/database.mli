@@ -37,17 +37,53 @@ type exec_result =
   | Affected of int  (** INSERT / UPDATE / DELETE *)
   | Done of string  (** DDL *)
 
-val exec : t -> string -> exec_result
-(** Parse and execute one statement. *)
+val exec : ?params:Value.t array -> t -> string -> exec_result
+(** Execute one statement. A plan-cache hit on the statement text skips
+    lexing, parsing, and planning. [?N] placeholders in the statement bind
+    against [params] (1-based). *)
 
 val exec_script : t -> string -> exec_result list
 (** Execute a [;]-separated sequence of statements. *)
 
-val query : t -> string -> Executor.result
+val query : ?params:Value.t array -> t -> string -> Executor.result
 (** Like {!exec} but requires a SELECT. @raise Db_error otherwise. *)
 
+(** {1 Prepared statements and the plan cache}
+
+    A prepared handle pins the parsed query; each execution fetches the
+    compiled plan from an LRU cache keyed by statement text. Entries are
+    invalidated by any DDL and by table row counts drifting ~20% from what
+    the planner saw, so handles never execute stale plans. *)
+
+type prepared
+
+val prepare : t -> string -> prepared
+(** Parse and plan a SELECT once. @raise Db_error for non-SELECT input. *)
+
+val prepare_query : t -> Sql_ast.query -> prepared
+(** Prepare a query built directly as AST (see {!Sql_build}). *)
+
+val prepared_text : prepared -> string
+(** The statement text (also the plan-cache key). *)
+
+val prepared_plan : t -> prepared -> Plan.t
+(** The plan the next execution would run (inspection / join counting). *)
+
+val query_prepared : ?params:Value.t array -> t -> prepared -> Executor.result
+(** Execute a prepared SELECT with the given parameter bindings. *)
+
+val cache_stats : t -> int * int * int
+(** Plan-cache [(hits, misses, invalidations)] counters. *)
+
+val reset_cache_stats : t -> unit
+
+val set_plan_cache : t -> bool -> unit
+(** Disable (and empty) or re-enable the plan cache; results are identical
+    either way. *)
+
 val plan_of : t -> string -> Plan.t
-(** The plan a SELECT would run (inspection / join counting). *)
+(** The plan a SELECT would run (inspection / join counting), bypassing the
+    cache. *)
 
 val explain : t -> string -> string
 (** Rendered plan tree. *)

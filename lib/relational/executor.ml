@@ -124,12 +124,12 @@ let agg_result (a : Plan.agg) st =
 (* ------------------------------------------------------------------ *)
 (* Operator compilation *)
 
-let const_value e =
-  (* Bounds in index scans are constant expressions. *)
-  let f = Expr_eval.compile [||] e in
+let const_value params e =
+  (* Bounds in index scans are constant expressions (possibly parameters). *)
+  let f = Expr_eval.compile ~params [||] e in
   f [||]
 
-let rec open_plan cat (plan : Plan.t) : cursor =
+let rec open_plan params cat (plan : Plan.t) : cursor =
   match plan with
   | Plan.Seq_scan { table; _ } ->
     let t =
@@ -153,8 +153,8 @@ let rec open_plan cat (plan : Plan.t) : cursor =
       | Some ix -> ix
       | None -> err "no such index: %s on %s" index_name table
     in
-    let lower_v = Option.map (fun (e, incl) -> (const_value e, incl)) lower in
-    let upper_v = Option.map (fun (e, incl) -> (const_value e, incl)) upper in
+    let lower_v = Option.map (fun (e, incl) -> (const_value params e, incl)) lower in
+    let upper_v = Option.map (fun (e, incl) -> (const_value params e, incl)) upper in
     let tree_lower =
       match lower_v with
       | Some (v, _) -> Btree.Inclusive [| v |]
@@ -197,7 +197,7 @@ let rec open_plan cat (plan : Plan.t) : cursor =
         (fun e ->
           (* prefix probe so composite indexes answer single-column keys *)
           let acc = ref [] in
-          Btree.iter_prefix ix.Table.tree [| const_value e |] (fun _ r -> acc := r :: !acc);
+          Btree.iter_prefix ix.Table.tree [| const_value params e |] (fun _ r -> acc := r :: !acc);
           List.rev !acc)
         keys
     in
@@ -206,8 +206,8 @@ let rec open_plan cat (plan : Plan.t) : cursor =
     of_list (List.filter_map (fun rowid -> Table.get t rowid) rowids)
   | Plan.Filter (e, input) ->
     let layout = layout_of cat input in
-    let pred = Expr_eval.compile_predicate layout e in
-    let child = open_plan cat input in
+    let pred = Expr_eval.compile_predicate ~params layout e in
+    let child = open_plan params cat input in
     let rec next () =
       match child () with
       | None -> None
@@ -216,14 +216,14 @@ let rec open_plan cat (plan : Plan.t) : cursor =
     next
   | Plan.Project (cols, input) ->
     let layout = layout_of cat input in
-    let fs = List.map (fun (e, _) -> Expr_eval.compile layout e) cols in
-    let child = open_plan cat input in
+    let fs = List.map (fun (e, _) -> Expr_eval.compile ~params layout e) cols in
+    let child = open_plan params cat input in
     fun () ->
       Option.map (fun row -> Array.of_list (List.map (fun f -> f row) fs)) (child ())
   | Plan.Nl_join (l, r) ->
-    let left = open_plan cat l in
+    let left = open_plan params cat l in
     (* Materialize the inner side once. *)
-    let right_rows = to_list (open_plan cat r) in
+    let right_rows = to_list (open_plan params cat r) in
     let current_left = ref None in
     let pending = ref [] in
     let rec next () =
@@ -244,10 +244,10 @@ let rec open_plan cat (plan : Plan.t) : cursor =
   | Plan.Hash_join { build; probe; build_keys; probe_keys } ->
     let build_layout = layout_of cat build in
     let probe_layout = layout_of cat probe in
-    let bks = List.map (Expr_eval.compile build_layout) build_keys in
-    let pks = List.map (Expr_eval.compile probe_layout) probe_keys in
+    let bks = List.map (Expr_eval.compile ~params build_layout) build_keys in
+    let pks = List.map (Expr_eval.compile ~params probe_layout) probe_keys in
     let table = Hashtbl.create 256 in
-    let build_cursor = open_plan cat build in
+    let build_cursor = open_plan params cat build in
     let rec fill () =
       match build_cursor () with
       | None -> ()
@@ -257,7 +257,7 @@ let rec open_plan cat (plan : Plan.t) : cursor =
         fill ()
     in
     fill ();
-    let probe_cursor = open_plan cat probe in
+    let probe_cursor = open_plan params cat probe in
     let current_probe = ref None in
     let pending = ref [] in
     let rec next () =
@@ -283,18 +283,18 @@ let rec open_plan cat (plan : Plan.t) : cursor =
     next
   | Plan.Aggregate { group_by; aggregates; input } ->
     let layout = layout_of cat input in
-    let gfs = List.map (Expr_eval.compile layout) group_by in
+    let gfs = List.map (Expr_eval.compile ~params layout) group_by in
     let afs =
       List.map
         (fun (a : Plan.agg) ->
           match a.Plan.agg_arg with
-          | Some e -> (a, Some (Expr_eval.compile layout e))
+          | Some e -> (a, Some (Expr_eval.compile ~params layout e))
           | None -> (a, None))
         aggregates
     in
     let groups : (Value.t list, agg_state list) Hashtbl.t = Hashtbl.create 64 in
     let group_order = ref [] in
-    let child = open_plan cat input in
+    let child = open_plan params cat input in
     let rec consume () =
       match child () with
       | None -> ()
@@ -333,10 +333,10 @@ let rec open_plan cat (plan : Plan.t) : cursor =
     let layout = layout_of cat input in
     let keys =
       List.map
-        (fun { Sql_ast.order_expr; descending } -> (Expr_eval.compile layout order_expr, descending))
+        (fun { Sql_ast.order_expr; descending } -> (Expr_eval.compile ~params layout order_expr, descending))
         items
     in
-    let rows = to_list (open_plan cat input) in
+    let rows = to_list (open_plan params cat input) in
     let cmp a b =
       let rec go = function
         | [] -> 0
@@ -348,7 +348,7 @@ let rec open_plan cat (plan : Plan.t) : cursor =
     in
     of_list (List.stable_sort cmp rows)
   | Plan.Distinct input ->
-    let child = open_plan cat input in
+    let child = open_plan params cat input in
     let seen = Hashtbl.create 256 in
     let rec next () =
       match child () with
@@ -363,7 +363,7 @@ let rec open_plan cat (plan : Plan.t) : cursor =
     in
     next
   | Plan.Limit (n, input) ->
-    let child = open_plan cat input in
+    let child = open_plan params cat input in
     let remaining = ref n in
     fun () ->
       if !remaining <= 0 then None
@@ -385,7 +385,7 @@ let rec open_plan cat (plan : Plan.t) : cursor =
         | [] -> None
         | p :: rest ->
           pending := rest;
-          current := open_plan cat p;
+          current := open_plan params cat p;
           next ())
     in
     next
@@ -394,8 +394,8 @@ let rec open_plan cat (plan : Plan.t) : cursor =
 
 type result = { columns : string list; rows : Value.t array list }
 
-let run cat plan =
+let run ?(params = [||]) cat plan =
   let layout = layout_of cat plan in
   let columns = Array.to_list (Array.map (fun s -> s.Expr_eval.slot_name) layout) in
-  let rows = to_list (open_plan cat plan) in
+  let rows = to_list (open_plan params cat plan) in
   { columns; rows }

@@ -13,10 +13,11 @@ val to_list : cursor -> Value.t array list
 val layout_of : Planner.catalog -> Plan.t -> Expr_eval.layout
 (** The output row layout of a plan node. *)
 
-val open_plan : Planner.catalog -> Plan.t -> cursor
-(** Compile and open a plan; pull rows with the returned cursor. *)
+val open_plan : Value.t array -> Planner.catalog -> Plan.t -> cursor
+(** Compile and open a plan against the given parameter bindings; pull rows
+    with the returned cursor. *)
 
 type result = { columns : string list; rows : Value.t array list }
 
-val run : Planner.catalog -> Plan.t -> result
+val run : ?params:Value.t array -> Planner.catalog -> Plan.t -> result
 (** [open_plan] + drain. *)

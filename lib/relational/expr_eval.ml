@@ -186,33 +186,41 @@ let scalar_call func (args : Value.t list) =
   | f, args -> err "unknown function %s/%d" f (List.length args)
 
 (* Compile an expression against a layout. Aggregate calls must have been
-   rewritten away by the planner before compilation. *)
-let rec compile (layout : layout) (e : expr) : Value.t array -> Value.t =
+   rewritten away by the planner before compilation. Parameter placeholders
+   resolve against [params] at compile time, so a cached plan can be
+   re-compiled cheaply with fresh bindings on every execution. *)
+let rec compile_with (params : Value.t array) (layout : layout) (e : expr) :
+    Value.t array -> Value.t =
   match e with
   | Lit v -> fun _ -> v
+  | Param n ->
+    if n < 1 || n > Array.length params then err "unbound parameter ?%d" n
+    else
+      let v = params.(n - 1) in
+      fun _ -> v
   | Col { table; column } ->
     let i = resolve layout ~table ~column in
     fun row -> row.(i)
   | Binop (And, a, b) ->
-    let fa = compile layout a and fb = compile layout b in
+    let fa = compile_with params layout a and fb = compile_with params layout b in
     fun row -> bool3_and (fa row) (fb row)
   | Binop (Or, a, b) ->
-    let fa = compile layout a and fb = compile layout b in
+    let fa = compile_with params layout a and fb = compile_with params layout b in
     fun row -> bool3_or (fa row) (fb row)
   | Binop (Concat, a, b) ->
-    let fa = compile layout a and fb = compile layout b in
+    let fa = compile_with params layout a and fb = compile_with params layout b in
     fun row -> (
       match (fa row, fb row) with
       | Value.Null, _ | _, Value.Null -> Value.Null
       | x, y -> Value.Text (Value.to_string x ^ Value.to_string y))
   | Binop (((Add | Sub | Mul | Div | Mod) as op), a, b) ->
-    let fa = compile layout a and fb = compile layout b in
+    let fa = compile_with params layout a and fb = compile_with params layout b in
     fun row -> arith op (fa row) (fb row)
   | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
-    let fa = compile layout a and fb = compile layout b in
+    let fa = compile_with params layout a and fb = compile_with params layout b in
     fun row -> compare_op op (fa row) (fb row)
   | Unop (Neg, a) ->
-    let fa = compile layout a in
+    let fa = compile_with params layout a in
     fun row -> (
       match fa row with
       | Value.Int i -> Value.Int (-i)
@@ -220,15 +228,15 @@ let rec compile (layout : layout) (e : expr) : Value.t array -> Value.t =
       | Value.Null -> Value.Null
       | v -> err "cannot negate %s" (Value.to_string v))
   | Unop (Not, a) ->
-    let fa = compile layout a in
+    let fa = compile_with params layout a in
     fun row -> bool3_not (fa row)
   | Is_null { negated; arg } ->
-    let fa = compile layout arg in
+    let fa = compile_with params layout arg in
     fun row ->
       let isnull = Value.is_null (fa row) in
       Value.Bool (if negated then not isnull else isnull)
   | Like { negated; arg; pattern } ->
-    let fa = compile layout arg and fp = compile layout pattern in
+    let fa = compile_with params layout arg and fp = compile_with params layout pattern in
     fun row -> (
       match (fa row, fp row) with
       | Value.Null, _ | _, Value.Null -> Value.Null
@@ -236,8 +244,8 @@ let rec compile (layout : layout) (e : expr) : Value.t array -> Value.t =
         let m = like_match ~pattern:(Value.to_string p) (Value.to_string v) in
         Value.Bool (if negated then not m else m))
   | In_list { negated; arg; items } ->
-    let fa = compile layout arg in
-    let fitems = List.map (compile layout) items in
+    let fa = compile_with params layout arg in
+    let fitems = List.map (compile_with params layout) items in
     fun row ->
       let v = fa row in
       if Value.is_null v then Value.Null
@@ -245,19 +253,21 @@ let rec compile (layout : layout) (e : expr) : Value.t array -> Value.t =
         let hit = List.exists (fun f -> Value.equal (f row) v) fitems in
         Value.Bool (if negated then not hit else hit)
   | Between { arg; low; high } ->
-    let fa = compile layout arg and fl = compile layout low and fh = compile layout high in
+    let fa = compile_with params layout arg and fl = compile_with params layout low and fh = compile_with params layout high in
     fun row ->
       bool3_and (compare_op Ge (fa row) (fl row)) (compare_op Le (fa row) (fh row))
   | Call { func; star; distinct = _; args } ->
     if star || List.mem (String.lowercase_ascii func) aggregate_functions then
       err "aggregate %s used outside of an aggregation context" func
     else
-      let fargs = List.map (compile layout) args in
+      let fargs = List.map (compile_with params layout) args in
       fun row -> scalar_call func (List.map (fun f -> f row) fargs)
+
+let compile ?(params = [||]) layout e = compile_with params layout e
 
 (* WHERE-clause truth: NULL and FALSE both reject the row. *)
 let is_true = function Value.Bool true -> true | _ -> false
 
-let compile_predicate layout e =
-  let f = compile layout e in
+let compile_predicate ?(params = [||]) layout e =
+  let f = compile_with params layout e in
   fun row -> is_true (f row)

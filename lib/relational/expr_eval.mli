@@ -27,10 +27,12 @@ val scalar_call : string -> Value.t list -> Value.t
     non-numeric text), [cast_int]/[cast_float]/[cast_text].
     @raise Eval_error for unknown functions. *)
 
-val compile : layout -> Sql_ast.expr -> Value.t array -> Value.t
-(** Aggregate calls must have been rewritten away by the planner. *)
+val compile : ?params:Value.t array -> layout -> Sql_ast.expr -> Value.t array -> Value.t
+(** Aggregate calls must have been rewritten away by the planner.
+    [?N] placeholders resolve against [params] (1-based) at compile time;
+    @raise Eval_error when a placeholder is unbound. *)
 
 val is_true : Value.t -> bool
 (** WHERE-clause truth: NULL and FALSE both reject. *)
 
-val compile_predicate : layout -> Sql_ast.expr -> Value.t array -> bool
+val compile_predicate : ?params:Value.t array -> layout -> Sql_ast.expr -> Value.t array -> bool

@@ -1,0 +1,103 @@
+(* LRU cache of compiled SELECT plans, keyed by statement text.
+
+   A hit skips lexing, parsing, and planning entirely. Entries remember the
+   row count of every referenced table at plan time and are dropped when
+   any of them drifts by more than ~20% (the same freshness rule Stats
+   uses), since the planner's join order and access-path choices depend on
+   those counts. Any DDL clears the whole cache: index changes alter which
+   plans are even executable. *)
+
+type entry = {
+  plan : Plan.t;
+  tables : (string * int) list;  (* table name, row count when planned *)
+  mutable last_used : int;
+}
+
+type stats = { mutable hits : int; mutable misses : int; mutable invalidations : int }
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;
+  mutable enabled : bool;
+  stats : stats;
+}
+
+let create ?(capacity = 128) () =
+  {
+    entries = Hashtbl.create (2 * capacity);
+    capacity;
+    tick = 0;
+    enabled = true;
+    stats = { hits = 0; misses = 0; invalidations = 0 };
+  }
+
+let set_enabled t on =
+  t.enabled <- on;
+  if not on then Hashtbl.reset t.entries
+
+let clear t =
+  if Hashtbl.length t.entries > 0 then t.stats.invalidations <- t.stats.invalidations + 1;
+  Hashtbl.reset t.entries
+
+let stats t = (t.stats.hits, t.stats.misses, t.stats.invalidations)
+
+let reset_stats t =
+  t.stats.hits <- 0;
+  t.stats.misses <- 0;
+  t.stats.invalidations <- 0
+
+(* Row count within ~20% of the count recorded at plan time? *)
+let fresh_count ~then_ ~now =
+  let drift = abs (now - then_) in
+  drift * 5 <= max 1 then_
+
+(* [row_count name] should return None when the table no longer exists. *)
+let find t ~row_count key =
+  if not t.enabled then None
+  else
+    match Hashtbl.find_opt t.entries key with
+    | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      None
+    | Some e ->
+      let valid =
+        List.for_all
+          (fun (name, then_) ->
+            match row_count name with
+            | Some now -> fresh_count ~then_ ~now
+            | None -> false)
+          e.tables
+      in
+      if valid then begin
+        t.tick <- t.tick + 1;
+        e.last_used <- t.tick;
+        t.stats.hits <- t.stats.hits + 1;
+        Some e.plan
+      end
+      else begin
+        Hashtbl.remove t.entries key;
+        t.stats.invalidations <- t.stats.invalidations + 1;
+        t.stats.misses <- t.stats.misses + 1;
+        None
+      end
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, lu) when lu <= e.last_used -> ()
+      | _ -> victim := Some (key, e.last_used))
+    t.entries;
+  match !victim with Some (key, _) -> Hashtbl.remove t.entries key | None -> ()
+
+let add t key ~tables plan =
+  if t.enabled then begin
+    if (not (Hashtbl.mem t.entries key)) && Hashtbl.length t.entries >= t.capacity then
+      evict_lru t;
+    t.tick <- t.tick + 1;
+    Hashtbl.replace t.entries key { plan; tables; last_used = t.tick }
+  end
+
+let size t = Hashtbl.length t.entries

@@ -28,7 +28,7 @@ let rec map_expr f e =
   | Some replaced -> replaced
   | None -> (
     match e with
-    | Lit _ | Col _ -> e
+    | Lit _ | Param _ | Col _ -> e
     | Binop (op, a, b) -> Binop (op, map_expr f a, map_expr f b)
     | Unop (op, a) -> Unop (op, map_expr f a)
     | Is_null r -> Is_null { r with arg = map_expr f r.arg }

@@ -24,6 +24,7 @@ type unop = Neg | Not
 
 type expr =
   | Lit of Value.t
+  | Param of int  (* 1-based placeholder, rendered as ?N *)
   | Col of { table : string option; column : string }
   | Binop of binop * expr * expr
   | Unop of unop * expr
@@ -88,6 +89,7 @@ let rec expr_to_string ?(prec = 0) e =
   let s =
     match e with
     | Lit v -> Value.to_sql_literal v
+    | Param n -> "?" ^ string_of_int n
     | Col { table = None; column } -> column
     | Col { table = Some t; column } -> t ^ "." ^ column
     | Binop (op, a, b) ->
@@ -209,7 +211,7 @@ let statement_to_string = function
 let rec fold_expr f acc e =
   let acc = f acc e in
   match e with
-  | Lit _ | Col _ -> acc
+  | Lit _ | Param _ | Col _ -> acc
   | Binop (_, a, b) -> fold_expr f (fold_expr f acc a) b
   | Unop (_, a) -> fold_expr f acc a
   | Is_null { arg; _ } -> fold_expr f acc arg

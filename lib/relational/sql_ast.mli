@@ -23,6 +23,7 @@ type unop = Neg | Not
 
 type expr =
   | Lit of Value.t
+  | Param of int  (** 1-based positional placeholder, rendered as [?N] *)
   | Col of { table : string option; column : string }
   | Binop of binop * expr * expr
   | Unop of unop * expr

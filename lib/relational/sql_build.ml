@@ -1,0 +1,90 @@
+(* Typed SQL query builder.
+
+   Producers construct [Sql_ast] values with these combinators instead of
+   concatenating strings, which removes the per-module quoting/escaping
+   copies and lets literals become bound parameters: a [binder] allocates
+   ?1, ?2, ... placeholders and accumulates the values to bind, so the
+   rendered statement text is stable across parameter values and the plan
+   cache can reuse one compiled plan for the whole family of queries. *)
+
+open Sql_ast
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let col ?table column : expr = Col { table; column }
+let lit v : expr = Lit v
+let int i : expr = Lit (Value.Int i)
+let float f : expr = Lit (Value.Float f)
+let text s : expr = Lit (Value.Text s)
+let null : expr = Lit Value.Null
+let param n : expr = Param n
+
+let cmp op a b : expr = Binop (op, a, b)
+let eq a b : expr = Binop (Eq, a, b)
+let neq a b : expr = Binop (Neq, a, b)
+let lt a b : expr = Binop (Lt, a, b)
+let le a b : expr = Binop (Le, a, b)
+let gt a b : expr = Binop (Gt, a, b)
+let ge a b : expr = Binop (Ge, a, b)
+let add a b : expr = Binop (Add, a, b)
+let concat a b : expr = Binop (Concat, a, b)
+let like ?(negated = false) arg pattern : expr = Like { negated; arg; pattern }
+let is_null arg : expr = Is_null { negated = false; arg }
+let is_not_null arg : expr = Is_null { negated = true; arg }
+let in_list ?(negated = false) arg items : expr = In_list { negated; arg; items }
+let between arg ~low ~high : expr = Between { arg; low; high }
+let call func args : expr = Call { func; star = false; distinct = false; args }
+let to_number e : expr = call "to_number" [ e ]
+
+let conj = function
+  | [] -> None
+  | first :: rest -> Some (List.fold_left (fun acc e -> Binop (And, acc, e)) first rest)
+
+(* ------------------------------------------------------------------ *)
+(* Parameter binding *)
+
+type binder = { mutable next : int; mutable bound : Value.t list (* reverse *) }
+
+let binder () = { next = 0; bound = [] }
+
+(* Allocate the next placeholder for [v]; returns the ?N expression. *)
+let bind b v : expr =
+  b.next <- b.next + 1;
+  b.bound <- v :: b.bound;
+  Param b.next
+
+let pint b i = bind b (Value.Int i)
+let pfloat b f = bind b (Value.Float f)
+let ptext b s = bind b (Value.Text s)
+
+let params b = Array.of_list (List.rev b.bound)
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let from ?alias table : table_ref = { table; alias }
+let proj ?as_ e : projection = Proj (e, as_)
+let star : projection = All
+let asc e : order_item = { order_expr = e; descending = false }
+let desc e : order_item = { order_expr = e; descending = true }
+
+let select ?(distinct = false) ?(where = []) ?(group_by = []) ?having ?(order_by = []) ?limit
+    ~from:tables projections : select =
+  { distinct; projections; from = tables; where = conj where; group_by; having; order_by; limit }
+
+let query selects : query = selects
+let statement q : statement = Select_stmt q
+
+(* Render a query to SQL text (the plan-cache key and the text recorded in
+   query results). *)
+let to_sql (q : query) = query_to_string q
+
+(* ------------------------------------------------------------------ *)
+(* Quoting
+
+   The single home for SQL string escaping. Use only where a literal must
+   be embedded in statement text (DDL, display); data values in queries
+   should be bound with [bind] instead. *)
+
+let quote s = Value.to_sql_literal (Value.Text s)

@@ -7,6 +7,7 @@ type token =
   | Int_lit of int
   | Float_lit of float
   | String_lit of string
+  | Param_tok of int  (* ?N positional placeholder, 1-based *)
   | Symbol of string  (* punctuation and operators *)
   | Eof
 
@@ -118,6 +119,14 @@ let tokenize src =
         | '=' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '(' | ')' | ',' | '.' | ';' ->
           push (Symbol (String.make 1 c));
           incr pos
+        | '?' ->
+          incr pos;
+          let start = !pos in
+          while !pos < n && is_digit src.[!pos] do
+            incr pos
+          done;
+          if !pos = start then raise (Lex_error "expected a digit after ? placeholder");
+          push (Param_tok (int_of_string (String.sub src start (!pos - start))))
         | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c)))
     end
   done;
@@ -130,5 +139,6 @@ let token_to_string = function
   | Int_lit i -> string_of_int i
   | Float_lit f -> string_of_float f
   | String_lit s -> Printf.sprintf "'%s'" s
+  | Param_tok n -> "?" ^ string_of_int n
   | Symbol s -> s
   | Eof -> "<eof>"

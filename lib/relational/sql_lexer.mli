@@ -8,6 +8,7 @@ type token =
   | Int_lit of int
   | Float_lit of float
   | String_lit of string
+  | Param_tok of int  (** [?N] positional placeholder, 1-based *)
   | Symbol of string
   | Eof
 

@@ -154,6 +154,9 @@ and parse_atom st =
   | Sql_lexer.Int_lit i -> Lit (Value.Int i)
   | Sql_lexer.Float_lit f -> Lit (Value.Float f)
   | Sql_lexer.String_lit s -> Lit (Value.Text s)
+  | Sql_lexer.Param_tok p ->
+    if p < 1 then perr "parameter placeholders are numbered from ?1";
+    Param p
   | Sql_lexer.Keyword "NULL" -> Lit Value.Null
   | Sql_lexer.Keyword "TRUE" -> Lit (Value.Bool true)
   | Sql_lexer.Keyword "FALSE" -> Lit (Value.Bool false)

@@ -17,6 +17,7 @@ module Dom = Xmlkit.Dom
 module Index = Xmlkit.Index
 module Db = Relstore.Database
 module Value = Relstore.Value
+module Sb = Relstore.Sql_build
 open Mapping
 
 let id = "binary"
@@ -39,19 +40,31 @@ let create_schema db =
 
 (* Registry access. [kind] is "e" or "a". *)
 let label_table db ~kind label =
-  let r =
-    Db.query db
-      (Printf.sprintf "SELECT tbl FROM b_labels WHERE kind = %s AND label = %s"
-         (Pathquery.quote kind) (Pathquery.quote label))
+  let b = Sb.binder () in
+  let q =
+    Sb.query
+      [
+        Sb.select ~from:[ Sb.from "b_labels" ]
+          ~where:
+            [ Sb.eq (Sb.col "kind") (Sb.ptext b kind); Sb.eq (Sb.col "label") (Sb.ptext b label) ]
+          [ Sb.proj (Sb.col "tbl") ];
+      ]
   in
+  let r = query_built db ~params:(Sb.params b) q in
   match string_column r with [ t ] -> Some t | [] -> None | _ -> err "duplicate label %s" label
 
 let all_label_tables db ~kind =
-  let r =
-    Db.query db
-      (Printf.sprintf "SELECT label, tbl FROM b_labels WHERE kind = %s ORDER BY label"
-         (Pathquery.quote kind))
+  let b = Sb.binder () in
+  let q =
+    Sb.query
+      [
+        Sb.select ~from:[ Sb.from "b_labels" ]
+          ~where:[ Sb.eq (Sb.col "kind") (Sb.ptext b kind) ]
+          ~order_by:[ Sb.asc (Sb.col "label") ]
+          [ Sb.proj (Sb.col "label"); Sb.proj (Sb.col "tbl") ];
+      ]
   in
+  let r = query_built db ~params:(Sb.params b) q in
   List.map
     (fun row -> (Value.to_string row.(0), Value.to_string row.(1)))
     r.Relstore.Executor.rows
@@ -84,10 +97,7 @@ let ensure_label_table db ~kind label =
                INTEGER NOT NULL, target INTEGER NOT NULL, value TEXT)"
               tbl))
     | k -> err "bad label kind %s" k);
-    ignore
-      (Db.exec db
-         (Printf.sprintf "INSERT INTO b_labels VALUES (%s, %s, %s)" (Pathquery.quote kind)
-            (Pathquery.quote label) (Pathquery.quote tbl)));
+    Db.insert_row_array db "b_labels" [| Value.Text kind; Value.Text label; Value.Text tbl |];
     tbl
 
 let create_indexes db =
@@ -149,14 +159,25 @@ type row = {
   r_value : string;
 }
 
+(* SELECT [cols] FROM tbl WHERE doc = ? [AND source = ?] [AND target = ?].
+   One statement shape per partition table; ids are bound parameters. *)
+let fetch_cols db ~doc ?source ?target tbl cols =
+  let b = Sb.binder () in
+  let where =
+    [ Sb.eq (Sb.col "doc") (Sb.pint b doc) ]
+    @ (match source with Some s -> [ Sb.eq (Sb.col "source") (Sb.pint b s) ] | None -> [])
+    @ (match target with Some t -> [ Sb.eq (Sb.col "target") (Sb.pint b t) ] | None -> [])
+  in
+  let q =
+    Sb.query
+      [ Sb.select ~from:[ Sb.from tbl ] ~where (List.map (fun c -> Sb.proj (Sb.col c)) cols) ]
+  in
+  (query_built db ~params:(Sb.params b) q).Relstore.Executor.rows
+
 let fetch_all db ~doc =
   let rows = ref [] in
   List.iter
     (fun (label, tbl) ->
-      let r =
-        Db.query db
-          (Printf.sprintf "SELECT source, ordinal, target FROM %s WHERE doc = %d" tbl doc)
-      in
       List.iter
         (fun a ->
           rows :=
@@ -169,14 +190,10 @@ let fetch_all db ~doc =
               r_value = "";
             }
             :: !rows)
-        r.Relstore.Executor.rows)
+        (fetch_cols db ~doc tbl [ "source"; "ordinal"; "target" ]))
     (all_label_tables db ~kind:"e");
   List.iter
     (fun (label, tbl) ->
-      let r =
-        Db.query db
-          (Printf.sprintf "SELECT source, ordinal, target, value FROM %s WHERE doc = %d" tbl doc)
-      in
       List.iter
         (fun a ->
           rows :=
@@ -189,12 +206,8 @@ let fetch_all db ~doc =
               r_value = Value.to_string a.(3);
             }
             :: !rows)
-        r.Relstore.Executor.rows)
+        (fetch_cols db ~doc tbl [ "source"; "ordinal"; "target"; "value" ]))
     (all_label_tables db ~kind:"a");
-  let r =
-    Db.query db
-      (Printf.sprintf "SELECT source, ordinal, target, value FROM b_cdata WHERE doc = %d" doc)
-  in
   List.iter
     (fun a ->
       rows :=
@@ -207,12 +220,7 @@ let fetch_all db ~doc =
           r_value = Value.to_string a.(3);
         }
         :: !rows)
-    r.Relstore.Executor.rows;
-  let r =
-    Db.query db
-      (Printf.sprintf
-         "SELECT source, ordinal, kind, name, target, value FROM b_misc WHERE doc = %d" doc)
-  in
+    (fetch_cols db ~doc "b_cdata" [ "source"; "ordinal"; "target"; "value" ]);
   List.iter
     (fun a ->
       rows :=
@@ -225,7 +233,7 @@ let fetch_all db ~doc =
           r_value = Value.to_string a.(5);
         }
         :: !rows)
-    r.Relstore.Executor.rows;
+    (fetch_cols db ~doc "b_misc" [ "source"; "ordinal"; "kind"; "name"; "target"; "value" ]);
   !rows
 
 let build_tree by_source (r : row) =
@@ -275,47 +283,26 @@ let rec node_of_target db ~doc ~kind ~name ~value target : Dom.node =
     let attrs = ref [] and content = ref [] in
     List.iter
       (fun (label, tbl) ->
-        let r =
-          Db.query db
-            (Printf.sprintf "SELECT target, ordinal FROM %s WHERE doc = %d AND source = %d" tbl
-               doc target)
-        in
         List.iter
           (fun a ->
             let t = match a.(0) with Value.Int i -> i | _ -> err "bad target" in
             let o = match a.(1) with Value.Int i -> i | _ -> err "bad ordinal" in
             content := (o, node_of_target db ~doc ~kind:"e" ~name:label ~value:"" t) :: !content)
-          r.Relstore.Executor.rows)
+          (fetch_cols db ~doc ~source:target tbl [ "target"; "ordinal" ]))
       (all_label_tables db ~kind:"e");
     List.iter
       (fun (label, tbl) ->
-        let r =
-          Db.query db
-            (Printf.sprintf "SELECT ordinal, value FROM %s WHERE doc = %d AND source = %d" tbl
-               doc target)
-        in
         List.iter
           (fun a ->
             let o = match a.(0) with Value.Int i -> i | _ -> err "bad ordinal" in
             attrs := (o, Dom.attr label (Value.to_string a.(1))) :: !attrs)
-          r.Relstore.Executor.rows)
+          (fetch_cols db ~doc ~source:target tbl [ "ordinal"; "value" ]))
       (all_label_tables db ~kind:"a");
-    let r =
-      Db.query db
-        (Printf.sprintf "SELECT ordinal, value FROM b_cdata WHERE doc = %d AND source = %d" doc
-           target)
-    in
     List.iter
       (fun a ->
         let o = match a.(0) with Value.Int i -> i | _ -> err "bad ordinal" in
         content := (o, Dom.Text (Value.to_string a.(1))) :: !content)
-      r.Relstore.Executor.rows;
-    let r =
-      Db.query db
-        (Printf.sprintf
-           "SELECT ordinal, kind, name, value FROM b_misc WHERE doc = %d AND source = %d" doc
-           target)
-    in
+      (fetch_cols db ~doc ~source:target "b_cdata" [ "ordinal"; "value" ]);
     List.iter
       (fun a ->
         let o = match a.(0) with Value.Int i -> i | _ -> err "bad ordinal" in
@@ -325,7 +312,7 @@ let rec node_of_target db ~doc ~kind ~name ~value target : Dom.node =
           | _ -> Dom.Pi { target = Value.to_string a.(2); data = Value.to_string a.(3) }
         in
         content := (o, node) :: !content)
-      r.Relstore.Executor.rows;
+      (fetch_cols db ~doc ~source:target "b_misc" [ "ordinal"; "kind"; "name"; "value" ]);
     Dom.Element
       {
         Dom.tag = name;
@@ -336,23 +323,16 @@ let rec node_of_target db ~doc ~kind ~name ~value target : Dom.node =
 
 (* Locate a node's (kind, name, value) by target id — scans partitions. *)
 let describe_target db ~doc target =
-  let find_in tbl extra_cols =
-    let r =
-      Db.query db
-        (Printf.sprintf "SELECT %s FROM %s WHERE doc = %d AND target = %d" extra_cols tbl doc
-           target)
-    in
-    r.Relstore.Executor.rows
-  in
+  let find_in tbl cols = fetch_cols db ~doc ~target tbl cols in
   let rec try_elements = function
     | [] -> None
     | (label, tbl) :: rest ->
-      if find_in tbl "target" <> [] then Some ("e", label, "") else try_elements rest
+      if find_in tbl [ "target" ] <> [] then Some ("e", label, "") else try_elements rest
   in
   let rec try_attrs = function
     | [] -> None
     | (label, tbl) :: rest -> (
-      match find_in tbl "value" with
+      match find_in tbl [ "value" ] with
       | [ [| v |] ] -> Some ("a", label, Value.to_string v)
       | _ -> try_attrs rest)
   in
@@ -362,10 +342,10 @@ let describe_target db ~doc target =
     match try_attrs (all_label_tables db ~kind:"a") with
     | Some d -> d
     | None -> (
-      match find_in "b_cdata" "value" with
+      match find_in "b_cdata" [ "value" ] with
       | [ [| v |] ] -> ("t", "", Value.to_string v)
       | _ -> (
-        match find_in "b_misc" "kind, name, value" with
+        match find_in "b_misc" [ "kind"; "name"; "value" ] with
         | [ [| k; n; v |] ] ->
           ( Value.to_string k,
             (match n with Value.Null -> "" | n -> Value.to_string n),
@@ -375,8 +355,13 @@ let describe_target db ~doc target =
 (* ------------------------------------------------------------------ *)
 (* Query translation *)
 
-let pred_sql db ~doc ~cur ~fresh (p : Pathquery.pred) =
+(* Edges here live in per-label tables, so [child_of] links alias.source to
+   the parent alias's target; kind/name conditions are implied by the table. *)
+let child_of a parent = Sb.eq (acol a "source") (acol parent "target")
+
+let pred_sql db ~b ~pdoc ~cur ~fresh (p : Pathquery.pred) =
   let module P = Pathquery in
+  let on_doc a = Sb.eq (acol a "doc") pdoc in
   (* Missing label tables mean the predicate can never hold. *)
   let need_table kind label k =
     match label_table db ~kind label with None -> None | Some tbl -> Some (k tbl)
@@ -385,60 +370,53 @@ let pred_sql db ~doc ~cur ~fresh (p : Pathquery.pred) =
   | P.Has_child c ->
     need_table "e" c (fun tbl ->
         let a = fresh () in
-        ( [ (tbl, a) ],
-          [ Printf.sprintf "%s.doc = %d" a doc; Printf.sprintf "%s.source = %s.target" a cur ] ))
+        ([ (tbl, a) ], [ on_doc a; child_of a cur ]))
   | P.Has_attr at ->
     need_table "a" at (fun tbl ->
         let a = fresh () in
-        ( [ (tbl, a) ],
-          [ Printf.sprintf "%s.doc = %d" a doc; Printf.sprintf "%s.source = %s.target" a cur ] ))
+        ([ (tbl, a) ], [ on_doc a; child_of a cur ]))
   | P.Attr_value (at, op, v) ->
     need_table "a" at (fun tbl ->
         let a = fresh () in
         ( [ (tbl, a) ],
           [
-            Printf.sprintf "%s.doc = %d" a doc;
-            Printf.sprintf "%s.source = %s.target" a cur;
-            Printf.sprintf "%s.value %s %s" a (P.cmp_to_sql op) (P.quote v);
+            on_doc a; child_of a cur;
+            Sb.cmp (P.cmp_binop op) (acol a "value") (Sb.ptext b v);
           ] ))
   | P.Attr_number (at, op, v) ->
     need_table "a" at (fun tbl ->
         let a = fresh () in
         ( [ (tbl, a) ],
           [
-            Printf.sprintf "%s.doc = %d" a doc;
-            Printf.sprintf "%s.source = %s.target" a cur;
-            Printf.sprintf "to_number(%s.value) %s %s" a (P.cmp_to_sql op) (P.number_literal v);
+            on_doc a; child_of a cur;
+            Sb.cmp (P.cmp_binop op) (Sb.to_number (acol a "value")) (Sb.pfloat b v);
           ] ))
   | P.Child_value (c, op, v) ->
     need_table "e" c (fun tbl ->
         let a = fresh () and t = fresh () in
         ( [ (tbl, a); ("b_cdata", t) ],
           [
-            Printf.sprintf "%s.doc = %d" a doc;
-            Printf.sprintf "%s.source = %s.target" a cur;
-            Printf.sprintf "%s.doc = %d" t doc;
-            Printf.sprintf "%s.source = %s.target" t a;
-            Printf.sprintf "%s.value %s %s" t (P.cmp_to_sql op) (P.quote v);
+            on_doc a; child_of a cur; on_doc t; child_of t a;
+            Sb.cmp (P.cmp_binop op) (acol t "value") (Sb.ptext b v);
           ] ))
   | P.Child_number (c, op, v) ->
     need_table "e" c (fun tbl ->
         let a = fresh () and t = fresh () in
         ( [ (tbl, a); ("b_cdata", t) ],
           [
-            Printf.sprintf "%s.doc = %d" a doc;
-            Printf.sprintf "%s.source = %s.target" a cur;
-            Printf.sprintf "%s.doc = %d" t doc;
-            Printf.sprintf "%s.source = %s.target" t a;
-            Printf.sprintf "to_number(%s.value) %s %s" t (P.cmp_to_sql op) (P.number_literal v);
+            on_doc a; child_of a cur; on_doc t; child_of t a;
+            Sb.cmp (P.cmp_binop op) (Sb.to_number (acol t "value")) (Sb.pfloat b v);
           ] ))
 
 exception Empty_result
 
-(* Single-statement chain translation for named child paths. Raises
-   [Empty_result] when a referenced label does not exist in the store. *)
-let chain_sql db ~doc (simple : Pathquery.t) =
+(* Single-statement chain translation for named child paths. Returns the
+   query and its parameter bindings; raises [Empty_result] when a
+   referenced label does not exist in the store. *)
+let chain_query db ~doc (simple : Pathquery.t) =
   let module P = Pathquery in
+  let b = Sb.binder () in
+  let pdoc = Sb.pint b doc in
   let counter = ref 0 in
   let fresh () =
     incr counter;
@@ -455,13 +433,13 @@ let chain_sql db ~doc (simple : Pathquery.t) =
       let tbl = match label_table db ~kind:"e" tag with Some t -> t | None -> raise Empty_result in
       let e = fresh () in
       add_from tbl e;
-      add_where (Printf.sprintf "%s.doc = %d" e doc);
+      add_where (Sb.eq (acol e "doc") pdoc);
       (match !prev with
-      | None -> add_where (Printf.sprintf "%s.source = 0" e)
-      | Some p -> add_where (Printf.sprintf "%s.source = %s.target" e p));
+      | None -> add_where (Sb.eq (acol e "source") (Sb.int 0))
+      | Some p -> add_where (child_of e p));
       List.iter
         (fun pr ->
-          match pred_sql db ~doc ~cur:e ~fresh pr with
+          match pred_sql db ~b ~pdoc ~cur:e ~fresh pr with
           | None -> raise Empty_result
           | Some (extra_from, extra_where) ->
             List.iter (fun (t, a) -> add_from t a) extra_from;
@@ -479,29 +457,48 @@ let chain_sql db ~doc (simple : Pathquery.t) =
       | Some tbl ->
         let at = fresh () in
         add_from tbl at;
-        add_where (Printf.sprintf "%s.doc = %d" at doc);
-        add_where (Printf.sprintf "%s.source = %s.target" at last);
+        add_where (Sb.eq (acol at "doc") pdoc);
+        add_where (child_of at last);
         at)
     | P.Text_of ->
       let tx = fresh () in
       add_from "b_cdata" tx;
-      add_where (Printf.sprintf "%s.doc = %d" tx doc);
-      add_where (Printf.sprintf "%s.source = %s.target" tx last);
+      add_where (Sb.eq (acol tx "doc") pdoc);
+      add_where (child_of tx last);
       tx
   in
-  Printf.sprintf "SELECT DISTINCT %s.target FROM %s WHERE %s ORDER BY %s.target" result_alias
-    (String.concat ", " (List.rev_map (fun (t, a) -> t ^ " " ^ a) !froms))
-    (String.concat " AND " (List.rev !wheres))
-    result_alias
+  let result = acol result_alias "target" in
+  let q =
+    Sb.query
+      [
+        Sb.select ~distinct:true
+          ~from:(List.rev_map (fun (t, a) -> Sb.from ~alias:a t) !froms)
+          ~where:(List.rev !wheres)
+          ~order_by:[ Sb.asc result ]
+          [ Sb.proj result ];
+      ]
+  in
+  (q, Sb.params b)
 
 (* Stepwise evaluation for '//' and wildcards: each step consults one table
    per candidate tag — the partitioning tax. *)
 let stepwise db ~doc (simple : Pathquery.t) =
   let module P = Pathquery in
   let sqls = ref [] in
-  let run sql =
-    sqls := sql :: !sqls;
-    int_column (Db.query db sql)
+  (* SELECT target FROM partition WHERE doc = ? AND source IN (?...) *)
+  let sources_in tbl ids =
+    Edge.batched ids (fun chunk ->
+        let b = Sb.binder () in
+        let where =
+          [
+            Sb.eq (Sb.col "doc") (Sb.pint b doc);
+            Sb.in_list (Sb.col "source") (List.map (Sb.pint b) chunk);
+          ]
+        in
+        let q =
+          Sb.query [ Sb.select ~from:[ Sb.from tbl ] ~where [ Sb.proj (Sb.col "target") ] ]
+        in
+        int_column (run_built db ~sqls ~params:(Sb.params b) q))
   in
   let children_of ids ~tag_filter =
     let tables =
@@ -509,66 +506,68 @@ let stepwise db ~doc (simple : Pathquery.t) =
       | Some n -> ( match label_table db ~kind:"e" n with Some t -> [ (n, t) ] | None -> [])
       | None -> all_label_tables db ~kind:"e"
     in
-    Edge.batched ids (fun chunk ->
-        List.concat_map
-          (fun (_, tbl) ->
-            run
-              (Printf.sprintf "SELECT target FROM %s WHERE doc = %d AND source IN (%s)" tbl doc
-                 (Edge.in_list chunk)))
-          tables)
+    List.concat_map (fun (_, tbl) -> sources_in tbl ids) tables
   in
   let check_pred target (p : P.pred) =
-    let probe sql = run sql <> [] in
+    let probe ~b ~from ~where proj =
+      let q = Sb.query [ Sb.select ~from ~where ~limit:1 [ Sb.proj proj ] ] in
+      int_column (run_built db ~sqls ~params:(Sb.params b) q) <> []
+    in
+    (* one-table probe on (doc, source) plus branch-specific conditions *)
+    let simple_probe tbl extra =
+      let b = Sb.binder () in
+      let base =
+        [ Sb.eq (Sb.col "doc") (Sb.pint b doc); Sb.eq (Sb.col "source") (Sb.pint b target) ]
+      in
+      probe ~b ~from:[ Sb.from tbl ] ~where:(base @ extra b) (Sb.col "target")
+    in
+    let child_text_probe tbl extra =
+      let b = Sb.binder () in
+      let where =
+        [
+          Sb.eq (acol "e" "doc") (Sb.pint b doc);
+          Sb.eq (acol "e" "source") (Sb.pint b target);
+          Sb.eq (acol "t" "doc") (Sb.pint b doc);
+          child_of "t" "e";
+        ]
+        @ extra b
+      in
+      probe ~b
+        ~from:[ Sb.from ~alias:"e" tbl; Sb.from ~alias:"t" "b_cdata" ]
+        ~where (acol "t" "target")
+    in
     match p with
     | P.Has_child c -> (
       match label_table db ~kind:"e" c with
       | None -> false
-      | Some tbl ->
-        probe
-          (Printf.sprintf "SELECT target FROM %s WHERE doc = %d AND source = %d LIMIT 1" tbl doc
-             target))
+      | Some tbl -> simple_probe tbl (fun _ -> []))
     | P.Has_attr a -> (
       match label_table db ~kind:"a" a with
       | None -> false
-      | Some tbl ->
-        probe
-          (Printf.sprintf "SELECT target FROM %s WHERE doc = %d AND source = %d LIMIT 1" tbl doc
-             target))
+      | Some tbl -> simple_probe tbl (fun _ -> []))
     | P.Attr_value (a, op, v) -> (
       match label_table db ~kind:"a" a with
       | None -> false
       | Some tbl ->
-        probe
-          (Printf.sprintf
-             "SELECT target FROM %s WHERE doc = %d AND source = %d AND value %s %s LIMIT 1" tbl
-             doc target (P.cmp_to_sql op) (P.quote v)))
+        simple_probe tbl (fun b -> [ Sb.cmp (P.cmp_binop op) (Sb.col "value") (Sb.ptext b v) ]))
     | P.Attr_number (a, op, v) -> (
       match label_table db ~kind:"a" a with
       | None -> false
       | Some tbl ->
-        probe
-          (Printf.sprintf
-             "SELECT target FROM %s WHERE doc = %d AND source = %d AND to_number(value) %s %s \
-              LIMIT 1"
-             tbl doc target (P.cmp_to_sql op) (P.number_literal v)))
+        simple_probe tbl (fun b ->
+            [ Sb.cmp (P.cmp_binop op) (Sb.to_number (Sb.col "value")) (Sb.pfloat b v) ]))
     | P.Child_value (c, op, v) -> (
       match label_table db ~kind:"e" c with
       | None -> false
       | Some tbl ->
-        probe
-          (Printf.sprintf
-             "SELECT t.target FROM %s e, b_cdata t WHERE e.doc = %d AND e.source = %d AND \
-              t.doc = %d AND t.source = e.target AND t.value %s %s LIMIT 1"
-             tbl doc target doc (P.cmp_to_sql op) (P.quote v)))
+        child_text_probe tbl (fun b ->
+            [ Sb.cmp (P.cmp_binop op) (acol "t" "value") (Sb.ptext b v) ]))
     | P.Child_number (c, op, v) -> (
       match label_table db ~kind:"e" c with
       | None -> false
       | Some tbl ->
-        probe
-          (Printf.sprintf
-             "SELECT t.target FROM %s e, b_cdata t WHERE e.doc = %d AND e.source = %d AND \
-              t.doc = %d AND t.source = e.target AND to_number(t.value) %s %s LIMIT 1"
-             tbl doc target doc (P.cmp_to_sql op) (P.number_literal v)))
+        child_text_probe tbl (fun b ->
+            [ Sb.cmp (P.cmp_binop op) (Sb.to_number (acol "t" "value")) (Sb.pfloat b v) ]))
   in
   let step_frontier frontier (s : P.step) =
     let matches =
@@ -601,18 +600,8 @@ let stepwise db ~doc (simple : Pathquery.t) =
     | P.Attr_of a -> (
       match label_table db ~kind:"a" a with
       | None -> []
-      | Some tbl ->
-        Edge.batched final (fun chunk ->
-            run
-              (Printf.sprintf "SELECT target FROM %s WHERE doc = %d AND source IN (%s)" tbl doc
-                 (Edge.in_list chunk)))
-        |> List.sort_uniq compare)
-    | P.Text_of ->
-      Edge.batched final (fun chunk ->
-          run
-            (Printf.sprintf "SELECT target FROM b_cdata WHERE doc = %d AND source IN (%s)" doc
-               (Edge.in_list chunk)))
-      |> List.sort_uniq compare
+      | Some tbl -> List.sort_uniq compare (sources_in tbl final))
+    | P.Text_of -> List.sort_uniq compare (sources_in "b_cdata" final)
   in
   (targets, List.rev !sqls)
 
@@ -647,11 +636,11 @@ let query db ~doc (path : Xpathkit.Ast.path) : query_result =
   | None -> fallback_query ~reconstruct db ~doc path
   | Some simple ->
     if is_named_chain simple then begin
-      match chain_sql db ~doc simple with
-      | sql ->
-        let plan = Db.plan_of db sql in
-        materialize db ~doc (int_column (Db.query db sql)) [ sql ]
-          (Relstore.Plan.count_joins plan)
+      match chain_query db ~doc simple with
+      | q, params ->
+        let sqls = ref [] and joins = ref 0 in
+        let targets = int_column (run_built db ~joins ~sqls ~params q) in
+        materialize db ~doc targets (List.rev !sqls) !joins
       | exception Empty_result ->
         { values = []; nodes = lazy []; sql = []; joins = 0; fallback = false }
     end

@@ -14,6 +14,7 @@ module Dom = Xmlkit.Dom
 module Index = Xmlkit.Index
 module Db = Relstore.Database
 module Value = Relstore.Value
+module Sb = Relstore.Sql_build
 open Mapping
 
 let id = "dewey"
@@ -123,12 +124,13 @@ let build_forest rows root_label =
   | Some r -> build r
   | None -> err "no node labelled %s" root_label
 
+let row_projs = List.map (fun c -> Sb.proj (Sb.col c)) [ "label"; "parent_label"; "kind"; "name"; "value"; "ordinal" ]
+
 let fetch_all db ~doc =
-  let r =
-    Db.query db
-      (Printf.sprintf
-         "SELECT label, parent_label, kind, name, value, ordinal FROM dewey WHERE doc = %d" doc)
-  in
+  let b = Sb.binder () in
+  let where = [ Sb.eq (Sb.col "doc") (Sb.pint b doc) ] in
+  let q = Sb.query [ Sb.select ~from:[ Sb.from "dewey" ] ~where row_projs ] in
+  let r = query_built db ~params:(Sb.params b) q in
   List.map row_of_values r.Relstore.Executor.rows
 
 let reconstruct db ~doc =
@@ -144,18 +146,17 @@ let reconstruct db ~doc =
    index. Two statements (exact + prefix) so each can use the index; an OR
    would force a full scan. *)
 let subtree_rows db ~doc label =
-  let fetch cond =
-    let r =
-      Db.query db
-        (Printf.sprintf
-           "SELECT label, parent_label, kind, name, value, ordinal FROM dewey WHERE doc = %d \
-            AND %s"
-           doc cond)
-    in
+  let fetch cond_of =
+    let b = Sb.binder () in
+    let where = [ Sb.eq (Sb.col "doc") (Sb.pint b doc); cond_of b ] in
+    let q = Sb.query [ Sb.select ~from:[ Sb.from "dewey" ] ~where row_projs ] in
+    let r = query_built db ~params:(Sb.params b) q in
     List.map row_of_values r.Relstore.Executor.rows
   in
-  fetch (Printf.sprintf "label = %s" (Pathquery.quote label))
-  @ fetch (Printf.sprintf "label LIKE %s" (Pathquery.quote (label ^ ".%")))
+  fetch (fun b -> Sb.eq (Sb.col "label") (Sb.ptext b label))
+  (* literal pattern, not a param: the planner derives the prefix index
+     range only from a literal LIKE *)
+  @ fetch (fun _ -> Sb.like (Sb.col "label") (Sb.text (label ^ ".%")))
 
 let node_of_label db ~doc label = build_forest (subtree_rows db ~doc label) label
 
@@ -176,14 +177,17 @@ let string_value_of_label db ~doc label =
 (* Query translation: single statement; child steps join on parent_label,
    descendant steps use label-prefix LIKE over a concatenated pattern. *)
 
-let pred_sql ~doc ~cur ~fresh (p : Pathquery.pred) =
+let kind_is a k = Sb.eq (acol a "kind") (Sb.text k)
+let child_of a parent = Sb.eq (acol a "parent_label") (acol parent "label")
+
+let pred_sql ~b ~pdoc ~cur ~fresh (p : Pathquery.pred) =
   let module P = Pathquery in
   let child_conds a ~kind ~name =
     [
-      Printf.sprintf "%s.doc = %d" a doc;
-      Printf.sprintf "%s.parent_label = %s.label" a cur;
-      Printf.sprintf "%s.kind = '%s'" a kind;
-      Printf.sprintf "%s.name = %s" a (P.quote name);
+      Sb.eq (acol a "doc") pdoc;
+      child_of a cur;
+      kind_is a kind;
+      Sb.eq (acol a "name") (Sb.ptext b name);
     ]
   in
   match p with
@@ -197,35 +201,37 @@ let pred_sql ~doc ~cur ~fresh (p : Pathquery.pred) =
     let a = fresh () in
     ( [ a ],
       child_conds a ~kind:"a" ~name:at
-      @ [ Printf.sprintf "%s.value %s %s" a (P.cmp_to_sql op) (P.quote v) ] )
+      @ [ Sb.cmp (P.cmp_binop op) (acol a "value") (Sb.ptext b v) ] )
   | P.Attr_number (at, op, v) ->
     let a = fresh () in
     ( [ a ],
       child_conds a ~kind:"a" ~name:at
-      @ [ Printf.sprintf "to_number(%s.value) %s %s" a (P.cmp_to_sql op) (P.number_literal v) ] )
+      @ [ Sb.cmp (P.cmp_binop op) (Sb.to_number (acol a "value")) (Sb.pfloat b v) ] )
   | P.Child_value (c, op, v) ->
     let a = fresh () and t = fresh () in
     ( [ a; t ],
       child_conds a ~kind:"e" ~name:c
       @ [
-          Printf.sprintf "%s.doc = %d" t doc;
-          Printf.sprintf "%s.parent_label = %s.label" t a;
-          Printf.sprintf "%s.kind = 't'" t;
-          Printf.sprintf "%s.value %s %s" t (P.cmp_to_sql op) (P.quote v);
+          Sb.eq (acol t "doc") pdoc;
+          child_of t a;
+          kind_is t "t";
+          Sb.cmp (P.cmp_binop op) (acol t "value") (Sb.ptext b v);
         ] )
   | P.Child_number (c, op, v) ->
     let a = fresh () and t = fresh () in
     ( [ a; t ],
       child_conds a ~kind:"e" ~name:c
       @ [
-          Printf.sprintf "%s.doc = %d" t doc;
-          Printf.sprintf "%s.parent_label = %s.label" t a;
-          Printf.sprintf "%s.kind = 't'" t;
-          Printf.sprintf "to_number(%s.value) %s %s" t (P.cmp_to_sql op) (P.number_literal v);
+          Sb.eq (acol t "doc") pdoc;
+          child_of t a;
+          kind_is t "t";
+          Sb.cmp (P.cmp_binop op) (Sb.to_number (acol t "value")) (Sb.pfloat b v);
         ] )
 
 let translate ~doc (simple : Pathquery.t) =
   let module P = Pathquery in
+  let b = Sb.binder () in
+  let pdoc = Sb.pint b doc in
   let counter = ref 0 in
   let fresh () =
     incr counter;
@@ -239,21 +245,21 @@ let translate ~doc (simple : Pathquery.t) =
     (fun (s : P.step) ->
       let e = fresh () in
       add_from e;
-      add_where (Printf.sprintf "%s.doc = %d" e doc);
-      add_where (Printf.sprintf "%s.kind = 'e'" e);
+      add_where (Sb.eq (acol e "doc") pdoc);
+      add_where (kind_is e "e");
       (match s.P.test with
-      | P.Tag n -> add_where (Printf.sprintf "%s.name = %s" e (P.quote n))
+      | P.Tag n -> add_where (Sb.eq (acol e "name") (Sb.ptext b n))
       | P.Any_tag -> ());
       (match (!prev, s.P.desc) with
-      | None, false -> add_where (Printf.sprintf "%s.parent_label = ''" e)
+      | None, false -> add_where (Sb.eq (acol e "parent_label") (Sb.text ""))
       | None, true -> ()  (* any element *)
-      | Some p, false -> add_where (Printf.sprintf "%s.parent_label = %s.label" e p)
+      | Some p, false -> add_where (child_of e p)
       | Some p, true ->
         (* descendant: label extends the ancestor's label *)
-        add_where (Printf.sprintf "%s.label LIKE %s.label || '.%%'" e p));
+        add_where (Sb.like (acol e "label") (Sb.concat (acol p "label") (Sb.text ".%"))));
       List.iter
         (fun pr ->
-          let extra_from, extra_where = pred_sql ~doc ~cur:e ~fresh pr in
+          let extra_from, extra_where = pred_sql ~b ~pdoc ~cur:e ~fresh pr in
           List.iter add_from extra_from;
           List.iter add_where extra_where)
         s.P.preds;
@@ -266,36 +272,44 @@ let translate ~doc (simple : Pathquery.t) =
     | P.Attr_of a ->
       let at = fresh () in
       add_from at;
-      add_where (Printf.sprintf "%s.doc = %d" at doc);
-      add_where (Printf.sprintf "%s.parent_label = %s.label" at last);
-      add_where (Printf.sprintf "%s.kind = 'a'" at);
-      add_where (Printf.sprintf "%s.name = %s" at (P.quote a));
+      add_where (Sb.eq (acol at "doc") pdoc);
+      add_where (child_of at last);
+      add_where (kind_is at "a");
+      add_where (Sb.eq (acol at "name") (Sb.ptext b a));
       at
     | P.Text_of ->
       let tx = fresh () in
       add_from tx;
-      add_where (Printf.sprintf "%s.doc = %d" tx doc);
-      add_where (Printf.sprintf "%s.parent_label = %s.label" tx last);
-      add_where (Printf.sprintf "%s.kind = 't'" tx);
+      add_where (Sb.eq (acol tx "doc") pdoc);
+      add_where (child_of tx last);
+      add_where (kind_is tx "t");
       tx
   in
-  Printf.sprintf "SELECT DISTINCT %s.label FROM %s WHERE %s ORDER BY %s.label" result_alias
-    (String.concat ", " (List.rev_map (fun a -> "dewey " ^ a) !froms))
-    (String.concat " AND " (List.rev !wheres))
-    result_alias
+  let result = acol result_alias "label" in
+  let q =
+    Sb.query
+      [
+        Sb.select ~distinct:true
+          ~from:(List.rev_map (fun a -> Sb.from ~alias:a "dewey") !froms)
+          ~where:(List.rev !wheres)
+          ~order_by:[ Sb.asc result ]
+          [ Sb.proj result ];
+      ]
+  in
+  (q, Sb.params b)
 
 let query db ~doc (path : Xpathkit.Ast.path) : query_result =
   match Pathquery.analyze path with
   | None -> fallback_query ~reconstruct db ~doc path
   | Some simple ->
-    let sql = translate ~doc simple in
-    let plan = Db.plan_of db sql in
-    let labels = string_column (Db.query db sql) in
+    let q, params = translate ~doc simple in
+    let sqls = ref [] and joins = ref 0 in
+    let labels = string_column (run_built db ~joins ~sqls ~params q) in
     {
       values = List.map (string_value_of_label db ~doc) labels;
       nodes = lazy (List.map (node_of_label db ~doc) labels);
-      sql = [ sql ];
-      joins = Relstore.Plan.count_joins plan;
+      sql = List.rev !sqls;
+      joins = !joins;
       fallback = false;
     }
 

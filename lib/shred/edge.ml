@@ -12,12 +12,18 @@
    Path queries over named child chains become a single self-join chain —
    one join per step. '//' has no bounded-length SQL equivalent, so it runs
    as iterative frontier expansion, one query per tree level: exactly the
-   weakness the literature reports for Edge. *)
+   weakness the literature reports for Edge.
+
+   Queries are built as Sql_ast values (see Sql_build): document ids, node
+   ids, names, and comparison values are bound parameters, so every query
+   family here plans once and its cached plan is reused across documents
+   and nodes. Kind codes stay inline — they are part of the query shape. *)
 
 module Dom = Xmlkit.Dom
 module Index = Xmlkit.Index
 module Db = Relstore.Database
 module Value = Relstore.Value
+module Sb = Relstore.Sql_build
 open Mapping
 
 let id = "edge"
@@ -71,11 +77,18 @@ let shred db ~doc ix =
 type row = { r_source : int; r_ordinal : int; r_kind : string; r_name : string; r_target : int; r_value : string }
 
 let fetch_all_edges db ~doc =
-  let r =
-    Db.query db
-      (Printf.sprintf
-         "SELECT source, ordinal, kind, name, target, value FROM edge WHERE doc = %d" doc)
+  let b = Sb.binder () in
+  let q =
+    Sb.query
+      [
+        Sb.select ~from:[ Sb.from "edge" ]
+          ~where:[ Sb.eq (Sb.col "doc") (Sb.pint b doc) ]
+          (List.map
+             (fun c -> Sb.proj (Sb.col c))
+             [ "source"; "ordinal"; "kind"; "name"; "target"; "value" ]);
+      ]
   in
+  let r = query_built db ~params:(Sb.params b) q in
   List.map
     (fun row ->
       {
@@ -129,26 +142,44 @@ let reconstruct db ~doc =
   | [] -> err "document %d is not stored" doc
   | _ -> err "document %d has multiple roots" doc
 
-(* Subtree reconstruction for query results: per-node recursive fetch. *)
+(* Subtree reconstruction for query results: per-node recursive fetch. The
+   two query shapes are constant, so both plans cache after the first node. *)
 let rec node_of_target db ~doc target =
-  let r =
-    Db.query db
-      (Printf.sprintf
-         "SELECT kind, name, value FROM edge WHERE doc = %d AND target = %d" doc target)
+  let b = Sb.binder () in
+  let q =
+    Sb.query
+      [
+        Sb.select ~from:[ Sb.from "edge" ]
+          ~where:
+            [ Sb.eq (Sb.col "doc") (Sb.pint b doc); Sb.eq (Sb.col "target") (Sb.pint b target) ]
+          [ Sb.proj (Sb.col "kind"); Sb.proj (Sb.col "name"); Sb.proj (Sb.col "value") ];
+      ]
   in
+  let r = query_built db ~params:(Sb.params b) q in
   match r.Relstore.Executor.rows with
   | [ [| kind; name; value |] ] -> (
     let name = match name with Value.Null -> "" | v -> Value.to_string v in
     let value = match value with Value.Null -> "" | v -> Value.to_string v in
     match Value.to_string kind with
     | "e" ->
-      let kids =
-        Db.query db
-          (Printf.sprintf
-             "SELECT target, kind, name, value FROM edge WHERE doc = %d AND source = %d \
-              ORDER BY ordinal"
-             doc target)
+      let b = Sb.binder () in
+      let q =
+        Sb.query
+          [
+            Sb.select ~from:[ Sb.from "edge" ]
+              ~where:
+                [
+                  Sb.eq (Sb.col "doc") (Sb.pint b doc);
+                  Sb.eq (Sb.col "source") (Sb.pint b target);
+                ]
+              ~order_by:[ Sb.asc (Sb.col "ordinal") ]
+              [
+                Sb.proj (Sb.col "target"); Sb.proj (Sb.col "kind"); Sb.proj (Sb.col "name");
+                Sb.proj (Sb.col "value");
+              ];
+          ]
       in
+      let kids = query_built db ~params:(Sb.params b) q in
       let attrs = ref [] and content = ref [] in
       List.iter
         (fun row ->
@@ -179,80 +210,62 @@ let string_value_of_target db ~doc target =
 (* ------------------------------------------------------------------ *)
 (* Query translation *)
 
-(* SQL condition fragments for one step's predicates. [cur] is the alias
-   whose .target is the context element; [fresh] mints auxiliary aliases.
-   Returns (extra FROM aliases, extra WHERE conjuncts). *)
-let pred_sql ~doc ~cur ~fresh (p : Pathquery.pred) =
+(* Condition shorthands over the edge table. *)
+let kind_is a k = Sb.eq (acol a "kind") (Sb.text k)
+let child_of a parent = Sb.eq (acol a "source") (acol parent "target")
+
+(* Conditions for one step's predicates. [cur] is the alias whose .target
+   is the context element; [fresh] mints auxiliary aliases; [b] collects
+   parameter bindings; [pdoc] is the already-bound document id. Returns
+   (extra FROM aliases, extra WHERE conjuncts). *)
+let pred_sql ~b ~pdoc ~cur ~fresh (p : Pathquery.pred) =
   let module P = Pathquery in
+  let on_doc a = Sb.eq (acol a "doc") pdoc in
+  let name_is a n = Sb.eq (acol a "name") (Sb.ptext b n) in
   match p with
   | P.Has_child c ->
     let a = fresh () in
-    ( [ a ],
-      [
-        Printf.sprintf "%s.doc = %d" a doc;
-        Printf.sprintf "%s.source = %s.target" a cur;
-        Printf.sprintf "%s.kind = 'e'" a;
-        Printf.sprintf "%s.name = %s" a (P.quote c);
-      ] )
+    ([ a ], [ on_doc a; child_of a cur; kind_is a "e"; name_is a c ])
   | P.Has_attr at ->
     let a = fresh () in
-    ( [ a ],
-      [
-        Printf.sprintf "%s.doc = %d" a doc;
-        Printf.sprintf "%s.source = %s.target" a cur;
-        Printf.sprintf "%s.kind = 'a'" a;
-        Printf.sprintf "%s.name = %s" a (P.quote at);
-      ] )
+    ([ a ], [ on_doc a; child_of a cur; kind_is a "a"; name_is a at ])
   | P.Attr_value (at, op, v) ->
     let a = fresh () in
     ( [ a ],
       [
-        Printf.sprintf "%s.doc = %d" a doc;
-        Printf.sprintf "%s.source = %s.target" a cur;
-        Printf.sprintf "%s.kind = 'a'" a;
-        Printf.sprintf "%s.name = %s" a (P.quote at);
-        Printf.sprintf "%s.value %s %s" a (P.cmp_to_sql op) (P.quote v);
+        on_doc a; child_of a cur; kind_is a "a"; name_is a at;
+        Sb.cmp (P.cmp_binop op) (acol a "value") (Sb.ptext b v);
       ] )
   | P.Attr_number (at, op, v) ->
     let a = fresh () in
     ( [ a ],
       [
-        Printf.sprintf "%s.doc = %d" a doc;
-        Printf.sprintf "%s.source = %s.target" a cur;
-        Printf.sprintf "%s.kind = 'a'" a;
-        Printf.sprintf "%s.name = %s" a (P.quote at);
-        Printf.sprintf "to_number(%s.value) %s %s" a (P.cmp_to_sql op) (P.number_literal v);
+        on_doc a; child_of a cur; kind_is a "a"; name_is a at;
+        Sb.cmp (P.cmp_binop op) (Sb.to_number (acol a "value")) (Sb.pfloat b v);
       ] )
   | P.Child_value (c, op, v) ->
     let a = fresh () and t = fresh () in
     ( [ a; t ],
       [
-        Printf.sprintf "%s.doc = %d" a doc;
-        Printf.sprintf "%s.source = %s.target" a cur;
-        Printf.sprintf "%s.kind = 'e'" a;
-        Printf.sprintf "%s.name = %s" a (P.quote c);
-        Printf.sprintf "%s.doc = %d" t doc;
-        Printf.sprintf "%s.source = %s.target" t a;
-        Printf.sprintf "%s.kind = 't'" t;
-        Printf.sprintf "%s.value %s %s" t (P.cmp_to_sql op) (P.quote v);
+        on_doc a; child_of a cur; kind_is a "e"; name_is a c;
+        on_doc t; child_of t a; kind_is t "t";
+        Sb.cmp (P.cmp_binop op) (acol t "value") (Sb.ptext b v);
       ] )
   | P.Child_number (c, op, v) ->
     let a = fresh () and t = fresh () in
     ( [ a; t ],
       [
-        Printf.sprintf "%s.doc = %d" a doc;
-        Printf.sprintf "%s.source = %s.target" a cur;
-        Printf.sprintf "%s.kind = 'e'" a;
-        Printf.sprintf "%s.name = %s" a (P.quote c);
-        Printf.sprintf "%s.doc = %d" t doc;
-        Printf.sprintf "%s.source = %s.target" t a;
-        Printf.sprintf "%s.kind = 't'" t;
-        Printf.sprintf "to_number(%s.value) %s %s" t (P.cmp_to_sql op) (P.number_literal v);
+        on_doc a; child_of a cur; kind_is a "e"; name_is a c;
+        on_doc t; child_of t a; kind_is t "t";
+        Sb.cmp (P.cmp_binop op) (Sb.to_number (acol t "value")) (Sb.pfloat b v);
       ] )
 
-(* A pure named/wildcard child chain becomes a single join-chain SELECT. *)
-let chain_sql ~doc (simple : Pathquery.t) =
+(* A pure named/wildcard child chain becomes a single join-chain SELECT.
+   Returns the query and its parameter bindings. *)
+let chain_query ~doc (simple : Pathquery.t) =
   let module P = Pathquery in
+  let b = Sb.binder () in
+  let pdoc = Sb.pint b doc in
   let counter = ref 0 in
   let fresh () =
     incr counter;
@@ -267,53 +280,58 @@ let chain_sql ~doc (simple : Pathquery.t) =
       assert (not s.P.desc);
       let e = fresh () in
       add_from e;
-      add_where (Printf.sprintf "%s.doc = %d" e doc);
-      add_where (Printf.sprintf "%s.kind = 'e'" e);
+      add_where (Sb.eq (acol e "doc") pdoc);
+      add_where (kind_is e "e");
       (match s.P.test with
-      | P.Tag n -> add_where (Printf.sprintf "%s.name = %s" e (P.quote n))
+      | P.Tag n -> add_where (Sb.eq (acol e "name") (Sb.ptext b n))
       | P.Any_tag -> ());
       (match !prev with
-      | None -> add_where (Printf.sprintf "%s.source = 0" e)
-      | Some p -> add_where (Printf.sprintf "%s.source = %s.target" e p));
+      | None -> add_where (Sb.eq (acol e "source") (Sb.int 0))
+      | Some p -> add_where (child_of e p));
       List.iter
         (fun pr ->
-          let extra_from, extra_where = pred_sql ~doc ~cur:e ~fresh pr in
+          let extra_from, extra_where = pred_sql ~b ~pdoc ~cur:e ~fresh pr in
           List.iter add_from extra_from;
           List.iter add_where extra_where)
         s.P.preds;
       prev := Some e)
     simple.P.steps;
   let last = match !prev with Some p -> p | None -> err "empty path" in
-  let result_alias, result_col =
+  let result_alias =
     match simple.P.tgt with
-    | P.Elements -> (last, "target")
+    | P.Elements -> last
     | P.Attr_of a ->
       let at = fresh () in
       add_from at;
-      add_where (Printf.sprintf "%s.doc = %d" at doc);
-      add_where (Printf.sprintf "%s.source = %s.target" at last);
-      add_where (Printf.sprintf "%s.kind = 'a'" at);
-      add_where (Printf.sprintf "%s.name = %s" at (P.quote a));
-      (at, "target")
+      add_where (Sb.eq (acol at "doc") pdoc);
+      add_where (child_of at last);
+      add_where (kind_is at "a");
+      add_where (Sb.eq (acol at "name") (Sb.ptext b a));
+      at
     | P.Text_of ->
       let tx = fresh () in
       add_from tx;
-      add_where (Printf.sprintf "%s.doc = %d" tx doc);
-      add_where (Printf.sprintf "%s.source = %s.target" tx last);
-      add_where (Printf.sprintf "%s.kind = 't'" tx);
-      (tx, "target")
+      add_where (Sb.eq (acol tx "doc") pdoc);
+      add_where (child_of tx last);
+      add_where (kind_is tx "t");
+      tx
   in
-  Printf.sprintf "SELECT DISTINCT %s.%s FROM %s WHERE %s ORDER BY %s.%s" result_alias
-    result_col
-    (String.concat ", " (List.rev_map (fun a -> "edge " ^ a) !froms))
-    (String.concat " AND " (List.rev !wheres))
-    result_alias result_col
+  let result = acol result_alias "target" in
+  let q =
+    Sb.query
+      [
+        Sb.select ~distinct:true
+          ~from:(List.rev_map (fun a -> Sb.from ~alias:a "edge") !froms)
+          ~where:(List.rev !wheres)
+          ~order_by:[ Sb.asc result ]
+          [ Sb.proj result ];
+      ]
+  in
+  (q, Sb.params b)
 
 (* Stepwise evaluation: frontier of element ids, one SQL per step (and one
    per level for '//'). Used whenever the path contains '//' or a wildcard
    where the single-statement chain would not apply. *)
-let in_list ids = String.concat ", " (List.map string_of_int ids)
-
 let batched ids f =
   let rec chunks acc = function
     | [] -> List.rev acc
@@ -328,70 +346,96 @@ let batched ids f =
   in
   List.concat_map f (chunks [] ids)
 
-(* Does element [target] satisfy a predicate? One small probe query. *)
+(* Does element [target] satisfy a predicate? One small probe query; each
+   predicate shape is one cached plan regardless of node or value. *)
 let check_pred db ~doc ~sqls target (p : Pathquery.pred) =
   let module P = Pathquery in
-  let run sql =
-    sqls := sql :: !sqls;
-    int_column (Db.query db sql) <> []
+  let b = Sb.binder () in
+  let pdoc = Sb.pint b doc and ptarget = Sb.pint b target in
+  let probe ~from ~where proj_col =
+    let q =
+      Sb.query [ Sb.select ~from ~where ~limit:1 [ Sb.proj proj_col ] ]
+    in
+    int_column (run_built db ~sqls ~params:(Sb.params b) q) <> []
+  in
+  let base = [ Sb.eq (Sb.col "doc") pdoc; Sb.eq (Sb.col "source") ptarget ] in
+  let child_pair c extra =
+    (* e: named child element of the context; t: its text node *)
+    probe
+      ~from:[ Sb.from ~alias:"e" "edge"; Sb.from ~alias:"t" "edge" ]
+      ~where:
+        ([
+           Sb.eq (acol "e" "doc") pdoc;
+           Sb.eq (acol "e" "source") ptarget;
+           kind_is "e" "e";
+           Sb.eq (acol "e" "name") (Sb.ptext b c);
+           Sb.eq (acol "t" "doc") pdoc;
+           child_of "t" "e";
+           kind_is "t" "t";
+         ]
+        @ extra)
+      (acol "t" "target")
   in
   match p with
   | P.Has_child c ->
-    run
-      (Printf.sprintf
-         "SELECT target FROM edge WHERE doc = %d AND source = %d AND kind = 'e' AND name = %s \
-          LIMIT 1"
-         doc target (P.quote c))
+    probe ~from:[ Sb.from "edge" ]
+      ~where:
+        (base
+        @ [ Sb.eq (Sb.col "kind") (Sb.text "e"); Sb.eq (Sb.col "name") (Sb.ptext b c) ])
+      (Sb.col "target")
   | P.Has_attr a ->
-    run
-      (Printf.sprintf
-         "SELECT target FROM edge WHERE doc = %d AND source = %d AND kind = 'a' AND name = %s \
-          LIMIT 1"
-         doc target (P.quote a))
+    probe ~from:[ Sb.from "edge" ]
+      ~where:
+        (base
+        @ [ Sb.eq (Sb.col "kind") (Sb.text "a"); Sb.eq (Sb.col "name") (Sb.ptext b a) ])
+      (Sb.col "target")
   | P.Attr_value (a, op, v) ->
-    run
-      (Printf.sprintf
-         "SELECT target FROM edge WHERE doc = %d AND source = %d AND kind = 'a' AND name = %s \
-          AND value %s %s LIMIT 1"
-         doc target (P.quote a) (P.cmp_to_sql op) (P.quote v))
+    probe ~from:[ Sb.from "edge" ]
+      ~where:
+        (base
+        @ [
+            Sb.eq (Sb.col "kind") (Sb.text "a");
+            Sb.eq (Sb.col "name") (Sb.ptext b a);
+            Sb.cmp (P.cmp_binop op) (Sb.col "value") (Sb.ptext b v);
+          ])
+      (Sb.col "target")
   | P.Attr_number (a, op, v) ->
-    run
-      (Printf.sprintf
-         "SELECT target FROM edge WHERE doc = %d AND source = %d AND kind = 'a' AND name = %s \
-          AND to_number(value) %s %s LIMIT 1"
-         doc target (P.quote a) (P.cmp_to_sql op) (P.number_literal v))
+    probe ~from:[ Sb.from "edge" ]
+      ~where:
+        (base
+        @ [
+            Sb.eq (Sb.col "kind") (Sb.text "a");
+            Sb.eq (Sb.col "name") (Sb.ptext b a);
+            Sb.cmp (P.cmp_binop op) (Sb.to_number (Sb.col "value")) (Sb.pfloat b v);
+          ])
+      (Sb.col "target")
   | P.Child_value (c, op, v) ->
-    run
-      (Printf.sprintf
-         "SELECT t.target FROM edge e, edge t WHERE e.doc = %d AND e.source = %d AND e.kind = \
-          'e' AND e.name = %s AND t.doc = %d AND t.source = e.target AND t.kind = 't' AND \
-          t.value %s %s LIMIT 1"
-         doc target (P.quote c) doc (P.cmp_to_sql op) (P.quote v))
+    child_pair c [ Sb.cmp (P.cmp_binop op) (acol "t" "value") (Sb.ptext b v) ]
   | P.Child_number (c, op, v) ->
-    run
-      (Printf.sprintf
-         "SELECT t.target FROM edge e, edge t WHERE e.doc = %d AND e.source = %d AND e.kind = \
-          'e' AND e.name = %s AND t.doc = %d AND t.source = e.target AND t.kind = 't' AND \
-          to_number(t.value) %s %s LIMIT 1"
-         doc target (P.quote c) doc (P.cmp_to_sql op) (P.number_literal v))
+    child_pair c [ Sb.cmp (P.cmp_binop op) (Sb.to_number (acol "t" "value")) (Sb.pfloat b v) ]
+
+(* SELECT target FROM edge WHERE doc = ? AND kind = k AND source IN (...)
+   [AND name = ?], the workhorse of frontier expansion. *)
+let frontier_query db ~sqls ~doc ~kind ?name ids =
+  batched ids (fun chunk ->
+      let b = Sb.binder () in
+      let pdoc = Sb.pint b doc in
+      let where =
+        [
+          Sb.eq (Sb.col "doc") pdoc;
+          Sb.eq (Sb.col "kind") (Sb.text kind);
+          Sb.in_list (Sb.col "source") (List.map (Sb.pint b) chunk);
+        ]
+        @ (match name with Some n -> [ Sb.eq (Sb.col "name") (Sb.ptext b n) ] | None -> [])
+      in
+      let q = Sb.query [ Sb.select ~from:[ Sb.from "edge" ] ~where [ Sb.proj (Sb.col "target") ] ] in
+      int_column (run_built db ~sqls ~params:(Sb.params b) q))
 
 let stepwise db ~doc (simple : Pathquery.t) =
   let module P = Pathquery in
   let sqls = ref [] in
   let children_of ids ~name_filter =
-    batched ids (fun chunk ->
-        let name_cond =
-          match name_filter with
-          | Some n -> Printf.sprintf " AND name = %s" (P.quote n)
-          | None -> ""
-        in
-        let sql =
-          Printf.sprintf
-            "SELECT target FROM edge WHERE doc = %d AND kind = 'e' AND source IN (%s)%s" doc
-            (in_list chunk) name_cond
-        in
-        sqls := sql :: !sqls;
-        int_column (Db.query db sql))
+    frontier_query db ~sqls ~doc ~kind:"e" ?name:name_filter ids
   in
   let step_frontier frontier (s : P.step) =
     let matches =
@@ -406,15 +450,7 @@ let stepwise db ~doc (simple : Pathquery.t) =
             | P.Any_tag -> all_children
             | P.Tag n ->
               (* re-filter by name with one query per chunk *)
-              batched !current (fun chunk ->
-                  let sql =
-                    Printf.sprintf
-                      "SELECT target FROM edge WHERE doc = %d AND kind = 'e' AND source IN \
-                       (%s) AND name = %s"
-                      doc (in_list chunk) (P.quote n)
-                  in
-                  sqls := sql :: !sqls;
-                  int_column (Db.query db sql))
+              frontier_query db ~sqls ~doc ~kind:"e" ~name:n !current
           in
           acc := hits @ !acc;
           current := all_children
@@ -432,26 +468,8 @@ let stepwise db ~doc (simple : Pathquery.t) =
     match simple.P.tgt with
     | P.Elements -> List.sort_uniq compare final
     | P.Attr_of a ->
-      batched final (fun chunk ->
-          let sql =
-            Printf.sprintf
-              "SELECT target FROM edge WHERE doc = %d AND kind = 'a' AND name = %s AND source \
-               IN (%s)"
-              doc (P.quote a) (in_list chunk)
-          in
-          sqls := sql :: !sqls;
-          int_column (Db.query db sql))
-      |> List.sort_uniq compare
-    | P.Text_of ->
-      batched final (fun chunk ->
-          let sql =
-            Printf.sprintf
-              "SELECT target FROM edge WHERE doc = %d AND kind = 't' AND source IN (%s)" doc
-              (in_list chunk)
-          in
-          sqls := sql :: !sqls;
-          int_column (Db.query db sql))
-      |> List.sort_uniq compare
+      frontier_query db ~sqls ~doc ~kind:"a" ~name:a final |> List.sort_uniq compare
+    | P.Text_of -> frontier_query db ~sqls ~doc ~kind:"t" final |> List.sort_uniq compare
   in
   (targets, List.rev !sqls)
 
@@ -464,9 +482,10 @@ let query db ~doc (path : Xpathkit.Ast.path) : query_result =
   | Some simple ->
     let targets, sqls, joins =
       if is_pure_chain simple then begin
-        let sql = chain_sql ~doc simple in
-        let plan = Db.plan_of db sql in
-        (int_column (Db.query db sql), [ sql ], Relstore.Plan.count_joins plan)
+        let q, params = chain_query ~doc simple in
+        let sqls = ref [] and joins = ref 0 in
+        let r = run_built db ~joins ~sqls ~params q in
+        (int_column r, List.rev !sqls, !joins)
       end
       else begin
         let targets, sqls = stepwise db ~doc simple in

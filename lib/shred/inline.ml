@@ -16,6 +16,7 @@ module Index = Xmlkit.Index
 module Dtd = Xmlkit.Dtd
 module Db = Relstore.Database
 module Value = Relstore.Value
+module Sb = Relstore.Sql_build
 open Mapping
 
 (* ------------------------------------------------------------------ *)
@@ -322,11 +323,20 @@ let make (dtd : Dtd.t) : Mapping.mapping =
           (function
             | Tabled ty ->
               let child_t = table_of layout ty in
-              let r =
-                Db.query db
-                  (Printf.sprintf "SELECT * FROM %s WHERE doc = %d AND parent_id = %d"
-                     child_t.t_name doc my_id)
+              let b = Sb.binder () in
+              let q =
+                Sb.query
+                  [
+                    Sb.select ~from:[ Sb.from child_t.t_name ]
+                      ~where:
+                        [
+                          Sb.eq (Sb.col "doc") (Sb.pint b doc);
+                          Sb.eq (Sb.col "parent_id") (Sb.pint b my_id);
+                        ]
+                      [ Sb.star ];
+                  ]
               in
+              let r = query_built db ~params:(Sb.params b) q in
               List.map
                 (fun row ->
                   let a = assoc_of r row in
@@ -349,11 +359,17 @@ let make (dtd : Dtd.t) : Mapping.mapping =
 
     let reconstruct db ~doc =
       let root_t = table_of layout layout.root_type in
-      let r =
-        Db.query db
-          (Printf.sprintf "SELECT * FROM %s WHERE doc = %d AND parent_id IS NULL" root_t.t_name
-             doc)
+      let b = Sb.binder () in
+      let q =
+        Sb.query
+          [
+            Sb.select ~from:[ Sb.from root_t.t_name ]
+              ~where:
+                [ Sb.eq (Sb.col "doc") (Sb.pint b doc); Sb.is_null (Sb.col "parent_id") ]
+              [ Sb.star ];
+          ]
       in
+      let r = query_built db ~params:(Sb.params b) q in
       match r.Relstore.Executor.rows with
       | [ row ] ->
         Dom.document (build_element db ~doc root_t root_t.root_node (assoc_of r row))
@@ -362,11 +378,20 @@ let make (dtd : Dtd.t) : Mapping.mapping =
 
     (* Subtree of one result node: locate its row by the node's id column. *)
     let element_by_id db ~doc tinfo (node : inline_node) nid =
-      let r =
-        Db.query db
-          (Printf.sprintf "SELECT * FROM %s WHERE doc = %d AND %s = %d" tinfo.t_name doc
-             node.col_id nid)
+      let b = Sb.binder () in
+      let q =
+        Sb.query
+          [
+            Sb.select ~from:[ Sb.from tinfo.t_name ]
+              ~where:
+                [
+                  Sb.eq (Sb.col "doc") (Sb.pint b doc);
+                  Sb.eq (Sb.col node.col_id) (Sb.pint b nid);
+                ]
+              [ Sb.star ];
+          ]
       in
+      let r = query_built db ~params:(Sb.params b) q in
       match r.Relstore.Executor.rows with
       | [ row ] -> build_element db ~doc tinfo node (assoc_of r row)
       | [] -> err "no row with %s = %d" node.col_id nid
@@ -377,10 +402,12 @@ let make (dtd : Dtd.t) : Mapping.mapping =
 
     (* A route is one concrete way the path may thread through the table
        graph: FROM aliases, WHERE conditions, and the current location
-       (alias + table + inline node). *)
+       (alias + table + inline node). Conditions are deferred as closures
+       over the route's eventual binder so bound values (doc id, compared
+       literals) become parameters of the per-route statement. *)
     type route = {
       rt_froms : (string * string) list;  (* table, alias — reverse order *)
-      rt_conds : string list;  (* reverse order *)
+      rt_conds : (Sb.binder -> Relstore.Sql_ast.expr) list;  (* reverse order *)
       rt_alias : string;
       rt_table : table_info;
       rt_node : inline_node;
@@ -390,11 +417,13 @@ let make (dtd : Dtd.t) : Mapping.mapping =
     let max_routes = 64
     let max_desc_depth = 12
 
-    let fresh_alias =
-      let counter = ref 0 in
-      fun () ->
-        incr counter;
-        Printf.sprintf "q%d" !counter
+    (* Reset per translation so equal paths render equal statement text —
+       the plan-cache key. *)
+    let alias_counter = ref 0
+
+    let fresh_alias () =
+      incr alias_counter;
+      Printf.sprintf "q%d" !alias_counter
 
     let test_matches ty = function
       | Pathquery.Tag n -> String.equal ty n
@@ -407,12 +436,12 @@ let make (dtd : Dtd.t) : Mapping.mapping =
         (fun spec ->
           match spec with
           | Inlined i when test_matches i.in_type test ->
+            let cur = route.rt_alias in
             Some
               {
                 route with
                 rt_node = i;
-                rt_conds =
-                  Printf.sprintf "%s.%s IS NOT NULL" route.rt_alias i.col_id :: route.rt_conds;
+                rt_conds = (fun _ -> Sb.is_not_null (acol cur i.col_id)) :: route.rt_conds;
                 rt_depth = route.rt_depth + 1;
               }
           | Inlined _ -> None
@@ -422,14 +451,18 @@ let make (dtd : Dtd.t) : Mapping.mapping =
             (* the virtual document location (alias "") has no row: its
                child anchors on parent_id IS NULL *)
             let link =
-              if route.rt_alias = "" then Printf.sprintf "%s.parent_id IS NULL" a
+              if route.rt_alias = "" then fun _ -> Sb.is_null (acol a "parent_id")
               else
-                Printf.sprintf "%s.parent_id = %s.%s" a route.rt_alias route.rt_node.col_id
+                let cur = route.rt_alias and cid = route.rt_node.col_id in
+                fun _ -> Sb.eq (acol a "parent_id") (acol cur cid)
             in
             Some
               {
                 rt_froms = (t.t_name, a) :: route.rt_froms;
-                rt_conds = link :: Printf.sprintf "%s.doc = %d" a doc :: route.rt_conds;
+                rt_conds =
+                  link
+                  :: (fun b -> Sb.eq (acol a "doc") (Sb.pint b doc))
+                  :: route.rt_conds;
                 rt_alias = a;
                 rt_table = t;
                 rt_node = t.root_node;
@@ -478,23 +511,25 @@ let make (dtd : Dtd.t) : Mapping.mapping =
             | Tabled ty -> String.equal ty c)
           node.children
       in
+      (* [render] maps the pcdata column expr + binder to the comparison *)
       let child_value_cond c ~render =
         match find_child c with
         | Some (Inlined i) -> (
           match i.col_pcdata with
-          | Some col -> Some ([], [ render (Printf.sprintf "%s.%s" cur col) ])
+          | Some col -> Some ([], [ (fun b -> render (acol cur col) b) ])
           | None -> None)
         | Some (Tabled ty) -> (
           let t = table_of layout ty in
           match t.root_node.col_pcdata with
           | Some col ->
             let a = fresh_alias () in
+            let cid = node.col_id in
             Some
               ( [ (t.t_name, a) ],
                 [
-                  Printf.sprintf "%s.doc = %d" a doc;
-                  Printf.sprintf "%s.parent_id = %s.%s" a cur node.col_id;
-                  render (Printf.sprintf "%s.%s" a col);
+                  (fun b -> Sb.eq (acol a "doc") (Sb.pint b doc));
+                  (fun _ -> Sb.eq (acol a "parent_id") (acol cur cid));
+                  (fun b -> render (acol a col) b);
                 ] )
           | None -> None)
         | None -> None
@@ -502,25 +537,26 @@ let make (dtd : Dtd.t) : Mapping.mapping =
       match p with
       | P.Has_child c -> (
         match find_child c with
-        | Some (Inlined i) -> Some ([], [ Printf.sprintf "%s.%s IS NOT NULL" cur i.col_id ])
+        | Some (Inlined i) -> Some ([], [ (fun _ -> Sb.is_not_null (acol cur i.col_id)) ])
         | Some (Tabled ty) ->
           let t = table_of layout ty in
           let a = fresh_alias () in
+          let cid = node.col_id in
           Some
             ( [ (t.t_name, a) ],
               [
-                Printf.sprintf "%s.doc = %d" a doc;
-                Printf.sprintf "%s.parent_id = %s.%s" a cur node.col_id;
+                (fun b -> Sb.eq (acol a "doc") (Sb.pint b doc));
+                (fun _ -> Sb.eq (acol a "parent_id") (acol cur cid));
               ] )
         | None -> None)
       | P.Has_attr at -> (
         match List.assoc_opt at node.col_attrs with
-        | Some col -> Some ([], [ Printf.sprintf "%s.%s IS NOT NULL" cur col ])
+        | Some col -> Some ([], [ (fun _ -> Sb.is_not_null (acol cur col)) ])
         | None -> None)
       | P.Attr_value (at, op, v) -> (
         match List.assoc_opt at node.col_attrs with
         | Some col ->
-          Some ([], [ Printf.sprintf "%s.%s %s %s" cur col (P.cmp_to_sql op) (P.quote v) ])
+          Some ([], [ (fun b -> Sb.cmp (P.cmp_binop op) (acol cur col) (Sb.ptext b v)) ])
         | None -> None)
       | P.Attr_number (at, op, v) -> (
         match List.assoc_opt at node.col_attrs with
@@ -528,16 +564,15 @@ let make (dtd : Dtd.t) : Mapping.mapping =
           Some
             ( [],
               [
-                Printf.sprintf "to_number(%s.%s) %s %s" cur col (P.cmp_to_sql op)
-                  (P.number_literal v);
+                (fun b ->
+                  Sb.cmp (P.cmp_binop op) (Sb.to_number (acol cur col)) (Sb.pfloat b v));
               ] )
         | None -> None)
       | P.Child_value (c, op, v) ->
-        child_value_cond c ~render:(fun e ->
-            Printf.sprintf "%s %s %s" e (P.cmp_to_sql op) (P.quote v))
+        child_value_cond c ~render:(fun e b -> Sb.cmp (P.cmp_binop op) e (Sb.ptext b v))
       | P.Child_number (c, op, v) ->
-        child_value_cond c ~render:(fun e ->
-            Printf.sprintf "to_number(%s) %s %s" e (P.cmp_to_sql op) (P.number_literal v))
+        child_value_cond c ~render:(fun e b ->
+            Sb.cmp (P.cmp_binop op) (Sb.to_number e) (Sb.pfloat b v))
 
     let apply_preds db ~doc route preds =
       List.fold_left
@@ -558,6 +593,7 @@ let make (dtd : Dtd.t) : Mapping.mapping =
 
     let translate db ~doc (simple : Pathquery.t) =
       let module P = Pathquery in
+      alias_counter := 0;
       (* virtual starting route: the document node, whose only child is the
          root table *)
       let start =
@@ -588,42 +624,41 @@ let make (dtd : Dtd.t) : Mapping.mapping =
       (* one SELECT per surviving route *)
       List.filter_map
         (fun r ->
+          let rid = acol r.rt_alias r.rt_node.col_id in
           let select =
             match simple.P.tgt with
-            | P.Elements ->
-              Some
-                ( Printf.sprintf "%s.%s" r.rt_alias r.rt_node.col_id,
-                  [],
-                  `Element (r.rt_table, r.rt_node) )
+            | P.Elements -> Some ([ Sb.proj rid ], [], `Element (r.rt_table, r.rt_node))
             | P.Attr_of a -> (
               match List.assoc_opt a r.rt_node.col_attrs with
               | Some col ->
                 Some
-                  ( Printf.sprintf "%s.%s, %s.%s" r.rt_alias r.rt_node.col_id r.rt_alias col,
-                    [ Printf.sprintf "%s.%s IS NOT NULL" r.rt_alias col ],
+                  ( [ Sb.proj rid; Sb.proj (acol r.rt_alias col) ],
+                    [ (fun _ -> Sb.is_not_null (acol r.rt_alias col)) ],
                     `Value )
               | None -> None)
             | P.Text_of -> (
               match r.rt_node.col_pcdata with
               | Some col ->
                 Some
-                  ( Printf.sprintf "%s.%s, %s.%s" r.rt_alias r.rt_node.col_id r.rt_alias col,
-                    [ Printf.sprintf "%s.%s IS NOT NULL" r.rt_alias col ],
+                  ( [ Sb.proj rid; Sb.proj (acol r.rt_alias col) ],
+                    [ (fun _ -> Sb.is_not_null (acol r.rt_alias col)) ],
                     `Value )
               | None -> None)
           in
           Option.map
-            (fun (sel, extra_conds, shape) ->
+            (fun (projs, extra_conds, shape) ->
               let froms = List.rev r.rt_froms in
-              let conds = List.rev r.rt_conds @ extra_conds in
-              let sql =
-                Printf.sprintf "SELECT DISTINCT %s FROM %s%s" sel
-                  (String.concat ", " (List.map (fun (t, a) -> t ^ " " ^ a) froms))
-                  (match conds with
-                  | [] -> ""
-                  | cs -> " WHERE " ^ String.concat " AND " cs)
+              let b = Sb.binder () in
+              let conds = List.map (fun f -> f b) (List.rev r.rt_conds @ extra_conds) in
+              let q =
+                Sb.query
+                  [
+                    Sb.select ~distinct:true
+                      ~from:(List.map (fun (t, a) -> Sb.from ~alias:a t) froms)
+                      ~where:conds projs;
+                  ]
               in
-              (sql, shape))
+              ((q, Sb.params b), shape))
             select)
         routes
 
@@ -638,11 +673,8 @@ let make (dtd : Dtd.t) : Mapping.mapping =
           let sqls = ref [] in
           let joins = ref 0 in
           List.iter
-            (fun (sql, shape) ->
-              sqls := sql :: !sqls;
-              let plan = Db.plan_of db sql in
-              joins := !joins + Relstore.Plan.count_joins plan;
-              let r = Db.query db sql in
+            (fun ((q, params), shape) ->
+              let r = run_built db ~joins ~sqls ~params q in
               List.iter
                 (fun row ->
                   let nid = match row.(0) with Value.Int i -> i | _ -> err "bad id" in

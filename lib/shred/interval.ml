@@ -12,6 +12,7 @@ module Dom = Xmlkit.Dom
 module Index = Xmlkit.Index
 module Db = Relstore.Database
 module Value = Relstore.Value
+module Sb = Relstore.Sql_build
 open Mapping
 
 let id = "interval"
@@ -109,13 +110,23 @@ let build_forest rows root_pre =
   | None -> err "node %d is not stored" root_pre
 
 let fetch_range db ~doc ~lo ~hi =
-  let r =
-    Db.query db
-      (Printf.sprintf
-         "SELECT pre, kind, name, value, parent, ordinal FROM accel WHERE doc = %d AND pre >= \
-          %d AND pre <= %d"
-         doc lo hi)
+  let b = Sb.binder () in
+  let q =
+    Sb.query
+      [
+        Sb.select ~from:[ Sb.from "accel" ]
+          ~where:
+            [
+              Sb.eq (Sb.col "doc") (Sb.pint b doc);
+              Sb.ge (Sb.col "pre") (Sb.pint b lo);
+              Sb.le (Sb.col "pre") (Sb.pint b hi);
+            ]
+          (List.map
+             (fun c -> Sb.proj (Sb.col c))
+             [ "pre"; "kind"; "name"; "value"; "parent"; "ordinal" ]);
+      ]
   in
+  let r = query_built db ~params:(Sb.params b) q in
   List.map row_of_values r.Relstore.Executor.rows
 
 let reconstruct db ~doc =
@@ -128,31 +139,53 @@ let reconstruct db ~doc =
   | None -> err "document %d is not stored" doc
 
 let node_of_pre db ~doc pre =
-  let r =
-    Db.query db
-      (Printf.sprintf "SELECT size FROM accel WHERE doc = %d AND pre = %d" doc pre)
+  let b = Sb.binder () in
+  let q =
+    Sb.query
+      [
+        Sb.select ~from:[ Sb.from "accel" ]
+          ~where:[ Sb.eq (Sb.col "doc") (Sb.pint b doc); Sb.eq (Sb.col "pre") (Sb.pint b pre) ]
+          [ Sb.proj (Sb.col "size") ];
+      ]
   in
+  let r = query_built db ~params:(Sb.params b) q in
   match int_column r with
   | [ size ] -> build_forest (fetch_range db ~doc ~lo:pre ~hi:(pre + size)) pre
   | _ -> err "node %d is not stored" pre
 
 let string_value_of_pre db ~doc pre =
-  let r =
-    Db.query db
-      (Printf.sprintf "SELECT size, kind, value FROM accel WHERE doc = %d AND pre = %d" doc pre)
+  let b = Sb.binder () in
+  let q =
+    Sb.query
+      [
+        Sb.select ~from:[ Sb.from "accel" ]
+          ~where:[ Sb.eq (Sb.col "doc") (Sb.pint b doc); Sb.eq (Sb.col "pre") (Sb.pint b pre) ]
+          [ Sb.proj (Sb.col "size"); Sb.proj (Sb.col "kind"); Sb.proj (Sb.col "value") ];
+      ]
   in
+  let r = query_built db ~params:(Sb.params b) q in
   match r.Relstore.Executor.rows with
   | [ [| size; kind; value |] ] -> (
     match Value.to_string kind with
     | "e" ->
       let size = match size with Value.Int i -> i | _ -> err "bad size" in
-      let texts =
-        Db.query db
-          (Printf.sprintf
-             "SELECT value FROM accel WHERE doc = %d AND pre > %d AND pre <= %d AND kind = 't' \
-              ORDER BY pre"
-             doc pre (pre + size))
+      let b = Sb.binder () in
+      let q =
+        Sb.query
+          [
+            Sb.select ~from:[ Sb.from "accel" ]
+              ~where:
+                [
+                  Sb.eq (Sb.col "doc") (Sb.pint b doc);
+                  Sb.gt (Sb.col "pre") (Sb.pint b pre);
+                  Sb.le (Sb.col "pre") (Sb.pint b (pre + size));
+                  Sb.eq (Sb.col "kind") (Sb.text "t");
+                ]
+              ~order_by:[ Sb.asc (Sb.col "pre") ]
+              [ Sb.proj (Sb.col "value") ];
+          ]
       in
+      let texts = query_built db ~params:(Sb.params b) q in
       String.concat "" (string_column texts)
     | _ -> ( match value with Value.Null -> "" | v -> Value.to_string v))
   | _ -> err "node %d is not stored" pre
@@ -160,76 +193,55 @@ let string_value_of_pre db ~doc pre =
 (* ------------------------------------------------------------------ *)
 (* Query translation: always a single statement. *)
 
-let pred_sql ~doc ~cur ~fresh (p : Pathquery.pred) =
+let kind_is a k = Sb.eq (acol a "kind") (Sb.text k)
+let child_of a parent = Sb.eq (acol a "parent") (acol parent "pre")
+
+let pred_sql ~b ~pdoc ~cur ~fresh (p : Pathquery.pred) =
   let module P = Pathquery in
+  let on_doc a = Sb.eq (acol a "doc") pdoc in
+  let name_is a n = Sb.eq (acol a "name") (Sb.ptext b n) in
   match p with
   | P.Has_child c ->
     let a = fresh () in
-    ( [ a ],
-      [
-        Printf.sprintf "%s.doc = %d" a doc;
-        Printf.sprintf "%s.parent = %s.pre" a cur;
-        Printf.sprintf "%s.kind = 'e'" a;
-        Printf.sprintf "%s.name = %s" a (P.quote c);
-      ] )
+    ([ a ], [ on_doc a; child_of a cur; kind_is a "e"; name_is a c ])
   | P.Has_attr at ->
     let a = fresh () in
-    ( [ a ],
-      [
-        Printf.sprintf "%s.doc = %d" a doc;
-        Printf.sprintf "%s.parent = %s.pre" a cur;
-        Printf.sprintf "%s.kind = 'a'" a;
-        Printf.sprintf "%s.name = %s" a (P.quote at);
-      ] )
+    ([ a ], [ on_doc a; child_of a cur; kind_is a "a"; name_is a at ])
   | P.Attr_value (at, op, v) ->
     let a = fresh () in
     ( [ a ],
       [
-        Printf.sprintf "%s.doc = %d" a doc;
-        Printf.sprintf "%s.parent = %s.pre" a cur;
-        Printf.sprintf "%s.kind = 'a'" a;
-        Printf.sprintf "%s.name = %s" a (P.quote at);
-        Printf.sprintf "%s.value %s %s" a (P.cmp_to_sql op) (P.quote v);
+        on_doc a; child_of a cur; kind_is a "a"; name_is a at;
+        Sb.cmp (P.cmp_binop op) (acol a "value") (Sb.ptext b v);
       ] )
   | P.Attr_number (at, op, v) ->
     let a = fresh () in
     ( [ a ],
       [
-        Printf.sprintf "%s.doc = %d" a doc;
-        Printf.sprintf "%s.parent = %s.pre" a cur;
-        Printf.sprintf "%s.kind = 'a'" a;
-        Printf.sprintf "%s.name = %s" a (P.quote at);
-        Printf.sprintf "to_number(%s.value) %s %s" a (P.cmp_to_sql op) (P.number_literal v);
+        on_doc a; child_of a cur; kind_is a "a"; name_is a at;
+        Sb.cmp (P.cmp_binop op) (Sb.to_number (acol a "value")) (Sb.pfloat b v);
       ] )
   | P.Child_value (c, op, v) ->
     let a = fresh () and t = fresh () in
     ( [ a; t ],
       [
-        Printf.sprintf "%s.doc = %d" a doc;
-        Printf.sprintf "%s.parent = %s.pre" a cur;
-        Printf.sprintf "%s.kind = 'e'" a;
-        Printf.sprintf "%s.name = %s" a (P.quote c);
-        Printf.sprintf "%s.doc = %d" t doc;
-        Printf.sprintf "%s.parent = %s.pre" t a;
-        Printf.sprintf "%s.kind = 't'" t;
-        Printf.sprintf "%s.value %s %s" t (P.cmp_to_sql op) (P.quote v);
+        on_doc a; child_of a cur; kind_is a "e"; name_is a c;
+        on_doc t; child_of t a; kind_is t "t";
+        Sb.cmp (P.cmp_binop op) (acol t "value") (Sb.ptext b v);
       ] )
   | P.Child_number (c, op, v) ->
     let a = fresh () and t = fresh () in
     ( [ a; t ],
       [
-        Printf.sprintf "%s.doc = %d" a doc;
-        Printf.sprintf "%s.parent = %s.pre" a cur;
-        Printf.sprintf "%s.kind = 'e'" a;
-        Printf.sprintf "%s.name = %s" a (P.quote c);
-        Printf.sprintf "%s.doc = %d" t doc;
-        Printf.sprintf "%s.parent = %s.pre" t a;
-        Printf.sprintf "%s.kind = 't'" t;
-        Printf.sprintf "to_number(%s.value) %s %s" t (P.cmp_to_sql op) (P.number_literal v);
+        on_doc a; child_of a cur; kind_is a "e"; name_is a c;
+        on_doc t; child_of t a; kind_is t "t";
+        Sb.cmp (P.cmp_binop op) (Sb.to_number (acol t "value")) (Sb.pfloat b v);
       ] )
 
 let translate ~doc (simple : Pathquery.t) =
   let module P = Pathquery in
+  let b = Sb.binder () in
+  let pdoc = Sb.pint b doc in
   let counter = ref 0 in
   let fresh () =
     incr counter;
@@ -243,22 +255,22 @@ let translate ~doc (simple : Pathquery.t) =
     (fun (s : P.step) ->
       let e = fresh () in
       add_from e;
-      add_where (Printf.sprintf "%s.doc = %d" e doc);
-      add_where (Printf.sprintf "%s.kind = 'e'" e);
+      add_where (Sb.eq (acol e "doc") pdoc);
+      add_where (kind_is e "e");
       (match s.P.test with
-      | P.Tag n -> add_where (Printf.sprintf "%s.name = %s" e (P.quote n))
+      | P.Tag n -> add_where (Sb.eq (acol e "name") (Sb.ptext b n))
       | P.Any_tag -> ());
       (match (!prev, s.P.desc) with
-      | None, false -> add_where (Printf.sprintf "%s.parent = 0" e)
+      | None, false -> add_where (Sb.eq (acol e "parent") (Sb.int 0))
       | None, true -> ()  (* any element in the document *)
-      | Some p, false -> add_where (Printf.sprintf "%s.parent = %s.pre" e p)
+      | Some p, false -> add_where (child_of e p)
       | Some p, true ->
         (* the interval containment test: the whole point of this scheme *)
-        add_where (Printf.sprintf "%s.pre > %s.pre" e p);
-        add_where (Printf.sprintf "%s.pre <= %s.pre + %s.size" e p p));
+        add_where (Sb.gt (acol e "pre") (acol p "pre"));
+        add_where (Sb.le (acol e "pre") (Sb.add (acol p "pre") (acol p "size"))));
       List.iter
         (fun pr ->
-          let extra_from, extra_where = pred_sql ~doc ~cur:e ~fresh pr in
+          let extra_from, extra_where = pred_sql ~b ~pdoc ~cur:e ~fresh pr in
           List.iter add_from extra_from;
           List.iter add_where extra_where)
         s.P.preds;
@@ -271,36 +283,44 @@ let translate ~doc (simple : Pathquery.t) =
     | P.Attr_of a ->
       let at = fresh () in
       add_from at;
-      add_where (Printf.sprintf "%s.doc = %d" at doc);
-      add_where (Printf.sprintf "%s.parent = %s.pre" at last);
-      add_where (Printf.sprintf "%s.kind = 'a'" at);
-      add_where (Printf.sprintf "%s.name = %s" at (P.quote a));
+      add_where (Sb.eq (acol at "doc") pdoc);
+      add_where (child_of at last);
+      add_where (kind_is at "a");
+      add_where (Sb.eq (acol at "name") (Sb.ptext b a));
       at
     | P.Text_of ->
       let tx = fresh () in
       add_from tx;
-      add_where (Printf.sprintf "%s.doc = %d" tx doc);
-      add_where (Printf.sprintf "%s.parent = %s.pre" tx last);
-      add_where (Printf.sprintf "%s.kind = 't'" tx);
+      add_where (Sb.eq (acol tx "doc") pdoc);
+      add_where (child_of tx last);
+      add_where (kind_is tx "t");
       tx
   in
-  Printf.sprintf "SELECT DISTINCT %s.pre FROM %s WHERE %s ORDER BY %s.pre" result_alias
-    (String.concat ", " (List.rev_map (fun a -> "accel " ^ a) !froms))
-    (String.concat " AND " (List.rev !wheres))
-    result_alias
+  let result = acol result_alias "pre" in
+  let q =
+    Sb.query
+      [
+        Sb.select ~distinct:true
+          ~from:(List.rev_map (fun a -> Sb.from ~alias:a "accel") !froms)
+          ~where:(List.rev !wheres)
+          ~order_by:[ Sb.asc result ]
+          [ Sb.proj result ];
+      ]
+  in
+  (q, Sb.params b)
 
 let query db ~doc (path : Xpathkit.Ast.path) : query_result =
   match Pathquery.analyze path with
   | None -> fallback_query ~reconstruct db ~doc path
   | Some simple ->
-    let sql = translate ~doc simple in
-    let plan = Db.plan_of db sql in
-    let pres = int_column (Db.query db sql) in
+    let q, params = translate ~doc simple in
+    let sqls = ref [] and joins = ref 0 in
+    let pres = int_column (run_built db ~joins ~sqls ~params q) in
     {
       values = List.map (string_value_of_pre db ~doc) pres;
       nodes = lazy (List.map (node_of_pre db ~doc) pres);
-      sql = [ sql ];
-      joins = Relstore.Plan.count_joins plan;
+      sql = List.rev !sqls;
+      joins = !joins;
       fallback = false;
     }
 

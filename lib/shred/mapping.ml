@@ -62,6 +62,27 @@ let fallback_query ~reconstruct db ~doc path =
     fallback = true;
   }
 
+(* Execute a builder-constructed query through the prepared-plan layer:
+   the rendered statement text is the plan-cache key, so per-path queries
+   whose variable parts are bound parameters plan once and execute many
+   times. Records the text into [sqls] and, when [joins] is given, adds
+   the plan's join count. *)
+let run_built db ?joins ~sqls ?params q =
+  let p = Db.prepare_query db q in
+  sqls := Db.prepared_text p :: !sqls;
+  let plan = Db.prepared_plan db p in
+  (match joins with
+  | Some j -> j := !j + Relstore.Plan.count_joins plan
+  | None -> ());
+  Relstore.Executor.run ?params (Db.catalog db) plan
+
+(* Same, for internal fetches (reconstruction, subtree assembly) that do
+   not report statement text. *)
+let query_built db ?params q = Db.query_prepared ?params db (Db.prepare_query db q)
+
+(* Alias-qualified column, the common case in translated queries. *)
+let acol a c = Relstore.Sql_build.col ~table:a c
+
 (* Single-column int results of a SELECT. *)
 let int_column (r : Relstore.Executor.result) =
   List.map

@@ -45,6 +45,25 @@ val fallback_query :
   reconstruct:(Db.t -> doc:int -> Dom.t) -> Db.t -> doc:int -> Xpathkit.Ast.path -> query_result
 (** Reconstruct, evaluate natively, flag the result. *)
 
+val run_built :
+  Db.t ->
+  ?joins:int ref ->
+  sqls:string list ref ->
+  ?params:Relstore.Value.t array ->
+  Relstore.Sql_ast.query ->
+  Relstore.Executor.result
+(** Execute a builder-constructed query through the prepared-plan layer.
+    Records the rendered statement text into [sqls] and, when [joins] is
+    given, adds the plan's join count. The text doubles as the plan-cache
+    key, so queries whose variable parts are bound parameters plan once. *)
+
+val query_built :
+  Db.t -> ?params:Relstore.Value.t array -> Relstore.Sql_ast.query -> Relstore.Executor.result
+(** Same, for internal fetches that do not report statement text. *)
+
+val acol : string -> string -> Relstore.Sql_ast.expr
+(** [acol alias column] — alias-qualified column reference. *)
+
 val int_column : Relstore.Executor.result -> int list
 val string_column : Relstore.Executor.result -> string list
 

@@ -20,6 +20,16 @@ let cmp_to_sql = function
   | Cgt -> ">"
   | Cge -> ">="
 
+(* The SQL AST operator for a comparison; translators build conditions with
+   this instead of splicing operator text. *)
+let cmp_binop : cmp -> Relstore.Sql_ast.binop = function
+  | Ceq -> Relstore.Sql_ast.Eq
+  | Cneq -> Relstore.Sql_ast.Neq
+  | Clt -> Relstore.Sql_ast.Lt
+  | Cle -> Relstore.Sql_ast.Le
+  | Cgt -> Relstore.Sql_ast.Gt
+  | Cge -> Relstore.Sql_ast.Ge
+
 (* Predicates against the step's context element. [target] is a direct
    child element name or an attribute name. *)
 type pred =
@@ -186,15 +196,3 @@ let base_join_count t =
   in
   steps - 1 + preds
   + (match t.tgt with Elements -> 0 | Attr_of _ | Text_of -> 1)
-
-(* SQL string literal quoting shared by the translators. *)
-let quote s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '\'';
-  String.iter (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c) s;
-  Buffer.add_char buf '\'';
-  Buffer.contents buf
-
-(* Render a float the way the XPath data model compares it. *)
-let number_literal f =
-  if Float.is_integer f then string_of_int (int_of_float f) else Printf.sprintf "%.12g" f

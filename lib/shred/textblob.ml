@@ -9,6 +9,7 @@ module Dom = Xmlkit.Dom
 module Index = Xmlkit.Index
 module Db = Relstore.Database
 module Value = Relstore.Value
+module Sb = Relstore.Sql_build
 open Mapping
 
 let id = "textblob"
@@ -25,8 +26,22 @@ let shred db ~doc ix =
   let text = Xmlkit.Serializer.to_string (Index.to_document ix) in
   Db.insert_row_array db "blob" [| Value.Int doc; Value.Text text |]
 
+let blob_query ~doc =
+  let b = Sb.binder () in
+  let q =
+    Sb.query
+      [
+        Sb.select
+          ~from:[ Sb.from "blob" ]
+          ~where:[ Sb.eq (Sb.col "doc") (Sb.pint b doc) ]
+          [ Sb.proj (Sb.col "xml") ];
+      ]
+  in
+  (q, Sb.params b)
+
 let reconstruct db ~doc =
-  let r = Db.query db (Printf.sprintf "SELECT xml FROM blob WHERE doc = %d" doc) in
+  let q, params = blob_query ~doc in
+  let r = query_built db ~params q in
   match string_column r with
   | [ text ] -> Xmlkit.Parser.parse text
   | [] -> err "document %d is not stored" doc
@@ -36,7 +51,8 @@ let query db ~doc path =
   (* always a fallback by construction, but record the one SQL statement
      that fetched the blob *)
   let r = fallback_query ~reconstruct db ~doc path in
-  { r with sql = [ Printf.sprintf "SELECT xml FROM blob WHERE doc = %d" doc ] }
+  let q, _ = blob_query ~doc in
+  { r with sql = [ Relstore.Sql_ast.query_to_string q ] }
 
 let mapping : Mapping.mapping =
   (module struct

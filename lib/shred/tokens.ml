@@ -18,6 +18,7 @@ module Index = Xmlkit.Index
 module Sax = Xmlkit.Sax
 module Db = Relstore.Database
 module Value = Relstore.Value
+module Sb = Relstore.Sql_build
 open Mapping
 
 let id = "tokens"
@@ -66,11 +67,23 @@ let shred db ~doc ix =
       | Sax.Pi_event { target; data } -> emit ~kind:"p" ~name:(Some target) ~value:(Some data))
     (Index.to_document ix)
 
-let reconstruct db ~doc =
-  let r =
-    Db.query db
-      (Printf.sprintf "SELECT kind, name, value FROM tok WHERE doc = %d ORDER BY seq" doc)
+let stream_query ~doc =
+  let b = Sb.binder () in
+  let q =
+    Sb.query
+      [
+        Sb.select
+          ~from:[ Sb.from "tok" ]
+          ~where:[ Sb.eq (Sb.col "doc") (Sb.pint b doc) ]
+          ~order_by:[ Sb.asc (Sb.col "seq") ]
+          (List.map (fun c -> Sb.proj (Sb.col c)) [ "kind"; "name"; "value" ]);
+      ]
   in
+  (q, Sb.params b)
+
+let reconstruct db ~doc =
+  let q, params = stream_query ~doc in
+  let r = query_built db ~params q in
   if r.Relstore.Executor.rows = [] then err "document %d is not stored" doc;
   (* rebuild the event list; attribute tokens fold into their start event *)
   let events = ref [] in
@@ -95,7 +108,8 @@ let reconstruct db ~doc =
 
 let query db ~doc path =
   let r = fallback_query ~reconstruct db ~doc path in
-  { r with sql = [ Printf.sprintf "SELECT kind, name, value FROM tok WHERE doc = %d ORDER BY seq" doc ] }
+  let q, _ = stream_query ~doc in
+  { r with sql = [ Relstore.Sql_ast.query_to_string q ] }
 
 let mapping : Mapping.mapping =
   (module struct

@@ -22,6 +22,7 @@ module Dom = Xmlkit.Dom
 module Index = Xmlkit.Index
 module Db = Relstore.Database
 module Value = Relstore.Value
+module Sb = Relstore.Sql_build
 open Mapping
 
 let id = "universal"
@@ -42,7 +43,14 @@ let create_indexes db =
 
 (* Registry: labels and their column bases. *)
 let labels db =
-  let r = Db.query db "SELECT kind, label, col FROM u_labels" in
+  let q =
+    Sb.query
+      [
+        Sb.select ~from:[ Sb.from "u_labels" ]
+          [ Sb.proj (Sb.col "kind"); Sb.proj (Sb.col "label"); Sb.proj (Sb.col "col") ];
+      ]
+  in
+  let r = query_built db q in
   List.map
     (fun a -> (Value.to_string a.(0), Value.to_string a.(1), Value.to_string a.(2)))
     r.Relstore.Executor.rows
@@ -78,10 +86,7 @@ let ensure_labels db new_labels =
     let added = List.map (fun (k, l) -> (k, l, fresh l)) missing in
     List.iter
       (fun (k, l, c) ->
-        ignore
-          (Db.exec db
-             (Printf.sprintf "INSERT INTO u_labels VALUES (%s, %s, %s)" (Pathquery.quote k)
-                (Pathquery.quote l) (Pathquery.quote c))))
+        Db.insert_row_array db "u_labels" [| Value.Text k; Value.Text l; Value.Text c |])
       added;
     (* rebuild univ with the wider schema, copying old rows *)
     let all = existing @ added in
@@ -90,8 +95,13 @@ let ensure_labels db new_labels =
       @ List.concat_map (fun (k, _, c) -> [ id_col ~kind:k c; val_col ~kind:k c ]) existing
     in
     let old_rows =
-      (Db.query db (Printf.sprintf "SELECT %s FROM univ" (String.concat ", " old_cols)))
-        .Relstore.Executor.rows
+      let q =
+        Sb.query
+          [
+            Sb.select ~from:[ Sb.from "univ" ] (List.map (fun c -> Sb.proj (Sb.col c)) old_cols);
+          ]
+      in
+      (query_built db q).Relstore.Executor.rows
     in
     ignore (Db.exec db "DROP TABLE univ");
     let col_defs =
@@ -225,14 +235,20 @@ let decode_rows db rows =
         all)
     rows
 
-let fetch_edges db ~doc ~where =
-  let sql =
-    Printf.sprintf "SELECT %s FROM univ WHERE doc = %d%s"
-      (String.concat ", " (univ_columns db))
-      doc
-      (if where = "" then "" else " AND " ^ where)
+(* Fetch the full column group of matching rows and decode. [cond] builds
+   the extra WHERE conjuncts against a fresh binder; [sqls], when given,
+   records the executed statement (stepwise reporting). *)
+let fetch_edges db ?sqls ~doc cond =
+  let b = Sb.binder () in
+  let where = Sb.eq (Sb.col "doc") (Sb.pint b doc) :: cond b in
+  let projs = List.map (fun c -> Sb.proj (Sb.col c)) (univ_columns db) in
+  let q = Sb.query [ Sb.select ~from:[ Sb.from "univ" ] ~where projs ] in
+  let r =
+    match sqls with
+    | Some sqls -> run_built db ~sqls ~params:(Sb.params b) q
+    | None -> query_built db ~params:(Sb.params b) q
   in
-  (sql, decode_rows db (Db.query db sql).Relstore.Executor.rows)
+  decode_rows db r.Relstore.Executor.rows
 
 let build_tree by_source (e : edge) =
   let rec build (e : edge) : Dom.node =
@@ -266,7 +282,7 @@ let group_by_source edges =
   tbl
 
 let reconstruct db ~doc =
-  let _, edges = fetch_edges db ~doc ~where:"" in
+  let edges = fetch_edges db ~doc (fun _ -> []) in
   let by_source = group_by_source edges in
   match Option.value ~default:[] (Hashtbl.find_opt by_source 0) with
   | [ root ] -> (
@@ -278,7 +294,9 @@ let reconstruct db ~doc =
 
 (* Subtree by node id: repeated source fetches. *)
 let rec node_of_target db ~doc (e : edge) : Dom.node =
-  let _, children = fetch_edges db ~doc ~where:(Printf.sprintf "source = %d" e.g_target) in
+  let children =
+    fetch_edges db ~doc (fun b -> [ Sb.eq (Sb.col "source") (Sb.pint b e.g_target) ])
+  in
   let attrs, elems = List.partition (fun c -> c.g_kind = "a") children in
   let sorted l = List.sort (fun a b -> compare a.g_ordinal b.g_ordinal) l in
   let content =
@@ -300,8 +318,8 @@ let edge_of_target db ~doc ~kind ~label target =
   match col_of db ~kind label with
   | None -> err "unknown label %s" label
   | Some c -> (
-    let _, edges =
-      fetch_edges db ~doc ~where:(Printf.sprintf "%s = %d" (id_col ~kind c) target)
+    let edges =
+      fetch_edges db ~doc (fun b -> [ Sb.eq (Sb.col (id_col ~kind c)) (Sb.pint b target) ])
     in
     match edges with
     | [ e ] -> e
@@ -313,11 +331,14 @@ let edge_of_target db ~doc ~kind ~label target =
 
 exception Empty_result
 
-(* Named child chains in one statement; target values selected directly. *)
-let chain_sql db ~doc (simple : Pathquery.t) =
+(* Named child chains in one statement; target values selected directly.
+   Returns ((query, params), shape). *)
+let chain_query db ~doc (simple : Pathquery.t) =
   let module P = Pathquery in
   let ecol tag = match col_of db ~kind:"e" tag with Some c -> c | None -> raise Empty_result in
-  let acol at = match col_of db ~kind:"a" at with Some c -> c | None -> raise Empty_result in
+  let attcol at = match col_of db ~kind:"a" at with Some c -> c | None -> raise Empty_result in
+  let b = Sb.binder () in
+  let pdoc = Sb.pint b doc in
   let counter = ref 0 in
   let fresh () =
     incr counter;
@@ -335,96 +356,91 @@ let chain_sql db ~doc (simple : Pathquery.t) =
       let c = ecol tag in
       let u = fresh () in
       add_from u;
-      add_where (Printf.sprintf "%s.doc = %d" u doc);
-      add_where (Printf.sprintf "%s.%s IS NOT NULL" u (id_col ~kind:"e" c));
+      add_where (Sb.eq (acol u "doc") pdoc);
+      add_where (Sb.is_not_null (acol u (id_col ~kind:"e" c)));
       (match !prev with
-      | None -> add_where (Printf.sprintf "%s.source = 0" u)
-      | Some (p, pc) -> add_where (Printf.sprintf "%s.source = %s.%s" u p (id_col ~kind:"e" pc)));
-      let cur_id = Printf.sprintf "%s.%s" u (id_col ~kind:"e" c) in
+      | None -> add_where (Sb.eq (acol u "source") (Sb.int 0))
+      | Some (p, pc) -> add_where (Sb.eq (acol u "source") (acol p (id_col ~kind:"e" pc))));
+      let cur_id = acol u (id_col ~kind:"e" c) in
+      (* auxiliary row joined on source = current element id *)
+      let aux_on_cur () =
+        let a = fresh () in
+        add_from a;
+        add_where (Sb.eq (acol a "doc") pdoc);
+        add_where (Sb.eq (acol a "source") cur_id);
+        a
+      in
       List.iter
         (fun pr ->
           match pr with
           | P.Has_child ch ->
             let cc = ecol ch in
-            let a = fresh () in
-            add_from a;
-            add_where (Printf.sprintf "%s.doc = %d" a doc);
-            add_where (Printf.sprintf "%s.source = %s" a cur_id);
-            add_where (Printf.sprintf "%s.%s IS NOT NULL" a (id_col ~kind:"e" cc))
+            let a = aux_on_cur () in
+            add_where (Sb.is_not_null (acol a (id_col ~kind:"e" cc)))
           | P.Has_attr at ->
-            let ac = acol at in
-            let a = fresh () in
-            add_from a;
-            add_where (Printf.sprintf "%s.doc = %d" a doc);
-            add_where (Printf.sprintf "%s.source = %s" a cur_id);
-            add_where (Printf.sprintf "%s.%s IS NOT NULL" a (id_col ~kind:"a" ac))
+            let ac = attcol at in
+            let a = aux_on_cur () in
+            add_where (Sb.is_not_null (acol a (id_col ~kind:"a" ac)))
           | P.Attr_value (at, op, v) ->
-            let ac = acol at in
-            let a = fresh () in
-            add_from a;
-            add_where (Printf.sprintf "%s.doc = %d" a doc);
-            add_where (Printf.sprintf "%s.source = %s" a cur_id);
-            add_where
-              (Printf.sprintf "%s.%s %s %s" a (val_col ~kind:"a" ac) (P.cmp_to_sql op) (P.quote v))
+            let ac = attcol at in
+            let a = aux_on_cur () in
+            add_where (Sb.cmp (P.cmp_binop op) (acol a (val_col ~kind:"a" ac)) (Sb.ptext b v))
           | P.Attr_number (at, op, v) ->
-            let ac = acol at in
-            let a = fresh () in
-            add_from a;
-            add_where (Printf.sprintf "%s.doc = %d" a doc);
-            add_where (Printf.sprintf "%s.source = %s" a cur_id);
+            let ac = attcol at in
+            let a = aux_on_cur () in
             add_where
-              (Printf.sprintf "to_number(%s.%s) %s %s" a (val_col ~kind:"a" ac) (P.cmp_to_sql op)
-                 (P.number_literal v))
+              (Sb.cmp (P.cmp_binop op)
+                 (Sb.to_number (acol a (val_col ~kind:"a" ac)))
+                 (Sb.pfloat b v))
           | P.Child_value (ch, op, v) ->
             let cc = ecol ch in
-            let a = fresh () in
-            add_from a;
-            add_where (Printf.sprintf "%s.doc = %d" a doc);
-            add_where (Printf.sprintf "%s.source = %s" a cur_id);
-            add_where
-              (Printf.sprintf "%s.%s %s %s" a (val_col ~kind:"e" cc) (P.cmp_to_sql op) (P.quote v))
+            let a = aux_on_cur () in
+            add_where (Sb.cmp (P.cmp_binop op) (acol a (val_col ~kind:"e" cc)) (Sb.ptext b v))
           | P.Child_number (ch, op, v) ->
             let cc = ecol ch in
-            let a = fresh () in
-            add_from a;
-            add_where (Printf.sprintf "%s.doc = %d" a doc);
-            add_where (Printf.sprintf "%s.source = %s" a cur_id);
+            let a = aux_on_cur () in
             add_where
-              (Printf.sprintf "to_number(%s.%s) %s %s" a (val_col ~kind:"e" cc) (P.cmp_to_sql op)
-                 (P.number_literal v)))
+              (Sb.cmp (P.cmp_binop op)
+                 (Sb.to_number (acol a (val_col ~kind:"e" cc)))
+                 (Sb.pfloat b v)))
         s.P.preds;
       prev := Some (u, c))
     simple.P.steps;
   let last, lc = match !prev with Some p -> p | None -> err "empty path" in
-  let last_id = Printf.sprintf "%s.%s" last (id_col ~kind:"e" lc) in
-  let select, order, shape =
+  let last_id = acol last (id_col ~kind:"e" lc) in
+  let projs, order, shape =
     match simple.P.tgt with
     | P.Elements ->
-      (last_id, last_id, `Element (List.rev simple.P.steps |> List.hd |> fun s ->
-        match s.P.test with P.Tag n -> n | P.Any_tag -> assert false))
+      ( [ Sb.proj last_id ],
+        last_id,
+        `Element
+          (List.rev simple.P.steps |> List.hd |> fun s ->
+           match s.P.test with P.Tag n -> n | P.Any_tag -> assert false) )
     | P.Attr_of a ->
-      let ac = acol a in
+      let ac = attcol a in
       let at = fresh () in
       add_from at;
-      add_where (Printf.sprintf "%s.doc = %d" at doc);
-      add_where (Printf.sprintf "%s.source = %s" at last_id);
-      add_where (Printf.sprintf "%s.%s IS NOT NULL" at (id_col ~kind:"a" ac)) |> ignore;
-      ( Printf.sprintf "%s.%s, %s.%s" at (id_col ~kind:"a" ac) at (val_col ~kind:"a" ac),
-        Printf.sprintf "%s.%s" at (id_col ~kind:"a" ac),
+      add_where (Sb.eq (acol at "doc") pdoc);
+      add_where (Sb.eq (acol at "source") last_id);
+      add_where (Sb.is_not_null (acol at (id_col ~kind:"a" ac)));
+      ( [ Sb.proj (acol at (id_col ~kind:"a" ac)); Sb.proj (acol at (val_col ~kind:"a" ac)) ],
+        acol at (id_col ~kind:"a" ac),
         `Value )
     | P.Text_of ->
-      add_where (Printf.sprintf "%s.%s IS NOT NULL" last (val_col ~kind:"e" lc));
-      ( Printf.sprintf "%s, %s.%s" last_id last (val_col ~kind:"e" lc),
-        last_id,
-        `Value )
+      add_where (Sb.is_not_null (acol last (val_col ~kind:"e" lc)));
+      ([ Sb.proj last_id; Sb.proj (acol last (val_col ~kind:"e" lc)) ], last_id, `Value)
   in
-  let sql =
-    Printf.sprintf "SELECT DISTINCT %s FROM %s WHERE %s ORDER BY %s" select
-      (String.concat ", " (List.rev_map (fun a -> "univ " ^ a) !froms))
-      (String.concat " AND " (List.rev !wheres))
-      order
+  let q =
+    Sb.query
+      [
+        Sb.select ~distinct:true
+          ~from:(List.rev_map (fun a -> Sb.from ~alias:a "univ") !froms)
+          ~where:(List.rev !wheres)
+          ~order_by:[ Sb.asc order ]
+          projs;
+      ]
   in
-  (sql, shape)
+  ((q, Sb.params b), shape)
 
 (* Stepwise evaluation for '//' and wildcards: fetch the full column group
    of each frontier batch and decode in OCaml — the universal table makes
@@ -432,17 +448,13 @@ let chain_sql db ~doc (simple : Pathquery.t) =
 let stepwise db ~doc (simple : Pathquery.t) =
   let module P = Pathquery in
   let sqls = ref [] in
-  let fetch where =
-    let sql, edges = fetch_edges db ~doc ~where in
-    sqls := sql :: !sqls;
-    edges
-  in
+  let fetch cond = fetch_edges db ~sqls ~doc cond in
   let children_of ids =
     Edge.batched ids (fun chunk ->
-        fetch (Printf.sprintf "source IN (%s)" (Edge.in_list chunk)))
+        fetch (fun b -> [ Sb.in_list (Sb.col "source") (List.map (Sb.pint b) chunk) ]))
   in
   let check_pred (e : edge) (p : P.pred) =
-    let kids = fetch (Printf.sprintf "source = %d" e.g_target) in
+    let kids = fetch (fun b -> [ Sb.eq (Sb.col "source") (Sb.pint b e.g_target) ]) in
     match p with
     | P.Has_child c -> List.exists (fun k -> k.g_kind = "e" && k.g_label = c) kids
     | P.Has_attr a -> List.exists (fun k -> k.g_kind = "a" && k.g_label = a) kids
@@ -545,7 +557,7 @@ let stepwise db ~doc (simple : Pathquery.t) =
       `Values
         (List.concat_map
            (fun e ->
-             fetch (Printf.sprintf "source = %d" e.g_target)
+             fetch (fun b -> [ Sb.eq (Sb.col "source") (Sb.pint b e.g_target) ])
              |> List.filter (fun k -> k.g_kind = "a" && k.g_label = a)
              |> List.map (fun k -> (k.g_target, Option.value ~default:"" k.g_value)))
            final
@@ -590,17 +602,17 @@ let query db ~doc (path : Xpathkit.Ast.path) : query_result =
   | None -> fallback_query ~reconstruct db ~doc path
   | Some simple ->
     if is_named_chain simple then begin
-      match chain_sql db ~doc simple with
-      | sql, shape -> (
-        let plan = Db.plan_of db sql in
-        let joins = Relstore.Plan.count_joins plan in
-        let rows = (Db.query db sql).Relstore.Executor.rows in
+      match chain_query db ~doc simple with
+      | (q, params), shape -> (
+        let sqls = ref [] and joins = ref 0 in
+        let rows = (run_built db ~joins ~sqls ~params q).Relstore.Executor.rows in
+        let sql = List.rev !sqls and joins = !joins in
         match shape with
         | `Element tag ->
           let ids = List.map (fun r -> match r.(0) with Value.Int i -> i | _ -> err "bad id") rows in
           result_of_edges db ~doc
             (List.map (fun t -> edge_of_target db ~doc ~kind:"e" ~label:tag t) ids)
-            [ sql ] joins
+            sql joins
         | `Value ->
           result_of_values
             (List.map
@@ -608,7 +620,7 @@ let query db ~doc (path : Xpathkit.Ast.path) : query_result =
                  ( (match r.(0) with Value.Int i -> i | _ -> err "bad id"),
                    match r.(1) with Value.Null -> "" | v -> Value.to_string v ))
                rows)
-            [ sql ] joins)
+            sql joins)
       | exception Empty_result ->
         { values = []; nodes = lazy []; sql = []; joins = 0; fallback = false }
     end

@@ -15,6 +15,7 @@ module Dom = Xmlkit.Dom
 module Index = Xmlkit.Index
 module Db = Relstore.Database
 module Value = Relstore.Value
+module Sb = Relstore.Sql_build
 open Mapping
 
 type cost = { inserted : int; updated : int; deleted : int }
@@ -59,8 +60,8 @@ module Edge_updater : UPDATER = struct
     let t, _ = Edge.stepwise db ~doc (simple_of path) in
     t
 
-  let scalar_int db sql =
-    match (Db.query db sql).Relstore.Executor.rows with
+  let scalar_int db ~params sql =
+    match (Db.query ~params db sql).Relstore.Executor.rows with
     | [ [| Value.Int i |] ] -> i
     | [ [| Value.Null |] ] -> 0
     | _ -> err "expected one integer from %s" sql
@@ -69,13 +70,14 @@ module Edge_updater : UPDATER = struct
     match targets db ~doc parent with
     | [ target ] ->
       let fragment = index_fragment node in
-      let base = scalar_int db (Printf.sprintf "SELECT max(target) FROM edge WHERE doc = %d" doc) in
+      let base =
+        scalar_int db ~params:[| Value.Int doc |] "SELECT max(target) FROM edge WHERE doc = ?1"
+      in
       let next_ord =
         1
         + scalar_int db
-            (Printf.sprintf
-               "SELECT max(ordinal) FROM edge WHERE doc = %d AND source = %d AND kind <> 'a'"
-               doc target)
+            ~params:[| Value.Int doc; Value.Int target |]
+            "SELECT max(ordinal) FROM edge WHERE doc = ?1 AND source = ?2 AND kind <> 'a'"
       in
       (* fragment node 0 is its document node; node ids shift by [base] *)
       let inserted = ref 0 in
@@ -119,10 +121,21 @@ module Edge_updater : UPDATER = struct
       while !frontier <> [] do
         let next =
           Edge.batched !frontier (fun chunk ->
-              int_column
-                (Db.query db
-                   (Printf.sprintf "SELECT target FROM edge WHERE doc = %d AND source IN (%s)"
-                      doc (Edge.in_list chunk))))
+              let b = Sb.binder () in
+              let q =
+                Sb.query
+                  [
+                    Sb.select
+                      ~from:[ Sb.from "edge" ]
+                      ~where:
+                        [
+                          Sb.eq (Sb.col "doc") (Sb.pint b doc);
+                          Sb.in_list (Sb.col "source") (List.map (Sb.pint b) chunk);
+                        ]
+                      [ Sb.proj (Sb.col "target") ];
+                  ]
+              in
+              int_column (query_built db ~params:(Sb.params b) q))
         in
         all := next @ !all;
         frontier := next
@@ -131,10 +144,15 @@ module Edge_updater : UPDATER = struct
          of the root included *)
       ignore
         (Edge.batched !all (fun chunk ->
+             let params =
+               Array.of_list (Value.Int doc :: List.map (fun i -> Value.Int i) chunk)
+             in
+             let holes =
+               String.concat ", " (List.mapi (fun i _ -> Printf.sprintf "?%d" (i + 2)) chunk)
+             in
              (match
-                Db.exec db
-                  (Printf.sprintf "DELETE FROM edge WHERE doc = %d AND target IN (%s)" doc
-                     (Edge.in_list chunk))
+                Db.exec ~params db
+                  (Printf.sprintf "DELETE FROM edge WHERE doc = ?1 AND target IN (%s)" holes)
               with
              | Db.Affected n -> deleted := !deleted + n
              | _ -> ());
@@ -150,7 +168,9 @@ end
 module Dewey_updater : UPDATER = struct
   let id = "dewey"
 
-  let labels db ~doc path = string_column (Db.query db (Dewey.translate ~doc (simple_of path)))
+  let labels db ~doc path =
+    let q, params = Dewey.translate ~doc (simple_of path) in
+    string_column (query_built db ~params q)
 
   let append_child db ~doc ~parent node =
     match labels db ~doc parent with
@@ -158,10 +178,9 @@ module Dewey_updater : UPDATER = struct
       let fragment = index_fragment node in
       (* next free child ordinal under the parent *)
       let r =
-        Db.query db
-          (Printf.sprintf
-             "SELECT max(ordinal) FROM dewey WHERE doc = %d AND parent_label = %s AND kind <> 'a'"
-             doc (Pathquery.quote parent_label))
+        Db.query
+          ~params:[| Value.Int doc; Value.Text parent_label |]
+          db "SELECT max(ordinal) FROM dewey WHERE doc = ?1 AND parent_label = ?2 AND kind <> 'a'"
       in
       let next_ord =
         1
@@ -173,9 +192,9 @@ module Dewey_updater : UPDATER = struct
       let frag_labels = Array.make (Index.count fragment) "" in
       let parent_level =
         match
-          (Db.query db
-             (Printf.sprintf "SELECT level FROM dewey WHERE doc = %d AND label = %s" doc
-                (Pathquery.quote parent_label)))
+          (Db.query
+             ~params:[| Value.Int doc; Value.Text parent_label |]
+             db "SELECT level FROM dewey WHERE doc = ?1 AND label = ?2")
             .Relstore.Executor.rows
         with
         | [ [| Value.Int l |] ] -> l
@@ -224,13 +243,15 @@ module Dewey_updater : UPDATER = struct
     List.iter
       (fun label ->
         List.iter
-          (fun cond ->
-            match Db.exec db (Printf.sprintf "DELETE FROM dewey WHERE doc = %d AND %s" doc cond) with
+          (fun (sql, params) ->
+            match Db.exec ~params db sql with
             | Db.Affected n -> deleted := !deleted + n
             | _ -> ())
           [
-            Printf.sprintf "label = %s" (Pathquery.quote label);
-            Printf.sprintf "label LIKE %s" (Pathquery.quote (label ^ ".%"));
+            ( "DELETE FROM dewey WHERE doc = ?1 AND label = ?2",
+              [| Value.Int doc; Value.Text label |] );
+            ( "DELETE FROM dewey WHERE doc = ?1 AND label LIKE ?2",
+              [| Value.Int doc; Value.Text (label ^ ".%") |] );
           ])
       victims;
     { zero with deleted = !deleted }
@@ -242,21 +263,23 @@ end
 module Interval_updater : UPDATER = struct
   let id = "interval"
 
-  let pres db ~doc path = int_column (Db.query db (Interval.translate ~doc (simple_of path)))
+  let pres db ~doc path =
+    let q, params = Interval.translate ~doc (simple_of path) in
+    int_column (query_built db ~params q)
 
   let node_row db ~doc pre =
     match
-      (Db.query db
-         (Printf.sprintf "SELECT size, level, parent, ordinal FROM accel WHERE doc = %d AND pre = %d"
-            doc pre))
+      (Db.query
+         ~params:[| Value.Int doc; Value.Int pre |]
+         db "SELECT size, level, parent, ordinal FROM accel WHERE doc = ?1 AND pre = ?2")
         .Relstore.Executor.rows
     with
     | [ [| Value.Int size; Value.Int level; Value.Int parent; Value.Int ordinal |] ] ->
       (size, level, parent, ordinal)
     | _ -> err "node %d not stored" pre
 
-  let affected db sql =
-    match Db.exec db sql with Db.Affected n -> n | _ -> 0
+  let affected db ~params sql =
+    match Db.exec ~params db sql with Db.Affected n -> n | _ -> 0
 
   (* ancestors of a pre (walking parent pointers) *)
   let rec ancestors db ~doc pre acc =
@@ -279,13 +302,13 @@ module Interval_updater : UPDATER = struct
       updated :=
         !updated
         + affected db
-            (Printf.sprintf "UPDATE accel SET pre = pre + %d WHERE doc = %d AND pre > %d" k doc
-               insert_at);
+            ~params:[| Value.Int k; Value.Int doc; Value.Int insert_at |]
+            "UPDATE accel SET pre = pre + ?1 WHERE doc = ?2 AND pre > ?3";
       updated :=
         !updated
         + affected db
-            (Printf.sprintf "UPDATE accel SET parent = parent + %d WHERE doc = %d AND parent > %d"
-               k doc insert_at);
+            ~params:[| Value.Int k; Value.Int doc; Value.Int insert_at |]
+            "UPDATE accel SET parent = parent + ?1 WHERE doc = ?2 AND parent > ?3";
       (* grow the ancestors' subtree sizes (the target included) *)
       let anc = target :: ancestors db ~doc target [] in
       List.iter
@@ -293,16 +316,15 @@ module Interval_updater : UPDATER = struct
           updated :=
             !updated
             + affected db
-                (Printf.sprintf "UPDATE accel SET size = size + %d WHERE doc = %d AND pre = %d" k
-                   doc a))
+                ~params:[| Value.Int k; Value.Int doc; Value.Int a |]
+                "UPDATE accel SET size = size + ?1 WHERE doc = ?2 AND pre = ?3")
         anc;
       (* ordinal for the appended child *)
       let next_ord =
         let r =
-          Db.query db
-            (Printf.sprintf
-               "SELECT max(ordinal) FROM accel WHERE doc = %d AND parent = %d AND kind <> 'a'"
-               doc target)
+          Db.query
+            ~params:[| Value.Int doc; Value.Int target |]
+            db "SELECT max(ordinal) FROM accel WHERE doc = ?1 AND parent = ?2 AND kind <> 'a'"
         in
         match r.Relstore.Executor.rows with [ [| Value.Int i |] ] -> 1 + i | _ -> 1
       in
@@ -356,26 +378,26 @@ module Interval_updater : UPDATER = struct
         deleted :=
           !deleted
           + affected db
-              (Printf.sprintf "DELETE FROM accel WHERE doc = %d AND pre >= %d AND pre <= %d" doc
-                 pre (pre + size));
+              ~params:[| Value.Int doc; Value.Int pre; Value.Int (pre + size) |]
+              "DELETE FROM accel WHERE doc = ?1 AND pre >= ?2 AND pre <= ?3";
         List.iter
           (fun a ->
             updated :=
               !updated
               + affected db
-                  (Printf.sprintf "UPDATE accel SET size = size - %d WHERE doc = %d AND pre = %d"
-                     k doc a))
+                  ~params:[| Value.Int k; Value.Int doc; Value.Int a |]
+                  "UPDATE accel SET size = size - ?1 WHERE doc = ?2 AND pre = ?3")
           anc;
         updated :=
           !updated
           + affected db
-              (Printf.sprintf "UPDATE accel SET pre = pre - %d WHERE doc = %d AND pre > %d" k doc
-                 (pre + size));
+              ~params:[| Value.Int k; Value.Int doc; Value.Int (pre + size) |]
+              "UPDATE accel SET pre = pre - ?1 WHERE doc = ?2 AND pre > ?3";
         updated :=
           !updated
           + affected db
-              (Printf.sprintf "UPDATE accel SET parent = parent - %d WHERE doc = %d AND parent > %d"
-                 k doc (pre + size)))
+              ~params:[| Value.Int k; Value.Int doc; Value.Int (pre + size) |]
+              "UPDATE accel SET parent = parent - ?1 WHERE doc = ?2 AND parent > ?3")
       victims;
     { zero with deleted = !deleted; updated = !updated }
 end

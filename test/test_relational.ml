@@ -751,6 +751,104 @@ let index_equivalence_prop =
       in
       mk true = mk false)
 
+(* ------------------------------------------------------------------ *)
+(* Prepared statements and the plan cache *)
+
+let mk_cached_db () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (id INTEGER, grp INTEGER, name TEXT)");
+  for i = 0 to 99 do
+    Database.insert_row db "t"
+      [ Value.Int i; Value.Int (i mod 5); Value.Text (Printf.sprintf "n%d" i) ]
+  done;
+  db
+
+let test_cache_counters () =
+  let db = mk_cached_db () in
+  Database.reset_cache_stats db;
+  for g = 0 to 9 do
+    ignore (Database.query ~params:[| Value.Int (g mod 5) |] db "SELECT id FROM t WHERE grp = ?1")
+  done;
+  let hits, misses, inval = Database.cache_stats db in
+  check_int "one miss (first execution plans)" 1 misses;
+  check_int "nine hits (same text, different bindings)" 9 hits;
+  check_int "no invalidations" 0 inval
+
+let test_cache_identical_results () =
+  let db = mk_cached_db () in
+  let run () =
+    let r =
+      Database.query ~params:[| Value.Int 3 |] db
+        "SELECT id, name FROM t WHERE grp = ?1 ORDER BY id"
+    in
+    List.map (fun row -> List.map Value.to_string (Array.to_list row)) r.Executor.rows
+  in
+  let first = run () in
+  let cached = run () in
+  Database.set_plan_cache db false;
+  let uncached = run () in
+  Database.set_plan_cache db true;
+  check_bool "non-empty" true (first <> []);
+  check_bool "cached run equals first run" true (first = cached);
+  check_bool "cache off equals cache on" true (uncached = cached)
+
+let test_cache_invalidation () =
+  let db = mk_cached_db () in
+  let p = Database.prepare db "SELECT id FROM t WHERE grp = ?1" in
+  ignore (Database.query_prepared ~params:[| Value.Int 1 |] db p);
+  Database.reset_cache_stats db;
+  ignore (Database.query_prepared ~params:[| Value.Int 1 |] db p);
+  let hits, _, _ = Database.cache_stats db in
+  check_int "cached before DDL" 1 hits;
+  (* CREATE INDEX empties the cache: the next execution must replan so it
+     can consider the new access path *)
+  ignore (Database.exec db "CREATE INDEX t_grp ON t (grp)");
+  let _, _, inval = Database.cache_stats db in
+  check_bool "DDL counted as invalidation" true (inval >= 1);
+  Database.reset_cache_stats db;
+  let r = Database.query_prepared ~params:[| Value.Int 1 |] db p in
+  let _, misses, _ = Database.cache_stats db in
+  check_int "replans after CREATE INDEX" 1 misses;
+  check_int "same answer through the new plan" 20 (List.length r.Executor.rows);
+  (* any DROP TABLE clears the cache too *)
+  ignore (Database.exec db "CREATE TABLE scratch (x INTEGER)");
+  ignore (Database.query_prepared ~params:[| Value.Int 1 |] db p);
+  ignore (Database.exec db "DROP TABLE scratch");
+  Database.reset_cache_stats db;
+  ignore (Database.query_prepared ~params:[| Value.Int 1 |] db p);
+  let _, misses, _ = Database.cache_stats db in
+  check_int "replans after DROP TABLE" 1 misses
+
+let test_cache_drift_invalidation () =
+  let db = mk_cached_db () in
+  let stmt = "SELECT count(*) FROM t WHERE grp = ?1" in
+  ignore (Database.query ~params:[| Value.Int 0 |] db stmt);
+  (* grow the table well past the ~20% drift threshold the planner's
+     stats cache uses *)
+  for i = 100 to 299 do
+    Database.insert_row db "t" [ Value.Int i; Value.Int (i mod 5); Value.Text "x" ]
+  done;
+  Database.reset_cache_stats db;
+  let r = Database.query ~params:[| Value.Int 0 |] db stmt in
+  let _, misses, inval = Database.cache_stats db in
+  check_int "replans after row-count drift" 1 misses;
+  check_int "drift counted as invalidation" 1 inval;
+  check_bool "fresh plan sees the new rows" true (r.Executor.rows = [ [| Value.Int 60 |] ])
+
+let test_prepared_bindings () =
+  let db = mk_cached_db () in
+  let p = Database.prepare db "SELECT count(*) FROM t WHERE grp = ?1 AND id < ?2" in
+  let count params =
+    match (Database.query_prepared ~params db p).Executor.rows with
+    | [ [| Value.Int c |] ] -> c
+    | _ -> -1
+  in
+  check_int "grp 0 below 50" 10 (count [| Value.Int 0; Value.Int 50 |]);
+  check_int "grp 0 all" 20 (count [| Value.Int 0; Value.Int 100 |]);
+  check_int "grp 4 below 10" 2 (count [| Value.Int 4; Value.Int 10 |]);
+  Alcotest.check_raises "missing binding" (Expr_eval.Eval_error "unbound parameter ?2")
+    (fun () -> ignore (count [| Value.Int 0 |]))
+
 let () =
   Alcotest.run "relational"
     [
@@ -824,6 +922,15 @@ let () =
           Alcotest.test_case "stats drive join order" `Quick test_stats_drive_join_order;
           Alcotest.test_case "stats pick the selective index" `Quick
             test_stats_pick_selective_index;
+        ] );
+      ( "plan cache",
+        [
+          Alcotest.test_case "hit/miss counters" `Quick test_cache_counters;
+          Alcotest.test_case "identical results cache on/off" `Quick
+            test_cache_identical_results;
+          Alcotest.test_case "DDL invalidation" `Quick test_cache_invalidation;
+          Alcotest.test_case "stats-drift invalidation" `Quick test_cache_drift_invalidation;
+          Alcotest.test_case "prepared bindings" `Quick test_prepared_bindings;
         ] );
       ( "persistence",
         [ Alcotest.test_case "dump/restore" `Quick test_dump_restore ] );

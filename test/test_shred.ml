@@ -103,6 +103,41 @@ let test_sql_reported m () =
   let r2 = M.query db ~doc:0 (Xpathkit.Parser.parse_path "/site/people/person[2]/name") in
   check_bool "positional is fallback" true r2.Xmlshred.Mapping.fallback
 
+(* SQL-hostile bytes — single quotes, LIKE wildcards, non-ASCII UTF-8 —
+   must survive shredding, translated queries (where they travel as bound
+   parameters or centrally quoted literals), and reconstruction. *)
+let special_doc_src =
+  "<site>\
+   <people>\
+   <person id=\"o'brien\"><name>miles o'brien</name><age>40</age></person>\
+   <person id=\"p2\"><name>100% wool</name></person>\
+   <person id=\"caf\xc3\xa9\"><name>caf\xc3\xa9 cr\xc3\xa8me</name></person>\
+   </people>\
+   <items>\
+   <item price=\"10\"><name>50% off 'deal'</name><keyword>a'b%c_d</keyword></item>\
+   </items>\
+   </site>"
+
+let special_workload =
+  [
+    "//person[@id=\"o'brien\"]/name";
+    "/site/people/person[name='100% wool']";
+    "//person[name=\"caf\xc3\xa9 cr\xc3\xa8me\"]/@id";
+    "//item[keyword=\"a'b%c_d\"]/name";
+    "//keyword";
+  ]
+
+let test_special_chars m () =
+  let module M = (val m : Xmlshred.Mapping.MAPPING) in
+  let db, dom = setup m ~src:special_doc_src () in
+  check_bool "round trip" true (Dom.equal dom (M.reconstruct db ~doc:0));
+  List.iter
+    (fun q ->
+      let expected = native_values dom q in
+      let got = (M.query db ~doc:0 (Xpathkit.Parser.parse_path q)).Xmlshred.Mapping.values in
+      check_strings (M.id ^ ": " ^ q) expected got)
+    special_workload
+
 (* Data-centric random documents (no mixed content): the shape all six
    mappings must round-trip. *)
 let gen_data_doc =
@@ -217,6 +252,7 @@ let mapping_cases m =
       Alcotest.test_case "query workload" `Quick (test_workload m);
       Alcotest.test_case "multiple documents" `Quick (test_multi_doc m);
       Alcotest.test_case "sql reporting" `Quick (test_sql_reported m);
+      Alcotest.test_case "special characters" `Quick (test_special_chars m);
       QCheck_alcotest.to_alcotest (roundtrip_prop m);
       QCheck_alcotest.to_alcotest (query_equiv_prop m);
       QCheck_alcotest.to_alcotest (random_path_prop m);
@@ -332,6 +368,17 @@ let test_inline_rejects_invalid () =
   | exception Xmlshred.Inline.Unsupported _ -> ()
   | _ -> Alcotest.fail "expected Unsupported for wrong root"
 
+let test_inline_special_chars () =
+  let module M = (val inline_mapping : Xmlshred.Mapping.MAPPING) in
+  let db, dom = inline_setup special_doc_src in
+  check_bool "round trip" true (Dom.equal dom (M.reconstruct db ~doc:0));
+  List.iter
+    (fun q ->
+      let expected = native_values dom q in
+      let got = (M.query db ~doc:0 (Xpathkit.Parser.parse_path q)).Xmlshred.Mapping.values in
+      check_strings ("inline: " ^ q) expected got)
+    special_workload
+
 let inline_roundtrip_prop =
   let module M = (val inline_mapping : Xmlshred.Mapping.MAPPING) in
   QCheck.Test.make ~name:"inline shred/reconstruct identity" ~count:60 arb_site_doc (fun dom ->
@@ -396,6 +443,7 @@ let inline_cases =
       Alcotest.test_case "query workload" `Quick test_inline_workload;
       Alcotest.test_case "table count" `Quick test_inline_table_count;
       Alcotest.test_case "rejects invalid documents" `Quick test_inline_rejects_invalid;
+      Alcotest.test_case "special characters" `Quick test_inline_special_chars;
       Alcotest.test_case "recursive DTD" `Quick test_inline_recursive;
       QCheck_alcotest.to_alcotest inline_roundtrip_prop;
       QCheck_alcotest.to_alcotest inline_query_equiv_prop;
