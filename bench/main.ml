@@ -542,7 +542,7 @@ let f7 () =
                     t)
               in
               let cached = best cached_times in
-              let hits, misses, _ = Store.cache_stats store in
+              let hits, misses, _, _ = Store.cache_stats store in
               (* the cache must not change answers *)
               Store.set_plan_cache store false;
               let off = Store.query store 0 xpath in
@@ -580,6 +580,72 @@ let f7 () =
     ~title:"F7: plan cache — cold vs cached plan latency (also BENCH_plancache.json)"
     ~header:[ "scheme"; "query"; "cold ms"; "cached ms"; "speedup"; "hits"; "misses"; "identical" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+(* F8: EXPLAIN ANALYZE — per-operator time breakdown of the executed plans
+   for Q1 (child chain) and Q5 (descendant) under edge, interval, and
+   dewey. Written to BENCH_analyze.json for machine consumption. The scale
+   is overridable (BENCH_F8_SCALE) so CI can smoke-run it in milliseconds. *)
+
+let f8 () =
+  let scale =
+    match Sys.getenv_opt "BENCH_F8_SCALE" with
+    | Some s -> (try float_of_string s with _ -> 0.5)
+    | None -> 0.5
+  in
+  let dom = auction ~scale ~seed:42 in
+  let queries = [ "Q1"; "Q5" ] in
+  let module P = Relstore.Plan in
+  (* one row per operator, pre-order with depth for indentation *)
+  let rec flatten depth (a : P.annotated) =
+    (depth, a) :: List.concat_map (flatten (depth + 1)) a.P.an_children
+  in
+  let rows = ref [] and entries = ref [] in
+  List.iter
+    (fun scheme ->
+      let store = loaded_store scheme dom in
+      List.iter
+        (fun qid ->
+          let q = Option.get (Xmlwork.Queries.find qid) in
+          let xpath = q.Xmlwork.Queries.xpath in
+          (* warm the plan cache so F8 measures execution, not planning *)
+          ignore (Store.query store 0 xpath);
+          let r = Store.query ~analyze:true store 0 xpath in
+          List.iteri
+            (fun si (sql, annot) ->
+              List.iter
+                (fun (depth, (a : P.annotated)) ->
+                  let ms = float_of_int a.P.an_ns /. 1e6 in
+                  rows :=
+                    [
+                      scheme; qid; string_of_int si;
+                      String.make (2 * depth) ' ' ^ a.P.an_op;
+                      string_of_int a.P.an_rows; string_of_int a.P.an_nexts;
+                      Printf.sprintf "%.3f" ms;
+                    ]
+                    :: !rows;
+                  entries :=
+                    Printf.sprintf
+                      "    {\"scheme\": %S, \"query\": %S, \"stmt\": %d, \"depth\": %d, \"op\": \
+                       %S, \"rows\": %d, \"nexts\": %d, \"ms\": %.4f}"
+                      scheme qid si depth a.P.an_op a.P.an_rows a.P.an_nexts ms
+                    :: !entries;
+                  ignore sql)
+                (flatten 0 annot))
+            r.Store.analyzed)
+        queries)
+    [ "edge"; "interval"; "dewey" ];
+  let oc = open_out "BENCH_analyze.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"analyze\",\n  \"scale\": %g,\n  \"entries\": [\n%s\n  ]\n}\n" scale
+    (String.concat ",\n" (List.rev !entries));
+  close_out oc;
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "F8: EXPLAIN ANALYZE — per-operator actuals, scale %g (also BENCH_analyze.json)" scale)
+    ~header:[ "scheme"; "query"; "stmt"; "operator"; "rows"; "nexts"; "ms" ]
+    (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* F4: micro-benchmarks via Bechamel — one Test.make per component *)
@@ -640,7 +706,7 @@ let experiments =
   [
     ("T1", t1); ("T2", t2); ("F1", f1); ("F2", f2); ("T3", t3); ("F3", f3);
     ("T4", t4); ("T5", t5); ("T6", t6); ("T7", t7); ("F5", f5); ("F6", f6); ("F7", f7);
-    ("F4", f4);
+    ("F8", f8); ("F4", f4);
   ]
 
 let () =

@@ -70,18 +70,24 @@ let query_cmd =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH" ~doc:"Absolute XPath.")
   in
   let show_sql = Arg.(value & flag & info [ "show-sql" ] ~doc:"Print the SQL executed.") in
+  let analyze =
+    Arg.(value & flag
+         & info [ "analyze" ]
+             ~doc:"Instrument the execution and print each statement's operator tree with actual \
+                   rows and timings (EXPLAIN ANALYZE).")
+  in
   let as_xml = Arg.(value & flag & info [ "xml" ] ~doc:"Print result subtrees as XML.") in
   let repeat_arg =
     Arg.(value & opt int 1
          & info [ "repeat" ] ~docv:"N"
              ~doc:"Run the query N times; repeats reuse cached plans (see --show-sql).")
   in
-  let run scheme dtd_file path xpath show_sql as_xml repeat =
+  let run scheme dtd_file path xpath show_sql analyze as_xml repeat =
     let store, doc, _ = read_store ?dtd_file scheme path in
     Store.reset_cache_stats store;
-    let r = ref (Store.query store doc xpath) in
+    let r = ref (Store.query ~analyze store doc xpath) in
     for _ = 2 to repeat do
-      r := Store.query store doc xpath
+      r := Store.query ~analyze store doc xpath
     done;
     let r = !r in
     if show_sql then begin
@@ -89,9 +95,19 @@ let query_cmd =
         r.Store.joins
         (if r.Store.fallback then " [fallback: evaluated natively]" else "");
       List.iter (Printf.eprintf "-- %s\n") r.Store.sql;
-      let hits, misses, invalidations = Store.cache_stats store in
-      Printf.eprintf "-- plan cache: %d hit(s), %d miss(es), %d invalidation(s)\n" hits misses
-        invalidations
+      let hits, misses, invalidations, evictions = Store.cache_stats store in
+      Printf.eprintf "-- plan cache: %d hit(s), %d miss(es), %d invalidation(s), %d eviction(s)\n"
+        hits misses invalidations evictions
+    end;
+    if analyze then begin
+      if r.Store.analyzed = [] then
+        Printf.eprintf
+          "-- analyze: no translated SQL executed%s\n"
+          (if r.Store.fallback then " (fallback: evaluated natively)" else "");
+      List.iter
+        (fun (sql, annot) ->
+          Printf.eprintf "-- %s\n%s\n" sql (Relstore.Plan.annotated_to_string annot))
+        r.Store.analyzed
     end;
     if as_xml then
       List.iter
@@ -101,7 +117,8 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Shred a document and run an XPath query against the relational form.")
-    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpath_arg $ show_sql $ as_xml $ repeat_arg)
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpath_arg $ show_sql $ analyze $ as_xml
+          $ repeat_arg)
 
 (* shred *)
 let shred_cmd =
@@ -132,6 +149,40 @@ let shred_cmd =
   Cmd.v
     (Cmd.info "shred" ~doc:"Shred a document and report (or dump) the relational storage.")
     Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ dump)
+
+(* stats: storage statistics plus the metrics registry *)
+let stats_cmd =
+  let metrics_flag =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Dump the metrics registry (parse/plan/execute latencies, cache hit-miss, \
+                   shred and query timings per scheme).")
+  in
+  let xpath_opt =
+    Arg.(value & opt (some string) None
+         & info [ "query" ] ~docv:"XPATH" ~doc:"Run this XPath first so query metrics are populated.")
+  in
+  let run scheme dtd_file path metrics xpath =
+    Relstore.Metrics.reset ();
+    let store, doc, _ = read_store ?dtd_file scheme path in
+    (match xpath with Some x -> ignore (Store.query store doc x) | None -> ());
+    let stats = Store.stats store in
+    Printf.printf "scheme:  %s\ntables:  %d\ntuples:  %d\nbytes:   %d\nindexes: %d entries\n"
+      stats.Store.scheme_id
+      (List.length stats.Store.tables)
+      stats.Store.total_rows stats.Store.total_bytes stats.Store.total_index_entries;
+    let hits, misses, invalidations, evictions = Store.cache_stats store in
+    Printf.printf "plan cache: %d hit(s), %d miss(es), %d invalidation(s), %d eviction(s)\n" hits
+      misses invalidations evictions;
+    if metrics then begin
+      print_newline ();
+      print_string (Relstore.Metrics.report ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Shred a document and report storage statistics; --metrics dumps the metrics registry.")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ metrics_flag $ xpath_opt)
 
 (* roundtrip *)
 let roundtrip_cmd =
@@ -288,8 +339,8 @@ let main =
     (Cmd.info "xmlstore" ~version:"1.0.0"
        ~doc:"Store and retrieve XML documents using a relational database.")
     [
-      schemes_cmd; query_cmd; shred_cmd; roundtrip_cmd; validate_cmd; generate_cmd; sql_cmd;
-      save_cmd; query_saved_cmd; transform_cmd;
+      schemes_cmd; query_cmd; shred_cmd; stats_cmd; roundtrip_cmd; validate_cmd; generate_cmd;
+      sql_cmd; save_cmd; query_saved_cmd; transform_cmd;
     ]
 
 let () = exit (Cmd.eval main)

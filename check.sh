@@ -1,14 +1,17 @@
 #!/bin/sh
-# Repo health check: build everything, run the test suite, build the bench
-# harness and examples, and run the plan-cache benchmark (writes
-# BENCH_plancache.json).
+# Repo health check: build everything (dev profile = warnings as errors),
+# run the test suite, build the bench harness and examples, and smoke-run
+# the plan-cache and analyze benchmarks (write BENCH_plancache.json and
+# BENCH_analyze.json).
 set -eux
 
-dune build
+dune build @all
 dune runtest
 dune build bench/main.exe
 dune build examples/
 dune exec bench/main.exe -- F7
 test -s BENCH_plancache.json
+BENCH_F8_SCALE=0.05 dune exec bench/main.exe -- F8
+test -s BENCH_analyze.json
 
 echo "check.sh: all green"

@@ -64,7 +64,7 @@ let add_document ?name t (dom : Dom.t) : doc_id =
   let ix = Index.of_document dom in
   let doc = t.next_doc in
   let module M = (val t.mapping : Xmlshred.Mapping.MAPPING) in
-  M.shred t.db ~doc ix;
+  Relstore.Metrics.timed ("store.shred." ^ t.scheme) (fun () -> M.shred t.db ~doc ix);
   (* schemes with data-dependent tables (binary, universal) may have created
      new tables during the shred; index creation is idempotent *)
   if t.indexes then M.create_indexes t.db;
@@ -105,7 +105,7 @@ let check_doc t doc =
 let get_document t doc =
   check_doc t doc;
   let module M = (val t.mapping : Xmlshred.Mapping.MAPPING) in
-  M.reconstruct t.db ~doc
+  Relstore.Metrics.timed ("store.reconstruct." ^ t.scheme) (fun () -> M.reconstruct t.db ~doc)
 
 (* ------------------------------------------------------------------ *)
 (* Queries *)
@@ -116,19 +116,27 @@ type result = {
   sql : string list;  (* SQL statements executed *)
   joins : int;
   fallback : bool;  (* answered by reconstruction + native evaluation *)
+  analyzed : (string * Relstore.Plan.annotated) list;
+      (* with ~analyze:true, one executed operator tree per statement *)
 }
 
-let query t doc (xpath : string) : result =
+let query ?(analyze = false) t doc (xpath : string) : result =
   check_doc t doc;
   let path = Xpathkit.Parser.parse_path xpath in
   let module M = (val t.mapping : Xmlshred.Mapping.MAPPING) in
-  let r = M.query t.db ~doc path in
+  let run () =
+    Relstore.Metrics.timed ("store.query." ^ t.scheme) (fun () -> M.query t.db ~doc path)
+  in
+  let r, analyzed =
+    if analyze then Xmlshred.Mapping.collect_analysis run else (run (), [])
+  in
   {
     values = r.Xmlshred.Mapping.values;
     nodes = r.Xmlshred.Mapping.nodes;
     sql = r.Xmlshred.Mapping.sql;
     joins = r.Xmlshred.Mapping.joins;
     fallback = r.Xmlshred.Mapping.fallback;
+    analyzed;
   }
 
 let query_values t doc xpath = (query t doc xpath).values

@@ -54,10 +54,17 @@ type result = {
   fallback : bool;
       (** true when the path was outside the translatable subset and was
           answered by reconstructing the document and evaluating natively *)
+  analyzed : (string * Relstore.Plan.annotated) list;
+      (** with [~analyze:true], one [(statement text, executed operator
+          tree)] pair per SQL statement, in execution order (EXPLAIN
+          ANALYZE); empty otherwise *)
 }
 
-val query : t -> doc_id -> string -> result
-(** [query t doc xpath] evaluates an absolute XPath location path. *)
+val query : ?analyze:bool -> t -> doc_id -> string -> result
+(** [query t doc xpath] evaluates an absolute XPath location path.
+    [~analyze:true] additionally instruments every SQL statement the
+    translation executes and fills [analyzed] with per-operator actual
+    rows, next-calls, and wall-clock. *)
 
 val query_values : t -> doc_id -> string -> string list
 val query_nodes : t -> doc_id -> string -> Xmlkit.Dom.node list
@@ -99,8 +106,9 @@ val stats : t -> stats
 val sql : t -> string -> Relstore.Database.exec_result
 val explain : t -> string -> string
 
-val cache_stats : t -> int * int * int
-(** Prepared-plan cache [(hits, misses, invalidations)]. Translated queries
+val cache_stats : t -> int * int * int * int
+(** Prepared-plan cache [(hits, misses, invalidations, evictions)].
+    Translated queries
     bind their variable parts as parameters, so repeated queries and
     {!query_all} across documents reuse one cached plan per statement
     shape. *)

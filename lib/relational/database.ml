@@ -76,7 +76,10 @@ let const_value params e =
 
 let row_count_of t name = Option.map Table.row_count (find_table t name)
 
-let cached_plan t text = Plan_cache.find t.plan_cache ~row_count:(row_count_of t) text
+let cached_plan t text =
+  let r = Plan_cache.find t.plan_cache ~row_count:(row_count_of t) text in
+  Metrics.incr (match r with Some _ -> "db.cache.hit" | None -> "db.cache.miss");
+  r
 
 let referenced_from_tables (q : Sql_ast.query) =
   List.sort_uniq String.compare
@@ -88,7 +91,7 @@ let referenced_from_tables (q : Sql_ast.query) =
 (* Plan [q] and remember the plan under [text], fingerprinted with the row
    counts the planner saw. *)
 let plan_and_cache t ~text (q : Sql_ast.query) =
-  let plan = Planner.plan_query (catalog t) q in
+  let plan = Metrics.timed "db.plan" (fun () -> Planner.plan_query (catalog t) q) in
   let tables =
     List.filter_map
       (fun name -> Option.map (fun c -> (name, c)) (row_count_of t name))
@@ -111,7 +114,7 @@ let exec_statement ?(params = [||]) ?cache_text t (stmt : Sql_ast.statement) =
   | Sql_ast.Select_stmt q ->
     let text = match cache_text with Some s -> s | None -> Sql_ast.query_to_string q in
     let plan = plan_and_cache t ~text q in
-    Rows (Executor.run ~params (catalog t) plan)
+    Rows (Metrics.timed "db.execute" (fun () -> Executor.run ~params (catalog t) plan))
   | Sql_ast.Insert { table; columns; rows } ->
     let tbl = get_table t table in
     let schema = Table.schema tbl in
@@ -201,10 +204,12 @@ let exec_statement ?(params = [||]) ?cache_text t (stmt : Sql_ast.statement) =
 
 (* Text entry point: a plan-cache hit on the raw statement text skips the
    lexer, parser, and planner entirely. *)
+let parse_timed sql = Metrics.timed "db.parse" (fun () -> Sql_parser.parse_statement sql)
+
 let exec ?(params = [||]) t sql =
   match cached_plan t sql with
-  | Some plan -> Rows (Executor.run ~params (catalog t) plan)
-  | None -> exec_statement ~params ~cache_text:sql t (Sql_parser.parse_statement sql)
+  | Some plan -> Rows (Metrics.timed "db.execute" (fun () -> Executor.run ~params (catalog t) plan))
+  | None -> exec_statement ~params ~cache_text:sql t (parse_timed sql)
 
 let exec_script t sql = List.map (exec_statement t) (Sql_parser.parse_script sql)
 
@@ -228,7 +233,7 @@ let prepare_query t (q : Sql_ast.query) =
   { p_text = Sql_ast.query_to_string q; p_query = q }
 
 let prepare t sql =
-  match Sql_parser.parse_statement sql with
+  match parse_timed sql with
   | Sql_ast.Select_stmt q ->
     let p = { p_text = sql; p_query = q } in
     ignore (plan_for t ~text:sql q);
@@ -239,7 +244,28 @@ let prepared_text p = p.p_text
 let prepared_plan t p = plan_for t ~text:p.p_text p.p_query
 
 let query_prepared ?(params = [||]) t p =
-  Executor.run ~params (catalog t) (prepared_plan t p)
+  let plan = prepared_plan t p in
+  Metrics.timed "db.execute" (fun () -> Executor.run ~params (catalog t) plan)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE: same planning pipeline (including the plan cache), but
+   the executor wraps every operator in a counting cursor and returns the
+   executed plan with actual row counts and timings. *)
+
+let query_prepared_analyzed ?(params = [||]) t p =
+  let plan = prepared_plan t p in
+  Metrics.timed "db.execute" (fun () -> Executor.run_analyzed ~params (catalog t) plan)
+
+let query_analyzed ?(params = [||]) t sql =
+  let run plan =
+    Metrics.timed "db.execute" (fun () -> Executor.run_analyzed ~params (catalog t) plan)
+  in
+  match cached_plan t sql with
+  | Some plan -> run plan
+  | None -> (
+    match parse_timed sql with
+    | Sql_ast.Select_stmt q -> run (plan_and_cache t ~text:sql q)
+    | _ -> err "not a SELECT statement: %s" sql)
 
 let plan_of t sql =
   match Sql_parser.parse_statement sql with
@@ -247,6 +273,11 @@ let plan_of t sql =
   | _ -> err "EXPLAIN supports only SELECT statements"
 
 let explain t sql = Plan.to_string (plan_of t sql)
+
+let explain_analyze ?params t sql =
+  let r, annot = query_analyzed ?params t sql in
+  ignore r;
+  Plan.annotated_to_string annot
 
 (* ------------------------------------------------------------------ *)
 (* Storage statistics (benchmark experiment T1) *)

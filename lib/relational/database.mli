@@ -72,8 +72,19 @@ val prepared_plan : t -> prepared -> Plan.t
 val query_prepared : ?params:Value.t array -> t -> prepared -> Executor.result
 (** Execute a prepared SELECT with the given parameter bindings. *)
 
-val cache_stats : t -> int * int * int
-(** Plan-cache [(hits, misses, invalidations)] counters. *)
+val query_analyzed :
+  ?params:Value.t array -> t -> string -> Executor.result * Plan.annotated
+(** Like {!query} but every operator is instrumented: the returned
+    {!Plan.annotated} tree carries actual rows, next-calls and inclusive
+    wall-clock per operator (EXPLAIN ANALYZE). Uses the same plan cache as
+    {!query}. @raise Db_error for non-SELECT input. *)
+
+val query_prepared_analyzed :
+  ?params:Value.t array -> t -> prepared -> Executor.result * Plan.annotated
+(** {!query_prepared} with per-operator actuals. *)
+
+val cache_stats : t -> int * int * int * int
+(** Plan-cache [(hits, misses, invalidations, evictions)] counters. *)
 
 val reset_cache_stats : t -> unit
 
@@ -87,6 +98,9 @@ val plan_of : t -> string -> Plan.t
 
 val explain : t -> string -> string
 (** Rendered plan tree. *)
+
+val explain_analyze : ?params:Value.t array -> t -> string -> string
+(** Execute the SELECT and render the plan tree with per-operator actuals. *)
 
 (** {1 Statistics and rendering} *)
 

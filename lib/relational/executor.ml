@@ -129,7 +129,10 @@ let const_value params e =
   let f = Expr_eval.compile ~params [||] e in
   f [||]
 
-let rec open_plan params cat (plan : Plan.t) : cursor =
+(* The worker is parameterized over how children are opened ([recur]), so
+   the plain interpreter and the instrumented EXPLAIN ANALYZE interpreter
+   share one implementation. *)
+let open_with (recur : Plan.t -> cursor) params cat (plan : Plan.t) : cursor =
   match plan with
   | Plan.Seq_scan { table; _ } ->
     let t =
@@ -207,7 +210,7 @@ let rec open_plan params cat (plan : Plan.t) : cursor =
   | Plan.Filter (e, input) ->
     let layout = layout_of cat input in
     let pred = Expr_eval.compile_predicate ~params layout e in
-    let child = open_plan params cat input in
+    let child = recur input in
     let rec next () =
       match child () with
       | None -> None
@@ -217,13 +220,13 @@ let rec open_plan params cat (plan : Plan.t) : cursor =
   | Plan.Project (cols, input) ->
     let layout = layout_of cat input in
     let fs = List.map (fun (e, _) -> Expr_eval.compile ~params layout e) cols in
-    let child = open_plan params cat input in
+    let child = recur input in
     fun () ->
       Option.map (fun row -> Array.of_list (List.map (fun f -> f row) fs)) (child ())
   | Plan.Nl_join (l, r) ->
-    let left = open_plan params cat l in
+    let left = recur l in
     (* Materialize the inner side once. *)
-    let right_rows = to_list (open_plan params cat r) in
+    let right_rows = to_list (recur r) in
     let current_left = ref None in
     let pending = ref [] in
     let rec next () =
@@ -247,7 +250,7 @@ let rec open_plan params cat (plan : Plan.t) : cursor =
     let bks = List.map (Expr_eval.compile ~params build_layout) build_keys in
     let pks = List.map (Expr_eval.compile ~params probe_layout) probe_keys in
     let table = Hashtbl.create 256 in
-    let build_cursor = open_plan params cat build in
+    let build_cursor = recur build in
     let rec fill () =
       match build_cursor () with
       | None -> ()
@@ -257,7 +260,7 @@ let rec open_plan params cat (plan : Plan.t) : cursor =
         fill ()
     in
     fill ();
-    let probe_cursor = open_plan params cat probe in
+    let probe_cursor = recur probe in
     let current_probe = ref None in
     let pending = ref [] in
     let rec next () =
@@ -294,7 +297,7 @@ let rec open_plan params cat (plan : Plan.t) : cursor =
     in
     let groups : (Value.t list, agg_state list) Hashtbl.t = Hashtbl.create 64 in
     let group_order = ref [] in
-    let child = open_plan params cat input in
+    let child = recur input in
     let rec consume () =
       match child () with
       | None -> ()
@@ -336,7 +339,7 @@ let rec open_plan params cat (plan : Plan.t) : cursor =
         (fun { Sql_ast.order_expr; descending } -> (Expr_eval.compile ~params layout order_expr, descending))
         items
     in
-    let rows = to_list (open_plan params cat input) in
+    let rows = to_list (recur input) in
     let cmp a b =
       let rec go = function
         | [] -> 0
@@ -348,7 +351,7 @@ let rec open_plan params cat (plan : Plan.t) : cursor =
     in
     of_list (List.stable_sort cmp rows)
   | Plan.Distinct input ->
-    let child = open_plan params cat input in
+    let child = recur input in
     let seen = Hashtbl.create 256 in
     let rec next () =
       match child () with
@@ -363,7 +366,7 @@ let rec open_plan params cat (plan : Plan.t) : cursor =
     in
     next
   | Plan.Limit (n, input) ->
-    let child = open_plan params cat input in
+    let child = recur input in
     let remaining = ref n in
     fun () ->
       if !remaining <= 0 then None
@@ -385,17 +388,57 @@ let rec open_plan params cat (plan : Plan.t) : cursor =
         | [] -> None
         | p :: rest ->
           pending := rest;
-          current := open_plan params cat p;
+          current := recur p;
           next ())
     in
     next
 
 (* ------------------------------------------------------------------ *)
 
+let rec open_plan params cat plan = open_with (open_plan params cat) params cat plan
+
+(* Instrumented variant: every operator is wrapped in a counting cursor
+   feeding a Plan.annotated node — rows produced, next() calls, and
+   inclusive wall-clock (open + next, children included). Blocking
+   operators therefore show their materialization cost in the open share
+   of their time, exactly where it is paid. *)
+let open_annotated params cat plan : cursor * Plan.annotated =
+  let rec go plan =
+    let a = Plan.annot (Plan.node_line plan) in
+    let recur child =
+      (* children are appended in execution order; Union_all opens its
+         inputs lazily, so late children still land in the tree *)
+      let c, ca = go child in
+      a.Plan.an_children <- a.Plan.an_children @ [ ca ];
+      c
+    in
+    let t0 = Metrics.now_ns () in
+    let cur = open_with recur params cat plan in
+    a.Plan.an_ns <- a.Plan.an_ns + (Metrics.now_ns () - t0);
+    let instrumented () =
+      let t0 = Metrics.now_ns () in
+      let r = cur () in
+      a.Plan.an_ns <- a.Plan.an_ns + (Metrics.now_ns () - t0);
+      a.Plan.an_nexts <- a.Plan.an_nexts + 1;
+      (match r with Some _ -> a.Plan.an_rows <- a.Plan.an_rows + 1 | None -> ());
+      r
+    in
+    (instrumented, a)
+  in
+  go plan
+
 type result = { columns : string list; rows : Value.t array list }
 
+let columns_of cat plan =
+  Array.to_list (Array.map (fun s -> s.Expr_eval.slot_name) (layout_of cat plan))
+
 let run ?(params = [||]) cat plan =
-  let layout = layout_of cat plan in
-  let columns = Array.to_list (Array.map (fun s -> s.Expr_eval.slot_name) layout) in
+  let columns = columns_of cat plan in
   let rows = to_list (open_plan params cat plan) in
   { columns; rows }
+
+let run_analyzed ?(params = [||]) cat plan =
+  let columns = columns_of cat plan in
+  let cursor, annot = open_annotated params cat plan in
+  let rows = to_list cursor in
+  ({ columns; rows }, annot)

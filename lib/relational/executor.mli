@@ -17,7 +17,17 @@ val open_plan : Value.t array -> Planner.catalog -> Plan.t -> cursor
 (** Compile and open a plan against the given parameter bindings; pull rows
     with the returned cursor. *)
 
+val open_annotated : Value.t array -> Planner.catalog -> Plan.t -> cursor * Plan.annotated
+(** Like {!open_plan}, but every operator is wrapped in a counting cursor
+    feeding the returned {!Plan.annotated} tree (rows produced, next calls,
+    inclusive wall-clock). The tree's counters are live: they fill in as
+    the cursor is drained. *)
+
 type result = { columns : string list; rows : Value.t array list }
 
 val run : ?params:Value.t array -> Planner.catalog -> Plan.t -> result
 (** [open_plan] + drain. *)
+
+val run_analyzed : ?params:Value.t array -> Planner.catalog -> Plan.t -> result * Plan.annotated
+(** [open_annotated] + drain: the result rows plus the executed plan with
+    per-operator actuals (EXPLAIN ANALYZE). *)

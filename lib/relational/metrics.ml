@@ -1,0 +1,127 @@
+(* Lightweight process-wide metrics registry: named monotonic counters and
+   latency histograms. Everything is in-memory and single-threaded, like
+   the engine itself; recording a sample is a hash lookup plus a few
+   integer stores, cheap enough to leave on permanently.
+
+   Histograms bucket by log2(ns), so percentile estimates are upper bounds
+   of the matching power-of-two bucket — coarse, but stable and allocation
+   free. Exact count/total/min/max are kept alongside. *)
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_total_ns : int;
+  mutable h_min_ns : int;
+  mutable h_max_ns : int;
+  h_buckets : int array;  (* bucket i counts samples in [2^i, 2^(i+1)) ns *)
+}
+
+let bucket_count = 63
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let incr ?(by = 1) name =
+  match Hashtbl.find_opt counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add counters name (ref by)
+
+let counter name = match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let bucket_of_ns ns =
+  let rec go i v = if v <= 1 || i >= bucket_count - 1 then i else go (i + 1) (v lsr 1) in
+  go 0 (max 1 ns)
+
+let observe_ns name ns =
+  let ns = max 0 ns in
+  let h =
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
+      let h =
+        { h_count = 0; h_total_ns = 0; h_min_ns = max_int; h_max_ns = 0;
+          h_buckets = Array.make bucket_count 0 }
+      in
+      Hashtbl.add histograms name h;
+      h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_total_ns <- h.h_total_ns + ns;
+  if ns < h.h_min_ns then h.h_min_ns <- ns;
+  if ns > h.h_max_ns then h.h_max_ns <- ns;
+  let b = h.h_buckets in
+  let i = bucket_of_ns ns in
+  b.(i) <- b.(i) + 1
+
+(* Time [f], record the wall-clock duration under [name], return its result.
+   The sample is recorded even when [f] raises. *)
+let timed name f =
+  let t0 = now_ns () in
+  Fun.protect ~finally:(fun () -> observe_ns name (now_ns () - t0)) f
+
+type histogram_snapshot = {
+  hs_count : int;
+  hs_total_ns : int;
+  hs_min_ns : int;
+  hs_max_ns : int;
+  hs_mean_ns : float;
+  hs_p50_ns : int;  (* log2-bucket upper bound, clamped to the exact max *)
+  hs_p95_ns : int;
+}
+
+let percentile h q =
+  (* upper bound of the first bucket whose cumulative count reaches q *)
+  let target = int_of_float (ceil (q *. float_of_int h.h_count)) in
+  let rec go i acc =
+    if i >= bucket_count then h.h_max_ns
+    else
+      let acc = acc + h.h_buckets.(i) in
+      if acc >= target then min h.h_max_ns ((1 lsl (i + 1)) - 1) else go (i + 1) acc
+  in
+  go 0 0
+
+let snapshot h =
+  {
+    hs_count = h.h_count;
+    hs_total_ns = h.h_total_ns;
+    hs_min_ns = (if h.h_count = 0 then 0 else h.h_min_ns);
+    hs_max_ns = h.h_max_ns;
+    hs_mean_ns =
+      (if h.h_count = 0 then 0.0 else float_of_int h.h_total_ns /. float_of_int h.h_count);
+    hs_p50_ns = percentile h 0.50;
+    hs_p95_ns = percentile h 0.95;
+  }
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counter_list () = sorted_bindings counters (fun r -> !r)
+let histogram_list () = sorted_bindings histograms snapshot
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset histograms
+
+let ms ns = float_of_int ns /. 1e6
+
+let report () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "counters:\n";
+  let cs = counter_list () in
+  if cs = [] then Buffer.add_string buf "  (none)\n";
+  List.iter (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %d\n" name v)) cs;
+  Buffer.add_string buf "latency histograms (ms):\n";
+  let hs = histogram_list () in
+  if hs = [] then Buffer.add_string buf "  (none)\n";
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %-32s count=%d total=%.3f mean=%.4f min=%.4f max=%.4f p50<=%.4f p95<=%.4f\n" name
+           s.hs_count (ms s.hs_total_ns) (s.hs_mean_ns /. 1e6) (ms s.hs_min_ns) (ms s.hs_max_ns)
+           (ms s.hs_p50_ns) (ms s.hs_p95_ns)))
+    hs;
+  Buffer.contents buf

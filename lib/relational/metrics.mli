@@ -1,0 +1,49 @@
+(** Process-wide metrics registry: named monotonic counters and latency
+    histograms. The engine records parse/plan/execute timings and plan-cache
+    hit/miss counts here; the store layer adds per-scheme shred, reconstruct,
+    and query timings. Recording is a hash lookup plus integer stores, cheap
+    enough to stay on permanently. *)
+
+val now_ns : unit -> int
+(** Wall-clock nanoseconds (the timestamp source every instrumented layer
+    shares). *)
+
+(** {1 Recording} *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a named counter, creating it at zero on first use. *)
+
+val observe_ns : string -> int -> unit
+(** Record one duration sample into a named histogram. *)
+
+val timed : string -> (unit -> 'a) -> 'a
+(** Run the thunk, record its wall-clock duration under the given name
+    (even when it raises), and return its result. *)
+
+(** {1 Reading} *)
+
+val counter : string -> int
+(** Current value of a counter (0 when never incremented). *)
+
+type histogram_snapshot = {
+  hs_count : int;
+  hs_total_ns : int;
+  hs_min_ns : int;
+  hs_max_ns : int;
+  hs_mean_ns : float;
+  hs_p50_ns : int;  (** log2-bucket upper bound, clamped to the exact max *)
+  hs_p95_ns : int;
+}
+
+val counter_list : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val histogram_list : unit -> (string * histogram_snapshot) list
+(** All histograms, sorted by name. *)
+
+val report : unit -> string
+(** Human-readable dump of every counter and histogram (CLI
+    [stats --metrics]). *)
+
+val reset : unit -> unit
+(** Drop every counter and histogram (test isolation, benchmarks). *)

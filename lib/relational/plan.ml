@@ -48,71 +48,94 @@ let agg_to_string a =
       (if a.agg_distinct then "DISTINCT " else "")
       (match a.agg_arg with Some e -> Sql_ast.expr_to_string e | None -> "")
 
-let rec to_lines indent plan =
-  let pad = String.make (indent * 2) ' ' in
-  let line s = pad ^ s in
+(* One operator's own EXPLAIN line, without its children. *)
+let node_line plan =
   match plan with
   | Seq_scan { table; alias } ->
-    [ line (Printf.sprintf "SeqScan %s%s" table (if alias = table then "" else " AS " ^ alias)) ]
+    Printf.sprintf "SeqScan %s%s" table (if alias = table then "" else " AS " ^ alias)
   | Index_scan { table; alias; index_name; lower; upper } ->
     let bound_str = function
       | None -> "-inf/+inf"
       | Some (e, incl) -> Sql_ast.expr_to_string e ^ if incl then " (incl)" else " (excl)"
     in
-    [
-      line
-        (Printf.sprintf "IndexScan %s%s USING %s [%s .. %s]" table
-           (if alias = table then "" else " AS " ^ alias)
-           index_name
-           (bound_str lower) (bound_str upper));
-    ]
+    Printf.sprintf "IndexScan %s%s USING %s [%s .. %s]" table
+      (if alias = table then "" else " AS " ^ alias)
+      index_name (bound_str lower) (bound_str upper)
   | Index_probes { table; alias; index_name; keys } ->
-    [
-      line
-        (Printf.sprintf "IndexProbes %s%s USING %s IN (%s)" table
-           (if alias = table then "" else " AS " ^ alias)
-           index_name
-           (String.concat ", " (List.map Sql_ast.expr_to_string keys)));
-    ]
-  | Filter (e, input) ->
-    line (Printf.sprintf "Filter (%s)" (Sql_ast.expr_to_string e)) :: to_lines (indent + 1) input
-  | Project (cols, input) ->
-    line
-      (Printf.sprintf "Project [%s]"
-         (String.concat ", " (List.map (fun (e, n) -> Sql_ast.expr_to_string e ^ " AS " ^ n) cols)))
-    :: to_lines (indent + 1) input
-  | Nl_join (l, r) ->
-    (line "NestedLoopJoin" :: to_lines (indent + 1) l) @ to_lines (indent + 1) r
-  | Hash_join { build; probe; build_keys; probe_keys } ->
-    (line
-       (Printf.sprintf "HashJoin (%s = %s)"
-          (String.concat ", " (List.map Sql_ast.expr_to_string probe_keys))
-          (String.concat ", " (List.map Sql_ast.expr_to_string build_keys)))
-    :: to_lines (indent + 1) probe)
-    @ to_lines (indent + 1) build
-  | Aggregate { group_by; aggregates; input } ->
-    line
-      (Printf.sprintf "Aggregate [%s]%s"
-         (String.concat ", " (List.map agg_to_string aggregates))
-         (match group_by with
-         | [] -> ""
-         | gs -> " GROUP BY " ^ String.concat ", " (List.map Sql_ast.expr_to_string gs)))
-    :: to_lines (indent + 1) input
-  | Sort (items, input) ->
-    line
-      (Printf.sprintf "Sort [%s]"
-         (String.concat ", "
-            (List.map
-               (fun { Sql_ast.order_expr; descending } ->
-                 Sql_ast.expr_to_string order_expr ^ if descending then " DESC" else "")
-               items)))
-    :: to_lines (indent + 1) input
-  | Distinct input -> line "Distinct" :: to_lines (indent + 1) input
-  | Limit (n, input) -> line (Printf.sprintf "Limit %d" n) :: to_lines (indent + 1) input
-  | Union_all plans ->
-    line "UnionAll" :: List.concat_map (to_lines (indent + 1)) plans
+    Printf.sprintf "IndexProbes %s%s USING %s IN (%s)" table
+      (if alias = table then "" else " AS " ^ alias)
+      index_name
+      (String.concat ", " (List.map Sql_ast.expr_to_string keys))
+  | Filter (e, _) -> Printf.sprintf "Filter (%s)" (Sql_ast.expr_to_string e)
+  | Project (cols, _) ->
+    Printf.sprintf "Project [%s]"
+      (String.concat ", " (List.map (fun (e, n) -> Sql_ast.expr_to_string e ^ " AS " ^ n) cols))
+  | Nl_join _ -> "NestedLoopJoin"
+  | Hash_join { build_keys; probe_keys; _ } ->
+    Printf.sprintf "HashJoin (%s = %s)"
+      (String.concat ", " (List.map Sql_ast.expr_to_string probe_keys))
+      (String.concat ", " (List.map Sql_ast.expr_to_string build_keys))
+  | Aggregate { group_by; aggregates; _ } ->
+    Printf.sprintf "Aggregate [%s]%s"
+      (String.concat ", " (List.map agg_to_string aggregates))
+      (match group_by with
+      | [] -> ""
+      | gs -> " GROUP BY " ^ String.concat ", " (List.map Sql_ast.expr_to_string gs))
+  | Sort (items, _) ->
+    Printf.sprintf "Sort [%s]"
+      (String.concat ", "
+         (List.map
+            (fun { Sql_ast.order_expr; descending } ->
+              Sql_ast.expr_to_string order_expr ^ if descending then " DESC" else "")
+            items))
+  | Distinct _ -> "Distinct"
+  | Limit (n, _) -> Printf.sprintf "Limit %d" n
+  | Union_all _ -> "UnionAll"
+
+(* Children in EXPLAIN display order (hash join: probe above build). *)
+let display_children = function
+  | Seq_scan _ | Index_scan _ | Index_probes _ -> []
+  | Filter (_, p) | Project (_, p) | Sort (_, p) | Distinct p | Limit (_, p) -> [ p ]
+  | Aggregate { input; _ } -> [ input ]
+  | Nl_join (l, r) -> [ l; r ]
+  | Hash_join { build; probe; _ } -> [ probe; build ]
+  | Union_all ps -> ps
+
+let rec to_lines indent plan =
+  (String.make (indent * 2) ' ' ^ node_line plan)
+  :: List.concat_map (to_lines (indent + 1)) (display_children plan)
 
 let to_string plan = String.concat "\n" (to_lines 0 plan)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE: one mutable node per executed operator, filled in by
+   the instrumented executor (Executor.run_analyzed). Counters are
+   inclusive: a node's wall-clock covers its open and every next() call,
+   children included, so the root's time is the whole execution. Children
+   appear in execution order (a hash join opens its build side first). *)
+
+type annotated = {
+  an_op : string;  (* the operator's own EXPLAIN line *)
+  mutable an_children : annotated list;
+  mutable an_rows : int;  (* rows produced *)
+  mutable an_nexts : int;  (* next() calls received *)
+  mutable an_ns : int;  (* inclusive wall-clock (open + next), ns *)
+}
+
+let annot op = { an_op = op; an_children = []; an_rows = 0; an_nexts = 0; an_ns = 0 }
+
+let rec annotated_lines indent a =
+  Printf.sprintf "%s%s (actual rows=%d nexts=%d time=%.3f ms)"
+    (String.make (indent * 2) ' ')
+    a.an_op a.an_rows a.an_nexts
+    (float_of_int a.an_ns /. 1e6)
+  :: List.concat_map (annotated_lines (indent + 1)) a.an_children
+
+let annotated_to_string a = String.concat "\n" (annotated_lines 0 a)
+
+let rec fold_annotated f acc a = List.fold_left (fold_annotated f) (f acc a) a.an_children
+
+let annotated_operator_count a = fold_annotated (fun n _ -> n + 1) 0 a
 
 (* Metrics used by the benchmark harness (query complexity per mapping). *)
 let rec count_joins = function

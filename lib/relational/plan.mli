@@ -40,8 +40,39 @@ type t =
   | Union_all of t list
 
 val agg_to_string : agg -> string
+
+val node_line : t -> string
+(** One operator's own EXPLAIN line, without its children. *)
+
 val to_string : t -> string
 (** Rendered plan tree (EXPLAIN output). *)
+
+(** {1 EXPLAIN ANALYZE}
+
+    One mutable node per executed operator, filled in by the instrumented
+    executor ({!Executor.run_analyzed}). Counters are inclusive: a node's
+    wall-clock covers its open and every [next ()] call, children included,
+    so the root's time is the whole execution. Children appear in execution
+    order (a hash join opens its build side first). *)
+
+type annotated = {
+  an_op : string;  (** the operator's own EXPLAIN line *)
+  mutable an_children : annotated list;
+  mutable an_rows : int;  (** rows produced *)
+  mutable an_nexts : int;  (** [next ()] calls received *)
+  mutable an_ns : int;  (** inclusive wall-clock (open + next), ns *)
+}
+
+val annot : string -> annotated
+(** Fresh zeroed node (used by the executor). *)
+
+val annotated_to_string : annotated -> string
+(** Rendered operator tree with actual row counts and timings. *)
+
+val fold_annotated : ('a -> annotated -> 'a) -> 'a -> annotated -> 'a
+(** Pre-order fold over the operator tree. *)
+
+val annotated_operator_count : annotated -> int
 
 val count_joins : t -> int
 (** Join operators in the plan (benchmark T4's complexity measure). *)

@@ -13,7 +13,12 @@ type entry = {
   mutable last_used : int;
 }
 
-type stats = { mutable hits : int; mutable misses : int; mutable invalidations : int }
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable evictions : int;  (* capacity-driven LRU removals *)
+}
 
 type t = {
   entries : (string, entry) Hashtbl.t;
@@ -29,7 +34,7 @@ let create ?(capacity = 128) () =
     capacity;
     tick = 0;
     enabled = true;
-    stats = { hits = 0; misses = 0; invalidations = 0 };
+    stats = { hits = 0; misses = 0; invalidations = 0; evictions = 0 };
   }
 
 let set_enabled t on =
@@ -40,12 +45,13 @@ let clear t =
   if Hashtbl.length t.entries > 0 then t.stats.invalidations <- t.stats.invalidations + 1;
   Hashtbl.reset t.entries
 
-let stats t = (t.stats.hits, t.stats.misses, t.stats.invalidations)
+let stats t = (t.stats.hits, t.stats.misses, t.stats.invalidations, t.stats.evictions)
 
 let reset_stats t =
   t.stats.hits <- 0;
   t.stats.misses <- 0;
-  t.stats.invalidations <- 0
+  t.stats.invalidations <- 0;
+  t.stats.evictions <- 0
 
 (* Row count within ~20% of the count recorded at plan time? *)
 let fresh_count ~then_ ~now =
@@ -90,7 +96,11 @@ let evict_lru t =
       | Some (_, lu) when lu <= e.last_used -> ()
       | _ -> victim := Some (key, e.last_used))
     t.entries;
-  match !victim with Some (key, _) -> Hashtbl.remove t.entries key | None -> ()
+  match !victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.entries key;
+    t.stats.evictions <- t.stats.evictions + 1
+  | None -> ()
 
 let add t key ~tables plan =
   if t.enabled then begin

@@ -127,6 +127,22 @@ let like_prefix pattern =
   let k = go 0 in
   if k = 0 then None else Some (String.sub pattern 0 k)
 
+(* Smallest string strictly greater than every string that starts with
+   [prefix]: drop trailing '\xff' bytes (nothing sorts between "a\xff…"
+   and the successor of "a") and increment the last remaining byte.
+   [None] when the prefix is all '\xff' — no finite upper bound exists and
+   the scan must stay open-ended. Appending "\xff" instead, as a naive
+   bound, wrongly excludes stored values like "ab\xff…" from LIKE 'ab%'. *)
+let like_prefix_successor prefix =
+  let rec last_incrementable i =
+    if i < 0 then None
+    else if prefix.[i] = '\xff' then last_incrementable (i - 1)
+    else Some i
+  in
+  match last_incrementable (String.length prefix - 1) with
+  | None -> None
+  | Some i -> Some (String.sub prefix 0 i ^ String.make 1 (Char.chr (Char.code prefix.[i] + 1)))
+
 let conjunct_bound ~alias conjunct =
   let col_of = function
     | Col { table = Some t; column } when String.equal t alias -> Some column
@@ -162,13 +178,19 @@ let conjunct_bound ~alias conjunct =
   | Like { negated = false; arg; pattern = Lit (Value.Text p) } -> (
     match (col_of arg, like_prefix p) with
     | Some c, Some prefix ->
-      (* prefix range ["p", "p\xff"); the LIKE itself remains as residual *)
-      let upper = prefix ^ "\xff" in
+      (* prefix range ["p", successor(p)); the LIKE itself remains as
+         residual. An all-'\xff' prefix has no successor: scan upward
+         unbounded. *)
+      let upper =
+        Option.map
+          (fun s -> (Lit (Value.Text s), false))
+          (like_prefix_successor prefix)
+      in
       Some
         {
           cb_column = c;
           cb_lower = Some (Lit (Value.Text prefix), true);
-          cb_upper = Some (Lit (Value.Text upper), false);
+          cb_upper = upper;
           cb_exact = false;
         }
     | _ -> None)

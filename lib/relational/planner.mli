@@ -15,6 +15,13 @@ type catalog = {
 
 val make_catalog : (string -> Table.t option) -> catalog
 
+val like_prefix_successor : string -> string option
+(** Smallest string strictly greater than every string starting with the
+    given prefix (the exclusive upper bound of a prefix-LIKE index range):
+    trailing ['\xff'] bytes are dropped and the last remaining byte
+    incremented. [None] when the prefix is all ['\xff'] — the range has no
+    finite upper bound. *)
+
 val plan_select : catalog -> Sql_ast.select -> Plan.t
 val plan_query : catalog -> Sql_ast.query -> Plan.t
 (** A UNION ALL of selects becomes {!Plan.Union_all}. *)

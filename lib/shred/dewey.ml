@@ -1,14 +1,16 @@
 (* The Dewey-order mapping (Tatarinov et al. 2002): each node's key is its
-   materialized root-to-node ordinal path, e.g. "0001.0003.0002".
+   materialized root-to-node ordinal path, e.g. "a1.a3.b12".
 
      dewey(doc, label, parent_label, kind, name, value, level, ordinal)
 
-   Components are zero-padded to four digits so plain string order is
-   document order (fanout up to 9999). Attribute components carry an 'a'
-   prefix to keep them out of the element component space. Child steps are
-   equality joins on [parent_label]; descendant steps are prefix-LIKE
-   predicates over the label — cheap subtree extraction, expensive
-   comparisons, exactly the trade-off the paper reports. *)
+   Components use a variable-width order-preserving encoding — a digit-count
+   letter ('a' = 1 digit, 'b' = 2, ...) followed by the decimal ordinal — so
+   plain string order is document order at any fanout ("b10" > "a9", and no
+   sibling component is a proper prefix of another). Attribute components
+   carry a '!' prefix to keep them out of the element component space. Child
+   steps are equality joins on [parent_label]; descendant steps are
+   prefix-LIKE predicates over the label — cheap subtree extraction,
+   expensive comparisons, exactly the trade-off the paper reports. *)
 
 module Dom = Xmlkit.Dom
 module Index = Xmlkit.Index
@@ -32,12 +34,37 @@ let create_indexes db =
   ignore (Db.exec db "CREATE INDEX IF NOT EXISTS dewey_parent ON dewey (parent_label)");
   ignore (Db.exec db "CREATE INDEX IF NOT EXISTS dewey_name ON dewey (name)")
 
-(* Attribute components use a '!' prefix: '!' < '0' in ASCII, so an
-   element's attributes sort before its content children and before any
-   descendant's components — plain string order stays document order. *)
+(* Order-preserving component encoding: the digit count as a letter
+   ('a' + digits - 1) followed by the decimal ordinal, so "b10" sorts after
+   "a9" and components of equal first letter have equal length — no sibling
+   component is a proper prefix of another. Attribute components add a '!'
+   prefix: '!' < 'a' in ASCII, so an element's attributes sort before its
+   content children, and '!' < '.' keeps them before any descendant's
+   components — plain string order stays document order. *)
+let encode_ordinal ordinal =
+  if ordinal < 0 then err "Dewey ordinal must be non-negative (got %d)" ordinal;
+  let digits = string_of_int ordinal in
+  let d = String.length digits in
+  if d > 26 then err "Dewey ordinal out of range (got %d)" ordinal;
+  String.make 1 (Char.chr (Char.code 'a' + d - 1)) ^ digits
+
 let component ~attr ordinal =
-  if ordinal > 9999 then err "Dewey labels support fanout up to 9999 (got %d)" ordinal;
-  if attr then Printf.sprintf "!%04d" ordinal else Printf.sprintf "%04d" ordinal
+  let c = encode_ordinal ordinal in
+  if attr then "!" ^ c else c
+
+(* Inverse of [component]: the ordinal of one label component. *)
+let component_ordinal comp =
+  let comp =
+    if String.length comp > 0 && comp.[0] = '!' then String.sub comp 1 (String.length comp - 1)
+    else comp
+  in
+  let n = String.length comp in
+  if n < 2 || comp.[0] < 'a' || comp.[0] > 'z' then err "malformed Dewey component %S" comp;
+  let d = Char.code comp.[0] - Char.code 'a' + 1 in
+  if n <> d + 1 then err "malformed Dewey component %S" comp;
+  match int_of_string_opt (String.sub comp 1 d) with
+  | Some i when i >= 0 -> i
+  | _ -> err "malformed Dewey component %S" comp
 
 let shred db ~doc ix =
   (* labels.(n) = Dewey label of node n *)

@@ -62,19 +62,42 @@ let fallback_query ~reconstruct db ~doc path =
     fallback = true;
   }
 
+(* Ambient EXPLAIN ANALYZE collection. When a sink is installed (by
+   [collect_analysis], via [Store.query ~analyze:true]) every query run
+   through [run_built] — in any of the six schemes, with no change to
+   their signatures — executes instrumented and pushes its annotated
+   operator tree here. Dynamically scoped, not thread-safe (nor is the
+   rest of the store). *)
+let analyze_sink : (string * Relstore.Plan.annotated) list ref option ref = ref None
+
+let collect_analysis f =
+  let acc = ref [] in
+  let saved = !analyze_sink in
+  analyze_sink := Some acc;
+  let finally () = analyze_sink := saved in
+  let r = Fun.protect ~finally f in
+  (r, List.rev !acc)
+
 (* Execute a builder-constructed query through the prepared-plan layer:
    the rendered statement text is the plan-cache key, so per-path queries
    whose variable parts are bound parameters plan once and execute many
    times. Records the text into [sqls] and, when [joins] is given, adds
    the plan's join count. *)
 let run_built db ?joins ~sqls ?params q =
+  Relstore.Metrics.timed "mapping.run_built" @@ fun () ->
   let p = Db.prepare_query db q in
-  sqls := Db.prepared_text p :: !sqls;
+  let text = Db.prepared_text p in
+  sqls := text :: !sqls;
   let plan = Db.prepared_plan db p in
   (match joins with
   | Some j -> j := !j + Relstore.Plan.count_joins plan
   | None -> ());
-  Relstore.Executor.run ?params (Db.catalog db) plan
+  match !analyze_sink with
+  | None -> Relstore.Executor.run ?params (Db.catalog db) plan
+  | Some acc ->
+    let r, annot = Relstore.Executor.run_analyzed ?params (Db.catalog db) plan in
+    acc := (text, annot) :: !acc;
+    r
 
 (* Same, for internal fetches (reconstruction, subtree assembly) that do
    not report statement text. *)

@@ -61,6 +61,13 @@ val query_built :
   Db.t -> ?params:Relstore.Value.t array -> Relstore.Sql_ast.query -> Relstore.Executor.result
 (** Same, for internal fetches that do not report statement text. *)
 
+val collect_analysis : (unit -> 'a) -> 'a * (string * Relstore.Plan.annotated) list
+(** Run [f] with an ambient EXPLAIN ANALYZE sink installed: every query the
+    schemes execute through {!run_built} during [f] runs instrumented, and
+    the [(statement text, annotated operator tree)] pairs are returned in
+    execution order alongside [f]'s result. Nests (the outer sink is
+    restored on exit); not thread-safe. *)
+
 val acol : string -> string -> Relstore.Sql_ast.expr
 (** [acol alias column] — alias-qualified column reference. *)
 

@@ -137,6 +137,36 @@ let test_store_translate_sql () =
   | [ sql ] -> check_bool "single statement" true (String.length sql > 20)
   | _ -> Alcotest.fail "interval should produce one statement"
 
+(* EXPLAIN ANALYZE must not change answers, and the instrumented trees must
+   account for every translated statement with sane actuals. *)
+let test_store_analyze scheme () =
+  let store = scheme_store scheme in
+  let doc = Xmlwork.Auction.generate ~params:small () in
+  let id = Store.add_document store doc in
+  List.iter
+    (fun (q : Xmlwork.Queries.query) ->
+      let xpath = q.Xmlwork.Queries.xpath in
+      let plain = Store.query store id xpath in
+      let analyzed = Store.query ~analyze:true store id xpath in
+      check_strings (scheme ^ " " ^ q.Xmlwork.Queries.qid ^ " analyze on = off")
+        plain.Store.values analyzed.Store.values;
+      check_bool (scheme ^ " " ^ q.Xmlwork.Queries.qid ^ " analyze off collects nothing") true
+        (plain.Store.analyzed = []);
+      List.iter
+        (fun (sql, annot) ->
+          check_bool (scheme ^ ": statement text recorded") true (String.length sql > 0);
+          check_bool (scheme ^ ": operators present") true
+            (Relstore.Plan.annotated_operator_count annot >= 1);
+          check_bool (scheme ^ ": counters sane") true
+            (Relstore.Plan.fold_annotated
+               (fun ok a ->
+                 ok && a.Relstore.Plan.an_rows >= 0
+                 && a.Relstore.Plan.an_nexts >= a.Relstore.Plan.an_rows
+                 && a.Relstore.Plan.an_ns >= 0)
+               true annot))
+        analyzed.Store.analyzed)
+    Xmlwork.Queries.auction_queries
+
 let test_store_without_indexes () =
   let store = Store.create ~indexes:false "edge" in
   let id = Store.add_string store "<a><b>x</b></a>" in
@@ -167,4 +197,9 @@ let () =
             Alcotest.test_case "translate sql" `Quick test_store_translate_sql;
             Alcotest.test_case "without indexes" `Quick test_store_without_indexes;
           ] );
+      ( "explain analyze",
+        List.map
+          (fun scheme ->
+            Alcotest.test_case ("analyze " ^ scheme) `Slow (test_store_analyze scheme))
+          (Store.schemes ()) );
     ]

@@ -493,6 +493,36 @@ let test_like_prefix_index () =
   check_int "prefix like" 2 (List.length (rows db "SELECT s FROM t WHERE s LIKE 'app%'"));
   check_int "non-prefix like full scan" 2 (List.length (rows db "SELECT s FROM t WHERE s LIKE '%cot%' OR s LIKE '%cado'"))
 
+let test_like_prefix_successor () =
+  let check_opt = Alcotest.(check (option string)) in
+  let s = Planner.like_prefix_successor in
+  check_opt "increments the last byte" (Some "ac") (s "ab");
+  check_opt "single byte" (Some "b") (s "a");
+  check_opt "drops trailing 0xff then increments" (Some "b") (s "a\xff\xff");
+  check_opt "all 0xff has no finite upper bound" None (s "\xff\xff");
+  check_opt "empty prefix has no finite upper bound" None (s "")
+
+(* Regression: the prefix-LIKE index range upper bound used to be
+   [prefix ^ "\xff"], which excludes stored values whose suffix begins with
+   a 0xff byte ("ab\xff" > "ab\xff" is false, but "ab\xffz" > "ab\xff"
+   compares past the bound). The proper bound is the prefix's successor
+   string. *)
+let test_like_high_byte_range () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (s TEXT)");
+  List.iter
+    (fun s -> Database.insert_row db "t" [ Value.Text s ])
+    [ "ab"; "ab\xff"; "ab\xffz"; "abc"; "b" ];
+  ignore (Database.exec db "CREATE INDEX t_s ON t (s)");
+  let q = "SELECT s FROM t WHERE s LIKE 'ab%'" in
+  check_int "prefix LIKE uses the index" 1 (Plan.count_index_scans (Database.plan_of db q));
+  check_int "values with 0xff suffixes included" 4 (List.length (rows db q));
+  (* prefix that itself ends in 0xff: successor drops it and increments *)
+  check_int "high-byte prefix" 2 (List.length (rows db "SELECT s FROM t WHERE s LIKE 'ab\xff%'"));
+  (* all-0xff prefix: open-ended range, still answered correctly *)
+  ignore (Database.exec db "INSERT INTO t VALUES ('\xff\xffq')");
+  check_int "all-0xff prefix" 1 (List.length (rows db "SELECT s FROM t WHERE s LIKE '\xff\xff%'"))
+
 let test_sql_corner_cases () =
   let db = db_with_people () in
   check_int "limit 0" 0 (List.length (rows db "SELECT name FROM people LIMIT 0"));
@@ -769,10 +799,11 @@ let test_cache_counters () =
   for g = 0 to 9 do
     ignore (Database.query ~params:[| Value.Int (g mod 5) |] db "SELECT id FROM t WHERE grp = ?1")
   done;
-  let hits, misses, inval = Database.cache_stats db in
+  let hits, misses, inval, evict = Database.cache_stats db in
   check_int "one miss (first execution plans)" 1 misses;
   check_int "nine hits (same text, different bindings)" 9 hits;
-  check_int "no invalidations" 0 inval
+  check_int "no invalidations" 0 inval;
+  check_int "no evictions" 0 evict
 
 let test_cache_identical_results () =
   let db = mk_cached_db () in
@@ -798,16 +829,16 @@ let test_cache_invalidation () =
   ignore (Database.query_prepared ~params:[| Value.Int 1 |] db p);
   Database.reset_cache_stats db;
   ignore (Database.query_prepared ~params:[| Value.Int 1 |] db p);
-  let hits, _, _ = Database.cache_stats db in
+  let hits, _, _, _ = Database.cache_stats db in
   check_int "cached before DDL" 1 hits;
   (* CREATE INDEX empties the cache: the next execution must replan so it
      can consider the new access path *)
   ignore (Database.exec db "CREATE INDEX t_grp ON t (grp)");
-  let _, _, inval = Database.cache_stats db in
+  let _, _, inval, _ = Database.cache_stats db in
   check_bool "DDL counted as invalidation" true (inval >= 1);
   Database.reset_cache_stats db;
   let r = Database.query_prepared ~params:[| Value.Int 1 |] db p in
-  let _, misses, _ = Database.cache_stats db in
+  let _, misses, _, _ = Database.cache_stats db in
   check_int "replans after CREATE INDEX" 1 misses;
   check_int "same answer through the new plan" 20 (List.length r.Executor.rows);
   (* any DROP TABLE clears the cache too *)
@@ -816,7 +847,7 @@ let test_cache_invalidation () =
   ignore (Database.exec db "DROP TABLE scratch");
   Database.reset_cache_stats db;
   ignore (Database.query_prepared ~params:[| Value.Int 1 |] db p);
-  let _, misses, _ = Database.cache_stats db in
+  let _, misses, _, _ = Database.cache_stats db in
   check_int "replans after DROP TABLE" 1 misses
 
 let test_cache_drift_invalidation () =
@@ -830,7 +861,7 @@ let test_cache_drift_invalidation () =
   done;
   Database.reset_cache_stats db;
   let r = Database.query ~params:[| Value.Int 0 |] db stmt in
-  let _, misses, inval = Database.cache_stats db in
+  let _, misses, inval, _ = Database.cache_stats db in
   check_int "replans after row-count drift" 1 misses;
   check_int "drift counted as invalidation" 1 inval;
   check_bool "fresh plan sees the new rows" true (r.Executor.rows = [ [| Value.Int 60 |] ])
@@ -848,6 +879,80 @@ let test_prepared_bindings () =
   check_int "grp 4 below 10" 2 (count [| Value.Int 4; Value.Int 10 |]);
   Alcotest.check_raises "missing binding" (Expr_eval.Eval_error "unbound parameter ?2")
     (fun () -> ignore (count [| Value.Int 0 |]))
+
+(* Pins the drift rule on an initially-empty table: a plan recorded at
+   row count 0 must be invalidated by the very first insert (drift 1 > 20%
+   of max 1 0), or cached plans would keep stale estimates forever. *)
+let test_cache_empty_table_drift () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (v INTEGER)");
+  let stmt = "SELECT v FROM t WHERE v = ?1" in
+  ignore (Database.query ~params:[| Value.Int 7 |] db stmt);
+  Database.insert_row db "t" [ Value.Int 7 ];
+  Database.reset_cache_stats db;
+  let r = Database.query ~params:[| Value.Int 7 |] db stmt in
+  let _, misses, inval, _ = Database.cache_stats db in
+  check_int "first insert invalidates the empty-table plan" 1 inval;
+  check_int "replans" 1 misses;
+  check_int "fresh plan sees the new row" 1 (List.length r.Executor.rows)
+
+let test_cache_lru_eviction () =
+  let cache = Plan_cache.create () in
+  let plan = Plan.Seq_scan { table = "t"; alias = "t" } in
+  let row_count _ = Some 0 in
+  let key i = Printf.sprintf "k%d" i in
+  for i = 0 to 127 do
+    Plan_cache.add cache (key i) ~tables:[] plan
+  done;
+  check_int "at capacity" 128 (Plan_cache.size cache);
+  (* touch k0 so k1 becomes the least recently used *)
+  check_bool "k0 hit" true (Plan_cache.find cache ~row_count (key 0) <> None);
+  Plan_cache.add cache (key 128) ~tables:[] plan;
+  check_int "capacity respected" 128 (Plan_cache.size cache);
+  check_bool "recently used k0 retained" true (Plan_cache.find cache ~row_count (key 0) <> None);
+  check_bool "LRU k1 evicted" true (Plan_cache.find cache ~row_count (key 1) = None);
+  let _, _, _, evictions = Plan_cache.stats cache in
+  check_int "eviction counted" 1 evictions
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE *)
+
+let test_analyze_matches_plain () =
+  let db = mk_cached_db () in
+  ignore (Database.exec db "CREATE INDEX t_grp ON t (grp)");
+  List.iter
+    (fun sql ->
+      let plain = Database.query db sql in
+      let analyzed, annot = Database.query_analyzed db sql in
+      check_bool ("identical results: " ^ sql) true
+        (plain.Executor.rows = analyzed.Executor.rows
+        && plain.Executor.columns = analyzed.Executor.columns);
+      check_int ("root actual rows: " ^ sql)
+        (List.length analyzed.Executor.rows)
+        annot.Plan.an_rows;
+      (* the drained root saw one next () per row plus the final None *)
+      check_int ("root nexts: " ^ sql) (List.length analyzed.Executor.rows + 1) annot.Plan.an_nexts;
+      check_bool ("at least one operator: " ^ sql) true
+        (Plan.annotated_operator_count annot >= 1))
+    [
+      "SELECT id FROM t WHERE grp = 2 ORDER BY id";
+      "SELECT grp, count(*) FROM t GROUP BY grp ORDER BY grp";
+      "SELECT a.id FROM t a, t b WHERE a.id = b.id AND b.grp = 1 LIMIT 7";
+      "SELECT DISTINCT grp FROM t";
+    ]
+
+let analyze_root_rows_prop =
+  QCheck.Test.make ~name:"analyze root rows equal result cardinality" ~count:50
+    QCheck.(pair (list (int_range 0 20)) (int_range 0 20))
+    (fun (values, probe) ->
+      let db = Database.create () in
+      ignore (Database.exec db "CREATE TABLE t (v INTEGER)");
+      List.iter (fun v -> Database.insert_row db "t" [ Value.Int v ]) values;
+      let sql = Printf.sprintf "SELECT v FROM t WHERE v >= %d ORDER BY v" probe in
+      let plain = Database.query db sql in
+      let analyzed, annot = Database.query_analyzed db sql in
+      plain.Executor.rows = analyzed.Executor.rows
+      && annot.Plan.an_rows = List.length analyzed.Executor.rows)
 
 let () =
   Alcotest.run "relational"
@@ -909,6 +1014,8 @@ let () =
           Alcotest.test_case "IN-list index probes" `Quick test_in_list_index_probes;
           Alcotest.test_case "between range" `Quick test_between_index_range;
           Alcotest.test_case "LIKE prefix index" `Quick test_like_prefix_index;
+          Alcotest.test_case "LIKE prefix successor" `Quick test_like_prefix_successor;
+          Alcotest.test_case "LIKE high-byte range" `Quick test_like_high_byte_range;
         ] );
       ( "corner cases",
         [
@@ -931,6 +1038,13 @@ let () =
           Alcotest.test_case "DDL invalidation" `Quick test_cache_invalidation;
           Alcotest.test_case "stats-drift invalidation" `Quick test_cache_drift_invalidation;
           Alcotest.test_case "prepared bindings" `Quick test_prepared_bindings;
+          Alcotest.test_case "empty-table drift" `Quick test_cache_empty_table_drift;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+        ] );
+      ( "explain analyze",
+        [
+          Alcotest.test_case "matches plain execution" `Quick test_analyze_matches_plain;
+          QCheck_alcotest.to_alcotest analyze_root_rows_prop;
         ] );
       ( "persistence",
         [ Alcotest.test_case "dump/restore" `Quick test_dump_restore ] );

@@ -244,6 +244,28 @@ let random_path_prop m =
         let got = (M.query db ~doc:0 path).Xmlshred.Mapping.values in
         expected = got)
 
+(* High-byte (0xff) text must survive every scheme's shred, query, and
+   reconstruction: the prefix-LIKE index range bound used to exclude stored
+   values whose suffix begins with a 0xff byte. *)
+let test_high_byte_text m () =
+  let module M = (val m : Xmlshred.Mapping.MAPPING) in
+  let dom =
+    Dom.document
+      (Dom.elem "r"
+         [
+           Dom.element "a" [ Dom.text "ab\xff" ];
+           Dom.element "a" [ Dom.text "ab\xffz" ];
+           Dom.element "a" [ Dom.text "abc" ];
+         ])
+  in
+  let db = Db.create () in
+  M.create_schema db;
+  M.create_indexes db;
+  M.shred db ~doc:0 (Index.of_document dom);
+  check_bool "round trip" true (Dom.equal dom (M.reconstruct db ~doc:0));
+  let got = (M.query db ~doc:0 (Xpathkit.Parser.parse_path "/r/a")).Xmlshred.Mapping.values in
+  check_strings "high-byte values in document order" [ "ab\xff"; "ab\xffz"; "abc" ] got
+
 let mapping_cases m =
   let module M = (val m : Xmlshred.Mapping.MAPPING) in
   ( M.id,
@@ -253,6 +275,7 @@ let mapping_cases m =
       Alcotest.test_case "multiple documents" `Quick (test_multi_doc m);
       Alcotest.test_case "sql reporting" `Quick (test_sql_reported m);
       Alcotest.test_case "special characters" `Quick (test_special_chars m);
+      Alcotest.test_case "high-byte text" `Quick (test_high_byte_text m);
       QCheck_alcotest.to_alcotest (roundtrip_prop m);
       QCheck_alcotest.to_alcotest (query_equiv_prop m);
       QCheck_alcotest.to_alcotest (random_path_prop m);
@@ -449,6 +472,44 @@ let inline_cases =
       QCheck_alcotest.to_alcotest inline_query_equiv_prop;
     ] )
 
+(* ------------------------------------------------------------------ *)
+(* Dewey label encoding: lexicographic label order must equal document
+   order at any fanout (the fixed-width encoding capped fanout at 9999
+   and raised beyond it). *)
+
+let dewey_component_prop =
+  QCheck.Test.make ~name:"dewey component encoding is order-preserving" ~count:500
+    QCheck.(pair (int_range 0 10_000_000) (int_range 0 10_000_000))
+    (fun (i, j) ->
+      let enc = Xmlshred.Dewey.component ~attr:false in
+      compare (enc i) (enc j) = compare i j
+      && Xmlshred.Dewey.component_ordinal (enc i) = i
+      && Xmlshred.Dewey.component_ordinal (Xmlshred.Dewey.component ~attr:true i) = i
+      (* an element's attributes sort before its content children *)
+      && Xmlshred.Dewey.component ~attr:true i < enc j)
+
+let test_dewey_large_fanout () =
+  let n = 12_000 in
+  let dom =
+    Dom.document
+      (Dom.elem "r" (List.init n (fun i -> Dom.element "k" [ Dom.text (string_of_int i) ])))
+  in
+  let module M = (val Xmlshred.Dewey.mapping : Xmlshred.Mapping.MAPPING) in
+  let db = Db.create () in
+  M.create_schema db;
+  M.create_indexes db;
+  M.shred db ~doc:0 (Index.of_document dom);
+  check_bool "round trip at fanout 12000" true (Dom.equal dom (M.reconstruct db ~doc:0));
+  let got = (M.query db ~doc:0 (Xpathkit.Parser.parse_path "/r/k")).Xmlshred.Mapping.values in
+  check_strings "label order is document order past 9999" (List.init n string_of_int) got
+
+let dewey_label_cases =
+  ( "dewey labels",
+    [
+      QCheck_alcotest.to_alcotest dewey_component_prop;
+      Alcotest.test_case "large fanout" `Quick test_dewey_large_fanout;
+    ] )
+
 let () =
   Alcotest.run "shred"
-    (List.map mapping_cases Xmlshred.Registry.all @ [ inline_cases ])
+    (List.map mapping_cases Xmlshred.Registry.all @ [ inline_cases; dewey_label_cases ])
