@@ -648,6 +648,93 @@ let f8 () =
     (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* F9: tracing overhead — the F6 query workload under the edge scheme with
+   tracing off, sampled at 1%, and always-on. Planning is warmed first so
+   the comparison isolates the instrumentation cost. Written to
+   BENCH_trace.json; scale and repeat overridable (BENCH_F9_SCALE,
+   BENCH_F9_REPEAT) so CI can smoke-run it. *)
+
+let f9 () =
+  let scale =
+    match Sys.getenv_opt "BENCH_F9_SCALE" with
+    | Some s -> (try float_of_string s with _ -> 0.5)
+    | None -> 0.5
+  in
+  let repeat =
+    match Sys.getenv_opt "BENCH_F9_REPEAT" with
+    | Some s -> (try int_of_string s with _ -> 25)
+    | None -> 25
+  in
+  let dom = auction ~scale ~seed:42 in
+  let queries = [ "Q1"; "Q4"; "Q8" ] in
+  let best times = List.fold_left min infinity times in
+  let store = loaded_store "edge" dom in
+  let modes =
+    [
+      ("off", Obskit.Trace.Off);
+      ("ratio-0.01", Obskit.Trace.Ratio 0.01);
+      ("always", Obskit.Trace.Always);
+    ]
+  in
+  let entries = ref [] in
+  let rows =
+    List.concat_map
+      (fun qid ->
+        let q = Option.get (Xmlwork.Queries.find qid) in
+        let xpath = q.Xmlwork.Queries.xpath in
+        (* warm the plan cache and the allocator before the baseline run *)
+        for _ = 1 to 3 do
+          ignore (Store.query store 0 xpath)
+        done;
+        (* off first: its best time is the baseline the other modes are
+           compared against *)
+        let baseline = ref 0. in
+        List.map
+          (fun (mode_name, sampling) ->
+            Obskit.Trace.set_sampling sampling;
+            Obskit.Trace.clear ();
+            let times =
+              List.init repeat (fun _ ->
+                  snd (Tables.time ~repeat:1 (fun () -> Store.query store 0 xpath)))
+            in
+            Obskit.Trace.set_sampling Obskit.Trace.Off;
+            let t = best times in
+            if String.equal mode_name "off" then baseline := t;
+            let overhead_pct =
+              if !baseline > 0. then (t -. !baseline) /. !baseline *. 100. else 0.
+            in
+            let spans = List.length (Obskit.Trace.spans ()) in
+            entries :=
+              Printf.sprintf
+                "    {\"query\": %S, \"mode\": %S, \"best_ms\": %.4f, \"overhead_pct\": %.1f, \
+                 \"spans_retained\": %d}"
+                qid mode_name (t *. 1000.) overhead_pct spans
+              :: !entries;
+            [
+              qid; mode_name; Tables.ms t;
+              Printf.sprintf "%.1f" overhead_pct; string_of_int spans;
+            ])
+          modes)
+      queries
+  in
+  Obskit.Trace.clear ();
+  let oc = open_out "BENCH_trace.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"trace_overhead\",\n  \"scheme\": \"edge\",\n  \"scale\": %g,\n  \
+     \"repeat\": %d,\n  \"entries\": [\n%s\n  ]\n}\n"
+    scale repeat
+    (String.concat ",\n" (List.rev !entries));
+  close_out oc;
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "F9: tracing overhead — off vs 1%%-sampled vs always-on, scale %g (also \
+          BENCH_trace.json)"
+         scale)
+    ~header:[ "query"; "mode"; "best ms"; "overhead %"; "spans" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* F4: micro-benchmarks via Bechamel — one Test.make per component *)
 
 let f4 () =
@@ -706,7 +793,7 @@ let experiments =
   [
     ("T1", t1); ("T2", t2); ("F1", f1); ("F2", f2); ("T3", t3); ("F3", f3);
     ("T4", t4); ("T5", t5); ("T6", t6); ("T7", t7); ("F5", f5); ("F6", f6); ("F7", f7);
-    ("F8", f8); ("F4", f4);
+    ("F8", f8); ("F9", f9); ("F4", f4);
   ]
 
 let () =

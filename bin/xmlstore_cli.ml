@@ -82,13 +82,21 @@ let query_cmd =
          & info [ "repeat" ] ~docv:"N"
              ~doc:"Run the query N times; repeats reuse cached plans (see --show-sql).")
   in
-  let run scheme dtd_file path xpath show_sql analyze as_xml repeat =
+  let trace_flag =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Record a full trace of the run (parse, shred, translate, plan, execute) and \
+                   print the span tree on stderr.")
+  in
+  let run scheme dtd_file path xpath show_sql analyze as_xml repeat trace =
+    if trace then Obskit.Trace.set_sampling Obskit.Trace.Always;
     let store, doc, _ = read_store ?dtd_file scheme path in
     Store.reset_cache_stats store;
     let r = ref (Store.query ~analyze store doc xpath) in
     for _ = 2 to repeat do
       r := Store.query ~analyze store doc xpath
     done;
+    if trace then prerr_string (Obskit.Export.pretty (Obskit.Trace.spans ()));
     let r = !r in
     if show_sql then begin
       Printf.eprintf "-- %d SQL statement(s), %d join(s)%s\n" (List.length r.Store.sql)
@@ -118,7 +126,7 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Shred a document and run an XPath query against the relational form.")
     Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpath_arg $ show_sql $ analyze $ as_xml
-          $ repeat_arg)
+          $ repeat_arg $ trace_flag)
 
 (* shred *)
 let shred_cmd =
@@ -162,27 +170,46 @@ let stats_cmd =
     Arg.(value & opt (some string) None
          & info [ "query" ] ~docv:"XPATH" ~doc:"Run this XPath first so query metrics are populated.")
   in
-  let run scheme dtd_file path metrics xpath =
+  let prometheus_flag =
+    Arg.(value & flag
+         & info [ "prometheus" ]
+             ~doc:"Print the metrics registry as Prometheus text exposition instead of the \
+                   storage report. The output is linted before printing.")
+  in
+  let run scheme dtd_file path metrics prometheus xpath =
     Relstore.Metrics.reset ();
     let store, doc, _ = read_store ?dtd_file scheme path in
     (match xpath with Some x -> ignore (Store.query store doc x) | None -> ());
-    let stats = Store.stats store in
-    Printf.printf "scheme:  %s\ntables:  %d\ntuples:  %d\nbytes:   %d\nindexes: %d entries\n"
-      stats.Store.scheme_id
-      (List.length stats.Store.tables)
-      stats.Store.total_rows stats.Store.total_bytes stats.Store.total_index_entries;
-    let hits, misses, invalidations, evictions = Store.cache_stats store in
-    Printf.printf "plan cache: %d hit(s), %d miss(es), %d invalidation(s), %d eviction(s)\n" hits
-      misses invalidations evictions;
-    if metrics then begin
-      print_newline ();
-      print_string (Relstore.Metrics.report ())
+    if prometheus then begin
+      let exposition = Relstore.Metrics.prometheus () in
+      (match Obskit.Prom.lint exposition with
+      | Ok () -> ()
+      | Error problems ->
+        List.iter (Printf.eprintf "prometheus lint: %s\n") problems;
+        exit 1);
+      print_string exposition
+    end
+    else begin
+      let stats = Store.stats store in
+      Printf.printf "scheme:  %s\ntables:  %d\ntuples:  %d\nbytes:   %d\nindexes: %d entries\n"
+        stats.Store.scheme_id
+        (List.length stats.Store.tables)
+        stats.Store.total_rows stats.Store.total_bytes stats.Store.total_index_entries;
+      let hits, misses, invalidations, evictions = Store.cache_stats store in
+      Printf.printf "plan cache: %d hit(s), %d miss(es), %d invalidation(s), %d eviction(s)\n" hits
+        misses invalidations evictions;
+      if metrics then begin
+        print_newline ();
+        (* only this store's series, under their bare names *)
+        print_string (Relstore.Metrics.report ~label:(Store.metrics_label store) ())
+      end
     end
   in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Shred a document and report storage statistics; --metrics dumps the metrics registry.")
-    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ metrics_flag $ xpath_opt)
+       ~doc:"Shred a document and report storage statistics; --metrics dumps the metrics \
+             registry, --prometheus prints it as text exposition.")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ metrics_flag $ prometheus_flag $ xpath_opt)
 
 (* roundtrip *)
 let roundtrip_cmd =
@@ -319,6 +346,124 @@ let query_saved_cmd =
     (Cmd.info "query-saved" ~doc:"Reopen a persisted store and run an XPath query.")
     Term.(const run $ scheme_arg $ dtd_arg $ dump_arg $ xpath_arg $ doc_arg)
 
+(* trace: record a full instrumented run and export / validate traces *)
+let trace_export_cmd =
+  let xpath_arg =
+    Arg.(value & opt string "/*" & info [ "query" ] ~docv:"XPATH" ~doc:"XPath to run traced.")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"OUT" ~doc:"Output file (Chrome trace_event JSON).")
+  in
+  let run scheme dtd_file path xpath out =
+    Obskit.Trace.set_sampling Obskit.Trace.Always;
+    let store, doc, _ = read_store ?dtd_file scheme path in
+    ignore (Store.query store doc xpath);
+    ignore (Store.get_document store doc);
+    let spans = Obskit.Trace.spans () in
+    (match Obskit.Export.check_well_nested spans with
+    | Ok () -> ()
+    | Error e ->
+      Printf.eprintf "trace is not well nested: %s\n" e;
+      exit 1);
+    let json = Obskit.Export.to_chrome_json spans in
+    let oc = open_out_bin out in
+    output_string oc json;
+    close_out oc;
+    Printf.printf "wrote %d span(s) across %d trace(s) to %s\n" (List.length spans)
+      (List.length (List.sort_uniq compare (List.map (fun s -> s.Obskit.Trace.trace_id) spans)))
+      out
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Shred, query, and reconstruct a document fully traced; write the spans as Chrome \
+             trace_event JSON (chrome://tracing, Perfetto).")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpath_arg $ out_arg)
+
+let trace_validate_cmd =
+  let trace_file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE" ~doc:"Trace file produced by trace export.")
+  in
+  let run path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Obskit.Export.validate_chrome_json s with
+    | Ok n ->
+      Printf.printf "%s: %d event(s), well nested\n" path n;
+      exit 0
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Parse an exported trace and check per-thread event nesting.")
+    Term.(const run $ trace_file_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Record, export, and validate execution traces.")
+    [ trace_export_cmd; trace_validate_cmd ]
+
+(* slowlog: arm the slow-query log, run a query, report what it caught *)
+let slowlog_cmd =
+  let xpath_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH" ~doc:"Absolute XPath.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 0.0
+         & info [ "threshold-ms" ] ~docv:"MS"
+             ~doc:"Retain queries taking at least this many milliseconds (default 0: every \
+                   query).")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc:"Run the query N times.")
+  in
+  let params_to_string ps =
+    if Array.length ps = 0 then "(none)"
+    else String.concat ", " (Array.to_list (Array.map Relstore.Value.to_string ps))
+  in
+  let run scheme dtd_file path xpath threshold repeat =
+    let store, doc, _ = read_store ?dtd_file scheme path in
+    Store.set_slow_threshold store (Some threshold);
+    for _ = 1 to repeat do
+      ignore (Store.query store doc xpath)
+    done;
+    let entries = Store.slow_log store in
+    Printf.printf "%d slow quer%s (threshold %.3f ms, %d run%s)\n" (List.length entries)
+      (if List.length entries = 1 then "y" else "ies")
+      threshold repeat
+      (if repeat = 1 then "" else "s");
+    List.iter
+      (fun (e : Store.slow_entry) ->
+        Printf.printf "\n%.3f ms  doc=%d scheme=%s%s  %s\n"
+          (float_of_int e.Store.se_total_ns /. 1e6)
+          e.Store.se_doc e.Store.se_scheme
+          (if e.Store.se_fallback then " [fallback]" else "")
+          e.Store.se_xpath;
+        List.iter
+          (fun (s : Store.slow_statement) ->
+            Printf.printf "  sql:    %s\n  params: %s\n  plan:\n%s\n  analyze:\n%s\n"
+              s.Store.ss_sql
+              (params_to_string s.Store.ss_params)
+              (String.concat "\n"
+                 (List.map (fun l -> "    " ^ l) (String.split_on_char '\n' s.Store.ss_plan)))
+              (String.concat "\n"
+                 (List.map
+                    (fun l -> "    " ^ l)
+                    (String.split_on_char '\n'
+                       (Relstore.Plan.annotated_to_string s.Store.ss_annot)))))
+          e.Store.se_statements)
+      entries
+  in
+  Cmd.v
+    (Cmd.info "slowlog"
+       ~doc:"Run a query with the slow-query log armed and print every retained entry \
+             (statement text, bound parameters, plan, executed operator tree).")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpath_arg $ threshold_arg $ repeat_arg)
+
 (* transform: FLWOR over a document *)
 let transform_cmd =
   let flwor_arg =
@@ -340,7 +485,7 @@ let main =
        ~doc:"Store and retrieve XML documents using a relational database.")
     [
       schemes_cmd; query_cmd; shred_cmd; stats_cmd; roundtrip_cmd; validate_cmd; generate_cmd;
-      sql_cmd; save_cmd; query_saved_cmd; transform_cmd;
+      sql_cmd; save_cmd; query_saved_cmd; transform_cmd; trace_cmd; slowlog_cmd;
     ]
 
 let () = exit (Cmd.eval main)

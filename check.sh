@@ -1,8 +1,10 @@
 #!/bin/sh
 # Repo health check: build everything (dev profile = warnings as errors),
-# run the test suite, build the bench harness and examples, and smoke-run
-# the plan-cache and analyze benchmarks (write BENCH_plancache.json and
-# BENCH_analyze.json).
+# run the test suite, build the bench harness and examples, smoke-run the
+# plan-cache / analyze / trace-overhead benchmarks (write
+# BENCH_plancache.json, BENCH_analyze.json, BENCH_trace.json), round-trip
+# a trace export through the validator for three schemes, and lint the
+# Prometheus exposition.
 set -eux
 
 dune build @all
@@ -13,5 +15,27 @@ dune exec bench/main.exe -- F7
 test -s BENCH_plancache.json
 BENCH_F8_SCALE=0.05 dune exec bench/main.exe -- F8
 test -s BENCH_analyze.json
+BENCH_F9_SCALE=0.05 BENCH_F9_REPEAT=5 dune exec bench/main.exe -- F9
+test -s BENCH_trace.json
+
+# trace export -> validate round trip (parse/shred/plan/execute/reconstruct
+# spans, checked well-nested by the exporter and re-checked from the JSON)
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+dune exec bin/xmlstore_cli.exe -- generate auction --scale 0.02 > "$tmpdir/doc.xml"
+for scheme in edge interval dewey; do
+  dune exec bin/xmlstore_cli.exe -- trace export -s "$scheme" "$tmpdir/doc.xml" \
+    --query "/site/people/person/name" --out "$tmpdir/trace-$scheme.json"
+  dune exec bin/xmlstore_cli.exe -- trace validate "$tmpdir/trace-$scheme.json"
+done
+
+# Prometheus exposition (the CLI lints it internally and fails on problems)
+dune exec bin/xmlstore_cli.exe -- stats --prometheus -s edge "$tmpdir/doc.xml" \
+  --query "/site/people/person/name" > "$tmpdir/metrics.prom"
+test -s "$tmpdir/metrics.prom"
+
+# slow-query log end to end
+dune exec bin/xmlstore_cli.exe -- slowlog -s edge "$tmpdir/doc.xml" \
+  "/site/people/person/name" --threshold-ms 0 | grep -q "slow quer"
 
 echo "check.sh: all green"

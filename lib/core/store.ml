@@ -11,6 +11,27 @@ exception Store_error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Store_error s)) fmt
 
+type doc_id = int
+
+(* One retained slow query: everything needed to diagnose it offline. *)
+type slow_statement = {
+  ss_sql : string;
+  ss_params : Relstore.Value.t array;
+  ss_plan : string;  (* rendered plan tree (EXPLAIN) *)
+  ss_annot : Relstore.Plan.annotated;  (* executed operator tree (ANALYZE) *)
+}
+
+type slow_entry = {
+  se_xpath : string;
+  se_doc : doc_id;
+  se_scheme : string;
+  se_total_ns : int;
+  se_fallback : bool;
+  se_statements : slow_statement list;
+}
+
+let slow_log_capacity = 32
+
 type t = {
   db : Db.t;
   mapping : Xmlshred.Mapping.mapping;
@@ -18,10 +39,11 @@ type t = {
   dtd : Xmlkit.Dtd.t option;
   validate : bool;
   indexes : bool;
+  metrics_label : string;
   mutable next_doc : int;
+  mutable slow_threshold_ns : int option;
+  mutable slow_entries : slow_entry list;  (* most recent first, bounded *)
 }
-
-type doc_id = int
 
 let schemes () = Xmlshred.Registry.ids () @ [ "inline" ]
 
@@ -36,9 +58,20 @@ let resolve_mapping ~scheme ~dtd =
     | None ->
       err "unknown scheme %s (available: %s)" scheme (String.concat ", " (schemes ()))
 
+(* Metrics-registry label distinguishing this instance's series from
+   other live stores'. Auto-generated scheme#N unless overridden. *)
+let instance_counter = ref 0
+
+let fresh_label ?metrics_label scheme =
+  match metrics_label with
+  | Some l -> l
+  | None ->
+    incr instance_counter;
+    Printf.sprintf "%s#%d" scheme !instance_counter
+
 (* [validate] (only meaningful with a DTD) checks documents against the DTD
    before storing them. *)
-let create ?dtd ?(validate = false) ?(indexes = true) scheme =
+let create ?dtd ?(validate = false) ?(indexes = true) ?metrics_label scheme =
   let mapping = resolve_mapping ~scheme ~dtd in
   let db = Db.create () in
   ignore
@@ -48,12 +81,31 @@ let create ?dtd ?(validate = false) ?(indexes = true) scheme =
   let module M = (val mapping : Xmlshred.Mapping.MAPPING) in
   M.create_schema db;
   if indexes then M.create_indexes db;
-  { db; mapping; scheme; dtd; validate; indexes; next_doc = 0 }
+  {
+    db;
+    mapping;
+    scheme;
+    dtd;
+    validate;
+    indexes;
+    metrics_label = fresh_label ?metrics_label scheme;
+    next_doc = 0;
+    slow_threshold_ns = None;
+    slow_entries = [];
+  }
 
 let scheme t = t.scheme
 let database t = t.db
+let metrics_label t = t.metrics_label
 
-let add_document ?name t (dom : Dom.t) : doc_id =
+(* Every public operation runs under the store's metrics label (so two
+   live stores don't interleave series) and a root trace span naming the
+   operation, with the scheme attached. *)
+let with_op t ?(attrs = []) name f =
+  Relstore.Metrics.with_label t.metrics_label @@ fun () ->
+  Obskit.Trace.with_span ~attrs:(("scheme", t.scheme) :: attrs) name f
+
+let add_dom ?name t (dom : Dom.t) : doc_id =
   (match (t.validate, t.dtd) with
   | true, Some dtd ->
     let violations = Xmlkit.Dtd.validate dtd dom in
@@ -64,7 +116,11 @@ let add_document ?name t (dom : Dom.t) : doc_id =
   let ix = Index.of_document dom in
   let doc = t.next_doc in
   let module M = (val t.mapping : Xmlshred.Mapping.MAPPING) in
-  Relstore.Metrics.timed ("store.shred." ^ t.scheme) (fun () -> M.shred t.db ~doc ix);
+  Relstore.Metrics.timed ("store.shred." ^ t.scheme) (fun () ->
+      Obskit.Trace.with_span
+        ~attrs:[ ("scheme", t.scheme); ("doc", string_of_int doc) ]
+        "shred"
+        (fun () -> M.shred t.db ~doc ix));
   (* schemes with data-dependent tables (binary, universal) may have created
      new tables during the shred; index creation is idempotent *)
   if t.indexes then M.create_indexes t.db;
@@ -79,8 +135,16 @@ let add_document ?name t (dom : Dom.t) : doc_id =
   t.next_doc <- doc + 1;
   doc
 
-let add_string ?name t src = add_document ?name t (Xmlkit.Parser.parse src)
-let add_file ?name t path = add_document ?name t (Xmlkit.Parser.parse_file path)
+(* The string/file entries parse inside the root span, so the xml.parse
+   span nests under store.add_document in the trace. *)
+let add_document ?name t dom =
+  with_op t "store.add_document" @@ fun () -> add_dom ?name t dom
+
+let add_string ?name t src =
+  with_op t "store.add_document" @@ fun () -> add_dom ?name t (Xmlkit.Parser.parse src)
+
+let add_file ?name t path =
+  with_op t "store.add_document" @@ fun () -> add_dom ?name t (Xmlkit.Parser.parse_file path)
 
 type doc_info = { doc : doc_id; doc_name : string option; root_tag : string; nodes : int; depth : int }
 
@@ -103,9 +167,14 @@ let check_doc t doc =
     err "no document with id %d" doc
 
 let get_document t doc =
+  with_op t ~attrs:[ ("doc", string_of_int doc) ] "store.get_document" @@ fun () ->
   check_doc t doc;
   let module M = (val t.mapping : Xmlshred.Mapping.MAPPING) in
-  Relstore.Metrics.timed ("store.reconstruct." ^ t.scheme) (fun () -> M.reconstruct t.db ~doc)
+  Relstore.Metrics.timed ("store.reconstruct." ^ t.scheme) (fun () ->
+      Obskit.Trace.with_span
+        ~attrs:[ ("scheme", t.scheme); ("doc", string_of_int doc) ]
+        "reconstruct"
+        (fun () -> M.reconstruct t.db ~doc))
 
 (* ------------------------------------------------------------------ *)
 (* Queries *)
@@ -120,24 +189,72 @@ type result = {
       (* with ~analyze:true, one executed operator tree per statement *)
 }
 
+let take n l = List.filteri (fun i _ -> i < n) l
+
 let query ?(analyze = false) t doc (xpath : string) : result =
+  with_op t ~attrs:[ ("doc", string_of_int doc); ("xpath", xpath) ] "store.query"
+  @@ fun () ->
   check_doc t doc;
   let path = Xpathkit.Parser.parse_path xpath in
   let module M = (val t.mapping : Xmlshred.Mapping.MAPPING) in
   let run () =
     Relstore.Metrics.timed ("store.query." ^ t.scheme) (fun () -> M.query t.db ~doc path)
   in
-  let r, analyzed =
-    if analyze then Xmlshred.Mapping.collect_analysis run else (run (), [])
+  (* The slow log needs per-statement captures even when the caller did not
+     ask for ANALYZE, so an armed threshold also installs the sink. *)
+  let capturing = analyze || t.slow_threshold_ns <> None in
+  let t0 = Obskit.Clock.now_ns () in
+  let r, captures =
+    if capturing then Xmlshred.Mapping.collect_captures run else (run (), [])
   in
+  let total_ns = Obskit.Clock.now_ns () - t0 in
+  (match t.slow_threshold_ns with
+  | Some thr when total_ns >= thr ->
+    let statements =
+      List.map
+        (fun (c : Xmlshred.Mapping.capture) ->
+          {
+            ss_sql = c.cap_sql;
+            ss_params = c.cap_params;
+            ss_plan = Relstore.Plan.to_string c.cap_plan;
+            ss_annot = c.cap_annot;
+          })
+        captures
+    in
+    Relstore.Metrics.incr "store.slow_queries";
+    t.slow_entries <-
+      {
+        se_xpath = xpath;
+        se_doc = doc;
+        se_scheme = t.scheme;
+        se_total_ns = total_ns;
+        se_fallback = r.Xmlshred.Mapping.fallback;
+        se_statements = statements;
+      }
+      :: take (slow_log_capacity - 1) t.slow_entries
+  | _ -> ());
   {
     values = r.Xmlshred.Mapping.values;
     nodes = r.Xmlshred.Mapping.nodes;
     sql = r.Xmlshred.Mapping.sql;
     joins = r.Xmlshred.Mapping.joins;
     fallback = r.Xmlshred.Mapping.fallback;
-    analyzed;
+    analyzed =
+      (if analyze then
+         List.map (fun (c : Xmlshred.Mapping.capture) -> (c.cap_sql, c.cap_annot)) captures
+       else []);
   }
+
+(* ------------------------------------------------------------------ *)
+(* Slow-query log *)
+
+let set_slow_threshold t ms =
+  t.slow_threshold_ns <-
+    Option.map (fun m -> int_of_float (m *. 1e6)) ms
+
+let slow_threshold_ms t = Option.map (fun ns -> float_of_int ns /. 1e6) t.slow_threshold_ns
+let slow_log t = t.slow_entries
+let clear_slow_log t = t.slow_entries <- []
 
 let query_values t doc xpath = (query t doc xpath).values
 let query_nodes t doc xpath = Lazy.force (query t doc xpath).nodes
@@ -169,11 +286,13 @@ let cost_of (c : Xmlshred.Updates.cost) =
   }
 
 let append_child t doc ~parent node =
+  with_op t ~attrs:[ ("doc", string_of_int doc) ] "store.append_child" @@ fun () ->
   check_doc t doc;
   let module U = (val updater t : Xmlshred.Updates.UPDATER) in
   cost_of (U.append_child t.db ~doc ~parent:(Xpathkit.Parser.parse_path parent) node)
 
 let delete_matching t doc xpath =
+  with_op t ~attrs:[ ("doc", string_of_int doc) ] "store.delete_matching" @@ fun () ->
   check_doc t doc;
   let module U = (val updater t : Xmlshred.Updates.UPDATER) in
   cost_of (U.delete_matching t.db ~doc (Xpathkit.Parser.parse_path xpath))
@@ -223,7 +342,7 @@ let set_plan_cache t enabled = Db.set_plan_cache t.db enabled
 
 let save t path = Db.dump_to_file t.db path
 
-let load ?dtd ?(validate = false) ~scheme path =
+let load ?dtd ?(validate = false) ?metrics_label ~scheme path =
   let mapping = resolve_mapping ~scheme ~dtd in
   let db = Db.restore_from_file path in
   if Option.is_none (Db.find_table db "documents") then
@@ -233,4 +352,15 @@ let load ?dtd ?(validate = false) ~scheme path =
     | [ [| Relstore.Value.Int m |] ] -> m + 1
     | _ -> 0
   in
-  { db; mapping; scheme; dtd; validate; indexes = true; next_doc }
+  {
+    db;
+    mapping;
+    scheme;
+    dtd;
+    validate;
+    indexes = true;
+    metrics_label = fresh_label ?metrics_label scheme;
+    next_doc;
+    slow_threshold_ns = None;
+    slow_entries = [];
+  }

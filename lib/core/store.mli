@@ -16,15 +16,23 @@ val schemes : unit -> string list
 (** Available scheme ids: ["edge"; "binary"; "interval"; "dewey";
     "universal"; "inline"]. *)
 
-val create : ?dtd:Xmlkit.Dtd.t -> ?validate:bool -> ?indexes:bool -> string -> t
+val create :
+  ?dtd:Xmlkit.Dtd.t -> ?validate:bool -> ?indexes:bool -> ?metrics_label:string -> string -> t
 (** [create scheme] builds an empty store. The ["inline"] scheme requires
     [~dtd]. [~validate:true] checks each document against the DTD before
     storing. [~indexes:false] skips the scheme's recommended secondary
-    indexes (benchmark F3 measures the difference). *)
+    indexes (benchmark F3 measures the difference). [~metrics_label]
+    overrides the auto-generated ["scheme#N"] label that keeps this
+    instance's metrics series separate from other live stores'. *)
 
 val scheme : t -> string
 val database : t -> Relstore.Database.t
 (** The underlying relational database (inspection, raw SQL). *)
+
+val metrics_label : t -> string
+(** The label this store's operations record metrics under; pass it to
+    [Relstore.Metrics.report ~label] (or [counter]/[histogram_list]) to
+    read only this instance's series. *)
 
 (** {1 Documents} *)
 
@@ -73,6 +81,38 @@ val query_all : t -> string -> (doc_id * result) list
 (** Evaluate one path against every stored document. *)
 
 val translate_sql : t -> doc_id -> string -> string list
+
+(** {1 Slow-query log}
+
+    When a threshold is armed, every {!query} whose wall-clock meets it is
+    retained (most recent first, bounded at 32 entries) with its statement
+    texts, bound parameters, plans, and executed operator trees. *)
+
+type slow_statement = {
+  ss_sql : string;  (** statement text (plan-cache key) *)
+  ss_params : Relstore.Value.t array;  (** bound parameters *)
+  ss_plan : string;  (** rendered plan tree (EXPLAIN) *)
+  ss_annot : Relstore.Plan.annotated;  (** executed operator tree (ANALYZE) *)
+}
+
+type slow_entry = {
+  se_xpath : string;
+  se_doc : doc_id;
+  se_scheme : string;
+  se_total_ns : int;  (** whole-query wall-clock *)
+  se_fallback : bool;
+  se_statements : slow_statement list;
+}
+
+val set_slow_threshold : t -> float option -> unit
+(** [set_slow_threshold t (Some ms)] arms the log for queries taking at
+    least [ms] milliseconds; [None] disarms it (entries are kept). *)
+
+val slow_threshold_ms : t -> float option
+val slow_log : t -> slow_entry list
+(** Retained entries, most recent first. *)
+
+val clear_slow_log : t -> unit
 
 (** {1 In-place updates}
 
@@ -125,6 +165,7 @@ val save : t -> string -> unit
 (** Write the whole store (all tables, data, and index definitions) as a
     SQL script. *)
 
-val load : ?dtd:Xmlkit.Dtd.t -> ?validate:bool -> scheme:string -> string -> t
+val load :
+  ?dtd:Xmlkit.Dtd.t -> ?validate:bool -> ?metrics_label:string -> scheme:string -> string -> t
 (** Reopen a store saved with {!save}. The scheme must match the one the
     dump was produced with ([inline] additionally needs the same DTD). *)

@@ -1,0 +1,11 @@
+(* The one timestamp source shared by the tracer and the metrics registry.
+
+   CLOCK_MONOTONIC through bechamel's C stub, reported as integer
+   nanoseconds since process start. Wall-clock time through a float (the
+   previous Metrics.now_ns) loses precision (~256 ns granularity at the
+   current epoch) and goes backwards under clock adjustment; this clock is
+   exact and non-decreasing by construction. *)
+
+let origin = Monotonic_clock.now ()
+
+let now_ns () = Int64.to_int (Int64.sub (Monotonic_clock.now ()) origin)

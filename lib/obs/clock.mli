@@ -1,0 +1,6 @@
+(** Monotonic integer-nanosecond clock (CLOCK_MONOTONIC), the single
+    timestamp source for spans and metrics. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since process start. Exact (no float rounding) and
+    non-decreasing even when the wall clock is adjusted. *)

@@ -1,0 +1,208 @@
+(* Span exporters: Chrome trace_event JSON (loadable in chrome://tracing
+   and Perfetto), a human-readable span tree, and the validators check.sh
+   and the property tests run over exporter output. *)
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event format: one complete ("ph":"X") event per span.
+   Timestamps are microseconds; each trace becomes one thread id so
+   Perfetto lays traces out as parallel tracks. *)
+
+let chrome_event (s : Trace.span) =
+  let args =
+    List.map (fun (k, v) -> (k, Json.Str v)) s.Trace.attrs
+    @ [ ("span_id", Json.Num (float_of_int s.Trace.span_id)) ]
+    @
+    match s.Trace.parent_id with
+    | Some p -> [ ("parent_id", Json.Num (float_of_int p)) ]
+    | None -> []
+  in
+  Json.Obj
+    [
+      ("name", Json.Str s.Trace.name);
+      ("cat", Json.Str "xmlstore");
+      ("ph", Json.Str "X");
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int s.Trace.trace_id));
+      ("ts", Json.Num (us_of_ns s.Trace.start_ns));
+      ("dur", Json.Num (us_of_ns (max 0 s.Trace.dur_ns)));
+      ("args", Json.Obj args);
+    ]
+
+let to_chrome_json spans =
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map chrome_event spans));
+         ("displayTimeUnit", Json.Str "ms");
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printer: spans grouped by trace, indented by parent link, with
+   durations in ms and attributes inline. *)
+
+let pretty spans =
+  let buf = Buffer.create 1024 in
+  let traces =
+    List.fold_left
+      (fun acc (s : Trace.span) ->
+        match acc with
+        | (tid, ss) :: rest when tid = s.Trace.trace_id -> (tid, s :: ss) :: rest
+        | _ -> (s.Trace.trace_id, [ s ]) :: acc)
+      [] spans
+    |> List.rev_map (fun (tid, ss) -> (tid, List.rev ss))
+  in
+  List.iter
+    (fun (tid, ss) ->
+      Buffer.add_string buf (Printf.sprintf "trace %d (%d span%s)\n" tid (List.length ss)
+                               (if List.length ss = 1 then "" else "s"));
+      let children parent =
+        List.filter (fun (s : Trace.span) -> s.Trace.parent_id = parent) ss
+      in
+      let rec walk indent (s : Trace.span) =
+        let attrs =
+          match s.Trace.attrs with
+          | [] -> ""
+          | kvs ->
+            " "
+            ^ String.concat " "
+                (List.map
+                   (fun (k, v) ->
+                     let v =
+                       if String.length v > 60 then String.sub v 0 57 ^ "..." else v
+                     in
+                     Printf.sprintf "%s=%s" k v)
+                   kvs)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s%-28s %8.3f ms%s\n"
+             (String.make indent ' ')
+             s.Trace.name
+             (float_of_int (max 0 s.Trace.dur_ns) /. 1e6)
+             attrs);
+        List.iter (walk (indent + 2)) (children (Some s.Trace.span_id))
+      in
+      (* roots: no parent, or parent fell out of the ring buffer *)
+      let ids = List.map (fun (s : Trace.span) -> s.Trace.span_id) ss in
+      List.iter
+        (fun (s : Trace.span) ->
+          match s.Trace.parent_id with
+          | None -> walk 2 s
+          | Some p when not (List.mem p ids) -> walk 2 s
+          | Some _ -> ())
+        ss)
+    traces;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Validators *)
+
+(* Every finished span must nest inside its parent's interval. *)
+let check_well_nested spans =
+  let by_id = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Trace.span) -> Hashtbl.replace by_id (s.Trace.trace_id, s.Trace.span_id) s)
+    spans;
+  let bad =
+    List.find_opt
+      (fun (s : Trace.span) ->
+        match s.Trace.parent_id with
+        | None -> false
+        | Some pid -> (
+          match Hashtbl.find_opt by_id (s.Trace.trace_id, pid) with
+          | None -> false  (* parent fell out of the ring buffer *)
+          | Some p ->
+            s.Trace.start_ns < p.Trace.start_ns
+            || s.Trace.start_ns + s.Trace.dur_ns > p.Trace.start_ns + p.Trace.dur_ns))
+      spans
+  in
+  match bad with
+  | None -> Ok ()
+  | Some s ->
+    Error
+      (Printf.sprintf "span %d (%s) escapes its parent %d's interval" s.Trace.span_id
+         s.Trace.name
+         (Option.value ~default:(-1) s.Trace.parent_id))
+
+(* Parse an exported file and check that, per thread, event intervals are
+   properly nested (no partial overlap). Returns the event count. *)
+let validate_chrome_json src =
+  match Json.parse src with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok root -> (
+    match Option.bind (Json.member "traceEvents" root) Json.to_list with
+    | None -> Error "missing traceEvents array"
+    | Some events ->
+      let parsed =
+        List.map
+          (fun ev ->
+            let field name conv =
+              match Option.bind (Json.member name ev) conv with
+              | Some v -> Ok v
+              | None -> Error (Printf.sprintf "event missing %s" name)
+            in
+            match
+              (field "name" Json.to_str, field "ts" Json.to_float, field "dur" Json.to_float,
+               field "tid" Json.to_float, field "ph" Json.to_str)
+            with
+            | Ok name, Ok ts, Ok dur, Ok tid, Ok ph -> Ok (name, ts, dur, int_of_float tid, ph)
+            | (Error _ as e), _, _, _, _
+            | _, (Error _ as e), _, _, _
+            | _, _, (Error _ as e), _, _
+            | _, _, _, (Error _ as e), _
+            | _, _, _, _, (Error _ as e) -> e)
+          events
+      in
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | Ok ev :: rest -> collect (ev :: acc) rest
+        | Error e :: _ -> Error e
+      in
+      match collect [] parsed with
+      | Error e -> Error e
+      | Ok evs ->
+        if List.exists (fun (_, _, _, _, ph) -> ph <> "X") evs then
+          Error "unexpected event phase (only complete 'X' events are emitted)"
+        else begin
+          let tids = List.sort_uniq compare (List.map (fun (_, _, _, tid, _) -> tid) evs) in
+          let eps = 0.0015 (* us; one rounding step of the %.3f timestamps *) in
+          let check_tid tid =
+            let mine =
+              List.filter (fun (_, _, _, t, _) -> t = tid) evs
+              |> List.sort (fun (_, ts1, d1, _, _) (_, ts2, d2, _, _) ->
+                     if ts1 <> ts2 then compare ts1 ts2 else compare d2 d1)
+            in
+            (* sweep with an open-interval stack: each event must fit inside
+               the innermost still-open interval *)
+            let stack = ref [] in
+            List.fold_left
+              (fun acc (name, ts, dur, _, _) ->
+                match acc with
+                | Error _ as e -> e
+                | Ok () ->
+                  let rec popped () =
+                    match !stack with
+                    | (_, e) :: rest when e <= ts +. eps -> stack := rest; popped ()
+                    | _ -> ()
+                  in
+                  popped ();
+                  let fits =
+                    match !stack with
+                    | [] -> true
+                    | (_, e) :: _ -> ts +. dur <= e +. eps
+                  in
+                  if not fits then
+                    Error (Printf.sprintf "event %S on tid %d overlaps its enclosing span" name tid)
+                  else begin
+                    stack := (ts, ts +. dur) :: !stack;
+                    Ok ()
+                  end)
+              (Ok ()) mine
+          in
+          let rec all = function
+            | [] -> Ok (List.length evs)
+            | tid :: rest -> ( match check_tid tid with Ok () -> all rest | Error e -> Error e)
+          in
+          all tids
+        end)

@@ -1,0 +1,17 @@
+(** Span exporters and the validators run over their output. *)
+
+val to_chrome_json : Trace.span list -> string
+(** Chrome [trace_event] JSON (one complete ["ph":"X"] event per span,
+    microsecond timestamps, one thread id per trace). Loadable in
+    chrome://tracing and Perfetto. *)
+
+val pretty : Trace.span list -> string
+(** Human-readable span trees, grouped by trace, durations in ms. *)
+
+val check_well_nested : Trace.span list -> (unit, string) result
+(** Every span whose parent is present must lie inside the parent's
+    interval. *)
+
+val validate_chrome_json : string -> (int, string) result
+(** Parse an exported file with {!Json.parse} and check per-thread proper
+    nesting of event intervals. Returns the event count. *)

@@ -1,0 +1,208 @@
+(* Minimal JSON: enough to render exporter output and to parse it back for
+   validation (check.sh round-trips every exported trace through this
+   parser). Not a general-purpose library: no streaming, strings are
+   OCaml strings (escapes are decoded, \uXXXX to UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+  (* 12 significant digits keep sub-microsecond precision for timestamps
+     up to ~1e9 us (a quarter hour of uptime) without decorating every
+     integer with trailing zeros *)
+
+let rec render buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> Buffer.add_string buf (number_to_string f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        render buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\":";
+        render buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  render buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+exception Bad of string
+
+let parse (src : string) : (t, string) result =
+  let pos = ref 0 in
+  let n = String.length src in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad (Printf.sprintf "%s at offset %d" m !pos))) fmt in
+  let peek () = if !pos >= n then '\000' else src.[!pos] in
+  let skip_ws () =
+    while !pos < n && (match src.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = c then incr pos else fail "expected %C, found %C" c (peek ())
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub src !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match src.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        (if !pos >= n then fail "unterminated escape";
+         match src.[!pos] with
+         | '"' -> Buffer.add_char buf '"'; incr pos
+         | '\\' -> Buffer.add_char buf '\\'; incr pos
+         | '/' -> Buffer.add_char buf '/'; incr pos
+         | 'n' -> Buffer.add_char buf '\n'; incr pos
+         | 't' -> Buffer.add_char buf '\t'; incr pos
+         | 'r' -> Buffer.add_char buf '\r'; incr pos
+         | 'b' -> Buffer.add_char buf '\b'; incr pos
+         | 'f' -> Buffer.add_char buf '\012'; incr pos
+         | 'u' ->
+           if !pos + 4 >= n then fail "bad \\u escape";
+           let hex = String.sub src (!pos + 1) 4 in
+           let code = try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape" in
+           (* UTF-8 encode the BMP code point *)
+           if code < 0x80 then Buffer.add_char buf (Char.chr code)
+           else if code < 0x800 then begin
+             Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end;
+           pos := !pos + 5
+         | c -> fail "bad escape \\%C" c);
+        go ()
+      | c -> Buffer.add_char buf c; incr pos; go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && num_char src.[!pos] do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub src start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = '}' then begin incr pos; Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> incr pos; members ((k, v) :: acc)
+          | '}' -> incr pos; Obj (List.rev ((k, v) :: acc))
+          | c -> fail "expected ',' or '}', found %C" c
+        in
+        members []
+      end
+    | '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = ']' then begin incr pos; List [] end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> incr pos; items (v :: acc)
+          | ']' -> incr pos; List (List.rev (v :: acc))
+          | c -> fail "expected ',' or ']', found %C" c
+        in
+        items []
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> Num (parse_number ())
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing content at offset %d" !pos)
+    else Ok v
+  with Bad m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Accessors used by the validators *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function List xs -> Some xs | _ -> None

@@ -1,0 +1,24 @@
+(** Minimal JSON renderer and parser — just enough to emit exporter output
+    and to parse it back for validation. Strings are OCaml strings; escapes
+    are decoded ([\uXXXX] to UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+val parse : string -> (t, string) result
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,193 @@
+(* Prometheus text exposition format (version 0.0.4): render a metric
+   list as HELP/TYPE blocks with label-qualified samples, and lint an
+   exposition back (check.sh gates on the linter). *)
+
+type series = { s_labels : (string * string) list; s_value : float }
+
+type histo_series = {
+  h_labels : (string * string) list;
+  h_buckets : (float * int) list;  (* le upper bound, cumulative count *)
+  h_sum : float;
+  h_count : int;
+}
+
+type metric =
+  | Counter of { m_name : string; m_help : string; m_series : series list }
+  | Gauge of { m_name : string; m_help : string; m_series : series list }
+  | Histogram of { m_name : string; m_help : string; m_histos : histo_series list }
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+(* Map an internal metric name (dots, dashes) onto the Prometheus grammar
+   [a-zA-Z_:][a-zA-Z0-9_:]*. *)
+let sanitize_name s =
+  if s = "" then "_"
+  else begin
+    let buf = Buffer.create (String.length s) in
+    String.iteri
+      (fun i c ->
+        if (if i = 0 then is_name_start c else is_name_char c) then Buffer.add_char buf c
+        else Buffer.add_char buf '_')
+      s;
+    Buffer.contents buf
+  end
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let escape_help h =
+  let buf = Buffer.create (String.length h) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    h;
+  Buffer.contents buf
+
+let labels_to_string = function
+  | [] -> ""
+  | kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label_value v)) kvs)
+    ^ "}"
+
+let value_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let le_to_string le =
+  if le = infinity then "+Inf" else value_to_string le
+
+let render metrics =
+  let buf = Buffer.create 2048 in
+  let header name help ty =
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name ty)
+  in
+  let sample name labels v =
+    Buffer.add_string buf (Printf.sprintf "%s%s %s\n" name (labels_to_string labels) (value_to_string v))
+  in
+  List.iter
+    (fun m ->
+      match m with
+      | Counter { m_name; m_help; m_series } ->
+        let name = sanitize_name m_name in
+        header name m_help "counter";
+        List.iter (fun s -> sample name s.s_labels s.s_value) m_series
+      | Gauge { m_name; m_help; m_series } ->
+        let name = sanitize_name m_name in
+        header name m_help "gauge";
+        List.iter (fun s -> sample name s.s_labels s.s_value) m_series
+      | Histogram { m_name; m_help; m_histos } ->
+        let name = sanitize_name m_name in
+        header name m_help "histogram";
+        List.iter
+          (fun h ->
+            List.iter
+              (fun (le, cum) ->
+                sample (name ^ "_bucket")
+                  (h.h_labels @ [ ("le", le_to_string le) ])
+                  (float_of_int cum))
+              h.h_buckets;
+            sample (name ^ "_bucket")
+              (h.h_labels @ [ ("le", "+Inf") ])
+              (float_of_int h.h_count);
+            sample (name ^ "_sum") h.h_labels h.h_sum;
+            sample (name ^ "_count") h.h_labels (float_of_int h.h_count))
+          m_histos)
+    metrics;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Linter: the checks check.sh gates on.
+   - every sample belongs to a metric announced by a preceding TYPE line
+     (histogram samples may use the _bucket/_sum/_count suffixes);
+   - every TYPE has a HELP, and neither is repeated;
+   - no duplicate series (same name + label set);
+   - sample values are numbers. *)
+
+let strip_suffix name =
+  let try_suffix suf =
+    let n = String.length name and m = String.length suf in
+    if n > m && String.sub name (n - m) m = suf then Some (String.sub name 0 (n - m)) else None
+  in
+  match try_suffix "_bucket" with
+  | Some base -> base
+  | None -> (
+    match try_suffix "_sum" with
+    | Some base -> base
+    | None -> ( match try_suffix "_count" with Some base -> base | None -> name))
+
+let lint exposition =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let helps = Hashtbl.create 16 in
+  let types = Hashtbl.create 16 in
+  let seen_series = Hashtbl.create 64 in
+  let lines = String.split_on_char '\n' exposition in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+        match String.index_from_opt line 7 ' ' with
+        | None -> err "line %d: HELP without text" lineno
+        | Some sp ->
+          let name = String.sub line 7 (sp - 7) in
+          if Hashtbl.mem helps name then err "line %d: duplicate HELP for %s" lineno name;
+          Hashtbl.replace helps name ()
+      end
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.index_from_opt line 7 ' ' with
+        | None -> err "line %d: TYPE without a type" lineno
+        | Some sp ->
+          let name = String.sub line 7 (sp - 7) in
+          let ty = String.sub line (sp + 1) (String.length line - sp - 1) in
+          if not (List.mem ty [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ]) then
+            err "line %d: unknown type %s" lineno ty;
+          if Hashtbl.mem types name then err "line %d: duplicate TYPE for %s" lineno name;
+          if not (Hashtbl.mem helps name) then err "line %d: TYPE %s without preceding HELP" lineno name;
+          Hashtbl.replace types name ()
+      end
+      else if line.[0] = '#' then ()  (* free-form comment *)
+      else begin
+        (* sample line: name[{labels}] value *)
+        let name_end = ref 0 in
+        while !name_end < String.length line && is_name_char line.[!name_end] do
+          incr name_end
+        done;
+        if !name_end = 0 then err "line %d: malformed sample %S" lineno line
+        else begin
+          let name = String.sub line 0 !name_end in
+          let base = strip_suffix name in
+          if not (Hashtbl.mem types name || Hashtbl.mem types base) then
+            err "line %d: sample %s has no preceding TYPE" lineno name;
+          (* split off the value: the substring after the last space *)
+          match String.rindex_opt line ' ' with
+          | None -> err "line %d: sample without a value" lineno
+          | Some sp ->
+            let series = String.sub line 0 sp in
+            let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+            if value <> "+Inf" && value <> "-Inf" && value <> "NaN"
+               && float_of_string_opt value = None then
+              err "line %d: non-numeric value %S" lineno value;
+            if Hashtbl.mem seen_series series then
+              err "line %d: duplicate series %s" lineno series;
+            Hashtbl.replace seen_series series ()
+        end
+      end)
+    lines;
+  match List.rev !errors with [] -> Ok () | es -> Error es

@@ -1,0 +1,27 @@
+(** Prometheus text exposition (format 0.0.4): renderer and linter. *)
+
+type series = { s_labels : (string * string) list; s_value : float }
+
+type histo_series = {
+  h_labels : (string * string) list;
+  h_buckets : (float * int) list;  (** le upper bound, cumulative count *)
+  h_sum : float;
+  h_count : int;
+}
+
+type metric =
+  | Counter of { m_name : string; m_help : string; m_series : series list }
+  | Gauge of { m_name : string; m_help : string; m_series : series list }
+  | Histogram of { m_name : string; m_help : string; m_histos : histo_series list }
+
+val sanitize_name : string -> string
+(** Map an internal metric name (dots, dashes) onto the Prometheus name
+    grammar. *)
+
+val render : metric list -> string
+(** One HELP/TYPE block per metric followed by its samples; histogram
+    series get [_bucket]/[_sum]/[_count] with a terminal [+Inf] bucket. *)
+
+val lint : string -> (unit, string list) result
+(** Check an exposition: every sample announced by a preceding TYPE, HELP
+    present, no duplicate HELP/TYPE, no duplicate series, numeric values. *)

@@ -1,0 +1,184 @@
+(* Hierarchical spans over the monotonic clock, collected into a bounded
+   ring buffer. Ambient and single-threaded, like the engine itself: the
+   current open-span stack is dynamically scoped, so instrumented layers
+   nest without threading a context value through every signature.
+
+   Sampling is decided once per trace, at the root span:
+     - Off:       with_span is a single branch and a tail call; no
+                  allocation, no clock read.
+     - Always:    every trace is retained.
+     - Ratio p:   a deterministic xorshift PRNG keeps roughly p of the
+                  traces; unsampled traces pay only depth bookkeeping.
+     - Slow_only t: every trace is recorded, but only those whose root
+                  span lasts at least t ns are retained at the end.
+
+   Spans of a trace are buffered until the root finishes (required by
+   Slow_only) and then flushed to the ring; a crashed operation still
+   flushes because with_span finishes spans in a finalizer. *)
+
+type span = {
+  trace_id : int;
+  span_id : int;
+  parent_id : int option;
+  name : string;
+  mutable attrs : (string * string) list;
+  start_ns : int;
+  mutable dur_ns : int;  (* -1 while open *)
+}
+
+type sampling = Off | Always | Ratio of float | Slow_only of int
+
+let sampling_mode = ref Off
+
+(* ring buffer of retained spans *)
+let capacity = ref 8192
+let ring : span option array ref = ref (Array.make !capacity None)
+let ring_pos = ref 0
+let ring_count = ref 0
+let dropped = ref 0
+
+(* current trace *)
+let depth = ref 0  (* with_span nesting, counted even when not recording *)
+let recording_now = ref false
+let cur_trace_id = ref 0
+let stack : span list ref = ref []  (* open spans, innermost first *)
+let trace_buf : span list ref = ref []  (* finished spans, reverse order *)
+let trace_len = ref 0
+
+let next_trace = ref 0
+let next_span = ref 0
+
+(* xorshift64*: cheap, deterministic, good enough for trace sampling *)
+let rng = ref 0x1E3779B97F4A7C15
+let rng_float () =
+  let x = !rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  rng := x;
+  float_of_int (x land max_int) /. float_of_int max_int
+
+let enabled () = !sampling_mode <> Off
+let recording () = !recording_now
+let sampling () = !sampling_mode
+let set_sampling m = sampling_mode := m
+
+let set_capacity n =
+  let n = max 1 n in
+  capacity := n;
+  ring := Array.make n None;
+  ring_pos := 0;
+  ring_count := 0
+
+let push_ring s =
+  !ring.(!ring_pos) <- Some s;
+  ring_pos := (!ring_pos + 1) mod !capacity;
+  if !ring_count < !capacity then incr ring_count
+
+let buffer_span s =
+  if !trace_len < !capacity then begin
+    trace_buf := s :: !trace_buf;
+    incr trace_len
+  end
+  else incr dropped
+
+let begin_span name attrs =
+  incr next_span;
+  let parent_id = match !stack with [] -> None | p :: _ -> Some p.span_id in
+  let s =
+    { trace_id = !cur_trace_id; span_id = !next_span; parent_id; name; attrs;
+      start_ns = Clock.now_ns (); dur_ns = -1 }
+  in
+  stack := s :: !stack;
+  s
+
+let finish_span s =
+  s.dur_ns <- Clock.now_ns () - s.start_ns;
+  (match !stack with _ :: rest -> stack := rest | [] -> ());
+  buffer_span s
+
+let finish_trace root =
+  let keep =
+    match !sampling_mode with Slow_only t -> root.dur_ns >= t | _ -> true
+  in
+  if keep then List.iter push_ring (List.rev !trace_buf);
+  trace_buf := [];
+  trace_len := 0;
+  stack := [];
+  recording_now := false
+
+let sample_decision () =
+  match !sampling_mode with
+  | Off -> false
+  | Always | Slow_only _ -> true
+  | Ratio p -> rng_float () < p
+
+let with_span ?(attrs = []) name f =
+  if not (enabled ()) then f ()
+  else if !depth = 0 then begin
+    (* root span: decide whether this trace records at all *)
+    recording_now := sample_decision ();
+    if !recording_now then begin
+      incr next_trace;
+      cur_trace_id := !next_trace;
+      let s = begin_span name attrs in
+      incr depth;
+      Fun.protect
+        ~finally:(fun () ->
+          decr depth;
+          finish_span s;
+          finish_trace s)
+        f
+    end
+    else begin
+      incr depth;
+      Fun.protect ~finally:(fun () -> decr depth; recording_now := false) f
+    end
+  end
+  else if !recording_now then begin
+    let s = begin_span name attrs in
+    incr depth;
+    Fun.protect ~finally:(fun () -> decr depth; finish_span s) f
+  end
+  else begin
+    incr depth;
+    Fun.protect ~finally:(fun () -> decr depth) f
+  end
+
+let current () = match !stack with [] -> None | s :: _ -> Some s
+
+let add_attr key value =
+  match !stack with [] -> () | s :: _ -> s.attrs <- s.attrs @ [ (key, value) ]
+
+(* Record an already-measured interval as a finished span (used to bridge
+   the EXPLAIN ANALYZE operator tree into the trace). Returns the span id
+   so callers can parent further synthesized spans under it. *)
+let emit ?(attrs = []) ?parent ~start_ns ~dur_ns name =
+  incr next_span;
+  if !recording_now then begin
+    let parent_id =
+      match parent with
+      | Some _ -> parent
+      | None -> ( match !stack with [] -> None | p :: _ -> Some p.span_id)
+    in
+    buffer_span
+      { trace_id = !cur_trace_id; span_id = !next_span; parent_id; name; attrs;
+        start_ns; dur_ns = max 0 dur_ns }
+  end;
+  !next_span
+
+let spans () =
+  let cap = !capacity in
+  let start = (!ring_pos - !ring_count + cap * 2) mod cap in
+  List.init !ring_count (fun i ->
+      match !ring.((start + i) mod cap) with
+      | Some s -> s
+      | None -> assert false)
+
+let dropped_count () = !dropped
+
+let clear () =
+  Array.fill !ring 0 !capacity None;
+  ring_pos := 0;
+  ring_count := 0;
+  dropped := 0

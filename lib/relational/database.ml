@@ -91,7 +91,10 @@ let referenced_from_tables (q : Sql_ast.query) =
 (* Plan [q] and remember the plan under [text], fingerprinted with the row
    counts the planner saw. *)
 let plan_and_cache t ~text (q : Sql_ast.query) =
-  let plan = Metrics.timed "db.plan" (fun () -> Planner.plan_query (catalog t) q) in
+  let plan =
+    Obskit.Trace.with_span "sql.plan" @@ fun () ->
+    Metrics.timed "db.plan" (fun () -> Planner.plan_query (catalog t) q)
+  in
   let tables =
     List.filter_map
       (fun name -> Option.map (fun c -> (name, c)) (row_count_of t name))
@@ -107,6 +110,18 @@ let cache_stats t = Plan_cache.stats t.plan_cache
 let reset_cache_stats t = Plan_cache.reset_stats t.plan_cache
 let set_plan_cache t on = Plan_cache.set_enabled t.plan_cache on
 
+(* Every executor invocation flows through here: inside a recorded trace
+   the instrumented executor runs instead, and its operator tree is
+   bridged into the trace as child spans of the sql.execute span. *)
+let traced_run ?(params = [||]) t plan =
+  Metrics.timed "db.execute" @@ fun () ->
+  if Obskit.Trace.recording () then
+    Obskit.Trace.with_span "sql.execute" (fun () ->
+        let r, annot = Executor.run_analyzed ~params (catalog t) plan in
+        Plan.record_spans annot;
+        r)
+  else Executor.run ~params (catalog t) plan
+
 (* ------------------------------------------------------------------ *)
 
 let exec_statement ?(params = [||]) ?cache_text t (stmt : Sql_ast.statement) =
@@ -114,7 +129,7 @@ let exec_statement ?(params = [||]) ?cache_text t (stmt : Sql_ast.statement) =
   | Sql_ast.Select_stmt q ->
     let text = match cache_text with Some s -> s | None -> Sql_ast.query_to_string q in
     let plan = plan_and_cache t ~text q in
-    Rows (Metrics.timed "db.execute" (fun () -> Executor.run ~params (catalog t) plan))
+    Rows (traced_run ~params t plan)
   | Sql_ast.Insert { table; columns; rows } ->
     let tbl = get_table t table in
     let schema = Table.schema tbl in
@@ -204,11 +219,13 @@ let exec_statement ?(params = [||]) ?cache_text t (stmt : Sql_ast.statement) =
 
 (* Text entry point: a plan-cache hit on the raw statement text skips the
    lexer, parser, and planner entirely. *)
-let parse_timed sql = Metrics.timed "db.parse" (fun () -> Sql_parser.parse_statement sql)
+let parse_timed sql =
+  Obskit.Trace.with_span "sql.parse" @@ fun () ->
+  Metrics.timed "db.parse" (fun () -> Sql_parser.parse_statement sql)
 
 let exec ?(params = [||]) t sql =
   match cached_plan t sql with
-  | Some plan -> Rows (Metrics.timed "db.execute" (fun () -> Executor.run ~params (catalog t) plan))
+  | Some plan -> Rows (traced_run ~params t plan)
   | None -> exec_statement ~params ~cache_text:sql t (parse_timed sql)
 
 let exec_script t sql = List.map (exec_statement t) (Sql_parser.parse_script sql)
@@ -245,7 +262,7 @@ let prepared_plan t p = plan_for t ~text:p.p_text p.p_query
 
 let query_prepared ?(params = [||]) t p =
   let plan = prepared_plan t p in
-  Metrics.timed "db.execute" (fun () -> Executor.run ~params (catalog t) plan)
+  traced_run ~params t plan
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN ANALYZE: same planning pipeline (including the plan cache), but

@@ -1,13 +1,36 @@
-(* Lightweight process-wide metrics registry: named monotonic counters and
+(* Lightweight in-process metrics registry: named monotonic counters and
    latency histograms. Everything is in-memory and single-threaded, like
    the engine itself; recording a sample is a hash lookup plus a few
    integer stores, cheap enough to leave on permanently.
 
-   Histograms bucket by log2(ns), so percentile estimates are upper bounds
-   of the matching power-of-two bucket — coarse, but stable and allocation
-   free. Exact count/total/min/max are kept alongside. *)
+   Series are keyed by (label, name). The label distinguishes otherwise
+   identical series recorded by different Store instances (two stores
+   benchmarked side by side must not interleave their counters); it is
+   ambient — Store sets it around its public operations — so the engine
+   layers below record into the right store's series without any
+   signature change. The empty label is the process-wide default.
 
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+   Histograms bucket by log2(ns), so percentile estimates are upper
+   bounds of the matching power-of-two bucket — coarse, but stable and
+   allocation free. Exact count/total/min/max are kept alongside.
+
+   Timestamps come from the shared monotonic clock (Obskit.Clock): the
+   previous Unix.gettimeofday-through-a-float source lost precision
+   (~256 ns granularity at the current epoch) and could run backwards
+   under clock adjustment, producing negative durations that all landed
+   in bucket 0. *)
+
+let now_ns = Obskit.Clock.now_ns
+
+(* Ambient label; [Store] wraps its operations in [with_label]. *)
+let current_label = ref ""
+
+let with_label label f =
+  let saved = !current_label in
+  current_label := label;
+  Fun.protect ~finally:(fun () -> current_label := saved) f
+
+let counters : (string * string, int ref) Hashtbl.t = Hashtbl.create 32
 
 type histogram = {
   mutable h_count : int;
@@ -19,16 +42,17 @@ type histogram = {
 
 let bucket_count = 63
 
-let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
-
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let histograms : (string * string, histogram) Hashtbl.t = Hashtbl.create 32
 
 let incr ?(by = 1) name =
-  match Hashtbl.find_opt counters name with
+  let key = (!current_label, name) in
+  match Hashtbl.find_opt counters key with
   | Some r -> r := !r + by
-  | None -> Hashtbl.add counters name (ref by)
+  | None -> Hashtbl.add counters key (ref by)
 
-let counter name = match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+let counter ?label name =
+  let label = match label with Some l -> l | None -> !current_label in
+  match Hashtbl.find_opt counters (label, name) with Some r -> !r | None -> 0
 
 let bucket_of_ns ns =
   let rec go i v = if v <= 1 || i >= bucket_count - 1 then i else go (i + 1) (v lsr 1) in
@@ -36,15 +60,16 @@ let bucket_of_ns ns =
 
 let observe_ns name ns =
   let ns = max 0 ns in
+  let key = (!current_label, name) in
   let h =
-    match Hashtbl.find_opt histograms name with
+    match Hashtbl.find_opt histograms key with
     | Some h -> h
     | None ->
       let h =
         { h_count = 0; h_total_ns = 0; h_min_ns = max_int; h_max_ns = 0;
           h_buckets = Array.make bucket_count 0 }
       in
-      Hashtbl.add histograms name h;
+      Hashtbl.add histograms key h;
       h
   in
   h.h_count <- h.h_count + 1;
@@ -55,8 +80,8 @@ let observe_ns name ns =
   let i = bucket_of_ns ns in
   b.(i) <- b.(i) + 1
 
-(* Time [f], record the wall-clock duration under [name], return its result.
-   The sample is recorded even when [f] raises. *)
+(* Time [f], record the duration under [name], return its result. The
+   sample is recorded even when [f] raises. *)
 let timed name f =
   let t0 = now_ns () in
   Fun.protect ~finally:(fun () -> observe_ns name (now_ns () - t0)) f
@@ -94,12 +119,27 @@ let snapshot h =
     hs_p95_ns = percentile h 0.95;
   }
 
-let sorted_bindings tbl f =
-  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+(* Bindings filtered by label. [label = None] lists every series under a
+   qualified name ([name] or [name{store="label"}]); [Some l] lists only
+   that label's series under their bare names. *)
+let qualified label name =
+  if label = "" then name else Printf.sprintf "%s{store=%S}" name label
+
+let sorted_bindings ?label tbl f =
+  Hashtbl.fold
+    (fun (l, name) v acc ->
+      match label with
+      | None -> ((qualified l name, f v) :: acc)
+      | Some want -> if String.equal l want then (name, f v) :: acc else acc)
+    tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let counter_list () = sorted_bindings counters (fun r -> !r)
-let histogram_list () = sorted_bindings histograms snapshot
+let counter_list ?label () = sorted_bindings ?label counters (fun r -> !r)
+let histogram_list ?label () = sorted_bindings ?label histograms snapshot
+
+let labels () =
+  let add tbl acc = Hashtbl.fold (fun (l, _) _ acc -> l :: acc) tbl acc in
+  List.sort_uniq String.compare (add counters (add histograms []))
 
 let reset () =
   Hashtbl.reset counters;
@@ -107,14 +147,14 @@ let reset () =
 
 let ms ns = float_of_int ns /. 1e6
 
-let report () =
+let report ?label () =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "counters:\n";
-  let cs = counter_list () in
+  let cs = counter_list ?label () in
   if cs = [] then Buffer.add_string buf "  (none)\n";
   List.iter (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %d\n" name v)) cs;
   Buffer.add_string buf "latency histograms (ms):\n";
-  let hs = histogram_list () in
+  let hs = histogram_list ?label () in
   if hs = [] then Buffer.add_string buf "  (none)\n";
   List.iter
     (fun (name, s) ->
@@ -125,3 +165,75 @@ let report () =
            (ms s.hs_p50_ns) (ms s.hs_p95_ns)))
     hs;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition. Counters become <prefix>_<name>_total; latency
+   histograms become <prefix>_<name>_seconds with the log2-ns bucket
+   boundaries converted to seconds. A non-empty registry label becomes a
+   store="..." label on the series, so per-store series stay separate in
+   the same exposition. *)
+
+let prom_prefix = "xmlstore"
+
+let store_labels l = if l = "" then [] else [ ("store", l) ]
+
+let group_by_name ?label tbl =
+  (* (name, (label, value) list) assoc, both levels sorted *)
+  let m = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (l, name) v ->
+      match label with
+      | Some want when not (String.equal l want) -> ()
+      | _ ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt m name) in
+        Hashtbl.replace m name ((l, v) :: cur))
+    tbl;
+  Hashtbl.fold (fun name vs acc -> (name, List.sort compare vs) :: acc) m []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let prometheus ?label () =
+  let module P = Obskit.Prom in
+  let counter_metrics =
+    List.map
+      (fun (name, series) ->
+        P.Counter
+          {
+            m_name = Printf.sprintf "%s_%s_total" prom_prefix (P.sanitize_name name);
+            m_help = Printf.sprintf "Monotonic counter %s" name;
+            m_series =
+              List.map
+                (fun (l, r) -> { P.s_labels = store_labels l; s_value = float_of_int !r })
+                series;
+          })
+      (group_by_name ?label counters)
+  in
+  let histogram_metrics =
+    List.map
+      (fun (name, series) ->
+        P.Histogram
+          {
+            m_name = Printf.sprintf "%s_%s_seconds" prom_prefix (P.sanitize_name name);
+            m_help = Printf.sprintf "Latency histogram %s (log2-ns buckets)" name;
+            m_histos =
+              List.map
+                (fun (l, h) ->
+                  (* cumulative counts over buckets up to the last used one *)
+                  let top = ref 0 in
+                  Array.iteri (fun i c -> if c > 0 then top := i) h.h_buckets;
+                  let cum = ref 0 in
+                  let buckets =
+                    List.init (!top + 1) (fun i ->
+                        cum := !cum + h.h_buckets.(i);
+                        (ldexp 1.0 (i + 1) /. 1e9, !cum))
+                  in
+                  {
+                    P.h_labels = store_labels l;
+                    h_buckets = buckets;
+                    h_sum = float_of_int h.h_total_ns /. 1e9;
+                    h_count = h.h_count;
+                  })
+                series;
+          })
+      (group_by_name ?label histograms)
+  in
+  P.render (counter_metrics @ histogram_metrics)

@@ -1,29 +1,47 @@
-(** Process-wide metrics registry: named monotonic counters and latency
-    histograms. The engine records parse/plan/execute timings and plan-cache
-    hit/miss counts here; the store layer adds per-scheme shred, reconstruct,
-    and query timings. Recording is a hash lookup plus integer stores, cheap
-    enough to stay on permanently. *)
+(** In-process metrics registry: named monotonic counters and latency
+    histograms. The engine records parse/plan/execute timings and
+    plan-cache hit/miss counts here; the store layer adds per-scheme
+    shred, reconstruct, and query timings. Recording is a hash lookup
+    plus integer stores, cheap enough to stay on permanently.
+
+    Series are keyed by (label, name): the ambient label — set by [Store]
+    around its operations via {!with_label} — keeps two live store
+    instances from interleaving their series. The empty label is the
+    process-wide default. *)
 
 val now_ns : unit -> int
-(** Wall-clock nanoseconds (the timestamp source every instrumented layer
-    shares). *)
+(** The shared monotonic timestamp source ({!Obskit.Clock.now_ns}):
+    integer nanoseconds, exact and non-decreasing. *)
+
+(** {1 Labels} *)
+
+val with_label : string -> (unit -> 'a) -> 'a
+(** Run the thunk with the ambient series label set (restored on exit,
+    including on raise). Recording and reads default to the ambient
+    label. *)
+
+val labels : unit -> string list
+(** Every label with at least one series, sorted ("" is the default). *)
 
 (** {1 Recording} *)
 
 val incr : ?by:int -> string -> unit
-(** Bump a named counter, creating it at zero on first use. *)
+(** Bump a named counter under the ambient label, creating it at zero on
+    first use. *)
 
 val observe_ns : string -> int -> unit
-(** Record one duration sample into a named histogram. *)
+(** Record one duration sample into a named histogram under the ambient
+    label. *)
 
 val timed : string -> (unit -> 'a) -> 'a
-(** Run the thunk, record its wall-clock duration under the given name
-    (even when it raises), and return its result. *)
+(** Run the thunk, record its duration under the given name (even when it
+    raises), and return its result. *)
 
 (** {1 Reading} *)
 
-val counter : string -> int
-(** Current value of a counter (0 when never incremented). *)
+val counter : ?label:string -> string -> int
+(** Current value of a counter (0 when never incremented). [label]
+    defaults to the ambient label. *)
 
 type histogram_snapshot = {
   hs_count : int;
@@ -35,15 +53,27 @@ type histogram_snapshot = {
   hs_p95_ns : int;
 }
 
-val counter_list : unit -> (string * int) list
-(** All counters, sorted by name. *)
+val bucket_of_ns : int -> int
+(** Histogram bucket index: samples in [[2^i, 2^(i+1))] ns land in bucket
+    [i] (clamped to the top bucket). Exposed for the property tests. *)
 
-val histogram_list : unit -> (string * histogram_snapshot) list
-(** All histograms, sorted by name. *)
+val counter_list : ?label:string -> unit -> (string * int) list
+(** Counters sorted by name. Without [label], every series is listed
+    under a qualified name ([name{store="label"}] for labelled series);
+    with [label], only that label's series under their bare names. *)
 
-val report : unit -> string
-(** Human-readable dump of every counter and histogram (CLI
+val histogram_list : ?label:string -> unit -> (string * histogram_snapshot) list
+(** Histograms, same label handling as {!counter_list}. *)
+
+val report : ?label:string -> unit -> string
+(** Human-readable dump of counters and histograms (CLI
     [stats --metrics]). *)
+
+val prometheus : ?label:string -> unit -> string
+(** Prometheus text exposition: counters as [xmlstore_<name>_total],
+    histograms as [xmlstore_<name>_seconds] with log2-ns boundaries in
+    seconds; non-empty labels become a [store="..."] series label.
+    Without [label], every store's series share the exposition. *)
 
 val reset : unit -> unit
 (** Drop every counter and histogram (test isolation, benchmarks). *)

@@ -135,6 +135,37 @@ let annotated_to_string a = String.concat "\n" (annotated_lines 0 a)
 
 let rec fold_annotated f acc a = List.fold_left (fold_annotated f) (f acc a) a.an_children
 
+(* Bridge an executed operator tree into the active trace as synthesized
+   child spans of the innermost open span (the execute span). The
+   annotated tree records inclusive durations but not start offsets, so
+   starts are synthesized: each node starts where its previous sibling
+   ended, clamped to its parent's interval — well-nested by construction,
+   with durations faithful to the measurement. *)
+let record_spans a =
+  match Obskit.Trace.current () with
+  | None -> ()
+  | Some parent ->
+    let now = Obskit.Clock.now_ns () in
+    let rec emit ~parent ~start_ns ~max_end (n : annotated) =
+      let dur = max 0 (min n.an_ns (max_end - start_ns)) in
+      let id =
+        Obskit.Trace.emit ~parent ~start_ns ~dur_ns:dur
+          ~attrs:
+            [ ("rows", string_of_int n.an_rows); ("nexts", string_of_int n.an_nexts) ]
+          n.an_op
+      in
+      let off = ref start_ns in
+      List.iter
+        (fun c ->
+          let avail = max 0 (start_ns + dur - !off) in
+          let cdur = min c.an_ns avail in
+          emit ~parent:id ~start_ns:!off ~max_end:(start_ns + dur) c;
+          off := !off + cdur)
+        n.an_children
+    in
+    let root_start = max parent.Obskit.Trace.start_ns (now - a.an_ns) in
+    emit ~parent:parent.Obskit.Trace.span_id ~start_ns:root_start ~max_end:now a
+
 let annotated_operator_count a = fold_annotated (fun n _ -> n + 1) 0 a
 
 (* Metrics used by the benchmark harness (query complexity per mapping). *)

@@ -72,6 +72,13 @@ val annotated_to_string : annotated -> string
 val fold_annotated : ('a -> annotated -> 'a) -> 'a -> annotated -> 'a
 (** Pre-order fold over the operator tree. *)
 
+val record_spans : annotated -> unit
+(** Bridge an executed operator tree into the active trace as synthesized
+    finished spans under the innermost open span (no-op outside a
+    recorded trace). Start offsets are synthesized — siblings laid out
+    sequentially, clamped inside the parent interval — since the
+    annotated tree only records inclusive durations. *)
+
 val annotated_operator_count : annotated -> int
 
 val count_joins : t -> int

@@ -482,7 +482,7 @@ let query db ~doc (path : Xpathkit.Ast.path) : query_result =
   | Some simple ->
     let targets, sqls, joins =
       if is_pure_chain simple then begin
-        let q, params = chain_query ~doc simple in
+        let q, params = traced_translate ~scheme:id (fun () -> chain_query ~doc simple) in
         let sqls = ref [] and joins = ref 0 in
         let r = run_built db ~joins ~sqls ~params q in
         (int_column r, List.rev !sqls, !joins)

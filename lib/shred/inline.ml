@@ -666,7 +666,7 @@ let make (dtd : Dtd.t) : Mapping.mapping =
       match Pathquery.analyze path with
       | None -> fallback_query ~reconstruct db ~doc path
       | Some simple -> (
-        match translate db ~doc simple with
+        match traced_translate ~scheme:id (fun () -> translate db ~doc simple) with
         | exception Too_many_routes -> fallback_query ~reconstruct db ~doc path
         | selects ->
           let results = ref [] in

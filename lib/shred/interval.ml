@@ -313,7 +313,7 @@ let query db ~doc (path : Xpathkit.Ast.path) : query_result =
   match Pathquery.analyze path with
   | None -> fallback_query ~reconstruct db ~doc path
   | Some simple ->
-    let q, params = translate ~doc simple in
+    let q, params = traced_translate ~scheme:id (fun () -> translate ~doc simple) in
     let sqls = ref [] and joins = ref 0 in
     let pres = int_column (run_built db ~joins ~sqls ~params q) in
     {

@@ -51,6 +51,8 @@ let err fmt = Printf.ksprintf (fun s -> raise (Shred_error s)) fmt
 (* Fallback evaluation used by every scheme for untranslatable paths:
    reconstruct, evaluate natively, and report it. *)
 let fallback_query ~reconstruct db ~doc path =
+  Obskit.Trace.with_span ~attrs:[ ("doc", string_of_int doc) ] "xpath.fallback"
+  @@ fun () ->
   let dom = reconstruct db ~doc in
   let ix = Index.of_document dom in
   let nodes = Xpathkit.Eval.eval_path (Xpathkit.Eval.root_context ix) path in
@@ -62,27 +64,44 @@ let fallback_query ~reconstruct db ~doc path =
     fallback = true;
   }
 
-(* Ambient EXPLAIN ANALYZE collection. When a sink is installed (by
-   [collect_analysis], via [Store.query ~analyze:true]) every query run
-   through [run_built] — in any of the six schemes, with no change to
-   their signatures — executes instrumented and pushes its annotated
-   operator tree here. Dynamically scoped, not thread-safe (nor is the
-   rest of the store). *)
-let analyze_sink : (string * Relstore.Plan.annotated) list ref option ref = ref None
+(* Ambient query capture. When a sink is installed (by [collect_captures],
+   via [Store.query ~analyze:true] or an armed slow-query log) every query
+   run through [run_built] — in any of the six schemes, with no change to
+   their signatures — executes instrumented and pushes its statement text,
+   bound parameters, plan and annotated operator tree here. Dynamically
+   scoped, not thread-safe (nor is the rest of the store). *)
+type capture = {
+  cap_sql : string;
+  cap_params : Relstore.Value.t array;
+  cap_plan : Relstore.Plan.t;
+  cap_annot : Relstore.Plan.annotated;
+}
 
-let collect_analysis f =
+let capture_sink : capture list ref option ref = ref None
+
+let collect_captures f =
   let acc = ref [] in
-  let saved = !analyze_sink in
-  analyze_sink := Some acc;
-  let finally () = analyze_sink := saved in
+  let saved = !capture_sink in
+  capture_sink := Some acc;
+  let finally () = capture_sink := saved in
   let r = Fun.protect ~finally f in
   (r, List.rev !acc)
+
+let collect_analysis f =
+  let r, caps = collect_captures f in
+  (r, List.map (fun c -> (c.cap_sql, c.cap_annot)) caps)
+
+(* Wrap a scheme's path→SQL translation phase in a trace span. *)
+let traced_translate ~scheme f =
+  Obskit.Trace.with_span ~attrs:[ ("scheme", scheme) ] "translate" f
 
 (* Execute a builder-constructed query through the prepared-plan layer:
    the rendered statement text is the plan-cache key, so per-path queries
    whose variable parts are bound parameters plan once and execute many
    times. Records the text into [sqls] and, when [joins] is given, adds
-   the plan's join count. *)
+   the plan's join count. The instrumented path (capture sink installed or
+   an active trace recording) runs the analyzed executor so the operator
+   tree is available for the sink and as trace child spans. *)
 let run_built db ?joins ~sqls ?params q =
   Relstore.Metrics.timed "mapping.run_built" @@ fun () ->
   let p = Db.prepare_query db q in
@@ -92,12 +111,28 @@ let run_built db ?joins ~sqls ?params q =
   (match joins with
   | Some j -> j := !j + Relstore.Plan.count_joins plan
   | None -> ());
-  match !analyze_sink with
-  | None -> Relstore.Executor.run ?params (Db.catalog db) plan
-  | Some acc ->
-    let r, annot = Relstore.Executor.run_analyzed ?params (Db.catalog db) plan in
-    acc := (text, annot) :: !acc;
-    r
+  let tracing = Obskit.Trace.recording () in
+  match (!capture_sink, tracing) with
+  | None, false -> Relstore.Executor.run ?params (Db.catalog db) plan
+  | sink, _ ->
+    let run () =
+      let r, annot = Relstore.Executor.run_analyzed ?params (Db.catalog db) plan in
+      (match sink with
+      | Some acc ->
+        acc :=
+          {
+            cap_sql = text;
+            cap_params = (match params with Some a -> a | None -> [||]);
+            cap_plan = plan;
+            cap_annot = annot;
+          }
+          :: !acc
+      | None -> ());
+      if tracing then Relstore.Plan.record_spans annot;
+      r
+    in
+    if tracing then Obskit.Trace.with_span ~attrs:[ ("sql", text) ] "sql.execute" run
+    else run ()
 
 (* Same, for internal fetches (reconstruction, subtree assembly) that do
    not report statement text. *)

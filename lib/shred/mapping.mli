@@ -45,6 +45,10 @@ val fallback_query :
   reconstruct:(Db.t -> doc:int -> Dom.t) -> Db.t -> doc:int -> Xpathkit.Ast.path -> query_result
 (** Reconstruct, evaluate natively, flag the result. *)
 
+val traced_translate : scheme:string -> (unit -> 'a) -> 'a
+(** Run a scheme's path→SQL translation phase under a ["translate"] trace
+    span carrying a [scheme] attribute. Exceptions propagate. *)
+
 val run_built :
   Db.t ->
   ?joins:int ref ->
@@ -61,12 +65,24 @@ val query_built :
   Db.t -> ?params:Relstore.Value.t array -> Relstore.Sql_ast.query -> Relstore.Executor.result
 (** Same, for internal fetches that do not report statement text. *)
 
+(** One instrumented statement execution, as observed by {!run_built}
+    under an active capture sink. *)
+type capture = {
+  cap_sql : string;  (** rendered statement text (plan-cache key) *)
+  cap_params : Relstore.Value.t array;  (** bound parameters, [[||]] if none *)
+  cap_plan : Relstore.Plan.t;
+  cap_annot : Relstore.Plan.annotated;  (** EXPLAIN ANALYZE operator tree *)
+}
+
+val collect_captures : (unit -> 'a) -> 'a * capture list
+(** Run [f] with an ambient capture sink installed: every query the schemes
+    execute through {!run_built} during [f] runs instrumented, and the
+    captures are returned in execution order alongside [f]'s result. Nests
+    (the outer sink is restored on exit); not thread-safe. *)
+
 val collect_analysis : (unit -> 'a) -> 'a * (string * Relstore.Plan.annotated) list
-(** Run [f] with an ambient EXPLAIN ANALYZE sink installed: every query the
-    schemes execute through {!run_built} during [f] runs instrumented, and
-    the [(statement text, annotated operator tree)] pairs are returned in
-    execution order alongside [f]'s result. Nests (the outer sink is
-    restored on exit); not thread-safe. *)
+(** {!collect_captures} restricted to [(statement text, operator tree)]
+    pairs — the EXPLAIN ANALYZE view. *)
 
 val acol : string -> string -> Relstore.Sql_ast.expr
 (** [acol alias column] — alias-qualified column reference. *)

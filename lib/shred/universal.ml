@@ -602,7 +602,7 @@ let query db ~doc (path : Xpathkit.Ast.path) : query_result =
   | None -> fallback_query ~reconstruct db ~doc path
   | Some simple ->
     if is_named_chain simple then begin
-      match chain_query db ~doc simple with
+      match traced_translate ~scheme:id (fun () -> chain_query db ~doc simple) with
       | (q, params), shape -> (
         let sqls = ref [] and joins = ref 0 in
         let rows = (run_built db ~joins ~sqls ~params q).Relstore.Executor.rows in

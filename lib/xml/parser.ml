@@ -369,6 +369,9 @@ let parse_doctype st =
 type parsed = { document : Dom.t; internal_subset : string option }
 
 let parse_full ?(keep_whitespace = false) src =
+  Obskit.Trace.with_span ~attrs:[ ("bytes", string_of_int (String.length src)) ]
+    "xml.parse"
+  @@ fun () ->
   let st = { src; pos = 0; line = 1; col = 1; keep_whitespace } in
   (* UTF-8 byte-order mark *)
   if looking_at st "\xEF\xBB\xBF" then skip_string st "\xEF\xBB\xBF";

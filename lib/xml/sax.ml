@@ -17,6 +17,7 @@ let event_to_string = function
   | Pi_event { target; _ } -> Printf.sprintf "pi(%s)" target
 
 let fold f init (doc : Dom.t) =
+  Obskit.Trace.with_span "xml.sax" @@ fun () ->
   let rec node acc = function
     | Dom.Element e ->
       let acc = f acc (Start_element { tag = e.tag; attrs = e.attrs }) in

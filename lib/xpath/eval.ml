@@ -379,7 +379,8 @@ let root_context doc = { doc; node = 0; position = 1; size = 1; bindings = [] }
 
 let bind ctx name value = { ctx with bindings = (name, value) :: ctx.bindings }
 
-let eval doc expr = eval_expr (root_context doc) expr
+let eval doc expr =
+  Obskit.Trace.with_span "xpath.eval" @@ fun () -> eval_expr (root_context doc) expr
 
 let eval_string doc src = eval doc (Parser.parse src)
 

@@ -417,6 +417,7 @@ and parse_location_path st =
   | _ -> { Ast.absolute = false; steps = parse_relative_steps st }
 
 let parse src =
+  Obskit.Trace.with_span ~attrs:[ ("xpath", src) ] "xpath.parse" @@ fun () ->
   let tokens = Array.of_list (tokenize src) in
   if Array.length tokens = 1 then err "empty XPath expression";
   let st = { tokens; pos = 0 } in
