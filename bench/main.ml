@@ -735,6 +735,95 @@ let f9 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* F10: statically-empty fast path — queries the document's DataGuide
+   proves empty, answered with and without the short-circuit. The guide
+   check costs a hash lookup plus a walk over a structure the size of the
+   schema, versus translating, planning, and executing SQL that scans real
+   tables to return nothing. A non-empty control query shows the guide
+   probe is free when it proves nothing. Written to BENCH_lint.json; scale
+   and repeat overridable (BENCH_F10_SCALE, BENCH_F10_REPEAT). *)
+
+let f10 () =
+  let scale =
+    match Sys.getenv_opt "BENCH_F10_SCALE" with
+    | Some s -> (try float_of_string s with _ -> 0.5)
+    | None -> 0.5
+  in
+  let repeat =
+    match Sys.getenv_opt "BENCH_F10_REPEAT" with
+    | Some s -> (try int_of_string s with _ -> 25)
+    | None -> 25
+  in
+  let dom = auction ~scale ~seed:42 in
+  let queries =
+    [
+      ("empty-shallow", "/site/nowhere");
+      ("empty-deep", "/site/people/person/profile/nowhere");
+      ("empty-descendant", "//item/bogus");
+      ("control-nonempty", "/site//item/name");
+    ]
+  in
+  let best times = List.fold_left min infinity times in
+  let entries = ref [] in
+  let rows =
+    List.concat_map
+      (fun scheme ->
+        let store = loaded_store scheme dom in
+        List.map
+          (fun (qname, xpath) ->
+            (* warm plans and the allocator with the fast path off *)
+            Store.set_empty_fastpath store false;
+            for _ = 1 to 3 do
+              ignore (Store.query store 0 xpath)
+            done;
+            let measure () =
+              best
+                (List.init repeat (fun _ ->
+                     snd (Tables.time ~repeat:1 (fun () -> Store.query store 0 xpath))))
+            in
+            let t_off = measure () in
+            Store.set_empty_fastpath store true;
+            let hits_before =
+              Relstore.Metrics.counter ~label:(Store.metrics_label store)
+                "store.query.fastpath_empty"
+            in
+            let t_on = measure () in
+            let hits =
+              Relstore.Metrics.counter ~label:(Store.metrics_label store)
+                "store.query.fastpath_empty"
+              - hits_before
+            in
+            let speedup = if t_on > 0. then t_off /. t_on else 0. in
+            entries :=
+              Printf.sprintf
+                "    {\"scheme\": %S, \"query\": %S, \"xpath\": %S, \"off_ms\": %.4f, \
+                 \"on_ms\": %.4f, \"speedup\": %.1f, \"fastpath_hits\": %d}"
+                scheme qname xpath (t_off *. 1000.) (t_on *. 1000.) speedup hits
+              :: !entries;
+            [
+              scheme; qname; Tables.ms t_off; Tables.ms t_on;
+              Printf.sprintf "%.1fx" speedup; string_of_int hits;
+            ])
+          queries)
+      [ "edge"; "interval"; "dewey" ]
+  in
+  let oc = open_out "BENCH_lint.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"lint_empty_fastpath\",\n  \"scale\": %g,\n  \"repeat\": %d,\n  \
+     \"entries\": [\n%s\n  ]\n}\n"
+    scale repeat
+    (String.concat ",\n" (List.rev !entries));
+  close_out oc;
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "F10: statically-empty fast path — DataGuide short-circuit off vs on, scale %g (also \
+          BENCH_lint.json)"
+         scale)
+    ~header:[ "scheme"; "query"; "off ms"; "on ms"; "speedup"; "hits" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* F4: micro-benchmarks via Bechamel — one Test.make per component *)
 
 let f4 () =
@@ -793,7 +882,7 @@ let experiments =
   [
     ("T1", t1); ("T2", t2); ("F1", f1); ("F2", f2); ("T3", t3); ("F3", f3);
     ("T4", t4); ("T5", t5); ("T6", t6); ("T7", t7); ("F5", f5); ("F6", f6); ("F7", f7);
-    ("F8", f8); ("F9", f9); ("F4", f4);
+    ("F8", f8); ("F9", f9); ("F10", f10); ("F4", f4);
   ]
 
 let () =

@@ -274,18 +274,31 @@ let generate_cmd =
   let entries = Arg.(value & opt int 100 & info [ "entries" ] ~doc:"Bibliography entry count.") in
   let depth = Arg.(value & opt int 6 & info [ "depth" ] ~doc:"Parts hierarchy depth.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run kind scale entries depth seed =
-    let dom =
+  let dtd_only =
+    Arg.(value & flag
+         & info [ "dtd" ]
+             ~doc:"Print the workload's DTD instead of a document (auction only).")
+  in
+  let run kind scale entries depth seed dtd_only =
+    if dtd_only then begin
       match kind with
-      | `Auction -> Xmlwork.Auction.generate ~params:{ Xmlwork.Auction.default with scale; seed } ()
-      | `Bib -> Xmlwork.Bibliography.generate ~params:{ Xmlwork.Bibliography.seed; entries } ()
-      | `Parts -> Xmlwork.Deep.generate ~params:{ Xmlwork.Deep.default with seed; depth } ()
-    in
-    print_string (Xmlkit.Serializer.pretty dom)
+      | `Auction -> print_string Xmlwork.Auction.dtd_source
+      | `Bib | `Parts ->
+        prerr_endline "only the auction workload has a DTD";
+        exit 2
+    end
+    else
+      let dom =
+        match kind with
+        | `Auction -> Xmlwork.Auction.generate ~params:{ Xmlwork.Auction.default with scale; seed } ()
+        | `Bib -> Xmlwork.Bibliography.generate ~params:{ Xmlwork.Bibliography.seed; entries } ()
+        | `Parts -> Xmlwork.Deep.generate ~params:{ Xmlwork.Deep.default with seed; depth } ()
+      in
+      print_string (Xmlkit.Serializer.pretty dom)
   in
   Cmd.v
-    (Cmd.info "generate" ~doc:"Generate a synthetic workload document on stdout.")
-    Term.(const run $ kind_arg $ scale $ entries $ depth $ seed)
+    (Cmd.info "generate" ~doc:"Generate a synthetic workload document (or its DTD) on stdout.")
+    Term.(const run $ kind_arg $ scale $ entries $ depth $ seed $ dtd_only)
 
 (* sql: open a store and run raw SQL against it *)
 let sql_cmd =
@@ -464,6 +477,89 @@ let slowlog_cmd =
              (statement text, bound parameters, plan, executed operator tree).")
     Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpath_arg $ threshold_arg $ repeat_arg)
 
+(* lint: static analysis over the SQL, plans, and XPath a query produces *)
+let lint_cmd =
+  let xpaths_arg =
+    Arg.(value & pos_right 0 string []
+         & info [] ~docv:"XPATH" ~doc:"Absolute XPath(s) to lint (omit with --workload).")
+  in
+  let workload_flag =
+    Arg.(value & flag
+         & info [ "workload" ]
+             ~doc:"Lint the built-in auction benchmark workload Q1-Q12 (in addition to any \
+                   XPATH arguments).")
+  in
+  let all_schemes_flag =
+    Arg.(value & flag
+         & info [ "all-schemes" ]
+             ~doc:"Lint under every available scheme instead of just --scheme (schemes that \
+                   cannot open the document, e.g. inline without a DTD, are skipped with a \
+                   note).")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the reports as one JSON document.")
+  in
+  let strict_flag =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit nonzero when any query produced a warning-or-worse diagnostic.")
+  in
+  let no_schema_flag =
+    Arg.(value & flag
+         & info [ "no-schema-check" ]
+             ~doc:"Skip the XPath-vs-DataGuide pass (SQL and plan lints only).")
+  in
+  let run scheme dtd_file path xpaths workload all_schemes json strict no_schema =
+    let xpaths =
+      (if workload then
+         List.map (fun q -> q.Xmlwork.Queries.xpath) Xmlwork.Queries.auction_queries
+       else [])
+      @ xpaths
+    in
+    if xpaths = [] then begin
+      prerr_endline "nothing to lint: give XPATH arguments or --workload";
+      exit 2
+    end;
+    let schemes = if all_schemes then Store.schemes () else [ scheme ] in
+    let reports =
+      List.concat_map
+        (fun sch ->
+          match read_store ?dtd_file sch path with
+          | store, doc, _ ->
+            Store.lint_workload ~schema_check:(not no_schema) store doc xpaths
+          | exception Store.Store_error msg ->
+            Printf.eprintf "-- skipping scheme %s: %s\n" sch msg;
+            [])
+        schemes
+    in
+    let failing = Lintkit.Lint.reports_failing reports in
+    if json then begin
+      let text = Obskit.Json.to_string (Lintkit.Lint.reports_to_json reports) in
+      (* the printed document must survive a parse round-trip *)
+      match Obskit.Json.parse text with
+      | Ok _ -> print_endline text
+      | Error e ->
+        Printf.eprintf "internal error: emitted JSON does not parse: %s\n" e;
+        exit 3
+    end
+    else begin
+      if reports <> [] then print_endline (Lintkit.Lint.reports_to_string reports);
+      Printf.printf "%d quer%s linted across %d scheme%s, %d failing\n" (List.length reports)
+        (if List.length reports = 1 then "y" else "ies")
+        (List.length schemes)
+        (if List.length schemes = 1 then "" else "s")
+        (List.length failing)
+    end;
+    if strict && failing <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Shred a document, run each query through the scheme, and statically analyze the \
+             generated SQL, the physical plans, and the XPath against the document's \
+             DataGuide.")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpaths_arg $ workload_flag
+          $ all_schemes_flag $ json_flag $ strict_flag $ no_schema_flag)
+
 (* transform: FLWOR over a document *)
 let transform_cmd =
   let flwor_arg =
@@ -485,7 +581,7 @@ let main =
        ~doc:"Store and retrieve XML documents using a relational database.")
     [
       schemes_cmd; query_cmd; shred_cmd; stats_cmd; roundtrip_cmd; validate_cmd; generate_cmd;
-      sql_cmd; save_cmd; query_saved_cmd; transform_cmd; trace_cmd; slowlog_cmd;
+      sql_cmd; save_cmd; query_saved_cmd; transform_cmd; trace_cmd; slowlog_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Repo health check: build everything (dev profile = warnings as errors),
 # run the test suite, build the bench harness and examples, smoke-run the
-# plan-cache / analyze / trace-overhead benchmarks (write
-# BENCH_plancache.json, BENCH_analyze.json, BENCH_trace.json), round-trip
-# a trace export through the validator for three schemes, and lint the
-# Prometheus exposition.
+# plan-cache / analyze / trace-overhead / empty-fastpath benchmarks (write
+# BENCH_plancache.json, BENCH_analyze.json, BENCH_trace.json,
+# BENCH_lint.json), round-trip a trace export through the validator for
+# three schemes, lint the Prometheus exposition, and gate on the static
+# analyzer: the full Q1-Q12 workload must lint clean under every scheme.
 set -eux
 
 dune build @all
@@ -17,6 +18,8 @@ BENCH_F8_SCALE=0.05 dune exec bench/main.exe -- F8
 test -s BENCH_analyze.json
 BENCH_F9_SCALE=0.05 BENCH_F9_REPEAT=5 dune exec bench/main.exe -- F9
 test -s BENCH_trace.json
+BENCH_F10_SCALE=0.05 BENCH_F10_REPEAT=5 dune exec bench/main.exe -- F10
+test -s BENCH_lint.json
 
 # trace export -> validate round trip (parse/shred/plan/execute/reconstruct
 # spans, checked well-nested by the exporter and re-checked from the JSON)
@@ -37,5 +40,20 @@ test -s "$tmpdir/metrics.prom"
 # slow-query log end to end
 dune exec bin/xmlstore_cli.exe -- slowlog -s edge "$tmpdir/doc.xml" \
   "/site/people/person/name" --threshold-ms 0 | grep -q "slow quer"
+
+# lint gate: the full Q1-Q12 workload must be clean (no warning-or-worse
+# diagnostic) under every scheme, inline included via the workload DTD;
+# the --json run additionally round-trips the report through Obskit.Json
+# (the CLI refuses to print JSON that does not parse back). The gate needs
+# a document where every queried region is populated — at the 0.02 smoke
+# scale the generator emits no europe items, and the analyzer correctly
+# flags Q1 as statically empty on such a document.
+dune exec bin/xmlstore_cli.exe -- generate auction --scale 0.1 > "$tmpdir/lintdoc.xml"
+dune exec bin/xmlstore_cli.exe -- generate auction --dtd > "$tmpdir/auction.dtd"
+dune exec bin/xmlstore_cli.exe -- lint --all-schemes --workload --strict \
+  --dtd "$tmpdir/auction.dtd" "$tmpdir/lintdoc.xml"
+dune exec bin/xmlstore_cli.exe -- lint --all-schemes --workload --strict --json \
+  --dtd "$tmpdir/auction.dtd" "$tmpdir/lintdoc.xml" > "$tmpdir/lint.json"
+test -s "$tmpdir/lint.json"
 
 echo "check.sh: all green"

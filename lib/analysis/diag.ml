@@ -1,0 +1,169 @@
+(* Shared diagnostics core for the static analyzer (lintkit).
+
+   Every pass reports findings as [t] values: a stable code (SQL001, ...),
+   a severity, a one-line message, and an optional source location — the
+   statement text, plan line, or XPath the finding is anchored to. The
+   renderers (text and JSON) are the single output path for the CLI, CI
+   gate, and tests, so a code's meaning lives here and nowhere else. *)
+
+type severity = Info | Warning | Error
+
+let severity_to_string = function Info -> "info" | Warning -> "warning" | Error -> "error"
+
+let severity_of_string = function
+  | "info" -> Some Info
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+type location = {
+  loc_scheme : string option;  (* mapping scheme under lint *)
+  loc_query : string option;  (* workload query id or XPath *)
+  loc_statement : string option;  (* SQL statement text (plan-cache key) *)
+}
+
+let no_location = { loc_scheme = None; loc_query = None; loc_statement = None }
+
+type t = {
+  code : string;  (* stable diagnostic code, e.g. "SQL002" *)
+  severity : severity;
+  message : string;
+  location : location;
+}
+
+let make ?(location = no_location) ~code severity message =
+  { code; severity; message; location }
+
+let at ?scheme ?query ?statement () =
+  { loc_scheme = scheme; loc_query = query; loc_statement = statement }
+
+let with_location d location = { d with location }
+
+(* ------------------------------------------------------------------ *)
+(* The code registry: every code a pass can emit, with its default
+   severity and the one-line description shown by `xmlstore lint --codes`
+   and tabled in DESIGN.md. *)
+
+let registry =
+  [
+    ("SQL000", Error, "generated SQL does not parse back (builder/renderer bug)");
+    ("SQL001", Warning, "cartesian product: FROM tables not connected by any join predicate");
+    ("SQL002", Warning, "non-sargable LIKE: literal pattern starts with a wildcard");
+    ("SQL003", Warning, "non-sargable predicate: function-wrapped column compared to a constant");
+    ("SQL004", Warning, "inline data literal in a predicate; bind it as a ?N parameter");
+    ("SQL005", Warning, "contradictory predicate: the WHERE clause is provably empty");
+    ("SQL006", Warning, "tautological predicate: conjunct is always true");
+    ("SQL007", Warning, "duplicate projection: the same expression is projected twice");
+    ("SQL008", Warning, "implicit type coercion: comparison against a differently-typed column");
+    ("PLAN001", Warning, "sequential scan although an index covers the filtered column");
+    ("PLAN002", Warning, "selection not pushed below a join");
+    ("PLAN003", Warning, "join order risks row explosion (cross product of large inputs)");
+    ("XP001", Warning, "statically-empty step: the path can never match the stored structure");
+    ("XP002", Warning, "statically-empty predicate: the tested child/attribute never occurs");
+    ("XP100", Info, "path is outside the SQL-translatable subset (native fallback)");
+  ]
+
+let describe code =
+  List.find_map (fun (c, _, d) -> if String.equal c code then Some d else None) registry
+
+let default_severity code =
+  match List.find_map (fun (c, s, _) -> if String.equal c code then Some s else None) registry with
+  | Some s -> s
+  | None -> Warning
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation *)
+
+let sort diags =
+  List.stable_sort
+    (fun a b ->
+      match compare (severity_rank b.severity) (severity_rank a.severity) with
+      | 0 -> compare a.code b.code
+      | c -> c)
+    diags
+
+let max_severity = function
+  | [] -> None
+  | d :: rest ->
+    Some
+      (List.fold_left
+         (fun acc x -> if severity_rank x.severity > severity_rank acc then x.severity else acc)
+         d.severity rest)
+
+let count_at_least sev diags =
+  List.length (List.filter (fun d -> severity_rank d.severity >= severity_rank sev) diags)
+
+(* ------------------------------------------------------------------ *)
+(* Text rendering *)
+
+let location_to_string loc =
+  let parts =
+    List.filter_map Fun.id
+      [
+        Option.map (fun s -> "scheme=" ^ s) loc.loc_scheme;
+        Option.map (fun q -> "query=" ^ q) loc.loc_query;
+        Option.map (fun s -> "sql=" ^ s) loc.loc_statement;
+      ]
+  in
+  String.concat " " parts
+
+let to_string d =
+  let loc = location_to_string d.location in
+  Printf.sprintf "%s %s: %s%s" (severity_to_string d.severity) d.code d.message
+    (if String.equal loc "" then "" else "\n    at " ^ loc)
+
+let render_text diags = String.concat "\n" (List.map to_string (sort diags))
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering and parsing (round-trips through Obskit.Json) *)
+
+module J = Obskit.Json
+
+let location_to_json loc =
+  J.Obj
+    (List.filter_map Fun.id
+       [
+         Option.map (fun s -> ("scheme", J.Str s)) loc.loc_scheme;
+         Option.map (fun q -> ("query", J.Str q)) loc.loc_query;
+         Option.map (fun s -> ("statement", J.Str s)) loc.loc_statement;
+       ])
+
+let to_json d =
+  J.Obj
+    [
+      ("code", J.Str d.code);
+      ("severity", J.Str (severity_to_string d.severity));
+      ("message", J.Str d.message);
+      ("location", location_to_json d.location);
+    ]
+
+let list_to_json diags = J.List (List.map to_json diags)
+
+let of_json j =
+  let str field = Option.bind (J.member field j) J.to_str in
+  match (str "code", str "severity", str "message") with
+  | Some code, Some sev, Some message -> (
+    match severity_of_string sev with
+    | None -> Stdlib.Error (Printf.sprintf "unknown severity %S" sev)
+    | Some severity ->
+      let location =
+        match J.member "location" j with
+        | None -> no_location
+        | Some loc ->
+          let lstr f = Option.bind (J.member f loc) J.to_str in
+          { loc_scheme = lstr "scheme"; loc_query = lstr "query"; loc_statement = lstr "statement" }
+      in
+      Ok { code; severity; message; location })
+  | _ -> Stdlib.Error "diagnostic object needs code, severity, and message fields"
+
+let list_of_json j =
+  match J.to_list j with
+  | None -> Stdlib.Error "expected a JSON array of diagnostics"
+  | Some items ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | x :: rest -> ( match of_json x with Ok d -> go (d :: acc) rest | Stdlib.Error e -> Stdlib.Error e)
+    in
+    go [] items

@@ -1,0 +1,52 @@
+(** Shared diagnostics core for the static analyzer.
+
+    Passes report findings as {!t} values: a stable code, a severity, a
+    one-line message, and an optional source location. Renderers here are
+    the single output path for the CLI, the CI gate, and tests. *)
+
+type severity = Info | Warning | Error
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+val severity_rank : severity -> int
+(** [Info] = 0, [Warning] = 1, [Error] = 2. *)
+
+type location = {
+  loc_scheme : string option;  (** mapping scheme under lint *)
+  loc_query : string option;  (** workload query id or XPath *)
+  loc_statement : string option;  (** SQL statement text (plan-cache key) *)
+}
+
+val no_location : location
+val at : ?scheme:string -> ?query:string -> ?statement:string -> unit -> location
+
+type t = {
+  code : string;  (** stable diagnostic code, e.g. ["SQL002"] *)
+  severity : severity;
+  message : string;
+  location : location;
+}
+
+val make : ?location:location -> code:string -> severity -> string -> t
+val with_location : t -> location -> t
+
+val registry : (string * severity * string) list
+(** Every code a pass can emit: (code, default severity, description). *)
+
+val describe : string -> string option
+val default_severity : string -> severity
+
+val sort : t list -> t list
+(** Most severe first, then by code (stable). *)
+
+val max_severity : t list -> severity option
+val count_at_least : severity -> t list -> int
+
+val location_to_string : location -> string
+val to_string : t -> string
+val render_text : t list -> string
+
+val to_json : t -> Obskit.Json.t
+val list_to_json : t list -> Obskit.Json.t
+val of_json : Obskit.Json.t -> (t, string) result
+val list_of_json : Obskit.Json.t -> (t list, string) result

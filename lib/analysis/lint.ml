@@ -1,0 +1,110 @@
+(* The lint driver: runs a query through a mapping scheme with the capture
+   sink armed, then feeds everything that actually executed to the passes —
+   each captured statement re-parsed into [Sql_ast] for the SQL pass, its
+   physical plan to the plan pass — plus the XPath itself to the schema
+   pass. This lints precisely what the scheme emits, not what we assume it
+   emits. *)
+
+module Db = Relstore.Database
+module Mapping = Xmlshred.Mapping
+
+type report = {
+  rep_scheme : string;
+  rep_query : string;
+  rep_fallback : bool;
+  rep_diags : Diag.t list;
+}
+
+let report_ok r = Diag.count_at_least Diag.Warning r.rep_diags = 0
+
+(* ------------------------------------------------------------------ *)
+(* Pieces *)
+
+let env_of_db db = Sql_lint.env_of_catalog (Db.find_table db)
+
+let lint_sql_text env text =
+  match Relstore.Sql_parser.parse_script text with
+  | exception e ->
+    [
+      Diag.make ~code:"SQL000" Diag.Error
+        (Printf.sprintf "statement does not parse: %s" (Printexc.to_string e));
+    ]
+  | stmts -> List.concat_map (Sql_lint.lint_statement env) stmts
+
+let lint_capture ~env ~catalog (c : Mapping.capture) =
+  let locate d = Diag.with_location d (Diag.at ~statement:c.Mapping.cap_sql ()) in
+  let sql_diags =
+    match Relstore.Sql_parser.parse_statement c.Mapping.cap_sql with
+    | exception e ->
+      [
+        Diag.make ~code:"SQL000" Diag.Error
+          (Printf.sprintf "captured statement does not re-parse: %s" (Printexc.to_string e));
+      ]
+    | stmt -> Sql_lint.lint_statement env stmt
+  in
+  List.map locate (sql_diags @ Plan_lint.lint_plan catalog c.Mapping.cap_plan)
+
+(* ------------------------------------------------------------------ *)
+(* One query through one scheme *)
+
+let lint_mapping_query ?oracle ~db ~doc ~mapping ~xpath () =
+  let (module M : Mapping.MAPPING) = mapping in
+  let path = Xpathkit.Parser.parse_path xpath in
+  let xp_diags = match oracle with None -> [] | Some o -> Xpath_lint.lint_path o path in
+  let result, captures = Mapping.collect_captures (fun () -> M.query db ~doc path) in
+  let env = env_of_db db in
+  let catalog = Db.catalog db in
+  let exec_diags = List.concat_map (lint_capture ~env ~catalog) captures in
+  let fallback_diags =
+    if result.Mapping.fallback then
+      [
+        Diag.make ~code:"XP100" Diag.Info
+          "path is outside the SQL-translatable subset; answered by native fallback";
+      ]
+    else []
+  in
+  let locate d =
+    let loc = d.Diag.location in
+    Diag.with_location d
+      { loc with Diag.loc_scheme = Some M.id; loc_query = Some xpath }
+  in
+  {
+    rep_scheme = M.id;
+    rep_query = xpath;
+    rep_fallback = result.Mapping.fallback;
+    rep_diags = Diag.sort (List.map locate (xp_diags @ exec_diags @ fallback_diags));
+  }
+
+let lint_workload ?oracle ~db ~doc ~mapping queries =
+  List.map (fun xpath -> lint_mapping_query ?oracle ~db ~doc ~mapping ~xpath ()) queries
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+module J = Obskit.Json
+
+let report_to_json r =
+  J.Obj
+    [
+      ("scheme", J.Str r.rep_scheme);
+      ("query", J.Str r.rep_query);
+      ("fallback", J.Bool r.rep_fallback);
+      ("diagnostics", Diag.list_to_json r.rep_diags);
+    ]
+
+let reports_to_json rs = J.List (List.map report_to_json rs)
+
+let report_to_string r =
+  let header =
+    Printf.sprintf "%s %s [%s]%s" (if report_ok r then "ok " else "FAIL") r.rep_query r.rep_scheme
+      (if r.rep_fallback then " (fallback)" else "")
+  in
+  match r.rep_diags with
+  | [] -> header
+  | ds -> header ^ "\n" ^ Diag.render_text ds
+
+let reports_to_string rs = String.concat "\n" (List.map report_to_string rs)
+
+let reports_max_severity rs = Diag.max_severity (List.concat_map (fun r -> r.rep_diags) rs)
+
+let reports_failing rs = List.filter (fun r -> not (report_ok r)) rs

@@ -1,0 +1,53 @@
+(** The lint driver.
+
+    Executes a query through a mapping scheme with the capture sink armed
+    and lints what actually ran: every captured statement is re-parsed
+    into {!Relstore.Sql_ast} for the SQL pass and its physical plan goes
+    to the plan pass; the XPath itself is checked against the schema
+    oracle. Untranslatable paths get an [XP100] info diagnostic. *)
+
+type report = {
+  rep_scheme : string;
+  rep_query : string;
+  rep_fallback : bool;
+  rep_diags : Diag.t list;
+}
+
+val report_ok : report -> bool
+(** No diagnostic at warning severity or above. *)
+
+val env_of_db : Relstore.Database.t -> Sql_lint.env
+
+val lint_sql_text : Sql_lint.env -> string -> Diag.t list
+(** Parse and lint a raw SQL script ([SQL000] error if it does not
+    parse). *)
+
+val lint_capture :
+  env:Sql_lint.env ->
+  catalog:Relstore.Planner.catalog ->
+  Xmlshred.Mapping.capture ->
+  Diag.t list
+
+val lint_mapping_query :
+  ?oracle:Xpath_lint.oracle ->
+  db:Relstore.Database.t ->
+  doc:int ->
+  mapping:Xmlshred.Mapping.mapping ->
+  xpath:string ->
+  unit ->
+  report
+
+val lint_workload :
+  ?oracle:Xpath_lint.oracle ->
+  db:Relstore.Database.t ->
+  doc:int ->
+  mapping:Xmlshred.Mapping.mapping ->
+  string list ->
+  report list
+
+val report_to_json : report -> Obskit.Json.t
+val reports_to_json : report list -> Obskit.Json.t
+val report_to_string : report -> string
+val reports_to_string : report list -> string
+val reports_max_severity : report list -> Diag.severity option
+val reports_failing : report list -> report list

@@ -1,0 +1,164 @@
+(* Physical-plan lints.
+
+   Operates on the [Plan.t] trees the planner emits, with the catalog and
+   [Stats] available for index and cardinality questions. These checks
+   catch the regressions the SQL pass cannot see: a predicate that is
+   sargable in the AST but still executed as a filter over a sequential
+   scan, a selection left above a join, or a join order whose estimated
+   intermediate result explodes. *)
+
+module Ast = Relstore.Sql_ast
+module Plan = Relstore.Plan
+module Table = Relstore.Table
+module Schema = Relstore.Schema
+module Stats = Relstore.Stats
+module Planner = Relstore.Planner
+
+let diag = Diag.make
+
+let default_explosion_threshold = 100_000
+
+(* ------------------------------------------------------------------ *)
+(* Helpers over plans *)
+
+let rec aliases_of_plan = function
+  | Plan.Seq_scan { alias; _ } | Plan.Index_scan { alias; _ } | Plan.Index_probes { alias; _ } ->
+    [ alias ]
+  | Plan.Filter (_, p) | Plan.Project (_, p) | Plan.Sort (_, p) | Plan.Distinct p
+  | Plan.Limit (_, p) ->
+    aliases_of_plan p
+  | Plan.Aggregate { input; _ } -> aliases_of_plan input
+  | Plan.Nl_join (a, b) -> aliases_of_plan a @ aliases_of_plan b
+  | Plan.Hash_join { build; probe; _ } -> aliases_of_plan build @ aliases_of_plan probe
+  | Plan.Union_all ps -> List.concat_map aliases_of_plan ps
+
+let is_constant e =
+  Ast.fold_expr (fun acc sub -> acc || match sub with Ast.Col _ -> true | _ -> false) false e
+  |> not
+
+(* Columns of [alias] that a conjunct constrains in an index-usable way:
+   comparison against a constant, an all-constant IN list, or a LIKE whose
+   literal pattern yields a non-empty prefix. *)
+let sargable_columns ~alias conjunct =
+  let col_of = function
+    | Ast.Col { table = None; column } -> Some column
+    | Ast.Col { table = Some t; column } when String.equal t alias -> Some column
+    | _ -> None
+  in
+  let is_cmp = function Ast.Eq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> true | _ -> false in
+  match conjunct with
+  | Ast.Binop (op, a, b) when is_cmp op -> (
+    match (col_of a, col_of b) with
+    | Some c, None when is_constant b -> [ c ]
+    | None, Some c when is_constant a -> [ c ]
+    | _ -> [])
+  | Ast.Between { arg; low; high } -> (
+    match col_of arg with
+    | Some c when is_constant low && is_constant high -> [ c ]
+    | _ -> [])
+  | Ast.In_list { negated = false; arg; items } -> (
+    match col_of arg with
+    | Some c when List.for_all is_constant items -> [ c ]
+    | _ -> [])
+  | Ast.Like { negated = false; arg; pattern = Ast.Lit (Relstore.Value.Text p) } -> (
+    match col_of arg with
+    | Some c when String.length p > 0 && p.[0] <> '%' && p.[0] <> '_' -> [ c ]
+    | _ -> [])
+  | _ -> []
+
+let leading_index_exists table column =
+  match Schema.find_column (Table.schema table) column with
+  | None -> false
+  | Some pos ->
+    List.exists
+      (fun ix -> Array.length ix.Table.key_columns > 0 && ix.Table.key_columns.(0) = pos)
+      (Table.indexes table)
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality estimation (coarse, Stats-driven) *)
+
+let table_rows (cat : Planner.catalog) table =
+  match cat.Planner.find_table table with
+  | None -> 1
+  | Some t -> (Stats.get cat.Planner.stats t).Stats.ts_rows
+
+let rec estimate (cat : Planner.catalog) = function
+  | Plan.Seq_scan { table; _ } -> max 1 (table_rows cat table)
+  | Plan.Index_scan { table; lower; upper; _ } ->
+    let rows = max 1 (table_rows cat table) in
+    let exact_point =
+      match (lower, upper) with
+      | Some (l, true), Some (u, true) -> l = u
+      | _ -> false
+    in
+    if exact_point then max 1 (rows / 100) else max 1 (rows / 4)
+  | Plan.Index_probes { table; keys; _ } ->
+    let rows = max 1 (table_rows cat table) in
+    max 1 (min rows (List.length keys * max 1 (rows / 100)))
+  | Plan.Filter (_, p) -> max 1 (estimate cat p / 2)
+  | Plan.Project (_, p) | Plan.Sort (_, p) -> estimate cat p
+  | Plan.Distinct p -> max 1 (estimate cat p / 2)
+  | Plan.Limit (n, p) -> min n (estimate cat p)
+  | Plan.Nl_join (a, b) -> estimate cat a * estimate cat b
+  | Plan.Hash_join { build; probe; _ } -> max (estimate cat build) (estimate cat probe)
+  | Plan.Aggregate { group_by = []; _ } -> 1
+  | Plan.Aggregate { input; _ } -> max 1 (estimate cat input / 2)
+  | Plan.Union_all ps -> List.fold_left (fun acc p -> acc + estimate cat p) 0 ps
+
+(* ------------------------------------------------------------------ *)
+(* The pass *)
+
+let lint_plan ?(explosion_threshold = default_explosion_threshold) (cat : Planner.catalog) plan =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let rec walk = function
+    | Plan.Seq_scan _ | Plan.Index_scan _ | Plan.Index_probes _ -> ()
+    | Plan.Filter (e, child) ->
+      (match child with
+      | Plan.Seq_scan { table; alias } -> (
+        (* PLAN001: the filter holds a sargable conjunct on an indexed
+           column, yet the scan below is sequential *)
+        match cat.Planner.find_table table with
+        | None -> ()
+        | Some t ->
+          let missed =
+            List.concat_map (sargable_columns ~alias) (Sql_lint.split_and e)
+            |> List.filter (leading_index_exists t)
+            |> List.sort_uniq compare
+          in
+          if missed <> [] then
+            add
+              (diag ~code:"PLAN001" Warning
+                 (Printf.sprintf
+                    "sequential scan of %s although an index covers %s (predicate %s)" table
+                    (String.concat ", " missed) (Ast.expr_to_string e))))
+      | Plan.Nl_join (a, b) | Plan.Hash_join { build = a; probe = b; _ } ->
+        (* PLAN002: every alias the filter mentions lives on one join
+           side, so the selection could run below the join *)
+        let quals = Ast.referenced_tables e in
+        let side p = List.for_all (fun q -> List.mem q (aliases_of_plan p)) quals in
+        if quals <> [] && (side a || side b) then
+          add
+            (diag ~code:"PLAN002" Warning
+               (Printf.sprintf "selection %s not pushed below the join (touches only one side)"
+                  (Ast.expr_to_string e)))
+      | _ -> ());
+      walk child
+    | Plan.Project (_, p) | Plan.Sort (_, p) | Plan.Distinct p | Plan.Limit (_, p) -> walk p
+    | Plan.Aggregate { input; _ } -> walk input
+    | Plan.Nl_join (a, b) as j ->
+      (* PLAN003: an unconstrained cross product of non-trivial inputs *)
+      let la = estimate cat a and lb = estimate cat b in
+      if la > 1 && lb > 1 && la * lb > explosion_threshold then
+        add
+          (diag ~code:"PLAN003" Warning
+             (Printf.sprintf
+                "nested-loop join multiplies ~%d x ~%d rows (threshold %d): %s" la lb
+                explosion_threshold (Plan.node_line j)));
+      walk a;
+      walk b
+    | Plan.Hash_join { build; probe; _ } -> walk build; walk probe
+    | Plan.Union_all ps -> List.iter walk ps
+  in
+  walk plan;
+  List.rev !out

@@ -1,0 +1,15 @@
+(** Physical-plan lints (codes PLAN001–PLAN003).
+
+    Checks a {!Relstore.Plan.t} with catalog and statistics in hand:
+    sequential scans under filters whose column has a usable index,
+    selections left above joins, and nested-loop joins whose estimated
+    row product explodes. *)
+
+val default_explosion_threshold : int
+(** 100_000 estimated intermediate rows. *)
+
+val estimate : Relstore.Planner.catalog -> Relstore.Plan.t -> int
+(** Coarse Stats-driven output-cardinality estimate for a plan node. *)
+
+val lint_plan :
+  ?explosion_threshold:int -> Relstore.Planner.catalog -> Relstore.Plan.t -> Diag.t list

@@ -1,0 +1,542 @@
+(* SQL AST lints.
+
+   Operates on [Sql_ast] values (the typed form every scheme emits since
+   the builder refactor), optionally consulting table schemas for type
+   checks. The checks target the silent query regressions the storage
+   literature blames for most scheme slowdowns: lost join predicates,
+   non-sargable shapes, plan-cache-hostile inline literals, and predicates
+   a constant fold proves empty. *)
+
+module Ast = Relstore.Sql_ast
+module Value = Relstore.Value
+module Schema = Relstore.Schema
+
+type env = { find_schema : string -> Schema.t option }
+
+let env_of_schemas schemas =
+  {
+    find_schema =
+      (fun name ->
+        List.find_map
+          (fun (s : Schema.t) ->
+            if String.equal (String.lowercase_ascii s.Schema.table_name) (String.lowercase_ascii name)
+            then Some s
+            else None)
+          schemas);
+  }
+
+let env_of_catalog find_table =
+  { find_schema = (fun name -> Option.map Relstore.Table.schema (find_table name)) }
+
+let empty_env = { find_schema = (fun _ -> None) }
+
+(* ------------------------------------------------------------------ *)
+(* Shared expression utilities *)
+
+let diag = Diag.make
+
+let contains_col e =
+  Ast.fold_expr (fun acc sub -> acc || match sub with Ast.Col _ -> true | _ -> false) false e
+
+let is_constant e = not (contains_col e)
+
+(* Literal-only: constant and free of parameters and function calls, so the
+   value is known at lint time. *)
+let is_literal_expr e =
+  Ast.fold_expr
+    (fun acc sub ->
+      acc && match sub with Ast.Col _ | Ast.Param _ | Ast.Call _ -> false | _ -> true)
+    true e
+
+let eval_const e =
+  if not (is_literal_expr e) then None
+  else try Some (Relstore.Expr_eval.compile [||] e [||]) with _ -> None
+
+let rec split_and = function
+  | Ast.Binop (Ast.And, a, b) -> split_and a @ split_and b
+  | e -> [ e ]
+
+(* Aliases a qualified expression refers to; column refs left unqualified
+   count as referring to the sole FROM alias when there is exactly one. *)
+let aliases_of ~bindings e =
+  let quals = Ast.referenced_tables e in
+  let unqualified =
+    Ast.fold_expr
+      (fun acc sub -> acc || match sub with Ast.Col { table = None; _ } -> true | _ -> false)
+      false e
+  in
+  match (unqualified, bindings) with
+  | true, [ (only, _) ] -> if List.mem only quals then quals else only :: quals
+  | _ -> quals
+
+let is_cmp = function
+  | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* SQL001: cartesian product — FROM aliases not all connected by
+   predicates that mention at least two of them. *)
+
+let lint_cartesian ~bindings ~conjuncts =
+  match bindings with
+  | [] | [ _ ] -> []
+  | _ ->
+    let aliases = List.map fst bindings in
+    let parent = Hashtbl.create 8 in
+    List.iter (fun a -> Hashtbl.replace parent a a) aliases;
+    let rec find a = let p = Hashtbl.find parent a in if String.equal p a then a else find p in
+    let union a b =
+      let ra = find a and rb = find b in
+      if not (String.equal ra rb) then Hashtbl.replace parent ra rb
+    in
+    List.iter
+      (fun c ->
+        match List.filter (fun a -> List.mem a aliases) (aliases_of ~bindings c) with
+        | first :: rest -> List.iter (fun other -> union first other) rest
+        | [] -> ())
+      conjuncts;
+    let roots = List.sort_uniq compare (List.map find aliases) in
+    if List.length roots > 1 then
+      [
+        diag ~code:"SQL001" Warning
+          (Printf.sprintf
+             "cartesian product: FROM has %d tables but no predicate connects {%s}"
+             (List.length aliases) (String.concat "} {" roots));
+      ]
+    else []
+
+(* ------------------------------------------------------------------ *)
+(* SQL002 / SQL003 / SQL004: sargability and parameterization, found by a
+   full walk over an expression. *)
+
+(* The literal prefix a leading-wildcard check needs: the leftmost leaf of
+   a concat chain, else the literal itself. *)
+let rec pattern_head = function
+  | Ast.Lit (Value.Text p) -> Some p
+  | Ast.Binop (Ast.Concat, a, _) -> pattern_head a
+  | _ -> None
+
+let leading_wildcard p = String.length p > 0 && (p.[0] = '%' || p.[0] = '_')
+
+(* Data-like literal: long enough that it is almost certainly a value, not
+   a statement-shape code (kind codes 'e'/'a'/'t' and similar short tags
+   are legitimately part of the cached statement text). *)
+let data_literal = function
+  | Value.Text s -> String.length s > 2
+  | _ -> false
+
+let lint_predicate_shapes e =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let check_operand_pair a b =
+    (* function-wrapped column vs constant (SQL003) *)
+    let wrapped x other =
+      (match x with
+      | Ast.Call _ when (not (Ast.is_aggregate_call x)) && contains_col x -> true
+      | _ -> false)
+      && is_constant other
+    in
+    if wrapped a b || wrapped b a then
+      add
+        (diag ~code:"SQL003" Warning
+           (Printf.sprintf "function-wrapped column defeats index use: %s"
+              (Ast.expr_to_string (if wrapped a b then a else b))));
+    (* inline data literal vs column (SQL004) *)
+    let inline_lit x other =
+      match x with Ast.Lit v when data_literal v && contains_col other -> true | _ -> false
+    in
+    if inline_lit a b || inline_lit b a then
+      let v = match (if inline_lit a b then a else b) with Ast.Lit v -> v | _ -> assert false in
+      add
+        (diag ~code:"SQL004" Warning
+           (Printf.sprintf "inline literal %s should be a bound ?N parameter (plan-cache miss risk)"
+              (Value.to_sql_literal v)))
+  in
+  let rec walk e =
+    (match e with
+    | Ast.Like { negated = false; arg; pattern } -> (
+      match pattern_head pattern with
+      | Some p when leading_wildcard p ->
+        add
+          (diag ~code:"SQL002" Warning
+             (Printf.sprintf "LIKE pattern %s starts with a wildcard: no index range possible"
+                (Value.to_sql_literal (Value.Text p))));
+        ignore arg
+      | _ -> ())
+    | Ast.Binop (op, a, b) when is_cmp op -> check_operand_pair a b
+    | Ast.Between { arg; low; high } ->
+      check_operand_pair arg low;
+      check_operand_pair arg high
+    | Ast.In_list { arg; items; _ } when contains_col arg ->
+      List.iter
+        (fun item ->
+          match item with
+          | Ast.Lit v when data_literal v ->
+            add
+              (diag ~code:"SQL004" Warning
+                 (Printf.sprintf
+                    "inline literal %s in IN list should be a bound ?N parameter"
+                    (Value.to_sql_literal v)))
+          | _ -> ())
+        items
+    | _ -> ());
+    match e with
+    | Ast.Lit _ | Ast.Param _ | Ast.Col _ -> ()
+    | Ast.Binop (_, a, b) -> walk a; walk b
+    | Ast.Unop (_, a) -> walk a
+    | Ast.Is_null { arg; _ } -> walk arg
+    | Ast.Like { arg; pattern; _ } -> walk arg; walk pattern
+    | Ast.In_list { arg; items; _ } -> walk arg; List.iter walk items
+    | Ast.Between { arg; low; high } -> walk arg; walk low; walk high
+    | Ast.Call { args; _ } -> List.iter walk args
+  in
+  walk e;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* SQL005 / SQL006: contradiction folding and tautologies over the WHERE
+   conjunction. Bounds are collected per column from literal comparisons
+   and intersected; an empty intersection is a provably-empty predicate
+   (NULL semantics reject too, so the proof is sound). *)
+
+type bound = { lo : (Value.t * bool) option; hi : (Value.t * bool) option; neqs : Value.t list }
+
+let no_bound = { lo = None; hi = None; neqs = [] }
+
+let ty_class v =
+  match Value.type_of v with
+  | Some (Value.TInt | Value.TFloat) -> Some `Num
+  | Some Value.TText -> Some `Text
+  | Some Value.TBool -> Some `Bool
+  | None -> None
+
+let compatible a b = match (ty_class a, ty_class b) with
+  | Some ca, Some cb -> ca = cb
+  | _ -> false
+
+(* Merge a new constraint into a column's bound; [None] marks the column
+   untrackable (mixed literal types: comparisons there follow the engine's
+   cross-type total order, so stay conservative and prove nothing). *)
+let merge_bound b ~op v =
+  let ok_with existing = match existing with
+    | Some (w, _) -> compatible w v
+    | None -> true
+  in
+  if Value.is_null v || not (ok_with b.lo && ok_with b.hi) then None
+  else
+    let tighter_lo (nv, nincl) = match b.lo with
+      | Some (ov, oincl) ->
+        let c = Value.compare nv ov in
+        if c > 0 || (c = 0 && not nincl && oincl) then Some (nv, nincl) else b.lo
+      | None -> Some (nv, nincl)
+    in
+    let tighter_hi (nv, nincl) = match b.hi with
+      | Some (ov, oincl) ->
+        let c = Value.compare nv ov in
+        if c < 0 || (c = 0 && not nincl && oincl) then Some (nv, nincl) else b.hi
+      | None -> Some (nv, nincl)
+    in
+    match op with
+    | `Eq -> Some { b with lo = tighter_lo (v, true); hi = tighter_hi (v, true) }
+    | `Lt -> Some { b with hi = tighter_hi (v, false) }
+    | `Le -> Some { b with hi = tighter_hi (v, true) }
+    | `Gt -> Some { b with lo = tighter_lo (v, false) }
+    | `Ge -> Some { b with lo = tighter_lo (v, true) }
+    | `Neq ->
+      if List.for_all (fun w -> compatible w v) b.neqs then Some { b with neqs = v :: b.neqs }
+      else None
+
+let bound_empty b =
+  (match (b.lo, b.hi) with
+  | Some (lo, lo_incl), Some (hi, hi_incl) ->
+    let c = Value.compare lo hi in
+    c > 0 || (c = 0 && not (lo_incl && hi_incl))
+  | _ -> false)
+  ||
+  (* a point bound excluded by a <> literal *)
+  match (b.lo, b.hi) with
+  | Some (lo, true), Some (hi, true) when Value.compare lo hi = 0 ->
+    List.exists (fun v -> compatible v lo && Value.compare v lo = 0) b.neqs
+  | _ -> false
+
+let col_key = function
+  | Ast.Col { table; column } ->
+    Some
+      (String.lowercase_ascii
+         ((match table with Some t -> t ^ "." | None -> "") ^ column))
+  | _ -> None
+
+let lint_conjunction conjuncts =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  (* 1. constant conjuncts fold to a known truth value *)
+  List.iter
+    (fun c ->
+      match eval_const c with
+      | Some v -> (
+        match v with
+        | Value.Bool false ->
+          add
+            (diag ~code:"SQL005" Warning
+               (Printf.sprintf "conjunct %s is always false: the result is provably empty"
+                  (Ast.expr_to_string c)))
+        | Value.Bool true ->
+          add
+            (diag ~code:"SQL006" Warning
+               (Printf.sprintf "conjunct %s is always true" (Ast.expr_to_string c)))
+        | _ -> ())
+      | None -> ())
+    conjuncts;
+  (* 2. self-comparison tautologies *)
+  List.iter
+    (fun c ->
+      match c with
+      | Ast.Binop (Ast.Eq, a, b) when col_key a <> None && col_key a = col_key b ->
+        add
+          (diag ~code:"SQL006" Warning
+             (Printf.sprintf "conjunct %s compares a column to itself" (Ast.expr_to_string c)))
+      | _ -> ())
+    conjuncts;
+  (* 3. per-column range folding *)
+  let bounds : (string, bound option) Hashtbl.t = Hashtbl.create 8 in
+  let constrain key ~op v =
+    match Hashtbl.find_opt bounds key with
+    | Some None -> ()  (* poisoned: mixed types *)
+    | prior ->
+      let b = match prior with Some (Some b) -> b | _ -> no_bound in
+      Hashtbl.replace bounds key (merge_bound b ~op v)
+  in
+  List.iter
+    (fun c ->
+      match c with
+      | Ast.Binop (op, a, b) when is_cmp op -> (
+        let with_sides col lit ~flipped =
+          match (col_key col, lit) with
+          | Some key, Ast.Lit v when not (Value.is_null v) ->
+            let dir =
+              match (op, flipped) with
+              | Ast.Eq, _ -> Some `Eq
+              | Ast.Neq, _ -> Some `Neq
+              | Ast.Lt, false -> Some `Lt
+              | Ast.Le, false -> Some `Le
+              | Ast.Gt, false -> Some `Gt
+              | Ast.Ge, false -> Some `Ge
+              | Ast.Lt, true -> Some `Gt
+              | Ast.Le, true -> Some `Ge
+              | Ast.Gt, true -> Some `Lt
+              | Ast.Ge, true -> Some `Le
+              | _ -> None
+            in
+            (match dir with Some d -> constrain key ~op:d v | None -> ())
+          | _ -> ()
+        in
+        match (a, b) with
+        | Ast.Col _, _ -> with_sides a b ~flipped:false
+        | _, Ast.Col _ -> with_sides b a ~flipped:true
+        | _ -> ())
+      | Ast.Between { arg = Ast.Col _ as col; low = Ast.Lit lo; high = Ast.Lit hi } ->
+        if not (Value.is_null lo) then
+          (match col_key col with Some k -> constrain k ~op:`Ge lo | None -> ());
+        if not (Value.is_null hi) then
+          (match col_key col with Some k -> constrain k ~op:`Le hi | None -> ())
+      | _ -> ())
+    conjuncts;
+  Hashtbl.iter
+    (fun key b ->
+      match b with
+      | Some b when bound_empty b ->
+        add
+          (diag ~code:"SQL005" Warning
+             (Printf.sprintf "predicates on %s fold to an empty range: the result is provably empty"
+                key))
+      | _ -> ())
+    bounds;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* SQL007: duplicate projections *)
+
+let lint_projections (s : Ast.select) =
+  let exprs =
+    List.filter_map
+      (function Ast.Proj (e, _) -> Some (Ast.expr_to_string e) | Ast.All | Ast.Table_all _ -> None)
+      s.Ast.projections
+  in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun e ->
+      if Hashtbl.mem seen e then
+        Some
+          (diag ~code:"SQL007" Warning
+             (Printf.sprintf "expression %s is projected more than once" e))
+      else begin
+        Hashtbl.add seen e ();
+        None
+      end)
+    exprs
+
+(* ------------------------------------------------------------------ *)
+(* SQL008: implicit type coercions against the schema *)
+
+let class_of_ty = function
+  | Value.TInt | Value.TFloat -> `Num
+  | Value.TText -> `Text
+  | Value.TBool -> `Bool
+
+let class_name = function `Num -> "numeric" | `Text -> "text" | `Bool -> "boolean"
+
+let col_ty ~bindings = function
+  | Ast.Col { table; column } -> (
+    let of_schema (schema : Schema.t) =
+      Option.map
+        (fun i -> schema.Schema.columns.(i).Schema.col_ty)
+        (Schema.find_column schema column)
+    in
+    match table with
+    | Some t ->
+      Option.bind
+        (List.find_map
+           (fun (alias, schema) ->
+             if String.equal (String.lowercase_ascii alias) (String.lowercase_ascii t) then
+               Some schema
+             else None)
+           bindings)
+        (fun s -> Option.bind s of_schema)
+    | None -> (
+      match bindings with
+      | [ (_, Some schema) ] -> of_schema schema
+      | _ -> None))
+  | _ -> None
+
+let lint_coercions ~bindings e =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let mismatch a b =
+    (* column vs literal of another class, or two columns of different
+       classes: the engine coerces at runtime and the index order no longer
+       matches the comparison order *)
+    let cls_of x =
+      match col_ty ~bindings x with
+      | Some ty -> Some (class_of_ty ty)
+      | None -> (
+        match x with
+        | Ast.Lit v -> Option.map class_of_ty (Value.type_of v)
+        | _ -> None)
+    in
+    let comparable x = match x with Ast.Col _ | Ast.Lit _ -> true | _ -> false in
+    if comparable a && comparable b && (match (a, b) with Ast.Lit _, Ast.Lit _ -> false | _ -> true)
+    then
+      match (cls_of a, cls_of b) with
+      | Some ca, Some cb when ca <> cb ->
+        add
+          (diag ~code:"SQL008" Warning
+             (Printf.sprintf "implicit coercion: %s (%s) compared with %s (%s)"
+                (Ast.expr_to_string a) (class_name ca) (Ast.expr_to_string b) (class_name cb)))
+      | _ -> ()
+  in
+  let rec walk e =
+    (match e with
+    | Ast.Binop (op, a, b) when is_cmp op -> mismatch a b
+    | Ast.Between { arg; low; high } -> mismatch arg low; mismatch arg high
+    | Ast.In_list { arg; items; _ } -> List.iter (mismatch arg) items
+    | Ast.Like { arg; pattern; _ } -> (
+      (match col_ty ~bindings arg with
+      | Some ty when class_of_ty ty <> `Text ->
+        add
+          (diag ~code:"SQL008" Warning
+             (Printf.sprintf "LIKE over non-text column %s" (Ast.expr_to_string arg)))
+      | _ -> ());
+      match pattern with
+      | Ast.Lit v when ty_class v <> None && ty_class v <> Some `Text ->
+        add
+          (diag ~code:"SQL008" Warning
+             (Printf.sprintf "LIKE pattern %s is not text" (Ast.expr_to_string pattern)))
+      | _ -> ())
+    | _ -> ());
+    match e with
+    | Ast.Lit _ | Ast.Param _ | Ast.Col _ -> ()
+    | Ast.Binop (_, a, b) -> walk a; walk b
+    | Ast.Unop (_, a) -> walk a
+    | Ast.Is_null { arg; _ } -> walk arg
+    | Ast.Like { arg; pattern; _ } -> walk arg; walk pattern
+    | Ast.In_list { arg; items; _ } -> walk arg; List.iter walk items
+    | Ast.Between { arg; low; high } -> walk arg; walk low; walk high
+    | Ast.Call { args; _ } -> List.iter walk args
+  in
+  walk e;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let bindings_of env (from : Ast.table_ref list) =
+  List.map
+    (fun { Ast.table; alias } ->
+      (Option.value ~default:table alias, env.find_schema table))
+    from
+
+let lint_select env (s : Ast.select) =
+  let bindings = bindings_of env s.Ast.from in
+  let conjuncts = match s.Ast.where with None -> [] | Some w -> split_and w in
+  let where_exprs = Option.to_list s.Ast.where in
+  let all_exprs =
+    where_exprs @ Option.to_list s.Ast.having
+    @ List.filter_map (function Ast.Proj (e, _) -> Some e | _ -> None) s.Ast.projections
+  in
+  lint_cartesian ~bindings ~conjuncts
+  @ List.concat_map lint_predicate_shapes all_exprs
+  @ lint_conjunction conjuncts
+  @ (match s.Ast.having with Some h -> lint_conjunction (split_and h) | None -> [])
+  @ lint_projections s
+  @ List.concat_map (lint_coercions ~bindings) (where_exprs @ Option.to_list s.Ast.having)
+
+let lint_query env (q : Ast.query) = List.concat_map (lint_select env) q
+
+let lint_where_only env ~table where =
+  match where with
+  | None -> []
+  | Some w ->
+    let bindings = [ (table, env.find_schema table) ] in
+    let conjuncts = split_and w in
+    lint_predicate_shapes w @ lint_conjunction conjuncts @ lint_coercions ~bindings w
+
+let lint_insert env ~table ~columns rows =
+  match env.find_schema table with
+  | None -> []
+  | Some schema ->
+    let positions =
+      match columns with
+      | Some cols -> List.map (Schema.find_column schema) cols
+      | None -> List.mapi (fun i _ -> Some i) (Array.to_list schema.Schema.columns)
+    in
+    let rec zip ps es =
+      match (ps, es) with p :: ps', e :: es' -> (p, e) :: zip ps' es' | _ -> []
+    in
+    List.concat_map
+      (fun row ->
+        List.concat_map
+          (fun (pos, e) ->
+            match (pos, e) with
+            | Some i, Ast.Lit v when i < Array.length schema.Schema.columns -> (
+              match Value.type_of v with
+              | Some ty
+                when class_of_ty ty <> class_of_ty schema.Schema.columns.(i).Schema.col_ty ->
+                [
+                  diag ~code:"SQL008" Warning
+                    (Printf.sprintf "INSERT coerces %s into %s column %s"
+                       (Value.to_sql_literal v)
+                       (class_name (class_of_ty schema.Schema.columns.(i).Schema.col_ty))
+                       schema.Schema.columns.(i).Schema.col_name);
+                ]
+              | _ -> [])
+            | _ -> [])
+          (zip positions row))
+      rows
+
+let lint_statement env (stmt : Ast.statement) =
+  match stmt with
+  | Ast.Select_stmt q -> lint_query env q
+  | Ast.Update { table; where; _ } | Ast.Delete { table; where } ->
+    lint_where_only env ~table where
+  | Ast.Insert { table; columns; rows } -> lint_insert env ~table ~columns rows
+  | Ast.Create_table _ | Ast.Create_index _ | Ast.Drop_table _ | Ast.Drop_index _ -> []

@@ -1,0 +1,23 @@
+(** SQL AST lints (codes SQL001–SQL008).
+
+    Static checks over {!Relstore.Sql_ast} statements: cartesian products,
+    non-sargable predicate shapes, inline data literals that bypass [?N]
+    binding, contradiction/tautology folding, duplicate projections, and
+    implicit type coercions against the schema. *)
+
+type env = { find_schema : string -> Relstore.Schema.t option }
+
+val env_of_schemas : Relstore.Schema.t list -> env
+val env_of_catalog : (string -> Relstore.Table.t option) -> env
+val empty_env : env
+
+val lint_select : env -> Relstore.Sql_ast.select -> Diag.t list
+val lint_query : env -> Relstore.Sql_ast.query -> Diag.t list
+val lint_statement : env -> Relstore.Sql_ast.statement -> Diag.t list
+
+val split_and : Relstore.Sql_ast.expr -> Relstore.Sql_ast.expr list
+(** The WHERE conjunction, flattened. *)
+
+val lint_conjunction : Relstore.Sql_ast.expr list -> Diag.t list
+(** Just the contradiction/tautology pass (SQL005/SQL006) over a
+    conjunction — exposed for the qcheck soundness property. *)

@@ -1,0 +1,262 @@
+(* XPath-vs-schema lints.
+
+   Simulates a path, step by step, over a structural summary of the data —
+   either a Strong DataGuide built from a stored document (exact: a label
+   path is absent from the guide iff it is absent from the data) or a DTD
+   element graph (exact for valid documents). A step whose result set is
+   provably empty can never match anything; the whole query returns no
+   rows no matter what the database holds. The analysis is conservative:
+   any construct it cannot track (reverse axes, text()/comment() tests,
+   position predicates) degrades to Unknown, which proves nothing.
+
+   [provably_empty] over a DataGuide oracle is sound enough to act on: the
+   Store uses it to short-circuit such queries to an empty result without
+   touching the database. *)
+
+module Dg = Xmlkit.Dataguide
+module Dtd = Xmlkit.Dtd
+module Xast = Xpathkit.Ast
+
+let diag = Diag.make
+
+(* ------------------------------------------------------------------ *)
+(* Oracles *)
+
+type schema_oracle = { dtd : Dtd.t; edges : (string * string * Dtd.quant) list }
+
+type oracle = Guide of Dg.t | Schema of schema_oracle
+
+let of_dataguide g = Guide g
+let of_dtd dtd = Schema { dtd; edges = Dtd.edges dtd }
+
+(* The abstract node-set a path prefix can reach. [Unknown] means the
+   analysis gave up; it proves nothing from there on. *)
+type state =
+  | G_nodes of Dg.node list  (* positions in the dataguide trie *)
+  | D_set of { doc : bool; elems : string list }  (* DTD: doc root and/or element types *)
+  | Unknown
+
+let is_attr_label l = String.length l > 0 && l.[0] = '@'
+
+let g_children n = List.map snd n.Dg.dg_children
+
+let g_elem_children n = List.filter (fun c -> not (is_attr_label c.Dg.dg_label)) (g_children n)
+
+let rec g_descendants n =
+  let kids = g_elem_children n in
+  kids @ List.concat_map g_descendants kids
+
+let dedup xs = List.sort_uniq compare xs
+
+(* DTD: element types that can appear as a child of [e], honouring ANY
+   content (simplify drops its edges, but ANY admits every declared
+   element). *)
+let d_children sch e =
+  match Dtd.find_element sch.dtd e with
+  | Some { Dtd.content = Dtd.Any; _ } -> Dtd.element_names sch.dtd
+  | _ -> List.filter_map (fun (p, c, _) -> if String.equal p e then Some c else None) sch.edges
+
+(* Child-transitive closure below a set of element types (strict). *)
+let d_closure sch roots =
+  let seen = Hashtbl.create 16 in
+  let rec go e =
+    List.iter
+      (fun c ->
+        if not (Hashtbl.mem seen c) then begin
+          Hashtbl.add seen c ();
+          go c
+        end)
+      (d_children sch e)
+  in
+  List.iter go roots;
+  Hashtbl.fold (fun e () acc -> e :: acc) seen []
+
+let d_roots sch =
+  match sch.dtd.Dtd.root with Some r -> [ r ] | None -> Dtd.element_names sch.dtd
+
+(* ------------------------------------------------------------------ *)
+(* One step of the simulation *)
+
+let test_matches test label =
+  match test with
+  | Xast.Name n -> String.equal n label
+  | Xast.Wildcard -> true
+  | Xast.Text_test | Xast.Comment_test | Xast.Node_test -> false  (* handled by callers *)
+
+let step_guide nodes (s : Xast.step) =
+  let collect f = dedup (List.concat_map f nodes) in
+  match (s.Xast.axis, s.Xast.test) with
+  | Xast.Child, (Xast.Name _ | Xast.Wildcard) ->
+    G_nodes
+      (collect (fun n ->
+           List.filter (fun c -> test_matches s.Xast.test c.Dg.dg_label) (g_elem_children n)))
+  | Xast.Attribute, Xast.Name a ->
+    let want = "@" ^ a in
+    G_nodes
+      (collect (fun n -> List.filter (fun c -> String.equal c.Dg.dg_label want) (g_children n)))
+  | Xast.Attribute, Xast.Wildcard ->
+    G_nodes (collect (fun n -> List.filter (fun c -> is_attr_label c.Dg.dg_label) (g_children n)))
+  | Xast.Descendant, (Xast.Name _ | Xast.Wildcard) ->
+    G_nodes
+      (collect (fun n ->
+           List.filter (fun c -> test_matches s.Xast.test c.Dg.dg_label) (g_descendants n)))
+  | Xast.Descendant_or_self, Xast.Node_test ->
+    G_nodes (dedup (nodes @ List.concat_map g_descendants nodes))
+  | Xast.Descendant_or_self, (Xast.Name _ | Xast.Wildcard) ->
+    G_nodes
+      (List.filter
+         (fun n -> test_matches s.Xast.test n.Dg.dg_label)
+         (dedup (nodes @ List.concat_map g_descendants nodes)))
+  | Xast.Self, Xast.Node_test -> G_nodes nodes
+  | Xast.Self, (Xast.Name _ | Xast.Wildcard) ->
+    G_nodes (List.filter (fun n -> test_matches s.Xast.test n.Dg.dg_label) nodes)
+  | _ -> Unknown
+
+let step_dtd sch ~doc ~elems (s : Xast.step) =
+  (* element types one child step away from the current abstract set *)
+  let child_types =
+    dedup ((if doc then d_roots sch else []) @ List.concat_map (d_children sch) elems)
+  in
+  (* every element type strictly below the current set *)
+  let strict_desc = dedup (child_types @ d_closure sch child_types) in
+  let elems_only es = D_set { doc = false; elems = es } in
+  match (s.Xast.axis, s.Xast.test) with
+  | Xast.Child, (Xast.Name _ | Xast.Wildcard) ->
+    elems_only (List.filter (test_matches s.Xast.test) child_types)
+  | Xast.Attribute, Xast.Name a ->
+    if
+      List.exists
+        (fun e ->
+          List.exists (fun at -> String.equal at.Dtd.att_name a) (Dtd.find_attributes sch.dtd e))
+        elems
+    then Unknown  (* attributes are terminal: known nonempty, untracked *)
+    else elems_only []
+  | Xast.Attribute, Xast.Wildcard ->
+    if List.exists (fun e -> Dtd.find_attributes sch.dtd e <> []) elems then Unknown
+    else elems_only []
+  | Xast.Descendant, (Xast.Name _ | Xast.Wildcard) ->
+    elems_only (List.filter (test_matches s.Xast.test) strict_desc)
+  | Xast.Descendant_or_self, Xast.Node_test ->
+    D_set { doc; elems = dedup (elems @ strict_desc) }
+  | Xast.Descendant_or_self, (Xast.Name _ | Xast.Wildcard) ->
+    elems_only (List.filter (test_matches s.Xast.test) (dedup (elems @ strict_desc)))
+  | Xast.Self, Xast.Node_test -> D_set { doc; elems }
+  | Xast.Self, (Xast.Name _ | Xast.Wildcard) ->
+    elems_only (List.filter (test_matches s.Xast.test) elems)
+  | _ -> Unknown
+
+let apply_step oracle state (s : Xast.step) =
+  match (oracle, state) with
+  | _, Unknown -> Unknown
+  | Guide _, G_nodes nodes -> step_guide nodes s
+  | Schema sch, D_set { doc; elems } -> step_dtd sch ~doc ~elems s
+  | Guide _, D_set _ | Schema _, G_nodes _ -> Unknown
+
+let state_is_empty = function
+  | G_nodes [] | D_set { doc = false; elems = [] } -> true
+  | G_nodes _ | D_set _ | Unknown -> false
+
+let empty_like = function G_nodes _ -> G_nodes [] | _ -> D_set { doc = false; elems = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Predicates: relative paths the predicate needs nonempty to ever hold *)
+
+let required_paths (e : Xast.expr) =
+  let rec go e =
+    match e with
+    | Xast.Path p when not p.Xast.absolute -> [ p ]
+    | Xast.Binary (Xast.And, a, b) -> go a @ go b
+    | Xast.Binary ((Xast.Eq | Xast.Neq | Xast.Lt | Xast.Le | Xast.Gt | Xast.Ge), a, b) ->
+      (* a comparison against an empty node-set is false *)
+      let side = function Xast.Path p when not p.Xast.absolute -> [ p ] | _ -> [] in
+      side a @ side b
+    | _ -> []
+  in
+  go e
+
+let rec run_path oracle state steps =
+  match steps with
+  | [] -> state
+  | s :: rest ->
+    let state' = apply_step oracle state s in
+    if state_is_empty state' then state'
+    else
+      let pred_kills =
+        List.exists
+          (fun pred ->
+            List.exists
+              (fun p -> state_is_empty (run_path oracle state' p.Xast.steps))
+              (required_paths pred))
+          s.Xast.predicates
+      in
+      run_path oracle (if pred_kills then empty_like state' else state') rest
+
+let start_state = function
+  | Guide g -> G_nodes [ g.Dg.dg_root ]
+  | Schema _ -> D_set { doc = true; elems = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let oracle_name = function Guide _ -> "dataguide" | Schema _ -> "DTD"
+
+let lint_path oracle (p : Xast.path) =
+  (* Relative paths are checked from the root context too: Store queries
+     always evaluate there. *)
+  let rec go state prefix steps =
+    match steps with
+    | [] -> []
+    | s :: rest -> (
+      let shown = prefix ^ (if String.equal prefix "" then "" else "/") ^ Xast.step_to_string s in
+      let state' = apply_step oracle state s in
+      if state_is_empty state' then
+        [
+          diag ~code:"XP001" Warning
+            (Printf.sprintf "step %s matches nothing in the %s: the result is statically empty"
+               shown (oracle_name oracle));
+        ]
+      else
+        let killed =
+          List.filter
+            (fun pred ->
+              List.exists
+                (fun rp -> state_is_empty (run_path oracle state' rp.Xast.steps))
+                (required_paths pred))
+            s.Xast.predicates
+        in
+        match killed with
+        | pred :: _ ->
+          [
+            diag ~code:"XP002" Warning
+              (Printf.sprintf
+                 "predicate [%s] at %s tests a child/attribute that never occurs in the %s"
+                 (Xast.expr_to_string pred) shown (oracle_name oracle));
+          ]
+        | [] -> go state' shown rest)
+  in
+  go (start_state oracle) "" p.Xast.steps
+
+(* Every location path inside an expression, for whole-expression lint. *)
+let rec paths_of_expr (e : Xast.expr) =
+  match e with
+  | Xast.Path p -> [ p ]
+  | Xast.Binary (_, a, b) -> paths_of_expr a @ paths_of_expr b
+  | Xast.Negate a | Xast.Filtered (a, _) -> paths_of_expr a
+  | Xast.Fun_call (_, args) -> List.concat_map paths_of_expr args
+  | Xast.Literal _ | Xast.Number _ | Xast.Var_path _ -> []
+
+let lint_expr oracle (e : Xast.expr) =
+  match e with
+  | Xast.Path p -> lint_path oracle p
+  | _ ->
+    (* Inside a general expression, only absolute paths are root-anchored;
+       relative ones depend on a context we do not model. *)
+    List.concat_map
+      (fun p -> if p.Xast.absolute then lint_path oracle p else [])
+      (paths_of_expr e)
+
+let provably_empty oracle (p : Xast.path) =
+  state_is_empty (run_path oracle (start_state oracle) p.Xast.steps)
+
+let provably_empty_expr oracle (e : Xast.expr) =
+  match e with Xast.Path p -> provably_empty oracle p | _ -> false

@@ -1,0 +1,26 @@
+(** XPath-vs-schema lints (codes XP001/XP002) and the provably-empty
+    check backing the Store fast path.
+
+    A path is simulated over a structural summary — a Strong DataGuide
+    (exact for the stored data) or a DTD element graph (exact for valid
+    documents). Constructs outside the tracked subset (reverse axes,
+    [text()] tests, position predicates) degrade to an unknown state that
+    proves nothing, so the analysis never produces a false "empty". *)
+
+type oracle
+
+val of_dataguide : Xmlkit.Dataguide.t -> oracle
+val of_dtd : Xmlkit.Dtd.t -> oracle
+
+val lint_path : oracle -> Xpathkit.Ast.path -> Diag.t list
+val lint_expr : oracle -> Xpathkit.Ast.expr -> Diag.t list
+
+val provably_empty : oracle -> Xpathkit.Ast.path -> bool
+(** Sound: [true] only when no document matching the summary can yield a
+    result. With a DataGuide of the stored documents this licenses
+    answering the query with an empty result without touching the
+    database. *)
+
+val provably_empty_expr : oracle -> Xpathkit.Ast.expr -> bool
+(** [provably_empty] when the expression is a bare location path, else
+    [false]. *)

@@ -43,6 +43,11 @@ type t = {
   mutable next_doc : int;
   mutable slow_threshold_ns : int option;
   mutable slow_entries : slow_entry list;  (* most recent first, bounded *)
+  (* Per-document Strong DataGuides, built at shred time and invalidated by
+     in-place updates. [query] consults them to short-circuit provably-empty
+     paths; the linter uses them as its XPath-vs-schema oracle. *)
+  guides : (doc_id, Xmlkit.Dataguide.t) Hashtbl.t;
+  mutable empty_fastpath : bool;
 }
 
 let schemes () = Xmlshred.Registry.ids () @ [ "inline" ]
@@ -92,6 +97,8 @@ let create ?dtd ?(validate = false) ?(indexes = true) ?metrics_label scheme =
     next_doc = 0;
     slow_threshold_ns = None;
     slow_entries = [];
+    guides = Hashtbl.create 8;
+    empty_fastpath = true;
   }
 
 let scheme t = t.scheme
@@ -132,6 +139,7 @@ let add_dom ?name t (dom : Dom.t) : doc_id =
       Relstore.Value.Int (Dom.count_nodes dom);
       Relstore.Value.Int (Dom.depth dom);
     ];
+  Hashtbl.replace t.guides doc (Xmlkit.Dataguide.of_index ix);
   t.next_doc <- doc + 1;
   doc
 
@@ -191,11 +199,37 @@ type result = {
 
 let take n l = List.filteri (fun i _ -> i < n) l
 
+(* The statically-empty fast path: when the document's cached DataGuide
+   proves the path can match nothing (the guide is exact for reachability),
+   answer with an empty result without planning or executing any SQL. Only
+   cached guides are consulted — the hot path never reconstructs. *)
+let provably_empty_here t doc path =
+  t.empty_fastpath
+  &&
+  match Hashtbl.find_opt t.guides doc with
+  | None -> false
+  | Some g -> Lintkit.Xpath_lint.provably_empty (Lintkit.Xpath_lint.of_dataguide g) path
+
+let empty_result =
+  {
+    values = [];
+    nodes = lazy [];
+    sql = [];
+    joins = 0;
+    fallback = false;
+    analyzed = [];
+  }
+
 let query ?(analyze = false) t doc (xpath : string) : result =
   with_op t ~attrs:[ ("doc", string_of_int doc); ("xpath", xpath) ] "store.query"
   @@ fun () ->
   check_doc t doc;
   let path = Xpathkit.Parser.parse_path xpath in
+  if provably_empty_here t doc path then begin
+    Relstore.Metrics.incr "store.query.fastpath_empty";
+    empty_result
+  end
+  else
   let module M = (val t.mapping : Xmlshred.Mapping.MAPPING) in
   let run () =
     Relstore.Metrics.timed ("store.query." ^ t.scheme) (fun () -> M.query t.db ~doc path)
@@ -256,6 +290,35 @@ let slow_threshold_ms t = Option.map (fun ns -> float_of_int ns /. 1e6) t.slow_t
 let slow_log t = t.slow_entries
 let clear_slow_log t = t.slow_entries <- []
 
+(* ------------------------------------------------------------------ *)
+(* Static analysis *)
+
+let set_empty_fastpath t enabled = t.empty_fastpath <- enabled
+let empty_fastpath t = t.empty_fastpath
+
+let dataguide t doc =
+  check_doc t doc;
+  match Hashtbl.find_opt t.guides doc with
+  | Some g -> g
+  | None ->
+    (* loaded stores and updated documents rebuild from the relations *)
+    let module M = (val t.mapping : Xmlshred.Mapping.MAPPING) in
+    let g = Xmlkit.Dataguide.of_document (M.reconstruct t.db ~doc) in
+    Hashtbl.replace t.guides doc g;
+    g
+
+let lint_query ?(schema_check = true) t doc xpath =
+  with_op t ~attrs:[ ("doc", string_of_int doc); ("xpath", xpath) ] "store.lint"
+  @@ fun () ->
+  check_doc t doc;
+  let oracle =
+    if schema_check then Some (Lintkit.Xpath_lint.of_dataguide (dataguide t doc)) else None
+  in
+  Lintkit.Lint.lint_mapping_query ?oracle ~db:t.db ~doc ~mapping:t.mapping ~xpath ()
+
+let lint_workload ?schema_check t doc xpaths =
+  List.map (fun xpath -> lint_query ?schema_check t doc xpath) xpaths
+
 let query_values t doc xpath = (query t doc xpath).values
 let query_nodes t doc xpath = Lazy.force (query t doc xpath).nodes
 let query_count t doc xpath = List.length (query t doc xpath).values
@@ -289,13 +352,21 @@ let append_child t doc ~parent node =
   with_op t ~attrs:[ ("doc", string_of_int doc) ] "store.append_child" @@ fun () ->
   check_doc t doc;
   let module U = (val updater t : Xmlshred.Updates.UPDATER) in
-  cost_of (U.append_child t.db ~doc ~parent:(Xpathkit.Parser.parse_path parent) node)
+  let cost =
+    cost_of (U.append_child t.db ~doc ~parent:(Xpathkit.Parser.parse_path parent) node)
+  in
+  (* the stored structure changed; a stale guide could wrongly prove paths
+     into the new subtree empty *)
+  Hashtbl.remove t.guides doc;
+  cost
 
 let delete_matching t doc xpath =
   with_op t ~attrs:[ ("doc", string_of_int doc) ] "store.delete_matching" @@ fun () ->
   check_doc t doc;
   let module U = (val updater t : Xmlshred.Updates.UPDATER) in
-  cost_of (U.delete_matching t.db ~doc (Xpathkit.Parser.parse_path xpath))
+  let cost = cost_of (U.delete_matching t.db ~doc (Xpathkit.Parser.parse_path xpath)) in
+  Hashtbl.remove t.guides doc;
+  cost
 
 (* ------------------------------------------------------------------ *)
 (* Statistics *)
@@ -363,4 +434,6 @@ let load ?dtd ?(validate = false) ?metrics_label ~scheme path =
     next_doc;
     slow_threshold_ns = None;
     slow_entries = [];
+    guides = Hashtbl.create 8;
+    empty_fastpath = true;
   }

@@ -74,6 +74,32 @@ val query : ?analyze:bool -> t -> doc_id -> string -> result
     translation executes and fills [analyzed] with per-operator actual
     rows, next-calls, and wall-clock. *)
 
+(** {1 Static analysis}
+
+    Each stored document carries a Strong DataGuide, built at shred time
+    and invalidated by in-place updates. {!query} consults it to
+    short-circuit provably-empty paths to an empty result without
+    executing any SQL (counted by the [store.query.fastpath_empty]
+    metric); the linter uses it as the XPath-vs-schema oracle. *)
+
+val set_empty_fastpath : t -> bool -> unit
+(** Toggle the statically-empty short-circuit (on by default); results
+    are identical either way — the benchmark measures the difference. *)
+
+val empty_fastpath : t -> bool
+
+val dataguide : t -> doc_id -> Xmlkit.Dataguide.t
+(** The document's DataGuide; rebuilt by reconstruction when no cached
+    guide survives (loaded stores, updated documents). *)
+
+val lint_query : ?schema_check:bool -> t -> doc_id -> string -> Lintkit.Lint.report
+(** Run the query through the scheme with the capture sink armed and lint
+    everything that executed: each statement re-parsed into the SQL pass,
+    its physical plan through the plan pass, and (unless
+    [~schema_check:false]) the XPath against the document's DataGuide. *)
+
+val lint_workload : ?schema_check:bool -> t -> doc_id -> string list -> Lintkit.Lint.report list
+
 val query_values : t -> doc_id -> string -> string list
 val query_nodes : t -> doc_id -> string -> Xmlkit.Dom.node list
 val query_count : t -> doc_id -> string -> int

@@ -346,7 +346,7 @@ let as_equi_join conjunct =
     | _ -> None)
   | _ -> None
 
-let order_joins inputs join_preds =
+let order_joins inputs join_preds extra_filters =
   match inputs with
   | [] -> err "nothing to join"
   | _ ->
@@ -356,6 +356,21 @@ let order_joins inputs join_preds =
     let joined = ref [ first.ji_alias ] in
     let plan = ref first.ji_plan in
     let unused_preds = ref join_preds in
+    (* Non-equi conjuncts spanning several tables (theta joins, e.g. the
+       interval scheme's containment ranges) apply as soon as every alias
+       they mention is in the joined prefix — not above the whole join
+       tree, where rows from unrelated tables would be multiplied first. *)
+    let pending = ref extra_filters in
+    let apply_pending () =
+      let ready, rest =
+        List.partition
+          (fun c -> List.for_all (fun a -> List.mem a !joined) (aliases_of c))
+          !pending
+      in
+      pending := rest;
+      match conjoin ready with None -> () | Some f -> plan := Plan.Filter (f, !plan)
+    in
+    apply_pending ();
     while !remaining <> [] do
       (* predicates connecting the joined set to each candidate *)
       let connecting cand =
@@ -386,9 +401,10 @@ let order_joins inputs join_preds =
           Plan.Hash_join { build = pick.ji_plan; probe = !plan; build_keys; probe_keys };
         unused_preds := List.filter (fun p -> not (List.memq p preds)) !unused_preds);
       joined := pick.ji_alias :: !joined;
-      remaining := List.filter (fun c -> c != pick) !remaining
+      remaining := List.filter (fun c -> c != pick) !remaining;
+      apply_pending ()
     done;
-    (!plan, !unused_preds)
+    (!plan, !unused_preds, !pending)
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation rewriting *)
@@ -521,9 +537,9 @@ let plan_select cat (s : select) : Plan.t =
         { ji_alias = b.b_alias; ji_plan = plan; ji_est = estimate cat ~alias:b.b_alias b.b_table mine })
       bindings
   in
-  let joined, unused_join_preds = order_joins inputs join_preds in
+  let joined, unused_join_preds, unplaced = order_joins inputs join_preds leftover in
   let leftover_exprs =
-    leftover @ List.map (fun (_, a, _, b) -> Binop (Eq, a, b)) unused_join_preds
+    unplaced @ List.map (fun (_, a, _, b) -> Binop (Eq, a, b)) unused_join_preds
   in
   let plan = match conjoin leftover_exprs with None -> joined | Some f -> Plan.Filter (f, joined) in
   (* Aggregation. *)

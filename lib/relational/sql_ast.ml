@@ -107,7 +107,7 @@ let rec expr_to_string ?(prec = 0) e =
     | In_list { negated; arg; items } ->
       Printf.sprintf "%s %sIN (%s)" (expr_to_string ~prec:4 arg)
         (if negated then "NOT " else "")
-        (String.concat ", " (List.map expr_to_string items))
+        (String.concat ", " (List.map (fun i -> expr_to_string i) items))
     | Between { arg; low; high } ->
       Printf.sprintf "%s BETWEEN %s AND %s" (expr_to_string ~prec:4 arg)
         (expr_to_string ~prec:4 low) (expr_to_string ~prec:4 high)
@@ -115,7 +115,7 @@ let rec expr_to_string ?(prec = 0) e =
     | Call { func; distinct; args; _ } ->
       Printf.sprintf "%s(%s%s)" func
         (if distinct then "DISTINCT " else "")
-        (String.concat ", " (List.map expr_to_string args))
+        (String.concat ", " (List.map (fun a -> expr_to_string a) args))
   in
   let needs_parens = match e with Binop (op, _, _) -> precedence op < prec | _ -> false in
   if needs_parens then "(" ^ s ^ ")" else s

@@ -181,9 +181,17 @@ let subtree_rows db ~doc label =
     List.map row_of_values r.Relstore.Executor.rows
   in
   fetch (fun b -> Sb.eq (Sb.col "label") (Sb.ptext b label))
-  (* literal pattern, not a param: the planner derives the prefix index
-     range only from a literal LIKE *)
-  @ fetch (fun _ -> Sb.like (Sb.col "label") (Sb.text (label ^ ".%")))
+  (* descendants as an explicit label range with both ends bound as
+     parameters: one cached plan for every label (a literal LIKE pattern
+     would bake the label into the statement text), and the range bounds
+     still drive the label index *)
+  @ fetch (fun b ->
+        let prefix = label ^ "." in
+        let lower = Sb.ge (Sb.col "label") (Sb.ptext b prefix) in
+        match Relstore.Planner.like_prefix_successor prefix with
+        | Some stop ->
+          Relstore.Sql_ast.Binop (Relstore.Sql_ast.And, lower, Sb.lt (Sb.col "label") (Sb.ptext b stop))
+        | None -> lower)
 
 let node_of_label db ~doc label = build_forest (subtree_rows db ~doc label) label
 

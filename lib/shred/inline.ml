@@ -11,10 +11,7 @@
    constructed with [make dtd] rather than registered statically. Documents
    must conform to the DTD (data-centric: no mixed content). *)
 
-module Dom = Xmlkit.Dom
-module Index = Xmlkit.Index
 module Dtd = Xmlkit.Dtd
-module Db = Relstore.Database
 module Value = Relstore.Value
 module Sb = Relstore.Sql_build
 open Mapping

@@ -11,9 +11,6 @@
    Both operations report how many rows they inserted / updated / deleted,
    which experiment F5 uses as the machine-independent cost measure. *)
 
-module Dom = Xmlkit.Dom
-module Index = Xmlkit.Index
-module Db = Relstore.Database
 module Value = Relstore.Value
 module Sb = Relstore.Sql_build
 open Mapping

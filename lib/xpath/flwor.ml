@@ -287,4 +287,4 @@ let eval (doc : Index.t) (q : t) : Dom.node list =
 let run doc src = eval doc (parse src)
 
 let run_to_string doc src =
-  String.concat "" (List.map Xmlkit.Serializer.node_to_string (run doc src))
+  String.concat "" (List.map (fun n -> Xmlkit.Serializer.node_to_string n) (run doc src))

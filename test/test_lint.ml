@@ -1,0 +1,424 @@
+(* lintkit: diagnostics core, the three passes, the Store fast path, and
+   the golden "clean workload" baseline that gates CI. *)
+
+module Diag = Lintkit.Diag
+module Sql_lint = Lintkit.Sql_lint
+module Plan_lint = Lintkit.Plan_lint
+module Xpath_lint = Lintkit.Xpath_lint
+module Lint = Lintkit.Lint
+module Store = Xmlstore.Store
+module Db = Relstore.Database
+module Value = Relstore.Value
+module Schema = Relstore.Schema
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let codes diags = List.map (fun (d : Diag.t) -> d.Diag.code) diags
+let has_code c diags = List.mem c (codes diags)
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics core *)
+
+let test_registry_unique () =
+  let cs = List.map (fun (c, _, _) -> c) Diag.registry in
+  check_int "codes unique" (List.length cs) (List.length (List.sort_uniq compare cs))
+
+let test_json_roundtrip () =
+  let diags =
+    [
+      Diag.make ~code:"SQL002" Diag.Warning "leading wildcard";
+      Diag.make
+        ~location:(Diag.at ~scheme:"edge" ~query:"//keyword" ~statement:"SELECT 1" ())
+        ~code:"XP100" Diag.Info "fallback";
+      Diag.make ~code:"SQL000" Diag.Error "boom";
+    ]
+  in
+  let json = Diag.list_to_json diags in
+  (* through the printer and parser, not just the constructors *)
+  let reparsed =
+    match Obskit.Json.parse (Obskit.Json.to_string json) with
+    | Ok j -> j
+    | Stdlib.Error e -> Alcotest.fail e
+  in
+  match Diag.list_of_json reparsed with
+  | Stdlib.Error e -> Alcotest.fail e
+  | Ok back ->
+    check_int "same count" (List.length diags) (List.length back);
+    List.iter2
+      (fun (a : Diag.t) (b : Diag.t) ->
+        check_string "code" a.Diag.code b.Diag.code;
+        check_string "message" a.Diag.message b.Diag.message;
+        check_bool "severity" true (a.Diag.severity = b.Diag.severity);
+        check_bool "location" true (a.Diag.location = b.Diag.location))
+      diags back
+
+let test_sort_and_severity () =
+  let d c s = Diag.make ~code:c s "m" in
+  let sorted = Diag.sort [ d "XP100" Diag.Info; d "SQL000" Diag.Error; d "SQL002" Diag.Warning ] in
+  check_bool "error first" true ((List.hd sorted).Diag.code = "SQL000");
+  check_bool "max severity" true (Diag.max_severity sorted = Some Diag.Error);
+  check_int "warnings and up" 2 (Diag.count_at_least Diag.Warning sorted)
+
+(* ------------------------------------------------------------------ *)
+(* SQL lints: each planted anti-pattern trips its code *)
+
+let edge_schema =
+  Schema.make "edge"
+    [
+      Schema.column "doc" Value.TInt;
+      Schema.column "source" Value.TInt;
+      Schema.column "target" Value.TInt;
+      Schema.column "name" Value.TText;
+      Schema.column "kind" Value.TText;
+      Schema.column "value" Value.TText;
+      Schema.column "ordinal" Value.TInt;
+    ]
+
+let env = Sql_lint.env_of_schemas [ edge_schema ]
+
+let lint_sql s =
+  Sql_lint.lint_statement env (Relstore.Sql_parser.parse_statement s)
+
+let test_planted_antipatterns () =
+  (* SQL002: leading-wildcard LIKE *)
+  check_bool "SQL002" true
+    (has_code "SQL002" (lint_sql "SELECT value FROM edge WHERE name LIKE '%word'"));
+  (* SQL004: inline data literal instead of ?N *)
+  check_bool "SQL004" true
+    (has_code "SQL004" (lint_sql "SELECT value FROM edge WHERE name = 'keyword'"));
+  (* SQL001: cartesian product *)
+  check_bool "SQL001" true
+    (has_code "SQL001"
+       (lint_sql "SELECT e1.value FROM edge e1, edge e2 WHERE e1.doc = ?1 AND e2.doc = ?1"));
+  (* SQL003: function-wrapped column *)
+  check_bool "SQL003" true
+    (has_code "SQL003" (lint_sql "SELECT value FROM edge WHERE length(name) = ?1"));
+  (* SQL005: contradictory range *)
+  check_bool "SQL005" true
+    (has_code "SQL005" (lint_sql "SELECT value FROM edge WHERE ordinal > 5 AND ordinal < 3"));
+  (* SQL006: tautology *)
+  check_bool "SQL006" true
+    (has_code "SQL006" (lint_sql "SELECT value FROM edge WHERE 1 = 1 AND doc = ?1"));
+  (* SQL007: duplicate projection *)
+  check_bool "SQL007" true (has_code "SQL007" (lint_sql "SELECT name, name FROM edge"));
+  (* SQL008: comparing an INTEGER column against text *)
+  check_bool "SQL008" true
+    (has_code "SQL008" (lint_sql "SELECT value FROM edge WHERE source = 'abc'"));
+  (* SQL000: unparseable text *)
+  check_bool "SQL000" true
+    (has_code "SQL000" (Lint.lint_sql_text env "SELEC whoops"))
+
+let test_clean_shapes_not_flagged () =
+  (* the shapes the schemes legitimately emit must stay silent *)
+  let clean =
+    [
+      (* parameterized point lookup with a join *)
+      "SELECT e2.value FROM edge e1, edge e2 WHERE e1.doc = ?1 AND e2.source = e1.target AND \
+       e2.kind = 'e' AND e1.name = ?2";
+      (* short kind codes are shape constants, not data literals *)
+      "SELECT value FROM edge WHERE kind = 't' AND doc = ?1";
+      (* root anchor *)
+      "SELECT target FROM edge WHERE source = 0 AND doc = ?1";
+      (* trailing-wildcard LIKE stays sargable *)
+      "SELECT value FROM edge WHERE name LIKE ?1";
+      (* satisfiable range *)
+      "SELECT value FROM edge WHERE ordinal >= 1 AND ordinal <= 9";
+    ]
+  in
+  List.iter
+    (fun s -> check_int ("clean: " ^ s) 0 (Diag.count_at_least Diag.Warning (lint_sql s)))
+    clean
+
+(* correlated descendant join: LIKE against a concatenated column pattern
+   (the dewey shape) must not trip SQL002 *)
+let test_correlated_like_not_flagged () =
+  let s =
+    "SELECT e.value FROM dewey p, dewey e WHERE p.doc = ?1 AND e.doc = ?1 AND e.label LIKE \
+     p.label || '.%'"
+  in
+  let env = Sql_lint.empty_env in
+  check_bool "no SQL002" false
+    (has_code "SQL002" (Sql_lint.lint_statement env (Relstore.Sql_parser.parse_statement s)))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: the contradiction fold never flags a satisfiable conjunction.
+   Cross-checked by executing the query against a value-dense table. *)
+
+let test_contradiction_soundness () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE t (x INTEGER)");
+  for v = -10 to 20 do
+    Db.insert_row db "t" [ Value.Int v ]
+  done;
+  let gen_conjunct =
+    QCheck.Gen.(
+      let lit = map (fun i -> Printf.sprintf "%d" i) (int_range (-8) 18) in
+      let op = oneofl [ "="; "<>"; "<"; "<="; ">"; ">=" ] in
+      map2 (fun o l -> Printf.sprintf "x %s %s" o l) op lit)
+  in
+  let gen_where =
+    QCheck.Gen.(map (String.concat " AND ") (list_size (int_range 1 4) gen_conjunct))
+  in
+  let arb = QCheck.make ~print:(fun s -> s) gen_where in
+  let prop where =
+    let sql = "SELECT x FROM t WHERE " ^ where in
+    let stmt = Relstore.Sql_parser.parse_statement sql in
+    let conjuncts =
+      match stmt with
+      | Relstore.Sql_ast.Select_stmt [ { Relstore.Sql_ast.where = Some w; _ } ] ->
+        Sql_lint.split_and w
+      | _ -> []
+    in
+    let flagged = has_code "SQL005" (Sql_lint.lint_conjunction conjuncts) in
+    let rows =
+      match Db.exec db sql with
+      | Db.Rows r -> List.length r.Relstore.Executor.rows
+      | _ -> -1
+    in
+    (* soundness: flagged => provably empty. (Completeness not required.) *)
+    (not flagged) || rows = 0
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"SQL005 soundness" ~count:500 arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Plan lints *)
+
+let plan_db () =
+  let db = Db.create () in
+  ignore
+    (Db.exec db
+       "CREATE TABLE big (id INTEGER NOT NULL, tag TEXT NOT NULL, other INTEGER)");
+  ignore (Db.exec db "CREATE INDEX big_tag ON big (tag)");
+  for i = 0 to 499 do
+    Db.insert_row db "big"
+      [ Value.Int i; Value.Text (Printf.sprintf "t%d" (i mod 50)); Value.Int (i / 7) ]
+  done;
+  db
+
+let test_plan_seq_scan_despite_index () =
+  let db = plan_db () in
+  let cat = Db.catalog db in
+  let module Ast = Relstore.Sql_ast in
+  let filter =
+    Ast.Binop (Ast.Eq, Ast.Col { table = None; column = "tag" }, Ast.Param 1)
+  in
+  let bad = Relstore.Plan.Filter (filter, Relstore.Plan.Seq_scan { table = "big"; alias = "big" }) in
+  check_bool "PLAN001" true (has_code "PLAN001" (Plan_lint.lint_plan cat bad));
+  (* the planner itself picks the index for this query: no PLAN001 *)
+  let good = Db.plan_of db "SELECT id FROM big WHERE tag = ?1" in
+  check_int "planner output clean" 0
+    (Diag.count_at_least Diag.Warning (Plan_lint.lint_plan cat good))
+
+let test_plan_selection_above_join () =
+  let db = plan_db () in
+  let cat = Db.catalog db in
+  let module Ast = Relstore.Sql_ast in
+  let scan a = Relstore.Plan.Seq_scan { table = "big"; alias = a } in
+  let one_sided =
+    Ast.Binop (Ast.Eq, Ast.Col { table = Some "a"; column = "other" }, Ast.Lit (Value.Int 3))
+  in
+  let bad = Relstore.Plan.Filter (one_sided, Relstore.Plan.Nl_join (scan "a", scan "b")) in
+  check_bool "PLAN002" true (has_code "PLAN002" (Plan_lint.lint_plan cat bad))
+
+let test_plan_row_explosion () =
+  let db = plan_db () in
+  let cat = Db.catalog db in
+  let scan a = Relstore.Plan.Seq_scan { table = "big"; alias = a } in
+  let cross = Relstore.Plan.Nl_join (scan "a", scan "b") in
+  (* 500 x 500 = 250k > the default 100k threshold *)
+  check_bool "PLAN003" true (has_code "PLAN003" (Plan_lint.lint_plan cat cross));
+  check_int "est product" (500 * 500) (Plan_lint.estimate cat cross);
+  check_int "below threshold is fine" 0
+    (List.length (Plan_lint.lint_plan ~explosion_threshold:1_000_000 cat cross))
+
+(* ------------------------------------------------------------------ *)
+(* XPath-vs-schema lints *)
+
+let small_doc =
+  Xmlkit.Parser.parse
+    "<site><regions><europe><item id=\"i1\"><name>n</name><keyword>k</keyword></item></europe></regions><people><person \
+     id=\"p0\"><name>Ann</name></person></people></site>"
+
+let guide_oracle () =
+  Xpath_lint.of_dataguide (Xmlkit.Dataguide.of_document small_doc)
+
+let lint_xpath oracle s = Xpath_lint.lint_path oracle (Xpathkit.Parser.parse_path s)
+
+let test_xpath_guide_lints () =
+  let o = guide_oracle () in
+  check_bool "present path clean" true (lint_xpath o "/site/regions/europe/item/name" = []);
+  check_bool "descendant clean" true (lint_xpath o "//keyword" = []);
+  check_bool "attribute clean" true (lint_xpath o "/site/people/person/@id" = []);
+  check_bool "XP001 missing tag" true (has_code "XP001" (lint_xpath o "/site/warehouse/item"));
+  check_bool "XP001 missing attribute" true (has_code "XP001" (lint_xpath o "//item/@missing"));
+  check_bool "XP001 wrong nesting" true (has_code "XP001" (lint_xpath o "/site/item"));
+  check_bool "XP002 impossible predicate" true
+    (has_code "XP002" (lint_xpath o "/site/people/person[zipcode='1']/name"));
+  check_bool "possible predicate clean" true
+    (lint_xpath o "/site/people/person[name='Ann']/name" = []);
+  (* untracked constructs degrade to unknown, never to a false flag *)
+  check_bool "position predicate unknown" true
+    (lint_xpath o "/site/people/person[1]/name" = []);
+  check_bool "parent axis unknown" true (lint_xpath o "//name/../name" = [])
+
+let test_xpath_dtd_lints () =
+  let dtd =
+    Xmlkit.Dtd.parse
+      "<!ELEMENT site (regions, people)> <!ELEMENT regions (item*)> <!ELEMENT item \
+       (name)> <!ELEMENT people (person*)> <!ELEMENT person (name)> <!ELEMENT name \
+       (#PCDATA)> <!ATTLIST person id CDATA #REQUIRED>"
+  in
+  let o = Xpath_lint.of_dtd dtd in
+  check_bool "declared chain clean" true (lint_xpath o "/site/regions/item/name" = []);
+  check_bool "descendant clean" true (lint_xpath o "//person/name" = []);
+  check_bool "declared attribute clean" true (lint_xpath o "//person/@id" = []);
+  check_bool "XP001 undeclared element" true (has_code "XP001" (lint_xpath o "/site/auctions"));
+  check_bool "XP001 undeclared attribute" true (has_code "XP001" (lint_xpath o "//item/@id"));
+  check_bool "XP001 wrong nesting" true (has_code "XP001" (lint_xpath o "/site/person"))
+
+let test_provably_empty () =
+  let o = guide_oracle () in
+  let pe s = Xpath_lint.provably_empty o (Xpathkit.Parser.parse_path s) in
+  check_bool "present not empty" false (pe "/site/regions/europe/item");
+  check_bool "absent empty" true (pe "/site/warehouse/item");
+  check_bool "absent descendant empty" true (pe "//auction");
+  check_bool "dead predicate empty" true (pe "/site/people/person[zipcode]");
+  (* unknown constructs must never be declared empty *)
+  check_bool "position predicate not provable" false (pe "/site/people/person[99]");
+  check_bool "text step not provable" false (pe "/site/regions/europe/item/name/text()")
+
+(* ------------------------------------------------------------------ *)
+(* Store fast path *)
+
+let auction_doc =
+  lazy
+    (Xmlwork.Auction.generate ~params:{ Xmlwork.Auction.default with scale = 0.2; seed = 11 } ())
+
+let test_store_fastpath () =
+  let store = Store.create "edge" in
+  let doc = Store.add_document store (Lazy.force auction_doc) in
+  let dead = "/site/warehouse/item/name" in
+  (* fast path on: no SQL executed, empty answer *)
+  let r_on = Store.query store doc dead in
+  check_int "empty values" 0 (List.length r_on.Store.values);
+  check_int "no sql run" 0 (List.length r_on.Store.sql);
+  let label = Store.metrics_label store in
+  check_bool "metric counted" true
+    (Relstore.Metrics.counter ~label "store.query.fastpath_empty" >= 1);
+  (* fast path off: same answer the long way *)
+  Store.set_empty_fastpath store false;
+  let r_off = Store.query store doc dead in
+  check_int "same empty values" 0 (List.length r_off.Store.values);
+  check_bool "sql actually ran" true (List.length r_off.Store.sql > 0);
+  Store.set_empty_fastpath store true;
+  (* live paths are untouched by the fast path *)
+  let live = Store.query store doc "/site/people/person/name" in
+  check_bool "live path still answers" true (List.length live.Store.values > 0)
+
+let test_store_fastpath_equivalence () =
+  (* on a mix of live and dead paths, fastpath on == off == native *)
+  let dom = Lazy.force auction_doc in
+  let ix = Xmlkit.Index.of_document dom in
+  let store = Store.create "interval" in
+  let doc = Store.add_document store dom in
+  let paths =
+    [
+      "/site/regions/europe/item/name";
+      "/site/no_such_region/item";
+      "//keyword";
+      "//nonexistent_tag";
+      "/site/people/person[@id='person0']/name";
+      "/site/people/person[@nope='x']/name";
+    ]
+  in
+  List.iter
+    (fun p ->
+      let native = Xpathkit.Eval.select_strings ix p in
+      Store.set_empty_fastpath store true;
+      let on = Store.query_values store doc p in
+      Store.set_empty_fastpath store false;
+      let off = Store.query_values store doc p in
+      Alcotest.(check (list string)) ("on=off " ^ p) off on;
+      check_int ("native count " ^ p) (List.length native) (List.length on))
+    paths
+
+let test_store_fastpath_invalidation () =
+  let store = Store.create "dewey" in
+  let doc =
+    Store.add_string store "<site><people><person><name>A</name></person></people></site>"
+  in
+  check_int "absent before" 0 (Store.query_count store doc "//hobby");
+  (* append a subtree introducing the tag; the stale guide must not keep
+     answering empty *)
+  ignore
+    (Store.append_child store doc ~parent:"/site/people/person"
+       (Xmlkit.Dom.element "hobby" [ Xmlkit.Dom.text "chess" ]));
+  check_bool "present after append" true (Store.query_count store doc "//hobby" > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Golden baseline: the whole workload lints clean on every scheme *)
+
+let test_workload_lints_clean () =
+  let dom = Lazy.force auction_doc in
+  List.iter
+    (fun scheme ->
+      let store =
+        if String.equal scheme "inline" then
+          Store.create ~dtd:(Lazy.force Xmlwork.Auction.dtd) scheme
+        else Store.create scheme
+      in
+      let doc = Store.add_document store dom in
+      List.iter
+        (fun (q : Xmlwork.Queries.query) ->
+          let rep = Store.lint_query store doc q.Xmlwork.Queries.xpath in
+          let bad = List.filter (fun (d : Diag.t) -> d.Diag.severity <> Diag.Info) rep.Lint.rep_diags in
+          if bad <> [] then
+            Alcotest.failf "%s %s [%s] not clean:\n%s" q.Xmlwork.Queries.qid
+              q.Xmlwork.Queries.xpath scheme (Diag.render_text bad);
+          (* untranslatable queries carry exactly the XP100 info marker *)
+          if not q.Xmlwork.Queries.translatable then
+            check_bool (q.Xmlwork.Queries.qid ^ " has XP100") true
+              (has_code "XP100" rep.Lint.rep_diags))
+        Xmlwork.Queries.auction_queries)
+    (Store.schemes ())
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "diag",
+        [
+          Alcotest.test_case "registry codes unique" `Quick test_registry_unique;
+          Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "sort and severity" `Quick test_sort_and_severity;
+        ] );
+      ( "sql",
+        [
+          Alcotest.test_case "planted anti-patterns" `Quick test_planted_antipatterns;
+          Alcotest.test_case "clean shapes stay silent" `Quick test_clean_shapes_not_flagged;
+          Alcotest.test_case "correlated LIKE not flagged" `Quick test_correlated_like_not_flagged;
+          Alcotest.test_case "contradiction fold sound" `Quick test_contradiction_soundness;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "seq scan despite index" `Quick test_plan_seq_scan_despite_index;
+          Alcotest.test_case "selection above join" `Quick test_plan_selection_above_join;
+          Alcotest.test_case "row explosion" `Quick test_plan_row_explosion;
+        ] );
+      ( "xpath",
+        [
+          Alcotest.test_case "dataguide oracle" `Quick test_xpath_guide_lints;
+          Alcotest.test_case "dtd oracle" `Quick test_xpath_dtd_lints;
+          Alcotest.test_case "provably empty" `Quick test_provably_empty;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "fast path short-circuits" `Quick test_store_fastpath;
+          Alcotest.test_case "fast path equivalence" `Quick test_store_fastpath_equivalence;
+          Alcotest.test_case "updates invalidate the guide" `Quick test_store_fastpath_invalidation;
+        ] );
+      ( "workload",
+        [ Alcotest.test_case "Q1-Q12 clean on all schemes" `Slow test_workload_lints_clean ] );
+    ]
