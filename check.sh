@@ -1,9 +1,10 @@
 #!/bin/sh
 # Repo health check: build everything (dev profile = warnings as errors),
 # run the test suite, build the bench harness and examples, smoke-run the
-# plan-cache / analyze / trace-overhead / empty-fastpath benchmarks (write
-# BENCH_plancache.json, BENCH_analyze.json, BENCH_trace.json,
-# BENCH_lint.json), round-trip a trace export through the validator for
+# plan-cache / analyze / trace-overhead / empty-fastpath / bulk-load
+# benchmarks (write BENCH_plancache.json, BENCH_analyze.json,
+# BENCH_trace.json, BENCH_lint.json, BENCH_load.json), round-trip a trace
+# export through the validator for
 # three schemes, lint the Prometheus exposition, and gate on the static
 # analyzer: the full Q1-Q12 workload must lint clean under every scheme.
 set -eux
@@ -20,6 +21,8 @@ BENCH_F9_SCALE=0.05 BENCH_F9_REPEAT=5 dune exec bench/main.exe -- F9
 test -s BENCH_trace.json
 BENCH_F10_SCALE=0.05 BENCH_F10_REPEAT=5 dune exec bench/main.exe -- F10
 test -s BENCH_lint.json
+BENCH_F11_SCALE=0.05 BENCH_F11_REPEAT=2 dune exec bench/main.exe -- F11
+test -s BENCH_load.json
 
 # trace export -> validate round trip (parse/shred/plan/execute/reconstruct
 # spans, checked well-nested by the exporter and re-checked from the JSON)
@@ -40,6 +43,11 @@ test -s "$tmpdir/metrics.prom"
 # slow-query log end to end
 dune exec bin/xmlstore_cli.exe -- slowlog -s edge "$tmpdir/doc.xml" \
   "/site/people/person/name" --threshold-ms 0 | grep -q "slow quer"
+
+# bulk-load CLI: session path by default, --no-bulk takes the row path
+dune exec bin/xmlstore_cli.exe -- load -s edge "$tmpdir/doc.xml" | grep -q "mode:          bulk"
+dune exec bin/xmlstore_cli.exe -- load -s dewey --no-bulk "$tmpdir/doc.xml" \
+  | grep -q "mode:          row-at-a-time"
 
 # lint gate: the full Q1-Q12 workload must be clean (no warning-or-worse
 # diagnostic) under every scheme, inline included via the workload DTD;

@@ -39,14 +39,16 @@ type t = {
   dtd : Xmlkit.Dtd.t option;
   validate : bool;
   indexes : bool;
+  mutable bulk : bool;  (* shred through a bulk-load session (deferred index builds) *)
   metrics_label : string;
   mutable next_doc : int;
   mutable slow_threshold_ns : int option;
   mutable slow_entries : slow_entry list;  (* most recent first, bounded *)
-  (* Per-document Strong DataGuides, built at shred time and invalidated by
+  (* Per-document Strong DataGuides, registered lazily at shred time (the
+     load path never pays for a guide nobody consults) and invalidated by
      in-place updates. [query] consults them to short-circuit provably-empty
      paths; the linter uses them as its XPath-vs-schema oracle. *)
-  guides : (doc_id, Xmlkit.Dataguide.t) Hashtbl.t;
+  guides : (doc_id, Xmlkit.Dataguide.t Lazy.t) Hashtbl.t;
   mutable empty_fastpath : bool;
 }
 
@@ -76,7 +78,7 @@ let fresh_label ?metrics_label scheme =
 
 (* [validate] (only meaningful with a DTD) checks documents against the DTD
    before storing them. *)
-let create ?dtd ?(validate = false) ?(indexes = true) ?metrics_label scheme =
+let create ?dtd ?(validate = false) ?(indexes = true) ?(bulk = true) ?metrics_label scheme =
   let mapping = resolve_mapping ~scheme ~dtd in
   let db = Db.create () in
   ignore
@@ -93,6 +95,7 @@ let create ?dtd ?(validate = false) ?(indexes = true) ?metrics_label scheme =
     dtd;
     validate;
     indexes;
+    bulk;
     metrics_label = fresh_label ?metrics_label scheme;
     next_doc = 0;
     slow_threshold_ns = None;
@@ -104,6 +107,8 @@ let create ?dtd ?(validate = false) ?(indexes = true) ?metrics_label scheme =
 let scheme t = t.scheme
 let database t = t.db
 let metrics_label t = t.metrics_label
+let set_bulk_load t enabled = t.bulk <- enabled
+let bulk_load t = t.bulk
 
 (* Every public operation runs under the store's metrics label (so two
    live stores don't interleave series) and a root trace span naming the
@@ -125,21 +130,41 @@ let add_dom ?name t (dom : Dom.t) : doc_id =
   let module M = (val t.mapping : Xmlshred.Mapping.MAPPING) in
   Relstore.Metrics.timed ("store.shred." ^ t.scheme) (fun () ->
       Obskit.Trace.with_span
-        ~attrs:[ ("scheme", t.scheme); ("doc", string_of_int doc) ]
+        ~attrs:
+          [ ("scheme", t.scheme); ("doc", string_of_int doc); ("bulk", string_of_bool t.bulk) ]
         "shred"
-        (fun () -> M.shred t.db ~doc ix));
+        (fun () ->
+          if t.bulk then begin
+            (* emit through a load session: rows go straight into the table
+               arenas, every touched index is built bottom-up at finish
+               (index.build spans), and a failed shred drains cleanly *)
+            let t0 = Obskit.Clock.now_ns () in
+            let session = Db.load_session t.db in
+            (try
+               Obskit.Trace.with_span "shred.bulk" (fun () -> M.shred_bulk session ~doc ix)
+             with e ->
+               Db.abort_session session;
+               raise e);
+            let rows = Db.finish_session session in
+            let dur_ns = Obskit.Clock.now_ns () - t0 in
+            Relstore.Metrics.incr ~by:rows "store.load.rows";
+            Obskit.Trace.add_attr "rows" (string_of_int rows);
+            Obskit.Trace.add_attr "rows_per_sec"
+              (Printf.sprintf "%.0f" (float_of_int rows *. 1e9 /. float_of_int (max 1 dur_ns)))
+          end
+          else M.shred t.db ~doc ix));
   (* schemes with data-dependent tables (binary, universal) may have created
      new tables during the shred; index creation is idempotent *)
   if t.indexes then M.create_indexes t.db;
-  Db.insert_row t.db "documents"
-    [
+  Db.insert_row_array t.db "documents"
+    [|
       Relstore.Value.Int doc;
       (match name with Some n -> Relstore.Value.Text n | None -> Relstore.Value.Null);
       Relstore.Value.Text dom.Dom.root.Dom.tag;
       Relstore.Value.Int (Dom.count_nodes dom);
       Relstore.Value.Int (Dom.depth dom);
-    ];
-  Hashtbl.replace t.guides doc (Xmlkit.Dataguide.of_index ix);
+    |];
+  Hashtbl.replace t.guides doc (lazy (Xmlkit.Dataguide.of_index ix));
   t.next_doc <- doc + 1;
   doc
 
@@ -199,16 +224,19 @@ type result = {
 
 let take n l = List.filteri (fun i _ -> i < n) l
 
-(* The statically-empty fast path: when the document's cached DataGuide
+(* The statically-empty fast path: when the document's registered DataGuide
    proves the path can match nothing (the guide is exact for reachability),
    answer with an empty result without planning or executing any SQL. Only
-   cached guides are consulted — the hot path never reconstructs. *)
+   registered guides are consulted — the hot path never reconstructs; the
+   first consultation forces the guide from the shred-time index and later
+   ones reuse it. *)
 let provably_empty_here t doc path =
   t.empty_fastpath
   &&
   match Hashtbl.find_opt t.guides doc with
   | None -> false
-  | Some g -> Lintkit.Xpath_lint.provably_empty (Lintkit.Xpath_lint.of_dataguide g) path
+  | Some g ->
+    Lintkit.Xpath_lint.provably_empty (Lintkit.Xpath_lint.of_dataguide (Lazy.force g)) path
 
 let empty_result =
   {
@@ -299,12 +327,12 @@ let empty_fastpath t = t.empty_fastpath
 let dataguide t doc =
   check_doc t doc;
   match Hashtbl.find_opt t.guides doc with
-  | Some g -> g
+  | Some g -> Lazy.force g
   | None ->
     (* loaded stores and updated documents rebuild from the relations *)
     let module M = (val t.mapping : Xmlshred.Mapping.MAPPING) in
     let g = Xmlkit.Dataguide.of_document (M.reconstruct t.db ~doc) in
-    Hashtbl.replace t.guides doc g;
+    Hashtbl.replace t.guides doc (Lazy.from_val g);
     g
 
 let lint_query ?(schema_check = true) t doc xpath =
@@ -430,6 +458,7 @@ let load ?dtd ?(validate = false) ?metrics_label ~scheme path =
     dtd;
     validate;
     indexes = true;
+    bulk = true;
     metrics_label = fresh_label ?metrics_label scheme;
     next_doc;
     slow_threshold_ns = None;

@@ -243,6 +243,126 @@ let iter_prefix t prefix f =
   in
   walk start_leaf
 
+(* ------------------------------------------------------------------ *)
+(* Bottom-up bulk build: pack the distinct keys into leaves level by
+   level — parents over the subtree minima — until one root remains.
+   Observationally equal to repeated [insert] — same postings order (most
+   recent first per key, reversed again on read) and same ascending
+   iteration — though leaves pack fuller, so the shape and [height] may
+   differ from an incrementally grown tree. [bulk_of_groups] takes the
+   postings pre-grouped (strictly ascending keys, each group most recent
+   first), so callers with low-cardinality keys can hash-group in O(rows)
+   and sort only the distinct keys; [bulk_of_sorted] takes flat (key,
+   rowid) pairs sorted by key with duplicates adjacent in insertion
+   order. *)
+
+let bulk_of_arrays ?(check = true) (dkeys : key array) (dposts : int list array) =
+  let d = Array.length dkeys in
+  if d <> Array.length dposts then invalid_arg "Btree.bulk_of_arrays: length mismatch";
+  if d = 0 then create ()
+  else begin
+    if check then
+      for i = 0 to d - 1 do
+        if i > 0 && compare_key dkeys.(i - 1) dkeys.(i) >= 0 then
+          invalid_arg "Btree.bulk_of_arrays: keys not strictly ascending";
+        if dposts.(i) = [] then invalid_arg "Btree.bulk_of_arrays: empty postings"
+      done;
+    let n = ref 0 in
+    Array.iter (fun posts -> n := !n + List.length posts) dposts;
+    let n = !n in
+    (* spread the d distinct keys evenly over ceil(d/order) leaves, so no
+       leaf ends up pathologically small *)
+    let nleaves = (d + order - 1) / order in
+    let base = d / nleaves and extra = d mod nleaves in
+    let leaves =
+      Array.init nleaves (fun li ->
+          let off = (li * base) + min li extra in
+          let len = base + if li < extra then 1 else 0 in
+          { keys = Array.sub dkeys off len; postings = Array.sub dposts off len; next = None })
+    in
+    for li = 0 to nleaves - 2 do
+      leaves.(li).next <- Some leaves.(li + 1)
+    done;
+    (* each level entry is (smallest key in subtree, subtree root) *)
+    let rec up (nodes : (key * node) array) =
+      let m = Array.length nodes in
+      if m = 1 then snd nodes.(0)
+      else begin
+        let groups = (m + order - 1) / order in
+        let gbase = m / groups and gextra = m mod groups in
+        up
+          (Array.init groups (fun gi ->
+               let off = (gi * gbase) + min gi gextra in
+               let len = gbase + if gi < gextra then 1 else 0 in
+               let children = Array.init len (fun i -> snd nodes.(off + i)) in
+               let seps = Array.init (len - 1) (fun i -> fst nodes.(off + i + 1)) in
+               (fst nodes.(off), Internal { seps; children })))
+      end
+    in
+    let root = up (Array.map (fun leaf -> (leaf.keys.(0), Leaf leaf)) leaves) in
+    { root; entries = n; distinct = d }
+  end
+
+let bulk_of_groups (groups : (key * int list) array) =
+  bulk_of_arrays (Array.map fst groups) (Array.map snd groups)
+
+let bulk_of_sorted (pairs : (key * int) array) =
+  let n = Array.length pairs in
+  if n = 0 then create ()
+  else begin
+    let distinct = ref 1 in
+    for i = 1 to n - 1 do
+      let c = compare_key (fst pairs.(i - 1)) (fst pairs.(i)) in
+      if c > 0 then invalid_arg "Btree.bulk_of_sorted: keys not sorted";
+      if c <> 0 then incr distinct
+    done;
+    let groups = Array.make !distinct ([||], []) in
+    let j = ref (-1) in
+    Array.iter
+      (fun (k, rowid) ->
+        if !j >= 0 && compare_key (fst groups.(!j)) k = 0 then begin
+          let gk, posts = groups.(!j) in
+          groups.(!j) <- (gk, rowid :: posts)
+        end
+        else begin
+          incr j;
+          groups.(!j) <- (k, [ rowid ])
+        end)
+      pairs;
+    bulk_of_groups groups
+  end
+
+(* Rebuild with extra sorted pairs folded in. The appended pairs must be
+   new (bulk appends only ever add fresh, larger row ids); on equal keys
+   they land after the existing postings, preserving insertion order. *)
+let bulk_merge t (pairs : (key * int) array) =
+  let n_new = Array.length pairs in
+  if n_new = 0 then t
+  else begin
+    let n_old = t.entries in
+    let old = Array.make n_old ([||], 0) in
+    let i = ref 0 in
+    iter t (fun k rowid ->
+        old.(!i) <- (k, rowid);
+        incr i);
+    let merged = Array.make (n_old + n_new) ([||], 0) in
+    let a = ref 0 and b = ref 0 in
+    for m = 0 to n_old + n_new - 1 do
+      let take_old =
+        !b >= n_new || (!a < n_old && compare_key (fst old.(!a)) (fst pairs.(!b)) <= 0)
+      in
+      if take_old then begin
+        merged.(m) <- old.(!a);
+        incr a
+      end
+      else begin
+        merged.(m) <- pairs.(!b);
+        incr b
+      end
+    done;
+    bulk_of_sorted merged
+  end
+
 let rec node_height = function
   | Leaf _ -> 1
   | Internal n -> 1 + node_height n.children.(0)

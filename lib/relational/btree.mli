@@ -11,6 +11,36 @@ type t
 
 val create : unit -> t
 val insert : t -> key -> int -> unit
+
+val bulk_of_groups : (key * int list) array -> t
+(** Bottom-up build from pre-grouped postings: keys strictly ascending,
+    each posting list most recent first (head = largest row id). Lets
+    callers hash-group row ids in O(rows) and sort only the distinct keys
+    — the win on low-cardinality columns where sorting every (key, rowid)
+    pair would dwarf the per-row insert cost it replaces.
+    @raise Invalid_argument on unsorted keys or an empty posting list. *)
+
+val bulk_of_arrays : ?check:bool -> key array -> int list array -> t
+(** {!bulk_of_groups} on parallel key/postings arrays — the
+    allocation-free shape [Table]'s bulk loader produces. [~check:false]
+    skips the sortedness validation for callers whose construction
+    guarantees it.
+    @raise Invalid_argument on a length mismatch, or (when checking) on
+    unsorted keys or an empty posting list. *)
+
+val bulk_of_sorted : (key * int) array -> t
+(** Bottom-up build from pairs sorted by key, duplicates adjacent with the
+    row ids of equal keys in insertion order. Observationally equal to
+    repeated {!insert} over the same sequence — same postings, same
+    ascending iteration — while packing leaves fuller than incremental
+    splits would. @raise Invalid_argument when the keys are not sorted. *)
+
+val bulk_merge : t -> (key * int) array -> t
+(** A new tree holding this tree's entries plus the given sorted pairs.
+    The pairs must be new entries (bulk appends only ever add fresh,
+    larger row ids): on equal keys they land after the existing postings,
+    preserving insertion order. *)
+
 val remove : t -> key -> int -> unit
 (** Remove one (key, rowid) posting if present. *)
 

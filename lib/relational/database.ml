@@ -9,6 +9,9 @@ type t = {
   tables : (string, Table.t) Hashtbl.t;
   col_stats : Stats.t;
   plan_cache : Plan_cache.t;
+  mutable ddl_gen : int;
+      (* bumped on every CREATE/DROP TABLE; lets bulk-load sessions cache
+         name-to-table resolutions until the catalog actually changes *)
 }
 
 exception Db_error of string
@@ -16,7 +19,12 @@ exception Db_error of string
 let err fmt = Printf.ksprintf (fun s -> raise (Db_error s)) fmt
 
 let create () =
-  { tables = Hashtbl.create 16; col_stats = Stats.create (); plan_cache = Plan_cache.create () }
+  {
+    tables = Hashtbl.create 16;
+    col_stats = Stats.create ();
+    plan_cache = Plan_cache.create ();
+    ddl_gen = 0;
+  }
 
 let key name = String.lowercase_ascii name
 
@@ -36,12 +44,14 @@ let create_table t schema =
   if Hashtbl.mem t.tables k then err "table %s already exists" schema.Schema.table_name;
   let tbl = Table.create schema in
   Hashtbl.add t.tables k tbl;
+  t.ddl_gen <- t.ddl_gen + 1;
   tbl
 
 let drop_table t name =
   let k = key name in
   let existed = Hashtbl.mem t.tables k in
   Hashtbl.remove t.tables k;
+  if existed then t.ddl_gen <- t.ddl_gen + 1;
   existed
 
 let catalog t : Planner.catalog =
@@ -55,9 +65,130 @@ let analyze_to_string t name =
   Printf.sprintf "%s: %d rows\n%s" name (Table.row_count tbl)
     (Stats.to_string (analyze t name) (Table.schema tbl))
 
-(* Direct (non-SQL) fast paths used by the shredders for bulk loading. *)
-let insert_row t name values = ignore (Table.insert (get_table t name) (Array.of_list values))
+(* Direct (non-SQL) fast path used by the shredders: no per-row list
+   allocation — callers build the row array in place. *)
 let insert_row_array t name values = ignore (Table.insert (get_table t name) values)
+
+(* ------------------------------------------------------------------ *)
+(* Bulk-load sessions: batched appends with deferred index maintenance.
+
+   [insert_rows] / [session_insert] append straight into the table arena;
+   no B+-tree is touched until [finish_session], which builds each index
+   bottom-up from one sort of the appended (key, rowid) pairs
+   (Btree.bulk_of_sorted, merged when the tree already had entries).
+   Mid-session reads see appended rows through sequential scans but not
+   through index probes — the shredders only query unindexed registry
+   tables while loading. DDL composes with the session: CREATE/DROP
+   during it clears the plan cache as always, and CREATE INDEX on a
+   bulk-active table builds over the already-indexed range only
+   (Table.end_bulk folds the rest in). After the session, the ordinary
+   row-count drift rules govern plan-cache and stats invalidation.
+   [abort_session] drains every touched table back to its pre-session
+   length — the appended ranges were never indexed, so the tables are
+   restored exactly. *)
+
+type session = {
+  s_db : t;
+  mutable s_tables : (string * Table.t) list;  (* most recently touched first *)
+  mutable s_memo : (string * Table.t) list;
+      (* keyed on the physical name argument: shredders emit the same
+         string literal for every row of a table, so a few pointer
+         compares replace the per-row lowercase + catalog lookup even
+         when emits alternate between tables (the binary scheme). Flushed
+         whenever [ddl_gen] moves, so a drop/recreate mid-session can
+         never serve a detached table. *)
+  mutable s_gen : int;
+  mutable s_open : bool;
+}
+
+let load_session t =
+  { s_db = t; s_tables = []; s_memo = []; s_gen = t.ddl_gen; s_open = true }
+let session_db s = s.s_db
+
+let session_table_slow s name =
+  let k = key name in
+  let fresh () =
+    let tbl = get_table s.s_db name in
+    Table.begin_bulk tbl;
+    s.s_tables <- (k, tbl) :: s.s_tables;
+    tbl
+  in
+  match List.assoc_opt k s.s_tables with
+  | None -> fresh ()
+  | Some tbl -> (
+    (* the table may have been dropped and recreated mid-session (the
+       universal scheme rebuilds univ to widen it); never write into a
+       detached table *)
+    match find_table s.s_db name with
+    | Some current when current == tbl -> tbl
+    | _ ->
+      s.s_tables <- List.filter (fun (_, t') -> t' != tbl) s.s_tables;
+      fresh ())
+
+let session_table s name =
+  if not s.s_open then err "bulk-load session is already closed";
+  if s.s_gen <> s.s_db.ddl_gen then begin
+    (* any DDL since the last resolution: drop the memo and let the slow
+       path revalidate each name against the live catalog *)
+    s.s_memo <- [];
+    s.s_gen <- s.s_db.ddl_gen
+  end;
+  let rec scan = function
+    | (n, tbl) :: rest -> if n == name then tbl else scan rest
+    | [] ->
+      let tbl = session_table_slow s name in
+      s.s_memo <- (name, tbl) :: s.s_memo;
+      tbl
+  in
+  scan s.s_memo
+
+let session_insert s name row = ignore (Table.insert (session_table s name) row)
+let insert_rows s name rows = List.iter (fun row -> session_insert s name row) rows
+
+let finish_session s =
+  if not s.s_open then 0
+  else begin
+    s.s_open <- false;
+    let total = ref 0 in
+    List.iter
+      (fun (name, tbl) ->
+        let attached =
+          match find_table s.s_db name with Some cur -> cur == tbl | None -> false
+        in
+        if attached then
+          let added =
+            Obskit.Trace.with_span ~attrs:[ ("table", name) ] "index.build" (fun () ->
+                let n = Metrics.timed "db.bulk.index_build" (fun () -> Table.end_bulk tbl) in
+                Obskit.Trace.add_attr "rows" (string_of_int n);
+                n)
+          in
+          total := !total + added
+        else
+          (* dropped mid-session: drain quietly so any lingering reference
+             sees a consistent (empty-range) table *)
+          ignore (Table.abort_bulk tbl))
+      (List.rev s.s_tables);
+    Metrics.incr ~by:!total "db.bulk.rows";
+    !total
+  end
+
+let abort_session s =
+  if s.s_open then begin
+    s.s_open <- false;
+    let total = ref 0 in
+    List.iter (fun (_, tbl) -> total := !total + Table.abort_bulk tbl) s.s_tables;
+    Metrics.incr ~by:!total "db.bulk.aborted_rows"
+  end
+
+let with_session t f =
+  let s = load_session t in
+  match f s with
+  | v ->
+    ignore (finish_session s);
+    v
+  | exception e ->
+    abort_session s;
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* SQL execution *)

@@ -25,10 +25,46 @@ val analyze : t -> string -> Stats.table_stats
 
 val analyze_to_string : t -> string -> string
 
-(** {1 Direct row access (bulk-load fast path for the shredders)} *)
+(** {1 Direct row access (load fast path for the shredders)} *)
 
-val insert_row : t -> string -> Value.t list -> unit
 val insert_row_array : t -> string -> Value.t array -> unit
+
+(** {1 Bulk-load sessions}
+
+    A session appends rows straight into the table arenas with all index
+    maintenance deferred: {!finish_session} builds each touched B+-tree
+    bottom-up from one sort of the appended (key, rowid) pairs,
+    observationally identical to row-at-a-time inserts but much faster.
+    Mid-session reads see appended rows through sequential scans but not
+    through index probes. DDL composes (it clears the plan cache as
+    always; CREATE INDEX on a touched table covers only the
+    already-indexed range, the rest is folded in at finish), and
+    {!abort_session} drains every touched table back to its pre-session
+    length. DELETE/UPDATE on a touched table are rejected until the
+    session closes. *)
+
+type session
+
+val load_session : t -> session
+val session_db : session -> t
+
+val insert_rows : session -> string -> Value.t array list -> unit
+(** Append a batch of rows to a table, index maintenance deferred. *)
+
+val session_insert : session -> string -> Value.t array -> unit
+(** Single-row {!insert_rows}. *)
+
+val finish_session : session -> int
+(** Build all deferred index entries (one [index.build] trace span per
+    table); returns how many rows the session appended. Idempotent. *)
+
+val abort_session : session -> unit
+(** Drop every row the session appended, restoring the touched tables
+    exactly (the rows were never indexed). Idempotent; a finished
+    session cannot be aborted. *)
+
+val with_session : t -> (session -> 'a) -> 'a
+(** Run [f] with a fresh session; finish on return, abort on raise. *)
 
 (** {1 SQL execution} *)
 

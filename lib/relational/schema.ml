@@ -37,18 +37,37 @@ let column_index t name =
   | Some i -> i
   | None -> err "table %s has no column %s" t.table_name name
 
-(* Validate and coerce a row against the schema. *)
+(* Validate and coerce a row against the schema. Rows arriving from the
+   shredders and the executor are almost always already well-typed, so a
+   tight no-allocation scan decides first; only mistyped rows pay the
+   per-cell [Value.coerce] dispatch. *)
 let coerce_row t row =
-  if Array.length row <> arity t then
-    err "table %s expects %d values, got %d" t.table_name (arity t) (Array.length row);
-  Array.mapi
-    (fun i v ->
-      let c = t.columns.(i) in
-      let v = Value.coerce c.col_ty v in
-      if Value.is_null v && not c.nullable then
-        err "column %s.%s is NOT NULL" t.table_name c.col_name;
-      v)
-    row
+  let n = Array.length row in
+  if n <> arity t then err "table %s expects %d values, got %d" t.table_name (arity t) n;
+  let rec well_typed i =
+    i >= n
+    ||
+    let c = Array.unsafe_get t.columns i in
+    (match (c.col_ty, Array.unsafe_get row i) with
+    | _, Value.Null -> c.nullable
+    | Value.TInt, Value.Int _
+    | Value.TFloat, Value.Float _
+    | Value.TBool, Value.Bool _
+    | Value.TText, Value.Text _ ->
+      true
+    | _ -> false)
+    && well_typed (i + 1)
+  in
+  if well_typed 0 then Array.copy row
+  else
+    Array.mapi
+      (fun i v ->
+        let c = t.columns.(i) in
+        let v = Value.coerce c.col_ty v in
+        if Value.is_null v && not c.nullable then
+          err "column %s.%s is NOT NULL" t.table_name c.col_name;
+        v)
+      row
 
 let to_string t =
   Printf.sprintf "%s(%s)" t.table_name

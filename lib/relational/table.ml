@@ -15,7 +15,12 @@ type t = {
   mutable live : int;
   mutable indexes : index list;
   mutable bytes : int;  (* approximate payload bytes, for storage-cost reporting *)
+  mutable bulk_base : int option;
+      (* first row id of an active bulk load; index maintenance for rows
+         from here on is deferred to [end_bulk] *)
 }
+
+exception Index_error of string
 
 let create schema =
   {
@@ -25,6 +30,7 @@ let create schema =
     live = 0;
     indexes = [];
     bytes = 0;
+    bulk_base = None;
   }
 
 let schema t = t.schema
@@ -61,10 +67,14 @@ let insert t row =
   end;
   t.live <- t.live + 1;
   t.bytes <- t.bytes + row_bytes row;
-  List.iter (fun ix -> Btree.insert ix.tree (key_of_row ix row) rowid) t.indexes;
+  (match t.bulk_base with
+  | Some _ -> ()  (* deferred: [end_bulk] indexes the whole appended range *)
+  | None -> List.iter (fun ix -> Btree.insert ix.tree (key_of_row ix row) rowid) t.indexes);
   rowid
 
 let delete t rowid =
+  if t.bulk_base <> None then
+    raise (Index_error (name t ^ ": DELETE during an active bulk load"));
   match get t rowid with
   | None -> false
   | Some row ->
@@ -75,6 +85,8 @@ let delete t rowid =
     true
 
 let update t rowid new_row =
+  if t.bulk_base <> None then
+    raise (Index_error (name t ^ ": UPDATE during an active bulk load"));
   match get t rowid with
   | None -> false
   | Some old_row ->
@@ -101,14 +113,276 @@ let fold f init t =
 
 let to_list t = List.rev (fold (fun acc _ row -> row :: acc) [] t)
 
-exception Index_error of string
+(* ------------------------------------------------------------------ *)
+(* Bulk loading: [begin_bulk] opens an append range at the current arena
+   end; inserts in the range skip index maintenance; [end_bulk] closes it
+   with one sort of the range's (key, rowid) pairs per index and a
+   bottom-up build (merged with the tree's existing entries when it had
+   any). [abort_bulk] drains the range instead: the appended rows were
+   never indexed, so truncating the arena restores the table exactly.
+   DELETE and UPDATE are rejected while a range is open — they would have
+   to distinguish indexed from unindexed rows. *)
+
+(* Group row ids by index key — [iter_rows] must yield ascending row ids —
+   and return (key, postings) groups with strictly ascending keys and each
+   posting list most recent first, as [Btree.bulk_of_groups] expects.
+   Hashing costs O(rows); only the distinct keys pay the comparison sort,
+   which is the whole game on low-cardinality columns (tag names), where
+   sorting every (key, rowid) pair costs more than the per-row inserts the
+   bulk path is replacing. *)
+let sorted_key_groups iter_rows =
+  let tbl : (Value.t array, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  iter_rows (fun key rowid ->
+      (* prepending ascending row ids leaves each group most recent first *)
+      match Hashtbl.find_opt tbl key with
+      | Some cell -> cell := rowid :: !cell
+      | None -> Hashtbl.add tbl key (ref [ rowid ]));
+  let groups =
+    Array.of_seq (Seq.map (fun (k, cell) -> (k, !cell)) (Hashtbl.to_seq tbl))
+  in
+  Array.sort (fun (a, _) (b, _) -> Btree.compare_key a b) groups;
+  (* keys the hash told apart but the comparator equates (Int vs Float of
+     the same value, NaN) must collapse into one group, postings
+     interleaved back into descending-rowid order *)
+  let rec merge_desc a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: xs, y :: ys -> if x >= y then x :: merge_desc xs b else y :: merge_desc a ys
+  in
+  let out = ref [] in
+  let d = ref 0 in
+  Array.iter
+    (fun (k, posts) ->
+      match !out with
+      | (k', posts') :: rest when Btree.compare_key k' k = 0 ->
+        out := (k', merge_desc posts' posts) :: rest
+      | _ ->
+        out := (k, posts) :: !out;
+        incr d)
+    groups;
+  let keys = Array.make !d [||] and posts = Array.make !d [] in
+  List.iteri
+    (fun i (k, p) ->
+      keys.(!d - 1 - i) <- k;
+      posts.(!d - 1 - i) <- p)
+    !out;
+  (keys, posts)
+
+(* Fast paths for a single-column text key (tag names, Dewey labels).
+   When the column arrives already in key order — Dewey labels are an
+   order-preserving encoding of document order, which is exactly the
+   order the shredders append rows in — adjacent-run grouping needs no
+   hashing and no sort at all. Otherwise hash-group on the raw strings: a
+   string-keyed table hashes and compares cheaper than one keyed on Value
+   arrays, and the distinct keys sort under a monomorphic
+   [String.compare] — which orders text singletons exactly as
+   [Btree.compare_key] does. [None] when the key shape does not fit. *)
+let text_key_groups t ix ~base ~added =
+  if Array.length ix.key_columns <> 1 then None
+  else begin
+    let ci = ix.key_columns.(0) in
+    let strs = Array.make added "" in
+    let all_text = ref true in
+    (try
+       for i = 0 to added - 1 do
+         match (Vec.get t.rows (base + i)).(ci) with
+         | Value.Text s -> strs.(i) <- s
+         | _ ->
+           all_text := false;
+           raise Exit
+       done
+     with Exit -> ());
+    if not !all_text then None
+    else begin
+      let sorted = ref true in
+      (try
+         for i = 1 to added - 1 do
+           if String.compare strs.(i - 1) strs.(i) > 0 then begin
+             sorted := false;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !sorted then begin
+        let d = ref 1 in
+        for i = 1 to added - 1 do
+          if not (String.equal strs.(i - 1) strs.(i)) then incr d
+        done;
+        let keys = Array.make !d [||] and posts = Array.make !d [] in
+        let gi = ref (-1) in
+        for i = 0 to added - 1 do
+          if i = 0 || not (String.equal strs.(i - 1) strs.(i)) then begin
+            incr gi;
+            keys.(!gi) <- [| Value.Text strs.(i) |]
+          end;
+          (* prepending ascending row ids leaves each group most recent
+             first *)
+          posts.(!gi) <- (base + i) :: posts.(!gi)
+        done;
+        Some (keys, posts)
+      end
+      else begin
+        let tbl : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+        for i = 0 to added - 1 do
+          let s = strs.(i) in
+          match Hashtbl.find_opt tbl s with
+          | Some cell -> cell := (base + i) :: !cell
+          | None -> Hashtbl.add tbl s (ref [ base + i ])
+        done;
+        let groups =
+          Array.of_seq (Seq.map (fun (s, cell) -> (s, !cell)) (Hashtbl.to_seq tbl))
+        in
+        Array.sort (fun (a, _) (b, _) -> String.compare a b) groups;
+        let keys = Array.map (fun (s, _) -> [| Value.Text s |]) groups in
+        let posts = Array.map snd groups in
+        Some (keys, posts)
+      end
+    end
+  end
+
+(* Counting-sort fast path for a single-column integer key whose value
+   range is comparable to the row count — node-id columns (edge source and
+   target, interval pre and parent) in practice. Groups the appended range
+   in O(rows + range) with no key comparisons at all; [None] when the key
+   shape or the value range does not fit. *)
+let int_key_groups t ix ~base ~added =
+  if Array.length ix.key_columns <> 1 then None
+  else begin
+    let ci = ix.key_columns.(0) in
+    let vals = Array.make added 0 in
+    let all_int = ref true in
+    (try
+       for i = 0 to added - 1 do
+         match (Vec.get t.rows (base + i)).(ci) with
+         | Value.Int v -> vals.(i) <- v
+         | _ ->
+           all_int := false;
+           raise Exit
+       done
+     with Exit -> ());
+    if not !all_int then None
+    else begin
+      let vmin = ref max_int and vmax = ref min_int in
+      Array.iter
+        (fun v ->
+          if v < !vmin then vmin := v;
+          if v > !vmax then vmax := v)
+        vals;
+      let vmin = !vmin in
+      let range = !vmax - vmin + 1 in
+      if range <= 0 (* overflow *) || range > max 65536 (4 * added) then None
+      else begin
+        let counts = Array.make range 0 in
+        Array.iter (fun v -> counts.(v - vmin) <- counts.(v - vmin) + 1) vals;
+        let gidx = Array.make range (-1) in
+        let distinct = ref 0 in
+        for v = 0 to range - 1 do
+          if counts.(v) > 0 then begin
+            gidx.(v) <- !distinct;
+            incr distinct
+          end
+        done;
+        let keys = Array.make !distinct [||] in
+        let posts = Array.make !distinct [] in
+        for v = range - 1 downto 0 do
+          if counts.(v) > 0 then keys.(gidx.(v)) <- [| Value.Int (v + vmin) |]
+        done;
+        (* prepending in ascending rowid order leaves each posting list
+           most recent first *)
+        for i = 0 to added - 1 do
+          let gi = gidx.(vals.(i) - vmin) in
+          posts.(gi) <- (base + i) :: posts.(gi)
+        done;
+        Some (keys, posts)
+      end
+    end
+  end
+
+
+(* Expand sorted groups back into the flat ascending (key, rowid) pairs
+   [Btree.bulk_merge] takes: reversing each most-recent-first group gives
+   insertion order within the key. *)
+let pairs_of_groups keys posts =
+  let n = Array.fold_left (fun acc p -> acc + List.length p) 0 posts in
+  let pairs = Array.make n ([||], 0) in
+  let i = ref 0 in
+  Array.iteri
+    (fun gi k ->
+      List.iter
+        (fun rowid ->
+          pairs.(!i) <- (k, rowid);
+          incr i)
+        (List.rev posts.(gi)))
+    keys;
+  pairs
+
+let begin_bulk t =
+  match t.bulk_base with
+  | Some _ -> raise (Index_error (name t ^ ": bulk load already active"))
+  | None -> t.bulk_base <- Some (Vec.length t.rows)
+
+let bulk_active t = t.bulk_base <> None
+
+let end_bulk t =
+  match t.bulk_base with
+  | None -> 0
+  | Some base ->
+    let added = Vec.length t.rows - base in
+    if added > 0 then
+      t.indexes <-
+        List.map
+          (fun ix ->
+            let keys, posts =
+              match int_key_groups t ix ~base ~added with
+              | Some groups -> groups
+              | None -> (
+                match text_key_groups t ix ~base ~added with
+                | Some groups -> groups
+                | None ->
+                  sorted_key_groups (fun f ->
+                      for rowid = base to base + added - 1 do
+                        f (key_of_row ix (Vec.get t.rows rowid)) rowid
+                      done))
+            in
+            let tree =
+              if Btree.entry_count ix.tree = 0 then Btree.bulk_of_arrays ~check:false keys posts
+              else Btree.bulk_merge ix.tree (pairs_of_groups keys posts)
+            in
+            { ix with tree })
+          t.indexes;
+    t.bulk_base <- None;
+    added
+
+let abort_bulk t =
+  match t.bulk_base with
+  | None -> 0
+  | Some base ->
+    let hi = Vec.length t.rows in
+    for rowid = base to hi - 1 do
+      t.bytes <- t.bytes - row_bytes (Vec.get t.rows rowid)
+    done;
+    t.live <- t.live - (hi - base);
+    Vec.truncate t.rows base;
+    t.bulk_base <- None;
+    hi - base
 
 let create_index t ~index_name ~columns =
   if List.exists (fun ix -> String.equal ix.index_name index_name) t.indexes then
     raise (Index_error (Printf.sprintf "index %s already exists" index_name));
   let key_columns = Array.of_list (List.map (Schema.column_index t.schema) columns) in
-  let tree = Btree.create () in
-  iter (fun rowid row -> Btree.insert tree (Array.map (fun ci -> row.(ci)) key_columns) rowid) t;
+  (* bottom-up build over the already-indexed range; rows appended by an
+     active bulk load are excluded here and folded in by [end_bulk] *)
+  let limit = match t.bulk_base with Some base -> base | None -> Vec.length t.rows in
+  let keys, posts =
+    sorted_key_groups (fun f ->
+        for rowid = 0 to limit - 1 do
+          if not (is_deleted t rowid) then begin
+            let row = Vec.get t.rows rowid in
+            f (Array.map (fun ci -> row.(ci)) key_columns) rowid
+          end
+        done)
+  in
+  let tree = Btree.bulk_of_arrays ~check:false keys posts in
   let ix = { index_name; key_columns; tree } in
   t.indexes <- t.indexes @ [ ix ];
   ix

@@ -26,20 +26,47 @@ val get : t -> int -> Value.t array option
 (** [None] for out-of-range or deleted row ids. *)
 
 val insert : t -> Value.t array -> int
-(** Validate, coerce, store; returns the new row id. Updates indexes. *)
+(** Validate, coerce, store; returns the new row id. Updates indexes
+    (deferred to {!end_bulk} while a bulk load is active). *)
 
 val delete : t -> int -> bool
-(** Tombstone a row; [false] if it was already gone. Updates indexes. *)
+(** Tombstone a row; [false] if it was already gone. Updates indexes.
+    @raise Index_error while a bulk load is active. *)
 
 val update : t -> int -> Value.t array -> bool
-(** Replace a row in place. Updates indexes whose key changed. *)
+(** Replace a row in place. Updates indexes whose key changed.
+    @raise Index_error while a bulk load is active. *)
+
+(** {1 Bulk loading}
+
+    [begin_bulk] opens an append range at the current arena end: inserts
+    from here on skip per-row index maintenance. [end_bulk] closes the
+    range, building each B+-tree bottom-up from one sort of the range's
+    (key, rowid) pairs — observationally identical to having inserted
+    row-at-a-time. [abort_bulk] drains the range instead; the appended
+    rows were never indexed, so the table is restored exactly. *)
+
+val begin_bulk : t -> unit
+(** @raise Index_error when a bulk load is already active. *)
+
+val bulk_active : t -> bool
+
+val end_bulk : t -> int
+(** Build the deferred index entries; returns how many rows the range
+    appended. No-op (0) when no bulk load is active. *)
+
+val abort_bulk : t -> int
+(** Truncate the appended range away; returns how many rows it dropped.
+    No-op (0) when no bulk load is active. *)
 
 val iter : (int -> Value.t array -> unit) -> t -> unit
 val fold : ('a -> int -> Value.t array -> 'a) -> 'a -> t -> 'a
 val to_list : t -> Value.t array list
 
 val create_index : t -> index_name:string -> columns:string list -> index
-(** Build a B+-tree over existing rows. @raise Index_error on duplicates. *)
+(** Build a B+-tree bottom-up over existing rows (rows appended by an
+    active bulk load are folded in at {!end_bulk}).
+    @raise Index_error on duplicates. *)
 
 val drop_index : t -> string -> bool
 val indexes : t -> index list

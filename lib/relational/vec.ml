@@ -1,5 +1,6 @@
 (* Growable array. OCaml 5.1's stdlib predates [Dynarray]; this is the small
-   subset the engine needs, specialised to never shrink. *)
+   subset the engine needs. Capacity never shrinks (length can, via
+   [truncate]). *)
 
 type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
 
@@ -31,6 +32,15 @@ let push t v =
   t.data.(t.len) <- v;
   t.len <- t.len + 1;
   t.len - 1
+
+(* Drop elements from index [n] on (bulk-load abort). Capacity is kept;
+   dropped slots are reset to the dummy so their contents can be GC'd. *)
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Vec.truncate";
+  for i = n to t.len - 1 do
+    t.data.(i) <- t.dummy
+  done;
+  t.len <- n
 
 let iteri f t =
   for i = 0 to t.len - 1 do

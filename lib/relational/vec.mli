@@ -1,4 +1,5 @@
-(** Growable array (OCaml 5.1 predates [Dynarray]); never shrinks. *)
+(** Growable array (OCaml 5.1 predates [Dynarray]); capacity never
+    shrinks. *)
 
 type 'a t
 
@@ -8,6 +9,10 @@ val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> int
 (** Returns the index of the new element. *)
+
+val truncate : 'a t -> int -> unit
+(** Drop elements from the given length on (bulk-load abort); capacity is
+    kept. *)
 
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b

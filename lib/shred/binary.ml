@@ -116,36 +116,43 @@ let create_indexes db =
         (all_label_tables db ~kind))
     [ "e"; "a" ]
 
-let shred db ~doc ix =
+(* Per-node rows go through the [emit] sink (row-at-a-time or bulk
+   session); the label registry and its DDL stay on [db] — mid-shred
+   lookups read b_labels by sequential scan, which sees appended rows
+   either way. *)
+let shred_into emit db ~doc ix =
   for n = 1 to Index.count ix - 1 do
     let source = Index.parent ix n in
     let ordinal = Index.ordinal ix n in
     match Index.kind ix n with
     | Index.Element ->
       let tbl = ensure_label_table db ~kind:"e" (Index.name ix n) in
-      Db.insert_row_array db tbl
-        [| Value.Int doc; Value.Int source; Value.Int ordinal; Value.Int n |]
+      emit tbl [| Value.Int doc; Value.Int source; Value.Int ordinal; Value.Int n |]
     | Index.Attribute ->
       let tbl = ensure_label_table db ~kind:"a" (Index.name ix n) in
-      Db.insert_row_array db tbl
+      emit tbl
         [| Value.Int doc; Value.Int source; Value.Int ordinal; Value.Int n; Value.Text (Index.value ix n) |]
     | Index.Text ->
-      Db.insert_row_array db "b_cdata"
+      emit "b_cdata"
         [| Value.Int doc; Value.Int source; Value.Int ordinal; Value.Int n; Value.Text (Index.value ix n) |]
     | Index.Comment ->
-      Db.insert_row_array db "b_misc"
+      emit "b_misc"
         [|
           Value.Int doc; Value.Int source; Value.Int ordinal; Value.Text "c"; Value.Null;
           Value.Int n; Value.Text (Index.value ix n);
         |]
     | Index.Pi ->
-      Db.insert_row_array db "b_misc"
+      emit "b_misc"
         [|
           Value.Int doc; Value.Int source; Value.Int ordinal; Value.Text "p";
           Value.Text (Index.name ix n); Value.Int n; Value.Text (Index.value ix n);
         |]
     | Index.Document -> ()
   done
+
+let shred db ~doc ix = shred_into (Db.insert_row_array db) db ~doc ix
+let shred_bulk session ~doc ix =
+  shred_into (Db.session_insert session) (Db.session_db session) ~doc ix
 
 (* ------------------------------------------------------------------ *)
 (* Reconstruction: merge all partitions back into edge rows. *)
@@ -656,6 +663,7 @@ let mapping : Mapping.mapping =
     let create_schema = create_schema
     let create_indexes = create_indexes
     let shred = shred
+    let shred_bulk = shred_bulk
     let reconstruct = reconstruct
     let query = query
   end)

@@ -66,7 +66,7 @@ let component_ordinal comp =
   | Some i when i >= 0 -> i
   | _ -> err "malformed Dewey component %S" comp
 
-let shred db ~doc ix =
+let shred_into emit ~doc ix =
   (* labels.(n) = Dewey label of node n *)
   let labels = Array.make (Index.count ix) "" in
   for n = 1 to Index.count ix - 1 do
@@ -86,7 +86,7 @@ let shred db ~doc ix =
       | Index.Element | Index.Document -> Value.Null
       | _ -> Value.Text (Index.value ix n)
     in
-    Db.insert_row_array db "dewey"
+    emit "dewey"
       [|
         Value.Int doc;
         Value.Text label;
@@ -98,6 +98,9 @@ let shred db ~doc ix =
         Value.Int (Index.ordinal ix n);
       |]
   done
+
+let shred db ~doc ix = shred_into (Db.insert_row_array db) ~doc ix
+let shred_bulk session ~doc ix = shred_into (Db.session_insert session) ~doc ix
 
 (* ------------------------------------------------------------------ *)
 (* Reconstruction *)
@@ -355,6 +358,7 @@ let mapping : Mapping.mapping =
     let create_schema = create_schema
     let create_indexes = create_indexes
     let shred = shred
+    let shred_bulk = shred_bulk
     let reconstruct = reconstruct
     let query = query
   end)

@@ -198,7 +198,7 @@ let make (dtd : Dtd.t) : Mapping.mapping =
     (* -------------------------------------------------------------- *)
     (* Shredding *)
 
-    let shred db ~doc ix =
+    let shred_into emit ~doc ix =
       let rec shred_tabled ~parent_id ~ordinal n tinfo =
         let cols = table_columns tinfo in
         let row = Hashtbl.create 16 in
@@ -208,7 +208,7 @@ let make (dtd : Dtd.t) : Mapping.mapping =
           (match parent_id with Some p -> Value.Int p | None -> Value.Null);
         Hashtbl.replace row "ordinal" (Value.Int ordinal);
         fill row tinfo.root_node n;
-        Db.insert_row_array db tinfo.t_name
+        emit tinfo.t_name
           (Array.of_list
              (List.map
                 (fun (c, _) -> Option.value ~default:Value.Null (Hashtbl.find_opt row c))
@@ -270,6 +270,9 @@ let make (dtd : Dtd.t) : Mapping.mapping =
         unsupported "root element <%s> does not match the DTD root <%s>" (Index.name ix root)
           layout.root_type;
       shred_tabled ~parent_id:None ~ordinal:1 root (table_of layout layout.root_type)
+
+    let shred db ~doc ix = shred_into (Db.insert_row_array db) ~doc ix
+    let shred_bulk session ~doc ix = shred_into (Db.session_insert session) ~doc ix
 
     (* -------------------------------------------------------------- *)
     (* Reconstruction *)

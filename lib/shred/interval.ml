@@ -30,7 +30,7 @@ let create_indexes db =
   ignore (Db.exec db "CREATE INDEX IF NOT EXISTS accel_name ON accel (name)");
   ignore (Db.exec db "CREATE INDEX IF NOT EXISTS accel_parent ON accel (parent)")
 
-let shred db ~doc ix =
+let shred_into emit ~doc ix =
   for n = 1 to Index.count ix - 1 do
     let kind = kind_code (Index.kind ix n) in
     let name =
@@ -43,7 +43,7 @@ let shred db ~doc ix =
       | Index.Element | Index.Document -> Value.Null
       | _ -> Value.Text (Index.value ix n)
     in
-    Db.insert_row_array db "accel"
+    emit "accel"
       [|
         Value.Int doc;
         Value.Int n;
@@ -56,6 +56,9 @@ let shred db ~doc ix =
         Value.Int (Index.ordinal ix n);
       |]
   done
+
+let shred db ~doc ix = shred_into (Db.insert_row_array db) ~doc ix
+let shred_bulk session ~doc ix = shred_into (Db.session_insert session) ~doc ix
 
 (* ------------------------------------------------------------------ *)
 (* Reconstruction *)
@@ -331,6 +334,7 @@ let mapping : Mapping.mapping =
     let create_schema = create_schema
     let create_indexes = create_indexes
     let shred = shred
+    let shred_bulk = shred_bulk
     let reconstruct = reconstruct
     let query = query
   end)

@@ -30,7 +30,12 @@ module type MAPPING = sig
       the benchmark harness can measure indexed vs unindexed (F3). *)
 
   val shred : Db.t -> doc:int -> Index.t -> unit
-  (** Store one document under document id [doc]. *)
+  (** Store one document under document id [doc], row at a time. *)
+
+  val shred_bulk : Db.session -> doc:int -> Index.t -> unit
+  (** Same rows, emitted through a bulk-load session: appends go straight
+      into the table arenas and every index is built bottom-up when the
+      caller finishes the session (see {!Relstore.Database.load_session}). *)
 
   val reconstruct : Db.t -> doc:int -> Dom.t
   (** Rebuild the full document from its relations. *)

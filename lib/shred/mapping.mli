@@ -30,6 +30,11 @@ module type MAPPING = sig
       indexed vs unindexed. *)
 
   val shred : Db.t -> doc:int -> Index.t -> unit
+
+  val shred_bulk : Db.session -> doc:int -> Index.t -> unit
+  (** Same rows as {!shred}, emitted through a bulk-load session (deferred
+      bottom-up index builds; see {!Relstore.Database.load_session}). *)
+
   val reconstruct : Db.t -> doc:int -> Dom.t
   val query : Db.t -> doc:int -> Xpathkit.Ast.path -> query_result
 end

@@ -22,9 +22,12 @@ let create_schema db =
 
 let create_indexes _db = ()
 
-let shred db ~doc ix =
+let shred_into emit ~doc ix =
   let text = Xmlkit.Serializer.to_string (Index.to_document ix) in
-  Db.insert_row_array db "blob" [| Value.Int doc; Value.Text text |]
+  emit "blob" [| Value.Int doc; Value.Text text |]
+
+let shred db ~doc ix = shred_into (Db.insert_row_array db) ~doc ix
+let shred_bulk session ~doc ix = shred_into (Db.session_insert session) ~doc ix
 
 let blob_query ~doc =
   let b = Sb.binder () in
@@ -61,6 +64,7 @@ let mapping : Mapping.mapping =
     let create_schema = create_schema
     let create_indexes = create_indexes
     let shred = shred
+    let shred_bulk = shred_bulk
     let reconstruct = reconstruct
     let query = query
   end)

@@ -34,11 +34,11 @@ let create_indexes db =
   ignore (Db.exec db "CREATE INDEX IF NOT EXISTS tok_seq ON tok (seq)");
   ignore (Db.exec db "CREATE INDEX IF NOT EXISTS tok_name ON tok (name)")
 
-let shred db ~doc ix =
+let shred_into sink ~doc ix =
   let seq = ref 0 in
   let depth = ref 0 in
   let emit ~kind ~name ~value =
-    Db.insert_row_array db "tok"
+    sink "tok"
       [|
         Value.Int doc;
         Value.Int !seq;
@@ -66,6 +66,9 @@ let shred db ~doc ix =
       | Sax.Comment_event s -> emit ~kind:"c" ~name:None ~value:(Some s)
       | Sax.Pi_event { target; data } -> emit ~kind:"p" ~name:(Some target) ~value:(Some data))
     (Index.to_document ix)
+
+let shred db ~doc ix = shred_into (Db.insert_row_array db) ~doc ix
+let shred_bulk session ~doc ix = shred_into (Db.session_insert session) ~doc ix
 
 let stream_query ~doc =
   let b = Sb.binder () in
@@ -118,6 +121,7 @@ let mapping : Mapping.mapping =
     let create_schema = create_schema
     let create_indexes = create_indexes
     let shred = shred
+    let shred_bulk = shred_bulk
     let reconstruct = reconstruct
     let query = query
   end)

@@ -139,7 +139,10 @@ let leaf_text ix n =
   | [], _ -> None
   | _, _ -> err "universal mapping does not support mixed content"
 
-let shred db ~doc ix =
+(* [ensure_labels] (registry + possible univ rebuild, all DDL and copies)
+   runs on [db] before the first row is emitted, so a bulk session never
+   holds an append range on a table that gets dropped under it. *)
+let shred_into emit db ~doc ix =
   (* collect labels *)
   let labs = ref [] in
   for n = 1 to Index.count ix - 1 do
@@ -174,7 +177,7 @@ let shred db ~doc ix =
     let c = col_for kind label in
     row.(pos (id_col ~kind c)) <- Value.Int target;
     (match value with Some v -> row.(pos (val_col ~kind c)) <- Value.Text v | None -> ());
-    Db.insert_row_array db "univ" row
+    emit "univ" row
   in
   for n = 1 to Index.count ix - 1 do
     match Index.kind ix n with
@@ -186,6 +189,10 @@ let shred db ~doc ix =
         ~label:(Index.name ix n) ~target:n ~value:(Some (Index.value ix n))
     | Index.Text | Index.Comment | Index.Pi | Index.Document -> ()
   done
+
+let shred db ~doc ix = shred_into (Db.insert_row_array db) db ~doc ix
+let shred_bulk session ~doc ix =
+  shred_into (Db.session_insert session) (Db.session_db session) ~doc ix
 
 (* ------------------------------------------------------------------ *)
 (* Reconstruction *)
@@ -638,6 +645,7 @@ let mapping : Mapping.mapping =
     let create_schema = create_schema
     let create_indexes = create_indexes
     let shred = shred
+    let shred_bulk = shred_bulk
     let reconstruct = reconstruct
     let query = query
   end)

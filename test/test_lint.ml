@@ -150,7 +150,7 @@ let test_contradiction_soundness () =
   let db = Db.create () in
   ignore (Db.exec db "CREATE TABLE t (x INTEGER)");
   for v = -10 to 20 do
-    Db.insert_row db "t" [ Value.Int v ]
+    Db.insert_row_array db "t" [| Value.Int v |]
   done;
   let gen_conjunct =
     QCheck.Gen.(
@@ -193,8 +193,8 @@ let plan_db () =
        "CREATE TABLE big (id INTEGER NOT NULL, tag TEXT NOT NULL, other INTEGER)");
   ignore (Db.exec db "CREATE INDEX big_tag ON big (tag)");
   for i = 0 to 499 do
-    Db.insert_row db "big"
-      [ Value.Int i; Value.Text (Printf.sprintf "t%d" (i mod 50)); Value.Int (i / 7) ]
+    Db.insert_row_array db "big"
+      [| Value.Int i; Value.Text (Printf.sprintf "t%d" (i mod 50)); Value.Int (i / 7) |]
   done;
   db
 

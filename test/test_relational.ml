@@ -111,6 +111,55 @@ let btree_range_prop =
       let expected = List.filter (fun k -> k >= lo && k <= hi) keys |> List.sort compare in
       got = expected)
 
+(* Full observational fingerprint of a tree: the ascending (key, rowid)
+   sequence [iter] yields, postings in insertion order within each key. *)
+let tree_entries t =
+  let out = ref [] in
+  Btree.iter t (fun k rowid -> out := (Array.to_list k, rowid) :: !out);
+  List.rev !out
+
+(* Stable sort by key keeps equal keys' row ids in insertion order —
+   exactly the shape [bulk_of_sorted] documents. *)
+let sorted_pairs keys =
+  List.mapi (fun i k -> (key k, i)) keys
+  |> List.stable_sort (fun (a, _) (b, _) -> Btree.compare_key a b)
+  |> Array.of_list
+
+(* Property: the bottom-up builder is observationally identical to
+   repeated insert over duplicate-heavy key streams — same invariants,
+   same counters, same full iteration, same lookups. *)
+let btree_bulk_prop =
+  QCheck.Test.make ~name:"bulk_of_sorted equals repeated insert" ~count:300
+    QCheck.(list (int_range 0 30))
+    (fun keys ->
+      let reference = Btree.create () in
+      List.iteri (fun i k -> Btree.insert reference (key k) i) keys;
+      let bulk = Btree.bulk_of_sorted (sorted_pairs keys) in
+      Btree.check_invariants bulk
+      && Btree.entry_count bulk = Btree.entry_count reference
+      && Btree.distinct_keys bulk = Btree.distinct_keys reference
+      && tree_entries bulk = tree_entries reference
+      && List.for_all (fun k -> Btree.lookup bulk (key k) = Btree.lookup reference (key k)) keys)
+
+(* Property: merging a sorted batch of fresh (larger) row ids into a
+   grown tree equals having kept inserting row-at-a-time. *)
+let btree_bulk_merge_prop =
+  QCheck.Test.make ~name:"bulk_merge equals continued inserts" ~count:300
+    QCheck.(pair (list (int_range 0 20)) (list (int_range 0 20)))
+    (fun (first, second) ->
+      let reference = Btree.create () in
+      List.iteri (fun i k -> Btree.insert reference (key k) i) (first @ second);
+      let t = Btree.create () in
+      List.iteri (fun i k -> Btree.insert t (key k) i) first;
+      let base = List.length first in
+      let batch =
+        List.mapi (fun i k -> (key k, base + i)) second
+        |> List.stable_sort (fun (a, _) (b, _) -> Btree.compare_key a b)
+        |> Array.of_list
+      in
+      let merged = Btree.bulk_merge t batch in
+      Btree.check_invariants merged && tree_entries merged = tree_entries reference)
+
 (* ------------------------------------------------------------------ *)
 (* Table *)
 
@@ -144,6 +193,103 @@ let test_table_index_maintenance () =
   ignore (Table.delete t r1);
   check_int "none with 37 after delete" 0 (List.length (Btree.lookup ix.Table.tree [| Value.Int 37 |]))
 
+(* Property: a bulk load gives every index the exact observable state
+   row-at-a-time maintenance would have. The four indexes steer the four
+   grouping paths in [end_bulk]: a small-range INTEGER key (counting
+   sort), an unsorted TEXT key (hash grouping), a TEXT key arriving in
+   key order (adjacent-run grouping — how Dewey labels arrive), and a
+   composite key (generic hash-and-sort fallback). *)
+let table_bulk_prop =
+  QCheck.Test.make ~name:"table bulk load equals row-at-a-time" ~count:100
+    QCheck.(list (pair (int_range 0 40) (int_range 0 5)))
+    (fun rows_spec ->
+      let schema =
+        Schema.make "t"
+          [
+            Schema.column "id" ~nullable:false Value.TInt;
+            Schema.column "name" Value.TText;
+            Schema.column "label" Value.TText;
+          ]
+      in
+      let rows =
+        List.mapi
+          (fun i (v, c) ->
+            [|
+              Value.Int v;
+              Value.Text (String.make 1 (Char.chr (Char.code 'a' + c)));
+              Value.Text (Printf.sprintf "%05d" i);
+            |])
+          rows_spec
+      in
+      let build bulk =
+        let t = Table.create schema in
+        ignore (Table.create_index t ~index_name:"t_id" ~columns:[ "id" ]);
+        ignore (Table.create_index t ~index_name:"t_name" ~columns:[ "name" ]);
+        ignore (Table.create_index t ~index_name:"t_label" ~columns:[ "label" ]);
+        ignore (Table.create_index t ~index_name:"t_comp" ~columns:[ "name"; "id" ]);
+        if bulk then Table.begin_bulk t;
+        List.iter (fun r -> ignore (Table.insert t r)) rows;
+        if bulk then ignore (Table.end_bulk t);
+        t
+      in
+      let a = build false and b = build true in
+      List.for_all2
+        (fun ia ib ->
+          Btree.check_invariants ib.Table.tree
+          && tree_entries ia.Table.tree = tree_entries ib.Table.tree)
+        (Table.indexes a) (Table.indexes b))
+
+let test_table_bulk_guards () =
+  let t = Table.create people_schema in
+  ignore (Table.create_index t ~index_name:"people_age" ~columns:[ "age" ]);
+  let r0 = Table.insert t [| Value.Int 1; Value.Text "ada"; Value.Int 36 |] in
+  Table.begin_bulk t;
+  ignore (Table.insert t [| Value.Int 2; Value.Text "bob"; Value.Int 25 |]);
+  Alcotest.check_raises "delete rejected mid-bulk"
+    (Table.Index_error "people: DELETE during an active bulk load") (fun () ->
+      ignore (Table.delete t r0));
+  Alcotest.check_raises "update rejected mid-bulk"
+    (Table.Index_error "people: UPDATE during an active bulk load") (fun () ->
+      ignore (Table.update t r0 [| Value.Int 1; Value.Text "ada"; Value.Int 37 |]));
+  Alcotest.check_raises "nested bulk rejected"
+    (Table.Index_error "people: bulk load already active") (fun () -> Table.begin_bulk t);
+  check_int "end_bulk counts the appended rows" 1 (Table.end_bulk t);
+  check_int "end_bulk is a no-op when closed" 0 (Table.end_bulk t)
+
+let test_table_bulk_abort () =
+  let t = Table.create people_schema in
+  ignore (Table.create_index t ~index_name:"people_age" ~columns:[ "age" ]);
+  ignore (Table.insert t [| Value.Int 1; Value.Text "ada"; Value.Int 36 |]);
+  Table.begin_bulk t;
+  ignore (Table.insert t [| Value.Int 2; Value.Text "bob"; Value.Int 25 |]);
+  ignore (Table.insert t [| Value.Int 3; Value.Text "cyd"; Value.Int 25 |]);
+  check_int "abort drops the appended range" 2 (Table.abort_bulk t);
+  check_int "pre-bulk rows survive" 1 (Table.row_count t);
+  let ix = List.hd (Table.indexes t) in
+  check_int "index holds only pre-bulk entries" 1 (Btree.entry_count ix.Table.tree);
+  check_int "aborted rows never indexed" 0
+    (List.length (Btree.lookup ix.Table.tree [| Value.Int 25 |]))
+
+(* Mutations after a finished bulk load see fully consistent indexes —
+   the deferred build must leave nothing for later updates to trip on. *)
+let test_table_mutations_after_bulk () =
+  let t = Table.create people_schema in
+  ignore (Table.create_index t ~index_name:"people_age" ~columns:[ "age" ]);
+  Table.begin_bulk t;
+  let r2 = Table.insert t [| Value.Int 2; Value.Text "bob"; Value.Int 25 |] in
+  let r3 = Table.insert t [| Value.Int 3; Value.Text "cyd"; Value.Int 25 |] in
+  ignore (Table.end_bulk t);
+  let tree () = (List.hd (Table.indexes t)).Table.tree in
+  check_int "both at 25" 2 (List.length (Btree.lookup (tree ()) [| Value.Int 25 |]));
+  ignore (Table.update t r2 [| Value.Int 2; Value.Text "bob"; Value.Int 30 |]);
+  check_bool "update moved the posting" true
+    (Btree.lookup (tree ()) [| Value.Int 30 |] = [ r2 ]
+    && Btree.lookup (tree ()) [| Value.Int 25 |] = [ r3 ]);
+  ignore (Table.delete t r3);
+  check_int "delete removed the posting" 0
+    (List.length (Btree.lookup (tree ()) [| Value.Int 25 |]));
+  check_bool "invariants hold" true (Btree.check_invariants (tree ()))
+
 let test_table_not_null () =
   let t = Table.create people_schema in
   Alcotest.check_raises "null id rejected"
@@ -163,6 +309,68 @@ let db_with_people () =
   db
 
 let rows db sql = (Database.query db sql).Executor.rows
+
+(* ------------------------------------------------------------------ *)
+(* Bulk-load sessions *)
+
+let nums_setup db =
+  ignore (Database.exec db "CREATE TABLE nums (n INTEGER NOT NULL, tag TEXT)");
+  ignore (Database.exec db "CREATE INDEX nums_n ON nums (n)")
+
+(* A finished session answers SQL exactly like a row-at-a-time load. *)
+let test_db_session_equivalence () =
+  let row_db = Database.create () in
+  nums_setup row_db;
+  for i = 0 to 99 do
+    ignore
+      (Database.exec row_db
+         (Printf.sprintf "INSERT INTO nums (n, tag) VALUES (%d, 't%d')" (i mod 7) (i mod 3)))
+  done;
+  let bulk_db = Database.create () in
+  nums_setup bulk_db;
+  Database.with_session bulk_db (fun s ->
+      for i = 0 to 99 do
+        Database.session_insert s "nums"
+          [| Value.Int (i mod 7); Value.Text (Printf.sprintf "t%d" (i mod 3)) |]
+      done);
+  List.iter
+    (fun sql -> check_bool sql true (rows row_db sql = rows bulk_db sql))
+    [
+      "SELECT count(*) FROM nums";
+      "SELECT tag, count(*) FROM nums WHERE n = 3 GROUP BY tag ORDER BY tag";
+      "SELECT n FROM nums WHERE n >= 5 ORDER BY n, tag";
+    ]
+
+let test_db_session_abort () =
+  let db = Database.create () in
+  nums_setup db;
+  ignore (Database.exec db "INSERT INTO nums (n, tag) VALUES (1, 'keep')");
+  let s = Database.load_session db in
+  Database.insert_rows s "nums" [ [| Value.Int 2; Value.Null |]; [| Value.Int 3; Value.Null |] ];
+  Database.abort_session s;
+  check_bool "pre-session rows survive the abort" true
+    (rows db "SELECT n, tag FROM nums" = [ [| Value.Int 1; Value.Text "keep" |] ]);
+  check_int "finishing an aborted session is a no-op" 0 (Database.finish_session s);
+  Alcotest.check_raises "inserts after abort rejected"
+    (Database.Db_error "bulk-load session is already closed") (fun () ->
+      Database.session_insert s "nums" [| Value.Int 4; Value.Null |])
+
+(* A table dropped and recreated mid-session must not swallow rows into
+   the detached copy, even when the caller re-emits through the very same
+   name string (the session memoizes name resolutions by physical
+   string — DDL has to invalidate that memo). *)
+let test_db_session_ddl () =
+  let db = Database.create () in
+  nums_setup db;
+  let name = "nums" in
+  let s = Database.load_session db in
+  Database.session_insert s name [| Value.Int 1; Value.Null |];
+  ignore (Database.exec db "DROP TABLE nums");
+  nums_setup db;
+  Database.session_insert s name [| Value.Int 2; Value.Null |];
+  ignore (Database.finish_session s);
+  check_bool "only the re-created table's row is visible" true
+    (rows db "SELECT n FROM nums" = [ [| Value.Int 2 |] ])
 
 let test_sql_select_where () =
   let db = db_with_people () in
@@ -511,7 +719,7 @@ let test_like_high_byte_range () =
   let db = Database.create () in
   ignore (Database.exec db "CREATE TABLE t (s TEXT)");
   List.iter
-    (fun s -> Database.insert_row db "t" [ Value.Text s ])
+    (fun s -> Database.insert_row_array db "t" [| Value.Text s |])
     [ "ab"; "ab\xff"; "ab\xffz"; "abc"; "b" ];
   ignore (Database.exec db "CREATE INDEX t_s ON t (s)");
   let q = "SELECT s FROM t WHERE s LIKE 'ab%'" in
@@ -772,7 +980,7 @@ let index_equivalence_prop =
       let mk with_index =
         let db = Database.create () in
         ignore (Database.exec db "CREATE TABLE t (v INTEGER)");
-        List.iter (fun v -> Database.insert_row db "t" [ Value.Int v ]) values;
+        List.iter (fun v -> Database.insert_row_array db "t" [| Value.Int v |]) values;
         if with_index then ignore (Database.exec db "CREATE INDEX t_v ON t (v)");
         let r =
           Database.query db (Printf.sprintf "SELECT v FROM t WHERE v >= %d ORDER BY v" probe)
@@ -788,8 +996,8 @@ let mk_cached_db () =
   let db = Database.create () in
   ignore (Database.exec db "CREATE TABLE t (id INTEGER, grp INTEGER, name TEXT)");
   for i = 0 to 99 do
-    Database.insert_row db "t"
-      [ Value.Int i; Value.Int (i mod 5); Value.Text (Printf.sprintf "n%d" i) ]
+    Database.insert_row_array db "t"
+      [| Value.Int i; Value.Int (i mod 5); Value.Text (Printf.sprintf "n%d" i) |]
   done;
   db
 
@@ -857,7 +1065,7 @@ let test_cache_drift_invalidation () =
   (* grow the table well past the ~20% drift threshold the planner's
      stats cache uses *)
   for i = 100 to 299 do
-    Database.insert_row db "t" [ Value.Int i; Value.Int (i mod 5); Value.Text "x" ]
+    Database.insert_row_array db "t" [| Value.Int i; Value.Int (i mod 5); Value.Text "x" |]
   done;
   Database.reset_cache_stats db;
   let r = Database.query ~params:[| Value.Int 0 |] db stmt in
@@ -888,7 +1096,7 @@ let test_cache_empty_table_drift () =
   ignore (Database.exec db "CREATE TABLE t (v INTEGER)");
   let stmt = "SELECT v FROM t WHERE v = ?1" in
   ignore (Database.query ~params:[| Value.Int 7 |] db stmt);
-  Database.insert_row db "t" [ Value.Int 7 ];
+  Database.insert_row_array db "t" [| Value.Int 7 |];
   Database.reset_cache_stats db;
   let r = Database.query ~params:[| Value.Int 7 |] db stmt in
   let _, misses, inval, _ = Database.cache_stats db in
@@ -947,7 +1155,7 @@ let analyze_root_rows_prop =
     (fun (values, probe) ->
       let db = Database.create () in
       ignore (Database.exec db "CREATE TABLE t (v INTEGER)");
-      List.iter (fun v -> Database.insert_row db "t" [ Value.Int v ]) values;
+      List.iter (fun v -> Database.insert_row_array db "t" [| Value.Int v |]) values;
       let sql = Printf.sprintf "SELECT v FROM t WHERE v >= %d ORDER BY v" probe in
       let plain = Database.query db sql in
       let analyzed, annot = Database.query_analyzed db sql in
@@ -970,12 +1178,24 @@ let () =
           Alcotest.test_case "composite" `Quick test_btree_composite;
           QCheck_alcotest.to_alcotest btree_model_prop;
           QCheck_alcotest.to_alcotest btree_range_prop;
+          QCheck_alcotest.to_alcotest btree_bulk_prop;
+          QCheck_alcotest.to_alcotest btree_bulk_merge_prop;
         ] );
       ( "table",
         [
           Alcotest.test_case "crud" `Quick test_table_crud;
           Alcotest.test_case "index maintenance" `Quick test_table_index_maintenance;
           Alcotest.test_case "not null" `Quick test_table_not_null;
+        ] );
+      ( "bulk load",
+        [
+          QCheck_alcotest.to_alcotest table_bulk_prop;
+          Alcotest.test_case "mutation guards" `Quick test_table_bulk_guards;
+          Alcotest.test_case "abort restores the table" `Quick test_table_bulk_abort;
+          Alcotest.test_case "mutations after bulk" `Quick test_table_mutations_after_bulk;
+          Alcotest.test_case "session equals row-at-a-time" `Quick test_db_session_equivalence;
+          Alcotest.test_case "session abort" `Quick test_db_session_abort;
+          Alcotest.test_case "DDL mid-session" `Quick test_db_session_ddl;
         ] );
       ( "sql",
         [
