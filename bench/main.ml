@@ -935,6 +935,155 @@ let f11 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* F12: vectorized execution and the staircase join — (a) throughput of
+   the hot relational operators under the row-at-a-time iterator versus
+   the batched interpreter, on a synthetic table big enough to keep each
+   operator hot; (b) descendant-axis workload queries on the interval
+   scheme with the staircase structural join toggled off and on (the
+   plan cache is disabled so every run replans and the toggle takes
+   effect). Answers are compared across both toggles. Written to
+   BENCH_F12.json; BENCH_F12_SCALE scales the synthetic row count and
+   the document, BENCH_F12_REPEAT the repeats. *)
+
+let f12 () =
+  let scale =
+    match Sys.getenv_opt "BENCH_F12_SCALE" with
+    | Some s -> (try float_of_string s with _ -> 1.0)
+    | None -> 1.0
+  in
+  let repeat =
+    match Sys.getenv_opt "BENCH_F12_REPEAT" with
+    | Some s -> (try int_of_string s with _ -> 3)
+    | None -> 3
+  in
+  let median xs =
+    let a = Array.of_list (List.sort compare xs) in
+    let n = Array.length a in
+    if n = 0 then 0.
+    else if n mod 2 = 1 then a.(n / 2)
+    else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+  in
+  let time f =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let saved_batched = Relstore.Executor.batched_on () in
+  let entries = ref [] in
+  (* (a) operator throughput, iterator vs batched *)
+  let n = max 1_000 (int_of_float (200_000. *. scale)) in
+  let db = Relstore.Database.create () in
+  ignore (Relstore.Database.exec db "CREATE TABLE t (id INTEGER NOT NULL, k INTEGER, v INTEGER)");
+  Relstore.Database.with_session db (fun s ->
+      for i = 0 to n - 1 do
+        Relstore.Database.session_insert s "t"
+          [| Relstore.Value.Int i; Relstore.Value.Int (i mod 1000); Relstore.Value.Int (i * 7 mod 97) |]
+      done);
+  let op_queries =
+    [
+      ("filter", "SELECT id, v FROM t WHERE v < 48");
+      ("project", "SELECT id + v, k FROM t");
+      ("count", "SELECT count(*) FROM t");
+      ("aggregate", "SELECT k, count(*), sum(v) FROM t GROUP BY k");
+      ("hash-join", "SELECT count(*) FROM t a, t b WHERE a.id = b.id");
+    ]
+  in
+  let exec_rows =
+    List.map
+      (fun (op, sql) ->
+        let run batched =
+          Relstore.Executor.set_batched batched;
+          time (fun () -> Relstore.Database.query db sql)
+        in
+        ignore (run false);
+        (* one warm-up fills the plan cache: both modes time pure execution *)
+        let runs = List.init repeat (fun _ -> (snd (run false), snd (run true))) in
+        let t_iter = median (List.map fst runs) in
+        let t_bat = median (List.map snd runs) in
+        let speedup =
+          median (List.filter_map (fun (i, b) -> if b > 0. then Some (i /. b) else None) runs)
+        in
+        let rps = if t_bat > 0. then float_of_int n /. t_bat else 0. in
+        entries :=
+          Printf.sprintf
+            "    {\"kind\": \"executor\", \"op\": %S, \"rows\": %d, \"iter_ms\": %.2f, \
+             \"batched_ms\": %.2f, \"speedup\": %.2f, \"batched_rows_per_sec\": %.0f}"
+            op n (t_iter *. 1000.) (t_bat *. 1000.) speedup rps
+          :: !entries;
+        [
+          op; string_of_int n; Tables.ms t_iter; Tables.ms t_bat;
+          Printf.sprintf "%.2fx" speedup; Printf.sprintf "%.0f" rps;
+        ])
+      op_queries
+  in
+  Relstore.Executor.set_batched saved_batched;
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "F12a: executor throughput — row iterator vs batched interpreter, %d rows (also \
+          BENCH_F12.json)"
+         n)
+    ~header:[ "operator"; "rows"; "iter ms"; "batched ms"; "speedup"; "batched rows/s" ]
+    exec_rows;
+  (* (b) staircase join on descendant-axis workload queries *)
+  let dom = auction ~scale ~seed:42 in
+  let store = loaded_store "interval" dom in
+  Relstore.Database.set_plan_cache (Store.database store) false;
+  let stair_rows =
+    List.map
+      (fun (qid, xpath) ->
+          let run stair =
+            Relstore.Planner.set_staircase stair;
+            time (fun () -> Store.query_values store 0 xpath)
+          in
+          let answers_nl, _ = run false in
+          let answers_st, _ = run true in
+          let equal = answers_nl = answers_st in
+          if not equal then Printf.eprintf "F12: %s staircase answers DIFFER\n" qid;
+          let runs = List.init repeat (fun _ -> (snd (run false), snd (run true))) in
+          Relstore.Planner.set_staircase true;
+          let t_nl = median (List.map fst runs) in
+          let t_st = median (List.map snd runs) in
+          let speedup =
+            median (List.filter_map (fun (a, b) -> if b > 0. then Some (a /. b) else None) runs)
+          in
+          entries :=
+            Printf.sprintf
+              "    {\"kind\": \"staircase\", \"query\": %S, \"matches\": %d, \"nl_ms\": %.2f, \
+               \"staircase_ms\": %.2f, \"speedup\": %.2f, \"answers_equal\": %b}"
+              qid (List.length answers_st) (t_nl *. 1000.) (t_st *. 1000.) speedup equal
+            :: !entries;
+          [
+            qid; string_of_int (List.length answers_st); Tables.ms t_nl; Tables.ms t_st;
+            Printf.sprintf "%.2fx" speedup; (if equal then "ok" else "DIFFER");
+          ])
+      [
+        (* Q6 from the workload, then descendant steps whose ancestor sets
+           are large — the shapes where the nested loop goes quadratic *)
+        ("Q6", "/site//item/name");
+        ("item-keyword", "//item//keyword");
+        ("auction-increase", "//open_auction//increase");
+        ("person-age", "//person//age");
+      ]
+  in
+  let oc = open_out "BENCH_F12.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"vectorized_staircase\",\n  \"scale\": %g,\n  \"repeat\": %d,\n  \
+     \"entries\": [\n%s\n  ]\n}\n"
+    scale repeat
+    (String.concat ",\n" (List.rev !entries));
+  close_out oc;
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "F12b: staircase structural join off vs on, interval scheme, scale %g (also \
+          BENCH_F12.json)"
+         scale)
+    ~header:[ "query"; "matches"; "nested-loop ms"; "staircase ms"; "speedup"; "answers" ]
+    stair_rows
+
+(* ------------------------------------------------------------------ *)
 (* F4: micro-benchmarks via Bechamel — one Test.make per component *)
 
 let f4 () =
@@ -993,7 +1142,7 @@ let experiments =
   [
     ("T1", t1); ("T2", t2); ("F1", f1); ("F2", f2); ("T3", t3); ("F3", f3);
     ("T4", t4); ("T5", t5); ("T6", t6); ("T7", t7); ("F5", f5); ("F6", f6); ("F7", f7);
-    ("F8", f8); ("F9", f9); ("F10", f10); ("F11", f11); ("F4", f4);
+    ("F8", f8); ("F9", f9); ("F10", f10); ("F11", f11); ("F12", f12); ("F4", f4);
   ]
 
 let () =

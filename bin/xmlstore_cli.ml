@@ -229,7 +229,14 @@ let stats_cmd =
              ~doc:"Print the metrics registry as Prometheus text exposition instead of the \
                    storage report. The output is linted before printing.")
   in
-  let run scheme dtd_file path metrics prometheus xpath =
+  let tables_flag =
+    Arg.(value & flag
+         & info [ "tables" ]
+             ~doc:"Dump per-table column statistics (row counts, distincts, null counts, \
+                   min/max, equi-width histograms) — the numbers behind the planner's \
+                   cardinality estimates.")
+  in
+  let run scheme dtd_file path metrics prometheus tables xpath =
     Relstore.Metrics.reset ();
     let store, doc, _ = read_store ?dtd_file scheme path in
     (match xpath with Some x -> ignore (Store.query store doc x) | None -> ());
@@ -251,6 +258,14 @@ let stats_cmd =
       let hits, misses, invalidations, evictions = Store.cache_stats store in
       Printf.printf "plan cache: %d hit(s), %d miss(es), %d invalidation(s), %d eviction(s)\n" hits
         misses invalidations evictions;
+      if tables then begin
+        let db = Store.database store in
+        List.iter
+          (fun (ts : Relstore.Database.table_stats) ->
+            print_newline ();
+            print_string (Relstore.Database.analyze_to_string db ts.Relstore.Database.st_table))
+          stats.Store.tables
+      end;
       if metrics then begin
         print_newline ();
         (* only this store's series, under their bare names *)
@@ -261,8 +276,10 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Shred a document and report storage statistics; --metrics dumps the metrics \
-             registry, --prometheus prints it as text exposition.")
-    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ metrics_flag $ prometheus_flag $ xpath_opt)
+             registry, --prometheus prints it as text exposition, --tables dumps per-table \
+             column statistics and histograms.")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ metrics_flag $ prometheus_flag
+          $ tables_flag $ xpath_opt)
 
 (* roundtrip *)
 let roundtrip_cmd =

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Repo health check: build everything (dev profile = warnings as errors),
 # run the test suite, build the bench harness and examples, smoke-run the
-# plan-cache / analyze / trace-overhead / empty-fastpath / bulk-load
-# benchmarks (write BENCH_plancache.json, BENCH_analyze.json,
-# BENCH_trace.json, BENCH_lint.json, BENCH_load.json), round-trip a trace
+# plan-cache / analyze / trace-overhead / empty-fastpath / bulk-load /
+# vectorized-executor benchmarks (write BENCH_plancache.json,
+# BENCH_analyze.json, BENCH_trace.json, BENCH_lint.json, BENCH_load.json,
+# BENCH_F12.json), round-trip a trace
 # export through the validator for
 # three schemes, lint the Prometheus exposition, and gate on the static
 # analyzer: the full Q1-Q12 workload must lint clean under every scheme.
@@ -23,6 +24,8 @@ BENCH_F10_SCALE=0.05 BENCH_F10_REPEAT=5 dune exec bench/main.exe -- F10
 test -s BENCH_lint.json
 BENCH_F11_SCALE=0.05 BENCH_F11_REPEAT=2 dune exec bench/main.exe -- F11
 test -s BENCH_load.json
+BENCH_F12_SCALE=0.05 BENCH_F12_REPEAT=2 dune exec bench/main.exe -- F12
+test -s BENCH_F12.json
 
 # trace export -> validate round trip (parse/shred/plan/execute/reconstruct
 # spans, checked well-nested by the exporter and re-checked from the JSON)

@@ -11,7 +11,6 @@ module Ast = Relstore.Sql_ast
 module Plan = Relstore.Plan
 module Table = Relstore.Table
 module Schema = Relstore.Schema
-module Stats = Relstore.Stats
 module Planner = Relstore.Planner
 
 let diag = Diag.make
@@ -28,7 +27,8 @@ let rec aliases_of_plan = function
   | Plan.Limit (_, p) ->
     aliases_of_plan p
   | Plan.Aggregate { input; _ } -> aliases_of_plan input
-  | Plan.Nl_join (a, b) -> aliases_of_plan a @ aliases_of_plan b
+  | Plan.Nl_join (a, b) | Plan.Staircase_join { left = a; right = b; _ } ->
+    aliases_of_plan a @ aliases_of_plan b
   | Plan.Hash_join { build; probe; _ } -> aliases_of_plan build @ aliases_of_plan probe
   | Plan.Union_all ps -> List.concat_map aliases_of_plan ps
 
@@ -75,35 +75,11 @@ let leading_index_exists table column =
       (Table.indexes table)
 
 (* ------------------------------------------------------------------ *)
-(* Cardinality estimation (coarse, Stats-driven) *)
+(* Cardinality estimation: the planner's statistics-backed plan estimator
+   (histograms for literal-bounded index ranges, distinct counts for point
+   lookups), shared so the lint's numbers match EXPLAIN ANALYZE's [est=]. *)
 
-let table_rows (cat : Planner.catalog) table =
-  match cat.Planner.find_table table with
-  | None -> 1
-  | Some t -> (Stats.get cat.Planner.stats t).Stats.ts_rows
-
-let rec estimate (cat : Planner.catalog) = function
-  | Plan.Seq_scan { table; _ } -> max 1 (table_rows cat table)
-  | Plan.Index_scan { table; lower; upper; _ } ->
-    let rows = max 1 (table_rows cat table) in
-    let exact_point =
-      match (lower, upper) with
-      | Some (l, true), Some (u, true) -> l = u
-      | _ -> false
-    in
-    if exact_point then max 1 (rows / 100) else max 1 (rows / 4)
-  | Plan.Index_probes { table; keys; _ } ->
-    let rows = max 1 (table_rows cat table) in
-    max 1 (min rows (List.length keys * max 1 (rows / 100)))
-  | Plan.Filter (_, p) -> max 1 (estimate cat p / 2)
-  | Plan.Project (_, p) | Plan.Sort (_, p) -> estimate cat p
-  | Plan.Distinct p -> max 1 (estimate cat p / 2)
-  | Plan.Limit (n, p) -> min n (estimate cat p)
-  | Plan.Nl_join (a, b) -> estimate cat a * estimate cat b
-  | Plan.Hash_join { build; probe; _ } -> max (estimate cat build) (estimate cat probe)
-  | Plan.Aggregate { group_by = []; _ } -> 1
-  | Plan.Aggregate { input; _ } -> max 1 (estimate cat input / 2)
-  | Plan.Union_all ps -> List.fold_left (fun acc p -> acc + estimate cat p) 0 ps
+let estimate (cat : Planner.catalog) plan = Planner.estimate_plan cat plan
 
 (* ------------------------------------------------------------------ *)
 (* The pass *)
@@ -132,7 +108,9 @@ let lint_plan ?(explosion_threshold = default_explosion_threshold) (cat : Planne
                  (Printf.sprintf
                     "sequential scan of %s although an index covers %s (predicate %s)" table
                     (String.concat ", " missed) (Ast.expr_to_string e))))
-      | Plan.Nl_join (a, b) | Plan.Hash_join { build = a; probe = b; _ } ->
+      | Plan.Nl_join (a, b)
+      | Plan.Hash_join { build = a; probe = b; _ }
+      | Plan.Staircase_join { left = a; right = b; _ } ->
         (* PLAN002: every alias the filter mentions lives on one join
            side, so the selection could run below the join *)
         let quals = Ast.referenced_tables e in
@@ -158,6 +136,10 @@ let lint_plan ?(explosion_threshold = default_explosion_threshold) (cat : Planne
       walk a;
       walk b
     | Plan.Hash_join { build; probe; _ } -> walk build; walk probe
+    | Plan.Staircase_join { left; right; _ } ->
+      (* the structural join is the fix for PLAN003, never a trigger *)
+      walk left;
+      walk right
     | Plan.Union_all ps -> List.iter walk ps
   in
   walk plan;

@@ -19,12 +19,18 @@ exception Db_error of string
 let err fmt = Printf.ksprintf (fun s -> raise (Db_error s)) fmt
 
 let create () =
-  {
-    tables = Hashtbl.create 16;
-    col_stats = Stats.create ();
-    plan_cache = Plan_cache.create ();
-    ddl_gen = 0;
-  }
+  let t =
+    {
+      tables = Hashtbl.create 16;
+      col_stats = Stats.create ();
+      plan_cache = Plan_cache.create ();
+      ddl_gen = 0;
+    }
+  in
+  (* A material statistics change means cached plans were costed against
+     numbers that no longer hold — invalidate, like DDL does. *)
+  Stats.on_change t.col_stats (fun _table -> Plan_cache.clear t.plan_cache);
+  t
 
 let key name = String.lowercase_ascii name
 
@@ -155,14 +161,21 @@ let finish_session s =
         let attached =
           match find_table s.s_db name with Some cur -> cur == tbl | None -> false
         in
-        if attached then
+        if attached then begin
           let added =
             Obskit.Trace.with_span ~attrs:[ ("table", name) ] "index.build" (fun () ->
                 let n = Metrics.timed "db.bulk.index_build" (fun () -> Table.end_bulk tbl) in
                 Obskit.Trace.add_attr "rows" (string_of_int n);
                 n)
           in
+          (* fold the appended range into the column statistics in one
+             pass, instead of invalidating and re-scanning the whole
+             table on the next planner question *)
+          Stats.fold_range s.s_db.col_stats tbl
+            ~base:(Table.allocated_rows tbl - added)
+            ~added;
           total := !total + added
+        end
         else
           (* dropped mid-session: drain quietly so any lingering reference
              sees a consistent (empty-range) table *)

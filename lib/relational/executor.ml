@@ -22,6 +22,103 @@ let to_list (c : cursor) =
   let rec go acc = match c () with None -> List.rev acc | Some r -> go (r :: acc) in
   go []
 
+let of_array (arr : Value.t array array) : cursor =
+  let i = ref 0 in
+  fun () ->
+    if !i >= Array.length arr then None
+    else begin
+      let r = arr.(!i) in
+      incr i;
+      Some r
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Batch protocol: operators exchange vectors of ~1024 rows instead of one
+   row per virtual call. Ownership of a batch transfers to the consumer,
+   so Filter compacts in place and Project overwrites slots. *)
+
+let batch_size = 1024
+
+type batch = {
+  mutable b_rows : Value.t array array;  (* only [0, b_len) is valid *)
+  mutable b_len : int;
+}
+
+type batched = unit -> batch option
+
+let batches_of_array (arr : Value.t array array) : batched =
+  (* Callers always pass a freshly materialized array (the scan helpers,
+     aggregate and staircase outputs), so it is served as one aliased
+     batch: zero copies, and downstream operators are free to compact or
+     overwrite it in place. *)
+  let served = ref false in
+  fun () ->
+    if !served || Array.length arr = 0 then None
+    else begin
+      served := true;
+      Some { b_rows = arr; b_len = Array.length arr }
+    end
+
+let rows_of_batches (b : batched) : cursor =
+  let cur = ref { b_rows = [||]; b_len = 0 } in
+  let idx = ref 0 in
+  let rec next () =
+    if !idx < !cur.b_len then begin
+      let r = !cur.b_rows.(!idx) in
+      incr idx;
+      Some r
+    end
+    else
+      match b () with
+      | None -> None
+      | Some bt ->
+        cur := bt;
+        idx := 0;
+        next ()
+  in
+  next
+
+let batches_of_rows (c : cursor) : batched =
+ fun () ->
+  match c () with
+  | None -> None
+  | Some first ->
+    let buf = Array.make batch_size first in
+    let n = ref 1 in
+    (try
+       while !n < batch_size do
+         match c () with
+         | None -> raise Exit
+         | Some r ->
+           buf.(!n) <- r;
+           incr n
+       done
+     with Exit -> ());
+    Some { b_rows = buf; b_len = !n }
+
+let drain_batched (b : batched) : Value.t array array =
+  let chunks = ref [] and total = ref 0 in
+  let rec pull () =
+    match b () with
+    | None -> ()
+    | Some bt ->
+      chunks := bt :: !chunks;
+      total := !total + bt.b_len;
+      pull ()
+  in
+  pull ();
+  if !total = 0 then [||]
+  else begin
+    let out = Array.make !total [||] in
+    let pos = ref !total in
+    List.iter
+      (fun bt ->
+        pos := !pos - bt.b_len;
+        Array.blit bt.b_rows 0 out !pos bt.b_len)
+      !chunks;
+    out
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Layout computation *)
 
@@ -41,7 +138,8 @@ let rec layout_of cat (plan : Plan.t) : Expr_eval.layout =
   | Plan.Project (cols, _) ->
     Array.of_list
       (List.map (fun (_, name) -> { Expr_eval.slot_alias = ""; slot_name = name }) cols)
-  | Plan.Nl_join (l, r) -> Expr_eval.layout_concat (layout_of cat l) (layout_of cat r)
+  | Plan.Nl_join (l, r) | Plan.Staircase_join { left = l; right = r; _ } ->
+    Expr_eval.layout_concat (layout_of cat l) (layout_of cat r)
   | Plan.Hash_join { build; probe; _ } ->
     Expr_eval.layout_concat (layout_of cat probe) (layout_of cat build)
   | Plan.Aggregate { group_by; aggregates; _ } ->
@@ -129,84 +227,181 @@ let const_value params e =
   let f = Expr_eval.compile ~params [||] e in
   f [||]
 
+(* ------------------------------------------------------------------ *)
+(* Scan row gathering, shared between the iterator and batched
+   interpreters (scans are leaves, so both produce the same array). *)
+
+let find_table cat table =
+  match cat.Planner.find_table table with
+  | Some t -> t
+  | None -> err "no such table: %s" table
+
+let find_index t index_name table =
+  match Table.find_index t index_name with
+  | Some ix -> ix
+  | None -> err "no such index: %s on %s" index_name table
+
+let seq_scan_rows cat table : Value.t array array =
+  let t = find_table cat table in
+  (* Materialize at open time so the cursor is stable under concurrent
+     mutation of the table; [row_count] sizes the snapshot exactly, so
+     this is one allocation and one pass. *)
+  let out = Array.make (Table.row_count t) [||] in
+  let i = ref 0 in
+  Table.iter
+    (fun _ row ->
+      out.(!i) <- row;
+      incr i)
+    t;
+  out
+
+let index_scan_rows params cat ~table ~index_name ~lower ~upper : Value.t array array =
+  let t = find_table cat table in
+  let ix = find_index t index_name table in
+  let lower_v = Option.map (fun (e, incl) -> (const_value params e, incl)) lower in
+  let upper_v = Option.map (fun (e, incl) -> (const_value params e, incl)) upper in
+  let tree_lower =
+    match lower_v with
+    | Some (v, _) -> Btree.Inclusive [| v |]
+    | None -> Btree.Unbounded
+  in
+  let rowids = ref [] in
+  let exception Stop in
+  (try
+     Btree.iter_range ix.Table.tree ~lower:tree_lower ~upper:Btree.Unbounded (fun key rowid ->
+         let first = key.(0) in
+         (match upper_v with
+         | Some (v, incl) ->
+           let c = Value.compare first v in
+           if (incl && c > 0) || ((not incl) && c >= 0) then raise Stop
+         | None -> ());
+         let passes_lower =
+           match lower_v with
+           | Some (v, incl) ->
+             let c = Value.compare first v in
+             if incl then c >= 0 else c > 0
+           | None -> true
+         in
+         if passes_lower then rowids := rowid :: !rowids)
+   with Stop -> ());
+  Array.of_list (List.filter_map (fun rowid -> Table.get t rowid) (List.rev !rowids))
+
+let index_probe_rows params cat ~table ~index_name ~keys : Value.t array array =
+  let t = find_table cat table in
+  let ix = find_index t index_name table in
+  let rowids =
+    List.concat_map
+      (fun e ->
+        (* prefix probe so composite indexes answer single-column keys *)
+        let acc = ref [] in
+        Btree.iter_prefix ix.Table.tree [| const_value params e |] (fun _ r -> acc := r :: !acc);
+        List.rev !acc)
+      keys
+  in
+  (* dedup in case probe keys repeat *)
+  let rowids = List.sort_uniq compare rowids in
+  Array.of_list (List.filter_map (fun rowid -> Table.get t rowid) rowids)
+
+(* ------------------------------------------------------------------ *)
+(* Staircase merge: the structural-join core, shared by both interpreters.
+
+   Both sides materialize. Descendant rows sort by key ascending; ancestor
+   rows sort by lower bound ascending. One sweep over the descendants
+   maintains the set of "active" ancestors — those whose lower bound the
+   current key has passed — admitting ancestors as the key ascends and
+   compacting out the ones whose upper bound has expired (monotone: an
+   interval dead at key k stays dead for every larger key). Each surviving
+   active ancestor pairs with the current descendant, so the cost is one
+   sort of each side plus work proportional to the output. Rows whose key
+   or bounds are NULL never match (SQL comparison semantics) and are
+   dropped up front. *)
+
+let staircase_merge ~desc_on_left ~key_of ~lo_of ~hi_of ~lower_strict ~upper_strict
+    (descs : Value.t array array) (ancs : Value.t array array) : Value.t array list =
+  let keyed f rows =
+    Array.to_list rows
+    |> List.filter_map (fun r ->
+           let v = f r in
+           if Value.is_null v then None else Some (v, r))
+    |> Array.of_list
+  in
+  let ds = keyed key_of descs in
+  let asr_ =
+    Array.to_list ancs
+    |> List.filter_map (fun r ->
+           let lo = lo_of r and hi = hi_of r in
+           if Value.is_null lo || Value.is_null hi then None else Some (lo, hi, r))
+    |> Array.of_list
+  in
+  (* stable sorts keep input order deterministic within equal keys *)
+  let ds = Array.copy ds in
+  Array.stable_sort (fun (a, _) (b, _) -> Value.compare a b) ds;
+  Array.stable_sort (fun (a, _, _) (b, _, _) -> Value.compare a b) asr_;
+  let started lo k = if lower_strict then Value.compare lo k < 0 else Value.compare lo k <= 0 in
+  let expired hi k = if upper_strict then Value.compare hi k <= 0 else Value.compare hi k < 0 in
+  let n_anc = Array.length asr_ in
+  let active = Array.make (max 1 n_anc) (Value.Null, Value.Null, [||]) in
+  let active_n = ref 0 in
+  let ai = ref 0 in
+  let out = ref [] in
+  Array.iter
+    (fun (k, drow) ->
+      (* admit ancestors whose lower bound the key has now passed *)
+      while
+        !ai < n_anc
+        &&
+        let lo, _, _ = asr_.(!ai) in
+        started lo k
+      do
+        active.(!active_n) <- asr_.(!ai);
+        incr active_n;
+        incr ai
+      done;
+      (* pair with live ancestors, compacting out expired ones *)
+      let j = ref 0 in
+      for i = 0 to !active_n - 1 do
+        let (_, hi, arow) as entry = active.(i) in
+        if not (expired hi k) then begin
+          active.(!j) <- entry;
+          incr j;
+          let row =
+            if desc_on_left then Array.append drow arow else Array.append arow drow
+          in
+          out := row :: !out
+        end
+      done;
+      active_n := !j)
+    ds;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+
 (* The worker is parameterized over how children are opened ([recur]), so
    the plain interpreter and the instrumented EXPLAIN ANALYZE interpreter
    share one implementation. *)
 let open_with (recur : Plan.t -> cursor) params cat (plan : Plan.t) : cursor =
   match plan with
-  | Plan.Seq_scan { table; _ } ->
-    let t =
-      match cat.Planner.find_table table with
-      | Some t -> t
-      | None -> err "no such table: %s" table
-    in
-    (* Materialize row ids at open time so the cursor is stable under
-       concurrent mutation of the table. *)
-    let rows = ref [] in
-    Table.iter (fun _ row -> rows := row :: !rows) t;
-    of_list (List.rev !rows)
+  | Plan.Seq_scan { table; _ } -> of_array (seq_scan_rows cat table)
   | Plan.Index_scan { table; index_name; lower; upper; _ } ->
-    let t =
-      match cat.Planner.find_table table with
-      | Some t -> t
-      | None -> err "no such table: %s" table
-    in
-    let ix =
-      match Table.find_index t index_name with
-      | Some ix -> ix
-      | None -> err "no such index: %s on %s" index_name table
-    in
-    let lower_v = Option.map (fun (e, incl) -> (const_value params e, incl)) lower in
-    let upper_v = Option.map (fun (e, incl) -> (const_value params e, incl)) upper in
-    let tree_lower =
-      match lower_v with
-      | Some (v, _) -> Btree.Inclusive [| v |]
-      | None -> Btree.Unbounded
-    in
-    let rowids = ref [] in
-    let exception Stop in
-    (try
-       Btree.iter_range ix.Table.tree ~lower:tree_lower ~upper:Btree.Unbounded (fun key rowid ->
-           let first = key.(0) in
-           (match upper_v with
-           | Some (v, incl) ->
-             let c = Value.compare first v in
-             if (incl && c > 0) || ((not incl) && c >= 0) then raise Stop
-           | None -> ());
-           let passes_lower =
-             match lower_v with
-             | Some (v, incl) ->
-               let c = Value.compare first v in
-               if incl then c >= 0 else c > 0
-             | None -> true
-           in
-           if passes_lower then rowids := rowid :: !rowids)
-     with Stop -> ());
-    let rows = List.filter_map (fun rowid -> Table.get t rowid) (List.rev !rowids) in
-    of_list rows
+    of_array (index_scan_rows params cat ~table ~index_name ~lower ~upper)
   | Plan.Index_probes { table; index_name; keys; _ } ->
-    let t =
-      match cat.Planner.find_table table with
-      | Some t -> t
-      | None -> err "no such table: %s" table
+    of_array (index_probe_rows params cat ~table ~index_name ~keys)
+  | Plan.Staircase_join
+      { left; right; desc_on_left; desc_key; anc_lower; anc_upper; lower_strict; upper_strict }
+    ->
+    let left_layout = layout_of cat left and right_layout = layout_of cat right in
+    let dlay, alay =
+      if desc_on_left then (left_layout, right_layout) else (right_layout, left_layout)
     in
-    let ix =
-      match Table.find_index t index_name with
-      | Some ix -> ix
-      | None -> err "no such index: %s on %s" index_name table
-    in
-    let rowids =
-      List.concat_map
-        (fun e ->
-          (* prefix probe so composite indexes answer single-column keys *)
-          let acc = ref [] in
-          Btree.iter_prefix ix.Table.tree [| const_value params e |] (fun _ r -> acc := r :: !acc);
-          List.rev !acc)
-        keys
-    in
-    (* dedup in case probe keys repeat *)
-    let rowids = List.sort_uniq compare rowids in
-    of_list (List.filter_map (fun rowid -> Table.get t rowid) rowids)
+    let key_of = Expr_eval.compile ~params dlay desc_key in
+    let lo_of = Expr_eval.compile ~params alay anc_lower in
+    let hi_of = Expr_eval.compile ~params alay anc_upper in
+    let lrows = Array.of_list (to_list (recur left)) in
+    let rrows = Array.of_list (to_list (recur right)) in
+    let descs, ancs = if desc_on_left then (lrows, rrows) else (rrows, lrows) in
+    of_list
+      (staircase_merge ~desc_on_left ~key_of ~lo_of ~hi_of ~lower_strict ~upper_strict descs
+         ancs)
   | Plan.Filter (e, input) ->
     let layout = layout_of cat input in
     let pred = Expr_eval.compile_predicate ~params layout e in
@@ -397,6 +592,221 @@ let open_with (recur : Plan.t -> cursor) params cat (plan : Plan.t) : cursor =
 
 let rec open_plan params cat plan = open_with (open_plan params cat) params cat plan
 
+(* ------------------------------------------------------------------ *)
+(* Batched interpreter. Hot operators — scans, filter, project, hash join,
+   aggregate, staircase join, limit — move whole batches per virtual call;
+   the remaining operators (sort, distinct, union, nested loop) fall back
+   to the iterator implementation with their children still opened
+   batched, so a hot subtree keeps its batching under a cold root. *)
+
+let rec open_batched params cat (plan : Plan.t) : batched =
+  let recur child = open_batched params cat child in
+  match plan with
+  | Plan.Seq_scan { table; _ } -> batches_of_array (seq_scan_rows cat table)
+  | Plan.Index_scan { table; index_name; lower; upper; _ } ->
+    batches_of_array (index_scan_rows params cat ~table ~index_name ~lower ~upper)
+  | Plan.Index_probes { table; index_name; keys; _ } ->
+    batches_of_array (index_probe_rows params cat ~table ~index_name ~keys)
+  | Plan.Filter (e, input) ->
+    let layout = layout_of cat input in
+    let pred = Expr_eval.compile_predicate ~params layout e in
+    let child = recur input in
+    let rec next () =
+      match child () with
+      | None -> None
+      | Some b ->
+        (* in-place compaction: the batch is ours *)
+        let j = ref 0 in
+        for i = 0 to b.b_len - 1 do
+          let r = b.b_rows.(i) in
+          if pred r then begin
+            b.b_rows.(!j) <- r;
+            incr j
+          end
+        done;
+        b.b_len <- !j;
+        if !j = 0 then next () else Some b
+    in
+    next
+  | Plan.Project (cols, input) ->
+    let layout = layout_of cat input in
+    let fs = Array.of_list (List.map (fun (e, _) -> Expr_eval.compile ~params layout e) cols) in
+    let child = recur input in
+    fun () ->
+      Option.map
+        (fun b ->
+          for i = 0 to b.b_len - 1 do
+            let r = b.b_rows.(i) in
+            b.b_rows.(i) <- Array.map (fun f -> f r) fs
+          done;
+          b)
+        (child ())
+  | Plan.Hash_join { build; probe; build_keys; probe_keys } ->
+    let build_layout = layout_of cat build in
+    let probe_layout = layout_of cat probe in
+    let bks = List.map (Expr_eval.compile ~params build_layout) build_keys in
+    let pks = List.map (Expr_eval.compile ~params probe_layout) probe_keys in
+    let table = Hashtbl.create 256 in
+    let build_rows = drain_batched (recur build) in
+    Array.iter
+      (fun row ->
+        let key = List.map (fun f -> f row) bks in
+        if not (List.exists Value.is_null key) then Hashtbl.add table key row)
+      build_rows;
+    let probe_cursor = recur probe in
+    let rec next () =
+      match probe_cursor () with
+      | None -> None
+      | Some b ->
+        let out = ref [] and n = ref 0 in
+        for i = 0 to b.b_len - 1 do
+          let pr = b.b_rows.(i) in
+          let key = List.map (fun f -> f pr) pks in
+          if not (List.exists Value.is_null key) then
+            (* find_all returns most-recent first, matching the iterator *)
+            List.iter
+              (fun br ->
+                out := Array.append pr br :: !out;
+                incr n)
+              (Hashtbl.find_all table key)
+        done;
+        if !n = 0 then next ()
+        else begin
+          (* one output batch per probe batch; size tracks the join fanout *)
+          let rows = Array.make !n [||] in
+          let pos = ref !n in
+          List.iter
+            (fun r ->
+              decr pos;
+              rows.(!pos) <- r)
+            !out;
+          Some { b_rows = rows; b_len = !n }
+        end
+    in
+    next
+  | Plan.Staircase_join
+      { left; right; desc_on_left; desc_key; anc_lower; anc_upper; lower_strict; upper_strict }
+    ->
+    let left_layout = layout_of cat left and right_layout = layout_of cat right in
+    let dlay, alay =
+      if desc_on_left then (left_layout, right_layout) else (right_layout, left_layout)
+    in
+    let key_of = Expr_eval.compile ~params dlay desc_key in
+    let lo_of = Expr_eval.compile ~params alay anc_lower in
+    let hi_of = Expr_eval.compile ~params alay anc_upper in
+    let lrows = drain_batched (recur left) in
+    let rrows = drain_batched (recur right) in
+    let descs, ancs = if desc_on_left then (lrows, rrows) else (rrows, lrows) in
+    batches_of_array
+      (Array.of_list
+         (staircase_merge ~desc_on_left ~key_of ~lo_of ~hi_of ~lower_strict ~upper_strict descs
+            ancs))
+  | Plan.Aggregate { group_by = []; aggregates; input } ->
+    (* Ungrouped aggregation is the showcase batched kernel: one state
+       per aggregate, no per-row key building or hash lookups, and a
+       count over an argument-less aggregate advances by the whole batch
+       length in one store. *)
+    let layout = layout_of cat input in
+    let afs =
+      List.map
+        (fun (a : Plan.agg) ->
+          match a.Plan.agg_arg with
+          | Some e -> (a, Some (Expr_eval.compile ~params layout e))
+          | None -> (a, None))
+        aggregates
+    in
+    let states = List.map (fun (a, _) -> new_agg_state a) afs in
+    let child = recur input in
+    let rec consume () =
+      match child () with
+      | None -> ()
+      | Some b ->
+        List.iter2
+          (fun (a, f) st ->
+            match f with
+            | None ->
+              (* count star: only [a_rows] moves, so the batch feeds at once *)
+              st.a_rows <- st.a_rows + b.b_len
+            | Some f ->
+              for i = 0 to b.b_len - 1 do
+                agg_feed a st (f b.b_rows.(i))
+              done)
+          afs states;
+        consume ()
+    in
+    consume ();
+    batches_of_array
+      [| Array.of_list (List.map2 (fun (a, _) st -> agg_result a st) afs states) |]
+  | Plan.Aggregate { group_by; aggregates; input } ->
+    let layout = layout_of cat input in
+    let gfs = List.map (Expr_eval.compile ~params layout) group_by in
+    let afs =
+      List.map
+        (fun (a : Plan.agg) ->
+          match a.Plan.agg_arg with
+          | Some e -> (a, Some (Expr_eval.compile ~params layout e))
+          | None -> (a, None))
+        aggregates
+    in
+    let groups : (Value.t list, agg_state list) Hashtbl.t = Hashtbl.create 64 in
+    let group_order = ref [] in
+    let child = recur input in
+    let rec consume () =
+      match child () with
+      | None -> ()
+      | Some b ->
+        for i = 0 to b.b_len - 1 do
+          let row = b.b_rows.(i) in
+          let key = List.map (fun f -> f row) gfs in
+          let states =
+            match Hashtbl.find_opt groups key with
+            | Some s -> s
+            | None ->
+              let s = List.map (fun (a, _) -> new_agg_state a) afs in
+              Hashtbl.add groups key s;
+              group_order := key :: !group_order;
+              s
+          in
+          List.iter2
+            (fun (a, f) st ->
+              let v = match f with Some f -> f row | None -> Value.Null in
+              agg_feed a st v)
+            afs states
+        done;
+        consume ()
+    in
+    consume ();
+    let emit key =
+      let states = Hashtbl.find groups key in
+      Array.of_list (key @ List.map2 (fun (a, _) st -> agg_result a st) afs states)
+    in
+    let keys = List.rev !group_order in
+    let rows =
+      if keys = [] && group_by = [] then
+        [| Array.of_list (List.map (fun (a, _) -> agg_result a (new_agg_state a)) afs) |]
+      else Array.of_list (List.map emit keys)
+    in
+    batches_of_array rows
+  | Plan.Limit (n, input) ->
+    let child = recur input in
+    let remaining = ref n in
+    let rec next () =
+      if !remaining <= 0 then None
+      else
+        match child () with
+        | None -> None
+        | Some b ->
+          let take = min b.b_len !remaining in
+          remaining := !remaining - take;
+          b.b_len <- take;
+          if take = 0 then next () else Some b
+    in
+    next
+  | (Plan.Nl_join _ | Plan.Sort _ | Plan.Distinct _ | Plan.Union_all _) as plan ->
+    (* iterator implementation, children still batched underneath *)
+    batches_of_rows
+      (open_with (fun child -> rows_of_batches (recur child)) params cat plan)
+
 (* Instrumented variant: every operator is wrapped in a counting cursor
    feeding a Plan.annotated node — rows produced, next() calls, and
    inclusive wall-clock (open + next, children included). Blocking
@@ -404,7 +814,8 @@ let rec open_plan params cat plan = open_with (open_plan params cat) params cat 
    of their time, exactly where it is paid. *)
 let open_annotated params cat plan : cursor * Plan.annotated =
   let rec go plan =
-    let a = Plan.annot (Plan.node_line plan) in
+    let est = try Some (Planner.estimate_plan cat plan) with _ -> None in
+    let a = Plan.annot ?est (Plan.node_line plan) in
     let recur child =
       (* children are appended in execution order; Union_all opens its
          inputs lazily, so late children still land in the tree *)
@@ -432,9 +843,52 @@ type result = { columns : string list; rows : Value.t array list }
 let columns_of cat plan =
   Array.to_list (Array.map (fun s -> s.Expr_eval.slot_name) (layout_of cat plan))
 
+(* Batched execution is the default; the iterator path remains for
+   EXPLAIN ANALYZE instrumentation and as the benchmark baseline. *)
+let batched_enabled = ref true
+let set_batched b = batched_enabled := b
+let batched_on () = !batched_enabled
+
 let run ?(params = [||]) cat plan =
   let columns = columns_of cat plan in
-  let rows = to_list (open_plan params cat plan) in
+  let rows =
+    if !batched_enabled then begin
+      (* A root Project is fused into the drain: projected rows are
+         consed straight onto the (young) result list instead of being
+         written back into the old batch array, which would hit the
+         write barrier's remembered-set path on every row. *)
+      let inner, project =
+        match plan with
+        | Plan.Project (cols, input) ->
+          let layout = layout_of cat input in
+          ( input,
+            Some
+              (Array.of_list (List.map (fun (e, _) -> Expr_eval.compile ~params layout e) cols))
+          )
+        | _ -> (plan, None)
+      in
+      let b = open_batched params cat inner in
+      let acc = ref [] in
+      let rec pull () =
+        match b () with
+        | None -> List.rev !acc
+        | Some bt ->
+          (match project with
+          | None ->
+            for i = 0 to bt.b_len - 1 do
+              acc := bt.b_rows.(i) :: !acc
+            done
+          | Some fs ->
+            for i = 0 to bt.b_len - 1 do
+              let r = bt.b_rows.(i) in
+              acc := Array.map (fun f -> f r) fs :: !acc
+            done);
+          pull ()
+      in
+      pull ()
+    end
+    else to_list (open_plan params cat plan)
+  in
   { columns; rows }
 
 let run_analyzed ?(params = [||]) cat plan =

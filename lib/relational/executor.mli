@@ -10,12 +10,47 @@ type cursor = unit -> Value.t array option
 val of_list : Value.t array list -> cursor
 val to_list : cursor -> Value.t array list
 
+(** {1 Batch protocol}
+
+    The vectorized interpreter exchanges batches of ~1024 rows instead of
+    one row per virtual call. Ownership of a batch transfers to the
+    consumer: Filter compacts [b_rows] in place and Project overwrites its
+    slots, so a producer must not retain a batch it has handed out. *)
+
+val batch_size : int
+
+type batch = {
+  mutable b_rows : Value.t array array;  (** only [[0, b_len)] is valid *)
+  mutable b_len : int;
+}
+
+type batched = unit -> batch option
+
+val rows_of_batches : batched -> cursor
+(** Row-iterator adapter over a batched stream (row order preserved). *)
+
+val batches_of_rows : cursor -> batched
+(** Chunk a row stream into full batches. *)
+
+val set_batched : bool -> unit
+(** Choose the interpreter {!run} uses (batched by default) — benchmark
+    hook for measuring vectorized against row-at-a-time execution. *)
+
+val batched_on : unit -> bool
+
 val layout_of : Planner.catalog -> Plan.t -> Expr_eval.layout
 (** The output row layout of a plan node. *)
 
 val open_plan : Value.t array -> Planner.catalog -> Plan.t -> cursor
 (** Compile and open a plan against the given parameter bindings; pull rows
-    with the returned cursor. *)
+    with the returned cursor (row-at-a-time interpreter). *)
+
+val open_batched : Value.t array -> Planner.catalog -> Plan.t -> batched
+(** Vectorized interpreter: scans, filter, project, hash join, aggregate,
+    staircase join and limit move whole batches per call; sort, distinct,
+    union and nested loop fall back to the iterator implementation with
+    their children still opened batched. Row order is identical to
+    {!open_plan} for every operator. *)
 
 val open_annotated : Value.t array -> Planner.catalog -> Plan.t -> cursor * Plan.annotated
 (** Like {!open_plan}, but every operator is wrapped in a counting cursor

@@ -35,6 +35,16 @@ type t =
       build_keys : Sql_ast.expr list;
       probe_keys : Sql_ast.expr list;
     }
+  | Staircase_join of {
+      left : t;  (* output rows are left-row ++ right-row, like the other joins *)
+      right : t;
+      desc_on_left : bool;  (* which side carries the descendant key *)
+      desc_key : Sql_ast.expr;  (* e.g. d.pre, over the descendant side *)
+      anc_lower : Sql_ast.expr;  (* e.g. a.pre, over the ancestor side *)
+      anc_upper : Sql_ast.expr;  (* e.g. a.pre + a.size *)
+      lower_strict : bool;  (* key > lower vs key >= lower *)
+      upper_strict : bool;  (* key < upper vs key <= upper *)
+    }
   | Aggregate of { group_by : Sql_ast.expr list; aggregates : agg list; input : t }
   | Sort of Sql_ast.order_item list * t
   | Distinct of t
@@ -71,6 +81,14 @@ let node_line plan =
     Printf.sprintf "Project [%s]"
       (String.concat ", " (List.map (fun (e, n) -> Sql_ast.expr_to_string e ^ " AS " ^ n) cols))
   | Nl_join _ -> "NestedLoopJoin"
+  | Staircase_join { desc_key; anc_lower; anc_upper; lower_strict; upper_strict; _ } ->
+    Printf.sprintf "StaircaseJoin (%s %s %s AND %s %s %s)"
+      (Sql_ast.expr_to_string desc_key)
+      (if lower_strict then ">" else ">=")
+      (Sql_ast.expr_to_string anc_lower)
+      (Sql_ast.expr_to_string desc_key)
+      (if upper_strict then "<" else "<=")
+      (Sql_ast.expr_to_string anc_upper)
   | Hash_join { build_keys; probe_keys; _ } ->
     Printf.sprintf "HashJoin (%s = %s)"
       (String.concat ", " (List.map Sql_ast.expr_to_string probe_keys))
@@ -98,6 +116,7 @@ let display_children = function
   | Filter (_, p) | Project (_, p) | Sort (_, p) | Distinct p | Limit (_, p) -> [ p ]
   | Aggregate { input; _ } -> [ input ]
   | Nl_join (l, r) -> [ l; r ]
+  | Staircase_join { left; right; _ } -> [ left; right ]
   | Hash_join { build; probe; _ } -> [ probe; build ]
   | Union_all ps -> ps
 
@@ -120,15 +139,34 @@ type annotated = {
   mutable an_rows : int;  (* rows produced *)
   mutable an_nexts : int;  (* next() calls received *)
   mutable an_ns : int;  (* inclusive wall-clock (open + next), ns *)
+  an_est : int option;  (* planner's cardinality estimate, when costed *)
 }
 
-let annot op = { an_op = op; an_children = []; an_rows = 0; an_nexts = 0; an_ns = 0 }
+let annot ?est op =
+  { an_op = op; an_children = []; an_rows = 0; an_nexts = 0; an_ns = 0; an_est = est }
+
+(* Misestimation factor: how far off the estimate was, as a >= 1 ratio. *)
+let misestimation ~est ~actual =
+  let est = float_of_int (max 1 est) and actual = float_of_int (max 1 actual) in
+  Float.max est actual /. Float.min est actual
 
 let rec annotated_lines indent a =
-  Printf.sprintf "%s%s (actual rows=%d nexts=%d time=%.3f ms)"
+  let est_part =
+    match a.an_est with
+    | None -> ""
+    | Some est ->
+      Printf.sprintf "est=%d " est
+  in
+  let misest_part =
+    match a.an_est with
+    | None -> ""
+    | Some est -> Printf.sprintf " misest=%.1fx" (misestimation ~est ~actual:a.an_rows)
+  in
+  Printf.sprintf "%s%s (%sactual rows=%d nexts=%d time=%.3f ms%s)"
     (String.make (indent * 2) ' ')
-    a.an_op a.an_rows a.an_nexts
+    a.an_op est_part a.an_rows a.an_nexts
     (float_of_int a.an_ns /. 1e6)
+    misest_part
   :: List.concat_map (annotated_lines (indent + 1)) a.an_children
 
 let annotated_to_string a = String.concat "\n" (annotated_lines 0 a)
@@ -174,6 +212,7 @@ let rec count_joins = function
   | Filter (_, p) | Project (_, p) | Sort (_, p) | Distinct p | Limit (_, p) -> count_joins p
   | Aggregate { input; _ } -> count_joins input
   | Nl_join (l, r) -> 1 + count_joins l + count_joins r
+  | Staircase_join { left; right; _ } -> 1 + count_joins left + count_joins right
   | Hash_join { build; probe; _ } -> 1 + count_joins build + count_joins probe
   | Union_all ps -> List.fold_left (fun acc p -> acc + count_joins p) 0 ps
 
@@ -183,5 +222,6 @@ let rec count_index_scans = function
   | Filter (_, p) | Project (_, p) | Sort (_, p) | Distinct p | Limit (_, p) -> count_index_scans p
   | Aggregate { input; _ } -> count_index_scans input
   | Nl_join (l, r) -> count_index_scans l + count_index_scans r
+  | Staircase_join { left; right; _ } -> count_index_scans left + count_index_scans right
   | Hash_join { build; probe; _ } -> count_index_scans build + count_index_scans probe
   | Union_all ps -> List.fold_left (fun acc p -> acc + count_index_scans p) 0 ps

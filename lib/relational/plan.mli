@@ -33,6 +33,20 @@ type t =
       build_keys : Sql_ast.expr list;
       probe_keys : Sql_ast.expr list;
     }
+  | Staircase_join of {
+      left : t;  (** output rows are left-row ++ right-row, like the other joins *)
+      right : t;
+      desc_on_left : bool;  (** which side carries the descendant key *)
+      desc_key : Sql_ast.expr;  (** e.g. [d.pre], over the descendant side *)
+      anc_lower : Sql_ast.expr;  (** e.g. [a.pre], over the ancestor side *)
+      anc_upper : Sql_ast.expr;  (** e.g. [a.pre + a.size] *)
+      lower_strict : bool;  (** [key > lower] vs [key >= lower] *)
+      upper_strict : bool;  (** [key < upper] vs [key <= upper] *)
+    }
+      (** Structural (interval containment) join: one ordered merge over the
+          descendant keys and ancestor [lower .. upper] ranges, replacing the
+          cross product + range filter the containment predicate would
+          otherwise plan as. *)
   | Aggregate of { group_by : Sql_ast.expr list; aggregates : agg list; input : t }
   | Sort of Sql_ast.order_item list * t
   | Distinct of t
@@ -61,10 +75,16 @@ type annotated = {
   mutable an_rows : int;  (** rows produced *)
   mutable an_nexts : int;  (** [next ()] calls received *)
   mutable an_ns : int;  (** inclusive wall-clock (open + next), ns *)
+  an_est : int option;  (** planner's cardinality estimate, when costed *)
 }
 
-val annot : string -> annotated
-(** Fresh zeroed node (used by the executor). *)
+val annot : ?est:int -> string -> annotated
+(** Fresh zeroed node (used by the executor); [est] is the planner's
+    cardinality estimate, printed next to the actuals. *)
+
+val misestimation : est:int -> actual:int -> float
+(** How far off an estimate was, as a ratio >= 1 (both sides floored at
+    one row). *)
 
 val annotated_to_string : annotated -> string
 (** Rendered operator tree with actual row counts and timings. *)

@@ -300,8 +300,9 @@ let access_path cat table ~alias conjuncts =
       residual )
 
 (* Cardinality estimate driving the greedy join order. Equality predicates
-   on a known column use rows/distinct from the column statistics; other
-   predicate shapes keep fixed selectivities. *)
+   on a known column use rows/distinct from the column statistics; range
+   predicates with literal bounds use the column's equi-width histogram;
+   other predicate shapes keep fixed selectivities. *)
 let estimate cat ~alias table conjuncts =
   let base = float_of_int (max 1 (Table.row_count table)) in
   let stats = lazy (Stats.get cat.stats table) in
@@ -319,6 +320,20 @@ let estimate cat ~alias table conjuncts =
       | _ -> None)
     | _ -> None
   in
+  let lit_bound = function Some (Lit v, incl) -> Some (v, incl) | _ -> None in
+  let range_sel c =
+    (* Histogram fraction when the conjunct is a recognizable bound with at
+       least one literal endpoint; the fixed 1/4 guess otherwise. *)
+    match conjunct_bound ~alias c with
+    | Some b -> (
+      match Schema.find_column (Table.schema table) b.cb_column with
+      | Some i ->
+        let lo = lit_bound b.cb_lower and hi = lit_bound b.cb_upper in
+        if lo = None && hi = None then 0.25
+        else Stats.range_selectivity (Lazy.force stats) ~column:i ~lower:lo ~upper:hi
+      | None -> 0.25)
+    | None -> 0.25
+  in
   List.fold_left
     (fun est c ->
       match c with
@@ -326,10 +341,70 @@ let estimate cat ~alias table conjuncts =
         match eq_col c with
         | Some i -> est *. Stats.eq_selectivity (Lazy.force stats) ~column:i
         | None -> est /. 20.0)
-      | Binop ((Lt | Le | Gt | Ge), _, _) | Between _ -> est /. 4.0
+      | Binop ((Lt | Le | Gt | Ge), _, _) | Between _ -> est *. range_sel c
       | Like _ -> est /. 10.0
       | _ -> est /. 2.0)
     base conjuncts
+
+(* ------------------------------------------------------------------ *)
+(* Plan-level cardinality estimation *)
+
+(* Output-cardinality estimate for a physical plan node, driving the lint
+   pass's row-explosion check and the est= column of EXPLAIN ANALYZE.
+   Scans are statistics-backed (histograms for literal-bounded index
+   ranges, distinct counts for point lookups); the operators above them
+   apply coarse fixed selectivities. *)
+let rec estimate_plan (cat : catalog) (plan : Plan.t) : int =
+  let table_rows name =
+    match cat.find_table name with
+    | None -> 1
+    | Some t -> (Stats.get cat.stats t).Stats.ts_rows
+  in
+  match plan with
+  | Plan.Seq_scan { table; _ } -> max 1 (table_rows table)
+  | Plan.Index_scan { table; index_name; lower; upper; _ } -> (
+    let rows = max 1 (table_rows table) in
+    let lit_bound = function Some (Lit v, incl) -> Some (Some (v, incl)) | Some _ -> None | None -> Some None in
+    let stats_sel =
+      match cat.find_table table with
+      | None -> None
+      | Some t -> (
+        match Table.find_index t index_name with
+        | Some ix when Array.length ix.Table.key_columns > 0 -> (
+          match (lit_bound lower, lit_bound upper) with
+          | Some lo, Some hi when not (lo = None && hi = None) ->
+            let st = Stats.get cat.stats t in
+            let column = ix.Table.key_columns.(0) in
+            let point =
+              match (lo, hi) with Some (l, true), Some (u, true) -> l = u | _ -> false
+            in
+            if point then Some (Stats.eq_selectivity st ~column)
+            else Some (Stats.range_selectivity st ~column ~lower:lo ~upper:hi)
+          | _ -> None)
+        | _ -> None)
+    in
+    match stats_sel with
+    | Some sel -> max 1 (int_of_float (Float.round (sel *. float_of_int rows)))
+    | None ->
+      let exact_point =
+        match (lower, upper) with Some (l, true), Some (u, true) -> l = u | _ -> false
+      in
+      if exact_point then max 1 (rows / 100) else max 1 (rows / 4))
+  | Plan.Index_probes { table; keys; _ } ->
+    let rows = max 1 (table_rows table) in
+    max 1 (min rows (List.length keys * max 1 (rows / 100)))
+  | Plan.Filter (_, p) -> max 1 (estimate_plan cat p / 2)
+  | Plan.Project (_, p) | Plan.Sort (_, p) -> estimate_plan cat p
+  | Plan.Distinct p -> max 1 (estimate_plan cat p / 2)
+  | Plan.Limit (n, p) -> min n (estimate_plan cat p)
+  | Plan.Nl_join (a, b) -> estimate_plan cat a * estimate_plan cat b
+  | Plan.Hash_join { build; probe; _ } -> max (estimate_plan cat build) (estimate_plan cat probe)
+  | Plan.Staircase_join { left; right; _ } ->
+    (* one match per descendant on average: bounded by the larger side *)
+    max (estimate_plan cat left) (estimate_plan cat right)
+  | Plan.Aggregate { group_by = []; _ } -> 1
+  | Plan.Aggregate { input; _ } -> max 1 (estimate_plan cat input / 2)
+  | Plan.Union_all ps -> List.fold_left (fun acc p -> acc + estimate_plan cat p) 0 ps
 
 (* ------------------------------------------------------------------ *)
 (* Join ordering *)
@@ -345,6 +420,52 @@ let as_equi_join conjunct =
     | [ ta ], [ tb ] when not (String.equal ta tb) -> Some (ta, a, tb, b)
     | _ -> None)
   | _ -> None
+
+(* Structural-join detection. A pair of pending theta conjuncts of the
+   shape [k > lo AND k <= hi] (any strictness), with [k] over exactly one
+   alias on one side and both bounds over alias(es) of the other side, is
+   an interval containment predicate — the interval scheme's
+   ancestor/descendant test — and plans as a Staircase_join instead of a
+   cross product plus filter. *)
+
+let staircase_enabled = ref true
+let set_staircase b = staircase_enabled := b
+
+(* Each conjunct read both ways round: (key, bound, is_upper, strict)
+   meaning [key > / >= bound] (lower) or [key < / <= bound] (upper). *)
+let range_readings c =
+  match c with
+  | Binop (Gt, a, b) -> [ (a, b, false, true); (b, a, true, true) ]
+  | Binop (Ge, a, b) -> [ (a, b, false, false); (b, a, true, false) ]
+  | Binop (Lt, a, b) -> [ (a, b, true, true); (b, a, false, true) ]
+  | Binop (Le, a, b) -> [ (a, b, true, false); (b, a, false, false) ]
+  | _ -> []
+
+(* Find a lower/upper pair over the same key expression among [pending],
+   with the key over an alias satisfying [desc_ok] and the bounds over
+   aliases satisfying [anc_ok]. Returns the two consumed conjuncts plus
+   the staircase fields. *)
+let containment_pair pending ~desc_ok ~anc_ok =
+  let readings c =
+    List.filter
+      (fun (k, b, _, _) ->
+        (match aliases_of k with [ a ] -> desc_ok a | _ -> false)
+        &&
+        let bs = aliases_of b in
+        bs <> [] && List.for_all anc_ok bs)
+      (range_readings c)
+    |> List.map (fun r -> (c, r))
+  in
+  let all = List.concat_map readings pending in
+  let lowers = List.filter (fun (_, (_, _, up, _)) -> not up) all in
+  let uppers = List.filter (fun (_, (_, _, up, _)) -> up) all in
+  List.find_map
+    (fun (lc, (k, lo, _, lstrict)) ->
+      List.find_map
+        (fun (uc, (k', hi, _, ustrict)) ->
+          if lc != uc && k = k' then Some (lc, uc, k, lo, hi, lstrict, ustrict) else None)
+        uppers)
+    lowers
 
 let order_joins inputs join_preds extra_filters =
   match inputs with
@@ -381,15 +502,53 @@ let order_joins inputs join_preds extra_filters =
           !unused_preds
       in
       let connected = List.filter (fun c -> connecting c <> []) !remaining in
-      let pick =
+      (* No equi link: before falling back to a cross product, look for a
+         containment pair linking the joined prefix to a candidate — either
+         direction (candidate as descendant or as ancestor). *)
+      let staircase_with cand =
+        if not !staircase_enabled then None
+        else
+          let is_cand a = String.equal a cand.ji_alias in
+          let in_joined a = List.mem a !joined in
+          match containment_pair !pending ~desc_ok:is_cand ~anc_ok:in_joined with
+          | Some (lc, uc, k, lo, hi, ls, us) -> Some (lc, uc, k, lo, hi, ls, us, false)
+          | None -> (
+            match containment_pair !pending ~desc_ok:in_joined ~anc_ok:is_cand with
+            | Some (lc, uc, k, lo, hi, ls, us) -> Some (lc, uc, k, lo, hi, ls, us, true)
+            | None -> None)
+      in
+      let pick, staircase =
         match connected with
-        | [] -> List.hd !remaining  (* forced cross product *)
-        | c :: _ -> c
+        | c :: _ -> (c, None)
+        | [] -> (
+          match
+            List.find_map
+              (fun c -> Option.map (fun s -> (c, s)) (staircase_with c))
+              !remaining
+          with
+          | Some (c, s) -> (c, Some s)
+          | None -> (List.hd !remaining, None) (* forced cross product *))
       in
       let preds = connecting pick in
-      (match preds with
-      | [] -> plan := Plan.Nl_join (!plan, pick.ji_plan)
-      | preds ->
+      (match (staircase, preds) with
+      | Some (lc, uc, k, lo, hi, lower_strict, upper_strict, desc_on_left), _ ->
+        plan :=
+          Plan.Staircase_join
+            {
+              left = !plan;
+              right = pick.ji_plan;
+              desc_on_left;
+              desc_key = k;
+              anc_lower = lo;
+              anc_upper = hi;
+              lower_strict;
+              upper_strict;
+            };
+        (* consumed: must not re-apply as a filter once the pair's aliases
+           are all in the joined prefix *)
+        pending := List.filter (fun c -> c != lc && c != uc) !pending
+      | None, [] -> plan := Plan.Nl_join (!plan, pick.ji_plan)
+      | None, preds ->
         let probe_keys, build_keys =
           List.split
             (List.map

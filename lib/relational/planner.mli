@@ -15,6 +15,18 @@ type catalog = {
 
 val make_catalog : (string -> Table.t option) -> catalog
 
+val estimate_plan : catalog -> Plan.t -> int
+(** Output-cardinality estimate for a physical plan node: scans are
+    statistics-backed (histograms for literal-bounded index ranges,
+    distinct counts for point lookups); operators above them apply coarse
+    fixed selectivities. Drives the lint pass's row-explosion check and
+    the [est=] column of EXPLAIN ANALYZE. *)
+
+val set_staircase : bool -> unit
+(** Globally enable/disable Staircase_join selection (on by default) —
+    benchmark/test hook for measuring the structural join against the
+    cross-product-plus-filter plan it replaces. *)
+
 val like_prefix_successor : string -> string option
 (** Smallest string strictly greater than every string starting with the
     given prefix (the exclusive upper bound of a prefix-LIKE index range):

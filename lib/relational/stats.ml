@@ -1,13 +1,40 @@
-(* Per-column statistics (ANALYZE): distinct counts, null fractions, and
-   min/max, collected in one table scan. The planner's cardinality
-   estimates use them when present, replacing the fixed "equality keeps
-   1/20th of the rows" guess with rows/distinct. *)
+(* Per-column statistics (ANALYZE): distinct counts, null fractions,
+   min/max, and equi-width histograms over numeric columns. The planner's
+   cardinality estimates use them when present, replacing fixed guesses
+   ("equality keeps 1/20th", "a range keeps 1/4th") with rows/distinct and
+   histogram mass.
+
+   Statistics are maintained incrementally: a finished bulk-load session
+   folds its appended row range into the existing accumulators
+   ([fold_range]) instead of dropping the entry and re-scanning the whole
+   table on the next estimate. A full re-scan happens only when the live
+   row count drifted through channels the fold never saw (row-at-a-time
+   DML). Registered [on_change] listeners fire when a table's statistics
+   move materially — the database uses this to invalidate the plan cache,
+   whose entries were costed against the old numbers. *)
+
+let hist_buckets = 32
+
+(* Exact distinct counting switches to a linear-counting bitmap past this
+   many values: the sketch is O(1) memory, incremental, and good to a few
+   percent at the cardinalities the planner cares about. *)
+let distinct_cap = 4096
+
+let sketch_bits = 16384 (* must be a power of two *)
+
+type histogram = {
+  h_lo : float;
+  h_hi : float;
+  h_counts : int array;  (* equi-width buckets over [h_lo, h_hi] *)
+  h_total : int;  (* finite numeric values counted *)
+}
 
 type column_stats = {
   cs_distinct : int;
   cs_nulls : int;
   cs_min : Value.t;  (* Null when the column is all-NULL or empty *)
   cs_max : Value.t;
+  cs_hist : histogram option;  (* numeric columns only *)
 }
 
 type table_stats = {
@@ -15,59 +42,259 @@ type table_stats = {
   ts_columns : column_stats array;  (* by column position *)
 }
 
-(* Statistics registry keyed by table name; tables are analyzed on demand
-   and the entry is dropped when its row count drifts. *)
-type t = { tbl : (string, table_stats) Hashtbl.t }
+(* ------------------------------------------------------------------ *)
+(* Accumulators (internal, mutable) *)
 
-let create () = { tbl = Hashtbl.create 8 }
+type distinct_acc =
+  | Exact of (Value.t, unit) Hashtbl.t
+  | Sketch of { bits : Bytes.t; mutable set : int }
 
-let analyze_table (table : Table.t) : table_stats =
-  let arity = Schema.arity (Table.schema table) in
-  let seen = Array.init arity (fun _ -> Hashtbl.create 64) in
-  let nulls = Array.make arity 0 in
-  let mins = Array.make arity Value.Null in
-  let maxs = Array.make arity Value.Null in
-  let rows = ref 0 in
-  Table.iter
-    (fun _ row ->
-      incr rows;
-      Array.iteri
-        (fun i v ->
-          if Value.is_null v then nulls.(i) <- nulls.(i) + 1
-          else begin
-            Hashtbl.replace seen.(i) v ();
-            if Value.is_null mins.(i) || Value.compare v mins.(i) < 0 then mins.(i) <- v;
-            if Value.is_null maxs.(i) || Value.compare v maxs.(i) > 0 then maxs.(i) <- v
-          end)
-        row)
-    table;
+type hist_acc = {
+  mutable ha_lo : float;
+  mutable ha_hi : float;
+  mutable ha_counts : int array;
+  mutable ha_total : int;
+}
+
+type col_acc = {
+  mutable ca_nulls : int;
+  mutable ca_min : Value.t;
+  mutable ca_max : Value.t;
+  mutable ca_distinct : distinct_acc;
+  mutable ca_hist : hist_acc option;
+      (* None once a non-numeric value appeared (or before any value) *)
+  mutable ca_numeric : bool;  (* no non-numeric value seen yet *)
+}
+
+type acc = {
+  mutable a_rows : int;
+  a_cols : col_acc array;
+  mutable a_snapshot : table_stats option;  (* cache, dropped on any update *)
+  mutable a_notified_rows : int;  (* row count at the last change notification *)
+}
+
+type t = {
+  tbl : (string, acc) Hashtbl.t;
+  mutable listeners : (string -> unit) list;
+}
+
+let create () = { tbl = Hashtbl.create 8; listeners = [] }
+
+let on_change t f = t.listeners <- f :: t.listeners
+
+let notify t name = List.iter (fun f -> f name) t.listeners
+
+(* ------------------------------------------------------------------ *)
+(* Distinct counting *)
+
+let sketch_add s v =
+  let h = Hashtbl.hash v land (sketch_bits - 1) in
+  let byte = h lsr 3 and mask = 1 lsl (h land 7) in
+  let cur = Char.code (Bytes.get s (byte : int)) in
+  if cur land mask = 0 then begin
+    Bytes.set s byte (Char.chr (cur lor mask));
+    true
+  end
+  else false
+
+let distinct_add ca v =
+  match ca.ca_distinct with
+  | Exact h ->
+    if not (Hashtbl.mem h v) then begin
+      Hashtbl.replace h v ();
+      if Hashtbl.length h > distinct_cap then begin
+        (* convert: re-hash every exact key into the bitmap *)
+        let bits = Bytes.make (sketch_bits / 8) '\000' in
+        let set = ref 0 in
+        Hashtbl.iter (fun k () -> if sketch_add bits k then incr set) h;
+        ca.ca_distinct <- Sketch { bits; set = !set }
+      end
+    end
+  | Sketch s -> if sketch_add s.bits v then s.set <- s.set + 1
+
+(* Linear counting: n-hat = m * ln (m / empty). Never below the number of
+   set bits; saturates when the bitmap fills up. *)
+let distinct_estimate = function
+  | Exact h -> Hashtbl.length h
+  | Sketch s ->
+    if s.set >= sketch_bits then sketch_bits * 64
+    else
+      let m = float_of_int sketch_bits in
+      max s.set (int_of_float ((m *. log (m /. (m -. float_of_int s.set))) +. 0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Equi-width histograms *)
+
+let numeric_of = function
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Float f -> if Float.is_finite f then Some f else None
+  | Value.Bool _ | Value.Text _ | Value.Null -> None
+
+let bucket_of ~lo ~hi v =
+  if hi <= lo then 0
+  else
+    let idx = int_of_float ((v -. lo) /. (hi -. lo) *. float_of_int hist_buckets) in
+    min (hist_buckets - 1) (max 0 idx)
+
+(* Widen the histogram's range to cover [v], growing geometrically (the
+   new span at least doubles the old) so a monotone value stream causes
+   O(log range) rescales, not one per value. Existing mass lands in the
+   new bucket containing its old bucket's midpoint — totals are preserved
+   exactly, resolution degrades gracefully. *)
+let hist_widen ha v =
+  let lo = min ha.ha_lo v and hi = max ha.ha_hi v in
+  let old_span = ha.ha_hi -. ha.ha_lo in
+  let lo, hi =
+    if old_span <= 0. then (lo, hi)
+    else begin
+      let needed = hi -. lo in
+      let span = Float.max needed (2. *. old_span) in
+      if v < ha.ha_lo then (hi -. span, hi) else (lo, lo +. span)
+    end
+  in
+  let counts = Array.make hist_buckets 0 in
+  (if ha.ha_total > 0 then
+     let w = (ha.ha_hi -. ha.ha_lo) /. float_of_int hist_buckets in
+     Array.iteri
+       (fun i c ->
+         if c > 0 then begin
+           let mid =
+             if w <= 0. then ha.ha_lo else ha.ha_lo +. ((float_of_int i +. 0.5) *. w)
+           in
+           let j = bucket_of ~lo ~hi mid in
+           counts.(j) <- counts.(j) + c
+         end)
+       ha.ha_counts);
+  ha.ha_lo <- lo;
+  ha.ha_hi <- hi;
+  ha.ha_counts <- counts
+
+let hist_add ca v =
+  if ca.ca_numeric then begin
+    match ca.ca_hist with
+    | None ->
+      ca.ca_hist <-
+        Some { ha_lo = v; ha_hi = v; ha_counts = Array.make hist_buckets 0; ha_total = 0 };
+      let ha = match ca.ca_hist with Some h -> h | None -> assert false in
+      ha.ha_counts.(0) <- 1;
+      ha.ha_total <- 1
+    | Some ha ->
+      if v < ha.ha_lo || v > ha.ha_hi then hist_widen ha v;
+      let i = bucket_of ~lo:ha.ha_lo ~hi:ha.ha_hi v in
+      ha.ha_counts.(i) <- ha.ha_counts.(i) + 1;
+      ha.ha_total <- ha.ha_total + 1
+  end
+
+let drop_hist ca =
+  ca.ca_numeric <- false;
+  ca.ca_hist <- None
+
+(* ------------------------------------------------------------------ *)
+(* Feeding rows *)
+
+let new_col_acc () =
   {
-    ts_rows = !rows;
-    ts_columns =
-      Array.init arity (fun i ->
-          {
-            cs_distinct = Hashtbl.length seen.(i);
-            cs_nulls = nulls.(i);
-            cs_min = mins.(i);
-            cs_max = maxs.(i);
-          });
+    ca_nulls = 0;
+    ca_min = Value.Null;
+    ca_max = Value.Null;
+    ca_distinct = Exact (Hashtbl.create 64);
+    ca_hist = None;
+    ca_numeric = true;
   }
 
-(* Fetch (and lazily refresh) statistics for a table. Refreshes when the
-   live row count moved more than 20% since the last ANALYZE. *)
+let feed_value ca v =
+  if Value.is_null v then ca.ca_nulls <- ca.ca_nulls + 1
+  else begin
+    distinct_add ca v;
+    if Value.is_null ca.ca_min || Value.compare v ca.ca_min < 0 then ca.ca_min <- v;
+    if Value.is_null ca.ca_max || Value.compare v ca.ca_max > 0 then ca.ca_max <- v;
+    match numeric_of v with
+    | Some f -> hist_add ca f
+    | None -> ( match v with Value.Float _ -> () (* non-finite: skip *) | _ -> drop_hist ca)
+  end
+
+let feed_row a row =
+  a.a_rows <- a.a_rows + 1;
+  Array.iteri (fun i v -> feed_value a.a_cols.(i) v) row
+
+let acc_of_table (table : Table.t) : acc =
+  let arity = Schema.arity (Table.schema table) in
+  let a =
+    { a_rows = 0; a_cols = Array.init arity (fun _ -> new_col_acc ()); a_snapshot = None;
+      a_notified_rows = 0 }
+  in
+  Table.iter (fun _ row -> feed_row a row) table;
+  a.a_notified_rows <- a.a_rows;
+  a
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+let snapshot_col ca =
+  {
+    cs_distinct = distinct_estimate ca.ca_distinct;
+    cs_nulls = ca.ca_nulls;
+    cs_min = ca.ca_min;
+    cs_max = ca.ca_max;
+    cs_hist =
+      Option.map
+        (fun ha ->
+          { h_lo = ha.ha_lo; h_hi = ha.ha_hi; h_counts = Array.copy ha.ha_counts;
+            h_total = ha.ha_total })
+        ca.ca_hist;
+  }
+
+let snapshot a =
+  match a.a_snapshot with
+  | Some st -> st
+  | None ->
+    let st = { ts_rows = a.a_rows; ts_columns = Array.map snapshot_col a.a_cols } in
+    a.a_snapshot <- Some st;
+    st
+
+let analyze_table (table : Table.t) : table_stats = snapshot (acc_of_table table)
+
+(* Drift beyond ~20% of the recorded row count is material. *)
+let material ~then_ ~now = abs (now - then_) * 5 > max 1 then_
+
+(* Fetch (and lazily refresh) statistics for a table. A full re-scan runs
+   only when the live row count moved more than 20% since the stats were
+   last brought current — bulk loads keep them current via [fold_range],
+   so the common load-then-query cycle never re-scans. *)
 let get t (table : Table.t) : table_stats =
   let name = Table.name table in
   let current_rows = Table.row_count table in
-  let fresh st =
-    let drift = abs (st.ts_rows - current_rows) in
-    drift * 5 <= max 1 st.ts_rows
-  in
   match Hashtbl.find_opt t.tbl name with
-  | Some st when fresh st -> st
-  | _ ->
-    let st = analyze_table table in
-    Hashtbl.replace t.tbl name st;
-    st
+  | Some a when not (material ~then_:a.a_rows ~now:current_rows) -> snapshot a
+  | previous ->
+    let a = acc_of_table table in
+    Hashtbl.replace t.tbl name a;
+    if previous <> None then notify t name;
+    snapshot a
+
+(* Fold a freshly appended row range [base, base+added) into the table's
+   existing accumulators — the bulk-load finish hook. A table that was
+   never analyzed has nothing to maintain (stats stay on demand); a table
+   with stats absorbs the range in one pass over just those rows. *)
+let fold_range t (table : Table.t) ~base ~added =
+  if added > 0 then
+    let name = Table.name table in
+    match Hashtbl.find_opt t.tbl name with
+    | None -> ()
+    | Some a ->
+      for rowid = base to base + added - 1 do
+        match Table.get table rowid with
+        | Some row -> feed_row a row
+        | None -> ()
+      done;
+      a.a_snapshot <- None;
+      if material ~then_:a.a_notified_rows ~now:a.a_rows then begin
+        a.a_notified_rows <- a.a_rows;
+        notify t name
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Estimates *)
 
 (* Selectivity of an equality predicate on one column: 1/distinct. *)
 let eq_selectivity st ~column =
@@ -76,11 +303,80 @@ let eq_selectivity st ~column =
     let cs = st.ts_columns.(column) in
     if cs.cs_distinct <= 0 then 0.05 else 1.0 /. float_of_int cs.cs_distinct
 
+let null_fraction st ~column =
+  if column < 0 || column >= Array.length st.ts_columns || st.ts_rows <= 0 then 0.0
+  else float_of_int st.ts_columns.(column).cs_nulls /. float_of_int st.ts_rows
+
+(* Histogram mass inside [lo, hi], with the partial end buckets counted by
+   linear interpolation. *)
+let hist_fraction h ~lo ~hi =
+  if h.h_total <= 0 then 0.0
+  else if h.h_hi <= h.h_lo then if lo <= h.h_lo && h.h_lo <= hi then 1.0 else 0.0
+  else begin
+    let w = (h.h_hi -. h.h_lo) /. float_of_int hist_buckets in
+    let mass = ref 0.0 in
+    for i = 0 to hist_buckets - 1 do
+      let blo = h.h_lo +. (float_of_int i *. w) in
+      let bhi = blo +. w in
+      let olo = Float.max blo lo and ohi = Float.min bhi hi in
+      if ohi > olo then mass := !mass +. (float_of_int h.h_counts.(i) *. (ohi -. olo) /. w)
+    done;
+    Float.min 1.0 (!mass /. float_of_int h.h_total)
+  end
+
+(* Selectivity of a (possibly one-sided) range predicate on one column.
+   Histogram-backed when the column is numeric and the bounds are known;
+   the pre-statistics fixed guess (1/4, matching the old planner) covers
+   everything else. Inclusive vs exclusive is below histogram resolution
+   and ignored. *)
+let range_selectivity st ~column ~lower ~upper =
+  let fallback = 0.25 in
+  if column < 0 || column >= Array.length st.ts_columns then fallback
+  else
+    match st.ts_columns.(column).cs_hist with
+    | None -> fallback
+    | Some h ->
+      let bound side =
+        match side with
+        | None -> None
+        | Some (v, _incl) -> numeric_of v
+      in
+      let lo = match bound lower with Some f -> f | None -> Float.neg_infinity in
+      let hi = match bound upper with Some f -> f | None -> Float.infinity in
+      (match (lower, bound lower, upper, bound upper) with
+      | Some _, None, _, _ | _, _, Some _, None ->
+        (* a bound exists but is not numeric: no histogram help *)
+        fallback
+      | _ ->
+        if lo > hi then 0.0
+        else
+          (* floor at one row's worth so a miss never estimates zero *)
+          Float.max (1.0 /. float_of_int (max 1 h.h_total)) (hist_fraction h ~lo ~hi))
+
+(* ------------------------------------------------------------------ *)
+
+(* Compact ASCII rendering of a histogram: one digit 0-9 per bucket,
+   proportional to the bucket's share of the largest. *)
+let hist_to_string h =
+  let peak = Array.fold_left max 1 h.h_counts in
+  let digits =
+    String.init hist_buckets (fun i ->
+        let c = h.h_counts.(i) in
+        if c = 0 then '.' else Char.chr (Char.code '0' + (c * 9 / peak)))
+  in
+  Printf.sprintf "[%g..%g] %s" h.h_lo h.h_hi digits
+
 let to_string (st : table_stats) schema =
   String.concat "\n"
     (List.mapi
        (fun i (c : Schema.column) ->
          let cs = st.ts_columns.(i) in
-         Printf.sprintf "  %-16s distinct=%d nulls=%d min=%s max=%s" c.Schema.col_name
-           cs.cs_distinct cs.cs_nulls (Value.to_string cs.cs_min) (Value.to_string cs.cs_max))
+         let base =
+           Printf.sprintf "  %-16s distinct=%d nulls=%d min=%s max=%s" c.Schema.col_name
+             cs.cs_distinct cs.cs_nulls (Value.to_string cs.cs_min)
+             (Value.to_string cs.cs_max)
+         in
+         match cs.cs_hist with
+         | None -> base
+         | Some h -> base ^ "\n                   hist " ^ hist_to_string h)
        (Array.to_list schema.Schema.columns))

@@ -6,7 +6,10 @@
    The descendant axis is a range predicate —
    [d.pre > a.pre AND d.pre <= a.pre + a.size] — so '//' costs a single
    self-join instead of Edge's per-level iteration. Every translated path is
-   one SQL statement. *)
+   one SQL statement. The planner recognizes this containment pair and runs
+   it as a [Plan.Staircase_join] — one ordered merge over the (pre, size)
+   intervals instead of a nested-loop filter — so '//' steps stay
+   sort-plus-output-linear even when both sides are large. *)
 
 module Dom = Xmlkit.Dom
 module Index = Xmlkit.Index

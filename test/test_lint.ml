@@ -234,6 +234,43 @@ let test_plan_row_explosion () =
   check_int "below threshold is fine" 0
     (List.length (Plan_lint.lint_plan ~explosion_threshold:1_000_000 cat cross))
 
+(* Q6-style structural containment (d.pre inside a's (pre, pre+size]
+   interval): the staircase join keeps the plan out of PLAN003 territory;
+   forcing the old nested loop brings the lint straight back. *)
+let test_plan_staircase_containment () =
+  let db = Db.create () in
+  ignore
+    (Db.exec db "CREATE TABLE v (pre INTEGER NOT NULL, size INTEGER NOT NULL, name TEXT NOT NULL)");
+  for i = 0 to 399 do
+    Db.insert_row_array db "v"
+      [|
+        Value.Int i; Value.Int (i mod 9); Value.Text (if i mod 2 = 0 then "item" else "keyword");
+      |]
+  done;
+  let cat = Db.catalog db in
+  let sql =
+    "SELECT d.pre FROM v a, v d WHERE a.name = 'item' AND d.name = 'keyword' AND d.pre > a.pre \
+     AND d.pre <= a.pre + a.size"
+  in
+  let contains hay needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let stair = Db.plan_of db sql in
+  check_bool "staircase selected" true (contains (Relstore.Plan.to_string stair) "StaircaseJoin");
+  check_bool "no PLAN003 on the staircase plan" false
+    (has_code "PLAN003" (Plan_lint.lint_plan ~explosion_threshold:1_000 cat stair));
+  Relstore.Planner.set_staircase false;
+  Fun.protect
+    ~finally:(fun () -> Relstore.Planner.set_staircase true)
+    (fun () ->
+      let nl = Db.plan_of db sql in
+      check_bool "nested loop without the staircase" true
+        (contains (Relstore.Plan.to_string nl) "NestedLoopJoin");
+      check_bool "PLAN003 returns" true
+        (has_code "PLAN003" (Plan_lint.lint_plan ~explosion_threshold:1_000 cat nl)))
+
 (* ------------------------------------------------------------------ *)
 (* XPath-vs-schema lints *)
 
@@ -406,6 +443,7 @@ let () =
           Alcotest.test_case "seq scan despite index" `Quick test_plan_seq_scan_despite_index;
           Alcotest.test_case "selection above join" `Quick test_plan_selection_above_join;
           Alcotest.test_case "row explosion" `Quick test_plan_row_explosion;
+          Alcotest.test_case "staircase escapes PLAN003" `Quick test_plan_staircase_containment;
         ] );
       ( "xpath",
         [

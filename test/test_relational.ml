@@ -1162,6 +1162,216 @@ let analyze_root_rows_prop =
       plain.Executor.rows = analyzed.Executor.rows
       && annot.Plan.an_rows = List.length analyzed.Executor.rows)
 
+(* ------------------------------------------------------------------ *)
+(* Vectorized executor and staircase join *)
+
+let with_batched on f =
+  let prev = Executor.batched_on () in
+  Executor.set_batched on;
+  Fun.protect ~finally:(fun () -> Executor.set_batched prev) f
+
+(* Byte-for-byte: both interpreters produce the same columns and the same
+   rows in the same order, across every operator shape. *)
+let batched_queries =
+  [
+    "SELECT id, name FROM people WHERE age > 20";
+    "SELECT city, count(*), sum(age) FROM people GROUP BY city ORDER BY city";
+    "SELECT DISTINCT city FROM people";
+    "SELECT a.name, b.name FROM people a, people b WHERE a.city = b.city ORDER BY a.id, b.id";
+    "SELECT name FROM people ORDER BY age DESC, name LIMIT 2";
+    "SELECT id + age FROM people WHERE age IS NOT NULL";
+    "SELECT name FROM people WHERE city = 'london' UNION ALL SELECT name FROM people WHERE \
+     city = 'paris'";
+    "SELECT a.id FROM people a, people b LIMIT 5";
+  ]
+
+let test_batched_matches_iterator () =
+  let db = db_with_people () in
+  List.iter
+    (fun sql ->
+      let vec = with_batched true (fun () -> Database.query db sql) in
+      let row = with_batched false (fun () -> Database.query db sql) in
+      check_bool ("columns: " ^ sql) true (vec.Executor.columns = row.Executor.columns);
+      check_bool ("rows: " ^ sql) true (vec.Executor.rows = row.Executor.rows))
+    batched_queries
+
+(* Property: on randomized tables, every query template answers
+   identically (order included) under both interpreters. *)
+let batched_equiv_prop =
+  QCheck.Test.make ~name:"batched executor equals iterator" ~count:80
+    QCheck.(pair (list (pair (int_range 0 8) (int_range 0 5))) (int_range 0 6))
+    (fun (data, which) ->
+      let db = Database.create () in
+      ignore (Database.exec db "CREATE TABLE t (a INTEGER, b INTEGER)");
+      List.iter
+        (fun (a, b) -> Database.insert_row_array db "t" [| Value.Int a; Value.Int b |])
+        data;
+      ignore (Database.exec db "CREATE INDEX t_a ON t (a)");
+      let sql =
+        match which with
+        | 0 -> "SELECT a, b FROM t WHERE a > 2 AND b < 4"
+        | 1 -> "SELECT a, count(*), min(b) FROM t GROUP BY a ORDER BY a"
+        | 2 -> "SELECT DISTINCT b FROM t"
+        | 3 -> "SELECT x.a, y.b FROM t x, t y WHERE x.a = y.a ORDER BY x.b, y.b LIMIT 20"
+        | 4 -> "SELECT a FROM t WHERE a = 3"
+        | 5 -> "SELECT a * 2 + b FROM t ORDER BY b LIMIT 5"
+        | _ -> "SELECT a FROM t WHERE a >= 1 UNION ALL SELECT b FROM t WHERE b <= 2"
+      in
+      let vec = with_batched true (fun () -> Database.query db sql) in
+      let row = with_batched false (fun () -> Database.query db sql) in
+      vec.Executor.rows = row.Executor.rows && vec.Executor.columns = row.Executor.columns)
+
+let with_staircase on f =
+  Planner.set_staircase on;
+  Fun.protect ~finally:(fun () -> Planner.set_staircase true) f
+
+let interval_db lohi keys =
+  let db = Database.create () in
+  (* the plan cache would serve the staircase plan to the toggled-off run *)
+  Database.set_plan_cache db false;
+  ignore (Database.exec db "CREATE TABLE anc (id INTEGER NOT NULL, lo INTEGER, hi INTEGER)");
+  ignore (Database.exec db "CREATE TABLE des (id INTEGER NOT NULL, k INTEGER)");
+  List.iteri
+    (fun i (lo, hi) ->
+      Database.insert_row_array db "anc" [| Value.Int i; Value.Int lo; Value.Int hi |])
+    lohi;
+  List.iteri
+    (fun i k -> Database.insert_row_array db "des" [| Value.Int i; Value.Int k |])
+    keys;
+  db
+
+let sorted_rows r = List.sort compare r.Executor.rows
+
+let test_staircase_plan_shape () =
+  let db = interval_db [ (1, 5) ] [ 3 ] in
+  let sql =
+    "SELECT a.id, d.id FROM anc a, des d WHERE d.k > a.lo AND d.k <= a.hi"
+  in
+  let contains hay needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let stair = with_staircase true (fun () -> Plan.to_string (Database.plan_of db sql)) in
+  check_bool "containment pair plans as StaircaseJoin" true (contains stair "StaircaseJoin");
+  check_bool "no nested loop left" false (contains stair "NestedLoopJoin");
+  let nl = with_staircase false (fun () -> Plan.to_string (Database.plan_of db sql)) in
+  check_bool "toggle restores the cross product" true (contains nl "NestedLoopJoin")
+
+(* Property: the staircase join returns exactly the rows the filtered
+   cross product does, for every bound-strictness combination, on
+   arbitrary (including empty and inverted) intervals. *)
+let staircase_equiv_prop =
+  QCheck.Test.make ~name:"staircase equals filtered cross product" ~count:80
+    QCheck.(
+      triple
+        (list (pair (int_range 0 30) (int_range 0 30)))
+        (list (int_range 0 30))
+        (int_range 0 3))
+    (fun (lohi, keys, strictness) ->
+      let db = interval_db lohi keys in
+      let lower_op = if strictness land 1 = 0 then ">" else ">=" in
+      let upper_op = if strictness land 2 = 0 then "<=" else "<" in
+      let sql =
+        Printf.sprintf
+          "SELECT a.id, a.lo, a.hi, d.id, d.k FROM anc a, des d WHERE d.k %s a.lo AND d.k %s \
+           a.hi"
+          lower_op upper_op
+      in
+      let stair = with_staircase true (fun () -> Database.query db sql) in
+      let nl = with_staircase false (fun () -> Database.query db sql) in
+      sorted_rows stair = sorted_rows nl)
+
+(* Estimated rows flow into the executed tree, and the misestimation
+   factor is the >= 1 ratio between the two. *)
+let test_analyze_estimates () =
+  let db = db_with_people () in
+  let _, annot = Database.query_analyzed db "SELECT name FROM people WHERE age > 0" in
+  let all = Plan.fold_annotated (fun acc a -> a :: acc) [] annot in
+  check_bool "every operator costed" true
+    (List.for_all (fun a -> a.Plan.an_est <> None) all);
+  check_bool "est printed" true
+    (let s = Plan.annotated_to_string annot in
+     let contains needle =
+       let n = String.length needle in
+       let rec go i = i + n <= String.length s && (String.sub s i n = needle || go (i + 1)) in
+       go 0
+     in
+     contains "est=" && contains "misest=");
+  check_bool "misestimation ratio" true
+    (Plan.misestimation ~est:10 ~actual:5 = 2.0
+    && Plan.misestimation ~est:5 ~actual:10 = 2.0
+    && Plan.misestimation ~est:0 ~actual:0 = 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics lifecycle: incremental folds and cache invalidation *)
+
+let test_stats_fold_on_bulk_finish () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (v INTEGER)");
+  for i = 1 to 20 do
+    ignore (Database.exec db (Printf.sprintf "INSERT INTO t VALUES (%d)" i))
+  done;
+  let st0 = Database.analyze db "t" in
+  check_int "baseline rows" 20 st0.Stats.ts_rows;
+  (* bulk-load an appended range; finish_session folds it into the
+     existing statistics without a full re-scan *)
+  let s = Database.load_session db in
+  for i = 21 to 200 do
+    Database.session_insert s "t" [| Value.Int i |]
+  done;
+  ignore (Database.finish_session s);
+  let st1 = Database.analyze db "t" in
+  check_int "rows after fold" 200 st1.Stats.ts_rows;
+  check_int "distinct after fold" 200 st1.Stats.ts_columns.(0).Stats.cs_distinct;
+  Alcotest.check value_testable "max absorbed" (Value.Int 200) st1.Stats.ts_columns.(0).Stats.cs_max;
+  (* histogram covers the folded range *)
+  (match st1.Stats.ts_columns.(0).Stats.cs_hist with
+  | Some h ->
+    check_bool "histogram spans the loaded range" true (h.Stats.h_hi >= 200.0);
+    check_int "histogram total" 200 h.Stats.h_total
+  | None -> Alcotest.fail "numeric column lost its histogram")
+
+let test_stats_change_invalidates_cache () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (v INTEGER)");
+  for i = 1 to 10 do
+    ignore (Database.exec db (Printf.sprintf "INSERT INTO t VALUES (%d)" i))
+  done;
+  ignore (Database.analyze db "t");
+  ignore (Database.query db "SELECT v FROM t WHERE v = 3");
+  Database.reset_cache_stats db;
+  (* a material (> 20%) growth through a bulk session must clear cached
+     plans — they were costed against the old statistics *)
+  let s = Database.load_session db in
+  for i = 11 to 100 do
+    Database.session_insert s "t" [| Value.Int i |]
+  done;
+  ignore (Database.finish_session s);
+  let _, _, invalidations, _ = Database.cache_stats db in
+  check_bool "material stats change invalidated the plan cache" true (invalidations > 0)
+
+let test_range_selectivity_histogram () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE u (v INTEGER)");
+  for i = 1 to 1000 do
+    ignore (Database.insert_row_array db "u" [| Value.Int i |])
+  done;
+  let st = Database.analyze db "u" in
+  let sel ~lower ~upper = Stats.range_selectivity st ~column:0 ~lower ~upper in
+  let close a b = Float.abs (a -. b) < 0.08 in
+  check_bool "half range" true
+    (close 0.5 (sel ~lower:(Some (Value.Int 500, true)) ~upper:None));
+  check_bool "narrow range" true
+    (close 0.1 (sel ~lower:(Some (Value.Int 100, true)) ~upper:(Some (Value.Int 199, true))));
+  check_bool "full range" true
+    (close 1.0 (sel ~lower:(Some (Value.Int 1, true)) ~upper:(Some (Value.Int 1000, true))));
+  check_bool "inverted range is empty" true
+    (sel ~lower:(Some (Value.Int 800, true)) ~upper:(Some (Value.Int 100, true)) = 0.0);
+  (* non-numeric bound falls back to the fixed guess *)
+  check_bool "text bound falls back" true
+    (sel ~lower:(Some (Value.Text "x", true)) ~upper:None = 0.25)
+
 let () =
   Alcotest.run "relational"
     [
@@ -1249,6 +1459,22 @@ let () =
           Alcotest.test_case "stats drive join order" `Quick test_stats_drive_join_order;
           Alcotest.test_case "stats pick the selective index" `Quick
             test_stats_pick_selective_index;
+          Alcotest.test_case "bulk finish folds the loaded range" `Quick
+            test_stats_fold_on_bulk_finish;
+          Alcotest.test_case "material change clears the plan cache" `Quick
+            test_stats_change_invalidates_cache;
+          Alcotest.test_case "histogram range selectivity" `Quick
+            test_range_selectivity_histogram;
+        ] );
+      ( "vectorized executor",
+        [
+          Alcotest.test_case "batched matches iterator" `Quick test_batched_matches_iterator;
+          QCheck_alcotest.to_alcotest batched_equiv_prop;
+        ] );
+      ( "staircase join",
+        [
+          Alcotest.test_case "plan shape" `Quick test_staircase_plan_shape;
+          QCheck_alcotest.to_alcotest staircase_equiv_prop;
         ] );
       ( "plan cache",
         [
@@ -1264,6 +1490,7 @@ let () =
       ( "explain analyze",
         [
           Alcotest.test_case "matches plain execution" `Quick test_analyze_matches_plain;
+          Alcotest.test_case "estimates annotate the tree" `Quick test_analyze_estimates;
           QCheck_alcotest.to_alcotest analyze_root_rows_prop;
         ] );
       ( "persistence",
