@@ -1084,6 +1084,141 @@ let f12 () =
     stair_rows
 
 (* ------------------------------------------------------------------ *)
+(* F13: durability — what the write-ahead log costs at load time and what
+   recovery costs at open time. Per scale: an in-memory load vs a durable
+   load (every document commit is a WAL append + fsync), the checkpoint
+   that folds the log into a page image, recovery by full WAL replay
+   (crash before any checkpoint), and reopening from a checkpoint image
+   with an empty log. Q1-Q12 answers of the recovered store are compared
+   byte-for-byte against the in-memory store. Written to BENCH_F13.json;
+   BENCH_F13_SCALE pins a single scale, BENCH_F13_REPEAT the repeats. *)
+
+let f13 () =
+  let scales =
+    match Sys.getenv_opt "BENCH_F13_SCALE" with
+    | Some s -> (try [ float_of_string s ] with _ -> [ 0.5 ])
+    | None -> [ 0.25; 0.5; 1.0 ]
+  in
+  let repeat =
+    match Sys.getenv_opt "BENCH_F13_REPEAT" with
+    | Some s -> (try int_of_string s with _ -> 3)
+    | None -> 3
+  in
+  let median xs =
+    let a = Array.of_list (List.sort compare xs) in
+    let n = Array.length a in
+    if n = 0 then 0.
+    else if n mod 2 = 1 then a.(n / 2)
+    else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+  in
+  let dir_counter = ref 0 in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  let fresh_dir () =
+    incr dir_counter;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "xmlstore_bench_f13_%d_%d" (Unix.getpid ()) !dir_counter)
+    in
+    rm_rf d;
+    d
+  in
+  let entries = ref [] in
+  let rows =
+    List.map
+      (fun scale ->
+        let dom = auction ~scale ~seed:42 in
+        let reference = Store.create "interval" in
+        ignore (Store.add_document reference dom);
+        let timed f =
+          Gc.full_major ();
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let runs =
+          List.init repeat (fun _ ->
+              let _, t_mem =
+                timed (fun () ->
+                    let s = Store.create "interval" in
+                    ignore (Store.add_document s dom))
+              in
+              (* durable load: shred + per-document WAL commit (fsync) *)
+              let dir = fresh_dir () in
+              let store, t_wal =
+                timed (fun () ->
+                    let s = Store.create ~durable:dir "interval" in
+                    ignore (Store.add_document s dom);
+                    s)
+              in
+              (* crash before the checkpoint: recovery replays the log *)
+              Relstore.Database.abandon (Store.database store);
+              let replayed, t_replay = timed (fun () -> Store.open_durable dir) in
+              let _, t_ckpt = timed (fun () -> Store.checkpoint replayed) in
+              Store.close replayed;
+              (* clean reopen: page image only, empty log *)
+              let reopened, t_image = timed (fun () -> Store.open_durable dir) in
+              let equal =
+                List.for_all
+                  (fun q ->
+                    Store.query_values reference 0 q.Xmlwork.Queries.xpath
+                    = Store.query_values reopened 0 q.Xmlwork.Queries.xpath)
+                  Xmlwork.Queries.auction_queries
+              in
+              let nrows = (Store.stats reopened).Store.total_rows in
+              Store.close reopened;
+              rm_rf dir;
+              (t_mem, t_wal, t_replay, t_ckpt, t_image, equal, nrows))
+        in
+        let med f = median (List.map f runs) in
+        let t_mem = med (fun (t, _, _, _, _, _, _) -> t) in
+        let t_wal = med (fun (_, t, _, _, _, _, _) -> t) in
+        let t_replay = med (fun (_, _, t, _, _, _, _) -> t) in
+        let t_ckpt = med (fun (_, _, _, t, _, _, _) -> t) in
+        let t_image = med (fun (_, _, _, _, t, _, _) -> t) in
+        let equal = List.for_all (fun (_, _, _, _, _, e, _) -> e) runs in
+        let nrows = match runs with (_, _, _, _, _, _, n) :: _ -> n | [] -> 0 in
+        let overhead = if t_mem > 0. then t_wal /. t_mem else 0. in
+        if not equal then
+          Printf.eprintf "F13: scale %g: recovered answers DIFFER from in-memory\n" scale;
+        entries :=
+          Printf.sprintf
+            "    {\"scale\": %g, \"rows\": %d, \"mem_ms\": %.2f, \"wal_ms\": %.2f, \
+             \"overhead\": %.2f, \"replay_ms\": %.2f, \"checkpoint_ms\": %.2f, \
+             \"image_open_ms\": %.2f, \"queries_equal\": %b}"
+            scale nrows (t_mem *. 1000.) (t_wal *. 1000.) overhead (t_replay *. 1000.)
+            (t_ckpt *. 1000.) (t_image *. 1000.) equal
+          :: !entries;
+        [
+          Printf.sprintf "%.2f" scale; string_of_int nrows; Tables.ms t_mem; Tables.ms t_wal;
+          Printf.sprintf "%.2fx" overhead; Tables.ms t_replay; Tables.ms t_ckpt;
+          Tables.ms t_image; (if equal then "ok" else "DIFFER");
+        ])
+      scales
+  in
+  let oc = open_out "BENCH_F13.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"durability\",\n  \"scheme\": \"interval\",\n  \"repeat\": %d,\n\
+    \  \"entries\": [\n%s\n  ]\n}\n"
+    repeat
+    (String.concat ",\n" (List.rev !entries));
+  close_out oc;
+  Tables.print
+    ~title:
+      "F13: durability — WAL overhead at load, recovery by replay vs checkpoint image \
+       (interval scheme, also BENCH_F13.json)"
+    ~header:
+      [ "scale"; "rows"; "mem ms"; "wal ms"; "overhead"; "replay ms"; "ckpt ms"; "image ms";
+        "Q1-12" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* F4: micro-benchmarks via Bechamel — one Test.make per component *)
 
 let f4 () =
@@ -1142,7 +1277,7 @@ let experiments =
   [
     ("T1", t1); ("T2", t2); ("F1", f1); ("F2", f2); ("T3", t3); ("F3", f3);
     ("T4", t4); ("T5", t5); ("T6", t6); ("T7", t7); ("F5", f5); ("F6", f6); ("F7", f7);
-    ("F8", f8); ("F9", f9); ("F10", f10); ("F11", f11); ("F12", f12); ("F4", f4);
+    ("F8", f8); ("F9", f9); ("F10", f10); ("F11", f11); ("F12", f12); ("F13", f13); ("F4", f4);
   ]
 
 let () =

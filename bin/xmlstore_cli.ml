@@ -159,6 +159,21 @@ let shred_cmd =
     Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ dump)
 
 (* load: timed document loading, bulk (default) or row-at-a-time *)
+let durable_arg =
+  Arg.(value & opt (some string) None
+       & info [ "durable" ] ~docv:"DIR"
+           ~doc:"Root the store in a durable directory (paged checkpoints + write-ahead log) \
+                 instead of memory.")
+
+let crash_arg =
+  let points = String.concat ", " (List.map fst Relstore.Failpoint.points) in
+  Arg.(value & opt (some string) None
+       & info [ "crash-at" ] ~docv:"POINT"
+           ~doc:(Printf.sprintf
+                   "Inject a crash at a failpoint (%s) and exit, leaving the directory exactly \
+                    as a real crash would; reopen it with recover."
+                   points))
+
 let load_cmd =
   let bulk_arg =
     Arg.(value
@@ -170,7 +185,7 @@ let load_cmd =
                                                 inserted row.");
              ])
   in
-  let run scheme dtd_file path bulk =
+  let run scheme dtd_file path bulk durable crash_at =
     let parsed =
       let ic = open_in_bin path in
       let n = in_channel_length ic in
@@ -190,26 +205,86 @@ let load_cmd =
     in
     let store =
       match dtd with
-      | Some d -> Store.create ~dtd:d ~bulk scheme
-      | None -> Store.create ~bulk scheme
+      | Some d -> Store.create ~dtd:d ~bulk ?durable scheme
+      | None -> Store.create ~bulk ?durable scheme
     in
-    let t0 = Obskit.Clock.now_ns () in
-    ignore (Store.add_document ~name:path store parsed.Xmlkit.Parser.document);
-    let ms = float_of_int (Obskit.Clock.now_ns () - t0) /. 1e6 in
-    let stats = Store.stats store in
-    Printf.printf "scheme:        %s\nmode:          %s\nrows:          %d\nindex entries: %d\n"
-      stats.Store.scheme_id
-      (if bulk then "bulk" else "row-at-a-time")
-      stats.Store.total_rows stats.Store.total_index_entries;
-    Printf.printf "load time:     %.2f ms\nrows/sec:      %.0f\n" ms
-      (float_of_int stats.Store.total_rows /. (ms /. 1000.))
+    Relstore.Failpoint.arm crash_at;
+    (try
+       let t0 = Obskit.Clock.now_ns () in
+       ignore (Store.add_document ~name:path store parsed.Xmlkit.Parser.document);
+       Store.close store;
+       let ms = float_of_int (Obskit.Clock.now_ns () - t0) /. 1e6 in
+       let stats = Store.stats store in
+       Printf.printf "scheme:        %s\nmode:          %s\nrows:          %d\nindex entries: %d\n"
+         stats.Store.scheme_id
+         (if bulk then "bulk" else "row-at-a-time")
+         stats.Store.total_rows stats.Store.total_index_entries;
+       (match durable with Some dir -> Printf.printf "directory:     %s\n" dir | None -> ());
+       Printf.printf "load time:     %.2f ms\nrows/sec:      %.0f\n" ms
+         (float_of_int stats.Store.total_rows /. (ms /. 1000.))
+     with Relstore.Failpoint.Injected_crash point ->
+       (* drop the handles without flushing anything, as a real crash would *)
+       Db.abandon (Store.database store);
+       Printf.printf "injected crash at %s\n" point)
   in
   Cmd.v
     (Cmd.info "load"
        ~doc:"Shred a document into a store and report load throughput. --bulk (the default) \
              appends all rows first and builds each B+-tree bottom-up from one sort; --no-bulk \
-             maintains every index per inserted row. Stored contents are identical either way.")
-    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ bulk_arg)
+             maintains every index per inserted row. Stored contents are identical either way. \
+             With --durable DIR the store lives on disk and the load commits through the \
+             write-ahead log; --crash-at simulates a crash part-way for recovery testing.")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ bulk_arg $ durable_arg $ crash_arg)
+
+(* checkpoint / recover: operate on a durable store directory *)
+let dir_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"DIR" ~doc:"Durable store directory.")
+
+let recovery_report store =
+  match Store.last_recovery store with
+  | None -> ()
+  | Some (r : Db.recovery) ->
+    Printf.printf
+      "recovery: %d record(s) scanned, %d redone, %d row(s) undone, %d loser transaction(s), \
+       %d torn byte(s) cut\n"
+      r.Db.rc_scanned r.Db.rc_redone r.Db.rc_undone r.Db.rc_losers r.Db.rc_torn_bytes
+
+let checkpoint_cmd =
+  let run dir =
+    let store = Store.open_durable dir in
+    recovery_report store;
+    Store.checkpoint store;
+    Printf.printf "checkpointed %s: %d document(s), %d row(s)\n" dir
+      (List.length (Store.documents store))
+      (Store.stats store).Store.total_rows;
+    Store.close store
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Open a durable store (recovering if needed), write a fresh page checkpoint, and \
+             truncate its write-ahead log.")
+    Term.(const run $ dir_arg)
+
+let recover_cmd =
+  let run dir =
+    let store = Store.open_durable dir in
+    recovery_report store;
+    Printf.printf "%s: scheme %s, %d document(s)\n" dir (Store.scheme store)
+      (List.length (Store.documents store));
+    List.iter
+      (fun (d : Store.doc_info) ->
+        Printf.printf "  doc %d: <%s>, %d node(s), depth %d%s\n" d.Store.doc d.Store.root_tag
+          d.Store.nodes d.Store.depth
+          (match d.Store.doc_name with Some n -> " — " ^ n | None -> ""))
+      (Store.documents store);
+    Store.close store
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Open a durable store directory, run crash recovery, report what the replay did, \
+             and leave a clean checkpoint behind.")
+    Term.(const run $ dir_arg)
 
 (* stats: storage statistics plus the metrics registry *)
 let stats_cmd =
@@ -411,7 +486,13 @@ let query_saved_cmd =
   let doc_arg =
     Arg.(value & opt int 0 & info [ "doc" ] ~docv:"ID" ~doc:"Document id inside the store.")
   in
-  let run scheme dtd_file dump xpath doc_id =
+  let durable_flag =
+    Arg.(value & flag
+         & info [ "durable" ]
+             ~doc:"DUMP is a durable store directory (recovered as needed), not a SQL dump; \
+                   the scheme is read from the directory.")
+  in
+  let run scheme dtd_file dump xpath doc_id durable =
     let dtd =
       Option.map
         (fun f ->
@@ -422,12 +503,17 @@ let query_saved_cmd =
           Xmlkit.Dtd.parse s)
         dtd_file
     in
-    let store = Store.load ?dtd ~scheme dump in
-    List.iter print_endline (Store.query_values store doc_id xpath)
+    let store =
+      if durable then Store.open_durable ?dtd dump else Store.load ?dtd ~scheme dump
+    in
+    List.iter print_endline (Store.query_values store doc_id xpath);
+    Store.close store
   in
   Cmd.v
-    (Cmd.info "query-saved" ~doc:"Reopen a persisted store and run an XPath query.")
-    Term.(const run $ scheme_arg $ dtd_arg $ dump_arg $ xpath_arg $ doc_arg)
+    (Cmd.info "query-saved"
+       ~doc:"Reopen a persisted store (SQL dump, or durable directory with --durable) and run \
+             an XPath query.")
+    Term.(const run $ scheme_arg $ dtd_arg $ dump_arg $ xpath_arg $ doc_arg $ durable_flag)
 
 (* trace: record a full instrumented run and export / validate traces *)
 let trace_export_cmd =
@@ -652,7 +738,8 @@ let main =
     [
       schemes_cmd; query_cmd; shred_cmd; load_cmd; stats_cmd; roundtrip_cmd; validate_cmd;
       generate_cmd;
-      sql_cmd; save_cmd; query_saved_cmd; transform_cmd; trace_cmd; slowlog_cmd; lint_cmd;
+      sql_cmd; save_cmd; query_saved_cmd; checkpoint_cmd; recover_cmd; transform_cmd;
+      trace_cmd; slowlog_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -2,9 +2,10 @@
 # Repo health check: build everything (dev profile = warnings as errors),
 # run the test suite, build the bench harness and examples, smoke-run the
 # plan-cache / analyze / trace-overhead / empty-fastpath / bulk-load /
-# vectorized-executor benchmarks (write BENCH_plancache.json,
+# vectorized-executor / durability benchmarks (write BENCH_plancache.json,
 # BENCH_analyze.json, BENCH_trace.json, BENCH_lint.json, BENCH_load.json,
-# BENCH_F12.json), round-trip a trace
+# BENCH_F12.json, BENCH_F13.json), exercise durable load / injected-crash
+# recovery end to end, round-trip a trace
 # export through the validator for
 # three schemes, lint the Prometheus exposition, and gate on the static
 # analyzer: the full Q1-Q12 workload must lint clean under every scheme.
@@ -26,6 +27,8 @@ BENCH_F11_SCALE=0.05 BENCH_F11_REPEAT=2 dune exec bench/main.exe -- F11
 test -s BENCH_load.json
 BENCH_F12_SCALE=0.05 BENCH_F12_REPEAT=2 dune exec bench/main.exe -- F12
 test -s BENCH_F12.json
+BENCH_F13_SCALE=0.05 BENCH_F13_REPEAT=2 dune exec bench/main.exe -- F13
+test -s BENCH_F13.json
 
 # trace export -> validate round trip (parse/shred/plan/execute/reconstruct
 # spans, checked well-nested by the exporter and re-checked from the JSON)
@@ -51,6 +54,22 @@ dune exec bin/xmlstore_cli.exe -- slowlog -s edge "$tmpdir/doc.xml" \
 dune exec bin/xmlstore_cli.exe -- load -s edge "$tmpdir/doc.xml" | grep -q "mode:          bulk"
 dune exec bin/xmlstore_cli.exe -- load -s dewey --no-bulk "$tmpdir/doc.xml" \
   | grep -q "mode:          row-at-a-time"
+
+# durability end to end: load into a durable directory, query it back
+# through recovery, then crash a second load mid-checkpoint with an
+# injected failpoint and verify recovery still answers correctly
+dune exec bin/xmlstore_cli.exe -- load -s interval "$tmpdir/doc.xml" \
+  --durable "$tmpdir/dstore" | grep -q "directory:"
+dune exec bin/xmlstore_cli.exe -- query-saved --durable "$tmpdir/dstore" \
+  "/site/people/person/name" > "$tmpdir/durable-names.txt"
+test -s "$tmpdir/durable-names.txt"
+dune exec bin/xmlstore_cli.exe -- load -s interval "$tmpdir/doc.xml" \
+  --durable "$tmpdir/cstore" --crash-at checkpoint.current \
+  | grep -q "injected crash at checkpoint.current"
+dune exec bin/xmlstore_cli.exe -- recover "$tmpdir/cstore" | grep -q "redone"
+dune exec bin/xmlstore_cli.exe -- query-saved --durable "$tmpdir/cstore" \
+  "/site/people/person/name" | diff - "$tmpdir/durable-names.txt"
+dune exec bin/xmlstore_cli.exe -- checkpoint "$tmpdir/cstore" | grep -q "checkpointed"
 
 # lint gate: the full Q1-Q12 workload must be clean (no warning-or-worse
 # diagnostic) under every scheme, inline included via the workload DTD;

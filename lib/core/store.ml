@@ -76,11 +76,41 @@ let fresh_label ?metrics_label scheme =
     incr instance_counter;
     Printf.sprintf "%s#%d" scheme !instance_counter
 
+(* Durable stores keep a one-line "scheme" file next to the page files,
+   so [open_durable] needs no scheme argument from the caller. *)
+let scheme_file dir = Filename.concat dir "scheme"
+
+let write_scheme_file dir scheme =
+  let oc = open_out_bin (scheme_file dir) in
+  output_string oc (scheme ^ "\n");
+  close_out oc
+
+let read_scheme_file dir =
+  match open_in_bin (scheme_file dir) with
+  | exception Sys_error _ -> err "%s has no scheme file (not a durable store?)" dir
+  | ic ->
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    String.trim line
+
 (* [validate] (only meaningful with a DTD) checks documents against the DTD
-   before storing them. *)
-let create ?dtd ?(validate = false) ?(indexes = true) ?(bulk = true) ?metrics_label scheme =
+   before storing them. [durable] roots the store in a directory (paged
+   checkpoints + WAL; see Database.open_durable) instead of memory. *)
+let create ?dtd ?(validate = false) ?(indexes = true) ?(bulk = true) ?metrics_label ?durable
+    scheme =
   let mapping = resolve_mapping ~scheme ~dtd in
-  let db = Db.create () in
+  let db =
+    match durable with
+    | None -> Db.create ()
+    | Some dir ->
+      if
+        Sys.file_exists (Filename.concat dir "CURRENT")
+        || Sys.file_exists (Filename.concat dir "wal.log")
+      then err "%s already holds a durable store (reopen it with open_durable)" dir;
+      let db = Db.open_durable dir in
+      write_scheme_file dir scheme;
+      db
+  in
   ignore
     (Db.exec db
        "CREATE TABLE IF NOT EXISTS documents (doc INTEGER NOT NULL, name TEXT, root_tag TEXT \
@@ -109,6 +139,9 @@ let database t = t.db
 let metrics_label t = t.metrics_label
 let set_bulk_load t enabled = t.bulk <- enabled
 let bulk_load t = t.bulk
+let is_durable t = Db.is_durable t.db
+let durable_dir t = Db.durable_dir t.db
+let last_recovery t = Db.last_recovery t.db
 
 (* Every public operation runs under the store's metrics label (so two
    live stores don't interleave series) and a root trace span naming the
@@ -116,6 +149,15 @@ let bulk_load t = t.bulk
 let with_op t ?(attrs = []) name f =
   Relstore.Metrics.with_label t.metrics_label @@ fun () ->
   Obskit.Trace.with_span ~attrs:(("scheme", t.scheme) :: attrs) name f
+
+let registry_row ?name doc (dom : Dom.t) =
+  [|
+    Relstore.Value.Int doc;
+    (match name with Some n -> Relstore.Value.Text n | None -> Relstore.Value.Null);
+    Relstore.Value.Text dom.Dom.root.Dom.tag;
+    Relstore.Value.Int (Dom.count_nodes dom);
+    Relstore.Value.Int (Dom.depth dom);
+  |]
 
 let add_dom ?name t (dom : Dom.t) : doc_id =
   (match (t.validate, t.dtd) with
@@ -141,7 +183,12 @@ let add_dom ?name t (dom : Dom.t) : doc_id =
             let t0 = Obskit.Clock.now_ns () in
             let session = Db.load_session t.db in
             (try
-               Obskit.Trace.with_span "shred.bulk" (fun () -> M.shred_bulk session ~doc ix)
+               Obskit.Trace.with_span "shred.bulk" (fun () -> M.shred_bulk session ~doc ix);
+               (* the registry row rides the same session, so on a durable
+                  store it commits atomically with the document's rows —
+                  recovery never sees a registered document without its
+                  data, or shredded rows without their registration *)
+               Db.session_insert session "documents" (registry_row ?name doc dom)
              with e ->
                Db.abort_session session;
                raise e);
@@ -152,18 +199,13 @@ let add_dom ?name t (dom : Dom.t) : doc_id =
             Obskit.Trace.add_attr "rows_per_sec"
               (Printf.sprintf "%.0f" (float_of_int rows *. 1e9 /. float_of_int (max 1 dur_ns)))
           end
-          else M.shred t.db ~doc ix));
+          else begin
+            M.shred t.db ~doc ix;
+            Db.insert_row_array t.db "documents" (registry_row ?name doc dom)
+          end));
   (* schemes with data-dependent tables (binary, universal) may have created
      new tables during the shred; index creation is idempotent *)
   if t.indexes then M.create_indexes t.db;
-  Db.insert_row_array t.db "documents"
-    [|
-      Relstore.Value.Int doc;
-      (match name with Some n -> Relstore.Value.Text n | None -> Relstore.Value.Null);
-      Relstore.Value.Text dom.Dom.root.Dom.tag;
-      Relstore.Value.Int (Dom.count_nodes dom);
-      Relstore.Value.Int (Dom.depth dom);
-    |];
   Hashtbl.replace t.guides doc (lazy (Xmlkit.Dataguide.of_index ix));
   t.next_doc <- doc + 1;
   doc
@@ -435,6 +477,48 @@ let explain t select = Db.explain t.db select
 let cache_stats t = Db.cache_stats t.db
 let reset_cache_stats t = Db.reset_cache_stats t.db
 let set_plan_cache t enabled = Db.set_plan_cache t.db enabled
+
+(* ------------------------------------------------------------------ *)
+(* Durability: checkpoint / reopen a directory-rooted store. *)
+
+let checkpoint t =
+  with_op t "store.checkpoint" @@ fun () -> Db.checkpoint t.db
+
+let close t = with_op t "store.close" @@ fun () -> Db.close t.db
+
+let open_durable ?dtd ?(validate = false) ?metrics_label dir =
+  let scheme = read_scheme_file dir in
+  let mapping = resolve_mapping ~scheme ~dtd in
+  let db = Db.open_durable dir in
+  if Option.is_none (Db.find_table db "documents") then begin
+    Db.close db;
+    err "%s does not contain a document registry (not a store directory?)" dir
+  end;
+  (* heal anything a crash before the first flush lost: schema and index
+     creation are both IF NOT EXISTS across the schemes *)
+  let module M = (val mapping : Xmlshred.Mapping.MAPPING) in
+  M.create_schema db;
+  M.create_indexes db;
+  let next_doc =
+    match (Db.query db "SELECT max(doc) FROM documents").Relstore.Executor.rows with
+    | [ [| Relstore.Value.Int m |] ] -> m + 1
+    | _ -> 0
+  in
+  {
+    db;
+    mapping;
+    scheme;
+    dtd;
+    validate;
+    indexes = true;
+    bulk = true;
+    metrics_label = fresh_label ?metrics_label scheme;
+    next_doc;
+    slow_threshold_ns = None;
+    slow_entries = [];
+    guides = Hashtbl.create 8;
+    empty_fastpath = true;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Persistence: the store round-trips through the relational dump. *)

@@ -22,6 +22,7 @@ val create :
   ?indexes:bool ->
   ?bulk:bool ->
   ?metrics_label:string ->
+  ?durable:string ->
   string ->
   t
 (** [create scheme] builds an empty store. The ["inline"] scheme requires
@@ -32,7 +33,11 @@ val create :
     bottom-up index builds (default on; results are identical either way —
     benchmark F11 measures the difference). [~metrics_label] overrides the
     auto-generated ["scheme#N"] label that keeps this instance's metrics
-    series separate from other live stores'. *)
+    series separate from other live stores'. [~durable:dir] roots the
+    store in a fresh directory (paged checkpoints + write-ahead log):
+    each document load commits as one WAL transaction, {!checkpoint}
+    writes a page image, and {!open_durable} reopens the directory with
+    crash recovery. Fails if [dir] already holds a store. *)
 
 val scheme : t -> string
 val database : t -> Relstore.Database.t
@@ -202,6 +207,33 @@ val reset_cache_stats : t -> unit
 val set_plan_cache : t -> bool -> unit
 (** Disable (and empty) or re-enable the plan cache; query results are
     identical either way. *)
+
+(** {1 Durability}
+
+    A store created with [~durable:dir] lives on disk: every mutation is
+    written ahead to [dir/wal.log], a document load is one transaction
+    committed (fsync) when the shred finishes, and {!checkpoint} folds
+    everything into a double-buffered page image. {!open_durable} reopens
+    the directory, replaying the log — a load interrupted mid-document is
+    rolled back whole, one that reached its commit is replayed whole. *)
+
+val open_durable : ?dtd:Xmlkit.Dtd.t -> ?validate:bool -> ?metrics_label:string -> string -> t
+(** Reopen a durable store directory, running crash recovery as needed.
+    The scheme is read from the directory ([inline] still needs its
+    DTD passed). *)
+
+val is_durable : t -> bool
+val durable_dir : t -> string option
+
+val last_recovery : t -> Relstore.Database.recovery option
+(** What recovery did when this store was opened ([None] for in-memory
+    stores). *)
+
+val checkpoint : t -> unit
+(** Write a full page image and truncate the WAL. No-op in memory. *)
+
+val close : t -> unit
+(** {!checkpoint}, then release the directory. No-op in memory. *)
 
 (** {1 Persistence} *)
 

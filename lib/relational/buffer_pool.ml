@@ -1,0 +1,140 @@
+(* Buffer pool over one page file: fixed-size frames keyed by page id,
+   pin/unpin around every access, LRU writeback of dirty frames when the
+   pool is full. Reads past end-of-file yield zero pages — that is how
+   fresh pages are allocated (the checkpointer writes into them through
+   [with_page_w] and [flush] extends the file).
+
+   Single-writer use: the checkpointer and the recovery reader are the
+   only clients, both single-threaded, so a pin only protects a frame
+   from eviction by a nested access. *)
+
+type frame = {
+  data : Bytes.t;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable last_used : int;
+}
+
+type t = {
+  page_size : int;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable fd : Unix.file_descr option;
+  mutable tick : int;
+}
+
+exception Pool_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Pool_error s)) fmt
+
+let create ~page_size ~capacity =
+  {
+    page_size;
+    capacity = max 4 capacity;
+    frames = Hashtbl.create 64;
+    fd = None;
+    tick = 0;
+  }
+
+let page_size t = t.page_size
+
+let fd t = match t.fd with Some fd -> fd | None -> err "buffer pool is not attached"
+
+let write_frame t page_id fr =
+  let fd = fd t in
+  ignore (Unix.lseek fd (page_id * t.page_size) Unix.SEEK_SET);
+  let off = ref 0 in
+  while !off < t.page_size do
+    off := !off + Unix.write fd fr.data !off (t.page_size - !off)
+  done;
+  fr.dirty <- false;
+  Metrics.incr "db.page.write"
+
+let flush t =
+  Hashtbl.iter (fun page_id fr -> if fr.dirty then write_frame t page_id fr) t.frames
+
+let sync t =
+  flush t;
+  Unix.fsync (fd t);
+  Metrics.incr "db.page.fsync"
+
+let detach t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    Unix.close fd;
+    t.fd <- None;
+    Hashtbl.reset t.frames
+
+(* Attach to a page file, dropping whatever the pool held. [reset] starts
+   the file over (checkpointing into the inactive generation). *)
+let attach t path ~reset =
+  detach t;
+  let flags =
+    if reset then [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] else [ Unix.O_RDWR; Unix.O_CREAT ]
+  in
+  t.fd <- Some (Unix.openfile path flags 0o644)
+
+let attached t = t.fd <> None
+
+let page_count t =
+  let st = Unix.fstat (fd t) in
+  (st.Unix.st_size + t.page_size - 1) / t.page_size
+
+let read_frame t page_id =
+  let fd = fd t in
+  let data = Bytes.make t.page_size '\000' in
+  ignore (Unix.lseek fd (page_id * t.page_size) Unix.SEEK_SET);
+  (* short reads (end of file) leave the rest zeroed: a fresh page *)
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < t.page_size do
+    let n = Unix.read fd data !off (t.page_size - !off) in
+    if n = 0 then eof := true else off := !off + n
+  done;
+  Metrics.incr "db.page.read";
+  { data; dirty = false; pins = 0; last_used = 0 }
+
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun page_id fr ->
+      if fr.pins = 0 then
+        match !victim with
+        | Some (_, lu) when lu <= fr.last_used -> ()
+        | _ -> victim := Some (page_id, fr.last_used))
+    t.frames;
+  match !victim with
+  | None -> ()  (* everything pinned: grow past capacity rather than fail *)
+  | Some (page_id, _) ->
+    let fr = Hashtbl.find t.frames page_id in
+    if fr.dirty then write_frame t page_id fr;
+    Hashtbl.remove t.frames page_id;
+    Metrics.incr "db.page.evict"
+
+let pin t page_id =
+  let fr =
+    match Hashtbl.find_opt t.frames page_id with
+    | Some fr ->
+      Metrics.incr "db.page.hit";
+      fr
+    | None ->
+      Metrics.incr "db.page.miss";
+      if Hashtbl.length t.frames >= t.capacity then evict_one t;
+      let fr = read_frame t page_id in
+      Hashtbl.add t.frames page_id fr;
+      fr
+  in
+  t.tick <- t.tick + 1;
+  fr.last_used <- t.tick;
+  fr.pins <- fr.pins + 1;
+  fr
+
+let with_page t page_id f =
+  let fr = pin t page_id in
+  Fun.protect ~finally:(fun () -> fr.pins <- fr.pins - 1) (fun () -> f fr.data)
+
+let with_page_w t page_id f =
+  let fr = pin t page_id in
+  fr.dirty <- true;
+  Fun.protect ~finally:(fun () -> fr.pins <- fr.pins - 1) (fun () -> f fr.data)

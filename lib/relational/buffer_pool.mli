@@ -1,0 +1,36 @@
+(** Buffer pool over one page file: fixed-size frames keyed by page id,
+    pin/unpin around every access, LRU writeback of dirty frames when
+    the pool is full. Reads past end-of-file yield zero pages (fresh
+    page allocation); {!flush}/{!sync} write dirty frames back. *)
+
+type t
+
+exception Pool_error of string
+
+val create : page_size:int -> capacity:int -> t
+(** [capacity] is the frame count ceiling (floor 4). *)
+
+val page_size : t -> int
+
+val attach : t -> string -> reset:bool -> unit
+(** Open a page file, dropping whatever the pool held. [~reset:true]
+    truncates it first (checkpointing into the inactive generation). *)
+
+val attached : t -> bool
+val detach : t -> unit
+
+val page_count : t -> int
+(** Pages currently in the file (not counting unwritten dirty frames). *)
+
+val with_page : t -> int -> (Bytes.t -> 'a) -> 'a
+(** Pin page [id], run [f] on its bytes, unpin. Do not retain the bytes
+    past [f]. *)
+
+val with_page_w : t -> int -> (Bytes.t -> 'a) -> 'a
+(** {!with_page} plus marking the frame dirty. *)
+
+val flush : t -> unit
+(** Write every dirty frame back (no fsync). *)
+
+val sync : t -> unit
+(** {!flush} then [fsync]. *)

@@ -1,0 +1,126 @@
+(* Little-endian binary codec shared by the WAL, the page checkpointer,
+   and the statistics serializer, plus the CRC-32 the WAL frames records
+   with to find the valid prefix of a torn log. Floats travel as their
+   IEEE-754 bit pattern, so every value — NaN payloads, negative zero,
+   subnormals — round-trips bit-exactly. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writers (into a Buffer) *)
+
+let add_u8 b v = Buffer.add_uint8 b (v land 0xff)
+let add_u16 b v = Buffer.add_uint16_le b v
+let add_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let add_u64 b v = Buffer.add_int64_le b (Int64.of_int v)
+let add_float b f = Buffer.add_int64_le b (Int64.bits_of_float f)
+
+let add_string b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let add_value b (v : Value.t) =
+  match v with
+  | Value.Null -> add_u8 b 0
+  | Value.Int i ->
+    add_u8 b 1;
+    add_u64 b i
+  | Value.Float f ->
+    add_u8 b 2;
+    add_float b f
+  | Value.Bool false -> add_u8 b 3
+  | Value.Bool true -> add_u8 b 4
+  | Value.Text s ->
+    add_u8 b 5;
+    add_string b s
+
+let add_row b row =
+  add_u16 b (Array.length row);
+  Array.iter (add_value b) row
+
+(* ------------------------------------------------------------------ *)
+(* Readers (over a string) *)
+
+type reader = { src : string; mutable pos : int }
+
+let reader ?(pos = 0) src = { src; pos }
+let reader_pos r = r.pos
+let at_end r = r.pos >= String.length r.src
+
+let need r n =
+  if r.pos + n > String.length r.src then
+    corrupt "truncated input: need %d bytes at offset %d of %d" n r.pos (String.length r.src)
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  need r 2;
+  let v = String.get_uint16_le r.src r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let get_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_le r.src r.pos) land 0xFFFFFFFF in
+  r.pos <- r.pos + 4;
+  v
+
+let get_u64 r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_le r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_float r =
+  need r 8;
+  let v = Int64.float_of_bits (String.get_int64_le r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_string r =
+  let n = get_u32 r in
+  need r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_value r : Value.t =
+  match get_u8 r with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (get_u64 r)
+  | 2 -> Value.Float (get_float r)
+  | 3 -> Value.Bool false
+  | 4 -> Value.Bool true
+  | 5 -> Value.Text (get_string r)
+  | tag -> corrupt "unknown value tag %d at offset %d" tag (r.pos - 1)
+
+let get_row r =
+  let n = get_u16 r in
+  Array.init n (fun _ -> get_value r)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3 polynomial, table-driven) *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF

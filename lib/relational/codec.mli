@@ -1,0 +1,44 @@
+(** Little-endian binary codec shared by the WAL, the page checkpointer,
+    and the statistics serializer. Floats travel as their IEEE-754 bit
+    pattern, so NaN payloads, negative zero, and subnormals round-trip
+    bit-exactly. *)
+
+exception Corrupt of string
+(** Raised by every reader on truncated or malformed input. *)
+
+(** {1 Writers} *)
+
+val add_u8 : Buffer.t -> int -> unit
+val add_u16 : Buffer.t -> int -> unit
+val add_u32 : Buffer.t -> int -> unit
+val add_u64 : Buffer.t -> int -> unit
+val add_float : Buffer.t -> float -> unit
+val add_string : Buffer.t -> string -> unit
+(** Length-prefixed (u32). *)
+
+val add_value : Buffer.t -> Value.t -> unit
+val add_row : Buffer.t -> Value.t array -> unit
+(** Arity-prefixed (u16). *)
+
+(** {1 Readers} *)
+
+type reader
+
+val reader : ?pos:int -> string -> reader
+val reader_pos : reader -> int
+val at_end : reader -> bool
+
+val get_u8 : reader -> int
+val get_u16 : reader -> int
+val get_u32 : reader -> int
+val get_u64 : reader -> int
+val get_float : reader -> float
+val get_string : reader -> string
+val get_value : reader -> Value.t
+val get_row : reader -> Value.t array
+
+(** {1 Integrity} *)
+
+val crc32 : ?pos:int -> ?len:int -> string -> int
+(** CRC-32 (IEEE 802.3 polynomial) of a substring; whole string by
+    default. *)

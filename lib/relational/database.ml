@@ -5,6 +5,15 @@
    The cache is cleared on any DDL and entries are revalidated against
    table row counts, so stale plans never execute. *)
 
+(* What recovery did when a durable directory was opened. *)
+type recovery = {
+  rc_scanned : int;  (* WAL records in the valid prefix *)
+  rc_redone : int;  (* mutation/DDL records replayed past the checkpoint *)
+  rc_undone : int;  (* rows truncated undoing loser transactions *)
+  rc_losers : int;  (* transactions begun but never committed or aborted *)
+  rc_torn_bytes : int;  (* torn WAL tail cut back on open *)
+}
+
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   col_stats : Stats.t;
@@ -12,6 +21,11 @@ type t = {
   mutable ddl_gen : int;
       (* bumped on every CREATE/DROP TABLE; lets bulk-load sessions cache
          name-to-table resolutions until the catalog actually changes *)
+  mutable durable : Durable.t option;
+  mutable cur_tx : int;  (* the open durable bulk-load session, 0 = none *)
+  mutable next_tx : int;
+  mutable recovering : bool;  (* replaying the WAL: nothing is re-logged *)
+  mutable last_recovery : recovery option;
 }
 
 exception Db_error of string
@@ -25,12 +39,63 @@ let create () =
       col_stats = Stats.create ();
       plan_cache = Plan_cache.create ();
       ddl_gen = 0;
+      durable = None;
+      cur_tx = 0;
+      next_tx = 1;
+      recovering = false;
+      last_recovery = None;
     }
   in
   (* A material statistics change means cached plans were costed against
      numbers that no longer hold — invalidate, like DDL does. *)
   Stats.on_change t.col_stats (fun _table -> Plan_cache.clear t.plan_cache);
   t
+
+let is_durable t = t.durable <> None
+let durable_dir t = Option.map Durable.dir t.durable
+let last_recovery t = t.last_recovery
+
+(* ------------------------------------------------------------------ *)
+(* WAL appenders. Everything is a no-op on in-memory databases and while
+   recovery itself is replaying the log (nothing may be re-logged).
+
+   Transaction attribution: a mutation belongs to the open durable
+   session iff its table is bulk-active — exactly the rows a live
+   [abort_session] would drain — and to transaction 0 (autocommit)
+   otherwise. DDL is always transaction 0: the live engine keeps DDL
+   across a session abort, so recovery must too. *)
+
+let log_wal t record =
+  match t.durable with
+  | Some d when not t.recovering -> ignore (Wal.append (Durable.wal d) record)
+  | _ -> ()
+
+let log_mutation t tbl (m : Table.mutation) =
+  match t.durable with
+  | Some d when not t.recovering ->
+    let table = Table.name tbl in
+    let record =
+      match m with
+      | Table.M_insert (rowid, row) ->
+        let tx = if Table.bulk_active tbl && t.cur_tx <> 0 then t.cur_tx else 0 in
+        Wal.Insert { tx; table; rowid; row }
+      | Table.M_delete rowid -> Wal.Delete { table; rowid }
+      | Table.M_update (rowid, row) -> Wal.Update { table; rowid; row }
+    in
+    ignore (Wal.append (Durable.wal d) record)
+  | _ -> ()
+
+let attach_logger t tbl = Table.set_logger tbl (Some (log_mutation t tbl))
+
+(* Autocommitted statements reach the OS as soon as they complete; only a
+   session commit pays for the fsync. *)
+let wal_flush t =
+  match t.durable with
+  | Some d when not t.recovering -> Wal.flush (Durable.wal d)
+  | _ -> ()
+
+let wal_sync t =
+  match t.durable with Some d -> Wal.sync (Durable.wal d) | None -> ()
 
 let key name = String.lowercase_ascii name
 
@@ -51,13 +116,20 @@ let create_table t schema =
   let tbl = Table.create schema in
   Hashtbl.add t.tables k tbl;
   t.ddl_gen <- t.ddl_gen + 1;
+  if t.durable <> None then begin
+    log_wal t (Wal.Create_table schema);
+    attach_logger t tbl
+  end;
   tbl
 
 let drop_table t name =
   let k = key name in
   let existed = Hashtbl.mem t.tables k in
   Hashtbl.remove t.tables k;
-  if existed then t.ddl_gen <- t.ddl_gen + 1;
+  if existed then begin
+    t.ddl_gen <- t.ddl_gen + 1;
+    log_wal t (Wal.Drop_table k)
+  end;
   existed
 
 let catalog t : Planner.catalog =
@@ -105,10 +177,22 @@ type session = {
          never serve a detached table. *)
   mutable s_gen : int;
   mutable s_open : bool;
+  s_tx : int;  (* WAL transaction id; 0 on in-memory databases *)
 }
 
 let load_session t =
-  { s_db = t; s_tables = []; s_memo = []; s_gen = t.ddl_gen; s_open = true }
+  let s_tx =
+    if t.durable = None || t.recovering then 0
+    else begin
+      if t.cur_tx <> 0 then err "a durable bulk-load session is already open";
+      let tx = t.next_tx in
+      t.next_tx <- t.next_tx + 1;
+      t.cur_tx <- tx;
+      log_wal t (Wal.Begin tx);
+      tx
+    end
+  in
+  { s_db = t; s_tables = []; s_memo = []; s_gen = t.ddl_gen; s_open = true; s_tx }
 let session_db s = s.s_db
 
 let session_table_slow s name =
@@ -182,6 +266,14 @@ let finish_session s =
           ignore (Table.abort_bulk tbl))
       (List.rev s.s_tables);
     Metrics.incr ~by:!total "db.bulk.rows";
+    if s.s_tx <> 0 then begin
+      let t = s.s_db in
+      t.cur_tx <- 0;
+      log_wal t (Wal.Commit s.s_tx);
+      Failpoint.hit "wal.commit";
+      wal_sync t;
+      Metrics.incr "db.wal.commit"
+    end;
     !total
   end
 
@@ -190,7 +282,13 @@ let abort_session s =
     s.s_open <- false;
     let total = ref 0 in
     List.iter (fun (_, tbl) -> total := !total + Table.abort_bulk tbl) s.s_tables;
-    Metrics.incr ~by:!total "db.bulk.aborted_rows"
+    Metrics.incr ~by:!total "db.bulk.aborted_rows";
+    if s.s_tx <> 0 then begin
+      let t = s.s_db in
+      t.cur_tx <- 0;
+      log_wal t (Wal.Abort s.s_tx);
+      wal_flush t
+    end
   end
 
 let with_session t f =
@@ -343,6 +441,7 @@ let exec_statement ?(params = [||]) ?cache_text t (stmt : Sql_ast.statement) =
     if if_not_exists && Option.is_some (Table.find_index tbl index) then Done "index exists"
     else begin
       ignore (Table.create_index tbl ~index_name:index ~columns);
+      log_wal t (Wal.Create_index { table = Table.name tbl; index; columns });
       Plan_cache.clear t.plan_cache;
       Done (Printf.sprintf "created index %s" index)
     end
@@ -356,10 +455,19 @@ let exec_statement ?(params = [||]) ?cache_text t (stmt : Sql_ast.statement) =
   | Sql_ast.Drop_index { index; table } ->
     let tbl = get_table t table in
     if Table.drop_index tbl index then begin
+      log_wal t (Wal.Drop_index { table = Table.name tbl; index });
       Plan_cache.clear t.plan_cache;
       Done (Printf.sprintf "dropped index %s" index)
     end
     else err "no such index: %s on %s" index table
+
+(* Autocommit durability: any statement that changed something leaves its
+   WAL records with the OS before control returns (fsync waits for an
+   explicit checkpoint or a session commit). *)
+let exec_statement ?params ?cache_text t stmt =
+  let r = exec_statement ?params ?cache_text t stmt in
+  (match r with Rows _ -> () | Affected _ | Done _ -> wal_flush t);
+  r
 
 (* Text entry point: a plan-cache hit on the raw statement text skips the
    lexer, parser, and planner entirely. *)
@@ -509,9 +617,33 @@ let dump t =
     (table_names t);
   Buffer.contents buf
 
+(* Replaying a dump is a bulk load, not a row-at-a-time INSERT storm: the
+   plain VALUES inserts stream through a load session (deferred index
+   maintenance, bottom-up rebuilds at the end), and every table is
+   analyzed once the data is in — so a restored database both loads at
+   bulk speed and plans from the same full-scan statistics the original
+   had, instead of planning blind until the first drift re-scan. *)
 let restore script =
   let db = create () in
-  ignore (exec_script db script);
+  let stmts = Sql_parser.parse_script script in
+  let s = load_session db in
+  (try
+     List.iter
+       (fun stmt ->
+         match stmt with
+         | Sql_ast.Insert { table; columns = None; rows } ->
+           List.iter
+             (fun row_exprs ->
+               session_insert s table
+                 (Array.of_list (List.map (const_value [||]) row_exprs)))
+             rows
+         | _ -> ignore (exec_statement db stmt))
+       stmts
+   with e ->
+     abort_session s;
+     raise e);
+  ignore (finish_session s);
+  List.iter (fun name -> ignore (analyze db name)) (table_names db);
   db
 
 let dump_to_file t path =
@@ -525,6 +657,206 @@ let restore_from_file path =
   let s = really_input_string ic n in
   close_in ic;
   restore s
+
+(* ------------------------------------------------------------------ *)
+(* Durable databases: page checkpoints + WAL (see Durable, Wal). *)
+
+let checkpoint t =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+    if t.cur_tx <> 0 then err "cannot checkpoint during a bulk-load session";
+    Obskit.Trace.with_span "db.checkpoint" @@ fun () ->
+    let wal = Durable.wal d in
+    (* Everything the image will absorb must be durable first: if the
+       generation flip fails partway, the WAL still carries it. *)
+    Wal.sync wal;
+    let tables =
+      List.map
+        (fun name ->
+          let tbl = get_table t name in
+          let schema = Table.schema tbl in
+          {
+            Durable.src_schema = schema;
+            src_indexes =
+              List.map
+                (fun ix ->
+                  ( ix.Table.index_name,
+                    Array.to_list
+                      (Array.map
+                         (fun ci -> schema.Schema.columns.(ci).Schema.col_name)
+                         ix.Table.key_columns) ))
+                (Table.indexes tbl);
+            src_iter = (fun f -> Table.iter_slots tbl f);
+          })
+        (table_names t)
+    in
+    Durable.checkpoint d ~tables
+      ~stats:(Stats.export t.col_stats)
+      ~last_lsn:(Wal.last_lsn wal)
+
+let close t =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+    checkpoint t;
+    Durable.close d;
+    t.durable <- None
+
+let abandon t =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+    Durable.abandon d;
+    t.durable <- None;
+    t.cur_tx <- 0
+
+(* WAL replay. Redo repeats history exactly — including the appends of
+   transactions that never committed and the truncations of live aborts —
+   so row ids always line up with what the log recorded. Undo then
+   truncates each loser's appended tail per table, which is precisely
+   what a live [abort_session] would have done ([Table.abort_bulk] is a
+   truncation of the never-indexed range). DDL is transaction 0: redone
+   unconditionally, never undone. *)
+let replay t records =
+  let touched = Hashtbl.create 16 in (* table key -> unit; stats refresh *)
+  let tx_tails = Hashtbl.create 8 in (* tx -> (table key, first rowid) list *)
+  let ended = Hashtbl.create 8 in (* committed or aborted *)
+  let redone = ref 0 in
+  let undone = ref 0 in
+  let max_tx = ref 0 in
+  let see_tx tx = if tx > !max_tx then max_tx := tx in
+  let note_tail tx name rowid =
+    if tx <> 0 then begin
+      see_tx tx;
+      let tails = try Hashtbl.find tx_tails tx with Not_found -> [] in
+      if not (List.mem_assoc (key name) tails) then
+        Hashtbl.replace tx_tails tx ((key name, rowid) :: tails)
+    end
+  in
+  let truncate_tails tx =
+    match Hashtbl.find_opt tx_tails tx with
+    | None -> ()
+    | Some tails ->
+      List.iter
+        (fun (k, first) ->
+          match Hashtbl.find_opt t.tables k with
+          | None -> () (* dropped later in the log; nothing left to undo *)
+          | Some tbl ->
+            undone := !undone + Table.recover_truncate tbl first;
+            Table.rebuild_indexes tbl)
+        tails;
+      Hashtbl.remove tx_tails tx
+  in
+  let corrupt fmt = Printf.ksprintf (fun s -> err "WAL replay: %s" s) fmt in
+  let find name =
+    match find_table t name with
+    | Some tbl -> tbl
+    | None -> corrupt "no such table %s" name
+  in
+  List.iter
+    (fun (_lsn, record) ->
+      match record with
+      | Wal.Begin tx -> see_tx tx
+      | Wal.Commit tx ->
+        see_tx tx;
+        Hashtbl.replace ended tx ();
+        Hashtbl.remove tx_tails tx
+      | Wal.Abort tx ->
+        see_tx tx;
+        Hashtbl.replace ended tx ();
+        truncate_tails tx;
+        incr redone
+      | Wal.Insert { tx; table; rowid; row } ->
+        let tbl = find table in
+        if Table.allocated_rows tbl <> rowid then
+          corrupt "%s: insert at row %d but arena holds %d rows" table rowid
+            (Table.allocated_rows tbl);
+        note_tail tx table rowid;
+        ignore (Table.insert tbl row);
+        Hashtbl.replace touched (key table) ();
+        incr redone
+      | Wal.Delete { table; rowid } ->
+        ignore (Table.delete (find table) rowid);
+        Hashtbl.replace touched (key table) ();
+        incr redone
+      | Wal.Update { table; rowid; row } ->
+        ignore (Table.update (find table) rowid row);
+        Hashtbl.replace touched (key table) ();
+        incr redone
+      | Wal.Create_table schema ->
+        ignore (create_table t schema);
+        incr redone
+      | Wal.Drop_table name ->
+        ignore (drop_table t name);
+        Hashtbl.remove touched (key name);
+        incr redone
+      | Wal.Create_index { table; index; columns } ->
+        let tbl = find table in
+        if Table.find_index tbl index = None then begin
+          ignore (Table.create_index tbl ~index_name:index ~columns);
+          incr redone
+        end
+      | Wal.Drop_index { table; index } ->
+        if Table.drop_index (find table) index then incr redone)
+    records;
+  (* Losers: begun, some work logged, neither Commit nor Abort survived. *)
+  let losers =
+    Hashtbl.fold (fun tx _ acc -> if Hashtbl.mem ended tx then acc else tx :: acc) tx_tails []
+  in
+  List.iter truncate_tails losers;
+  Hashtbl.iter
+    (fun k () ->
+      match Hashtbl.find_opt t.tables k with
+      | Some tbl -> Stats.refresh t.col_stats tbl
+      | None -> ())
+    touched;
+  t.next_tx <- !max_tx + 1;
+  (!redone, !undone, List.length losers)
+
+let open_durable ?page_size ?pool_pages dir =
+  Obskit.Trace.with_span ~attrs:[ ("dir", dir) ] "db.open_durable" @@ fun () ->
+  let d, image, scan = Durable.open_dir ?page_size ?pool_pages dir in
+  let t = create () in
+  t.recovering <- true;
+  (match image with
+  | None -> ()
+  | Some img ->
+    List.iter
+      (fun (ti : Durable.table_image) ->
+        let tbl = Table.restore_slots ti.Durable.ti_schema ti.Durable.ti_slots in
+        Hashtbl.add t.tables (key ti.Durable.ti_schema.Schema.table_name) tbl;
+        List.iter
+          (fun (index_name, columns) -> ignore (Table.create_index tbl ~index_name ~columns))
+          ti.Durable.ti_indexes)
+      img.Durable.im_tables;
+    t.ddl_gen <- t.ddl_gen + 1;
+    Stats.import t.col_stats img.Durable.im_stats);
+  let ckpt = Durable.checkpoint_lsn d in
+  let records = List.filter (fun (lsn, _) -> lsn > ckpt) scan.Wal.sc_records in
+  let redone, undone, losers =
+    match records with
+    | [] -> (0, 0, 0)
+    | _ -> Metrics.timed "db.recovery" (fun () -> replay t records)
+  in
+  let torn = scan.Wal.sc_total_bytes - scan.Wal.sc_valid_bytes in
+  t.recovering <- false;
+  t.durable <- Some d;
+  Hashtbl.iter (fun _ tbl -> attach_logger t tbl) t.tables;
+  t.last_recovery <-
+    Some
+      {
+        rc_scanned = List.length scan.Wal.sc_records;
+        rc_redone = redone;
+        rc_undone = undone;
+        rc_losers = losers;
+        rc_torn_bytes = torn;
+      };
+  (* Anything replayed (or any torn tail cut) is folded into a fresh
+     checkpoint immediately: reopening after a crash leaves a clean
+     directory, and a second crash replays nothing twice. *)
+  if records <> [] || torn > 0 then checkpoint t;
+  t
 
 (* Render a result set as an aligned text table (CLI / examples). *)
 let render_result (r : Executor.result) =

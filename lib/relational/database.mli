@@ -162,5 +162,56 @@ val dump : t -> string
     replays into an identical database. *)
 
 val restore : string -> t
+(** Replay a dump. Plain VALUES inserts stream through a bulk-load
+    session (deferred index maintenance), and every table is analyzed
+    once loaded, so the restored database plans from the same full-scan
+    statistics as the original. *)
+
 val dump_to_file : t -> string -> unit
 val restore_from_file : string -> t
+
+(** {1 Durability}
+
+    A durable database lives in a directory: double-buffered page
+    checkpoints plus a write-ahead log carrying everything since the
+    last one (see {!Durable}, {!Wal}). Every mutation — SQL statements,
+    direct inserts, bulk-load sessions — is logged as it happens; a
+    bulk-load session is one WAL transaction whose commit is the fsync
+    point, and autocommitted statements reach the OS when they return.
+    {!open_durable} recovers: redo replays the log past the checkpoint,
+    undo truncates the appended tails of transactions whose commit never
+    made it — exactly what a live {!abort_session} would have done. *)
+
+type recovery = {
+  rc_scanned : int;  (** WAL records in the valid prefix *)
+  rc_redone : int;  (** mutation/DDL records replayed past the checkpoint *)
+  rc_undone : int;  (** rows truncated undoing loser transactions *)
+  rc_losers : int;  (** transactions with work but no Commit/Abort *)
+  rc_torn_bytes : int;  (** torn WAL tail cut back on open *)
+}
+
+val open_durable : ?page_size:int -> ?pool_pages:int -> string -> t
+(** Open (creating if needed) a durable database directory, running
+    recovery as required. After any replay the WAL is folded into a
+    fresh checkpoint, so a reopened directory is always clean. *)
+
+val is_durable : t -> bool
+val durable_dir : t -> string option
+
+val last_recovery : t -> recovery option
+(** What recovery did when this database was opened ([None] for
+    in-memory databases). *)
+
+val checkpoint : t -> unit
+(** Write a full page image and truncate the WAL. No-op in memory.
+    @raise Db_error during an open bulk-load session. *)
+
+val close : t -> unit
+(** {!checkpoint}, then release the directory. No-op in memory. *)
+
+val abandon : t -> unit
+(** Drop the directory handles without flushing — simulates a crash with
+    staged WAL records still in memory (tests, the CLI's --crash-at). *)
+
+val wal_sync : t -> unit
+(** Force staged WAL records to disk (fsync) without checkpointing. *)

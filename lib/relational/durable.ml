@@ -1,0 +1,427 @@
+(* Durable paged storage for one database directory:
+
+     <dir>/CURRENT    — the active checkpoint generation ("0" or "1")
+     <dir>/pages.0    — page file, generation 0
+     <dir>/pages.1    — page file, generation 1
+     <dir>/wal.log    — write-ahead log since the active checkpoint
+
+   A checkpoint writes the whole database image — table heaps, catalog,
+   statistics — into the *inactive* generation through the buffer pool,
+   fsyncs it, atomically renames a fresh CURRENT over the old one, and
+   only then truncates the WAL. A crash at any point leaves either the
+   old generation + full WAL or the new generation (+ a WAL whose records
+   are all at or below the checkpoint LSN and are skipped on replay), so
+   open always finds a consistent image.
+
+   Page format (fixed size, default 4096 bytes; 24-byte header):
+
+     [0]      u8  kind        0 meta / 1 catalog / 2 heap / 3 overflow
+     [2..3]   u16 nslots      heap pages
+     [4..7]   u32 next        chain link (0 = end; page 0 is the meta page)
+     [8..15]  u64 lsn         checkpoint LSN stamp
+     [16..19] u32 used        payload bytes (catalog / overflow)
+
+   Heap pages are slotted: the slot directory grows forward from the
+   header (u16 cell offset per slot, 0 = tombstone — deleted rows keep
+   their slot so row ids survive the round trip), cells grow backward
+   from the page end. A cell is [u16 len][bytes]; len 0xFFFF marks an
+   overflow cell [u16 0xFFFF][u32 first_page][u32 total_len] whose row
+   lives in a chain of overflow pages. The catalog is a byte stream
+   (schemas, index definitions, heap chain heads, serialized statistics)
+   chunked into catalog pages. *)
+
+type t = {
+  dir : string;
+  pool : Buffer_pool.t;
+  wal : Wal.t;
+  mutable gen : int option;  (* active generation; None before the first checkpoint *)
+  mutable ckpt_lsn : int;  (* highest LSN absorbed into the active generation *)
+}
+
+type table_src = {
+  src_schema : Schema.t;
+  src_indexes : (string * string list) list;  (* index name, column names *)
+  src_iter : (Value.t array option -> unit) -> unit;  (* slots in rowid order; None = tombstone *)
+}
+
+type table_image = {
+  ti_schema : Schema.t;
+  ti_indexes : (string * string list) list;
+  ti_slots : Value.t array option array;
+}
+
+type image = { im_tables : table_image list; im_stats : string }
+
+exception Durable_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Durable_error s)) fmt
+
+let magic = 0x4D505258 (* "XRPM" *)
+let version = 1
+let header_bytes = 24
+let overflow_marker = 0xFFFF
+
+let wal t = t.wal
+let dir t = t.dir
+let checkpoint_lsn t = t.ckpt_lsn
+let page_count t = if Buffer_pool.attached t.pool then Buffer_pool.page_count t.pool else 0
+
+let current_path dir = Filename.concat dir "CURRENT"
+let wal_path dir = Filename.concat dir "wal.log"
+let pages_path dir gen = Filename.concat dir (Printf.sprintf "pages.%d" gen)
+
+let rec mkdirs path =
+  if not (Sys.file_exists path) then begin
+    mkdirs (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Page writing *)
+
+type pager = { pg_pool : Buffer_pool.t; mutable pg_next : int }
+
+let alloc pg =
+  let id = pg.pg_next in
+  pg.pg_next <- id + 1;
+  id
+
+let store_page pg id buf =
+  Buffer_pool.with_page_w pg.pg_pool id (fun page ->
+      Bytes.blit buf 0 page 0 (Bytes.length buf))
+
+(* Write a byte stream into a chain of pages of the given kind; returns
+   the first page id (0 when the stream is empty). *)
+let write_chain pg ~kind ~lsn data =
+  let ps = Buffer_pool.page_size pg.pg_pool in
+  let chunk = ps - header_bytes in
+  let total = String.length data in
+  if total = 0 then 0
+  else begin
+    let npages = (total + chunk - 1) / chunk in
+    let ids = Array.init npages (fun _ -> alloc pg) in
+    Array.iteri
+      (fun i id ->
+        let off = i * chunk in
+        let used = min chunk (total - off) in
+        let buf = Bytes.make ps '\000' in
+        Bytes.set_uint8 buf 0 kind;
+        Bytes.set_int32_le buf 4
+          (Int32.of_int (if i + 1 < npages then ids.(i + 1) else 0));
+        Bytes.set_int64_le buf 8 (Int64.of_int lsn);
+        Bytes.set_int32_le buf 16 (Int32.of_int used);
+        Bytes.blit_string data off buf header_bytes used;
+        store_page pg id buf)
+      ids;
+    ids.(0)
+  end
+
+let write_overflow pg ~lsn data = write_chain pg ~kind:3 ~lsn data
+
+(* Write one table's slots into a chain of slotted heap pages. *)
+let write_heap pg ~lsn iter_slots =
+  let ps = Buffer_pool.page_size pg.pg_pool in
+  let max_inline = min (ps - header_bytes - 4) (overflow_marker - 1) in
+  let buf = Bytes.make ps '\000' in
+  let first = ref 0 in
+  let cur_id = ref 0 in
+  let page_open = ref false in
+  let nslots = ref 0 in
+  let cell_top = ref ps in
+  let open_page id =
+    Bytes.fill buf 0 ps '\000';
+    cur_id := id;
+    page_open := true;
+    nslots := 0;
+    cell_top := ps
+  in
+  let close_page ~next =
+    Bytes.set_uint8 buf 0 2;
+    Bytes.set_uint16_le buf 2 !nslots;
+    Bytes.set_int32_le buf 4 (Int32.of_int next);
+    Bytes.set_int64_le buf 8 (Int64.of_int lsn);
+    store_page pg !cur_id buf
+  in
+  (* Make room for one more slot plus [cell] payload bytes, spilling to a
+     fresh chained page when the current one is full. *)
+  let ensure cell =
+    if not !page_open then begin
+      let id = alloc pg in
+      first := id;
+      open_page id
+    end
+    else if header_bytes + (2 * (!nslots + 1)) + cell > !cell_top then begin
+      let next = alloc pg in
+      close_page ~next;
+      open_page next
+    end
+  in
+  let put_slot off =
+    Bytes.set_uint16_le buf (header_bytes + (2 * !nslots)) off;
+    incr nslots
+  in
+  iter_slots (fun slot ->
+      match slot with
+      | None ->
+        ensure 0;
+        put_slot 0
+      | Some row ->
+        let b = Buffer.create 64 in
+        Codec.add_row b row;
+        let data = Buffer.contents b in
+        let len = String.length data in
+        if len > max_inline then begin
+          (* the row spills into an overflow chain; the inline cell holds
+             only the chain head and total length *)
+          let ovfl = write_overflow pg ~lsn data in
+          ensure 10;
+          cell_top := !cell_top - 10;
+          Bytes.set_uint16_le buf !cell_top overflow_marker;
+          Bytes.set_int32_le buf (!cell_top + 2) (Int32.of_int ovfl);
+          Bytes.set_int32_le buf (!cell_top + 6) (Int32.of_int len);
+          put_slot !cell_top
+        end
+        else begin
+          let cell = 2 + len in
+          ensure cell;
+          cell_top := !cell_top - cell;
+          Bytes.set_uint16_le buf !cell_top len;
+          Bytes.blit_string data 0 buf (!cell_top + 2) len;
+          put_slot !cell_top
+        end);
+  if !page_open then close_page ~next:0;
+  !first
+
+(* ------------------------------------------------------------------ *)
+(* Page reading *)
+
+let page_kind page = Bytes.get_uint8 page 0
+let page_next page = Int32.to_int (Bytes.get_int32_le page 4) land 0xFFFFFFFF
+let page_used page = Int32.to_int (Bytes.get_int32_le page 16) land 0xFFFFFFFF
+
+let read_chain pool ~kind first =
+  let b = Buffer.create 4096 in
+  let id = ref first in
+  while !id <> 0 do
+    Buffer_pool.with_page pool !id (fun page ->
+        if page_kind page <> kind then
+          err "page %d: expected kind %d, found %d" !id kind (page_kind page);
+        Buffer.add_subbytes b page header_bytes (page_used page);
+        id := page_next page)
+  done;
+  Buffer.contents b
+
+let read_overflow pool first ~total =
+  let data = read_chain pool ~kind:3 first in
+  if String.length data < total then err "overflow chain %d: %d bytes, need %d" first (String.length data) total;
+  String.sub data 0 total
+
+let read_heap pool first =
+  let slots = ref [] in
+  let count = ref 0 in
+  let id = ref first in
+  while !id <> 0 do
+    Buffer_pool.with_page pool !id (fun page ->
+        if page_kind page <> 2 then err "page %d: expected a heap page, found kind %d" !id (page_kind page);
+        let nslots = Bytes.get_uint16_le page 2 in
+        for i = 0 to nslots - 1 do
+          let off = Bytes.get_uint16_le page (header_bytes + (2 * i)) in
+          let slot =
+            if off = 0 then None
+            else begin
+              let len = Bytes.get_uint16_le page off in
+              let data =
+                if len = overflow_marker then begin
+                  let ovfl = Int32.to_int (Bytes.get_int32_le page (off + 2)) land 0xFFFFFFFF in
+                  let total = Int32.to_int (Bytes.get_int32_le page (off + 6)) land 0xFFFFFFFF in
+                  read_overflow pool ovfl ~total
+                end
+                else Bytes.sub_string page (off + 2) len
+              in
+              Some (Codec.get_row (Codec.reader data))
+            end
+          in
+          slots := slot :: !slots;
+          incr count
+        done;
+        id := page_next page)
+  done;
+  let arr = Array.make !count None in
+  List.iteri (fun i s -> arr.(!count - 1 - i) <- s) !slots;
+  arr
+
+(* ------------------------------------------------------------------ *)
+(* Catalog *)
+
+let encode_catalog srcs ~firsts ~nslots ~stats =
+  let b = Buffer.create 1024 in
+  Codec.add_u32 b (List.length srcs);
+  List.iteri
+    (fun i src ->
+      Wal.add_schema b src.src_schema;
+      Codec.add_u16 b (List.length src.src_indexes);
+      List.iter
+        (fun (name, cols) ->
+          Codec.add_string b name;
+          Codec.add_u16 b (List.length cols);
+          List.iter (Codec.add_string b) cols)
+        src.src_indexes;
+      Codec.add_u32 b firsts.(i);
+      Codec.add_u64 b nslots.(i))
+    srcs;
+  Codec.add_string b stats;
+  Buffer.contents b
+
+let decode_catalog pool blob =
+  let r = Codec.reader blob in
+  let ntables = Codec.get_u32 r in
+  let tables =
+    List.init ntables (fun _ ->
+        let schema = Wal.get_schema r in
+        let nix = Codec.get_u16 r in
+        let indexes =
+          List.init nix (fun _ ->
+              let name = Codec.get_string r in
+              let ncols = Codec.get_u16 r in
+              (name, List.init ncols (fun _ -> Codec.get_string r)))
+        in
+        let first = Codec.get_u32 r in
+        let expected = Codec.get_u64 r in
+        (schema, indexes, first, expected))
+  in
+  let stats = Codec.get_string r in
+  let im_tables =
+    List.map
+      (fun (schema, indexes, first, expected) ->
+        let slots = read_heap pool first in
+        if Array.length slots <> expected then
+          err "table %s: checkpoint promises %d slots, heap chain has %d"
+            schema.Schema.table_name expected (Array.length slots);
+        { ti_schema = schema; ti_indexes = indexes; ti_slots = slots })
+      tables
+  in
+  { im_tables; im_stats = stats }
+
+(* ------------------------------------------------------------------ *)
+(* Meta page and CURRENT *)
+
+let write_meta pg ~npages ~catalog_first ~ckpt_lsn =
+  let ps = Buffer_pool.page_size pg.pg_pool in
+  let buf = Bytes.make ps '\000' in
+  Bytes.set_int32_le buf 0 (Int32.of_int magic);
+  Bytes.set_int32_le buf 4 (Int32.of_int version);
+  Bytes.set_int32_le buf 8 (Int32.of_int ps);
+  Bytes.set_int32_le buf 12 (Int32.of_int npages);
+  Bytes.set_int32_le buf 16 (Int32.of_int catalog_first);
+  Bytes.set_int64_le buf 20 (Int64.of_int ckpt_lsn);
+  store_page pg 0 buf
+
+let read_meta pool =
+  Buffer_pool.with_page pool 0 (fun page ->
+      let u32 off = Int32.to_int (Bytes.get_int32_le page off) land 0xFFFFFFFF in
+      if u32 0 <> magic then err "not a page file (bad magic)";
+      if u32 4 <> version then err "page file version %d is not supported" (u32 4);
+      if u32 8 <> Buffer_pool.page_size pool then
+        err "page size mismatch: file has %d, pool uses %d" (u32 8) (Buffer_pool.page_size pool);
+      let npages = u32 12 in
+      let catalog_first = u32 16 in
+      let ckpt_lsn = Int64.to_int (Bytes.get_int64_le page 20) in
+      (npages, catalog_first, ckpt_lsn))
+
+let read_current dir =
+  let path = current_path dir in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    match String.trim line with
+    | "0" -> Some 0
+    | "1" -> Some 1
+    | s -> err "CURRENT names generation %S (want 0 or 1)" s
+  end
+
+let write_current dir gen =
+  let tmp = Filename.concat dir "CURRENT.tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let s = string_of_int gen ^ "\n" in
+  ignore (Unix.write_substring fd s 0 (String.length s));
+  Unix.fsync fd;
+  Unix.close fd;
+  Sys.rename tmp (current_path dir);
+  fsync_dir dir
+
+(* ------------------------------------------------------------------ *)
+(* Open and checkpoint *)
+
+let open_dir ?(page_size = 4096) ?(pool_pages = 256) dirname =
+  mkdirs dirname;
+  let pool = Buffer_pool.create ~page_size ~capacity:pool_pages in
+  let gen = read_current dirname in
+  let image, ckpt_lsn =
+    match gen with
+    | None -> (None, 0)
+    | Some g ->
+      Buffer_pool.attach pool (pages_path dirname g) ~reset:false;
+      let _npages, catalog_first, ckpt_lsn = read_meta pool in
+      let blob = read_chain pool ~kind:1 catalog_first in
+      (Some (decode_catalog pool blob), ckpt_lsn)
+  in
+  let scan = Wal.scan (wal_path dirname) in
+  let wal = Wal.open_log (wal_path dirname) in
+  (* a torn tail is dead history: cut it before appending new records *)
+  if scan.Wal.sc_valid_bytes < scan.Wal.sc_total_bytes then
+    Wal.truncate_to wal scan.Wal.sc_valid_bytes;
+  let max_seen =
+    List.fold_left (fun acc (lsn, _) -> max acc lsn) ckpt_lsn scan.Wal.sc_records
+  in
+  Wal.set_next_lsn wal (max_seen + 1);
+  ({ dir = dirname; pool; wal; gen; ckpt_lsn }, image, scan)
+
+let checkpoint t ~tables ~stats ~last_lsn =
+  let next_gen = match t.gen with Some g -> 1 - g | None -> 0 in
+  Buffer_pool.attach t.pool (pages_path t.dir next_gen) ~reset:true;
+  let pg = { pg_pool = t.pool; pg_next = 1 } in
+  let srcs = tables in
+  let firsts = Array.make (List.length srcs) 0 in
+  let nslots = Array.make (List.length srcs) 0 in
+  List.iteri
+    (fun i src ->
+      let count = ref 0 in
+      firsts.(i) <-
+        write_heap pg ~lsn:last_lsn (fun emit ->
+            src.src_iter (fun slot ->
+                incr count;
+                emit slot));
+      nslots.(i) <- !count)
+    srcs;
+  Failpoint.hit "checkpoint.pages";
+  let catalog_first =
+    write_chain pg ~kind:1 ~lsn:last_lsn (encode_catalog srcs ~firsts ~nslots ~stats)
+  in
+  write_meta pg ~npages:pg.pg_next ~catalog_first ~ckpt_lsn:last_lsn;
+  Buffer_pool.sync t.pool;
+  Metrics.incr ~by:pg.pg_next "db.page.checkpoint_pages";
+  Failpoint.hit "checkpoint.current";
+  write_current t.dir next_gen;
+  t.gen <- Some next_gen;
+  t.ckpt_lsn <- last_lsn;
+  Failpoint.hit "checkpoint.truncate";
+  Wal.truncate t.wal;
+  Metrics.incr "db.checkpoint"
+
+let close t =
+  Wal.close t.wal;
+  Buffer_pool.detach t.pool
+
+(* Drop the handles without flushing anything — simulates a crash. *)
+let abandon t =
+  Wal.abandon t.wal;
+  Buffer_pool.detach t.pool

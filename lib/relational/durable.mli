@@ -1,0 +1,57 @@
+(** Durable paged storage for one database directory: two checkpoint
+    generations of fixed-size pages behind a buffer pool, an atomically
+    renamed [CURRENT] file naming the active one, and a write-ahead log
+    carrying everything since. A crash at any point leaves either the
+    old generation + full WAL, or the new generation + a WAL whose
+    records are all at or below the checkpoint LSN (skipped on replay) —
+    open always finds a consistent image. Recovery policy (redo, undo,
+    transaction attribution) lives in [Database]; this module only moves
+    bytes. *)
+
+type t
+
+exception Durable_error of string
+
+type table_src = {
+  src_schema : Schema.t;
+  src_indexes : (string * string list) list;  (** index name, column names *)
+  src_iter : (Value.t array option -> unit) -> unit;
+      (** slots in rowid order; [None] = tombstone (deleted rows keep
+          their slot so row ids survive the round trip) *)
+}
+
+type table_image = {
+  ti_schema : Schema.t;
+  ti_indexes : (string * string list) list;
+  ti_slots : Value.t array option array;
+}
+
+type image = { im_tables : table_image list; im_stats : string }
+
+val open_dir : ?page_size:int -> ?pool_pages:int -> string -> t * image option * Wal.scan
+(** Open (creating if needed) a database directory: load the active
+    checkpoint image when one exists, scan the WAL, and cut any torn
+    tail back to the valid prefix. The caller replays the scanned
+    records whose LSN exceeds {!checkpoint_lsn}. *)
+
+val checkpoint : t -> tables:table_src list -> stats:string -> last_lsn:int -> unit
+(** Write a full image into the inactive generation, flip [CURRENT],
+    then truncate the WAL. [last_lsn] is the highest LSN the image
+    absorbs. *)
+
+val wal : t -> Wal.t
+val dir : t -> string
+
+val checkpoint_lsn : t -> int
+(** Highest LSN absorbed into the active generation (0 before the first
+    checkpoint). *)
+
+val page_count : t -> int
+(** Pages in the active generation's file (0 before the first
+    checkpoint). *)
+
+val close : t -> unit
+
+val abandon : t -> unit
+(** Drop the handles without flushing anything — simulates a crash
+    (tests, the CLI's --crash-at). *)

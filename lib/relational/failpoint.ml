@@ -1,0 +1,27 @@
+(* Crash-point injection for durability testing: the CLI and the test
+   suite arm a named point, and the durability layer calls [hit] at the
+   matching step, which raises mid-operation exactly where a process
+   crash would cut. A point fires at most once per arming. *)
+
+exception Injected_crash of string
+
+let armed = ref None
+
+let arm p = armed := p
+let armed_point () = !armed
+
+let hit name =
+  match !armed with
+  | Some p when String.equal p name ->
+    armed := None;
+    raise (Injected_crash name)
+  | _ -> ()
+
+(* The points the durability layer exposes, for CLI help text. *)
+let points =
+  [
+    ("wal.commit", "after writing a session's commit record, before the log fsync");
+    ("checkpoint.pages", "after writing the new generation's heap pages");
+    ("checkpoint.current", "after fsyncing the pages, before the CURRENT flip");
+    ("checkpoint.truncate", "after the CURRENT flip, before truncating the log");
+  ]

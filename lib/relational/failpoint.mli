@@ -1,0 +1,19 @@
+(** Crash-point injection for durability testing: arm a named point and
+    the durability layer raises {!Injected_crash} at the matching step —
+    exactly where a process crash would cut. A point fires at most once
+    per arming. *)
+
+exception Injected_crash of string
+
+val arm : string option -> unit
+(** [arm (Some point)] schedules the next {!hit} on [point] to raise;
+    [arm None] disarms. *)
+
+val armed_point : unit -> string option
+
+val hit : string -> unit
+(** Called by the durability layer at each named step.
+    @raise Injected_crash when that point is armed. *)
+
+val points : (string * string) list
+(** Known point names with descriptions (CLI help). *)

@@ -39,7 +39,10 @@ let create ?(capacity = 128) () =
 
 let set_enabled t on =
   t.enabled <- on;
-  if not on then Hashtbl.reset t.entries
+  if not on && Hashtbl.length t.entries > 0 then begin
+    t.stats.invalidations <- t.stats.invalidations + 1;
+    Hashtbl.reset t.entries
+  end
 
 let clear t =
   if Hashtbl.length t.entries > 0 then t.stats.invalidations <- t.stats.invalidations + 1;
@@ -82,9 +85,11 @@ let find t ~row_count key =
         Some e.plan
       end
       else begin
+        (* counted as an invalidation only — hits/misses/invalidations/
+           evictions partition the outcomes, so the four counters can be
+           summed and ratioed without double counting *)
         Hashtbl.remove t.entries key;
         t.stats.invalidations <- t.stats.invalidations + 1;
-        t.stats.misses <- t.stats.misses + 1;
         None
       end
 

@@ -20,6 +20,7 @@ let keywords =
     "LIKE"; "IN"; "BETWEEN"; "IS"; "INSERT"; "INTO"; "VALUES"; "UPDATE"; "SET";
     "DELETE"; "CREATE"; "TABLE"; "INDEX"; "DROP"; "ON"; "JOIN"; "INNER"; "LEFT";
     "OUTER"; "UNION"; "ALL"; "IF"; "EXISTS"; "PRIMARY"; "KEY"; "UNIQUE";
+    "NAN"; "INF";  (* non-finite float literals, emitted by Value.to_sql_literal *)
   ]
 
 let is_keyword s = List.mem (String.uppercase_ascii s) keywords

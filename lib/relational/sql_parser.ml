@@ -160,6 +160,8 @@ and parse_atom st =
   | Sql_lexer.Keyword "NULL" -> Lit Value.Null
   | Sql_lexer.Keyword "TRUE" -> Lit (Value.Bool true)
   | Sql_lexer.Keyword "FALSE" -> Lit (Value.Bool false)
+  | Sql_lexer.Keyword "NAN" -> Lit (Value.Float Float.nan)
+  | Sql_lexer.Keyword "INF" -> Lit (Value.Float infinity)  (* -INF via unary minus *)
   | Sql_lexer.Symbol "(" ->
     let e = parse_expr st in
     expect_symbol st ")";

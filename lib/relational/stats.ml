@@ -293,6 +293,108 @@ let fold_range t (table : Table.t) ~base ~added =
         notify t name
       end
 
+(* Re-analyze one table unconditionally, replacing whatever the registry
+   held — recovery uses this for tables the WAL replay touched, whose
+   checkpointed statistics describe a superseded state. No notification:
+   recovery runs before any plan could have been cached. *)
+let refresh t (table : Table.t) = Hashtbl.replace t.tbl (Table.name table) (acc_of_table table)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: the durable checkpoint persists the raw accumulators,
+   because a re-scan cannot reproduce them — histogram widening is
+   order-dependent, and the distinct sketch saturates information a scan
+   of the surviving rows would not recover. Importing the exact
+   accumulator state makes a reopened database plan byte-identically. *)
+
+let export t =
+  let b = Buffer.create 1024 in
+  let entries = Hashtbl.fold (fun name a acc -> (name, a) :: acc) t.tbl [] in
+  let entries = List.sort (fun (n1, _) (n2, _) -> String.compare n1 n2) entries in
+  Codec.add_u32 b (List.length entries);
+  List.iter
+    (fun (name, a) ->
+      Codec.add_string b name;
+      Codec.add_u64 b a.a_rows;
+      Codec.add_u64 b a.a_notified_rows;
+      Codec.add_u16 b (Array.length a.a_cols);
+      Array.iter
+        (fun ca ->
+          Codec.add_u64 b ca.ca_nulls;
+          Codec.add_value b ca.ca_min;
+          Codec.add_value b ca.ca_max;
+          Codec.add_u8 b (if ca.ca_numeric then 1 else 0);
+          (match ca.ca_distinct with
+          | Exact h ->
+            Codec.add_u8 b 0;
+            let values = Hashtbl.fold (fun v () acc -> v :: acc) h [] in
+            let values = List.sort Stdlib.compare values in
+            Codec.add_u32 b (List.length values);
+            List.iter (Codec.add_value b) values
+          | Sketch { bits; set } ->
+            Codec.add_u8 b 1;
+            Codec.add_u64 b set;
+            Codec.add_string b (Bytes.to_string bits));
+          match ca.ca_hist with
+          | None -> Codec.add_u8 b 0
+          | Some ha ->
+            Codec.add_u8 b 1;
+            Codec.add_float b ha.ha_lo;
+            Codec.add_float b ha.ha_hi;
+            Codec.add_u16 b (Array.length ha.ha_counts);
+            Array.iter (Codec.add_u64 b) ha.ha_counts;
+            Codec.add_u64 b ha.ha_total)
+        a.a_cols)
+    entries;
+  Buffer.contents b
+
+let import t blob =
+  Hashtbl.reset t.tbl;
+  if String.length blob > 0 then begin
+    let r = Codec.reader blob in
+    let n = Codec.get_u32 r in
+    for _ = 1 to n do
+      let name = Codec.get_string r in
+      let a_rows = Codec.get_u64 r in
+      let a_notified_rows = Codec.get_u64 r in
+      let ncols = Codec.get_u16 r in
+      let a_cols =
+        Array.init ncols (fun _ ->
+            let ca_nulls = Codec.get_u64 r in
+            let ca_min = Codec.get_value r in
+            let ca_max = Codec.get_value r in
+            let ca_numeric = Codec.get_u8 r = 1 in
+            let ca_distinct =
+              match Codec.get_u8 r with
+              | 0 ->
+                let count = Codec.get_u32 r in
+                let h = Hashtbl.create (max 64 count) in
+                for _ = 1 to count do
+                  Hashtbl.replace h (Codec.get_value r) ()
+                done;
+                Exact h
+              | 1 ->
+                let set = Codec.get_u64 r in
+                let bits = Bytes.of_string (Codec.get_string r) in
+                Sketch { bits; set }
+              | tag -> raise (Codec.Corrupt (Printf.sprintf "unknown distinct tag %d" tag))
+            in
+            let ca_hist =
+              match Codec.get_u8 r with
+              | 0 -> None
+              | _ ->
+                let ha_lo = Codec.get_float r in
+                let ha_hi = Codec.get_float r in
+                let nb = Codec.get_u16 r in
+                let ha_counts = Array.init nb (fun _ -> Codec.get_u64 r) in
+                let ha_total = Codec.get_u64 r in
+                Some { ha_lo; ha_hi; ha_counts; ha_total }
+            in
+            { ca_nulls; ca_min; ca_max; ca_distinct; ca_hist; ca_numeric })
+      in
+      Hashtbl.replace t.tbl name { a_rows; a_cols; a_snapshot = None; a_notified_rows }
+    done
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Estimates *)
 

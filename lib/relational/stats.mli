@@ -45,6 +45,23 @@ val fold_range : t -> Table.t -> base:int -> added:int -> unit
     existing statistics in one pass over just those rows — the bulk-load
     finish hook. No-op for tables never analyzed. *)
 
+val refresh : t -> Table.t -> unit
+(** Re-analyze one table unconditionally, replacing whatever the registry
+    held — recovery uses this for tables the WAL replay touched. Fires no
+    change notification (recovery runs before any plan is cached). *)
+
+val export : t -> string
+(** Serialize the raw accumulators (distinct sets/sketches, histograms,
+    widening state) for the durable checkpoint. The accumulators cannot
+    be reproduced by a re-scan — histogram widening is order-dependent —
+    so persisting them is what makes a reopened database plan
+    byte-identically. *)
+
+val import : t -> string -> unit
+(** Replace the registry's contents with a blob from {!export}. The
+    empty string imports as an empty registry.
+    @raise Codec.Corrupt on malformed input. *)
+
 val eq_selectivity : table_stats -> column:int -> float
 (** Estimated fraction of rows kept by an equality predicate on the
     column: [1 / distinct]. *)

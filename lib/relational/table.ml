@@ -8,6 +8,13 @@ type index = {
   tree : Btree.t;
 }
 
+(* Mutation notifications for the write-ahead log: fired after the row is
+   in the arena (insert/update carry the coerced row as stored). *)
+type mutation =
+  | M_insert of int * Value.t array
+  | M_delete of int
+  | M_update of int * Value.t array
+
 type t = {
   schema : Schema.t;
   rows : Value.t array Vec.t;
@@ -18,6 +25,8 @@ type t = {
   mutable bulk_base : int option;
       (* first row id of an active bulk load; index maintenance for rows
          from here on is deferred to [end_bulk] *)
+  mutable logger : (mutation -> unit) option;
+      (* durable databases attach their WAL appender here *)
 }
 
 exception Index_error of string
@@ -31,7 +40,12 @@ let create schema =
     indexes = [];
     bytes = 0;
     bulk_base = None;
+    logger = None;
   }
+
+let set_logger t f = t.logger <- f
+
+let log t m = match t.logger with Some f -> f m | None -> ()
 
 let schema t = t.schema
 let name t = t.schema.Schema.table_name
@@ -57,19 +71,23 @@ let get t rowid =
 
 let key_of_row index row = Array.map (fun ci -> row.(ci)) index.key_columns
 
-let insert t row =
-  let row = Schema.coerce_row t.schema row in
-  let rowid = Vec.push t.rows row in
+let grow_deleted t rowid =
   if Bytes.length t.deleted <= rowid then begin
     let grown = Bytes.make (max 64 (2 * (rowid + 1))) '\000' in
     Bytes.blit t.deleted 0 grown 0 (Bytes.length t.deleted);
     t.deleted <- grown
-  end;
+  end
+
+let insert t row =
+  let row = Schema.coerce_row t.schema row in
+  let rowid = Vec.push t.rows row in
+  grow_deleted t rowid;
   t.live <- t.live + 1;
   t.bytes <- t.bytes + row_bytes row;
   (match t.bulk_base with
   | Some _ -> ()  (* deferred: [end_bulk] indexes the whole appended range *)
   | None -> List.iter (fun ix -> Btree.insert ix.tree (key_of_row ix row) rowid) t.indexes);
+  log t (M_insert (rowid, row));
   rowid
 
 let delete t rowid =
@@ -82,6 +100,7 @@ let delete t rowid =
     t.live <- t.live - 1;
     t.bytes <- t.bytes - row_bytes row;
     List.iter (fun ix -> Btree.remove ix.tree (key_of_row ix row) rowid) t.indexes;
+    log t (M_delete rowid);
     true
 
 let update t rowid new_row =
@@ -101,6 +120,7 @@ let update t rowid new_row =
       t.indexes;
     t.bytes <- t.bytes - row_bytes old_row + row_bytes new_row;
     Vec.set t.rows rowid new_row;
+    log t (M_update (rowid, new_row));
     true
 
 let iter f t =
@@ -366,13 +386,8 @@ let abort_bulk t =
     t.bulk_base <- None;
     hi - base
 
-let create_index t ~index_name ~columns =
-  if List.exists (fun ix -> String.equal ix.index_name index_name) t.indexes then
-    raise (Index_error (Printf.sprintf "index %s already exists" index_name));
-  let key_columns = Array.of_list (List.map (Schema.column_index t.schema) columns) in
-  (* bottom-up build over the already-indexed range; rows appended by an
-     active bulk load are excluded here and folded in by [end_bulk] *)
-  let limit = match t.bulk_base with Some base -> base | None -> Vec.length t.rows in
+(* Bottom-up tree build over the live rows below [limit]. *)
+let build_tree t key_columns ~limit =
   let keys, posts =
     sorted_key_groups (fun f ->
         for rowid = 0 to limit - 1 do
@@ -382,7 +397,16 @@ let create_index t ~index_name ~columns =
           end
         done)
   in
-  let tree = Btree.bulk_of_arrays ~check:false keys posts in
+  Btree.bulk_of_arrays ~check:false keys posts
+
+let create_index t ~index_name ~columns =
+  if List.exists (fun ix -> String.equal ix.index_name index_name) t.indexes then
+    raise (Index_error (Printf.sprintf "index %s already exists" index_name));
+  let key_columns = Array.of_list (List.map (Schema.column_index t.schema) columns) in
+  (* bottom-up build over the already-indexed range; rows appended by an
+     active bulk load are excluded here and folded in by [end_bulk] *)
+  let limit = match t.bulk_base with Some base -> base | None -> Vec.length t.rows in
+  let tree = build_tree t key_columns ~limit in
   let ix = { index_name; key_columns; tree } in
   t.indexes <- t.indexes @ [ ix ];
   ix
@@ -396,6 +420,62 @@ let indexes t = t.indexes
 
 let find_index t index_name =
   List.find_opt (fun ix -> String.equal ix.index_name index_name) t.indexes
+
+(* ------------------------------------------------------------------ *)
+(* Durability hooks: the checkpointer walks every slot (tombstones
+   included, so row ids survive the round trip); recovery rebuilds a
+   table from a checkpointed slot image, truncates loser transactions'
+   appended tails, and rebuilds the trees of tables the undo touched. *)
+
+let iter_slots t f =
+  for rowid = 0 to Vec.length t.rows - 1 do
+    if is_deleted t rowid then f None else f (Some (Vec.get t.rows rowid))
+  done
+
+let restore_slots schema slots =
+  let t = create schema in
+  Array.iter
+    (fun slot ->
+      match slot with
+      | Some row ->
+        let rowid = Vec.push t.rows row in
+        grow_deleted t rowid;
+        t.live <- t.live + 1;
+        t.bytes <- t.bytes + row_bytes row
+      | None ->
+        (* tombstone: the content was dropped at checkpoint, only the
+           slot (and with it the row-id numbering) remains *)
+        let rowid = Vec.push t.rows [||] in
+        grow_deleted t rowid;
+        Bytes.set t.deleted rowid '\001')
+    slots;
+  t
+
+(* Truncate the arena to [len] rows — recovery's undo of a loser
+   transaction's appended tail (the live path does the same thing in
+   [abort_bulk]). Returns how many live rows were dropped; the caller
+   must rebuild this table's indexes, which may reference the tail. *)
+let recover_truncate t len =
+  if t.bulk_base <> None then
+    raise (Index_error (name t ^ ": recovery truncate during an active bulk load"));
+  let hi = Vec.length t.rows in
+  let dropped = ref 0 in
+  for rowid = len to hi - 1 do
+    if not (is_deleted t rowid) then begin
+      t.bytes <- t.bytes - row_bytes (Vec.get t.rows rowid);
+      t.live <- t.live - 1;
+      incr dropped
+    end
+  done;
+  if hi > len then Bytes.fill t.deleted len (hi - len) '\000';
+  Vec.truncate t.rows len;
+  !dropped
+
+let rebuild_indexes t =
+  if t.bulk_base <> None then
+    raise (Index_error (name t ^ ": index rebuild during an active bulk load"));
+  t.indexes <-
+    List.map (fun ix -> { ix with tree = build_tree t ix.key_columns ~limit:(Vec.length t.rows) }) t.indexes
 
 (* An index whose key starts with exactly the given column positions, for
    planner probe selection. *)

@@ -9,6 +9,13 @@ type index = {
 
 type t
 
+(** Mutation notifications for the write-ahead log, fired after the row
+    is in the arena; insert/update carry the coerced row as stored. *)
+type mutation =
+  | M_insert of int * Value.t array
+  | M_delete of int
+  | M_update of int * Value.t array
+
 exception Index_error of string
 
 val create : Schema.t -> t
@@ -75,3 +82,27 @@ val find_index : t -> string -> index option
 val index_with_prefix : t -> int array -> index option
 (** An index whose key starts with exactly the given column positions
     (planner probe selection). *)
+
+(** {1 Durability hooks} *)
+
+val set_logger : t -> (mutation -> unit) option -> unit
+(** Durable databases attach their WAL appender here; [None] detaches. *)
+
+val iter_slots : t -> (Value.t array option -> unit) -> unit
+(** Every slot in row-id order, tombstones as [None] — the checkpoint
+    walk (row ids must survive the round trip). *)
+
+val restore_slots : Schema.t -> Value.t array option array -> t
+(** Rebuild a table from a checkpointed slot image (no indexes; recovery
+    re-creates them from the catalog). Rows are stored as-is — they were
+    coerced when first inserted. *)
+
+val recover_truncate : t -> int -> int
+(** Truncate the arena to the given row count — recovery's undo of a
+    loser transaction's appended tail. Returns how many live rows were
+    dropped. The caller must {!rebuild_indexes}, which may reference the
+    tail. @raise Index_error while a bulk load is active. *)
+
+val rebuild_indexes : t -> unit
+(** Rebuild every attached B+-tree bottom-up from the live rows.
+    @raise Index_error while a bulk load is active. *)

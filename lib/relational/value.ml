@@ -43,6 +43,28 @@ let to_string = function
   | Bool b -> if b then "TRUE" else "FALSE"
   | Text s -> s
 
+(* Shortest decimal string that parses back to exactly this float.
+   %.17g always round-trips but prints noise ("0.30000000000000004"
+   styles for values that have shorter exact forms), so try 15 and 16
+   significant digits first. *)
+let float_to_sql_literal f =
+  if f <> f then "NAN"
+  else if f = infinity then "INF"
+  else if f = neg_infinity then "-INF"
+  else begin
+    let shortest =
+      let s15 = Printf.sprintf "%.15g" f in
+      if float_of_string s15 = f then s15
+      else
+        let s16 = Printf.sprintf "%.16g" f in
+        if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f
+    in
+    (* keep the literal lexing as a float: "3" -> "3.0", "-0" -> "-0.0"
+       (the sign would be lost in an INTEGER literal) *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') shortest then shortest
+    else shortest ^ ".0"
+  end
+
 let to_sql_literal = function
   | Text s ->
     let buf = Buffer.create (String.length s + 2) in
@@ -52,6 +74,7 @@ let to_sql_literal = function
       s;
     Buffer.add_char buf '\'';
     Buffer.contents buf
+  | Float f -> float_to_sql_literal f
   | v -> to_string v
 
 (* Total order used by ORDER BY, B+-trees, and grouping: NULL sorts first,

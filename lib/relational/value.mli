@@ -23,7 +23,11 @@ val to_string : t -> string
 (** Display form ([NULL], [TRUE], integral floats as [2.0], ...). *)
 
 val to_sql_literal : t -> string
-(** Render as a SQL literal (strings quoted with [''] doubling). *)
+(** Render as a SQL literal that parses back to exactly this value:
+    strings quoted with [''] doubling, floats as the shortest decimal
+    that round-trips bit-for-bit (always with a [.0] so they lex as
+    floats, preserving [-0.0]), non-finite floats as the [NAN] / [INF] /
+    [-INF] keywords. *)
 
 val compare : t -> t -> int
 (** Total order used by ORDER BY, B+-trees and grouping: NULL first, then

@@ -1,0 +1,261 @@
+(* Write-ahead log: every record is framed [u32 len][u32 crc][payload]
+   where the payload starts with the record's log sequence number and
+   kind. Appends stage into a buffer flushed to the file descriptor at
+   64 KiB, at every commit, and at every sync point; [scan] replays a log
+   file from disk and stops at the first frame whose length or CRC does
+   not check out — after a torn write, the valid prefix is exactly the
+   durable history.
+
+   Recovery semantics live one layer up (Database): row mutations carry
+   the transaction that made them (0 = autocommitted), DDL is always
+   transaction 0 and redone unconditionally, and a transaction is durable
+   iff its Commit record survives in the valid prefix. *)
+
+type record =
+  | Begin of int
+  | Commit of int
+  | Abort of int
+  | Insert of { tx : int; table : string; rowid : int; row : Value.t array }
+  | Delete of { table : string; rowid : int }
+  | Update of { table : string; rowid : int; row : Value.t array }
+  | Create_table of Schema.t
+  | Drop_table of string
+  | Create_index of { table : string; index : string; columns : string list }
+  | Drop_index of { table : string; index : string }
+
+let flush_threshold = 64 * 1024
+let max_frame = 1 lsl 28  (* sanity bound during scans *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  staged : Buffer.t;
+  mutable next_lsn : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Record payloads *)
+
+let ty_tag = function
+  | Value.TInt -> 0
+  | Value.TFloat -> 1
+  | Value.TBool -> 2
+  | Value.TText -> 3
+
+let ty_of_tag = function
+  | 0 -> Value.TInt
+  | 1 -> Value.TFloat
+  | 2 -> Value.TBool
+  | 3 -> Value.TText
+  | n -> raise (Codec.Corrupt (Printf.sprintf "unknown column type tag %d" n))
+
+let add_schema b (s : Schema.t) =
+  Codec.add_string b s.Schema.table_name;
+  Codec.add_u16 b (Array.length s.Schema.columns);
+  Array.iter
+    (fun (c : Schema.column) ->
+      Codec.add_string b c.Schema.col_name;
+      Codec.add_u8 b (ty_tag c.Schema.col_ty);
+      Codec.add_u8 b (if c.Schema.nullable then 1 else 0))
+    s.Schema.columns
+
+let get_schema r =
+  let name = Codec.get_string r in
+  let n = Codec.get_u16 r in
+  let cols =
+    List.init n (fun _ ->
+        let col_name = Codec.get_string r in
+        let ty = ty_of_tag (Codec.get_u8 r) in
+        let nullable = Codec.get_u8 r = 1 in
+        Schema.column col_name ~nullable ty)
+  in
+  Schema.make name cols
+
+let add_record b = function
+  | Begin tx ->
+    Codec.add_u8 b 1;
+    Codec.add_u32 b tx
+  | Commit tx ->
+    Codec.add_u8 b 2;
+    Codec.add_u32 b tx
+  | Abort tx ->
+    Codec.add_u8 b 3;
+    Codec.add_u32 b tx
+  | Insert { tx; table; rowid; row } ->
+    Codec.add_u8 b 4;
+    Codec.add_u32 b tx;
+    Codec.add_string b table;
+    Codec.add_u64 b rowid;
+    Codec.add_row b row
+  | Delete { table; rowid } ->
+    Codec.add_u8 b 5;
+    Codec.add_string b table;
+    Codec.add_u64 b rowid
+  | Update { table; rowid; row } ->
+    Codec.add_u8 b 6;
+    Codec.add_string b table;
+    Codec.add_u64 b rowid;
+    Codec.add_row b row
+  | Create_table schema ->
+    Codec.add_u8 b 7;
+    add_schema b schema
+  | Drop_table name ->
+    Codec.add_u8 b 8;
+    Codec.add_string b name
+  | Create_index { table; index; columns } ->
+    Codec.add_u8 b 9;
+    Codec.add_string b table;
+    Codec.add_string b index;
+    Codec.add_u16 b (List.length columns);
+    List.iter (Codec.add_string b) columns
+  | Drop_index { table; index } ->
+    Codec.add_u8 b 10;
+    Codec.add_string b table;
+    Codec.add_string b index
+
+let get_record r =
+  match Codec.get_u8 r with
+  | 1 -> Begin (Codec.get_u32 r)
+  | 2 -> Commit (Codec.get_u32 r)
+  | 3 -> Abort (Codec.get_u32 r)
+  | 4 ->
+    let tx = Codec.get_u32 r in
+    let table = Codec.get_string r in
+    let rowid = Codec.get_u64 r in
+    let row = Codec.get_row r in
+    Insert { tx; table; rowid; row }
+  | 5 ->
+    let table = Codec.get_string r in
+    let rowid = Codec.get_u64 r in
+    Delete { table; rowid }
+  | 6 ->
+    let table = Codec.get_string r in
+    let rowid = Codec.get_u64 r in
+    let row = Codec.get_row r in
+    Update { table; rowid; row }
+  | 7 -> Create_table (get_schema r)
+  | 8 -> Drop_table (Codec.get_string r)
+  | 9 ->
+    let table = Codec.get_string r in
+    let index = Codec.get_string r in
+    let n = Codec.get_u16 r in
+    let columns = List.init n (fun _ -> Codec.get_string r) in
+    Create_index { table; index; columns }
+  | 10 ->
+    let table = Codec.get_string r in
+    let index = Codec.get_string r in
+    Drop_index { table; index }
+  | k -> raise (Codec.Corrupt (Printf.sprintf "unknown WAL record kind %d" k))
+
+(* ------------------------------------------------------------------ *)
+(* Appending *)
+
+let open_log path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  { path; fd; staged = Buffer.create 4096; next_lsn = 1 }
+
+let path t = t.path
+let set_next_lsn t lsn = t.next_lsn <- max t.next_lsn lsn
+let last_lsn t = t.next_lsn - 1
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let flush t =
+  if Buffer.length t.staged > 0 then begin
+    write_all t.fd (Buffer.contents t.staged);
+    Buffer.clear t.staged
+  end
+
+let sync t =
+  flush t;
+  Unix.fsync t.fd;
+  Metrics.incr "db.wal.fsync"
+
+let append t record =
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  let payload = Buffer.create 64 in
+  Codec.add_u64 payload lsn;
+  add_record payload record;
+  let payload = Buffer.contents payload in
+  Codec.add_u32 t.staged (String.length payload);
+  Codec.add_u32 t.staged (Codec.crc32 payload);
+  Buffer.add_string t.staged payload;
+  Metrics.incr "db.wal.append";
+  Metrics.incr ~by:(String.length payload + 8) "db.wal.bytes";
+  if Buffer.length t.staged >= flush_threshold then flush t;
+  lsn
+
+let truncate t =
+  Buffer.clear t.staged;
+  Unix.ftruncate t.fd 0;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  Unix.fsync t.fd;
+  Metrics.incr "db.wal.truncate"
+
+(* Cut a torn tail back to the valid prefix found by a scan. *)
+let truncate_to t bytes =
+  Unix.ftruncate t.fd bytes;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_END)
+
+let close t =
+  (try flush t with Unix.Unix_error _ -> ());
+  Unix.close t.fd
+
+(* Close without flushing: simulates the process dying with records still
+   staged in memory (crash tests). *)
+let abandon t =
+  Buffer.clear t.staged;
+  Unix.close t.fd
+
+(* ------------------------------------------------------------------ *)
+(* Scanning *)
+
+type scan = {
+  sc_records : (int * record) list;  (* (lsn, record), log order *)
+  sc_valid_bytes : int;  (* length of the valid prefix *)
+  sc_total_bytes : int;  (* file length *)
+}
+
+let scan path =
+  if not (Sys.file_exists path) then { sc_records = []; sc_valid_bytes = 0; sc_total_bytes = 0 }
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    let pos = ref 0 in
+    let records = ref [] in
+    let stop = ref false in
+    while not !stop do
+      if !pos + 8 > n then stop := true
+      else begin
+        let hdr = Codec.reader ~pos:!pos src in
+        let len = Codec.get_u32 hdr in
+        let crc = Codec.get_u32 hdr in
+        if len <= 0 || len > max_frame || !pos + 8 + len > n then stop := true
+        else if Codec.crc32 ~pos:(!pos + 8) ~len src <> crc then stop := true
+        else begin
+          match
+            let r = Codec.reader ~pos:(!pos + 8) src in
+            let lsn = Codec.get_u64 r in
+            let record = get_record r in
+            if Codec.reader_pos r <> !pos + 8 + len then
+              raise (Codec.Corrupt "frame length does not match its payload");
+            (lsn, record)
+          with
+          | entry ->
+            records := entry :: !records;
+            pos := !pos + 8 + len
+          | exception Codec.Corrupt _ -> stop := true
+        end
+      end
+    done;
+    { sc_records = List.rev !records; sc_valid_bytes = !pos; sc_total_bytes = n }
+  end

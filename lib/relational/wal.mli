@@ -1,0 +1,72 @@
+(** Write-ahead log. Records are framed [[u32 len][u32 crc][payload]];
+    the payload carries the log sequence number and the record body.
+    {!scan} stops at the first torn or corrupt frame, so after a crash
+    the valid prefix is exactly the durable history.
+
+    Row mutations carry the transaction that made them (0 =
+    autocommitted); DDL is always transaction 0, redone unconditionally
+    and never undone — mirroring the live engine, where a bulk-load abort
+    drains appended rows but keeps DDL. A transaction is durable iff its
+    [Commit] record survives in the valid prefix. *)
+
+type record =
+  | Begin of int  (** transaction id *)
+  | Commit of int
+  | Abort of int
+  | Insert of { tx : int; table : string; rowid : int; row : Value.t array }
+  | Delete of { table : string; rowid : int }
+  | Update of { table : string; rowid : int; row : Value.t array }
+  | Create_table of Schema.t
+  | Drop_table of string
+  | Create_index of { table : string; index : string; columns : string list }
+  | Drop_index of { table : string; index : string }
+
+type t
+
+val open_log : string -> t
+(** Open (or create) a log file, positioned for appending. The caller
+    seeds {!set_next_lsn} from the checkpoint metadata / a prior scan. *)
+
+val path : t -> string
+
+val append : t -> record -> int
+(** Stage one record; returns its LSN. Staged bytes are written out at
+    64 KiB, on {!flush}, and on {!sync}. *)
+
+val flush : t -> unit
+(** Write staged records to the OS (no fsync). *)
+
+val sync : t -> unit
+(** {!flush} then [fsync] — the commit durability point. *)
+
+val truncate : t -> unit
+(** Empty the log (after a successful checkpoint). LSNs keep counting. *)
+
+val truncate_to : t -> int -> unit
+(** Cut a torn tail back to the valid prefix found by a {!scan}. *)
+
+val set_next_lsn : t -> int -> unit
+(** Raise the next LSN (never lowers it). *)
+
+val last_lsn : t -> int
+
+val close : t -> unit
+
+val abandon : t -> unit
+(** Close without flushing staged records — simulates the process dying
+    with records still in memory (crash tests). *)
+
+type scan = {
+  sc_records : (int * record) list;  (** (lsn, record), log order *)
+  sc_valid_bytes : int;  (** length of the valid prefix *)
+  sc_total_bytes : int;  (** file length *)
+}
+
+val scan : string -> scan
+(** Parse a log file from disk; never raises on torn or corrupt tails —
+    they simply end the valid prefix. *)
+
+(** {1 Schema codec} (shared with the checkpoint catalog) *)
+
+val add_schema : Buffer.t -> Schema.t -> unit
+val get_schema : Codec.reader -> Schema.t

@@ -1,0 +1,645 @@
+(* Durability tests: codec and WAL round trips, crash recovery at
+   injected failpoints and at random WAL truncation offsets, and the
+   persistence round-trip fixes (float literals, bulk restore, stats
+   parity). *)
+
+module Db = Relstore.Database
+module Value = Relstore.Value
+module Codec = Relstore.Codec
+module Wal = Relstore.Wal
+module Schema = Relstore.Schema
+module Failpoint = Relstore.Failpoint
+module Store = Xmlstore.Store
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_strings = Alcotest.(check (list string))
+
+(* ------------------------------------------------------------------ *)
+(* Scratch directories *)
+
+let dir_counter = ref 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xmlstore_durable_%d_%d" (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf d;
+  d
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Exotic values: the persistence round trip must survive all of these. *)
+
+let exotic_floats =
+  [
+    0.; -0.; 1.; -1.; 0.1; 1. /. 3.; 3.141592653589793;
+    1e308; -1e308; 1.7976931348623157e308;  (* max finite *)
+    4.9e-324; -4.9e-324;  (* smallest subnormal *)
+    2.2250738585072014e-308;  (* smallest normal *)
+    1e15; 1e16; 123456789.123456789; -2.5e-10;
+    Float.nan; infinity; neg_infinity;
+  ]
+
+let exotic_texts =
+  [ ""; "plain"; "it's quoted ''twice''"; "caf\xc3\xa9"; "\xff\x80\xfe high bytes"; "a b  c" ]
+
+let float_bits_equal a b =
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+let test_codec_roundtrip () =
+  let b = Buffer.create 64 in
+  Codec.add_u8 b 200;
+  Codec.add_u16 b 0xFFFE;
+  Codec.add_u32 b 123_456_789;
+  Codec.add_u64 b max_int;
+  List.iter (Codec.add_float b) exotic_floats;
+  List.iter (fun s -> Codec.add_string b s) exotic_texts;
+  let row = [| Value.Null; Value.Int (-42); Value.Float (-0.); Value.Bool true; Value.Text "x" |] in
+  Codec.add_row b row;
+  let r = Codec.reader (Buffer.contents b) in
+  check_int "u8" 200 (Codec.get_u8 r);
+  check_int "u16" 0xFFFE (Codec.get_u16 r);
+  check_int "u32" 123_456_789 (Codec.get_u32 r);
+  check_int "u64" max_int (Codec.get_u64 r);
+  List.iter
+    (fun f -> check_bool "float bits" true (float_bits_equal f (Codec.get_float r)))
+    exotic_floats;
+  List.iter (fun s -> check_string "text" s (Codec.get_string r)) exotic_texts;
+  let row' = Codec.get_row r in
+  check_int "row arity" (Array.length row) (Array.length row');
+  Array.iteri
+    (fun i v ->
+      match (v, row'.(i)) with
+      | Value.Float a, Value.Float b -> check_bool "row float bits" true (float_bits_equal a b)
+      | a, b -> check_bool "row value" true (a = b))
+    row
+
+let test_crc32 () =
+  (* the standard CRC-32 check vector *)
+  check_bool "check vector" true (Codec.crc32 "123456789" = 0xCBF43926);
+  check_bool "empty" true (Codec.crc32 "" = 0);
+  check_bool "sub range" true
+    (Codec.crc32 ~pos:2 ~len:9 "xx123456789yy" = Codec.crc32 "123456789")
+
+(* ------------------------------------------------------------------ *)
+(* WAL *)
+
+let sample_records =
+  let schema =
+    Schema.make "t" [ Schema.column "i" Value.TInt; Schema.column "f" Value.TFloat ]
+  in
+  [
+    Wal.Create_table schema;
+    Wal.Begin 1;
+    Wal.Insert { tx = 1; table = "t"; rowid = 0; row = [| Value.Int 1; Value.Float Float.nan |] };
+    Wal.Insert { tx = 1; table = "t"; rowid = 1; row = [| Value.Null; Value.Float (-0.) |] };
+    Wal.Commit 1;
+    Wal.Delete { table = "t"; rowid = 0 };
+    Wal.Update { table = "t"; rowid = 1; row = [| Value.Int 9; Value.Float 1e308 |] };
+    Wal.Create_index { table = "t"; index = "ix"; columns = [ "i"; "f" ] };
+    Wal.Drop_index { table = "t"; index = "ix" };
+    Wal.Drop_table "t";
+    Wal.Abort 2;
+  ]
+
+let rows_equal r1 r2 =
+  Array.length r1 = Array.length r2
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Value.Float f, Value.Float g -> float_bits_equal f g
+         | _ -> x = y)
+       r1 r2
+
+let wal_record_equal a b =
+  match (a, b) with
+  | ( Wal.Insert { tx = t1; table = n1; rowid = r1; row = w1 },
+      Wal.Insert { tx = t2; table = n2; rowid = r2; row = w2 } ) ->
+    t1 = t2 && n1 = n2 && r1 = r2 && rows_equal w1 w2
+  | ( Wal.Update { table = n1; rowid = r1; row = w1 },
+      Wal.Update { table = n2; rowid = r2; row = w2 } ) ->
+    n1 = n2 && r1 = r2 && rows_equal w1 w2
+  | Wal.Create_table s1, Wal.Create_table s2 -> s1 = s2
+  | a, b -> a = b
+
+let test_wal_roundtrip () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "wal.log" in
+  let w = Wal.open_log path in
+  let lsns = List.map (Wal.append w) sample_records in
+  check_bool "lsns increase" true (lsns = List.init (List.length lsns) (fun i -> i + 1));
+  Wal.sync w;
+  Wal.close w;
+  let scan = Wal.scan path in
+  check_int "all records survive" (List.length sample_records) (List.length scan.Wal.sc_records);
+  check_int "no torn tail" scan.Wal.sc_total_bytes scan.Wal.sc_valid_bytes;
+  List.iter2
+    (fun expected (lsn, got) ->
+      check_bool (Printf.sprintf "record %d round-trips" lsn) true (wal_record_equal expected got))
+    sample_records scan.Wal.sc_records;
+  rm_rf dir
+
+let test_wal_torn_tail () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "wal.log" in
+  let w = Wal.open_log path in
+  List.iter (fun r -> ignore (Wal.append w r)) sample_records;
+  Wal.sync w;
+  Wal.close w;
+  let full = read_file path in
+  (* cut mid-record: every truncation yields a valid prefix, never a raise *)
+  let n = String.length full in
+  for cut = 0 to n - 1 do
+    write_file path (String.sub full 0 cut);
+    let scan = Wal.scan path in
+    check_bool "valid prefix within cut" true (scan.Wal.sc_valid_bytes <= cut);
+    check_bool "records monotone" true
+      (List.length scan.Wal.sc_records <= List.length sample_records)
+  done;
+  (* corrupt one payload byte: scan stops before the bad frame *)
+  let corrupt = Bytes.of_string full in
+  Bytes.set corrupt (n - 3) (Char.chr (Char.code (Bytes.get corrupt (n - 3)) lxor 0xFF));
+  write_file path (Bytes.to_string corrupt);
+  let scan = Wal.scan path in
+  check_int "bad crc drops the last record" (List.length sample_records - 1)
+    (List.length scan.Wal.sc_records);
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Float SQL literals (the %.12g bugfix) *)
+
+let roundtrip_float_via_sql db f =
+  ignore (Db.exec db "DELETE FROM fl");
+  ignore (Db.exec db (Printf.sprintf "INSERT INTO fl VALUES (%s)" (Value.to_sql_literal (Value.Float f))));
+  match (Db.query db "SELECT f FROM fl").Relstore.Executor.rows with
+  | [ [| Value.Float g |] ] -> g
+  | rows -> Alcotest.failf "unexpected rows (%d)" (List.length rows)
+
+let test_float_literals () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE fl (f REAL)");
+  List.iter
+    (fun f ->
+      let g = roundtrip_float_via_sql db f in
+      check_bool
+        (Printf.sprintf "%h survives the SQL round trip (got %h)" f g)
+        true (float_bits_equal f g))
+    exotic_floats
+
+let float_literal_prop =
+  QCheck.Test.make ~name:"every float survives the SQL literal round trip" ~count:500
+    QCheck.float
+    (fun f ->
+      let db = Db.create () in
+      ignore (Db.exec db "CREATE TABLE fl (f REAL)");
+      float_bits_equal f (roundtrip_float_via_sql db f))
+
+(* ------------------------------------------------------------------ *)
+(* dump -> restore -> dump fixpoint *)
+
+let exotic_db rows =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE t (i INTEGER, f REAL, s TEXT, b BOOLEAN)");
+  Db.with_session db (fun session ->
+      List.iteri
+        (fun k (i, f, s, b) ->
+          let row =
+            [|
+              (if k mod 7 = 3 then Value.Null else Value.Int i);
+              (if k mod 5 = 2 then Value.Null else Value.Float f);
+              Value.Text s;
+              Value.Bool b;
+            |]
+          in
+          Db.session_insert session "t" row)
+        rows);
+  ignore (Db.exec db "CREATE INDEX t_i ON t (i)");
+  db
+
+let fixpoint_rows =
+  List.mapi (fun k f -> (k, f, List.nth exotic_texts (k mod List.length exotic_texts), k mod 2 = 0))
+    exotic_floats
+
+let test_dump_restore_fixpoint () =
+  let db = exotic_db fixpoint_rows in
+  let d1 = Db.dump db in
+  let d2 = Db.dump (Db.restore d1) in
+  check_string "dump(restore(dump)) = dump" d1 d2
+
+let dump_fixpoint_prop =
+  let text_gen =
+    QCheck.Gen.(
+      map (String.concat "")
+        (small_list (oneofl [ "a"; "'"; "\xe2\x82\xac"; "\xff"; "\x80x"; " "; "z'" ])))
+  in
+  let float_gen = QCheck.Gen.(oneof [ oneofl exotic_floats; float ]) in
+  let row_gen = QCheck.Gen.(quad small_int float_gen text_gen bool) in
+  QCheck.Test.make ~name:"dump/restore fixpoint on random exotic rows" ~count:60
+    (QCheck.make QCheck.Gen.(small_list row_gen))
+    (fun rows ->
+      let db = exotic_db rows in
+      let d1 = Db.dump db in
+      String.equal d1 (Db.dump (Db.restore d1)))
+
+(* Post-restore planning parity: the restored database must carry the same
+   statistics, so EXPLAIN ANALYZE shows identical est= annotations. *)
+let ests_of s =
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i
+        when i >= 3
+             && String.equal (String.sub tok (i - 3) 4) "est="
+             && (i = 3 || not (Char.equal tok.[i - 4] 's') (* not misest= *)) ->
+        Some (String.sub tok (i - 3) (String.length tok - i + 3))
+      | _ -> None)
+    (String.split_on_char ' ' (String.map (fun c -> if c = '\n' then ' ' else c) s))
+
+let test_restore_est_parity () =
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE t (grp INTEGER, v REAL)");
+  Db.with_session db (fun session ->
+      for i = 0 to 499 do
+        Db.session_insert session "t"
+          [| Value.Int (i mod 7); Value.Float (float_of_int i /. 3.) |]
+      done);
+  ignore (Db.analyze db "t");
+  let q = "SELECT count(*) FROM t WHERE grp = 3 AND v < 50.0" in
+  let before = ests_of (Db.explain_analyze db q) in
+  check_bool "estimates are annotated" true (before <> []);
+  let restored = Db.restore (Db.dump db) in
+  let after = ests_of (Db.explain_analyze restored q) in
+  check_strings "est= annotations survive the restore" before after
+
+(* ------------------------------------------------------------------ *)
+(* Durable databases: reopen, replay, undo *)
+
+let test_durable_reopen () =
+  let dir = fresh_dir () in
+  let db = Db.open_durable dir in
+  check_bool "durable" true (Db.is_durable db);
+  ignore (Db.exec db "CREATE TABLE t (i INTEGER, f REAL, s TEXT, b BOOLEAN)");
+  List.iter
+    (fun (i, f, s, b) ->
+      ignore
+        (Db.exec db
+           (Printf.sprintf "INSERT INTO t VALUES (%d, %s, %s, %s)" i
+              (Value.to_sql_literal (Value.Float f))
+              (Value.to_sql_literal (Value.Text s))
+              (if b then "TRUE" else "FALSE"))))
+    fixpoint_rows;
+  ignore (Db.exec db "CREATE INDEX t_i ON t (i)");
+  let d1 = Db.dump db in
+  let stats1 = Db.analyze_to_string db "t" in
+  Db.close db;
+  let db2 = Db.open_durable dir in
+  check_string "contents survive close/open" d1 (Db.dump db2);
+  check_string "statistics survive close/open" stats1 (Db.analyze_to_string db2 "t");
+  check_bool "index survives" true
+    (Relstore.Table.find_index (Db.get_table db2 "t") "t_i" <> None);
+  Db.close db2;
+  rm_rf dir
+
+let test_durable_commit_replay () =
+  let dir = fresh_dir () in
+  let db = Db.open_durable dir in
+  ignore (Db.exec db "CREATE TABLE t (i INTEGER)");
+  Db.with_session db (fun s ->
+      for i = 0 to 9 do
+        Db.session_insert s "t" [| Value.Int i |]
+      done);
+  let d1 = Db.dump db in
+  (* crash without a checkpoint: everything lives in the WAL *)
+  Db.abandon db;
+  let db2 = Db.open_durable dir in
+  check_string "committed session replays" d1 (Db.dump db2);
+  (match Db.last_recovery db2 with
+  | Some r ->
+    check_bool "records were redone" true (r.Db.rc_redone > 0);
+    check_int "no losers" 0 r.Db.rc_losers
+  | None -> Alcotest.fail "expected a recovery report");
+  Db.close db2;
+  rm_rf dir
+
+let test_durable_loser_rollback () =
+  let dir = fresh_dir () in
+  let db = Db.open_durable dir in
+  ignore (Db.exec db "CREATE TABLE t (i INTEGER)");
+  Db.with_session db (fun s -> Db.session_insert s "t" [| Value.Int 1 |]);
+  let committed = Db.dump db in
+  (* an uncommitted session: records flushed to the OS, commit never written *)
+  let s = Db.load_session db in
+  for i = 100 to 120 do
+    Db.session_insert s "t" [| Value.Int i |]
+  done;
+  (* force the loser's records to disk — only the Commit is missing *)
+  Db.wal_sync db;
+  Db.abandon db;
+  let db2 = Db.open_durable dir in
+  check_string "loser transaction is undone" committed (Db.dump db2);
+  (match Db.last_recovery db2 with
+  | Some r -> check_int "one loser" 1 r.Db.rc_losers
+  | None -> Alcotest.fail "expected a recovery report");
+  Db.close db2;
+  rm_rf dir
+
+let test_durable_autocommit_replay () =
+  let dir = fresh_dir () in
+  let db = Db.open_durable dir in
+  ignore (Db.exec db "CREATE TABLE t (i INTEGER, s TEXT)");
+  for i = 0 to 9 do
+    ignore (Db.exec db (Printf.sprintf "INSERT INTO t VALUES (%d, 'v%d')" i i))
+  done;
+  ignore (Db.exec db "UPDATE t SET s = 'changed' WHERE i = 3");
+  ignore (Db.exec db "DELETE FROM t WHERE i = 7");
+  let d1 = Db.dump db in
+  Db.abandon db;
+  let db2 = Db.open_durable dir in
+  check_string "autocommit insert/update/delete replay" d1 (Db.dump db2);
+  Db.close db2;
+  rm_rf dir
+
+(* Random WAL truncation: any cut of the log must recover to a prefix of
+   the committed history — never a partial transaction, never a crash. *)
+let wal_truncation_prop =
+  let batches = 6 and rows_per_batch = 4 in
+  let dir = fresh_dir () in
+  let db = Db.open_durable dir in
+  ignore (Db.exec db "CREATE TABLE t (i INTEGER, f REAL)");
+  for j = 0 to batches - 1 do
+    Db.with_session db (fun s ->
+        for r = 0 to rows_per_batch - 1 do
+          Db.session_insert s "t"
+            [|
+              Value.Int ((j * rows_per_batch) + r);
+              Value.Float (List.nth exotic_floats ((j + r) mod List.length exotic_floats));
+            |]
+        done)
+  done;
+  Db.wal_sync db;
+  let wal = read_file (Filename.concat dir "wal.log") in
+  Db.abandon db;
+  (* the valid outcomes: empty (DDL cut away) or any prefix of batches *)
+  let expected =
+    Db.dump (Db.create ())
+    :: List.init (batches + 1) (fun j ->
+           let m = Db.create () in
+           ignore (Db.exec m "CREATE TABLE t (i INTEGER, f REAL)");
+           for jj = 0 to j - 1 do
+             Db.with_session m (fun s ->
+                 for r = 0 to rows_per_batch - 1 do
+                   Db.session_insert s "t"
+                     [|
+                       Value.Int ((jj * rows_per_batch) + r);
+                       Value.Float
+                         (List.nth exotic_floats ((jj + r) mod List.length exotic_floats));
+                     |]
+                 done)
+           done;
+           Db.dump m)
+  in
+  QCheck.Test.make ~name:"recovery from any WAL truncation is a committed prefix" ~count:40
+    QCheck.(int_range 0 (String.length wal))
+    (fun cut ->
+      let d = fresh_dir () in
+      Unix.mkdir d 0o755;
+      write_file (Filename.concat d "wal.log") (String.sub wal 0 cut);
+      let db = Db.open_durable d in
+      let dump = Db.dump db in
+      Db.close db;
+      rm_rf d;
+      List.mem dump expected)
+
+(* ------------------------------------------------------------------ *)
+(* Store-level crashes *)
+
+let small = { Xmlwork.Auction.default with scale = 0.03; seed = 11 }
+let small_b = { Xmlwork.Auction.default with scale = 0.03; seed = 12 }
+let probe_queries = [ "/site/people/person/name"; "/site//item/name"; "/site/open_auctions/open_auction/bidder/increase" ]
+
+let test_store_durable_roundtrip () =
+  let doc = Xmlwork.Auction.generate ~params:small () in
+  let reference = Store.create "interval" in
+  let rid = Store.add_document reference doc in
+  let dir = fresh_dir () in
+  let store = Store.create ~durable:dir "interval" in
+  let id = Store.add_document ~name:"auction" store doc in
+  Store.close store;
+  let reopened = Store.open_durable dir in
+  check_string "scheme from the directory" "interval" (Store.scheme reopened);
+  check_int "one document" 1 (List.length (Store.documents reopened));
+  List.iter
+    (fun (q : Xmlwork.Queries.query) ->
+      check_strings
+        ("durable reopen " ^ q.Xmlwork.Queries.qid)
+        (Store.query_values reference rid q.Xmlwork.Queries.xpath)
+        (Store.query_values reopened id q.Xmlwork.Queries.xpath))
+    Xmlwork.Queries.auction_queries;
+  check_bool "reconstruction intact" true
+    (Xmlkit.Dom.equal doc (Store.get_document reopened id));
+  Store.close reopened;
+  rm_rf dir
+
+let crash_at_point point expect_docs () =
+  let doc = Xmlwork.Auction.generate ~params:small () in
+  let dir = fresh_dir () in
+  let store = Store.create ~durable:dir "edge" in
+  (match point with
+  | "wal.commit" ->
+    Failpoint.arm (Some point);
+    (try
+       ignore (Store.add_document store doc);
+       Alcotest.fail "expected an injected crash"
+     with Failpoint.Injected_crash _ -> ())
+  | _ ->
+    ignore (Store.add_document store doc);
+    Failpoint.arm (Some point);
+    (try
+       Store.checkpoint store;
+       Alcotest.fail "expected an injected crash"
+     with Failpoint.Injected_crash _ -> ()));
+  Failpoint.arm None;
+  Db.abandon (Store.database store);
+  let reopened = Store.open_durable dir in
+  check_int ("documents after crash at " ^ point) expect_docs
+    (List.length (Store.documents reopened));
+  if expect_docs = 1 then begin
+    let reference = Store.create "edge" in
+    let rid = Store.add_document reference doc in
+    List.iter
+      (fun q ->
+        check_strings (point ^ " " ^ q) (Store.query_values reference rid q)
+          (Store.query_values reopened 0 q))
+      probe_queries
+  end;
+  Store.close reopened;
+  rm_rf dir
+
+(* Store-level WAL truncation: document A checkpointed, document B only in
+   the WAL. Any cut keeps A intact; B is all-or-nothing. *)
+let store_truncation_prop =
+  let doc_a = Xmlwork.Auction.generate ~params:small () in
+  let doc_b = Xmlwork.Auction.generate ~params:small_b () in
+  let reference = Store.create "interval" in
+  let ra = Store.add_document reference doc_a in
+  let rb = Store.add_document reference doc_b in
+  let expected_a = List.map (Store.query_values reference ra) probe_queries in
+  let expected_b = List.map (Store.query_values reference rb) probe_queries in
+  let base = fresh_dir () in
+  let store = Store.create ~durable:base "interval" in
+  ignore (Store.add_document store doc_a);
+  Store.checkpoint store;
+  ignore (Store.add_document store doc_b);
+  Db.abandon (Store.database store);
+  let wal = read_file (Filename.concat base "wal.log") in
+  QCheck.Test.make ~name:"store recovery from any WAL truncation" ~count:12
+    QCheck.(int_range 0 (String.length wal))
+    (fun cut ->
+      let d = fresh_dir () in
+      Unix.mkdir d 0o755;
+      Array.iter
+        (fun f ->
+          if f <> "wal.log" then
+            write_file (Filename.concat d f) (read_file (Filename.concat base f)))
+        (Sys.readdir base);
+      write_file (Filename.concat d "wal.log") (String.sub wal 0 cut);
+      let reopened = Store.open_durable d in
+      let docs = Store.documents reopened in
+      let ok_a = List.map (Store.query_values reopened 0) probe_queries = expected_a in
+      let ok_b =
+        match List.length docs with
+        | 1 -> true
+        | 2 -> List.map (Store.query_values reopened 1) probe_queries = expected_b
+        | _ -> false
+      in
+      Store.close reopened;
+      rm_rf d;
+      ok_a && ok_b)
+
+(* Full-length cut sanity: with the whole WAL intact, document B must be
+   recovered (the property above would also pass if B never survived). *)
+let test_store_full_wal_recovers_b () =
+  let doc_a = Xmlwork.Auction.generate ~params:small () in
+  let doc_b = Xmlwork.Auction.generate ~params:small_b () in
+  let dir = fresh_dir () in
+  let store = Store.create ~durable:dir "interval" in
+  ignore (Store.add_document store doc_a);
+  Store.checkpoint store;
+  ignore (Store.add_document store doc_b);
+  Db.abandon (Store.database store);
+  let reopened = Store.open_durable dir in
+  check_int "both documents recovered" 2 (List.length (Store.documents reopened));
+  check_bool "document B reconstructs" true
+    (Xmlkit.Dom.equal doc_b (Store.get_document reopened 1));
+  Store.close reopened;
+  rm_rf dir
+
+(* Q1-Q12 byte-equality through save/load across every scheme. *)
+let test_saved_workload_all_schemes () =
+  let doc = Xmlwork.Auction.generate ~params:small () in
+  let dtd = Lazy.force Xmlwork.Auction.dtd in
+  List.iter
+    (fun scheme ->
+      let store =
+        if String.equal scheme "inline" then Store.create ~dtd scheme else Store.create scheme
+      in
+      let id = Store.add_document store doc in
+      let expected =
+        List.map
+          (fun (q : Xmlwork.Queries.query) -> Store.query_values store id q.Xmlwork.Queries.xpath)
+          Xmlwork.Queries.auction_queries
+      in
+      let path = Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "xmlstore_save_%d_%s.sql" (Unix.getpid ()) scheme)
+      in
+      Store.save store path;
+      let loaded =
+        if String.equal scheme "inline" then Store.load ~dtd ~scheme path
+        else Store.load ~scheme path
+      in
+      List.iter2
+        (fun (q : Xmlwork.Queries.query) exp ->
+          check_strings (scheme ^ " " ^ q.Xmlwork.Queries.qid ^ " after save/load") exp
+            (Store.query_values loaded id q.Xmlwork.Queries.xpath))
+        Xmlwork.Queries.auction_queries expected;
+      Sys.remove path)
+    (Store.schemes ())
+
+let () =
+  Alcotest.run "durable"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "round trip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "crc32" `Quick test_crc32;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "round trip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "torn and corrupt tails" `Quick test_wal_torn_tail;
+        ] );
+      ( "float literals",
+        [
+          Alcotest.test_case "exotic floats round-trip" `Quick test_float_literals;
+          QCheck_alcotest.to_alcotest float_literal_prop;
+        ] );
+      ( "dump/restore",
+        [
+          Alcotest.test_case "fixpoint" `Quick test_dump_restore_fixpoint;
+          QCheck_alcotest.to_alcotest dump_fixpoint_prop;
+          Alcotest.test_case "est parity" `Quick test_restore_est_parity;
+        ] );
+      ( "durable database",
+        [
+          Alcotest.test_case "close/reopen" `Quick test_durable_reopen;
+          Alcotest.test_case "committed session replays" `Quick test_durable_commit_replay;
+          Alcotest.test_case "loser rollback" `Quick test_durable_loser_rollback;
+          Alcotest.test_case "autocommit replay" `Quick test_durable_autocommit_replay;
+          QCheck_alcotest.to_alcotest wal_truncation_prop;
+        ] );
+      ( "durable store",
+        [
+          Alcotest.test_case "round trip" `Slow test_store_durable_roundtrip;
+          Alcotest.test_case "crash at wal.commit" `Quick (crash_at_point "wal.commit" 0);
+          Alcotest.test_case "crash at checkpoint.pages" `Quick
+            (crash_at_point "checkpoint.pages" 1);
+          Alcotest.test_case "crash at checkpoint.current" `Quick
+            (crash_at_point "checkpoint.current" 1);
+          Alcotest.test_case "crash at checkpoint.truncate" `Quick
+            (crash_at_point "checkpoint.truncate" 1);
+          QCheck_alcotest.to_alcotest store_truncation_prop;
+          Alcotest.test_case "full WAL recovers both documents" `Quick
+            test_store_full_wal_recovers_b;
+          Alcotest.test_case "saved workload across schemes" `Slow
+            test_saved_workload_all_schemes;
+        ] );
+    ]
