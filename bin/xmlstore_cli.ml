@@ -115,7 +115,9 @@ let query_cmd =
       List.iter
         (fun (sql, annot) ->
           Printf.eprintf "-- %s\n%s\n" sql (Relstore.Plan.annotated_to_string annot))
-        r.Store.analyzed
+        r.Store.analyzed;
+      Printf.eprintf "-- gc: %d minor byte(s) allocated, %d major byte(s) promoted/allocated\n"
+        r.Store.gc_minor_bytes r.Store.gc_major_bytes
     end;
     if as_xml then
       List.iter
@@ -524,9 +526,24 @@ let trace_export_cmd =
     Arg.(required & opt (some string) None
          & info [ "o"; "out" ] ~docv:"OUT" ~doc:"Output file (Chrome trace_event JSON).")
   in
-  let run scheme dtd_file path xpath out =
+  let durable_trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "durable" ] ~docv:"DIR"
+             ~doc:"Trace opening this durable store directory instead of shredding FILE: the \
+                   export shows the recovery span tree (image load, redo, undo) and the \
+                   checkpoint phases, then the traced query. FILE is ignored.")
+  in
+  let run scheme dtd_file path xpath out durable_dir =
     Obskit.Trace.set_sampling Obskit.Trace.Always;
-    let store, doc, _ = read_store ?dtd_file scheme path in
+    let store, doc =
+      match durable_dir with
+      | Some dir ->
+        let store = Store.open_durable dir in
+        (store, 0)
+      | None ->
+        let store, doc, _ = read_store ?dtd_file scheme path in
+        (store, doc)
+    in
     ignore (Store.query store doc xpath);
     ignore (Store.get_document store doc);
     let spans = Obskit.Trace.spans () in
@@ -545,9 +562,10 @@ let trace_export_cmd =
   in
   Cmd.v
     (Cmd.info "export"
-       ~doc:"Shred, query, and reconstruct a document fully traced; write the spans as Chrome \
-             trace_event JSON (chrome://tracing, Perfetto).")
-    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpath_arg $ out_arg)
+       ~doc:"Shred, query, and reconstruct a document fully traced (or, with --durable, open a \
+             durable store traced through recovery); write the spans as Chrome trace_event \
+             JSON (chrome://tracing, Perfetto).")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpath_arg $ out_arg $ durable_trace_arg)
 
 let trace_validate_cmd =
   let trace_file_arg =
@@ -590,21 +608,29 @@ let slowlog_cmd =
   let repeat_arg =
     Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc:"Run the query N times.")
   in
+  let limit_arg =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ] ~docv:"N"
+             ~doc:"Retain at most N entries (default 32), evicting the oldest.")
+  in
   let params_to_string ps =
     if Array.length ps = 0 then "(none)"
     else String.concat ", " (Array.to_list (Array.map Relstore.Value.to_string ps))
   in
-  let run scheme dtd_file path xpath threshold repeat =
+  let run scheme dtd_file path xpath threshold repeat limit =
     let store, doc, _ = read_store ?dtd_file scheme path in
     Store.set_slow_threshold store (Some threshold);
+    (match limit with Some n -> Store.set_slow_log_capacity store n | None -> ());
     for _ = 1 to repeat do
       ignore (Store.query store doc xpath)
     done;
     let entries = Store.slow_log store in
-    Printf.printf "%d slow quer%s (threshold %.3f ms, %d run%s)\n" (List.length entries)
+    Printf.printf "%d slow quer%s (threshold %.3f ms, %d run%s, capacity %d)\n"
+      (List.length entries)
       (if List.length entries = 1 then "y" else "ies")
       threshold repeat
-      (if repeat = 1 then "" else "s");
+      (if repeat = 1 then "" else "s")
+      (Store.slow_log_capacity store);
     List.iter
       (fun (e : Store.slow_entry) ->
         Printf.printf "\n%.3f ms  doc=%d scheme=%s%s  %s\n"
@@ -612,6 +638,8 @@ let slowlog_cmd =
           e.Store.se_doc e.Store.se_scheme
           (if e.Store.se_fallback then " [fallback]" else "")
           e.Store.se_xpath;
+        Printf.printf "  gc:     %d minor byte(s), %d major byte(s)\n" e.Store.se_minor_bytes
+          e.Store.se_major_bytes;
         List.iter
           (fun (s : Store.slow_statement) ->
             Printf.printf "  sql:    %s\n  params: %s\n  plan:\n%s\n  analyze:\n%s\n"
@@ -630,8 +658,9 @@ let slowlog_cmd =
   Cmd.v
     (Cmd.info "slowlog"
        ~doc:"Run a query with the slow-query log armed and print every retained entry \
-             (statement text, bound parameters, plan, executed operator tree).")
-    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpath_arg $ threshold_arg $ repeat_arg)
+             (statement text, bound parameters, plan, executed operator tree, GC bytes).")
+    Term.(const run $ scheme_arg $ dtd_arg $ file_arg $ xpath_arg $ threshold_arg $ repeat_arg
+          $ limit_arg)
 
 (* lint: static analysis over the SQL, plans, and XPath a query produces *)
 let lint_cmd =
@@ -731,6 +760,57 @@ let transform_cmd =
     (Cmd.info "transform" ~doc:"Run a FLWOR transformation over a document.")
     Term.(const run $ file_arg $ flwor_arg)
 
+(* serve: the embedded observability HTTP endpoint *)
+let serve_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PATH"
+             ~doc:"XML document to shred and serve (or, with --durable, a durable store \
+                   directory to reopen).")
+  in
+  let port_arg =
+    Arg.(value & opt int 0
+         & info [ "port" ] ~docv:"PORT" ~doc:"Port to listen on (default 0: ephemeral).")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
+  in
+  let durable_flag =
+    Arg.(value & flag
+         & info [ "durable" ]
+             ~doc:"PATH is a durable store directory (recovered as needed), not an XML file.")
+  in
+  let warm_arg =
+    Arg.(value & opt (some string) None
+         & info [ "query" ] ~docv:"XPATH"
+             ~doc:"Run this XPath once before serving, so /metrics and /traces show a real \
+                   query.")
+  in
+  let run scheme dtd_file path port host durable warm =
+    (* keep the ring buffer populated for /traces without paying for
+       always-on tracing: sample every trace while serving *)
+    Obskit.Trace.set_sampling Obskit.Trace.Always;
+    let store, doc =
+      if durable then (Store.open_durable path, 0)
+      else
+        let store, doc, _ = read_store ?dtd_file scheme path in
+        (store, doc)
+    in
+    Store.set_slow_threshold store (Some 0.0);
+    (match warm with Some x -> ignore (Store.query store doc x) | None -> ());
+    let server = Store.serve ~host ~port store in
+    Printf.printf "serving %s on http://%s:%d (endpoints: /metrics /healthz /slowlog /traces \
+                   /stats)\n%!"
+      path host (Servekit.Server.port server);
+    Servekit.Server.run server
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the store's observability endpoints (/metrics, /healthz, /slowlog, /traces, \
+             /stats) over an embedded HTTP listener until interrupted.")
+    Term.(const run $ scheme_arg $ dtd_arg $ path_arg $ port_arg $ host_arg $ durable_flag
+          $ warm_arg)
+
 let main =
   Cmd.group
     (Cmd.info "xmlstore" ~version:"1.0.0"
@@ -739,7 +819,7 @@ let main =
       schemes_cmd; query_cmd; shred_cmd; load_cmd; stats_cmd; roundtrip_cmd; validate_cmd;
       generate_cmd;
       sql_cmd; save_cmd; query_saved_cmd; checkpoint_cmd; recover_cmd; transform_cmd;
-      trace_cmd; slowlog_cmd; lint_cmd;
+      trace_cmd; slowlog_cmd; lint_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -4,11 +4,12 @@
 # plan-cache / analyze / trace-overhead / empty-fastpath / bulk-load /
 # vectorized-executor / durability benchmarks (write BENCH_plancache.json,
 # BENCH_analyze.json, BENCH_trace.json, BENCH_lint.json, BENCH_load.json,
-# BENCH_F12.json, BENCH_F13.json), exercise durable load / injected-crash
-# recovery end to end, round-trip a trace
-# export through the validator for
-# three schemes, lint the Prometheus exposition, and gate on the static
-# analyzer: the full Q1-Q12 workload must lint clean under every scheme.
+# BENCH_F12.json, BENCH_F13.json, BENCH_F14.json), exercise durable load /
+# injected-crash recovery end to end, round-trip trace exports through the
+# validator (including a durable open traced through recovery), scrape the
+# embedded observability server's /healthz and /metrics, lint the
+# Prometheus exposition, and gate on the static analyzer: the full Q1-Q12
+# workload must lint clean under every scheme.
 set -eux
 
 dune build @all
@@ -29,6 +30,8 @@ BENCH_F12_SCALE=0.05 BENCH_F12_REPEAT=2 dune exec bench/main.exe -- F12
 test -s BENCH_F12.json
 BENCH_F13_SCALE=0.05 BENCH_F13_REPEAT=2 dune exec bench/main.exe -- F13
 test -s BENCH_F13.json
+BENCH_F14_SCALE=0.05 BENCH_F14_REPEAT=2 dune exec bench/main.exe -- F14
+test -s BENCH_F14.json
 
 # trace export -> validate round trip (parse/shred/plan/execute/reconstruct
 # spans, checked well-nested by the exporter and re-checked from the JSON)
@@ -70,6 +73,39 @@ dune exec bin/xmlstore_cli.exe -- recover "$tmpdir/cstore" | grep -q "redone"
 dune exec bin/xmlstore_cli.exe -- query-saved --durable "$tmpdir/cstore" \
   "/site/people/person/name" | diff - "$tmpdir/durable-names.txt"
 dune exec bin/xmlstore_cli.exe -- checkpoint "$tmpdir/cstore" | grep -q "checkpointed"
+
+# recovery observability: a crashed store opened under tracing must show
+# the recovery span tree (redo pass under the recovery root), well nested
+dune exec bin/xmlstore_cli.exe -- load -s interval "$tmpdir/doc.xml" \
+  --durable "$tmpdir/tstore" --crash-at checkpoint.current \
+  | grep -q "injected crash at checkpoint.current"
+dune exec bin/xmlstore_cli.exe -- trace export --durable "$tmpdir/tstore" \
+  "$tmpdir/doc.xml" --query "/site/people/person/name" \
+  --out "$tmpdir/trace-recovery.json"
+dune exec bin/xmlstore_cli.exe -- trace validate "$tmpdir/trace-recovery.json"
+grep -q "db.open_durable" "$tmpdir/trace-recovery.json"
+grep -q "recovery.redo" "$tmpdir/trace-recovery.json"
+
+# observability server: serve a durable store on an ephemeral port, scrape
+# the health and metrics endpoints, and check the storage-telemetry series
+dune exec bin/xmlstore_cli.exe -- serve "$tmpdir/dstore" --durable --port 0 \
+  > "$tmpdir/serve.out" &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$tmpdir/serve.out")
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+test -n "$port"
+curl -fsS "http://127.0.0.1:$port/healthz" | grep -q '"ok":true'
+curl -fsS "http://127.0.0.1:$port/metrics" > "$tmpdir/serve-metrics.prom"
+grep -q "xmlstore_db_wal_append_total" "$tmpdir/serve-metrics.prom"
+grep -q "xmlstore_db_recovery_redo_records_total" "$tmpdir/serve-metrics.prom"
+grep -q "xmlstore_buffer_pool_read_total" "$tmpdir/serve-metrics.prom"
+curl -fsS "http://127.0.0.1:$port/stats" | grep -q '"scheme"'
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
 
 # lint gate: the full Q1-Q12 workload must be clean (no warning-or-worse
 # diagnostic) under every scheme, inline included via the workload DTD;

@@ -27,10 +27,12 @@ type slow_entry = {
   se_scheme : string;
   se_total_ns : int;
   se_fallback : bool;
+  se_minor_bytes : int;
+  se_major_bytes : int;
   se_statements : slow_statement list;
 }
 
-let slow_log_capacity = 32
+let default_slow_log_capacity = 32
 
 type t = {
   db : Db.t;
@@ -43,6 +45,7 @@ type t = {
   metrics_label : string;
   mutable next_doc : int;
   mutable slow_threshold_ns : int option;
+  mutable slow_capacity : int;  (* retained slow-log entries; oldest evicted *)
   mutable slow_entries : slow_entry list;  (* most recent first, bounded *)
   (* Per-document Strong DataGuides, registered lazily at shred time (the
      load path never pays for a guide nobody consults) and invalidated by
@@ -129,6 +132,7 @@ let create ?dtd ?(validate = false) ?(indexes = true) ?(bulk = true) ?metrics_la
     metrics_label = fresh_label ?metrics_label scheme;
     next_doc = 0;
     slow_threshold_ns = None;
+    slow_capacity = default_slow_log_capacity;
     slow_entries = [];
     guides = Hashtbl.create 8;
     empty_fastpath = true;
@@ -262,6 +266,8 @@ type result = {
   fallback : bool;  (* answered by reconstruction + native evaluation *)
   analyzed : (string * Relstore.Plan.annotated) list;
       (* with ~analyze:true, one executed operator tree per statement *)
+  gc_minor_bytes : int;  (* bytes allocated young while answering *)
+  gc_major_bytes : int;  (* bytes promoted or allocated old *)
 }
 
 let take n l = List.filteri (fun i _ -> i < n) l
@@ -288,6 +294,8 @@ let empty_result =
     joins = 0;
     fallback = false;
     analyzed = [];
+    gc_minor_bytes = 0;
+    gc_major_bytes = 0;
   }
 
 let query ?(analyze = false) t doc (xpath : string) : result =
@@ -307,13 +315,31 @@ let query ?(analyze = false) t doc (xpath : string) : result =
   (* The slow log needs per-statement captures even when the caller did not
      ask for ANALYZE, so an armed threshold also installs the sink. *)
   let capturing = analyze || t.slow_threshold_ns <> None in
+  (* allocation attributed to this query: words deltas, in bytes (minor =
+     everything allocated young; major = promoted + allocated old).
+     [Gc.minor_words] reads the allocation pointer, so the minor delta is
+     exact — [Gc.quick_stat]'s copy only refreshes at collection points
+     and reads 0 across a small query. *)
+  let minor0 = Gc.minor_words () in
+  let _, _, major0 = Gc.counters () in
   let t0 = Obskit.Clock.now_ns () in
   let r, captures =
     if capturing then Xmlshred.Mapping.collect_captures run else (run (), [])
   in
   let total_ns = Obskit.Clock.now_ns () - t0 in
+  let minor1 = Gc.minor_words () in
+  let _, _, major1 = Gc.counters () in
+  let word = Sys.word_size / 8 in
+  let minor_bytes = int_of_float (minor1 -. minor0) * word in
+  let major_bytes = int_of_float (major1 -. major0) * word in
+  Relstore.Metrics.incr ~by:(max 0 minor_bytes) "store.query.minor_bytes";
+  Relstore.Metrics.incr ~by:(max 0 major_bytes) "store.query.major_bytes";
+  if Obskit.Trace.recording () then begin
+    Obskit.Trace.add_attr "minor_bytes" (string_of_int minor_bytes);
+    Obskit.Trace.add_attr "major_bytes" (string_of_int major_bytes)
+  end;
   (match t.slow_threshold_ns with
-  | Some thr when total_ns >= thr ->
+  | Some thr when total_ns >= thr && t.slow_capacity > 0 ->
     let statements =
       List.map
         (fun (c : Xmlshred.Mapping.capture) ->
@@ -333,9 +359,11 @@ let query ?(analyze = false) t doc (xpath : string) : result =
         se_scheme = t.scheme;
         se_total_ns = total_ns;
         se_fallback = r.Xmlshred.Mapping.fallback;
+        se_minor_bytes = minor_bytes;
+        se_major_bytes = major_bytes;
         se_statements = statements;
       }
-      :: take (slow_log_capacity - 1) t.slow_entries
+      :: take (t.slow_capacity - 1) t.slow_entries
   | _ -> ());
   {
     values = r.Xmlshred.Mapping.values;
@@ -347,6 +375,8 @@ let query ?(analyze = false) t doc (xpath : string) : result =
       (if analyze then
          List.map (fun (c : Xmlshred.Mapping.capture) -> (c.cap_sql, c.cap_annot)) captures
        else []);
+    gc_minor_bytes = minor_bytes;
+    gc_major_bytes = major_bytes;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -359,6 +389,14 @@ let set_slow_threshold t ms =
 let slow_threshold_ms t = Option.map (fun ns -> float_of_int ns /. 1e6) t.slow_threshold_ns
 let slow_log t = t.slow_entries
 let clear_slow_log t = t.slow_entries <- []
+
+let set_slow_log_capacity t n =
+  if n < 0 then err "slow-log capacity must be non-negative (got %d)" n;
+  t.slow_capacity <- n;
+  (* shrinking evicts the oldest retained entries immediately *)
+  t.slow_entries <- take n t.slow_entries
+
+let slow_log_capacity t = t.slow_capacity
 
 (* ------------------------------------------------------------------ *)
 (* Static analysis *)
@@ -515,6 +553,7 @@ let open_durable ?dtd ?(validate = false) ?metrics_label dir =
     metrics_label = fresh_label ?metrics_label scheme;
     next_doc;
     slow_threshold_ns = None;
+    slow_capacity = default_slow_log_capacity;
     slow_entries = [];
     guides = Hashtbl.create 8;
     empty_fastpath = true;
@@ -524,6 +563,179 @@ let open_durable ?dtd ?(validate = false) ?metrics_label dir =
 (* Persistence: the store round-trips through the relational dump. *)
 
 let save t path = Db.dump_to_file t.db path
+
+(* ------------------------------------------------------------------ *)
+(* Embedded observability server: GET /metrics /healthz /slowlog
+   /traces /stats over servekit's blocking listener. The handlers only
+   render in-memory state, so they are safe to run between any two
+   store operations (the server is single-threaded like the store). *)
+
+module Json = Obskit.Json
+
+(* The storage-telemetry series the endpoint advertises even before the
+   first load or crash touches them: create each counter at zero (an
+   existing value is preserved — incr by 0) under the process-wide
+   label, so a scrape of a freshly opened store already shows the full
+   catalog. *)
+let declare_storage_series () =
+  Relstore.Metrics.with_label "" (fun () ->
+      List.iter
+        (fun name -> Relstore.Metrics.incr ~by:0 name)
+        [
+          "db.wal.append"; "db.wal.fsync"; "db.wal.bytes"; "db.wal.commit";
+          "db.wal.truncate"; "db.wal.torn_tail"; "db.wal.torn_bytes";
+          "db.checkpoint"; "db.recovery.redo_records"; "db.recovery.undone_rows";
+          "db.recovery.losers"; "db.recovery.torn_bytes"; "buffer_pool.read";
+          "buffer_pool.write"; "buffer_pool.hit"; "buffer_pool.miss";
+          "buffer_pool.evict"; "buffer_pool.crc_fail"; "db.btree.leaf_split";
+          "db.btree.internal_split"; "db.btree.bulk_build"; "db.btree.bulk_merge";
+        ];
+      List.iter
+        (fun name -> Relstore.Metrics.set_gauge name (Relstore.Metrics.gauge name))
+        [ "buffer_pool.resident_pages"; "buffer_pool.resident_bytes" ])
+
+let json_response status json =
+  { Servekit.Http.status; content_type = "application/json"; body = Json.to_string json ^ "\n" }
+
+let text_response status body = { Servekit.Http.status; content_type = "text/plain"; body }
+
+let metrics_response () =
+  let body = Relstore.Metrics.prometheus () in
+  match Obskit.Prom.lint body with
+  | Ok () ->
+    { Servekit.Http.status = 200; content_type = "text/plain; version=0.0.4"; body }
+  | Error problems ->
+    text_response 500 ("exposition failed lint:\n" ^ String.concat "\n" problems ^ "\n")
+
+let healthz t =
+  let wal_writable =
+    match durable_dir t with
+    | None -> true
+    | Some dir -> (
+      match Unix.access (Filename.concat dir "wal.log") [ Unix.W_OK ] with
+      | () -> true
+      | exception Unix.Unix_error _ -> false)
+  in
+  let checkpoint_age =
+    match durable_dir t with
+    | None -> None
+    | Some dir -> (
+      match Unix.stat (Filename.concat dir "CURRENT") with
+      | st -> Some (Unix.gettimeofday () -. st.Unix.st_mtime)
+      | exception Unix.Unix_error _ -> None)
+  in
+  let docs = try Some (List.length (documents t)) with _ -> None in
+  let ok = wal_writable && docs <> None in
+  let fields =
+    [
+      ("ok", Json.Bool ok);
+      ("scheme", Json.Str t.scheme);
+      ("durable", Json.Bool (is_durable t));
+      ("wal_writable", Json.Bool wal_writable);
+      ("documents", match docs with Some n -> Json.Num (float_of_int n) | None -> Json.Null);
+    ]
+    @ (match durable_dir t with Some dir -> [ ("dir", Json.Str dir) ] | None -> [])
+    @
+    match checkpoint_age with
+    | Some age -> [ ("last_checkpoint_age_seconds", Json.Num age) ]
+    | None -> []
+  in
+  json_response (if ok then 200 else 503) (Json.Obj fields)
+
+let slowlog_json t limit =
+  let entries = match limit with Some n -> take n t.slow_entries | None -> t.slow_entries in
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           [
+             ("xpath", Json.Str e.se_xpath);
+             ("doc", Json.Num (float_of_int e.se_doc));
+             ("scheme", Json.Str e.se_scheme);
+             ("total_ms", Json.Num (float_of_int e.se_total_ns /. 1e6));
+             ("fallback", Json.Bool e.se_fallback);
+             ("minor_bytes", Json.Num (float_of_int e.se_minor_bytes));
+             ("major_bytes", Json.Num (float_of_int e.se_major_bytes));
+             ( "statements",
+               Json.List
+                 (List.map
+                    (fun s ->
+                      Json.Obj
+                        [
+                          ("sql", Json.Str s.ss_sql);
+                          ( "params",
+                            Json.List
+                              (List.map
+                                 (fun v -> Json.Str (Relstore.Value.to_string v))
+                                 (Array.to_list s.ss_params)) );
+                          ("plan", Json.Str s.ss_plan);
+                        ])
+                    e.se_statements) );
+           ])
+       entries)
+
+let stats_json t =
+  let s = stats t in
+  let hits, misses, invalidations, evictions = cache_stats t in
+  Json.Obj
+    [
+      ("scheme", Json.Str s.scheme_id);
+      ("documents", Json.Num (float_of_int s.document_count));
+      ("total_rows", Json.Num (float_of_int s.total_rows));
+      ("total_bytes", Json.Num (float_of_int s.total_bytes));
+      ("total_index_entries", Json.Num (float_of_int s.total_index_entries));
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Num (float_of_int hits));
+            ("misses", Json.Num (float_of_int misses));
+            ("invalidations", Json.Num (float_of_int invalidations));
+            ("evictions", Json.Num (float_of_int evictions));
+          ] );
+      ( "tables",
+        Json.List
+          (List.map
+             (fun ts ->
+               Json.Obj
+                 [
+                   ("table", Json.Str ts.Relstore.Database.st_table);
+                   ("rows", Json.Num (float_of_int ts.Relstore.Database.st_rows));
+                   ("bytes", Json.Num (float_of_int ts.Relstore.Database.st_bytes));
+                   ( "index_entries",
+                     Json.Num (float_of_int ts.Relstore.Database.st_index_entries) );
+                 ])
+             s.tables) );
+    ]
+
+let handle t (req : Servekit.Http.request) =
+  Relstore.Metrics.with_label t.metrics_label (fun () ->
+      Relstore.Metrics.incr "store.serve.requests");
+  if not (String.equal req.Servekit.Http.meth "GET") then
+    text_response 405 "only GET is supported\n"
+  else
+    match req.Servekit.Http.path with
+    | "/metrics" -> metrics_response ()
+    | "/healthz" -> healthz t
+    | "/slowlog" ->
+      let limit =
+        Option.bind (Servekit.Http.query_param req "limit") int_of_string_opt
+      in
+      json_response 200 (slowlog_json t limit)
+    | "/traces" ->
+      {
+        Servekit.Http.status = 200;
+        content_type = "application/json";
+        body = Obskit.Export.to_chrome_json (Obskit.Trace.spans ());
+      }
+    | "/stats" -> json_response 200 (stats_json t)
+    | "/" ->
+      text_response 200
+        "xmlstore observability endpoints: /metrics /healthz /slowlog /traces /stats\n"
+    | p -> text_response 404 (Printf.sprintf "no such endpoint %s\n" p)
+
+let serve ?host ?port t =
+  declare_storage_series ();
+  Servekit.Server.create ?host ?port (handle t)
 
 let load ?dtd ?(validate = false) ?metrics_label ~scheme path =
   let mapping = resolve_mapping ~scheme ~dtd in
@@ -546,6 +758,7 @@ let load ?dtd ?(validate = false) ?metrics_label ~scheme path =
     metrics_label = fresh_label ?metrics_label scheme;
     next_doc;
     slow_threshold_ns = None;
+    slow_capacity = default_slow_log_capacity;
     slow_entries = [];
     guides = Hashtbl.create 8;
     empty_fastpath = true;

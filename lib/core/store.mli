@@ -89,6 +89,13 @@ type result = {
       (** with [~analyze:true], one [(statement text, executed operator
           tree)] pair per SQL statement, in execution order (EXPLAIN
           ANALYZE); empty otherwise *)
+  gc_minor_bytes : int;
+      (** bytes allocated in the minor heap while answering
+          ([Gc.quick_stat] delta; also recorded as the
+          [store.query.minor_bytes] counter) *)
+  gc_major_bytes : int;
+      (** bytes promoted to or allocated in the major heap
+          ([store.query.major_bytes]) *)
 }
 
 val query : ?analyze:bool -> t -> doc_id -> string -> result
@@ -134,8 +141,9 @@ val translate_sql : t -> doc_id -> string -> string list
 (** {1 Slow-query log}
 
     When a threshold is armed, every {!query} whose wall-clock meets it is
-    retained (most recent first, bounded at 32 entries) with its statement
-    texts, bound parameters, plans, and executed operator trees. *)
+    retained (most recent first, bounded — 32 entries by default, see
+    {!set_slow_log_capacity}) with its statement texts, bound parameters,
+    plans, executed operator trees, and GC allocation deltas. *)
 
 type slow_statement = {
   ss_sql : string;  (** statement text (plan-cache key) *)
@@ -150,12 +158,21 @@ type slow_entry = {
   se_scheme : string;
   se_total_ns : int;  (** whole-query wall-clock *)
   se_fallback : bool;
+  se_minor_bytes : int;  (** GC allocation attributed to the query *)
+  se_major_bytes : int;
   se_statements : slow_statement list;
 }
 
 val set_slow_threshold : t -> float option -> unit
 (** [set_slow_threshold t (Some ms)] arms the log for queries taking at
     least [ms] milliseconds; [None] disarms it (entries are kept). *)
+
+val set_slow_log_capacity : t -> int -> unit
+(** Resize the retention bound (default 32). Shrinking evicts the oldest
+    entries immediately; 0 retains nothing. Negative raises
+    {!Store_error}. *)
+
+val slow_log_capacity : t -> int
 
 val slow_threshold_ms : t -> float option
 val slow_log : t -> slow_entry list
@@ -245,3 +262,29 @@ val load :
   ?dtd:Xmlkit.Dtd.t -> ?validate:bool -> ?metrics_label:string -> scheme:string -> string -> t
 (** Reopen a store saved with {!save}. The scheme must match the one the
     dump was produced with ([inline] additionally needs the same DTD). *)
+
+(** {1 Observability server}
+
+    An embedded single-threaded HTTP endpoint over the store's in-memory
+    observability state:
+
+    {v
+    GET /metrics   Prometheus text exposition (lint-checked before serving)
+    GET /healthz   JSON health: store open, WAL writable, checkpoint age
+    GET /slowlog   JSON slow-query log (?limit=N caps the entries)
+    GET /traces    Chrome trace JSON of the span ring buffer
+    GET /stats     JSON table, cache, and document statistics
+    v} *)
+
+val serve : ?host:string -> ?port:int -> t -> Servekit.Server.t
+(** Bind the observability listener ([host] defaults to "127.0.0.1",
+    [port] to 0 = ephemeral; read the bound port back with
+    {!Servekit.Server.port}) and return it without serving — call
+    {!Servekit.Server.run} (blocking) or {!Servekit.Server.handle_one}.
+    Also pre-registers the storage-telemetry series catalog
+    ([db.wal.*], [db.checkpoint.*], [db.recovery.*], [buffer_pool.*],
+    [db.btree.*]) so a scrape of an idle store already lists them. *)
+
+val declare_storage_series : unit -> unit
+(** The pre-registration {!serve} performs, exposed for callers that
+    render {!Relstore.Metrics.prometheus} without a server. *)

@@ -107,6 +107,7 @@ let rec insert_node node k rowid t =
       t.distinct <- t.distinct + 1;
       if Array.length leaf.keys <= order then No_split
       else begin
+        Metrics.incr "db.btree.leaf_split";
         let mid = Array.length leaf.keys / 2 in
         let right =
           {
@@ -130,6 +131,7 @@ let rec insert_node node k rowid t =
       n.children <- array_insert n.children (ci + 1) new_child;
       if Array.length n.children <= order then No_split
       else begin
+        Metrics.incr "db.btree.internal_split";
         let mid = Array.length n.seps / 2 in
         let up = n.seps.(mid) in
         let right =
@@ -259,6 +261,7 @@ let iter_prefix t prefix f =
 let bulk_of_arrays ?(check = true) (dkeys : key array) (dposts : int list array) =
   let d = Array.length dkeys in
   if d <> Array.length dposts then invalid_arg "Btree.bulk_of_arrays: length mismatch";
+  Metrics.incr "db.btree.bulk_build";
   if d = 0 then create ()
   else begin
     if check then
@@ -337,6 +340,7 @@ let bulk_of_sorted (pairs : (key * int) array) =
    they land after the existing postings, preserving insertion order. *)
 let bulk_merge t (pairs : (key * int) array) =
   let n_new = Array.length pairs in
+  Metrics.incr "db.btree.bulk_merge";
   if n_new = 0 then t
   else begin
     let n_old = t.entries in

@@ -48,7 +48,8 @@ let write_frame t page_id fr =
     off := !off + Unix.write fd fr.data !off (t.page_size - !off)
   done;
   fr.dirty <- false;
-  Metrics.incr "db.page.write"
+  Metrics.incr "db.page.write";
+  Metrics.incr "buffer_pool.write"
 
 let flush t =
   Hashtbl.iter (fun page_id fr -> if fr.dirty then write_frame t page_id fr) t.frames
@@ -64,7 +65,9 @@ let detach t =
   | Some fd ->
     Unix.close fd;
     t.fd <- None;
-    Hashtbl.reset t.frames
+    Hashtbl.reset t.frames;
+    Metrics.set_gauge "buffer_pool.resident_pages" 0;
+    Metrics.set_gauge "buffer_pool.resident_bytes" 0
 
 (* Attach to a page file, dropping whatever the pool held. [reset] starts
    the file over (checkpointing into the inactive generation). *)
@@ -93,7 +96,14 @@ let read_frame t page_id =
     if n = 0 then eof := true else off := !off + n
   done;
   Metrics.incr "db.page.read";
+  Metrics.incr "buffer_pool.read";
   { data; dirty = false; pins = 0; last_used = 0 }
+
+(* Instantaneous occupancy, refreshed whenever frames come or go. *)
+let update_residency t =
+  let pages = Hashtbl.length t.frames in
+  Metrics.set_gauge "buffer_pool.resident_pages" pages;
+  Metrics.set_gauge "buffer_pool.resident_bytes" (pages * t.page_size)
 
 let evict_one t =
   let victim = ref None in
@@ -110,19 +120,24 @@ let evict_one t =
     let fr = Hashtbl.find t.frames page_id in
     if fr.dirty then write_frame t page_id fr;
     Hashtbl.remove t.frames page_id;
-    Metrics.incr "db.page.evict"
+    Metrics.incr "db.page.evict";
+    Metrics.incr "buffer_pool.evict";
+    update_residency t
 
 let pin t page_id =
   let fr =
     match Hashtbl.find_opt t.frames page_id with
     | Some fr ->
       Metrics.incr "db.page.hit";
+      Metrics.incr "buffer_pool.hit";
       fr
     | None ->
       Metrics.incr "db.page.miss";
+      Metrics.incr "buffer_pool.miss";
       if Hashtbl.length t.frames >= t.capacity then evict_one t;
       let fr = read_frame t page_id in
       Hashtbl.add t.frames page_id fr;
+      update_residency t;
       fr
   in
   t.tick <- t.tick + 1;

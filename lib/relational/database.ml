@@ -754,8 +754,7 @@ let replay t records =
     | Some tbl -> tbl
     | None -> corrupt "no such table %s" name
   in
-  List.iter
-    (fun (_lsn, record) ->
+  let redo_one (_lsn, record) =
       match record with
       | Wal.Begin tx -> see_tx tx
       | Wal.Commit tx ->
@@ -798,13 +797,18 @@ let replay t records =
           incr redone
         end
       | Wal.Drop_index { table; index } ->
-        if Table.drop_index (find table) index then incr redone)
-    records;
+        if Table.drop_index (find table) index then incr redone
+  in
+  Obskit.Trace.with_span ~attrs:[ ("records", string_of_int (List.length records)) ]
+    "recovery.redo" (fun () ->
+      Metrics.timed "db.recovery.redo" (fun () -> List.iter redo_one records));
   (* Losers: begun, some work logged, neither Commit nor Abort survived. *)
   let losers =
     Hashtbl.fold (fun tx _ acc -> if Hashtbl.mem ended tx then acc else tx :: acc) tx_tails []
   in
-  List.iter truncate_tails losers;
+  Obskit.Trace.with_span ~attrs:[ ("losers", string_of_int (List.length losers)) ]
+    "recovery.undo" (fun () ->
+      Metrics.timed "db.recovery.undo" (fun () -> List.iter truncate_tails losers));
   Hashtbl.iter
     (fun k () ->
       match Hashtbl.find_opt t.tables k with
@@ -822,24 +826,37 @@ let open_durable ?page_size ?pool_pages dir =
   (match image with
   | None -> ()
   | Some img ->
-    List.iter
-      (fun (ti : Durable.table_image) ->
-        let tbl = Table.restore_slots ti.Durable.ti_schema ti.Durable.ti_slots in
-        Hashtbl.add t.tables (key ti.Durable.ti_schema.Schema.table_name) tbl;
+    Obskit.Trace.with_span
+      ~attrs:[ ("tables", string_of_int (List.length img.Durable.im_tables)) ]
+      "recovery.image"
+      (fun () ->
+        Metrics.timed "db.recovery.image" @@ fun () ->
         List.iter
-          (fun (index_name, columns) -> ignore (Table.create_index tbl ~index_name ~columns))
-          ti.Durable.ti_indexes)
-      img.Durable.im_tables;
-    t.ddl_gen <- t.ddl_gen + 1;
-    Stats.import t.col_stats img.Durable.im_stats);
+          (fun (ti : Durable.table_image) ->
+            let tbl = Table.restore_slots ti.Durable.ti_schema ti.Durable.ti_slots in
+            Hashtbl.add t.tables (key ti.Durable.ti_schema.Schema.table_name) tbl;
+            List.iter
+              (fun (index_name, columns) -> ignore (Table.create_index tbl ~index_name ~columns))
+              ti.Durable.ti_indexes)
+          img.Durable.im_tables;
+        t.ddl_gen <- t.ddl_gen + 1;
+        Stats.import t.col_stats img.Durable.im_stats));
   let ckpt = Durable.checkpoint_lsn d in
   let records = List.filter (fun (lsn, _) -> lsn > ckpt) scan.Wal.sc_records in
   let redone, undone, losers =
     match records with
     | [] -> (0, 0, 0)
-    | _ -> Metrics.timed "db.recovery" (fun () -> replay t records)
+    | _ ->
+      Obskit.Trace.with_span "db.recovery" (fun () ->
+          Metrics.timed "db.recovery" (fun () -> replay t records))
   in
   let torn = scan.Wal.sc_total_bytes - scan.Wal.sc_valid_bytes in
+  (* The recovery counters exist (at zero) after every durable open, so a
+     clean open still exposes the series; a crash recovery adds to them. *)
+  Metrics.incr ~by:redone "db.recovery.redo_records";
+  Metrics.incr ~by:undone "db.recovery.undone_rows";
+  Metrics.incr ~by:losers "db.recovery.losers";
+  Metrics.incr ~by:torn "db.recovery.torn_bytes";
   t.recovering <- false;
   t.durable <- Some d;
   Hashtbl.iter (fun _ tbl -> attach_logger t tbl) t.tables;

@@ -97,6 +97,29 @@ let store_page pg id buf =
   Buffer_pool.with_page_w pg.pg_pool id (fun page ->
       Bytes.blit buf 0 page 0 (Bytes.length buf))
 
+(* Page integrity: chain and heap pages carry a CRC32 of the whole page,
+   computed with the CRC field zeroed, in header bytes [20..23] (the meta
+   page keeps its checkpoint LSN there and is covered by its magic).
+   Verification failures count under buffer_pool.crc_fail before the
+   error propagates. *)
+let crc_off = 20
+
+let stamp_page_crc buf =
+  Bytes.set_int32_le buf crc_off 0l;
+  let crc = Codec.crc32 (Bytes.unsafe_to_string buf) in
+  Bytes.set_int32_le buf crc_off (Int32.of_int crc)
+
+let verify_page_crc id page =
+  let stored = Int32.to_int (Bytes.get_int32_le page crc_off) land 0xFFFFFFFF in
+  let tmp = Bytes.copy page in
+  Bytes.set_int32_le tmp crc_off 0l;
+  let crc = Codec.crc32 (Bytes.unsafe_to_string tmp) in
+  if crc <> stored then begin
+    Metrics.incr "buffer_pool.crc_fail";
+    err "page %d: CRC mismatch (stored %08lx, computed %08x)"
+      id (Bytes.get_int32_le page crc_off) crc
+  end
+
 (* Write a byte stream into a chain of pages of the given kind; returns
    the first page id (0 when the stream is empty). *)
 let write_chain pg ~kind ~lsn data =
@@ -118,6 +141,7 @@ let write_chain pg ~kind ~lsn data =
         Bytes.set_int64_le buf 8 (Int64.of_int lsn);
         Bytes.set_int32_le buf 16 (Int32.of_int used);
         Bytes.blit_string data off buf header_bytes used;
+        stamp_page_crc buf;
         store_page pg id buf)
       ids;
     ids.(0)
@@ -147,6 +171,7 @@ let write_heap pg ~lsn iter_slots =
     Bytes.set_uint16_le buf 2 !nslots;
     Bytes.set_int32_le buf 4 (Int32.of_int next);
     Bytes.set_int64_le buf 8 (Int64.of_int lsn);
+    stamp_page_crc buf;
     store_page pg !cur_id buf
   in
   (* Make room for one more slot plus [cell] payload bytes, spilling to a
@@ -213,6 +238,7 @@ let read_chain pool ~kind first =
     Buffer_pool.with_page pool !id (fun page ->
         if page_kind page <> kind then
           err "page %d: expected kind %d, found %d" !id kind (page_kind page);
+        verify_page_crc !id page;
         Buffer.add_subbytes b page header_bytes (page_used page);
         id := page_next page)
   done;
@@ -230,6 +256,7 @@ let read_heap pool first =
   while !id <> 0 do
     Buffer_pool.with_page pool !id (fun page ->
         if page_kind page <> 2 then err "page %d: expected a heap page, found kind %d" !id (page_kind page);
+        verify_page_crc !id page;
         let nslots = Bytes.get_uint16_le page 2 in
         for i = 0 to nslots - 1 do
           let off = Bytes.get_uint16_le page (header_bytes + (2 * i)) in
@@ -387,34 +414,45 @@ let open_dir ?(page_size = 4096) ?(pool_pages = 256) dirname =
 
 let checkpoint t ~tables ~stats ~last_lsn =
   let next_gen = match t.gen with Some g -> 1 - g | None -> 0 in
-  Buffer_pool.attach t.pool (pages_path t.dir next_gen) ~reset:true;
   let pg = { pg_pool = t.pool; pg_next = 1 } in
   let srcs = tables in
-  let firsts = Array.make (List.length srcs) 0 in
-  let nslots = Array.make (List.length srcs) 0 in
-  List.iteri
-    (fun i src ->
-      let count = ref 0 in
-      firsts.(i) <-
-        write_heap pg ~lsn:last_lsn (fun emit ->
-            src.src_iter (fun slot ->
-                incr count;
-                emit slot));
-      nslots.(i) <- !count)
-    srcs;
-  Failpoint.hit "checkpoint.pages";
-  let catalog_first =
-    write_chain pg ~kind:1 ~lsn:last_lsn (encode_catalog srcs ~firsts ~nslots ~stats)
-  in
-  write_meta pg ~npages:pg.pg_next ~catalog_first ~ckpt_lsn:last_lsn;
-  Buffer_pool.sync t.pool;
-  Metrics.incr ~by:pg.pg_next "db.page.checkpoint_pages";
-  Failpoint.hit "checkpoint.current";
-  write_current t.dir next_gen;
-  t.gen <- Some next_gen;
-  t.ckpt_lsn <- last_lsn;
-  Failpoint.hit "checkpoint.truncate";
-  Wal.truncate t.wal;
+  (* Phase 1: write the whole image into the inactive generation and
+     fsync it. A crash here leaves the old generation authoritative. *)
+  Obskit.Trace.with_span "checkpoint.pages" (fun () ->
+      Metrics.timed "db.checkpoint.pages" (fun () ->
+          Buffer_pool.attach t.pool (pages_path t.dir next_gen) ~reset:true;
+          let firsts = Array.make (List.length srcs) 0 in
+          let nslots = Array.make (List.length srcs) 0 in
+          List.iteri
+            (fun i src ->
+              let count = ref 0 in
+              firsts.(i) <-
+                write_heap pg ~lsn:last_lsn (fun emit ->
+                    src.src_iter (fun slot ->
+                        incr count;
+                        emit slot));
+              nslots.(i) <- !count)
+            srcs;
+          Failpoint.hit "checkpoint.pages";
+          let catalog_first =
+            write_chain pg ~kind:1 ~lsn:last_lsn (encode_catalog srcs ~firsts ~nslots ~stats)
+          in
+          write_meta pg ~npages:pg.pg_next ~catalog_first ~ckpt_lsn:last_lsn;
+          Buffer_pool.sync t.pool;
+          Metrics.incr ~by:pg.pg_next "db.page.checkpoint_pages";
+          Obskit.Trace.add_attr "pages" (string_of_int pg.pg_next)));
+  (* Phase 2: the commit point — atomically flip CURRENT. *)
+  Obskit.Trace.with_span "checkpoint.flip" (fun () ->
+      Metrics.timed "db.checkpoint.flip" (fun () ->
+          Failpoint.hit "checkpoint.current";
+          write_current t.dir next_gen;
+          t.gen <- Some next_gen;
+          t.ckpt_lsn <- last_lsn));
+  (* Phase 3: the WAL's history is now absorbed; drop it. *)
+  Obskit.Trace.with_span "checkpoint.truncate" (fun () ->
+      Metrics.timed "db.checkpoint.truncate" (fun () ->
+          Failpoint.hit "checkpoint.truncate";
+          Wal.truncate t.wal));
   Metrics.incr "db.checkpoint"
 
 let close t =

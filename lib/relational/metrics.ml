@@ -54,6 +54,20 @@ let counter ?label name =
   let label = match label with Some l -> l | None -> !current_label in
   match Hashtbl.find_opt counters (label, name) with Some r -> !r | None -> 0
 
+(* Gauges: last-write-wins instantaneous values (resident bytes, pool
+   occupancy). Same (label, name) keying as counters. *)
+let gauges : (string * string, int ref) Hashtbl.t = Hashtbl.create 16
+
+let set_gauge name v =
+  let key = (!current_label, name) in
+  match Hashtbl.find_opt gauges key with
+  | Some r -> r := v
+  | None -> Hashtbl.add gauges key (ref v)
+
+let gauge ?label name =
+  let label = match label with Some l -> l | None -> !current_label in
+  match Hashtbl.find_opt gauges (label, name) with Some r -> !r | None -> 0
+
 let bucket_of_ns ns =
   let rec go i v = if v <= 1 || i >= bucket_count - 1 then i else go (i + 1) (v lsr 1) in
   go 0 (max 1 ns)
@@ -135,15 +149,30 @@ let sorted_bindings ?label tbl f =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let counter_list ?label () = sorted_bindings ?label counters (fun r -> !r)
+let gauge_list ?label () = sorted_bindings ?label gauges (fun r -> !r)
 let histogram_list ?label () = sorted_bindings ?label histograms snapshot
 
 let labels () =
   let add tbl acc = Hashtbl.fold (fun (l, _) _ acc -> l :: acc) tbl acc in
-  List.sort_uniq String.compare (add counters (add histograms []))
+  List.sort_uniq String.compare (add counters (add gauges (add histograms [])))
 
-let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset histograms
+let reset ?label () =
+  match label with
+  | None ->
+    Hashtbl.reset counters;
+    Hashtbl.reset gauges;
+    Hashtbl.reset histograms
+  | Some want ->
+    let drop tbl =
+      let keys =
+        Hashtbl.fold (fun ((l, _) as k) _ acc -> if String.equal l want then k :: acc else acc)
+          tbl []
+      in
+      List.iter (Hashtbl.remove tbl) keys
+    in
+    drop counters;
+    drop gauges;
+    drop histograms
 
 let ms ns = float_of_int ns /. 1e6
 
@@ -153,6 +182,13 @@ let report ?label () =
   let cs = counter_list ?label () in
   if cs = [] then Buffer.add_string buf "  (none)\n";
   List.iter (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %d\n" name v)) cs;
+  (let gs = gauge_list ?label () in
+   if gs <> [] then begin
+     Buffer.add_string buf "gauges:\n";
+     List.iter
+       (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %d\n" name v))
+       gs
+   end);
   Buffer.add_string buf "latency histograms (ms):\n";
   let hs = histogram_list ?label () in
   if hs = [] then Buffer.add_string buf "  (none)\n";
@@ -207,6 +243,20 @@ let prometheus ?label () =
           })
       (group_by_name ?label counters)
   in
+  let gauge_metrics =
+    List.map
+      (fun (name, series) ->
+        P.Gauge
+          {
+            m_name = Printf.sprintf "%s_%s" prom_prefix (P.sanitize_name name);
+            m_help = Printf.sprintf "Gauge %s" name;
+            m_series =
+              List.map
+                (fun (l, r) -> { P.s_labels = store_labels l; s_value = float_of_int !r })
+                series;
+          })
+      (group_by_name ?label gauges)
+  in
   let histogram_metrics =
     List.map
       (fun (name, series) ->
@@ -236,4 +286,4 @@ let prometheus ?label () =
           })
       (group_by_name ?label histograms)
   in
-  P.render (counter_metrics @ histogram_metrics)
+  P.render (counter_metrics @ gauge_metrics @ histogram_metrics)

@@ -37,6 +37,10 @@ val timed : string -> (unit -> 'a) -> 'a
 (** Run the thunk, record its duration under the given name (even when it
     raises), and return its result. *)
 
+val set_gauge : string -> int -> unit
+(** Set a named gauge (last write wins) under the ambient label —
+    instantaneous values like resident bytes, not monotonic counts. *)
+
 (** {1 Reading} *)
 
 val counter : ?label:string -> string -> int
@@ -57,10 +61,17 @@ val bucket_of_ns : int -> int
 (** Histogram bucket index: samples in [[2^i, 2^(i+1))] ns land in bucket
     [i] (clamped to the top bucket). Exposed for the property tests. *)
 
+val gauge : ?label:string -> string -> int
+(** Current value of a gauge (0 when never set). [label] defaults to the
+    ambient label. *)
+
 val counter_list : ?label:string -> unit -> (string * int) list
 (** Counters sorted by name. Without [label], every series is listed
     under a qualified name ([name{store="label"}] for labelled series);
     with [label], only that label's series under their bare names. *)
+
+val gauge_list : ?label:string -> unit -> (string * int) list
+(** Gauges, same label handling as {!counter_list}. *)
 
 val histogram_list : ?label:string -> unit -> (string * histogram_snapshot) list
 (** Histograms, same label handling as {!counter_list}. *)
@@ -71,9 +82,13 @@ val report : ?label:string -> unit -> string
 
 val prometheus : ?label:string -> unit -> string
 (** Prometheus text exposition: counters as [xmlstore_<name>_total],
-    histograms as [xmlstore_<name>_seconds] with log2-ns boundaries in
-    seconds; non-empty labels become a [store="..."] series label.
-    Without [label], every store's series share the exposition. *)
+    gauges as [xmlstore_<name>], histograms as [xmlstore_<name>_seconds]
+    with log2-ns boundaries in seconds; non-empty labels become a
+    [store="..."] series label. Without [label], every store's series
+    share the exposition. *)
 
-val reset : unit -> unit
-(** Drop every counter and histogram (test isolation, benchmarks). *)
+val reset : ?label:string -> unit -> unit
+(** Drop counters, gauges, and histograms. Without [label], the whole
+    registry (test isolation, benchmarks); with [label], only that
+    label's series — a store can clear its own slice without disturbing
+    a neighbour's. *)

@@ -354,11 +354,16 @@ let end_bulk t =
           (fun ix ->
             let keys, posts =
               match int_key_groups t ix ~base ~added with
-              | Some groups -> groups
+              | Some groups ->
+                Metrics.incr "db.bulk.group_int";
+                groups
               | None -> (
                 match text_key_groups t ix ~base ~added with
-                | Some groups -> groups
+                | Some groups ->
+                  Metrics.incr "db.bulk.group_text";
+                  groups
                 | None ->
+                  Metrics.incr "db.bulk.group_hash";
                   sorted_key_groups (fun f ->
                       for rowid = base to base + added - 1 do
                         f (key_of_row ix (Vec.get t.rows rowid)) rowid

@@ -174,10 +174,22 @@ let flush t =
 
 let sync t =
   flush t;
-  Unix.fsync t.fd;
+  (* fsync latency is the dominant durability cost; its histogram shares
+     the counter's name (distinct Prometheus suffixes keep them apart). *)
+  Metrics.timed "db.wal.fsync" (fun () -> Unix.fsync t.fd);
   Metrics.incr "db.wal.fsync"
 
+let record_kind = function
+  | Begin _ -> "begin"
+  | Commit _ -> "commit"
+  | Abort _ -> "abort"
+  | Insert _ -> "insert"
+  | Delete _ -> "delete"
+  | Update _ -> "update"
+  | Create_table _ | Drop_table _ | Create_index _ | Drop_index _ -> "ddl"
+
 let append t record =
+  Metrics.timed "db.wal.append" @@ fun () ->
   let lsn = t.next_lsn in
   t.next_lsn <- lsn + 1;
   let payload = Buffer.create 64 in
@@ -188,6 +200,7 @@ let append t record =
   Codec.add_u32 t.staged (Codec.crc32 payload);
   Buffer.add_string t.staged payload;
   Metrics.incr "db.wal.append";
+  Metrics.incr ("db.wal.records." ^ record_kind record);
   Metrics.incr ~by:(String.length payload + 8) "db.wal.bytes";
   if Buffer.length t.staged >= flush_threshold then flush t;
   lsn
@@ -257,5 +270,10 @@ let scan path =
         end
       end
     done;
+    if !pos < n then begin
+      (* a torn or corrupt tail: bytes past the valid prefix are lost *)
+      Metrics.incr "db.wal.torn_tail";
+      Metrics.incr ~by:(n - !pos) "db.wal.torn_bytes"
+    end;
     { sc_records = List.rev !records; sc_valid_bytes = !pos; sc_total_bytes = n }
   end

@@ -1,0 +1,215 @@
+(* HTTP/1.1 request parsing and response rendering — the narrow slice
+   the observability server needs. One request per connection, GET
+   only in practice (the server rejects other verbs itself), no body
+   handling.
+
+   Parsing reads from an abstract feed function one byte at a time and
+   accumulates the header section until the blank line, so a malicious
+   or broken peer can never make us buffer more than the hard limits
+   below. Every malformed input becomes a typed [error]; exceptions
+   other than the socket-timeout family propagate (there are none in
+   this code path by construction). *)
+
+type request = {
+  meth : string;
+  target : string;
+  path : string;
+  query : (string * string) list;
+  version : string;
+  headers : (string * string) list;
+}
+
+type error =
+  | Bad_request of string
+  | Too_large of string
+  | Timeout
+  | Closed
+
+let max_request_line = 8 * 1024
+let max_header_count = 128
+let max_header_bytes = 64 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Reading the header block *)
+
+exception Fail of error
+
+let is_timeout = function
+  | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT -> true
+  | _ -> false
+
+(* Accumulate bytes until the header-terminating blank line. Accepts
+   both CRLF and bare-LF line endings. *)
+let read_head feed =
+  let buf = Buffer.create 256 in
+  let one = Bytes.create 1 in
+  let fst_line_done = ref false in
+  let blank = ref false in
+  (try
+     while not !blank do
+       let n = try feed one 0 1 with Unix.Unix_error (e, _, _) when is_timeout e -> raise (Fail Timeout) in
+       if n = 0 then raise (Fail Closed);
+       Buffer.add_char buf (Bytes.get one 0);
+       let len = Buffer.length buf in
+       if (not !fst_line_done) && Bytes.get one 0 = '\n' then fst_line_done := true;
+       if (not !fst_line_done) && len > max_request_line then
+         raise (Fail (Too_large "request line too long"));
+       if len > max_header_bytes then raise (Fail (Too_large "header section too large"));
+       if Bytes.get one 0 = '\n' then begin
+         (* blank line = "\n" or "\r\n" directly after the previous newline *)
+         let s = Buffer.contents buf in
+         let l = String.length s in
+         if l >= 2 && s.[l - 2] = '\n' then blank := true
+         else if l >= 3 && s.[l - 2] = '\r' && s.[l - 3] = '\n' then blank := true
+         else if l = 1 || (l = 2 && s.[0] = '\r') then blank := true
+       end
+     done;
+     Ok (Buffer.contents buf)
+   with Fail e -> Error e)
+
+let split_lines s =
+  (* split on '\n', dropping a trailing '\r' per line and the final
+     empty line from the blank terminator *)
+  String.split_on_char '\n' s
+  |> List.map (fun l ->
+         let n = String.length l in
+         if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+  |> List.filter (fun l -> l <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Request line and headers *)
+
+let hexval c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+let pct_decode s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n && hexval s.[!i + 1] >= 0 && hexval s.[!i + 2] >= 0 ->
+      Buffer.add_char b (Char.chr ((hexval s.[!i + 1] * 16) + hexval s.[!i + 2]));
+      i := !i + 2
+    | '+' -> Buffer.add_char b ' '
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let parse_query q =
+  String.split_on_char '&' q
+  |> List.filter_map (fun kv ->
+         if kv = "" then None
+         else
+           match String.index_opt kv '=' with
+           | None -> Some (pct_decode kv, "")
+           | Some i ->
+             Some
+               ( pct_decode (String.sub kv 0 i),
+                 pct_decode (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+
+let parse_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+    ( String.sub target 0 i,
+      parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+
+let token_ok s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '!' | '#' | '$' | '%' | '&' | '\'' | '*'
+         | '+' | '-' | '.' | '^' | '_' | '`' | '|' | '~' ->
+           true
+         | _ -> false)
+       s
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ]
+    when token_ok meth
+         && target <> ""
+         && (String.equal version "HTTP/1.1" || String.equal version "HTTP/1.0") ->
+    let path, query = parse_target target in
+    Ok (meth, target, path, query, version)
+  | _ -> Error (Bad_request (Printf.sprintf "malformed request line %S" line))
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None | Some 0 -> Error (Bad_request (Printf.sprintf "malformed header %S" line))
+  | Some i ->
+    let name = String.lowercase_ascii (String.sub line 0 i) in
+    if not (token_ok name) then Error (Bad_request (Printf.sprintf "malformed header name %S" name))
+    else
+      let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+      Ok (name, value)
+
+let parse_request feed =
+  match read_head feed with
+  | Error e -> Error e
+  | Ok head -> (
+    match split_lines head with
+    | [] -> Error (Bad_request "empty request")
+    | first :: header_lines -> (
+      if List.length header_lines > max_header_count then
+        Error (Too_large "too many headers")
+      else
+        match parse_request_line first with
+        | Error e -> Error e
+        | Ok (meth, target, path, query, version) ->
+          let rec headers acc = function
+            | [] -> Ok (List.rev acc)
+            | l :: rest -> (
+              match parse_header l with Error e -> Error e | Ok h -> headers (h :: acc) rest)
+          in
+          (match headers [] header_lines with
+          | Error e -> Error e
+          | Ok headers -> Ok { meth; target; path; query; version; headers })))
+
+let parse_string s =
+  let pos = ref 0 in
+  let feed buf off len =
+    let n = min len (String.length s - !pos) in
+    if n > 0 then begin
+      Bytes.blit_string s !pos buf off n;
+      pos := !pos + n
+    end;
+    n
+  in
+  parse_request feed
+
+let query_param r name = List.assoc_opt name r.query
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+type response = { status : int; content_type : string; body : string }
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let response_of_error = function
+  | Bad_request msg -> Some { status = 400; content_type = "text/plain"; body = msg ^ "\n" }
+  | Too_large msg -> Some { status = 431; content_type = "text/plain"; body = msg ^ "\n" }
+  | Timeout -> Some { status = 408; content_type = "text/plain"; body = "request timeout\n" }
+  | Closed -> None
+
+let render { status; content_type; body } =
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status (reason status) content_type (String.length body) body

@@ -1,0 +1,60 @@
+(** Minimal HTTP/1.1 request parsing and response rendering for the
+    embedded observability server. Stdlib-only; no keep-alive, no
+    chunked bodies — every exchange is one request, one response,
+    connection closed.
+
+    The parser is deliberately paranoid: hard limits on the request
+    line, header count, and total header bytes, and every malformed
+    input maps onto a typed error (rendered as a 4xx) rather than an
+    exception. The fuzz tests feed it truncated lines, oversized
+    headers, and pipelined junk and assert exactly that. *)
+
+type request = {
+  meth : string;  (** verb as sent, e.g. "GET" *)
+  target : string;  (** raw request target, e.g. "/slowlog?limit=5" *)
+  path : string;  (** target up to the first '?' *)
+  query : (string * string) list;  (** decoded k=v pairs after '?' *)
+  version : string;  (** "HTTP/1.0" or "HTTP/1.1" *)
+  headers : (string * string) list;  (** names lowercased, in order *)
+}
+
+type error =
+  | Bad_request of string  (** malformed syntax: render as 400 *)
+  | Too_large of string  (** a limit tripped: render as 431 *)
+  | Timeout  (** the peer stalled: render as 408 *)
+  | Closed  (** EOF before a full request: no response possible *)
+
+val max_request_line : int
+(** Longest accepted request line, bytes (8 KiB). *)
+
+val max_header_count : int
+(** Most headers accepted in one request (128). *)
+
+val max_header_bytes : int
+(** Total header-section byte budget (64 KiB). *)
+
+val parse_request : (bytes -> int -> int -> int) -> (request, error) result
+(** Parse one request from a [read buf off len -> n] feed function
+    (returning 0 signals EOF; raising [Unix.Unix_error (EAGAIN | …)]
+    after a socket timeout maps to [Timeout]). Reads byte-at-a-time up
+    to the blank line; request bodies are not consumed (the server only
+    answers bodyless GETs). *)
+
+val parse_string : string -> (request, error) result
+(** [parse_request] over an in-memory string (tests, fuzzing). Trailing
+    bytes past the first request are ignored, like a closed pipeline. *)
+
+val query_param : request -> string -> string option
+(** First value of a query parameter, if present. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val response_of_error : error -> response option
+(** The 4xx a parse error maps to; [None] for [Closed]. *)
+
+val render : response -> string
+(** Serialize status line, minimal headers (content type, length,
+    [Connection: close]), and body. *)
+
+val reason : int -> string
+(** Reason phrase for the status codes the server emits. *)

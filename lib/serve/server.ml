@@ -1,0 +1,123 @@
+(* Blocking accept-loop HTTP server. Single-threaded on purpose: the
+   handlers render in-memory state (metrics, traces, slow log) in
+   microseconds, so one connection at a time with a kernel accept
+   backlog is plenty, and it keeps the store's single-threaded
+   invariants without locks. SO_RCVTIMEO/SO_SNDTIMEO bound a stalled
+   peer; a parse error answers a clean 4xx; a handler exception
+   answers 500 rather than killing the loop. *)
+
+type handler = Http.request -> Http.response
+
+type t = {
+  sock : Unix.file_descr;
+  bound_port : int;
+  handler : handler;
+  mutable running : bool;
+}
+
+let io_timeout = 5.0 (* seconds a peer may stall a read or write *)
+
+let create ?(host = "127.0.0.1") ?(port = 0) handler =
+  let addr = Unix.inet_addr_of_string host in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (addr, port));
+     Unix.listen sock 16
+   with e ->
+     Unix.close sock;
+     raise e);
+  let bound_port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
+  in
+  { sock; bound_port; handler; running = true }
+
+let port t = t.bound_port
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let serve_conn t conn =
+  (try
+     Unix.setsockopt_float conn Unix.SO_RCVTIMEO io_timeout;
+     Unix.setsockopt_float conn Unix.SO_SNDTIMEO io_timeout
+   with Unix.Unix_error _ -> ());
+  let response =
+    match Http.parse_request (Unix.read conn) with
+    | Error e -> Http.response_of_error e
+    | Ok req -> (
+      match t.handler req with
+      | resp -> Some resp
+      | exception _ ->
+        Some { Http.status = 500; content_type = "text/plain"; body = "internal error\n" })
+  in
+  (match response with
+  | None -> ()
+  | Some resp -> ( try write_all conn (Http.render resp) with Unix.Unix_error _ -> ()));
+  (try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  Unix.close conn
+
+let handle_one t =
+  if not t.running then false
+  else
+    match Unix.accept t.sock with
+    | conn, _ ->
+      serve_conn t conn;
+      true
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+      (* stop closed the listener under us *)
+      t.running <- false;
+      false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> t.running
+
+let run t = while handle_one t do () done
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Client (tests, health checks) *)
+
+let get ?(host = "127.0.0.1") ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      Unix.setsockopt_float sock Unix.SO_RCVTIMEO io_timeout;
+      Unix.setsockopt_float sock Unix.SO_SNDTIMEO io_timeout;
+      write_all sock
+        (Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n" path host
+           port);
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let eof = ref false in
+      while not !eof do
+        let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if n = 0 then eof := true else Buffer.add_subbytes buf chunk 0 n
+      done;
+      let raw = Buffer.contents buf in
+      (* split status line + headers from the body at the blank line *)
+      let header_end =
+        let rec find i =
+          if i + 3 < String.length raw then
+            if String.sub raw i 4 = "\r\n\r\n" then i + 4
+            else if raw.[i] = '\n' && raw.[i + 1] = '\n' then i + 2
+            else find (i + 1)
+          else failwith "malformed HTTP response: no header terminator"
+        in
+        find 0
+      in
+      let status =
+        match String.split_on_char ' ' (String.sub raw 0 (String.index raw '\r')) with
+        | _ :: code :: _ -> int_of_string code
+        | _ -> failwith "malformed HTTP status line"
+      in
+      (status, String.sub raw header_end (String.length raw - header_end)))

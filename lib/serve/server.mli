@@ -1,0 +1,40 @@
+(** Blocking single-threaded HTTP server over stdlib [Unix] sockets:
+    the embedded observability endpoint. One connection at a time, one
+    request per connection — the handler answers [/metrics]-style reads
+    in microseconds, so an accept queue is all the concurrency needed.
+
+    The listener binds eagerly in {!create} (so an ephemeral port is
+    known before {!run}), and {!run} loops accept → parse → handle →
+    close until {!stop} or thread/process exit. Per-connection receive
+    and send timeouts bound how long a stalled peer can hold the
+    loop. *)
+
+type handler = Http.request -> Http.response
+
+type t
+
+val create : ?host:string -> ?port:int -> handler -> t
+(** Bind a listening socket ([host] defaults to "127.0.0.1", [port] to
+    0 = ephemeral) and return the server. Raises [Unix.Unix_error] if
+    the bind fails. *)
+
+val port : t -> int
+(** The bound port (useful after an ephemeral bind). *)
+
+val handle_one : t -> bool
+(** Accept and serve exactly one connection; [false] once the server
+    has been stopped. Handler exceptions are caught and answered with
+    a 500. *)
+
+val run : t -> unit
+(** Serve connections until {!stop} closes the listener. *)
+
+val stop : t -> unit
+(** Close the listening socket; a blocked accept returns and {!run}
+    exits. Idempotent. *)
+
+val get : ?host:string -> port:int -> string -> int * string
+(** Minimal blocking HTTP client for tests and health checks:
+    [get ~port "/metrics"] connects, sends one GET, and returns
+    (status code, body). Raises on connection failure or a malformed
+    response. *)

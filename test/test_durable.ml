@@ -563,6 +563,179 @@ let test_store_full_wal_recovers_b () =
   Store.close reopened;
   rm_rf dir
 
+(* ------------------------------------------------------------------ *)
+(* Recovery and checkpoint telemetry: the counters published under the
+   default label must agree with the recovery report, and the span tree
+   around a recovering open must be well nested with the redo/undo
+   passes under the recovery root. *)
+
+module Metrics = Relstore.Metrics
+module Trace = Obskit.Trace
+
+let with_tracing f =
+  Trace.set_sampling Trace.Always;
+  Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_sampling Trace.Off;
+      Trace.clear ())
+    f
+
+let test_recovery_telemetry () =
+  let dir = fresh_dir () in
+  let db = Db.open_durable dir in
+  ignore (Db.exec db "CREATE TABLE t (i INTEGER)");
+  Db.with_session db (fun s ->
+      for i = 0 to 9 do
+        Db.session_insert s "t" [| Value.Int i |]
+      done);
+  (* a checkpoint so recovery has a page image to load... *)
+  Db.checkpoint db;
+  (* ...then committed work past it, so the redo pass has records... *)
+  Db.with_session db (fun s ->
+      for i = 10 to 19 do
+        Db.session_insert s "t" [| Value.Int i |]
+      done);
+  (* ...and a loser on top: records synced to disk, Commit never written *)
+  let s = Db.load_session db in
+  for i = 100 to 120 do
+    Db.session_insert s "t" [| Value.Int i |]
+  done;
+  Db.wal_sync db;
+  Db.abandon db;
+  Metrics.reset ();
+  with_tracing @@ fun () ->
+  let db2 = Db.open_durable dir in
+  let r =
+    match Db.last_recovery db2 with
+    | Some r -> r
+    | None -> Alcotest.fail "expected a recovery report"
+  in
+  check_bool "redo happened" true (r.Db.rc_redone > 0);
+  check_int "one loser" 1 r.Db.rc_losers;
+  check_bool "loser rows undone" true (r.Db.rc_undone > 0);
+  (* counters under the default label mirror the report exactly *)
+  check_int "redo_records counter" r.Db.rc_redone
+    (Metrics.counter ~label:"" "db.recovery.redo_records");
+  check_int "losers counter" r.Db.rc_losers (Metrics.counter ~label:"" "db.recovery.losers");
+  check_int "undone_rows counter" r.Db.rc_undone
+    (Metrics.counter ~label:"" "db.recovery.undone_rows");
+  check_int "torn_bytes counter" r.Db.rc_torn_bytes
+    (Metrics.counter ~label:"" "db.recovery.torn_bytes");
+  (* each recovery phase timed exactly once *)
+  let histos = Metrics.histogram_list ~label:"" () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name histos with
+      | Some h -> check_int (name ^ " observed once") 1 h.Metrics.hs_count
+      | None -> Alcotest.failf "missing %s histogram" name)
+    [ "db.recovery"; "db.recovery.image"; "db.recovery.redo"; "db.recovery.undo" ];
+  (* the span tree: open_durable > {recovery.image, db.recovery > {redo, undo}} *)
+  let spans = Trace.spans () in
+  (match Obskit.Export.check_well_nested spans with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let find name =
+    match List.find_opt (fun sp -> sp.Trace.name = name) spans with
+    | Some sp -> sp
+    | None -> Alcotest.failf "missing %s span" name
+  in
+  let root = find "db.open_durable" in
+  let image = find "recovery.image" in
+  let recovery = find "db.recovery" in
+  let redo = find "recovery.redo" in
+  let undo = find "recovery.undo" in
+  check_bool "root is a root" true (root.Trace.parent_id = None);
+  check_bool "image under open" true (image.Trace.parent_id = Some root.Trace.span_id);
+  check_bool "recovery under open" true (recovery.Trace.parent_id = Some root.Trace.span_id);
+  check_bool "redo under recovery" true (redo.Trace.parent_id = Some recovery.Trace.span_id);
+  check_bool "undo under recovery" true (undo.Trace.parent_id = Some recovery.Trace.span_id);
+  (* the redo span carries the record count it replayed *)
+  check_bool "redo attr" true
+    (match List.assoc_opt "records" redo.Trace.attrs with
+    | Some n -> int_of_string n > 0
+    | None -> false);
+  check_bool "undo attr" true
+    (List.assoc_opt "losers" undo.Trace.attrs = Some "1");
+  Db.close db2;
+  rm_rf dir
+
+let test_checkpoint_telemetry () =
+  let dir = fresh_dir () in
+  let db = Db.open_durable dir in
+  ignore (Db.exec db "CREATE TABLE t (i INTEGER)");
+  Db.with_session db (fun s ->
+      for i = 0 to 99 do
+        Db.session_insert s "t" [| Value.Int i |]
+      done);
+  Metrics.reset ();
+  with_tracing @@ fun () ->
+  Db.checkpoint db;
+  check_int "checkpoint counted" 1 (Metrics.counter ~label:"" "db.checkpoint");
+  check_bool "pages written" true (Metrics.counter ~label:"" "db.page.checkpoint_pages" > 0);
+  let histos = Metrics.histogram_list ~label:"" () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name histos with
+      | Some h -> check_int (name ^ " observed once") 1 h.Metrics.hs_count
+      | None -> Alcotest.failf "missing %s histogram" name)
+    [ "db.checkpoint.pages"; "db.checkpoint.flip"; "db.checkpoint.truncate" ];
+  (* the three phase spans sit under the db.checkpoint root, in order *)
+  let spans = Trace.spans () in
+  (match Obskit.Export.check_well_nested spans with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let find name =
+    match List.find_opt (fun sp -> sp.Trace.name = name) spans with
+    | Some sp -> sp
+    | None -> Alcotest.failf "missing %s span" name
+  in
+  let root = find "db.checkpoint" in
+  let pages = find "checkpoint.pages" in
+  let flip = find "checkpoint.flip" in
+  let truncate = find "checkpoint.truncate" in
+  List.iter
+    (fun (what, sp) ->
+      check_bool (what ^ " under checkpoint") true
+        (sp.Trace.parent_id = Some root.Trace.span_id))
+    [ ("pages", pages); ("flip", flip); ("truncate", truncate) ];
+  check_bool "pages before flip" true (pages.Trace.start_ns <= flip.Trace.start_ns);
+  check_bool "flip before truncate" true (flip.Trace.start_ns <= truncate.Trace.start_ns);
+  check_bool "pages attr" true
+    (match List.assoc_opt "pages" pages.Trace.attrs with
+    | Some n -> int_of_string n > 0
+    | None -> false);
+  Db.close db;
+  rm_rf dir
+
+let test_wal_telemetry () =
+  let dir = fresh_dir () in
+  Metrics.reset ();
+  let db = Db.open_durable dir in
+  ignore (Db.exec db "CREATE TABLE t (i INTEGER)");
+  Db.with_session db (fun s -> Db.session_insert s "t" [| Value.Int 1 |]);
+  check_bool "appends counted" true (Metrics.counter ~label:"" "db.wal.append" > 0);
+  check_bool "fsyncs counted" true (Metrics.counter ~label:"" "db.wal.fsync" > 0);
+  check_bool "insert records tallied by kind" true
+    (Metrics.counter ~label:"" "db.wal.records.insert" >= 1);
+  check_int "commit records tallied" 1 (Metrics.counter ~label:"" "db.wal.records.commit");
+  let histos = Metrics.histogram_list ~label:"" () in
+  check_bool "append latency histogram" true (List.mem_assoc "db.wal.append" histos);
+  check_bool "fsync latency histogram" true (List.mem_assoc "db.wal.fsync" histos);
+  (* tear the tail: the reopening scan counts what it cut *)
+  Db.abandon db;
+  let wal = Filename.concat dir "wal.log" in
+  let size = (Unix.stat wal).Unix.st_size in
+  let fd = Unix.openfile wal [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (size - 3);
+  Unix.close fd;
+  Metrics.reset ();
+  let db2 = Db.open_durable dir in
+  check_int "torn tail detected" 1 (Metrics.counter ~label:"" "db.wal.torn_tail");
+  check_bool "torn bytes counted" true (Metrics.counter ~label:"" "db.wal.torn_bytes" > 0);
+  Db.close db2;
+  rm_rf dir
+
 (* Q1-Q12 byte-equality through save/load across every scheme. *)
 let test_saved_workload_all_schemes () =
   let doc = Xmlwork.Auction.generate ~params:small () in
@@ -641,5 +814,11 @@ let () =
             test_store_full_wal_recovers_b;
           Alcotest.test_case "saved workload across schemes" `Slow
             test_saved_workload_all_schemes;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "recovery counters and spans" `Quick test_recovery_telemetry;
+          Alcotest.test_case "checkpoint phases" `Quick test_checkpoint_telemetry;
+          Alcotest.test_case "wal counters" `Quick test_wal_telemetry;
         ] );
     ]

@@ -85,6 +85,57 @@ let test_metrics_labels () =
     (List.mem "shared.count" all && List.mem "shared.count{store=\"a\"}" all);
   Metrics.reset ()
 
+let test_gauges () =
+  Metrics.reset ();
+  check_int "unset gauge reads 0" 0 (Metrics.gauge "pool.resident");
+  Metrics.set_gauge "pool.resident" 4096;
+  Metrics.set_gauge "pool.resident" 8192;
+  check_int "last write wins" 8192 (Metrics.gauge "pool.resident");
+  Metrics.with_label "g" (fun () -> Metrics.set_gauge "pool.resident" 17);
+  check_int "labelled gauge separate" 17 (Metrics.gauge ~label:"g" "pool.resident");
+  (match Metrics.gauge_list ~label:"" () with
+  | [ ("pool.resident", 8192) ] -> ()
+  | l -> Alcotest.failf "unexpected gauge listing (%d entries)" (List.length l));
+  let all = List.map fst (Metrics.gauge_list ()) in
+  check_bool "qualified gauge names" true
+    (List.mem "pool.resident" all && List.mem "pool.resident{store=\"g\"}" all);
+  (* gauges render as TYPE gauge and the exposition still lints *)
+  let exposition = Metrics.prometheus () in
+  check_bool "gauge typed" true
+    (let needle = "# TYPE xmlstore_pool_resident gauge" in
+     let n = String.length needle in
+     let rec find i =
+       i + n <= String.length exposition
+       && (String.sub exposition i n = needle || find (i + 1))
+     in
+     find 0);
+  (match Prom.lint exposition with
+  | Ok () -> ()
+  | Error problems -> Alcotest.fail (String.concat "; " problems));
+  Metrics.reset ()
+
+let test_scoped_reset () =
+  Metrics.reset ();
+  Metrics.incr "kept.count";
+  Metrics.set_gauge "kept.gauge" 5;
+  Metrics.observe_ns "kept.latency" 100;
+  Metrics.with_label "victim" (fun () ->
+      Metrics.incr "gone.count";
+      Metrics.set_gauge "gone.gauge" 9;
+      Metrics.observe_ns "gone.latency" 100);
+  Metrics.reset ~label:"victim" ();
+  check_int "victim counter dropped" 0 (Metrics.counter ~label:"victim" "gone.count");
+  check_int "victim gauge dropped" 0 (Metrics.gauge ~label:"victim" "gone.gauge");
+  check_int "victim histograms dropped" 0
+    (List.length (Metrics.histogram_list ~label:"victim" ()));
+  check_bool "victim label gone" true (not (List.mem "victim" (Metrics.labels ())));
+  check_int "default counter survives" 1 (Metrics.counter ~label:"" "kept.count");
+  check_int "default gauge survives" 5 (Metrics.gauge ~label:"" "kept.gauge");
+  check_int "default histogram survives" 1
+    (List.length (Metrics.histogram_list ~label:"" ()));
+  Metrics.reset ();
+  check_bool "full reset empties registry" true (Metrics.labels () = [])
+
 let test_store_label_separation () =
   Metrics.reset ();
   let s1 = Store.create ~metrics_label:"one" "edge" in
@@ -301,6 +352,40 @@ let test_slow_log () =
   Store.clear_slow_log store;
   check_int "cleared" 0 (List.length (Store.slow_log store))
 
+let test_slow_log_capacity () =
+  let store = Store.create "edge" in
+  let doc = Store.add_string store doc_src in
+  check_int "default capacity" 32 (Store.slow_log_capacity store);
+  Store.set_slow_threshold store (Some 0.0);
+  for _ = 1 to 6 do
+    ignore (Store.query store doc "/site/people/person/name")
+  done;
+  check_int "six retained" 6 (List.length (Store.slow_log store));
+  (* shrinking evicts the oldest immediately *)
+  Store.set_slow_log_capacity store 2;
+  check_int "shrink evicts" 2 (List.length (Store.slow_log store));
+  check_int "capacity accessor" 2 (Store.slow_log_capacity store);
+  (* the bound holds for new entries *)
+  for _ = 1 to 5 do
+    ignore (Store.query store doc "/site/people/person/name")
+  done;
+  check_int "bound honoured" 2 (List.length (Store.slow_log store));
+  (* zero retains nothing, even with the threshold armed *)
+  Store.set_slow_log_capacity store 0;
+  check_int "zero empties" 0 (List.length (Store.slow_log store));
+  ignore (Store.query store doc "/site/people/person/name");
+  check_int "zero retains nothing" 0 (List.length (Store.slow_log store));
+  (* negative is refused *)
+  (match Store.set_slow_log_capacity store (-1) with
+  | () -> Alcotest.fail "negative capacity accepted"
+  | exception Store.Store_error _ -> ());
+  (* growing again resumes retention *)
+  Store.set_slow_log_capacity store 4;
+  for _ = 1 to 6 do
+    ignore (Store.query store doc "/site/people/person/name")
+  done;
+  check_int "regrown bound" 4 (List.length (Store.slow_log store))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -313,6 +398,8 @@ let () =
           QCheck_alcotest.to_alcotest bucket_boundaries_prop;
           QCheck_alcotest.to_alcotest percentile_monotone_prop;
           Alcotest.test_case "ambient labels" `Quick test_metrics_labels;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "scoped reset" `Quick test_scoped_reset;
           Alcotest.test_case "per-store separation" `Quick test_store_label_separation;
         ] );
       ( "trace",
@@ -329,5 +416,9 @@ let () =
           Alcotest.test_case "exposition lints" `Quick test_prometheus_lints;
           Alcotest.test_case "lint catches garbage" `Quick test_prom_lint_catches_garbage;
         ] );
-      ( "slowlog", [ Alcotest.test_case "capture and bounds" `Quick test_slow_log ] );
+      ( "slowlog",
+        [
+          Alcotest.test_case "capture and bounds" `Quick test_slow_log;
+          Alcotest.test_case "capacity control" `Quick test_slow_log_capacity;
+        ] );
     ]

@@ -1,0 +1,277 @@
+(* Tests for the embedded observability server: HTTP parser unit and
+   fuzz coverage (malformed input must map onto typed 4xx errors, never
+   an exception), plus an end-to-end fork test that serves a live store
+   on an ephemeral port and scrapes every endpoint over a real socket. *)
+
+module Http = Servekit.Http
+module Server = Servekit.Server
+module Store = Xmlstore.Store
+module Metrics = Relstore.Metrics
+module Prom = Obskit.Prom
+module Json = Obskit.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let doc_src =
+  "<site><people><person id=\"p1\"><name>Ada</name></person><person id=\"p2\">\
+   <name>Grace</name></person></people><regions><africa><item id=\"i1\">\
+   <name>Lamp</name></item></africa></regions></site>"
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length haystack && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Parser: well-formed requests *)
+
+let test_parse_ok () =
+  match Http.parse_string "GET /slowlog?limit=5&x=a%20b HTTP/1.1\r\nHost: h\r\nX-Y: z\r\n\r\n" with
+  | Error _ -> Alcotest.fail "well-formed request rejected"
+  | Ok r ->
+    check_string "method" "GET" r.Http.meth;
+    check_string "path" "/slowlog" r.Http.path;
+    check_string "version" "HTTP/1.1" r.Http.version;
+    check_bool "limit param" true (Http.query_param r "limit" = Some "5");
+    check_bool "pct-decoded param" true (Http.query_param r "x" = Some "a b");
+    check_bool "absent param" true (Http.query_param r "nope" = None);
+    check_bool "headers lowercased" true
+      (List.assoc_opt "host" r.Http.headers = Some "h"
+      && List.assoc_opt "x-y" r.Http.headers = Some "z")
+
+let test_parse_bare_lf () =
+  (* bare-LF line endings are tolerated *)
+  match Http.parse_string "GET / HTTP/1.0\nHost: h\n\n" with
+  | Ok r ->
+    check_string "path" "/" r.Http.path;
+    check_string "version" "HTTP/1.0" r.Http.version
+  | Error _ -> Alcotest.fail "bare-LF request rejected"
+
+let test_parse_errors () =
+  let bad s =
+    match Http.parse_string s with
+    | Ok _ -> Alcotest.failf "accepted malformed request %S" s
+    | Error e -> (
+      match Http.response_of_error e with
+      | Some r when r.Http.status >= 400 && r.Http.status < 500 -> ()
+      | Some r -> Alcotest.failf "non-4xx response %d for %S" r.Http.status s
+      | None -> () (* Closed: no response, also clean *))
+  in
+  bad "";
+  bad "GET";
+  bad "GET /";
+  bad "GET / HTTP/2.0\r\n\r\n";
+  bad "GET / JUNK\r\n\r\n";
+  bad " / HTTP/1.1\r\n\r\n";
+  bad "GE T / HTTP/1.1\r\n\r\n";
+  bad "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n";
+  bad "GET / HTTP/1.1\r\n: empty-name\r\n\r\n";
+  bad ("GET /" ^ String.make Http.max_request_line 'a' ^ " HTTP/1.1\r\n\r\n")
+
+let test_parse_limits () =
+  (* header count limit *)
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "GET / HTTP/1.1\r\n";
+  for i = 1 to Http.max_header_count + 1 do
+    Buffer.add_string b (Printf.sprintf "h%d: v\r\n" i)
+  done;
+  Buffer.add_string b "\r\n";
+  (match Http.parse_string (Buffer.contents b) with
+  | Error (Http.Too_large _) -> ()
+  | Ok _ -> Alcotest.fail "header-count limit not enforced"
+  | Error _ -> Alcotest.fail "wrong error for header flood");
+  (* header byte budget *)
+  let big = "GET / HTTP/1.1\r\nbig: " ^ String.make Http.max_header_bytes 'x' ^ "\r\n\r\n" in
+  match Http.parse_string big with
+  | Error (Http.Too_large _) -> ()
+  | Ok _ -> Alcotest.fail "header-byte limit not enforced"
+  | Error _ -> Alcotest.fail "wrong error for oversized header"
+
+let test_render () =
+  let r = Http.render { Http.status = 404; content_type = "text/plain"; body = "gone" } in
+  check_bool "status line" true (contains r "HTTP/1.1 404 Not Found\r\n");
+  check_bool "length" true (contains r "Content-Length: 4\r\n");
+  check_bool "close" true (contains r "Connection: close\r\n");
+  check_bool "body last" true
+    (String.length r >= 4 && String.sub r (String.length r - 4) 4 = "gone")
+
+(* ------------------------------------------------------------------ *)
+(* Parser fuzz: arbitrary byte soup must yield Ok or a typed error,
+   never an exception, and every error must render as a 4xx (or
+   nothing, for Closed). *)
+
+let request_fragment =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.oneofl
+        [
+          "GET"; "POST"; "/"; "/metrics"; "/slowlog?limit=3"; "HTTP/1.1"; "HTTP/1.0";
+          "HTTP/9.9"; " "; "\r\n"; "\n"; "\r"; ":"; "Host: x"; "a:b"; "%"; "%2"; "%zz";
+          "?"; "="; "&"; "+"; "\x00"; "\xff"; "";
+        ];
+      QCheck.Gen.map (fun n -> String.make n 'A') (QCheck.Gen.int_range 0 300);
+      QCheck.Gen.string_size ~gen:(QCheck.Gen.char_range '\x00' '\xff')
+        (QCheck.Gen.int_range 0 40);
+    ]
+
+let request_soup =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "%S" s)
+    QCheck.Gen.(map (String.concat "") (list_size (int_range 0 30) request_fragment))
+
+let parser_total_prop =
+  QCheck.Test.make ~name:"parser is total: Ok or typed 4xx, no exception" ~count:500
+    request_soup
+    (fun soup ->
+      match Http.parse_string soup with
+      | Ok r -> String.length r.Http.meth > 0 && String.length r.Http.path > 0
+      | Error e -> (
+        match Http.response_of_error e with
+        | Some r -> r.Http.status >= 400 && r.Http.status < 500
+        | None -> e = Http.Closed)
+      | exception ex ->
+        QCheck.Test.fail_reportf "parser raised %s on %S" (Printexc.to_string ex) soup)
+
+(* a valid prefix followed by junk still parses: pipelined garbage after
+   the blank line is someone else's problem *)
+let pipelined_junk_prop =
+  QCheck.Test.make ~name:"valid request survives pipelined junk" ~count:200
+    request_soup
+    (fun junk ->
+      match Http.parse_string ("GET /metrics HTTP/1.1\r\nHost: h\r\n\r\n" ^ junk) with
+      | Ok r -> r.Http.path = "/metrics"
+      | Error _ -> QCheck.Test.fail_report "junk after blank line broke the parse")
+
+(* truncating a valid request at any byte never raises *)
+let truncation_prop =
+  QCheck.Test.make ~name:"truncated requests fail cleanly" ~count:200
+    QCheck.(int_range 0 43)
+    (fun n ->
+      let full = "GET /stats?limit=2 HTTP/1.1\r\nHost: hh\r\n\r\n" in
+      let cut = String.sub full 0 (min n (String.length full)) in
+      match Http.parse_string cut with
+      | Ok _ -> n >= String.length full - 1
+      | Error _ -> true
+      | exception ex ->
+        QCheck.Test.fail_reportf "raised %s at cut %d" (Printexc.to_string ex) n)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: serve a live store in a forked child, scrape it *)
+
+let expect_json body =
+  match Json.parse body with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "invalid JSON body: %s (%s)" e body
+
+let test_serve_end_to_end () =
+  Relstore.Metrics.reset ();
+  let store = Store.create ~metrics_label:"srv" "edge" in
+  let doc = Store.add_string store doc_src in
+  Store.set_slow_threshold store (Some 0.0);
+  ignore (Store.query store doc "/site/people/person/name");
+  ignore (Store.query store doc "/site/regions/africa/item/name");
+  let server = Store.serve store in
+  let port = Server.port server in
+  check_bool "ephemeral port bound" true (port > 0);
+  match Unix.fork () with
+  | 0 ->
+    (* child: serve until killed; _exit avoids flushing shared buffers *)
+    (try Server.run server with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        Server.stop server)
+    @@ fun () ->
+    (* /metrics: lint-clean exposition containing the storage catalog *)
+    let status, body = Server.get ~port "/metrics" in
+    check_int "metrics 200" 200 status;
+    (match Prom.lint body with
+    | Ok () -> ()
+    | Error problems -> Alcotest.fail (String.concat "; " problems));
+    List.iter
+      (fun series ->
+        if not (contains body series) then
+          Alcotest.failf "/metrics missing %s" series)
+      [
+        "xmlstore_db_wal_append_total"; "xmlstore_db_checkpoint_total";
+        "xmlstore_db_recovery_redo_records_total"; "xmlstore_buffer_pool_read_total";
+        "xmlstore_db_btree_leaf_split_total"; "xmlstore_store_query_edge_seconds";
+      ];
+    (* /healthz: ok for a live in-memory store *)
+    let status, body = Server.get ~port "/healthz" in
+    check_int "healthz 200" 200 status;
+    (match expect_json body with
+    | Json.Obj fields ->
+      check_bool "ok flag" true (List.assoc_opt "ok" fields = Some (Json.Bool true))
+    | _ -> Alcotest.fail "healthz not an object");
+    (* /slowlog honours ?limit *)
+    let status, body = Server.get ~port "/slowlog?limit=1" in
+    check_int "slowlog 200" 200 status;
+    (match expect_json body with
+    | Json.List entries ->
+      check_int "limit applied" 1 (List.length entries);
+      (match entries with
+      | Json.Obj fields :: _ ->
+        check_bool "entry has xpath" true (List.mem_assoc "xpath" fields);
+        check_bool "entry has gc bytes" true (List.mem_assoc "minor_bytes" fields)
+      | _ -> Alcotest.fail "slowlog entry not an object")
+    | _ -> Alcotest.fail "slowlog not a list");
+    (* /stats reflects the store *)
+    let status, body = Server.get ~port "/stats" in
+    check_int "stats 200" 200 status;
+    (match expect_json body with
+    | Json.Obj fields ->
+      check_bool "scheme" true (List.assoc_opt "scheme" fields = Some (Json.Str "edge"));
+      check_bool "documents" true
+        (List.assoc_opt "documents" fields = Some (Json.Num 1.0))
+    | _ -> Alcotest.fail "stats not an object");
+    (* /traces is valid chrome JSON *)
+    let status, body = Server.get ~port "/traces" in
+    check_int "traces 200" 200 status;
+    (match Obskit.Export.validate_chrome_json body with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "traces: %s" e);
+    (* unknown path and wrong verb *)
+    let status, _ = Server.get ~port "/nope" in
+    check_int "404" 404 status;
+    Relstore.Metrics.reset ()
+
+let test_server_stop_idempotent () =
+  let server = Server.create (fun _ -> { Http.status = 200; content_type = "text/plain"; body = "" }) in
+  check_bool "port bound" true (Server.port server > 0);
+  Server.stop server;
+  Server.stop server;
+  check_bool "handle_one after stop" true (not (Server.handle_one server))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "well-formed request" `Quick test_parse_ok;
+          Alcotest.test_case "bare-LF request" `Quick test_parse_bare_lf;
+          Alcotest.test_case "malformed requests" `Quick test_parse_errors;
+          Alcotest.test_case "limits enforced" `Quick test_parse_limits;
+          Alcotest.test_case "response rendering" `Quick test_render;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest parser_total_prop;
+          QCheck_alcotest.to_alcotest pipelined_junk_prop;
+          QCheck_alcotest.to_alcotest truncation_prop;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "end-to-end scrape" `Quick test_serve_end_to_end;
+          Alcotest.test_case "stop idempotent" `Quick test_server_stop_idempotent;
+        ] );
+    ]
