@@ -57,7 +57,12 @@ exception Durable_error of string
 let err fmt = Printf.ksprintf (fun s -> raise (Durable_error s)) fmt
 
 let magic = 0x4D505258 (* "XRPM" *)
-let version = 1
+
+(* Version 2 added the per-page CRC32 in header bytes [20..23]; version-1
+   files have those bytes zeroed, so reading them under CRC verification
+   would misreport corruption — reject them with the version error
+   instead. *)
+let version = 2
 let header_bytes = 24
 let overflow_marker = 0xFFFF
 

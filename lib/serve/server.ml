@@ -18,6 +18,12 @@ type t = {
 let io_timeout = 5.0 (* seconds a peer may stall a read or write *)
 
 let create ?(host = "127.0.0.1") ?(port = 0) handler =
+  (* A peer that resets or closes before reading the response would
+     otherwise deliver SIGPIPE on write, whose default action kills the
+     whole host process; ignoring it turns the write into a catchable
+     EPIPE Unix_error. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let addr = Unix.inet_addr_of_string host in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
@@ -42,24 +48,32 @@ let write_all fd s =
   done
 
 let serve_conn t conn =
-  (try
-     Unix.setsockopt_float conn Unix.SO_RCVTIMEO io_timeout;
-     Unix.setsockopt_float conn Unix.SO_SNDTIMEO io_timeout
-   with Unix.Unix_error _ -> ());
-  let response =
-    match Http.parse_request (Unix.read conn) with
-    | Error e -> Http.response_of_error e
-    | Ok req -> (
-      match t.handler req with
-      | resp -> Some resp
-      | exception _ ->
-        Some { Http.status = 500; content_type = "text/plain"; body = "internal error\n" })
-  in
-  (match response with
-  | None -> ()
-  | Some resp -> ( try write_all conn (Http.render resp) with Unix.Unix_error _ -> ()));
-  (try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-  Unix.close conn
+  Fun.protect
+    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try
+         Unix.setsockopt_float conn Unix.SO_RCVTIMEO io_timeout;
+         Unix.setsockopt_float conn Unix.SO_SNDTIMEO io_timeout
+       with Unix.Unix_error _ -> ());
+      (* The parser maps timeouts to a typed error, but other socket
+         errors (ECONNRESET from an abortive close, EPIPE on the
+         response write) surface as Unix_error here; a broken peer
+         must never take down the accept loop. *)
+      (try
+         let response =
+           match Http.parse_request (Unix.read conn) with
+           | Error e -> Http.response_of_error e
+           | Ok req -> (
+             match t.handler req with
+             | resp -> Some resp
+             | exception _ ->
+               Some { Http.status = 500; content_type = "text/plain"; body = "internal error\n" })
+         in
+         match response with
+         | None -> ()
+         | Some resp -> write_all conn (Http.render resp)
+       with Unix.Unix_error _ -> ());
+      try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
 
 let handle_one t =
   if not t.running then false
@@ -72,7 +86,15 @@ let handle_one t =
       (* stop closed the listener under us *)
       t.running <- false;
       false
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> t.running
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+      (* signal, or the peer aborted before we accepted — keep serving *)
+      t.running
+    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE | Unix.ENOBUFS | Unix.ENOMEM), _, _)
+      ->
+      (* fd / buffer exhaustion: back off briefly and retry rather than
+         letting the error terminate the run loop *)
+      (try Unix.sleepf 0.05 with Unix.Unix_error _ -> ());
+      t.running
 
 let run t = while handle_one t do () done
 

@@ -329,6 +329,39 @@ let test_durable_reopen () =
   Db.close db2;
   rm_rf dir
 
+(* A version-1 page file (pre-CRC page layout) must be rejected with the
+   clear version error, not misreported as CRC corruption. *)
+let test_old_version_rejected () =
+  let dir = fresh_dir () in
+  let db = Db.open_durable dir in
+  ignore (Db.exec db "CREATE TABLE t (i INTEGER)");
+  ignore (Db.exec db "INSERT INTO t VALUES (1)");
+  Db.close db;
+  let gen =
+    let ic = open_in_bin (Filename.concat dir "CURRENT") in
+    let g = String.trim (input_line ic) in
+    close_in ic;
+    g
+  in
+  let pages = Filename.concat dir ("pages." ^ gen) in
+  let fd = Unix.openfile pages [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd 4 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "\001\000\000\000") 0 4);
+  Unix.close fd;
+  (match Db.open_durable dir with
+  | exception Relstore.Durable.Durable_error msg ->
+    let mentions_version =
+      let needle = "version 1 is not supported" in
+      let n = String.length needle and m = String.length msg in
+      let rec at i = i + n <= m && (String.sub msg i n = needle || at (i + 1)) in
+      at 0
+    in
+    check_bool "version error, not CRC" true mentions_version
+  | db ->
+    Db.close db;
+    Alcotest.fail "version-1 page file was accepted");
+  rm_rf dir
+
 let test_durable_commit_replay () =
   let dir = fresh_dir () in
   let db = Db.open_durable dir in
@@ -794,6 +827,7 @@ let () =
       ( "durable database",
         [
           Alcotest.test_case "close/reopen" `Quick test_durable_reopen;
+          Alcotest.test_case "old page-file version rejected" `Quick test_old_version_rejected;
           Alcotest.test_case "committed session replays" `Quick test_durable_commit_replay;
           Alcotest.test_case "loser rollback" `Quick test_durable_loser_rollback;
           Alcotest.test_case "autocommit replay" `Quick test_durable_autocommit_replay;

@@ -243,6 +243,48 @@ let test_serve_end_to_end () =
     check_int "404" 404 status;
     Relstore.Metrics.reset ()
 
+(* Abortive peers — reset mid-request, or gone before the response is
+   written — must surface as catchable errors (not SIGPIPE, not an
+   escaped ECONNRESET) and leave the accept loop serving. *)
+let test_abortive_clients_survived () =
+  let server =
+    Server.create (fun _ -> { Http.status = 200; content_type = "text/plain"; body = "pong\n" })
+  in
+  let port = Server.port server in
+  match Unix.fork () with
+  | 0 ->
+    (try Server.run server with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        Server.stop server)
+    @@ fun () ->
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port) in
+    let abort_after send_req =
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect sock addr;
+      if send_req then begin
+        let req = "GET / HTTP/1.1\r\nHost: x\r\n\r\n" in
+        ignore (Unix.write_substring sock req 0 (String.length req))
+      end
+      else ignore (Unix.write_substring sock "GET /" 0 5);
+      (* linger 0 + close = RST: the server sees ECONNRESET on read or
+         EPIPE/ECONNRESET on the response write *)
+      Unix.setsockopt_optint sock Unix.SO_LINGER (Some 0);
+      Unix.close sock
+    in
+    for _ = 1 to 3 do
+      abort_after false;
+      abort_after true
+    done;
+    (* the loop is still alive and answers a well-behaved client *)
+    let status, body = Server.get ~port "/ping" in
+    check_int "still serving" 200 status;
+    check_bool "body intact" true (body = "pong\n")
+
 let test_server_stop_idempotent () =
   let server = Server.create (fun _ -> { Http.status = 200; content_type = "text/plain"; body = "" }) in
   check_bool "port bound" true (Server.port server > 0);
@@ -272,6 +314,7 @@ let () =
       ( "server",
         [
           Alcotest.test_case "end-to-end scrape" `Quick test_serve_end_to_end;
+          Alcotest.test_case "abortive clients survived" `Quick test_abortive_clients_survived;
           Alcotest.test_case "stop idempotent" `Quick test_server_stop_idempotent;
         ] );
     ]
