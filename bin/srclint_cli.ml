@@ -1,0 +1,89 @@
+(* srclint — the repo's source-level analyzer.
+
+     srclint [--json] [--strict] [--codes]
+             [--allowlist FILE] [--design FILE] [--root DIR] [DIR...]
+
+   Directories default to `lib bin`, relative to --root (default `.`).
+   Exit 1 on any Error finding; --strict also fails on Warnings. Info
+   findings (the DS001 shared-state worklist) never fail the run. *)
+
+module Diag = Lintkit.Diag
+module J = Obskit.Json
+
+let usage () =
+  prerr_endline
+    "usage: srclint [--json] [--strict] [--codes] [--allowlist FILE] [--design FILE] [--root DIR] \
+     [DIR...]";
+  exit 2
+
+let print_codes () =
+  List.iter
+    (fun (code, sev, desc) ->
+      Printf.printf "%-6s %-7s %s\n" code (Diag.severity_to_string sev) desc)
+    (List.filter (fun (c, _, _) -> String.length c >= 2
+                                   && (match String.sub c 0 2 with
+                                       | "SL" | "DS" | "RD" | "TM" -> true
+                                       | _ -> false))
+       Diag.registry)
+
+let () =
+  let json = ref false and strict = ref false in
+  let root = ref "." and allowlist = ref "srclint_allow.sexp" in
+  let design = ref (Some "DESIGN.md") in
+  let dirs = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: rest -> json := true; parse_args rest
+    | "--strict" :: rest -> strict := true; parse_args rest
+    | "--codes" :: _ -> print_codes (); exit 0
+    | "--allowlist" :: f :: rest -> allowlist := f; parse_args rest
+    | "--design" :: f :: rest -> design := (if f = "none" then None else Some f); parse_args rest
+    | "--root" :: d :: rest -> root := d; parse_args rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      Printf.eprintf "srclint: unknown option %s\n" arg;
+      usage ()
+    | dir :: rest -> dirs := dir :: !dirs; parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let opts =
+    {
+      Srclint.Engine.opt_root = !root;
+      opt_dirs = (if !dirs = [] then [ "lib"; "bin" ] else List.rev !dirs);
+      opt_allowlist = !allowlist;
+      opt_design = !design;
+    }
+  in
+  let { Srclint.Engine.run_diags = diags; run_files = files } = Srclint.Engine.run opts in
+  if !json then begin
+    (* Round-trip the report through the JSON parser before printing so
+       the emitted document is guaranteed machine-readable. *)
+    let doc =
+      J.Obj
+        [
+          ("files_analyzed", J.Num (float_of_int (List.length files)));
+          ("strict", if !strict then J.Bool true else J.Bool false);
+          ("findings", Diag.list_to_json diags);
+          ("errors", J.Num (float_of_int (Srclint.Engine.errors diags)));
+          ("strict_failures", J.Num (float_of_int (Srclint.Engine.strict_failures diags)));
+        ]
+    in
+    match J.parse (J.to_string doc) with
+    | Ok reparsed -> print_endline (J.to_string reparsed)
+    | Error msg ->
+      Printf.eprintf "srclint: internal error: JSON report does not round-trip: %s\n" msg;
+      exit 2
+  end
+  else begin
+    List.iter (fun d -> print_endline (Diag.to_string d)) diags;
+    let info = List.length (List.filter (fun d -> d.Diag.severity = Diag.Info) diags) in
+    Printf.printf "srclint: %d file(s), %d finding(s): %d error(s), %d warning(s), %d info\n"
+      (List.length files) (List.length diags)
+      (Srclint.Engine.errors diags)
+      (Srclint.Engine.strict_failures diags - Srclint.Engine.errors diags)
+      info
+  end;
+  let failures =
+    if !strict then Srclint.Engine.strict_failures diags else Srclint.Engine.errors diags
+  in
+  exit (if failures > 0 then 1 else 0)

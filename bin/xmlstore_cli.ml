@@ -27,7 +27,7 @@ let read_store ?dtd_file scheme path =
       let s = really_input_string ic n in
       close_in ic;
       Some (Xmlkit.Dtd.parse s)
-    | None -> Option.map Xmlkit.Dtd.parse parsed.Xmlkit.Parser.internal_subset
+    | None -> Option.map (fun s -> Xmlkit.Dtd.parse s) parsed.Xmlkit.Parser.internal_subset
   in
   let store =
     match dtd with
@@ -203,7 +203,7 @@ let load_cmd =
         let s = really_input_string ic n in
         close_in ic;
         Some (Xmlkit.Dtd.parse s)
-      | None -> Option.map Xmlkit.Dtd.parse parsed.Xmlkit.Parser.internal_subset
+      | None -> Option.map (fun s -> Xmlkit.Dtd.parse s) parsed.Xmlkit.Parser.internal_subset
     in
     let store =
       match dtd with
@@ -392,7 +392,7 @@ let validate_cmd =
         let s = really_input_string ic n in
         close_in ic;
         Some (Xmlkit.Dtd.parse s)
-      | None -> Option.map Xmlkit.Dtd.parse parsed.Xmlkit.Parser.internal_subset
+      | None -> Option.map (fun s -> Xmlkit.Dtd.parse s) parsed.Xmlkit.Parser.internal_subset
     in
     match dtd with
     | None ->

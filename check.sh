@@ -122,4 +122,16 @@ dune exec bin/xmlstore_cli.exe -- lint --all-schemes --workload --strict --json 
   --dtd "$tmpdir/auction.dtd" "$tmpdir/lintdoc.xml" > "$tmpdir/lint.json"
 test -s "$tmpdir/lint.json"
 
+# srclint gate: the tree's own sources must be clean under the
+# source-level analyzer — domain-safety (module-level mutable state vs
+# the srclint_allow.sexp worklist), resource discipline (fd leaks,
+# catch-all handlers, EINTR), and telemetry drift (emitted series vs
+# declare_storage_series vs DESIGN.md). Info findings (the DS001
+# inventory) pass; any Warning or Error fails. The --json run
+# round-trips the report through Obskit.Json before printing.
+dune build @srclint
+dune exec bin/srclint_cli.exe -- --strict --json lib bin > "$tmpdir/srclint.json"
+test -s "$tmpdir/srclint.json"
+grep -q '"findings"' "$tmpdir/srclint.json"
+
 echo "check.sh: all green"

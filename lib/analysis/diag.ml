@@ -22,9 +22,12 @@ type location = {
   loc_scheme : string option;  (* mapping scheme under lint *)
   loc_query : string option;  (* workload query id or XPath *)
   loc_statement : string option;  (* SQL statement text (plan-cache key) *)
+  loc_file : string option;  (* source file (srclint findings) *)
+  loc_line : int option;  (* 1-based line in loc_file *)
 }
 
-let no_location = { loc_scheme = None; loc_query = None; loc_statement = None }
+let no_location =
+  { loc_scheme = None; loc_query = None; loc_statement = None; loc_file = None; loc_line = None }
 
 type t = {
   code : string;  (* stable diagnostic code, e.g. "SQL002" *)
@@ -36,8 +39,9 @@ type t = {
 let make ?(location = no_location) ~code severity message =
   { code; severity; message; location }
 
-let at ?scheme ?query ?statement () =
-  { loc_scheme = scheme; loc_query = query; loc_statement = statement }
+let at ?scheme ?query ?statement ?file ?line () =
+  { loc_scheme = scheme; loc_query = query; loc_statement = statement; loc_file = file;
+    loc_line = line }
 
 let with_location d location = { d with location }
 
@@ -63,6 +67,16 @@ let registry =
     ("XP001", Warning, "statically-empty step: the path can never match the stored structure");
     ("XP002", Warning, "statically-empty predicate: the tested child/attribute never occurs");
     ("XP100", Info, "path is outside the SQL-translatable subset (native fallback)");
+    (* srclint: source-level checks over the repo's own OCaml tree *)
+    ("SL000", Error, "source file or allowlist does not parse (srclint cannot analyze it)");
+    ("DS001", Info, "module-level mutable state, allowlisted with a domain: annotation (multicore worklist)");
+    ("DS002", Error, "module-level mutable state outside srclint_allow.sexp (or its entry lacks domain:)");
+    ("DS003", Warning, "stale srclint_allow.sexp entry: no matching module-level state exists");
+    ("RD001", Error, "acquired file descriptor not closed on all paths (want Fun.protect or a closing handler)");
+    ("RD002", Error, "catch-all exception handler can swallow Out_of_memory/Stack_overflow");
+    ("RD003", Warning, "Unix read/write/fsync in a loop without EINTR retry");
+    ("TM001", Error, "telemetry name emitted but absent from the declared series catalog");
+    ("TM002", Warning, "declared series catalog entry is never emitted by any source file");
   ]
 
 let describe code =
@@ -99,9 +113,16 @@ let count_at_least sev diags =
 (* Text rendering *)
 
 let location_to_string loc =
+  let file_part =
+    match (loc.loc_file, loc.loc_line) with
+    | Some f, Some l -> Some (Printf.sprintf "%s:%d" f l)
+    | Some f, None -> Some f
+    | None, _ -> None
+  in
   let parts =
     List.filter_map Fun.id
       [
+        file_part;
         Option.map (fun s -> "scheme=" ^ s) loc.loc_scheme;
         Option.map (fun q -> "query=" ^ q) loc.loc_query;
         Option.map (fun s -> "sql=" ^ s) loc.loc_statement;
@@ -128,6 +149,8 @@ let location_to_json loc =
          Option.map (fun s -> ("scheme", J.Str s)) loc.loc_scheme;
          Option.map (fun q -> ("query", J.Str q)) loc.loc_query;
          Option.map (fun s -> ("statement", J.Str s)) loc.loc_statement;
+         Option.map (fun f -> ("file", J.Str f)) loc.loc_file;
+         Option.map (fun l -> ("line", J.Num (float_of_int l))) loc.loc_line;
        ])
 
 let to_json d =
@@ -153,7 +176,11 @@ let of_json j =
         | None -> no_location
         | Some loc ->
           let lstr f = Option.bind (J.member f loc) J.to_str in
-          { loc_scheme = lstr "scheme"; loc_query = lstr "query"; loc_statement = lstr "statement" }
+          let lint f =
+            Option.map int_of_float (Option.bind (J.member f loc) J.to_float)
+          in
+          { loc_scheme = lstr "scheme"; loc_query = lstr "query";
+            loc_statement = lstr "statement"; loc_file = lstr "file"; loc_line = lint "line" }
       in
       Ok { code; severity; message; location })
   | _ -> Stdlib.Error "diagnostic object needs code, severity, and message fields"

@@ -15,10 +15,20 @@ type location = {
   loc_scheme : string option;  (** mapping scheme under lint *)
   loc_query : string option;  (** workload query id or XPath *)
   loc_statement : string option;  (** SQL statement text (plan-cache key) *)
+  loc_file : string option;  (** source file (srclint findings) *)
+  loc_line : int option;  (** 1-based line in [loc_file] *)
 }
 
 val no_location : location
-val at : ?scheme:string -> ?query:string -> ?statement:string -> unit -> location
+
+val at :
+  ?scheme:string ->
+  ?query:string ->
+  ?statement:string ->
+  ?file:string ->
+  ?line:int ->
+  unit ->
+  location
 
 type t = {
   code : string;  (** stable diagnostic code, e.g. ["SQL002"] *)

@@ -24,7 +24,7 @@ let env_of_db db = Sql_lint.env_of_catalog (Db.find_table db)
 
 let lint_sql_text env text =
   match Relstore.Sql_parser.parse_script text with
-  | exception e ->
+  | exception (Relstore.Sql_parser.Parse_error _ as e) ->
     [
       Diag.make ~code:"SQL000" Diag.Error
         (Printf.sprintf "statement does not parse: %s" (Printexc.to_string e));
@@ -35,7 +35,7 @@ let lint_capture ~env ~catalog (c : Mapping.capture) =
   let locate d = Diag.with_location d (Diag.at ~statement:c.Mapping.cap_sql ()) in
   let sql_diags =
     match Relstore.Sql_parser.parse_statement c.Mapping.cap_sql with
-    | exception e ->
+    | exception (Relstore.Sql_parser.Parse_error _ as e) ->
       [
         Diag.make ~code:"SQL000" Diag.Error
           (Printf.sprintf "captured statement does not re-parse: %s" (Printexc.to_string e));

@@ -50,7 +50,9 @@ let is_literal_expr e =
 
 let eval_const e =
   if not (is_literal_expr e) then None
-  else try Some (Relstore.Expr_eval.compile [||] e [||]) with _ -> None
+  else
+    try Some (Relstore.Expr_eval.compile [||] e [||])
+    with Relstore.Expr_eval.Eval_error _ | Division_by_zero -> None
 
 let rec split_and = function
   | Ast.Binop (Ast.And, a, b) -> split_and a @ split_and b

@@ -589,6 +589,10 @@ let declare_storage_series () =
           "buffer_pool.write"; "buffer_pool.hit"; "buffer_pool.miss";
           "buffer_pool.evict"; "buffer_pool.crc_fail"; "db.btree.leaf_split";
           "db.btree.internal_split"; "db.btree.bulk_build"; "db.btree.bulk_merge";
+          "db.page.read"; "db.page.write"; "db.page.fsync"; "db.page.hit";
+          "db.page.miss"; "db.page.evict"; "db.page.checkpoint_pages";
+          "db.bulk.rows"; "db.bulk.aborted_rows"; "db.bulk.group_int";
+          "db.bulk.group_text"; "db.bulk.group_hash"; "db.cache.hit"; "db.cache.miss";
         ];
       List.iter
         (fun name -> Relstore.Metrics.set_gauge name (Relstore.Metrics.gauge name))
@@ -624,7 +628,10 @@ let healthz t =
       | st -> Some (Unix.gettimeofday () -. st.Unix.st_mtime)
       | exception Unix.Unix_error _ -> None)
   in
-  let docs = try Some (List.length (documents t)) with _ -> None in
+  let docs =
+    try Some (List.length (documents t))
+    with Store_error _ | Db.Db_error _ | Relstore.Sql_parser.Parse_error _ | Not_found -> None
+  in
   let ok = wal_writable && docs <> None in
   let fields =
     [

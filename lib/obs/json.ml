@@ -116,7 +116,7 @@ let parse (src : string) : (t, string) result =
          | 'u' ->
            if !pos + 4 >= n then fail "bad \\u escape";
            let hex = String.sub src (!pos + 1) 4 in
-           let code = try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape" in
+           let code = try int_of_string ("0x" ^ hex) with Failure _ -> fail "bad \\u escape" in
            (* UTF-8 encode the BMP code point *)
            if code < 0x80 then Buffer.add_char buf (Char.chr code)
            else if code < 0x800 then begin

@@ -40,12 +40,21 @@ let page_size t = t.page_size
 
 let fd t = match t.fd with Some fd -> fd | None -> err "buffer pool is not attached"
 
+(* A signal mid-transfer makes read/write return EINTR; retry so a page
+   IO never fails spuriously. *)
+let rec write_retry fd buf off len =
+  try Unix.write fd buf off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> write_retry fd buf off len
+
+let rec read_retry fd buf off len =
+  try Unix.read fd buf off len with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf off len
+
 let write_frame t page_id fr =
   let fd = fd t in
   ignore (Unix.lseek fd (page_id * t.page_size) Unix.SEEK_SET);
   let off = ref 0 in
   while !off < t.page_size do
-    off := !off + Unix.write fd fr.data !off (t.page_size - !off)
+    off := !off + write_retry fd fr.data !off (t.page_size - !off)
   done;
   fr.dirty <- false;
   Metrics.incr "db.page.write";
@@ -92,7 +101,7 @@ let read_frame t page_id =
   let off = ref 0 in
   let eof = ref false in
   while (not !eof) && !off < t.page_size do
-    let n = Unix.read fd data !off (t.page_size - !off) in
+    let n = read_retry fd data !off (t.page_size - !off) in
     if n = 0 then eof := true else off := !off + n
   done;
   Metrics.incr "db.page.read";

@@ -383,10 +383,12 @@ let read_current dir =
 let write_current dir gen =
   let tmp = Filename.concat dir "CURRENT.tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  let s = string_of_int gen ^ "\n" in
-  ignore (Unix.write_substring fd s 0 (String.length s));
-  Unix.fsync fd;
-  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let s = string_of_int gen ^ "\n" in
+      ignore (Unix.write_substring fd s 0 (String.length s));
+      Unix.fsync fd);
   Sys.rename tmp (current_path dir);
   fsync_dir dir
 

@@ -814,7 +814,7 @@ let rec open_batched params cat (plan : Plan.t) : batched =
    of their time, exactly where it is paid. *)
 let open_annotated params cat plan : cursor * Plan.annotated =
   let rec go plan =
-    let est = try Some (Planner.estimate_plan cat plan) with _ -> None in
+    let est = try Some (Planner.estimate_plan cat plan) with Planner.Plan_error _ | Not_found -> None in
     let a = Plan.annot ?est (Plan.node_line plan) in
     let recur child =
       (* children are appended in execution order; Union_all opens its

@@ -152,18 +152,27 @@ let get_record r =
 
 let open_log path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  (try ignore (Unix.lseek fd 0 Unix.SEEK_END)
+   with e ->
+     Unix.close fd;
+     raise e);
   { path; fd; staged = Buffer.create 4096; next_lsn = 1 }
 
 let path t = t.path
 let set_next_lsn t lsn = t.next_lsn <- max t.next_lsn lsn
 let last_lsn t = t.next_lsn - 1
 
+(* A signal mid-write makes write_substring return EINTR; retry rather
+   than failing the append with a spurious error. *)
+let rec write_retry fd s off len =
+  try Unix.write_substring fd s off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> write_retry fd s off len
+
 let write_all fd s =
   let n = String.length s in
   let off = ref 0 in
   while !off < n do
-    off := !off + Unix.write_substring fd s !off (n - !off)
+    off := !off + write_retry fd s !off (n - !off)
   done
 
 let flush t =

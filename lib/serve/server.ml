@@ -40,47 +40,59 @@ let create ?(host = "127.0.0.1") ?(port = 0) handler =
 
 let port t = t.bound_port
 
+(* A signal landing mid-transfer makes write/read return EINTR; retry
+   instead of surfacing a spurious failure to the peer. *)
+let rec write_retry fd s off len =
+  try Unix.write_substring fd s off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> write_retry fd s off len
+
+let rec read_retry fd buf off len =
+  try Unix.read fd buf off len with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf off len
+
 let write_all fd s =
   let n = String.length s in
   let off = ref 0 in
   while !off < n do
-    off := !off + Unix.write_substring fd s !off (n - !off)
+    off := !off + write_retry fd s !off (n - !off)
   done
 
 let serve_conn t conn =
-  Fun.protect
-    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
-    (fun () ->
-      (try
-         Unix.setsockopt_float conn Unix.SO_RCVTIMEO io_timeout;
-         Unix.setsockopt_float conn Unix.SO_SNDTIMEO io_timeout
-       with Unix.Unix_error _ -> ());
-      (* The parser maps timeouts to a typed error, but other socket
-         errors (ECONNRESET from an abortive close, EPIPE on the
-         response write) surface as Unix_error here; a broken peer
-         must never take down the accept loop. *)
-      (try
-         let response =
-           match Http.parse_request (Unix.read conn) with
-           | Error e -> Http.response_of_error e
-           | Ok req -> (
-             match t.handler req with
-             | resp -> Some resp
-             | exception _ ->
-               Some { Http.status = 500; content_type = "text/plain"; body = "internal error\n" })
-         in
-         match response with
-         | None -> ()
-         | Some resp -> write_all conn (Http.render resp)
-       with Unix.Unix_error _ -> ());
-      try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  (try
+     Unix.setsockopt_float conn Unix.SO_RCVTIMEO io_timeout;
+     Unix.setsockopt_float conn Unix.SO_SNDTIMEO io_timeout
+   with Unix.Unix_error _ -> ());
+  (* The parser maps timeouts to a typed error, but other socket
+     errors (ECONNRESET from an abortive close, EPIPE on the
+     response write) surface as Unix_error here; a broken peer
+     must never take down the accept loop. *)
+  (try
+     let response =
+       match Http.parse_request (Unix.read conn) with
+       | Error e -> Http.response_of_error e
+       | Ok req -> (
+         match t.handler req with
+         | resp -> Some resp
+         (* the handler boundary: any handler failure must answer 500,
+            never kill the accept loop — srclint: allow-catchall *)
+         | exception _ ->
+           Some { Http.status = 500; content_type = "text/plain"; body = "internal error\n" })
+     in
+     match response with
+     | None -> ()
+     | Some resp -> write_all conn (Http.render resp)
+   with Unix.Unix_error _ -> ());
+  try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
 
 let handle_one t =
   if not t.running then false
   else
     match Unix.accept t.sock with
     | conn, _ ->
-      serve_conn t conn;
+      (* Close at the accept site: the connection fd is owned here, and
+         Fun.protect covers everything serve_conn does with it. *)
+      Fun.protect
+        ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+        (fun () -> serve_conn t conn);
       true
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
       (* stop closed the listener under us *)
@@ -122,7 +134,7 @@ let get ?(host = "127.0.0.1") ~port path =
       let chunk = Bytes.create 4096 in
       let eof = ref false in
       while not !eof do
-        let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+        let n = read_retry sock chunk 0 (Bytes.length chunk) in
         if n = 0 then eof := true else Buffer.add_subbytes buf chunk 0 n
       done;
       let raw = Buffer.contents buf in

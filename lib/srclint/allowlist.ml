@@ -1,0 +1,102 @@
+(* The checked-in inventory of module-level mutable state, and therefore
+   the migration worklist for the multicore (domain-parallel store pool)
+   PR: every entry names one top-level binding that holds shared mutable
+   state and carries a [domain:] annotation saying how that state will be
+   made domain-safe:
+
+     confined        stays single-domain (per-store / per-session state,
+                     or read-only after initialization)
+     lock-planned    will be guarded by a mutex when domains arrive
+     atomic-planned  will become Atomic.t / a lock-free structure
+
+   Entries are keyed by (file, qualified binding name). DS001 reports
+   allowlisted state (the worklist view), DS002 fails CI for state with
+   no valid entry, DS003 flags stale entries. *)
+
+type domain = Confined | Lock_planned | Atomic_planned
+
+let domain_to_string = function
+  | Confined -> "confined"
+  | Lock_planned -> "lock-planned"
+  | Atomic_planned -> "atomic-planned"
+
+let domain_of_string = function
+  | "confined" -> Some Confined
+  | "lock-planned" -> Some Lock_planned
+  | "atomic-planned" -> Some Atomic_planned
+  | _ -> None
+
+type entry = {
+  al_file : string;  (* repo-relative path, '/'-separated *)
+  al_name : string;  (* binding name, "Sub.name" inside a submodule *)
+  al_kind : string option;  (* ref / Hashtbl.create / ... (informational) *)
+  al_domain : domain option;  (* None = invalid entry, DS002 *)
+  al_note : string option;
+}
+
+type t = entry list
+
+(* ------------------------------------------------------------------ *)
+(* Sexp round trip. Each entry is an association list:
+   ((file lib/obs/trace.ml) (name ring) (kind ref) (domain confined)
+    (note "...")) *)
+
+let entry_of_sexp sexp =
+  match sexp with
+  | Sexp.List fields ->
+    let assoc key =
+      List.find_map
+        (function
+          | Sexp.List [ Sexp.Atom k; Sexp.Atom v ] when String.equal k key -> Some v
+          | _ -> None)
+        fields
+    in
+    let bad = List.exists (function Sexp.List [ Sexp.Atom _; Sexp.Atom _ ] -> false | _ -> true) fields in
+    if bad then Error ("malformed allowlist entry: " ^ Sexp.to_string sexp)
+    else (
+      match (assoc "file", assoc "name") with
+      | Some file, Some name ->
+        Ok
+          {
+            al_file = file;
+            al_name = name;
+            al_kind = assoc "kind";
+            al_domain = Option.bind (assoc "domain") domain_of_string;
+            al_note = assoc "note";
+          }
+      | _ -> Error ("allowlist entry needs (file ...) and (name ...): " ^ Sexp.to_string sexp))
+  | Sexp.Atom a -> Error ("expected an allowlist entry list, got atom " ^ a)
+
+let entry_to_sexp e =
+  let field k v = Sexp.List [ Sexp.Atom k; Sexp.Atom v ] in
+  Sexp.List
+    (List.filter_map Fun.id
+       [
+         Some (field "file" e.al_file);
+         Some (field "name" e.al_name);
+         Option.map (field "kind") e.al_kind;
+         Option.map (fun d -> field "domain" (domain_to_string d)) e.al_domain;
+         Option.map (field "note") e.al_note;
+       ])
+
+let parse src =
+  match Sexp.parse src with
+  | Error e -> Error e
+  | Ok sexps ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest -> ( match entry_of_sexp s with Ok e -> go (e :: acc) rest | Error e -> Error e)
+    in
+    go [] sexps
+
+let render entries =
+  let header =
+    "; srclint domain-safety allowlist: every module-level mutable binding in\n\
+     ; the tree, annotated with its multicore migration plan. DS002 fails the\n\
+     ; build for state missing from this file or missing its domain: field.\n\
+     ; domains: confined | lock-planned | atomic-planned\n"
+  in
+  header ^ String.concat "\n" (List.map (fun e -> Sexp.to_string (entry_to_sexp e)) entries) ^ "\n"
+
+let find entries ~file ~name =
+  List.find_opt (fun e -> String.equal e.al_file file && String.equal e.al_name name) entries

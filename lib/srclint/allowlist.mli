@@ -1,0 +1,23 @@
+(** The checked-in allowlist of module-level mutable state
+    ([srclint_allow.sexp]) — the multicore migration worklist. *)
+
+type domain = Confined | Lock_planned | Atomic_planned
+
+val domain_to_string : domain -> string
+val domain_of_string : string -> domain option
+
+type entry = {
+  al_file : string;  (** repo-relative path, '/'-separated *)
+  al_name : string;  (** binding name, ["Sub.name"] inside a submodule *)
+  al_kind : string option;  (** ref / Hashtbl.create / ... (informational) *)
+  al_domain : domain option;  (** [None] = invalid entry (DS002) *)
+  al_note : string option;
+}
+
+type t = entry list
+
+val entry_of_sexp : Sexp.t -> (entry, string) result
+val entry_to_sexp : entry -> Sexp.t
+val parse : string -> (t, string) result
+val render : t -> string
+val find : t -> file:string -> name:string -> entry option

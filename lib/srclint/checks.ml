@@ -1,0 +1,487 @@
+(* Domain-safety (DS) and resource-discipline (RD) passes over one
+   parsed source file.
+
+   These are deliberately repo-shaped heuristics, not a soundness proof:
+   they encode the idioms this codebase actually uses (Fun.protect with a
+   closing finalizer, try-handlers that close-and-reraise, ownership
+   transfer into a record/field) and flag everything else. A finding that
+   is a false positive for a reason the checker cannot see is waived
+   inline ([(* srclint: allow-... *)], RD codes) or through the
+   domain-safety allowlist (DS codes) — either way the exception is
+   recorded in the tree, which is the point. *)
+
+module P = Parsetree
+module Diag = Lintkit.Diag
+
+(* ------------------------------------------------------------------ *)
+(* Parsetree helpers *)
+
+let path_of_lident (l : Longident.t) : string list =
+  let rec go acc = function
+    | Longident.Lident s -> s :: acc
+    | Longident.Ldot (l, s) -> go (s :: acc) l
+    | Longident.Lapply (_, l) -> go acc l
+  in
+  go [] l
+
+let last_name = function [] -> "" | names -> List.nth names (List.length names - 1)
+
+let app_head (e : P.expression) =
+  match e.P.pexp_desc with
+  | P.Pexp_apply ({ P.pexp_desc = P.Pexp_ident { txt; _ }; _ }, args) ->
+    Some (path_of_lident txt, args)
+  | _ -> None
+
+let string_const (e : P.expression) =
+  match e.P.pexp_desc with
+  | P.Pexp_constant (P.Pconst_string (s, _, _)) -> Some s
+  | _ -> None
+
+exception Found
+
+let exists_expr pred e =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          if pred ex then raise Found;
+          Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  (try it.expr it e; false with Found -> true)
+
+let exists_pat pred p =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self px ->
+          if pred px then raise Found;
+          Ast_iterator.default_iterator.pat self px);
+    }
+  in
+  (try it.pat it p; false with Found -> true)
+
+let mentions_var x e =
+  exists_expr
+    (fun ex ->
+      match ex.P.pexp_desc with
+      | P.Pexp_ident { txt = Longident.Lident v; _ } -> String.equal v x
+      | _ -> false)
+    e
+
+(* ------------------------------------------------------------------ *)
+(* DS: module-level mutable state *)
+
+(* Field names the file assigns with [e.f <- v]: a top-level record
+   literal carrying one of these fields is shared mutable state even
+   though the Parsetree has no mutability info. *)
+let assigned_fields (src : Source.t) =
+  let fields = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match ex.P.pexp_desc with
+          | P.Pexp_setfield (_, { txt; _ }, _) ->
+            let f = last_name (path_of_lident txt) in
+            if not (List.mem f !fields) then fields := f :: !fields
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  List.iter (it.structure_item it) src.Source.src_structure;
+  !fields
+
+(* What kind of mutable state an expression evaluates to, if the checker
+   can tell. Descends through data constructors, lets, lazies — but not
+   into function bodies (state created per call is not module-level). *)
+let rec mutable_kind ~mutfields (e : P.expression) : string option =
+  let first_some l = List.find_map (mutable_kind ~mutfields) l in
+  match e.P.pexp_desc with
+  | P.Pexp_apply ({ P.pexp_desc = P.Pexp_ident { txt; _ }; _ }, args) -> (
+    let kind =
+      match path_of_lident txt with
+      | [ "ref" ] -> Some "ref"
+      | [ "Hashtbl"; "create" ] -> Some "Hashtbl.create"
+      | [ "Buffer"; "create" ] -> Some "Buffer.create"
+      | [ "Queue"; "create" ] -> Some "Queue.create"
+      | [ "Stack"; "create" ] -> Some "Stack.create"
+      | [ "Atomic"; "make" ] -> Some "Atomic.make"
+      | [ "Array"; "make" ] | [ "Array"; "init" ] | [ "Array"; "create_float" ] -> Some "Array.make"
+      | [ "Bytes"; "create" ] | [ "Bytes"; "make" ] -> Some "Bytes.create"
+      | [ "Weak"; "create" ] -> Some "Weak.create"
+      | _ -> None
+    in
+    match kind with Some _ -> kind | None -> first_some (List.map snd args))
+  | P.Pexp_array (_ :: _) -> Some "array literal"
+  | P.Pexp_record (fields, base) ->
+    let field_names = List.map (fun ({ Location.txt; _ }, _) -> last_name (path_of_lident txt)) fields in
+    if List.exists (fun f -> List.mem f mutfields) field_names then Some "mutable-field record"
+    else first_some (List.map snd fields @ Option.to_list base)
+  | P.Pexp_tuple l -> first_some l
+  | P.Pexp_construct (_, Some arg) | P.Pexp_variant (_, Some arg) -> mutable_kind ~mutfields arg
+  | P.Pexp_let (_, vbs, body) -> first_some (List.map (fun vb -> vb.P.pvb_expr) vbs @ [ body ])
+  | P.Pexp_sequence (a, b) -> first_some [ a; b ]
+  | P.Pexp_ifthenelse (_, t, f) -> first_some (t :: Option.to_list f)
+  | P.Pexp_constraint (e, _) | P.Pexp_coerce (e, _, _) | P.Pexp_lazy e | P.Pexp_open (_, e) ->
+    mutable_kind ~mutfields e
+  | P.Pexp_match (_, cases) -> first_some (List.map (fun c -> c.P.pc_rhs) cases)
+  | P.Pexp_fun _ | P.Pexp_function _ -> None
+  | _ -> None
+
+let rec binding_name (p : P.pattern) =
+  match p.P.ppat_desc with
+  | P.Ppat_var { txt; _ } -> Some txt
+  | P.Ppat_constraint (p, _) -> binding_name p
+  | _ -> None
+
+type state_site = { st_name : string; st_kind : string; st_line : int }
+
+(* Every top-level binding (recursing into named submodules) that holds
+   mutable state. *)
+let module_state (src : Source.t) : state_site list =
+  let mutfields = assigned_fields src in
+  let sites = ref [] in
+  let rec structure prefix items = List.iter (item prefix) items
+  and item prefix (si : P.structure_item) =
+    match si.P.pstr_desc with
+    | P.Pstr_value (_, vbs) ->
+      List.iter
+        (fun vb ->
+          match binding_name vb.P.pvb_pat with
+          | None -> ()
+          | Some name -> (
+            match mutable_kind ~mutfields vb.P.pvb_expr with
+            | None -> ()
+            | Some kind ->
+              let qname = String.concat "." (prefix @ [ name ]) in
+              sites :=
+                { st_name = qname; st_kind = kind; st_line = Source.line_of vb.P.pvb_loc }
+                :: !sites))
+        vbs
+    | P.Pstr_module mb -> module_binding prefix mb
+    | P.Pstr_recmodule mbs -> List.iter (module_binding prefix) mbs
+    | P.Pstr_include { P.pincl_mod = { P.pmod_desc = P.Pmod_structure st; _ }; _ } ->
+      structure prefix st
+    | _ -> ()
+  and module_binding prefix (mb : P.module_binding) =
+    match mb.P.pmb_name.Location.txt with
+    | Some name -> module_expr (prefix @ [ name ]) mb.P.pmb_expr
+    | None -> ()
+  and module_expr prefix (me : P.module_expr) =
+    match me.P.pmod_desc with
+    | P.Pmod_structure st -> structure prefix st
+    | P.Pmod_constraint (me, _) -> module_expr prefix me
+    | _ -> ()  (* functor bodies create state per application *)
+  in
+  structure [] src.Source.src_structure;
+  List.rev !sites
+
+(* ------------------------------------------------------------------ *)
+(* RD001: acquired fds closed on every path *)
+
+let acquire_fns = [ "openfile"; "socket"; "accept"; "opendir"; "socketpair" ]
+
+let acquisition (e : P.expression) =
+  match app_head e with
+  | Some ([ "Unix"; f ], _) when List.mem f acquire_fns -> Some ("Unix." ^ f)
+  | _ -> None
+
+let close_names = [ "close"; "closedir"; "shutdown"; "close_in"; "close_out"; "close_in_noerr"; "close_out_noerr" ]
+
+let contains_close x e =
+  exists_expr
+    (fun ex ->
+      match app_head ex with
+      | Some (names, args) ->
+        List.mem (last_name names) close_names && List.exists (fun (_, a) -> mentions_var x a) args
+      | None -> false)
+    e
+
+(* A Fun.protect whose ~finally mentions (and therefore can close) x. *)
+let contains_protect_closing x e =
+  exists_expr
+    (fun ex ->
+      match app_head ex with
+      | Some (names, args) ->
+        String.equal (last_name names) "protect"
+        && List.exists
+             (fun (lbl, a) ->
+               match lbl with Asttypes.Labelled "finally" -> mentions_var x a | _ -> false)
+             args
+      | None -> false)
+    e
+
+let try_handlers_close x (e : P.expression) =
+  match e.P.pexp_desc with
+  | P.Pexp_try (_, cases) -> List.exists (fun c -> contains_close x c.P.pc_rhs) cases
+  | _ -> false
+
+let is_try (e : P.expression) = match e.P.pexp_desc with P.Pexp_try _ -> true | _ -> false
+
+(* x used as an argument of an application that is neither a close nor a
+   protect: the call can raise while this frame still owns the fd. *)
+let risky_app_mention x e =
+  exists_expr
+    (fun ex ->
+      match app_head ex with
+      | Some (names, args) ->
+        let n = last_name names in
+        (not (List.mem n close_names))
+        && (not (String.equal n "protect"))
+        && List.exists (fun (_, a) -> match a.P.pexp_desc with
+             | P.Pexp_ident { txt = Longident.Lident v; _ } -> String.equal v x
+             | _ -> false)
+             args
+      | None -> false)
+    e
+
+(* Decompose a let/sequence spine into the statements evaluated in order
+   plus the terminal expression. *)
+let rec spine (e : P.expression) acc =
+  match e.P.pexp_desc with
+  | P.Pexp_sequence (a, b) -> spine b (a :: acc)
+  | P.Pexp_let (_, vbs, b) -> spine b (List.rev_append (List.map (fun vb -> vb.P.pvb_expr) vbs) acc)
+  | P.Pexp_open (_, b) | P.Pexp_constraint (b, _) -> spine b acc
+  | _ -> (List.rev acc, e)
+
+type verdict = Discharged | Leak of int * string
+
+let analyze_continuation x (body : P.expression) : verdict =
+  let steps, terminal = spine body [] in
+  let rec scan = function
+    | [] ->
+      if contains_protect_closing x terminal then Discharged
+      else if is_try terminal && try_handlers_close x terminal then Discharged
+      else if contains_close x terminal then Discharged
+      else if risky_app_mention x terminal then
+        Leak
+          ( Source.line_of terminal.P.pexp_loc,
+            Printf.sprintf "%s is passed to a call that can raise while this frame still owns it" x )
+      else if mentions_var x terminal then Discharged (* ownership escapes with the result *)
+      else
+        Leak
+          ( Source.line_of terminal.P.pexp_loc,
+            Printf.sprintf "%s is never closed on this path" x )
+    | s :: rest ->
+      if contains_protect_closing x s then Discharged
+      else if is_try s then if try_handlers_close x s then Discharged else scan rest
+      else if contains_close x s then Discharged
+      else if mentions_var x s then
+        Leak
+          ( Source.line_of s.P.pexp_loc,
+            Printf.sprintf "%s is used before any Fun.protect/close guards it" x )
+      else scan rest
+  in
+  scan steps
+
+let rec pattern_first_var (p : P.pattern) =
+  match p.P.ppat_desc with
+  | P.Ppat_var { txt; _ } -> Some txt
+  | P.Ppat_alias (p, { txt; _ }) -> ( match pattern_first_var p with Some v -> Some v | None -> Some txt)
+  | P.Ppat_constraint (p, _) -> pattern_first_var p
+  | P.Ppat_tuple (p :: _) -> pattern_first_var p
+  | _ -> None
+
+let fd_leaks (src : Source.t) : Diag.t list =
+  let diags = ref [] in
+  let handled : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let mark (e : P.expression) = Hashtbl.replace handled e.P.pexp_loc.Location.loc_start.Lexing.pos_cnum () in
+  let report ~line fn detail =
+    diags :=
+      Source.diag_at src ~code:"RD001" ~line Diag.Error
+        (Printf.sprintf "%s: %s (wrap the continuation in Fun.protect with a closing finalizer)" fn
+           detail)
+      :: !diags
+  in
+  let analyze fn x body ~line =
+    match analyze_continuation x body with
+    | Discharged -> ()
+    | Leak (leak_line, detail) ->
+      ignore line;
+      report ~line:leak_line fn detail
+  in
+  (* pass A: bindings, matches, and ownership transfers *)
+  let pass_a =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match ex.P.pexp_desc with
+          | P.Pexp_let (_, vbs, body) ->
+            List.iter
+              (fun vb ->
+                match acquisition vb.P.pvb_expr with
+                | None -> ()
+                | Some fn -> (
+                  mark vb.P.pvb_expr;
+                  let line = Source.line_of vb.P.pvb_loc in
+                  match pattern_first_var vb.P.pvb_pat with
+                  | Some x -> analyze fn x body ~line
+                  | None -> report ~line fn "result is not bound, the descriptor is dropped"))
+              vbs
+          | P.Pexp_match (scrut, cases) when acquisition scrut <> None ->
+            let fn = Option.get (acquisition scrut) in
+            mark scrut;
+            List.iter
+              (fun c ->
+                match c.P.pc_lhs.P.ppat_desc with
+                | P.Ppat_exception _ -> ()
+                | _ -> (
+                  let line = Source.line_of c.P.pc_lhs.P.ppat_loc in
+                  match pattern_first_var c.P.pc_lhs with
+                  | Some x -> analyze fn x c.P.pc_rhs ~line
+                  | None -> report ~line fn "result is not bound, the descriptor is dropped"))
+              cases
+          | P.Pexp_construct (_, Some arg) | P.Pexp_setfield (_, _, arg) ->
+            (* direct transfer into a data structure owns the fd there *)
+            if acquisition arg <> None then mark arg
+          | P.Pexp_record (fields, _) ->
+            List.iter (fun (_, v) -> if acquisition v <> None then mark v) fields
+          | P.Pexp_tuple elts -> List.iter (fun v -> if acquisition v <> None then mark v) elts
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  List.iter (pass_a.structure_item pass_a) src.Source.src_structure;
+  (* pass B: acquisitions in any other position are unmanaged *)
+  let pass_b =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match acquisition ex with
+          | Some fn when not (Hashtbl.mem handled ex.P.pexp_loc.Location.loc_start.Lexing.pos_cnum)
+            ->
+            report ~line:(Source.line_of ex.P.pexp_loc) fn
+              "descriptor is consumed anonymously; bind it so its lifetime is checkable"
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  List.iter (pass_b.structure_item pass_b) src.Source.src_structure;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* RD002: catch-all exception handlers *)
+
+(* Some v when the pattern catches everything and binds v, Some "" when it
+   catches everything anonymously, None when it is selective. *)
+let rec pat_catchall (p : P.pattern) =
+  match p.P.ppat_desc with
+  | P.Ppat_any -> Some ""
+  | P.Ppat_var { txt; _ } -> Some txt
+  | P.Ppat_alias (p, { txt; _ }) -> ( match pat_catchall p with Some _ -> Some txt | None -> None)
+  | P.Ppat_or (a, b) -> ( match pat_catchall a with Some v -> Some v | None -> pat_catchall b)
+  | P.Ppat_constraint (p, _) -> pat_catchall p
+  | _ -> None
+
+let reraises v body =
+  (not (String.equal v ""))
+  && exists_expr
+       (fun ex ->
+         match app_head ex with
+         | Some (names, args) ->
+           List.mem (last_name names) [ "raise"; "raise_notrace"; "raise_with_backtrace" ]
+           && List.exists
+                (fun (_, a) ->
+                  match a.P.pexp_desc with
+                  | P.Pexp_ident { txt = Longident.Lident x; _ } -> String.equal x v
+                  | _ -> false)
+                args
+         | None -> false)
+       body
+
+let catchalls (src : Source.t) : Diag.t list =
+  let diags = ref [] in
+  let flag (c : P.case) =
+    match pat_catchall c.P.pc_lhs with
+    | None -> ()
+    | Some v ->
+      if not (reraises v c.P.pc_rhs) then
+        diags :=
+          Source.diag_at src ~code:"RD002"
+            ~line:(Source.line_of c.P.pc_lhs.P.ppat_loc)
+            Diag.Error
+            "catch-all handler can swallow Out_of_memory/Stack_overflow; match an explicit \
+             exception set, re-raise, or waive with (* srclint: allow-catchall *)"
+          :: !diags
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match ex.P.pexp_desc with
+          | P.Pexp_try (_, cases) -> List.iter flag cases
+          | P.Pexp_match (_, cases) ->
+            List.iter
+              (fun c ->
+                match c.P.pc_lhs.P.ppat_desc with
+                | P.Ppat_exception p -> flag { c with P.pc_lhs = p }
+                | _ -> ())
+              cases
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  List.iter (it.structure_item it) src.Source.src_structure;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* RD003: EINTR discipline in IO loops *)
+
+let unix_io_fns = [ "read"; "write"; "write_substring"; "single_write"; "fsync"; "fdatasync" ]
+
+let pat_mentions_eintr p =
+  exists_pat
+    (fun px ->
+      match px.P.ppat_desc with
+      | P.Ppat_construct ({ txt; _ }, _) -> String.equal (last_name (path_of_lident txt)) "EINTR"
+      | _ -> false)
+    p
+
+let eintr_in_loops (src : Source.t) : Diag.t list =
+  let diags = ref [] in
+  let in_loop = ref false in
+  let guarded = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          match ex.P.pexp_desc with
+          | P.Pexp_while _ | P.Pexp_for _ ->
+            let saved = !in_loop in
+            in_loop := true;
+            Ast_iterator.default_iterator.expr self ex;
+            in_loop := saved
+          | P.Pexp_try (_, cases) when List.exists (fun c -> pat_mentions_eintr c.P.pc_lhs) cases ->
+            let saved = !guarded in
+            guarded := true;
+            Ast_iterator.default_iterator.expr self ex;
+            guarded := saved
+          | P.Pexp_apply ({ P.pexp_desc = P.Pexp_ident { txt; _ }; _ }, _)
+            when (match path_of_lident txt with
+                 | [ "Unix"; f ] -> List.mem f unix_io_fns
+                 | _ -> false)
+                 && !in_loop
+                 && not !guarded ->
+            diags :=
+              Source.diag_at src ~code:"RD003"
+                ~line:(Source.line_of ex.P.pexp_loc)
+                Diag.Warning
+                (Printf.sprintf
+                   "%s inside a loop without an EINTR retry; a signal mid-transfer turns into a \
+                    spurious failure (wrap the syscall in a retry helper)"
+                   (String.concat "." (path_of_lident txt)))
+              :: !diags;
+            Ast_iterator.default_iterator.expr self ex
+          | _ -> Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  List.iter (it.structure_item it) src.Source.src_structure;
+  List.rev !diags

@@ -1,0 +1,27 @@
+(** Domain-safety (DS) and resource-discipline (RD) passes over one
+    parsed source file. Waiver filtering happens in {!Engine}. *)
+
+val path_of_lident : Longident.t -> string list
+val string_const : Parsetree.expression -> string option
+val binding_name : Parsetree.pattern -> string option
+
+type state_site = {
+  st_name : string;  (** qualified binding name, ["Sub.name"] in a submodule *)
+  st_kind : string;  (** ref / Hashtbl.create / array literal / ... *)
+  st_line : int;
+}
+
+val module_state : Source.t -> state_site list
+(** Every top-level binding holding mutable state (DS input). *)
+
+val assigned_fields : Source.t -> string list
+(** Field names the file mutates with [e.f <- v] (exposed for tests). *)
+
+val fd_leaks : Source.t -> Lintkit.Diag.t list
+(** RD001: Unix fd acquisitions not closed on all paths. *)
+
+val catchalls : Source.t -> Lintkit.Diag.t list
+(** RD002: handlers that swallow every exception. *)
+
+val eintr_in_loops : Source.t -> Lintkit.Diag.t list
+(** RD003: Unix read/write/fsync in loops without EINTR retry. *)

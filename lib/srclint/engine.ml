@@ -1,0 +1,187 @@
+(* The srclint driver: enumerate .ml files under the requested
+   directories, parse each with compiler-libs, run the DS/RD passes per
+   file and the TM pass across the whole set, apply inline waivers, and
+   fold the allowlist into DS verdicts. *)
+
+module Diag = Lintkit.Diag
+
+type options = {
+  opt_root : string;  (* repo root; dirs and catalog paths are relative to it *)
+  opt_dirs : string list;
+  opt_allowlist : string;
+  opt_design : string option;
+}
+
+let default_options ?(root = ".") () =
+  { opt_root = root; opt_dirs = [ "lib"; "bin" ]; opt_allowlist = "srclint_allow.sexp";
+    opt_design = Some "DESIGN.md" }
+
+type run = {
+  run_diags : Diag.t list;
+  run_files : string list;  (* repo-relative paths actually analyzed *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* File discovery *)
+
+let normalize path =
+  let path = String.concat "/" (String.split_on_char '\\' path) in
+  let parts = List.filter (fun p -> p <> "" && p <> ".") (String.split_on_char '/' path) in
+  String.concat "/" parts
+
+let rec find_ml_files root rel acc =
+  let full = if rel = "" then root else Filename.concat root rel in
+  match Sys.is_directory full with
+  | exception Sys_error _ -> acc
+  | false -> if Filename.check_suffix rel ".ml" then rel :: acc else acc
+  | true ->
+    let entries = Sys.readdir full in
+    Array.sort compare entries;
+    Array.fold_left
+      (fun acc name ->
+        if String.length name > 0 && (name.[0] = '.' || name.[0] = '_') then acc
+        else find_ml_files root (if rel = "" then name else rel ^ "/" ^ name) acc)
+      acc entries
+
+(* ------------------------------------------------------------------ *)
+
+let ds_diags ~allowlist ~sources =
+  let matched = ref [] in
+  let diags = ref [] in
+  List.iter
+    (fun (src : Source.t) ->
+      List.iter
+        (fun (s : Checks.state_site) ->
+          let file = src.Source.src_path in
+          match Allowlist.find allowlist ~file ~name:s.Checks.st_name with
+          | Some { Allowlist.al_domain = Some d; _ } ->
+            matched := (file, s.Checks.st_name) :: !matched;
+            diags :=
+              Source.diag_at src ~code:"DS001" ~line:s.Checks.st_line Diag.Info
+                (Printf.sprintf "module-level mutable state `%s` (%s) — allowlisted, domain: %s"
+                   s.Checks.st_name s.Checks.st_kind (Allowlist.domain_to_string d))
+              :: !diags
+          | Some { Allowlist.al_domain = None; _ } ->
+            matched := (file, s.Checks.st_name) :: !matched;
+            diags :=
+              Source.diag_at src ~code:"DS002" ~line:s.Checks.st_line Diag.Error
+                (Printf.sprintf
+                   "module-level mutable state `%s` (%s): its srclint_allow.sexp entry lacks the \
+                    required domain: annotation (confined | lock-planned | atomic-planned)"
+                   s.Checks.st_name s.Checks.st_kind)
+              :: !diags
+          | None ->
+            diags :=
+              Source.diag_at src ~code:"DS002" ~line:s.Checks.st_line Diag.Error
+                (Printf.sprintf
+                   "module-level mutable state `%s` (%s) is not in srclint_allow.sexp; two domains \
+                    running queries would race on it — add an entry with a domain: plan"
+                   s.Checks.st_name s.Checks.st_kind)
+              :: !diags)
+        (Checks.module_state src))
+    sources;
+  let scanned = List.map (fun (s : Source.t) -> s.Source.src_path) sources in
+  let stale =
+    List.filter_map
+      (fun (e : Allowlist.entry) ->
+        if
+          List.mem e.Allowlist.al_file scanned
+          && not
+               (List.exists
+                  (fun (f, n) -> String.equal f e.Allowlist.al_file && String.equal n e.Allowlist.al_name)
+                  !matched)
+        then
+          Some
+            (Diag.make
+               ~location:(Diag.at ~file:e.Allowlist.al_file ())
+               ~code:"DS003" Diag.Warning
+               (Printf.sprintf
+                  "stale allowlist entry: no module-level mutable binding `%s` exists in %s"
+                  e.Allowlist.al_name e.Allowlist.al_file))
+        else None)
+      allowlist
+  in
+  (List.rev !diags, stale)
+
+let run (opts : options) : run =
+  let root = opts.opt_root in
+  let files =
+    List.concat_map (fun dir -> List.rev (find_ml_files root (normalize dir) [])) opts.opt_dirs
+  in
+  let parse_failures = ref [] in
+  let sources =
+    List.filter_map
+      (fun rel ->
+        match Source.load ~root ~path:rel with
+        | Ok src -> Some src
+        | Error msg ->
+          parse_failures :=
+            Diag.make ~location:(Diag.at ~file:rel ()) ~code:"SL000" Diag.Error msg
+            :: !parse_failures;
+          None)
+      files
+  in
+  let in_root path = if Filename.is_relative path then Filename.concat root path else path in
+  let allowlist_file = in_root opts.opt_allowlist in
+  let allowlist, allowlist_diags =
+    if Sys.file_exists allowlist_file then (
+      match Allowlist.parse (Source.read_file allowlist_file) with
+      | Ok entries -> (entries, [])
+      | Error msg ->
+        ( [],
+          [
+            Diag.make
+              ~location:(Diag.at ~file:opts.opt_allowlist ())
+              ~code:"SL000" Diag.Error
+              (Printf.sprintf "allowlist does not parse: %s" msg);
+          ] ))
+    else ([], [])
+  in
+  let ds, stale = ds_diags ~allowlist ~sources in
+  let rd =
+    List.concat_map
+      (fun src -> Checks.fd_leaks src @ Checks.catchalls src @ Checks.eintr_in_loops src)
+      sources
+  in
+  let tm =
+    let catalog = List.concat_map Telemetry.catalog_of_source sources in
+    if catalog = [] then []
+    else
+      let doc =
+        match opts.opt_design with
+        | None -> ([], [])
+        | Some rel ->
+          let path = in_root rel in
+          if Sys.file_exists path then Telemetry.doc_names (Source.read_file path) else ([], [])
+      in
+      let emissions = List.concat_map Telemetry.emissions_of_source sources in
+      Telemetry.check ~catalog ~doc ~emissions
+  in
+  let source_for path =
+    List.find_opt (fun (s : Source.t) -> String.equal s.Source.src_path path) sources
+  in
+  let waived (d : Diag.t) =
+    match (d.Diag.location.Diag.loc_file, d.Diag.location.Diag.loc_line) with
+    | Some f, Some l -> (
+      match source_for f with
+      | Some src -> Source.waived src ~code:d.Diag.code ~line:l
+      | None -> false)
+    | _ -> false
+  in
+  let all =
+    List.filter
+      (fun d -> not (waived d))
+      (List.rev !parse_failures @ allowlist_diags @ ds @ stale @ rd @ tm)
+  in
+  let by_site =
+    List.stable_sort
+      (fun a b ->
+        compare
+          (a.Diag.location.Diag.loc_file, a.Diag.location.Diag.loc_line)
+          (b.Diag.location.Diag.loc_file, b.Diag.location.Diag.loc_line))
+      all
+  in
+  { run_diags = Diag.sort by_site; run_files = files }
+
+let errors diags = Diag.count_at_least Diag.Error diags
+let strict_failures diags = Diag.count_at_least Diag.Warning diags

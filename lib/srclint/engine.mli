@@ -1,0 +1,24 @@
+(** The srclint driver: file discovery, per-file DS/RD passes, the
+    whole-tree TM pass, allowlist application, and waiver filtering. *)
+
+type options = {
+  opt_root : string;
+  opt_dirs : string list;
+  opt_allowlist : string;  (** repo-relative path to srclint_allow.sexp *)
+  opt_design : string option;  (** repo-relative path to DESIGN.md, if any *)
+}
+
+val default_options : ?root:string -> unit -> options
+
+type run = {
+  run_diags : Lintkit.Diag.t list;
+  run_files : string list;  (** repo-relative paths analyzed *)
+}
+
+val run : options -> run
+
+val errors : Lintkit.Diag.t list -> int
+(** Findings at Error — the non-strict failure count. *)
+
+val strict_failures : Lintkit.Diag.t list -> int
+(** Findings at Warning or above — the [--strict] failure count. *)

@@ -1,0 +1,140 @@
+(* Minimal s-expression reader/printer for srclint_allow.sexp. No external
+   dependency (same zero-dependency posture as servekit): atoms are bare
+   tokens or double-quoted strings with backslash escapes, `;` comments
+   run to end of line. The printer quotes exactly the atoms the reader
+   could not read back bare, so parse -> render -> parse is the identity
+   (asserted in test_srclint). *)
+
+type t = Atom of string | List of t list
+
+let is_bare_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '-' | '_' | '.' | '/' | ':' | '+' | '*' | '<' | '>' | '?' | '=' | '!' | '#' | '%' | '&' -> true
+  | _ -> false
+
+let needs_quoting s =
+  String.length s = 0 || not (String.for_all is_bare_char s)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec to_buf buf = function
+  | Atom s -> if needs_quoting s then (Buffer.add_char buf '"'; Buffer.add_string buf (escape s); Buffer.add_char buf '"') else Buffer.add_string buf s
+  | List items ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ' ';
+        to_buf buf item)
+      items;
+    Buffer.add_char buf ')'
+
+let to_string sexp =
+  let buf = Buffer.create 128 in
+  to_buf buf sexp;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reader *)
+
+exception Parse_error of string
+
+let parse_many src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+  let rec skip_ws () =
+    if !pos < n then
+      match src.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+        incr pos;
+        skip_ws ()
+      | ';' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          incr pos
+        done;
+        skip_ws ()
+      | _ -> ()
+  in
+  let quoted_atom () =
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string at end of input";
+      match src.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "unterminated escape at end of input";
+        (match src.[!pos] with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | c -> fail "bad escape \\%c" c);
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let bare_atom () =
+    let start = !pos in
+    while !pos < n && is_bare_char src.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "unexpected character %C at offset %d" src.[!pos] start;
+    Atom (String.sub src start (!pos - start))
+  in
+  let rec sexp () =
+    skip_ws ();
+    if !pos >= n then fail "unexpected end of input";
+    match src.[!pos] with
+    | '(' ->
+      incr pos;
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        if !pos >= n then fail "unclosed list";
+        if src.[!pos] = ')' then incr pos
+        else begin
+          items := sexp () :: !items;
+          loop ()
+        end
+      in
+      loop ();
+      List (List.rev !items)
+    | ')' -> fail "unexpected ) at offset %d" !pos
+    | '"' -> quoted_atom ()
+    | _ -> bare_atom ()
+  in
+  let out = ref [] in
+  let rec all () =
+    skip_ws ();
+    if !pos < n then begin
+      out := sexp () :: !out;
+      all ()
+    end
+  in
+  all ();
+  List.rev !out
+
+let parse src =
+  match parse_many src with
+  | sexps -> Ok sexps
+  | exception Parse_error msg -> Error msg

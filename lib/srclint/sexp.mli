@@ -1,0 +1,13 @@
+(** Minimal s-expressions for [srclint_allow.sexp]: bare or quoted atoms,
+    [;] line comments. [parse] of [to_string] output is the identity. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+val to_string : t -> string
+
+val parse_many : string -> t list
+(** All toplevel sexps in the input. Raises {!Parse_error}. *)
+
+val parse : string -> (t list, string) result

@@ -1,0 +1,83 @@
+(* One analyzed source file: raw text, its Parsetree (compiler-libs
+   [Parse.implementation] — the exact grammar the compiler uses, no
+   external dependency), and the waiver comments srclint honours.
+
+   A waiver is a comment of the form [(* srclint: allow-TAG *)] on the
+   flagged line or the line directly above it. Comments do not survive
+   into the Parsetree, so they are scanned from the raw text. *)
+
+type t = {
+  src_path : string;  (* repo-relative, '/'-separated *)
+  src_text : string;
+  src_structure : Parsetree.structure;
+  src_waivers : (int * string) list;  (* 1-based line, tag ("catchall", ...) *)
+}
+
+(* Tag accepted for each waivable code. DS002 is deliberately absent:
+   domain-safety exceptions live in srclint_allow.sexp only, so the
+   allowlist stays the single migration worklist. *)
+let waiver_tag_of_code = function
+  | "RD001" -> Some "fd"
+  | "RD002" -> Some "catchall"
+  | "RD003" -> Some "eintr"
+  | "TM001" -> Some "metric"
+  | _ -> None
+
+let scan_waivers text =
+  let marker = "srclint: allow-" in
+  let waivers = ref [] in
+  let line = ref 1 in
+  let mlen = String.length marker in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    (if !i + mlen <= n && String.equal (String.sub text !i mlen) marker then begin
+       let j = ref (!i + mlen) in
+       while !j < n && (match text.[!j] with 'a' .. 'z' | '-' -> true | _ -> false) do
+         incr j
+       done;
+       let tag = String.sub text (!i + mlen) (!j - !i - mlen) in
+       if not (String.equal tag "") then waivers := (!line, tag) :: !waivers
+     end);
+    if text.[!i] = '\n' then incr line;
+    incr i
+  done;
+  List.rev !waivers
+
+let waived t ~code ~line =
+  match waiver_tag_of_code code with
+  | None -> false
+  | Some tag ->
+    List.exists (fun (l, tg) -> String.equal tg tag && (l = line || l = line - 1)) t.src_waivers
+
+let parse ~path text =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure ->
+    Ok { src_path = path; src_text = text; src_structure = structure; src_waivers = scan_waivers text }
+  | exception Syntaxerr.Error _ ->
+    Error (Printf.sprintf "%s: syntax error at line %d" path lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum)
+  | exception Lexer.Error (_, loc) ->
+    Error (Printf.sprintf "%s: lexer error at line %d" path loc.Location.loc_start.Lexing.pos_lnum)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~root ~path =
+  let full = if Filename.is_relative path then Filename.concat root path else path in
+  match read_file full with
+  | text -> parse ~path text
+  | exception Sys_error msg -> Error msg
+
+(* Location helpers shared by the check passes. *)
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let diag_at t ~code ~line severity message =
+  Lintkit.Diag.make
+    ~location:(Lintkit.Diag.at ~file:t.src_path ~line ())
+    ~code severity message

@@ -1,0 +1,21 @@
+(** A parsed source file plus its srclint waiver comments. *)
+
+type t = {
+  src_path : string;  (** repo-relative, '/'-separated *)
+  src_text : string;
+  src_structure : Parsetree.structure;
+  src_waivers : (int * string) list;  (** 1-based line, tag ("catchall", ...) *)
+}
+
+val waiver_tag_of_code : string -> string option
+(** The [(* srclint: allow-TAG *)] tag that waives a code, if any. *)
+
+val waived : t -> code:string -> line:int -> bool
+(** True when a matching waiver comment sits on [line] or [line - 1]. *)
+
+val parse : path:string -> string -> (t, string) result
+val load : root:string -> path:string -> (t, string) result
+val read_file : string -> string
+
+val line_of : Location.t -> int
+val diag_at : t -> code:string -> line:int -> Lintkit.Diag.severity -> string -> Lintkit.Diag.t

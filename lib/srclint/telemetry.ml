@@ -1,0 +1,300 @@
+(* TM: telemetry drift. Three sources of truth must stay in sync:
+
+   1. what the code emits — string literals passed to Metrics.incr /
+      set_gauge / timed / observe_ns and Trace.with_span / emit;
+   2. the storage-series catalog `declare_storage_series` pre-registers
+      so a fresh store's /metrics scrape already lists every series;
+   3. the series table in DESIGN.md.
+
+   The pass is scoped to the catalog's own namespaces (the first dotted
+   segment of each catalog entry — db, buffer_pool): outside those,
+   series are store-scoped and documented in prose. Computed names with a
+   literal prefix (`"db.wal.records." ^ kind`) participate as wildcards;
+   `db.wal.records.<kind>` in DESIGN.md declares the matching wildcard. *)
+
+module P = Parsetree
+module Diag = Lintkit.Diag
+
+type kind = Counter | Gauge | Histogram | Span
+
+let kind_to_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+  | Span -> "span"
+
+type emission = {
+  em_name : string;
+  em_wildcard : bool;  (* em_name is a literal prefix of a computed name *)
+  em_kind : kind;
+  em_file : string;
+  em_line : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Collecting emissions *)
+
+let emit_kind names =
+  let rec last2 = function
+    | [ a; b ] -> Some (a, b)
+    | _ :: rest -> last2 rest
+    | [] -> None
+  in
+  match last2 names with
+  | Some ("Metrics", "incr") -> Some Counter
+  | Some ("Metrics", "set_gauge") -> Some Gauge
+  | Some ("Metrics", "timed") | Some ("Metrics", "observe_ns") -> Some Histogram
+  | Some ("Trace", "with_span") | Some ("Trace", "emit") -> Some Span
+  | _ -> None
+
+(* The series names an argument can evaluate to: a string literal, the
+   literal left operand of a ^-concatenation (a wildcard emission), or
+   every literal arm of a match/if choosing between names. *)
+let rec names_of_expr (e : P.expression) : (string * bool) list =
+  match Checks.string_const e with
+  | Some s -> [ (s, false) ]
+  | None -> (
+    match e.P.pexp_desc with
+    | P.Pexp_apply
+        ( { P.pexp_desc = P.Pexp_ident { txt = Longident.Lident "^"; _ }; _ },
+          (Asttypes.Nolabel, l) :: _ ) -> (
+      match Checks.string_const l with Some s -> [ (s, true) ] | None -> [])
+    | P.Pexp_match (_, cases) -> List.concat_map (fun c -> names_of_expr c.P.pc_rhs) cases
+    | P.Pexp_ifthenelse (_, t, f) ->
+      names_of_expr t @ (match f with Some f -> names_of_expr f | None -> [])
+    | P.Pexp_constraint (inner, _) | P.Pexp_open (_, inner) -> names_of_expr inner
+    | _ -> [])
+
+(* The name argument: the first anonymous argument yielding any names. *)
+let name_args args =
+  let anon =
+    List.filter_map (fun (lbl, a) -> match lbl with Asttypes.Nolabel -> Some a | _ -> None) args
+  in
+  match List.find_map (fun a -> match names_of_expr a with [] -> None | ns -> Some ns) anon with
+  | Some ns -> ns
+  | None -> []
+
+let emissions_of_source (src : Source.t) : emission list =
+  let out = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match ex.P.pexp_desc with
+          | P.Pexp_apply ({ P.pexp_desc = P.Pexp_ident { txt; _ }; _ }, args) -> (
+            match emit_kind (Checks.path_of_lident txt) with
+            | None -> ()
+            | Some k ->
+              List.iter
+                (fun (name, wildcard) ->
+                  out :=
+                    {
+                      em_name = name;
+                      em_wildcard = wildcard;
+                      em_kind = k;
+                      em_file = src.Source.src_path;
+                      em_line = Source.line_of ex.P.pexp_loc;
+                    }
+                    :: !out)
+                (name_args args))
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  List.iter (it.structure_item it) src.Source.src_structure;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* The code catalog: string literals under `declare_storage_series` *)
+
+let catalog_binding = "declare_storage_series"
+
+let catalog_of_source (src : Source.t) : string list =
+  let out = ref [] in
+  let collect (e : P.expression) =
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self ex ->
+            (match Checks.string_const ex with
+            | Some s when not (String.equal s "") -> out := s :: !out
+            | _ -> ());
+            Ast_iterator.default_iterator.expr self ex);
+      }
+    in
+    it.expr it e
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      structure_item =
+        (fun self si ->
+          (match si.P.pstr_desc with
+          | P.Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match Checks.binding_name vb.P.pvb_pat with
+                | Some n when String.equal n catalog_binding -> collect vb.P.pvb_expr
+                | _ -> ())
+              vbs
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item self si);
+    }
+  in
+  List.iter (it.structure_item it) src.Source.src_structure;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* The documented catalog: backticked series names in DESIGN.md *)
+
+(* Backticked filenames (`buffer_pool.ml`, `check.sh`) would otherwise
+   pass the shape test; their final segment is a file extension. *)
+let file_extensions = [ "ml"; "mli"; "md"; "sexp"; "sh"; "exe"; "json"; "txt"; "xml"; "log" ]
+
+let series_shaped token =
+  String.length token > 0
+  && (match token.[0] with 'a' .. 'z' | '_' -> true | _ -> false)
+  && String.contains token '.'
+  && String.for_all
+       (fun c -> match c with 'a' .. 'z' | '0' .. '9' | '_' | '.' | '<' | '>' -> true | _ -> false)
+       token
+  && (match String.rindex_opt token '.' with
+     | Some i ->
+       not (List.mem (String.sub token (i + 1) (String.length token - i - 1)) file_extensions)
+     | None -> true)
+
+let first_segment name = match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(* (exact names, wildcard prefixes) *)
+let doc_names text : string list * string list =
+  let exact = ref [] and prefixes = ref [] in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    if text.[!i] = '`' then begin
+      let j = ref (!i + 1) in
+      while !j < n && text.[!j] <> '`' && text.[!j] <> '\n' do
+        incr j
+      done;
+      if !j < n && text.[!j] = '`' then begin
+        let token = String.sub text (!i + 1) (!j - !i - 1) in
+        if series_shaped token then begin
+          match String.index_opt token '<' with
+          | Some k -> prefixes := String.sub token 0 k :: !prefixes
+          | None -> exact := token :: !exact
+        end;
+        i := !j + 1
+      end
+      else i := !i + 1
+    end
+    else incr i
+  done;
+  (List.rev !exact, List.rev !prefixes)
+
+(* ------------------------------------------------------------------ *)
+(* The drift check *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let check ~catalog ~doc:(doc_exact, doc_prefixes) ~(emissions : emission list) : Diag.t list =
+  let covered_segments =
+    List.sort_uniq compare (List.map first_segment (List.filter series_shaped catalog))
+  in
+  let covered name = List.mem (first_segment name) covered_segments in
+  let catalog = List.filter (fun s -> series_shaped s && covered s) catalog in
+  let doc_exact = List.filter covered doc_exact in
+  let doc_prefixes = List.filter covered doc_prefixes in
+  let have_docs = doc_exact <> [] || doc_prefixes <> [] in
+  let diag ~file ?line sev msg =
+    Diag.make ~location:(Diag.at ~file ?line ()) ~code:(match sev with Diag.Warning -> "TM002" | _ -> "TM001") sev msg
+  in
+  let diags = ref [] in
+  let emitted = List.filter (fun e -> covered e.em_name) emissions in
+  (* emissions must be declared *)
+  List.iter
+    (fun e ->
+      if e.em_wildcard then begin
+        if
+          have_docs
+          && (not (List.exists (fun p -> String.equal p e.em_name) doc_prefixes))
+          && not (List.exists (fun d -> starts_with ~prefix:e.em_name d) doc_exact)
+        then
+          diags :=
+            diag ~file:e.em_file ~line:e.em_line Diag.Error
+              (Printf.sprintf
+                 "computed %s name %S* has no matching entry in the DESIGN.md series table"
+                 (kind_to_string e.em_kind) e.em_name)
+            :: !diags
+      end
+      else begin
+        (match e.em_kind with
+        | Counter | Gauge ->
+          if not (List.mem e.em_name catalog) then
+            diags :=
+              diag ~file:e.em_file ~line:e.em_line Diag.Error
+                (Printf.sprintf
+                   "%s %S is emitted but not pre-declared in %s; a fresh store's /metrics scrape \
+                    would not list it"
+                   (kind_to_string e.em_kind) e.em_name catalog_binding)
+              :: !diags
+        | Histogram | Span -> ());
+        if
+          have_docs
+          && (not (List.mem e.em_name doc_exact))
+          && not (List.exists (fun p -> starts_with ~prefix:p e.em_name) doc_prefixes)
+        then
+          diags :=
+            diag ~file:e.em_file ~line:e.em_line Diag.Error
+              (Printf.sprintf "%s %S is emitted but absent from the DESIGN.md series table"
+                 (kind_to_string e.em_kind) e.em_name)
+            :: !diags
+      end)
+    emitted;
+  (* declared entries must be emitted *)
+  let emits_exact name =
+    List.exists
+      (fun e -> (not e.em_wildcard) && String.equal e.em_name name)
+      emitted
+  in
+  let emits_under name =
+    emits_exact name
+    || List.exists (fun e -> e.em_wildcard && starts_with ~prefix:e.em_name name) emitted
+  in
+  List.iter
+    (fun name ->
+      if not (emits_under name) then
+        diags :=
+          diag ~file:"lib/core/store.ml" Diag.Warning
+            (Printf.sprintf "%s pre-declares %S but no source file emits it" catalog_binding name)
+          :: !diags)
+    (List.sort_uniq compare catalog);
+  List.iter
+    (fun name ->
+      if not (emits_under name) then
+        diags :=
+          diag ~file:"DESIGN.md" Diag.Warning
+            (Printf.sprintf "DESIGN.md series table lists %S but no source file emits it" name)
+          :: !diags)
+    (List.sort_uniq compare doc_exact);
+  List.iter
+    (fun prefix ->
+      if
+        not
+          (List.exists
+             (fun e ->
+               (e.em_wildcard && String.equal e.em_name prefix)
+               || ((not e.em_wildcard) && starts_with ~prefix e.em_name))
+             emitted)
+      then
+        diags :=
+          diag ~file:"DESIGN.md" Diag.Warning
+            (Printf.sprintf "DESIGN.md series table lists %S* but no source file emits under it"
+               prefix)
+          :: !diags)
+    (List.sort_uniq compare doc_prefixes);
+  List.rev !diags

@@ -1,0 +1,28 @@
+(** TM: telemetry drift between emitted series names, the pre-declared
+    storage catalog ([declare_storage_series]), and DESIGN.md's series
+    table. Scoped to the catalog's own namespaces (db, buffer_pool). *)
+
+type kind = Counter | Gauge | Histogram | Span
+
+val kind_to_string : kind -> string
+
+type emission = {
+  em_name : string;
+  em_wildcard : bool;  (** [em_name] is a literal prefix of a computed name *)
+  em_kind : kind;
+  em_file : string;
+  em_line : int;
+}
+
+val emissions_of_source : Source.t -> emission list
+val catalog_of_source : Source.t -> string list
+
+val doc_names : string -> string list * string list
+(** Backticked series-shaped tokens in markdown: (exact, wildcard prefixes —
+    [`db.wal.records.<kind>`] declares the prefix ["db.wal.records."]). *)
+
+val check :
+  catalog:string list ->
+  doc:string list * string list ->
+  emissions:emission list ->
+  Lintkit.Diag.t list

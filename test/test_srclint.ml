@@ -1,0 +1,444 @@
+(* srclint: the sexp/allowlist round trip, one planted fixture per
+   diagnostic code (positive and clean negative), and the whole-repo
+   strict gate — the tree this test ships in must analyze clean, and
+   deleting an allowlist domain: annotation must flip the exit. *)
+
+module Diag = Lintkit.Diag
+module Sexp = Srclint.Sexp
+module Allowlist = Srclint.Allowlist
+module Source = Srclint.Source
+module Checks = Srclint.Checks
+module Telemetry = Srclint.Telemetry
+module Engine = Srclint.Engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let codes diags = List.map (fun (d : Diag.t) -> d.Diag.code) diags
+let has_code c diags = List.mem c (codes diags)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let parse_fixture text =
+  match Source.parse ~path:"fixture.ml" text with
+  | Ok src -> src
+  | Error msg -> Alcotest.failf "fixture does not parse: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Sexp *)
+
+let test_sexp_parse () =
+  match Sexp.parse "(a (b \"c d\") e) ; trailing comment\nf" with
+  | Ok [ Sexp.List [ Sexp.Atom "a"; Sexp.List [ Sexp.Atom "b"; Sexp.Atom "c d" ]; Sexp.Atom "e" ];
+         Sexp.Atom "f" ] -> ()
+  | Ok _ -> Alcotest.fail "unexpected sexp shape"
+  | Error e -> Alcotest.failf "sexp parse failed: %s" e
+
+let test_sexp_roundtrip () =
+  let texts = [ "(a b c)"; "(quoted \"two words\")"; "(escape \"a\\\"b\\\\c\\nd\")"; "()" ] in
+  List.iter
+    (fun text ->
+      match Sexp.parse text with
+      | Error e -> Alcotest.failf "parse %s: %s" text e
+      | Ok sexps ->
+        let rendered = String.concat " " (List.map Sexp.to_string sexps) in
+        check_bool ("round trip " ^ text) true (Sexp.parse rendered = Ok sexps))
+    texts
+
+let test_sexp_errors () =
+  check_bool "unbalanced" true (Result.is_error (Sexp.parse "(a (b)"));
+  check_bool "stray close" true (Result.is_error (Sexp.parse "a)"));
+  check_bool "unterminated string" true (Result.is_error (Sexp.parse "(\"abc)"))
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist *)
+
+let sample_entries =
+  [
+    {
+      Allowlist.al_file = "lib/x/a.ml";
+      al_name = "cache";
+      al_kind = Some "Hashtbl.create";
+      al_domain = Some Allowlist.Lock_planned;
+      al_note = Some "guarded by the registry mutex";
+    };
+    {
+      Allowlist.al_file = "lib/x/b.ml";
+      al_name = "Sub.toggle";
+      al_kind = Some "ref";
+      al_domain = Some Allowlist.Atomic_planned;
+      al_note = None;
+    };
+  ]
+
+let test_allowlist_roundtrip () =
+  match Allowlist.parse (Allowlist.render sample_entries) with
+  | Ok reparsed -> check_bool "render/parse identity" true (reparsed = sample_entries)
+  | Error e -> Alcotest.failf "allowlist round trip: %s" e
+
+let test_allowlist_missing_domain () =
+  match Allowlist.parse "((file lib/x/a.ml) (name cache) (domain not-a-domain))" with
+  | Ok [ e ] -> check_bool "unknown domain maps to None" true (e.Allowlist.al_domain = None)
+  | Ok _ -> Alcotest.fail "expected one entry"
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let test_allowlist_rejects_incomplete () =
+  check_bool "entry needs file+name" true
+    (Result.is_error (Allowlist.parse "((name cache) (domain confined))"))
+
+(* ------------------------------------------------------------------ *)
+(* DS: module-level mutable state *)
+
+let test_ds_finds_state () =
+  let src =
+    parse_fixture
+      "let cache = Hashtbl.create 16\n\
+       let toggle = ref false\n\
+       let buf = Buffer.create 80\n\
+       let table = [| 1; 2 |]\n\
+       module Sub = struct\n\
+      \  let inner = ref 0\n\
+       end\n"
+  in
+  let names = List.map (fun (s : Checks.state_site) -> s.Checks.st_name) (Checks.module_state src) in
+  check_bool "hashtbl" true (List.mem "cache" names);
+  check_bool "ref" true (List.mem "toggle" names);
+  check_bool "buffer" true (List.mem "buf" names);
+  check_bool "array literal" true (List.mem "table" names);
+  check_bool "submodule, qualified" true (List.mem "Sub.inner" names)
+
+let test_ds_ignores_local_state () =
+  let src =
+    parse_fixture
+      "let pure = 42\n\
+       let f () =\n\
+      \  let local = ref 0 in\n\
+      \  incr local;\n\
+      \  !local\n\
+       let g = fun () -> Hashtbl.create 8\n"
+  in
+  check_int "no module state" 0 (List.length (Checks.module_state src))
+
+(* ------------------------------------------------------------------ *)
+(* RD001: fd leaks *)
+
+let test_rd001_leak () =
+  let src =
+    parse_fixture
+      "let bad path =\n\
+      \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+      \  let n = Unix.read fd (Bytes.create 1) 0 1 in\n\
+      \  Unix.close fd;\n\
+      \  n\n"
+  in
+  check_bool "read before guard leaks" true (has_code "RD001" (Checks.fd_leaks src))
+
+let test_rd001_protect_clean () =
+  let src =
+    parse_fixture
+      "let good path =\n\
+      \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+      \  Fun.protect\n\
+      \    ~finally:(fun () -> Unix.close fd)\n\
+      \    (fun () -> Unix.read fd (Bytes.create 1) 0 1)\n"
+  in
+  check_int "Fun.protect discharges" 0 (List.length (Checks.fd_leaks src))
+
+let test_rd001_try_close_clean () =
+  let src =
+    parse_fixture
+      "let good path =\n\
+      \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+      \  (try ignore (Unix.lseek fd 0 Unix.SEEK_END)\n\
+      \   with e ->\n\
+      \     Unix.close fd;\n\
+      \     raise e);\n\
+      \  fd\n"
+  in
+  check_int "closing handler discharges" 0 (List.length (Checks.fd_leaks src))
+
+let test_rd001_ownership_escape () =
+  let src =
+    parse_fixture
+      "type t = { fd : Unix.file_descr }\n\
+       let good path =\n\
+      \  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in\n\
+      \  { fd }\n"
+  in
+  check_int "record escape transfers ownership" 0 (List.length (Checks.fd_leaks src))
+
+(* ------------------------------------------------------------------ *)
+(* RD002: catch-all handlers *)
+
+let test_rd002_catchall () =
+  let src = parse_fixture "let f g = try g () with _ -> None\n" in
+  check_bool "wildcard handler" true (has_code "RD002" (Checks.catchalls src));
+  let src = parse_fixture "let f g = match g () with x -> x | exception _ -> 0\n" in
+  check_bool "exception case" true (has_code "RD002" (Checks.catchalls src))
+
+let test_rd002_clean () =
+  let src = parse_fixture "let f g = try g () with Not_found | Failure _ -> None\n" in
+  check_int "explicit set" 0 (List.length (Checks.catchalls src));
+  let src = parse_fixture "let f g = try g () with e -> cleanup (); raise e\n" in
+  check_int "re-raising handler" 0 (List.length (Checks.catchalls src))
+
+let test_rd002_waiver () =
+  let text =
+    "let f g =\n\
+    \  (* boundary — srclint: allow-catchall *)\n\
+    \  try g () with _ -> None\n"
+  in
+  let src = parse_fixture text in
+  let diags = Checks.catchalls src in
+  check_bool "still reported by the pass" true (has_code "RD002" diags);
+  List.iter
+    (fun (d : Diag.t) ->
+      match d.Diag.location.Diag.loc_line with
+      | Some line -> check_bool "waived by the comment" true (Source.waived src ~code:"RD002" ~line)
+      | None -> Alcotest.fail "RD002 finding has no line")
+    diags
+
+(* ------------------------------------------------------------------ *)
+(* RD003: EINTR *)
+
+let test_rd003_unguarded_loop () =
+  let src =
+    parse_fixture
+      "let drain fd buf =\n\
+      \  while Unix.read fd buf 0 (Bytes.length buf) > 0 do\n\
+      \    ()\n\
+      \  done\n"
+  in
+  check_bool "read in loop" true (has_code "RD003" (Checks.eintr_in_loops src))
+
+let test_rd003_retry_clean () =
+  let src =
+    parse_fixture
+      "let rec read_retry fd buf off len =\n\
+      \  try Unix.read fd buf off len\n\
+      \  with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf off len\n\
+       let drain fd buf =\n\
+      \  while read_retry fd buf 0 (Bytes.length buf) > 0 do\n\
+      \    ()\n\
+      \  done\n"
+  in
+  check_int "retry helper is clean" 0 (List.length (Checks.eintr_in_loops src))
+
+(* ------------------------------------------------------------------ *)
+(* TM: telemetry drift *)
+
+let tm_fixture =
+  "let declare_storage_series () =\n\
+  \  List.iter (fun n -> Metrics.incr ~by:0 n) [ \"db.a\"; \"db.b\"; \"db.unused\" ]\n\
+   let work kind flag =\n\
+  \  Metrics.incr \"db.a\";\n\
+  \  Metrics.incr (\"db.kinds.\" ^ kind);\n\
+  \  Metrics.incr (if flag then \"db.b\" else \"db.a\");\n\
+  \  Metrics.incr \"db.undeclared\"\n"
+
+let test_tm_emissions () =
+  let src = parse_fixture tm_fixture in
+  let ems = Telemetry.emissions_of_source src in
+  let names = List.map (fun (e : Telemetry.emission) -> e.Telemetry.em_name) ems in
+  check_bool "literal" true (List.mem "db.a" names);
+  check_bool "match/if arms both collected" true (List.mem "db.b" names);
+  check_bool "concat prefix" true
+    (List.exists
+       (fun (e : Telemetry.emission) -> e.Telemetry.em_wildcard && e.Telemetry.em_name = "db.kinds.")
+       ems);
+  check_string "catalog collected" "db.a db.b db.unused"
+    (String.concat " " (Telemetry.catalog_of_source src))
+
+let test_tm_drift () =
+  let src = parse_fixture tm_fixture in
+  let catalog = Telemetry.catalog_of_source src in
+  let doc = Telemetry.doc_names "table: `db.a`, `db.b`, `db.unused`, `db.undeclared`, `db.kinds.<kind>`" in
+  let diags =
+    Telemetry.check ~catalog ~doc ~emissions:(Telemetry.emissions_of_source src)
+  in
+  check_bool "undeclared emission is TM001" true (has_code "TM001" diags);
+  check_bool "never-emitted catalog entry is TM002" true (has_code "TM002" diags);
+  check_bool "TM001 names the series" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         d.Diag.code = "TM001" && contains_sub d.Diag.message "db.undeclared")
+       diags)
+
+let test_tm_sync_clean () =
+  let text =
+    "let declare_storage_series () =\n\
+    \  List.iter (fun n -> Metrics.incr ~by:0 n) [ \"db.a\"; \"db.b\" ]\n\
+     let work kind =\n\
+    \  Metrics.incr \"db.a\";\n\
+    \  Metrics.incr \"db.b\";\n\
+    \  Metrics.incr (\"db.kinds.\" ^ kind)\n"
+  in
+  let src = parse_fixture text in
+  let doc = Telemetry.doc_names "`db.a` `db.b` `db.kinds.<kind>` and the file `store.ml`" in
+  let diags =
+    Telemetry.check ~catalog:(Telemetry.catalog_of_source src) ~doc
+      ~emissions:(Telemetry.emissions_of_source src)
+  in
+  check_int "exact sync is clean" 0 (List.length diags)
+
+let test_tm_doc_names () =
+  let exact, prefixes =
+    Telemetry.doc_names "`db.wal.append` text `buffer_pool.ml` more `db.wal.records.<kind>`"
+  in
+  check_string "exact" "db.wal.append" (String.concat " " exact);
+  check_string "filename excluded, wildcard prefix kept" "db.wal.records."
+    (String.concat " " prefixes)
+
+(* ------------------------------------------------------------------ *)
+(* The whole-repo gate. Deps copy ../lib, ../bin, ../srclint_allow.sexp
+   and ../DESIGN.md next to the test, so the repo root is "..". *)
+
+let repo_root =
+  (* dune runtest runs us in _build/default/test with the deps one level
+     up; dune exec runs from the repo root itself *)
+  List.find
+    (fun root -> Sys.file_exists (Filename.concat root "srclint_allow.sexp"))
+    [ "."; ".."; "../.." ]
+
+let repo_opts () =
+  { (Engine.default_options ~root:repo_root ()) with Engine.opt_dirs = [ "lib"; "bin" ] }
+
+let test_repo_strict_clean () =
+  let { Engine.run_diags = diags; run_files = files } = Engine.run (repo_opts ()) in
+  check_bool "analyzed a real tree" true (List.length files > 50);
+  let non_info =
+    List.filter (fun (d : Diag.t) -> d.Diag.severity <> Diag.Info) diags
+  in
+  if non_info <> [] then
+    Alcotest.failf "repo is not srclint-clean:\n%s" (Diag.render_text non_info);
+  check_int "strict failures" 0 (Engine.strict_failures diags);
+  (* the DS001 inventory is exactly the allowlist *)
+  let allow =
+    match Allowlist.parse (Source.read_file (Filename.concat repo_root "srclint_allow.sexp")) with
+    | Ok entries -> entries
+    | Error e -> Alcotest.failf "allowlist: %s" e
+  in
+  check_int "one DS001 per allowlist entry" (List.length allow)
+    (List.length (List.filter (fun (d : Diag.t) -> d.Diag.code = "DS001") diags))
+
+let test_repo_annotation_deletion_flips () =
+  let allow =
+    match Allowlist.parse (Source.read_file (Filename.concat repo_root "srclint_allow.sexp")) with
+    | Ok entries -> entries
+    | Error e -> Alcotest.failf "allowlist: %s" e
+  in
+  check_bool "allowlist is non-empty" true (allow <> []);
+  (* every entry carries domain: *)
+  List.iter
+    (fun (e : Allowlist.entry) ->
+      check_bool (e.Allowlist.al_file ^ "." ^ e.Allowlist.al_name ^ " has domain:") true
+        (e.Allowlist.al_domain <> None))
+    allow;
+  (* delete one annotation: the strict run must now fail with DS002 *)
+  let crippled =
+    match allow with
+    | first :: rest -> { first with Allowlist.al_domain = None } :: rest
+    | [] -> assert false
+  in
+  let tmp = Filename.concat repo_root "srclint_allow_test_tmp.sexp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Allowlist.render crippled));
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let opts = { (repo_opts ()) with Engine.opt_allowlist = "srclint_allow_test_tmp.sexp" } in
+      let { Engine.run_diags = diags; _ } = Engine.run opts in
+      check_bool "DS002 appears" true (has_code "DS002" diags);
+      check_bool "errors flip the exit" true (Engine.errors diags > 0))
+
+let test_repo_planted_anti_pattern_flips () =
+  let dir = Filename.concat repo_root "srclint_fixture_tmp" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let file = Filename.concat dir "planted.ml" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "let hidden_state = Hashtbl.create 3\nlet f g = try g () with _ -> 0\n");
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove file with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      let opts = { (repo_opts ()) with Engine.opt_dirs = [ "lib"; "bin"; "srclint_fixture_tmp" ] } in
+      let { Engine.run_diags = diags; _ } = Engine.run opts in
+      check_bool "planted DS002" true (has_code "DS002" diags);
+      check_bool "planted RD002" true (has_code "RD002" diags);
+      check_bool "errors flip the exit" true (Engine.errors diags > 0))
+
+let test_repo_json_roundtrip () =
+  let { Engine.run_diags = diags; _ } = Engine.run (repo_opts ()) in
+  let json = Obskit.Json.to_string (Diag.list_to_json diags) in
+  match Obskit.Json.parse json with
+  | Error e -> Alcotest.failf "report does not re-parse: %s" e
+  | Ok parsed -> (
+    match Diag.list_of_json parsed with
+    | Ok reparsed -> check_bool "diags survive the round trip" true (reparsed = diags)
+    | Error e -> Alcotest.failf "diag decode: %s" e)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "srclint"
+    [
+      ( "sexp",
+        [
+          Alcotest.test_case "parse" `Quick test_sexp_parse;
+          Alcotest.test_case "round trip" `Quick test_sexp_roundtrip;
+          Alcotest.test_case "errors" `Quick test_sexp_errors;
+        ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "round trip" `Quick test_allowlist_roundtrip;
+          Alcotest.test_case "missing domain" `Quick test_allowlist_missing_domain;
+          Alcotest.test_case "incomplete entry" `Quick test_allowlist_rejects_incomplete;
+        ] );
+      ( "ds",
+        [
+          Alcotest.test_case "finds module state" `Quick test_ds_finds_state;
+          Alcotest.test_case "ignores local state" `Quick test_ds_ignores_local_state;
+        ] );
+      ( "rd001",
+        [
+          Alcotest.test_case "leak" `Quick test_rd001_leak;
+          Alcotest.test_case "Fun.protect clean" `Quick test_rd001_protect_clean;
+          Alcotest.test_case "closing handler clean" `Quick test_rd001_try_close_clean;
+          Alcotest.test_case "ownership escape" `Quick test_rd001_ownership_escape;
+        ] );
+      ( "rd002",
+        [
+          Alcotest.test_case "catch-all" `Quick test_rd002_catchall;
+          Alcotest.test_case "clean handlers" `Quick test_rd002_clean;
+          Alcotest.test_case "waiver" `Quick test_rd002_waiver;
+        ] );
+      ( "rd003",
+        [
+          Alcotest.test_case "unguarded loop" `Quick test_rd003_unguarded_loop;
+          Alcotest.test_case "retry helper" `Quick test_rd003_retry_clean;
+        ] );
+      ( "tm",
+        [
+          Alcotest.test_case "emissions" `Quick test_tm_emissions;
+          Alcotest.test_case "drift" `Quick test_tm_drift;
+          Alcotest.test_case "exact sync clean" `Quick test_tm_sync_clean;
+          Alcotest.test_case "doc names" `Quick test_tm_doc_names;
+        ] );
+      ( "repo",
+        [
+          Alcotest.test_case "strict clean" `Quick test_repo_strict_clean;
+          Alcotest.test_case "annotation deletion flips" `Quick test_repo_annotation_deletion_flips;
+          Alcotest.test_case "planted anti-pattern flips" `Quick test_repo_planted_anti_pattern_flips;
+          Alcotest.test_case "json round trip" `Quick test_repo_json_roundtrip;
+        ] );
+    ]
