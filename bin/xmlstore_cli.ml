@@ -786,7 +786,15 @@ let serve_cmd =
              ~doc:"Run this XPath once before serving, so /metrics and /traces show a real \
                    query.")
   in
-  let run scheme dtd_file path port host durable warm =
+  let readers_arg =
+    Arg.(value & opt int 4
+         & info [ "readers" ] ~docv:"N"
+             ~doc:"Serve the data plane (POST /query, POST /load) from a store pool with N \
+                   reader permits, on N serving domains. 0 disables the pool: the classic \
+                   single-threaded observability-only endpoint.")
+  in
+  let run scheme dtd_file path port host durable warm readers =
+    if readers < 0 then failwith "--readers must be >= 0";
     (* keep the ring buffer populated for /traces without paying for
        always-on tracing: sample every trace while serving *)
     Obskit.Trace.set_sampling Obskit.Trace.Always;
@@ -798,18 +806,29 @@ let serve_cmd =
     in
     Store.set_slow_threshold store (Some 0.0);
     (match warm with Some x -> ignore (Store.query store doc x) | None -> ());
-    let server = Store.serve ~host ~port store in
-    Printf.printf "serving %s on http://%s:%d (endpoints: /metrics /healthz /slowlog /traces \
-                   /stats)\n%!"
-      path host (Servekit.Server.port server);
-    Servekit.Server.run server
+    if readers = 0 then begin
+      let server = Store.serve ~host ~port store in
+      Printf.printf "serving %s on http://%s:%d (endpoints: /metrics /healthz /slowlog /traces \
+                     /stats)\n%!"
+        path host (Servekit.Server.port server);
+      Servekit.Server.run server
+    end
+    else begin
+      let pool = Storepool.Pool.create ~readers store in
+      let server = Storepool.Service.serve ~host ~port pool in
+      Printf.printf "serving %s on http://%s:%d with %d reader domain(s) (endpoints: POST \
+                     /query /load; GET /pool /metrics /healthz /slowlog /traces /stats)\n%!"
+        path host (Servekit.Server.port server) readers;
+      Servekit.Server.run_parallel ~domains:readers server
+    end
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve the store's observability endpoints (/metrics, /healthz, /slowlog, /traces, \
-             /stats) over an embedded HTTP listener until interrupted.")
+       ~doc:"Serve the store's HTTP endpoints — the pooled data plane (POST /query, POST \
+             /load; see --readers) plus observability (/metrics, /healthz, /slowlog, /traces, \
+             /stats) — until interrupted.")
     Term.(const run $ scheme_arg $ dtd_arg $ path_arg $ port_arg $ host_arg $ durable_flag
-          $ warm_arg)
+          $ warm_arg $ readers_arg)
 
 let main =
   Cmd.group

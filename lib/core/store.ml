@@ -70,14 +70,12 @@ let resolve_mapping ~scheme ~dtd =
 
 (* Metrics-registry label distinguishing this instance's series from
    other live stores'. Auto-generated scheme#N unless overridden. *)
-let instance_counter = ref 0
+let instance_counter = Atomic.make 0
 
 let fresh_label ?metrics_label scheme =
   match metrics_label with
   | Some l -> l
-  | None ->
-    incr instance_counter;
-    Printf.sprintf "%s#%d" scheme !instance_counter
+  | None -> Printf.sprintf "%s#%d" scheme (Atomic.fetch_and_add instance_counter 1 + 1)
 
 (* Durable stores keep a one-line "scheme" file next to the page files,
    so [open_durable] needs no scheme argument from the caller. *)
@@ -563,6 +561,43 @@ let open_durable ?dtd ?(validate = false) ?metrics_label dir =
 (* Persistence: the store round-trips through the relational dump. *)
 
 let save t path = Db.dump_to_file t.db path
+
+(* In-memory snapshot of the whole store (the relational dump prefixed by
+   a scheme header line), and its inverse. The pool uses these to hand
+   each reader domain a private replica of the writer's state: dump →
+   restore round-trips every scheme byte-exactly (PR 7), so a replica
+   answers Q1–Q12 identically to the store it was taken from. *)
+let snapshot t = t.scheme ^ "\n" ^ Db.dump t.db
+
+let of_snapshot ?dtd ?metrics_label snap =
+  let nl = try String.index snap '\n' with Not_found -> err "snapshot has no scheme header" in
+  let scheme = String.sub snap 0 nl in
+  let body = String.sub snap (nl + 1) (String.length snap - nl - 1) in
+  let mapping = resolve_mapping ~scheme ~dtd in
+  let db = Db.restore body in
+  if Option.is_none (Db.find_table db "documents") then
+    err "snapshot does not contain a document registry";
+  let next_doc =
+    match (Db.query db "SELECT max(doc) FROM documents").Relstore.Executor.rows with
+    | [ [| Relstore.Value.Int m |] ] -> m + 1
+    | _ -> 0
+  in
+  {
+    db;
+    mapping;
+    scheme;
+    dtd;
+    validate = false;
+    indexes = true;
+    bulk = true;
+    metrics_label = fresh_label ?metrics_label scheme;
+    next_doc;
+    slow_threshold_ns = None;
+    slow_capacity = default_slow_log_capacity;
+    slow_entries = [];
+    guides = Hashtbl.create 8;
+    empty_fastpath = true;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Embedded observability server: GET /metrics /healthz /slowlog

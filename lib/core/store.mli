@@ -263,6 +263,18 @@ val load :
 (** Reopen a store saved with {!save}. The scheme must match the one the
     dump was produced with ([inline] additionally needs the same DTD). *)
 
+val snapshot : t -> string
+(** The whole store as one string: a scheme header line followed by the
+    relational dump ({!save}'s format). Dump → restore round-trips every
+    scheme byte-exactly, so a store rebuilt from the snapshot answers
+    queries identically. This is the store pool's isolation mechanism
+    ({!Storepool.Pool}): each reader domain executes against a private
+    replica built from the writer's latest snapshot. *)
+
+val of_snapshot : ?dtd:Xmlkit.Dtd.t -> ?metrics_label:string -> string -> t
+(** Rebuild an in-memory store from {!snapshot} output ([inline] needs
+    the same DTD the original was created with). *)
+
 (** {1 Observability server}
 
     An embedded single-threaded HTTP endpoint over the store's in-memory
@@ -275,6 +287,11 @@ val load :
     GET /traces    Chrome trace JSON of the span ring buffer
     GET /stats     JSON table, cache, and document statistics
     v} *)
+
+val handle : t -> Servekit.Http.request -> Servekit.Http.response
+(** The observability request handler behind {!serve}, exposed so other
+    front doors (the store pool's data-plane service) can delegate
+    GET endpoints to it. *)
 
 val serve : ?host:string -> ?port:int -> t -> Servekit.Server.t
 (** Bind the observability listener ([host] defaults to "127.0.0.1",

@@ -1,20 +1,25 @@
 (* Hierarchical spans over the monotonic clock, collected into a bounded
-   ring buffer. Ambient and single-threaded, like the engine itself: the
-   current open-span stack is dynamically scoped, so instrumented layers
-   nest without threading a context value through every signature.
+   ring buffer. The ambient open-span stack is dynamically scoped *per
+   domain* ([Domain.DLS]), so instrumented layers nest without threading
+   a context value through every signature and pool reader domains trace
+   independently; the ring of retained spans is the one shared structure
+   and sits behind [ring_mutex]. Trace/span ids come from atomics so ids
+   stay unique across domains.
 
    Sampling is decided once per trace, at the root span:
      - Off:       with_span is a single branch and a tail call; no
                   allocation, no clock read.
      - Always:    every trace is retained.
-     - Ratio p:   a deterministic xorshift PRNG keeps roughly p of the
-                  traces; unsampled traces pay only depth bookkeeping.
+     - Ratio p:   a deterministic xorshift PRNG (per-domain state) keeps
+                  roughly p of the traces; unsampled traces pay only
+                  depth bookkeeping.
      - Slow_only t: every trace is recorded, but only those whose root
                   span lasts at least t ns are retained at the end.
 
-   Spans of a trace are buffered until the root finishes (required by
-   Slow_only) and then flushed to the ring; a crashed operation still
-   flushes because with_span finishes spans in a finalizer. *)
+   Spans of a trace are buffered domain-locally until the root finishes
+   (required by Slow_only) and then flushed to the ring under the mutex;
+   a crashed operation still flushes because with_span finishes spans in
+   a finalizer. *)
 
 type span = {
   trace_id : int;
@@ -28,157 +33,196 @@ type span = {
 
 type sampling = Off | Always | Ratio of float | Slow_only of int
 
-let sampling_mode = ref Off
+let sampling_mode = Atomic.make Off
 
-(* ring buffer of retained spans *)
-let capacity = ref 8192
-let ring : span option array ref = ref (Array.make !capacity None)
+(* ring buffer of retained spans, guarded by [ring_mutex] *)
+let ring_mutex = Mutex.create ()
+let capacity = Atomic.make 8192
+let ring : span option array ref = ref (Array.make (Atomic.get capacity) None)
 let ring_pos = ref 0
 let ring_count = ref 0
-let dropped = ref 0
+let dropped = Atomic.make 0
 
-(* current trace *)
-let depth = ref 0  (* with_span nesting, counted even when not recording *)
-let recording_now = ref false
-let cur_trace_id = ref 0
-let stack : span list ref = ref []  (* open spans, innermost first *)
-let trace_buf : span list ref = ref []  (* finished spans, reverse order *)
-let trace_len = ref 0
+(* Per-domain trace state: with_span nesting, the open-span stack, and
+   the finished-span buffer of the in-flight trace. *)
+type tls = {
+  mutable depth : int;  (* with_span nesting, counted even when not recording *)
+  mutable recording_now : bool;
+  mutable cur_trace_id : int;
+  mutable stack : span list;  (* open spans, innermost first *)
+  mutable trace_buf : span list;  (* finished spans, reverse order *)
+  mutable trace_len : int;
+  mutable rng : int;  (* xorshift64* state for Ratio sampling *)
+}
 
-let next_trace = ref 0
-let next_span = ref 0
+let tls : tls Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        depth = 0;
+        recording_now = false;
+        cur_trace_id = 0;
+        stack = [];
+        trace_buf = [];
+        trace_len = 0;
+        (* decorrelate sampling across domains while keeping the main
+           domain's sequence deterministic (its id is 0) *)
+        rng = 0x1E3779B97F4A7C15 lxor ((Domain.self () :> int) * 0x9E3779B9);
+      })
+
+let next_trace = Atomic.make 0
+let next_span = Atomic.make 0
 
 (* xorshift64*: cheap, deterministic, good enough for trace sampling *)
-let rng = ref 0x1E3779B97F4A7C15
 let rng_float () =
-  let x = !rng in
+  let t = Domain.DLS.get tls in
+  let x = t.rng in
   let x = x lxor (x lsl 13) in
   let x = x lxor (x lsr 7) in
   let x = x lxor (x lsl 17) in
-  rng := x;
+  t.rng <- x;
   float_of_int (x land max_int) /. float_of_int max_int
 
-let enabled () = !sampling_mode <> Off
-let recording () = !recording_now
-let sampling () = !sampling_mode
-let set_sampling m = sampling_mode := m
+let enabled () = Atomic.get sampling_mode <> Off
+let recording () = (Domain.DLS.get tls).recording_now
+let sampling () = Atomic.get sampling_mode
+let set_sampling m = Atomic.set sampling_mode m
 
 let set_capacity n =
   let n = max 1 n in
-  capacity := n;
-  ring := Array.make n None;
-  ring_pos := 0;
-  ring_count := 0
+  Mutex.protect ring_mutex (fun () ->
+      Atomic.set capacity n;
+      ring := Array.make n None;
+      ring_pos := 0;
+      ring_count := 0)
 
+(* caller holds ring_mutex *)
 let push_ring s =
+  let cap = Atomic.get capacity in
   !ring.(!ring_pos) <- Some s;
-  ring_pos := (!ring_pos + 1) mod !capacity;
-  if !ring_count < !capacity then incr ring_count
+  ring_pos := (!ring_pos + 1) mod cap;
+  if !ring_count < cap then incr ring_count
 
-let buffer_span s =
-  if !trace_len < !capacity then begin
-    trace_buf := s :: !trace_buf;
-    incr trace_len
+let buffer_span t s =
+  if t.trace_len < Atomic.get capacity then begin
+    t.trace_buf <- s :: t.trace_buf;
+    t.trace_len <- t.trace_len + 1
   end
-  else incr dropped
+  else Atomic.incr dropped
 
-let begin_span name attrs =
-  incr next_span;
-  let parent_id = match !stack with [] -> None | p :: _ -> Some p.span_id in
+let begin_span t name attrs =
+  let span_id = Atomic.fetch_and_add next_span 1 + 1 in
+  let parent_id = match t.stack with [] -> None | p :: _ -> Some p.span_id in
   let s =
-    { trace_id = !cur_trace_id; span_id = !next_span; parent_id; name; attrs;
+    { trace_id = t.cur_trace_id; span_id; parent_id; name; attrs;
       start_ns = Clock.now_ns (); dur_ns = -1 }
   in
-  stack := s :: !stack;
+  t.stack <- s :: t.stack;
   s
 
-let finish_span s =
+let finish_span t s =
   s.dur_ns <- Clock.now_ns () - s.start_ns;
-  (match !stack with _ :: rest -> stack := rest | [] -> ());
-  buffer_span s
+  (match t.stack with _ :: rest -> t.stack <- rest | [] -> ());
+  buffer_span t s
 
-let finish_trace root =
+let finish_trace t root =
   let keep =
-    match !sampling_mode with Slow_only t -> root.dur_ns >= t | _ -> true
+    match Atomic.get sampling_mode with Slow_only thr -> root.dur_ns >= thr | _ -> true
   in
-  if keep then List.iter push_ring (List.rev !trace_buf);
-  trace_buf := [];
-  trace_len := 0;
-  stack := [];
-  recording_now := false
+  if keep then begin
+    let spans = List.rev t.trace_buf in
+    Mutex.protect ring_mutex (fun () -> List.iter push_ring spans)
+  end;
+  t.trace_buf <- [];
+  t.trace_len <- 0;
+  t.stack <- [];
+  t.recording_now <- false
 
 let sample_decision () =
-  match !sampling_mode with
+  match Atomic.get sampling_mode with
   | Off -> false
   | Always | Slow_only _ -> true
   | Ratio p -> rng_float () < p
 
 let with_span ?(attrs = []) name f =
   if not (enabled ()) then f ()
-  else if !depth = 0 then begin
-    (* root span: decide whether this trace records at all *)
-    recording_now := sample_decision ();
-    if !recording_now then begin
-      incr next_trace;
-      cur_trace_id := !next_trace;
-      let s = begin_span name attrs in
-      incr depth;
+  else
+    let t = Domain.DLS.get tls in
+    if t.depth = 0 then begin
+      (* root span: decide whether this trace records at all *)
+      t.recording_now <- sample_decision ();
+      if t.recording_now then begin
+        t.cur_trace_id <- Atomic.fetch_and_add next_trace 1 + 1;
+        let s = begin_span t name attrs in
+        t.depth <- t.depth + 1;
+        Fun.protect
+          ~finally:(fun () ->
+            t.depth <- t.depth - 1;
+            finish_span t s;
+            finish_trace t s)
+          f
+      end
+      else begin
+        t.depth <- t.depth + 1;
+        Fun.protect
+          ~finally:(fun () ->
+            t.depth <- t.depth - 1;
+            t.recording_now <- false)
+          f
+      end
+    end
+    else if t.recording_now then begin
+      let s = begin_span t name attrs in
+      t.depth <- t.depth + 1;
       Fun.protect
         ~finally:(fun () ->
-          decr depth;
-          finish_span s;
-          finish_trace s)
+          t.depth <- t.depth - 1;
+          finish_span t s)
         f
     end
     else begin
-      incr depth;
-      Fun.protect ~finally:(fun () -> decr depth; recording_now := false) f
+      t.depth <- t.depth + 1;
+      Fun.protect ~finally:(fun () -> t.depth <- t.depth - 1) f
     end
-  end
-  else if !recording_now then begin
-    let s = begin_span name attrs in
-    incr depth;
-    Fun.protect ~finally:(fun () -> decr depth; finish_span s) f
-  end
-  else begin
-    incr depth;
-    Fun.protect ~finally:(fun () -> decr depth) f
-  end
 
-let current () = match !stack with [] -> None | s :: _ -> Some s
+let current () = match (Domain.DLS.get tls).stack with [] -> None | s :: _ -> Some s
 
 let add_attr key value =
-  match !stack with [] -> () | s :: _ -> s.attrs <- s.attrs @ [ (key, value) ]
+  match (Domain.DLS.get tls).stack with
+  | [] -> ()
+  | s :: _ -> s.attrs <- s.attrs @ [ (key, value) ]
 
 (* Record an already-measured interval as a finished span (used to bridge
    the EXPLAIN ANALYZE operator tree into the trace). Returns the span id
    so callers can parent further synthesized spans under it. *)
 let emit ?(attrs = []) ?parent ~start_ns ~dur_ns name =
-  incr next_span;
-  if !recording_now then begin
+  let t = Domain.DLS.get tls in
+  let span_id = Atomic.fetch_and_add next_span 1 + 1 in
+  if t.recording_now then begin
     let parent_id =
       match parent with
       | Some _ -> parent
-      | None -> ( match !stack with [] -> None | p :: _ -> Some p.span_id)
+      | None -> ( match t.stack with [] -> None | p :: _ -> Some p.span_id)
     in
-    buffer_span
-      { trace_id = !cur_trace_id; span_id = !next_span; parent_id; name; attrs;
+    buffer_span t
+      { trace_id = t.cur_trace_id; span_id; parent_id; name; attrs;
         start_ns; dur_ns = max 0 dur_ns }
   end;
-  !next_span
+  span_id
 
 let spans () =
-  let cap = !capacity in
-  let start = (!ring_pos - !ring_count + cap * 2) mod cap in
-  List.init !ring_count (fun i ->
-      match !ring.((start + i) mod cap) with
-      | Some s -> s
-      | None -> assert false)
+  Mutex.protect ring_mutex (fun () ->
+      let cap = Atomic.get capacity in
+      let start = (!ring_pos - !ring_count + cap * 2) mod cap in
+      List.init !ring_count (fun i ->
+          match !ring.((start + i) mod cap) with
+          | Some s -> s
+          | None -> assert false))
 
-let dropped_count () = !dropped
+let dropped_count () = Atomic.get dropped
 
 let clear () =
-  Array.fill !ring 0 !capacity None;
-  ring_pos := 0;
-  ring_count := 0;
-  dropped := 0
+  Mutex.protect ring_mutex (fun () ->
+      Array.fill !ring 0 (Atomic.get capacity) None;
+      ring_pos := 0;
+      ring_count := 0;
+      Atomic.set dropped 0)

@@ -1,0 +1,24 @@
+(** HTTP data plane over a {!Pool}: parallel query serving with the
+    observability endpoints delegated to the primary.
+
+    {v
+    POST /query    {"doc": N, "xpath": "..."} (or ?doc=N&xpath=...)
+                   JSON answer: count, values, fallback, epoch
+    POST /load     XML document body (?name=... optional); commits a
+                   new pool epoch
+    GET  /pool     pool occupancy and epoch
+    GET  <other>   the store's observability endpoints (/metrics,
+                   /healthz, /slowlog, /traces, /stats) on the primary
+    v}
+
+    The handler is domain-safe: serve it with
+    {!Servekit.Server.run_parallel} and queries execute concurrently on
+    pool replicas while loads serialize through the writer path. *)
+
+val handler : Pool.t -> Servekit.Http.request -> Servekit.Http.response
+
+val serve : ?host:string -> ?port:int -> Pool.t -> Servekit.Server.t
+(** Bind a listener for {!handler} ([host] defaults to "127.0.0.1",
+    [port] to 0 = ephemeral) and return it without serving — run it
+    with {!Servekit.Server.run_parallel}. Pre-registers the storage and
+    [pool.*] telemetry series. *)

@@ -845,14 +845,14 @@ let columns_of cat plan =
 
 (* Batched execution is the default; the iterator path remains for
    EXPLAIN ANALYZE instrumentation and as the benchmark baseline. *)
-let batched_enabled = ref true
-let set_batched b = batched_enabled := b
-let batched_on () = !batched_enabled
+let batched_enabled = Atomic.make true
+let set_batched b = Atomic.set batched_enabled b
+let batched_on () = Atomic.get batched_enabled
 
 let run ?(params = [||]) cat plan =
   let columns = columns_of cat plan in
   let rows =
-    if !batched_enabled then begin
+    if Atomic.get batched_enabled then begin
       (* A root Project is fused into the drain: projected rows are
          consed straight onto the (young) result list instead of being
          written back into the old batch array, which would hit the

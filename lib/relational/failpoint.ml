@@ -5,16 +5,18 @@
 
 exception Injected_crash of string
 
-let armed = ref None
+let armed = Atomic.make None
 
-let arm p = armed := p
-let armed_point () = !armed
+let arm p = Atomic.set armed p
+let armed_point () = Atomic.get armed
 
 let hit name =
-  match !armed with
+  let cur = Atomic.get armed in
+  match cur with
   | Some p when String.equal p name ->
-    armed := None;
-    raise (Injected_crash name)
+    (* compare_and_set (on the witnessed value — CAS is physical equality)
+       so two domains hitting the point fire it at most once per arming *)
+    if Atomic.compare_and_set armed cur None then raise (Injected_crash name)
   | _ -> ()
 
 (* The points the durability layer exposes, for CLI help text. *)

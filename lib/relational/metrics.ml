@@ -1,7 +1,14 @@
 (* Lightweight in-process metrics registry: named monotonic counters and
-   latency histograms. Everything is in-memory and single-threaded, like
-   the engine itself; recording a sample is a hash lookup plus a few
-   integer stores, cheap enough to leave on permanently.
+   latency histograms. Everything is in-memory; recording a sample is a
+   hash lookup plus a few integer stores under an uncontended mutex,
+   cheap enough to leave on permanently.
+
+   Domain safety: the three registry tables share one mutex
+   ([registry_mutex]) held only around table lookups and integer stores —
+   never across user code — so reader domains in the store pool record
+   concurrently without torn histograms or lost counts. The ambient store
+   label is domain-local ([Domain.DLS]): two domains serving different
+   stores each see their own label.
 
    Series are keyed by (label, name). The label distinguishes otherwise
    identical series recorded by different Store instances (two stores
@@ -22,13 +29,20 @@
 
 let now_ns = Obskit.Clock.now_ns
 
-(* Ambient label; [Store] wraps its operations in [with_label]. *)
-let current_label = ref ""
+(* Ambient label; [Store] wraps its operations in [with_label]. One value
+   per domain: a pool reader's label never leaks into another domain. *)
+let current_label = Domain.DLS.new_key (fun () -> "")
 
 let with_label label f =
-  let saved = !current_label in
-  current_label := label;
-  Fun.protect ~finally:(fun () -> current_label := saved) f
+  let saved = Domain.DLS.get current_label in
+  Domain.DLS.set current_label label;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_label saved) f
+
+(* One mutex covers counters/gauges/histograms; every critical section is
+   a bounded table-and-integer update (no user code runs under it). *)
+let registry_mutex = Mutex.create ()
+
+let locked f = Mutex.protect registry_mutex f
 
 let counters : (string * string, int ref) Hashtbl.t = Hashtbl.create 32
 
@@ -45,28 +59,32 @@ let bucket_count = 63
 let histograms : (string * string, histogram) Hashtbl.t = Hashtbl.create 32
 
 let incr ?(by = 1) name =
-  let key = (!current_label, name) in
-  match Hashtbl.find_opt counters key with
-  | Some r -> r := !r + by
-  | None -> Hashtbl.add counters key (ref by)
+  let key = (Domain.DLS.get current_label, name) in
+  locked (fun () ->
+      match Hashtbl.find_opt counters key with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add counters key (ref by))
 
 let counter ?label name =
-  let label = match label with Some l -> l | None -> !current_label in
-  match Hashtbl.find_opt counters (label, name) with Some r -> !r | None -> 0
+  let label = match label with Some l -> l | None -> Domain.DLS.get current_label in
+  locked (fun () ->
+      match Hashtbl.find_opt counters (label, name) with Some r -> !r | None -> 0)
 
 (* Gauges: last-write-wins instantaneous values (resident bytes, pool
    occupancy). Same (label, name) keying as counters. *)
 let gauges : (string * string, int ref) Hashtbl.t = Hashtbl.create 16
 
 let set_gauge name v =
-  let key = (!current_label, name) in
-  match Hashtbl.find_opt gauges key with
-  | Some r -> r := v
-  | None -> Hashtbl.add gauges key (ref v)
+  let key = (Domain.DLS.get current_label, name) in
+  locked (fun () ->
+      match Hashtbl.find_opt gauges key with
+      | Some r -> r := v
+      | None -> Hashtbl.add gauges key (ref v))
 
 let gauge ?label name =
-  let label = match label with Some l -> l | None -> !current_label in
-  match Hashtbl.find_opt gauges (label, name) with Some r -> !r | None -> 0
+  let label = match label with Some l -> l | None -> Domain.DLS.get current_label in
+  locked (fun () ->
+      match Hashtbl.find_opt gauges (label, name) with Some r -> !r | None -> 0)
 
 let bucket_of_ns ns =
   let rec go i v = if v <= 1 || i >= bucket_count - 1 then i else go (i + 1) (v lsr 1) in
@@ -74,25 +92,26 @@ let bucket_of_ns ns =
 
 let observe_ns name ns =
   let ns = max 0 ns in
-  let key = (!current_label, name) in
-  let h =
-    match Hashtbl.find_opt histograms key with
-    | Some h -> h
-    | None ->
+  let key = (Domain.DLS.get current_label, name) in
+  locked (fun () ->
       let h =
-        { h_count = 0; h_total_ns = 0; h_min_ns = max_int; h_max_ns = 0;
-          h_buckets = Array.make bucket_count 0 }
+        match Hashtbl.find_opt histograms key with
+        | Some h -> h
+        | None ->
+          let h =
+            { h_count = 0; h_total_ns = 0; h_min_ns = max_int; h_max_ns = 0;
+              h_buckets = Array.make bucket_count 0 }
+          in
+          Hashtbl.add histograms key h;
+          h
       in
-      Hashtbl.add histograms key h;
-      h
-  in
-  h.h_count <- h.h_count + 1;
-  h.h_total_ns <- h.h_total_ns + ns;
-  if ns < h.h_min_ns then h.h_min_ns <- ns;
-  if ns > h.h_max_ns then h.h_max_ns <- ns;
-  let b = h.h_buckets in
-  let i = bucket_of_ns ns in
-  b.(i) <- b.(i) + 1
+      h.h_count <- h.h_count + 1;
+      h.h_total_ns <- h.h_total_ns + ns;
+      if ns < h.h_min_ns then h.h_min_ns <- ns;
+      if ns > h.h_max_ns then h.h_max_ns <- ns;
+      let b = h.h_buckets in
+      let i = bucket_of_ns ns in
+      b.(i) <- b.(i) + 1)
 
 (* Time [f], record the duration under [name], return its result. The
    sample is recorded even when [f] raises. *)
@@ -148,15 +167,17 @@ let sorted_bindings ?label tbl f =
     tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let counter_list ?label () = sorted_bindings ?label counters (fun r -> !r)
-let gauge_list ?label () = sorted_bindings ?label gauges (fun r -> !r)
-let histogram_list ?label () = sorted_bindings ?label histograms snapshot
+let counter_list ?label () = locked (fun () -> sorted_bindings ?label counters (fun r -> !r))
+let gauge_list ?label () = locked (fun () -> sorted_bindings ?label gauges (fun r -> !r))
+let histogram_list ?label () = locked (fun () -> sorted_bindings ?label histograms snapshot)
 
 let labels () =
   let add tbl acc = Hashtbl.fold (fun (l, _) _ acc -> l :: acc) tbl acc in
-  List.sort_uniq String.compare (add counters (add gauges (add histograms [])))
+  locked (fun () ->
+      List.sort_uniq String.compare (add counters (add gauges (add histograms []))))
 
 let reset ?label () =
+  locked @@ fun () ->
   match label with
   | None ->
     Hashtbl.reset counters;
@@ -213,17 +234,21 @@ let prom_prefix = "xmlstore"
 
 let store_labels l = if l = "" then [] else [ ("store", l) ]
 
-let group_by_name ?label tbl =
+(* [copy] materializes each value under the registry lock, so the render
+   below works from a consistent snapshot instead of live cells another
+   domain may be updating. *)
+let group_by_name ?label tbl copy =
   (* (name, (label, value) list) assoc, both levels sorted *)
   let m = Hashtbl.create 16 in
-  Hashtbl.iter
-    (fun (l, name) v ->
-      match label with
-      | Some want when not (String.equal l want) -> ()
-      | _ ->
-        let cur = Option.value ~default:[] (Hashtbl.find_opt m name) in
-        Hashtbl.replace m name ((l, v) :: cur))
-    tbl;
+  locked (fun () ->
+      Hashtbl.iter
+        (fun (l, name) v ->
+          match label with
+          | Some want when not (String.equal l want) -> ()
+          | _ ->
+            let cur = Option.value ~default:[] (Hashtbl.find_opt m name) in
+            Hashtbl.replace m name ((l, copy v) :: cur))
+        tbl);
   Hashtbl.fold (fun name vs acc -> (name, List.sort compare vs) :: acc) m []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
@@ -238,10 +263,10 @@ let prometheus ?label () =
             m_help = Printf.sprintf "Monotonic counter %s" name;
             m_series =
               List.map
-                (fun (l, r) -> { P.s_labels = store_labels l; s_value = float_of_int !r })
+                (fun (l, v) -> { P.s_labels = store_labels l; s_value = float_of_int v })
                 series;
           })
-      (group_by_name ?label counters)
+      (group_by_name ?label counters (fun r -> !r))
   in
   let gauge_metrics =
     List.map
@@ -252,10 +277,10 @@ let prometheus ?label () =
             m_help = Printf.sprintf "Gauge %s" name;
             m_series =
               List.map
-                (fun (l, r) -> { P.s_labels = store_labels l; s_value = float_of_int !r })
+                (fun (l, v) -> { P.s_labels = store_labels l; s_value = float_of_int v })
                 series;
           })
-      (group_by_name ?label gauges)
+      (group_by_name ?label gauges (fun r -> !r))
   in
   let histogram_metrics =
     List.map
@@ -284,6 +309,6 @@ let prometheus ?label () =
                   })
                 series;
           })
-      (group_by_name ?label histograms)
+      (group_by_name ?label histograms (fun h -> { h with h_buckets = Array.copy h.h_buckets }))
   in
   P.render (counter_metrics @ gauge_metrics @ histogram_metrics)

@@ -26,6 +26,12 @@ type t = {
   mutable tick : int;
   mutable enabled : bool;
   stats : stats;
+  (* Every public operation takes this lock: the cache is the one piece
+     of Database state the pool's observability handlers may poke (clear,
+     stats) while a reader domain executes against its replica, and the
+     Hashtbl plus stats cells would tear without it. Critical sections
+     are bounded table ops — no planning runs under the lock. *)
+  lock : Mutex.t;
 }
 
 let create ?(capacity = 128) () =
@@ -35,26 +41,32 @@ let create ?(capacity = 128) () =
     tick = 0;
     enabled = true;
     stats = { hits = 0; misses = 0; invalidations = 0; evictions = 0 };
+    lock = Mutex.create ();
   }
 
 let set_enabled t on =
-  t.enabled <- on;
-  if not on && Hashtbl.length t.entries > 0 then begin
-    t.stats.invalidations <- t.stats.invalidations + 1;
-    Hashtbl.reset t.entries
-  end
+  Mutex.protect t.lock (fun () ->
+      t.enabled <- on;
+      if not on && Hashtbl.length t.entries > 0 then begin
+        t.stats.invalidations <- t.stats.invalidations + 1;
+        Hashtbl.reset t.entries
+      end)
 
 let clear t =
-  if Hashtbl.length t.entries > 0 then t.stats.invalidations <- t.stats.invalidations + 1;
-  Hashtbl.reset t.entries
+  Mutex.protect t.lock (fun () ->
+      if Hashtbl.length t.entries > 0 then t.stats.invalidations <- t.stats.invalidations + 1;
+      Hashtbl.reset t.entries)
 
-let stats t = (t.stats.hits, t.stats.misses, t.stats.invalidations, t.stats.evictions)
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      (t.stats.hits, t.stats.misses, t.stats.invalidations, t.stats.evictions))
 
 let reset_stats t =
-  t.stats.hits <- 0;
-  t.stats.misses <- 0;
-  t.stats.invalidations <- 0;
-  t.stats.evictions <- 0
+  Mutex.protect t.lock (fun () ->
+      t.stats.hits <- 0;
+      t.stats.misses <- 0;
+      t.stats.invalidations <- 0;
+      t.stats.evictions <- 0)
 
 (* Row count within ~20% of the count recorded at plan time? *)
 let fresh_count ~then_ ~now =
@@ -63,6 +75,7 @@ let fresh_count ~then_ ~now =
 
 (* [row_count name] should return None when the table no longer exists. *)
 let find t ~row_count key =
+  Mutex.protect t.lock @@ fun () ->
   if not t.enabled then None
   else
     match Hashtbl.find_opt t.entries key with
@@ -108,6 +121,7 @@ let evict_lru t =
   | None -> ()
 
 let add t key ~tables plan =
+  Mutex.protect t.lock @@ fun () ->
   if t.enabled then begin
     if (not (Hashtbl.mem t.entries key)) && Hashtbl.length t.entries >= t.capacity then
       evict_lru t;
@@ -115,4 +129,4 @@ let add t key ~tables plan =
     Hashtbl.replace t.entries key { plan; tables; last_used = t.tick }
   end
 
-let size t = Hashtbl.length t.entries
+let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.entries)

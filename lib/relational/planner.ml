@@ -428,8 +428,8 @@ let as_equi_join conjunct =
    ancestor/descendant test — and plans as a Staircase_join instead of a
    cross product plus filter. *)
 
-let staircase_enabled = ref true
-let set_staircase b = staircase_enabled := b
+let staircase_enabled = Atomic.make true
+let set_staircase b = Atomic.set staircase_enabled b
 
 (* Each conjunct read both ways round: (key, bound, is_upper, strict)
    meaning [key > / >= bound] (lower) or [key < / <= bound] (upper). *)
@@ -506,7 +506,7 @@ let order_joins inputs join_preds extra_filters =
          containment pair linking the joined prefix to a candidate — either
          direction (candidate as descendant or as ancestor). *)
       let staircase_with cand =
-        if not !staircase_enabled then None
+        if not (Atomic.get staircase_enabled) then None
         else
           let is_cand a = String.equal a cand.ji_alias in
           let in_joined a = List.mem a !joined in

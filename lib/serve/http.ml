@@ -1,14 +1,14 @@
 (* HTTP/1.1 request parsing and response rendering — the narrow slice
-   the observability server needs. One request per connection, GET
-   only in practice (the server rejects other verbs itself), no body
-   handling.
+   the observability and data-plane servers need. Content-Length bodies
+   (the data plane POSTs queries and documents) but no chunked encoding;
+   keep-alive is the caller's choice via [keep_alive]/[render].
 
-   Parsing reads from an abstract feed function one byte at a time and
-   accumulates the header section until the blank line, so a malicious
-   or broken peer can never make us buffer more than the hard limits
-   below. Every malformed input becomes a typed [error]; exceptions
-   other than the socket-timeout family propagate (there are none in
-   this code path by construction). *)
+   Parsing reads from an abstract feed function: the header section one
+   byte at a time until the blank line, then the declared body length in
+   bounded chunks, so a malicious or broken peer can never make us
+   buffer more than the hard limits below. Every malformed input becomes
+   a typed [error]; exceptions other than the socket-timeout family
+   propagate (there are none in this code path by construction). *)
 
 type request = {
   meth : string;
@@ -17,17 +17,20 @@ type request = {
   query : (string * string) list;
   version : string;
   headers : (string * string) list;
+  body : string;
 }
 
 type error =
   | Bad_request of string
   | Too_large of string
+  | Body_too_large of string
   | Timeout
   | Closed
 
 let max_request_line = 8 * 1024
 let max_header_count = 128
 let max_header_bytes = 64 * 1024
+let max_body_bytes = 16 * 1024 * 1024
 
 (* ------------------------------------------------------------------ *)
 (* Reading the header block *)
@@ -151,6 +154,36 @@ let parse_header line =
       let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
       Ok (name, value)
 
+(* The declared Content-Length body, read in bounded chunks. No header
+   means no body (chunked transfer encoding is rejected up front). *)
+let read_body feed headers =
+  match List.assoc_opt "transfer-encoding" headers with
+  | Some _ -> Error (Bad_request "transfer encodings are not supported")
+  | None -> (
+    match List.assoc_opt "content-length" headers with
+    | None -> Ok ""
+    | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | None -> Error (Bad_request (Printf.sprintf "malformed Content-Length %S" v))
+      | Some n when n < 0 -> Error (Bad_request (Printf.sprintf "malformed Content-Length %S" v))
+      | Some n when n > max_body_bytes ->
+        Error (Body_too_large (Printf.sprintf "body of %d bytes exceeds the %d-byte limit" n max_body_bytes))
+      | Some n -> (
+        let buf = Bytes.create (min n 65536) in
+        let out = Buffer.create n in
+        try
+          while Buffer.length out < n do
+            let want = min (Bytes.length buf) (n - Buffer.length out) in
+            let got =
+              try feed buf 0 want
+              with Unix.Unix_error (e, _, _) when is_timeout e -> raise (Fail Timeout)
+            in
+            if got = 0 then raise (Fail Closed);
+            Buffer.add_subbytes out buf 0 got
+          done;
+          Ok (Buffer.contents out)
+        with Fail e -> Error e)))
+
 let parse_request feed =
   match read_head feed with
   | Error e -> Error e
@@ -171,7 +204,10 @@ let parse_request feed =
           in
           (match headers [] header_lines with
           | Error e -> Error e
-          | Ok headers -> Ok { meth; target; path; query; version; headers })))
+          | Ok headers -> (
+            match read_body feed headers with
+            | Error e -> Error e
+            | Ok body -> Ok { meth; target; path; query; version; headers; body }))))
 
 let parse_string s =
   let pos = ref 0 in
@@ -198,6 +234,7 @@ let reason = function
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
   | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
   | 431 -> "Request Header Fields Too Large"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
@@ -206,10 +243,24 @@ let reason = function
 let response_of_error = function
   | Bad_request msg -> Some { status = 400; content_type = "text/plain"; body = msg ^ "\n" }
   | Too_large msg -> Some { status = 431; content_type = "text/plain"; body = msg ^ "\n" }
+  | Body_too_large msg -> Some { status = 413; content_type = "text/plain"; body = msg ^ "\n" }
   | Timeout -> Some { status = 408; content_type = "text/plain"; body = "request timeout\n" }
   | Closed -> None
 
-let render { status; content_type; body } =
+(* Does this request permit reusing the connection? HTTP/1.1 defaults to
+   persistent unless the peer says close; HTTP/1.0 only opts in with an
+   explicit keep-alive. *)
+let keep_alive r =
+  let connection =
+    Option.map String.lowercase_ascii (List.assoc_opt "connection" r.headers)
+  in
+  match r.version with
+  | "HTTP/1.1" -> connection <> Some "close"
+  | _ -> connection = Some "keep-alive"
+
+let render ?(keep_alive = false) { status; content_type; body } =
   Printf.sprintf
-    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-    status (reason status) content_type (String.length body) body
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: %s\r\n\r\n%s"
+    status (reason status) content_type (String.length body)
+    (if keep_alive then "keep-alive" else "close")
+    body

@@ -1,12 +1,14 @@
 (** Minimal HTTP/1.1 request parsing and response rendering for the
-    embedded observability server. Stdlib-only; no keep-alive, no
-    chunked bodies — every exchange is one request, one response,
-    connection closed.
+    embedded observability and data-plane servers. Stdlib-only;
+    Content-Length bodies but no chunked encoding. Connection reuse is
+    the caller's decision: {!keep_alive} reads the request's intent and
+    {!render} stamps the matching [Connection:] header (close by
+    default).
 
     The parser is deliberately paranoid: hard limits on the request
-    line, header count, and total header bytes, and every malformed
-    input maps onto a typed error (rendered as a 4xx) rather than an
-    exception. The fuzz tests feed it truncated lines, oversized
+    line, header count, total header bytes, and body size, and every
+    malformed input maps onto a typed error (rendered as a 4xx) rather
+    than an exception. The fuzz tests feed it truncated lines, oversized
     headers, and pipelined junk and assert exactly that. *)
 
 type request = {
@@ -16,11 +18,13 @@ type request = {
   query : (string * string) list;  (** decoded k=v pairs after '?' *)
   version : string;  (** "HTTP/1.0" or "HTTP/1.1" *)
   headers : (string * string) list;  (** names lowercased, in order *)
+  body : string;  (** Content-Length body; [""] when none was sent *)
 }
 
 type error =
   | Bad_request of string  (** malformed syntax: render as 400 *)
-  | Too_large of string  (** a limit tripped: render as 431 *)
+  | Too_large of string  (** a header limit tripped: render as 431 *)
+  | Body_too_large of string  (** body over budget: render as 413 *)
   | Timeout  (** the peer stalled: render as 408 *)
   | Closed  (** EOF before a full request: no response possible *)
 
@@ -33,12 +37,16 @@ val max_header_count : int
 val max_header_bytes : int
 (** Total header-section byte budget (64 KiB). *)
 
+val max_body_bytes : int
+(** Largest accepted Content-Length body (16 MiB). *)
+
 val parse_request : (bytes -> int -> int -> int) -> (request, error) result
 (** Parse one request from a [read buf off len -> n] feed function
     (returning 0 signals EOF; raising [Unix.Unix_error (EAGAIN | …)]
     after a socket timeout maps to [Timeout]). Reads byte-at-a-time up
-    to the blank line; request bodies are not consumed (the server only
-    answers bodyless GETs). *)
+    to the blank line, then the declared Content-Length body in bounded
+    chunks. Exactly one request's bytes are consumed, so a keep-alive
+    loop can call it again on the same feed. *)
 
 val parse_string : string -> (request, error) result
 (** [parse_request] over an in-memory string (tests, fuzzing). Trailing
@@ -52,9 +60,14 @@ type response = { status : int; content_type : string; body : string }
 val response_of_error : error -> response option
 (** The 4xx a parse error maps to; [None] for [Closed]. *)
 
-val render : response -> string
+val keep_alive : request -> bool
+(** Whether the request permits reusing the connection: HTTP/1.1 unless
+    [Connection: close], HTTP/1.0 only with [Connection: keep-alive]. *)
+
+val render : ?keep_alive:bool -> response -> string
 (** Serialize status line, minimal headers (content type, length,
-    [Connection: close]), and body. *)
+    [Connection: keep-alive] or [close] — close by default), and
+    body. *)
 
 val reason : int -> string
 (** Reason phrase for the status codes the server emits. *)

@@ -1,10 +1,16 @@
-(* Blocking accept-loop HTTP server. Single-threaded on purpose: the
-   handlers render in-memory state (metrics, traces, slow log) in
-   microseconds, so one connection at a time with a kernel accept
-   backlog is plenty, and it keeps the store's single-threaded
-   invariants without locks. SO_RCVTIMEO/SO_SNDTIMEO bound a stalled
-   peer; a parse error answers a clean 4xx; a handler exception
-   answers 500 rather than killing the loop. *)
+(* Blocking accept-loop HTTP server. One domain runs [run]; the pool's
+   data plane runs [run_parallel], which spawns extra domains that all
+   block in accept(2) on the same listening socket — the kernel wakes
+   exactly one per connection, so no user-space dispatch is needed. The
+   handler must be domain-safe when more than one domain serves (the
+   store pool's is; the single-store observability handler stays on one
+   domain). SO_RCVTIMEO/SO_SNDTIMEO bound a stalled peer; a parse error
+   answers a clean 4xx; a handler exception answers 500 rather than
+   killing the loop.
+
+   Connections are persistent when the request allows it (HTTP/1.1
+   keep-alive), bounded by [max_keepalive_requests] so one peer cannot
+   hold a serving domain forever. *)
 
 type handler = Http.request -> Http.response
 
@@ -12,10 +18,11 @@ type t = {
   sock : Unix.file_descr;
   bound_port : int;
   handler : handler;
-  mutable running : bool;
+  running : bool Atomic.t;  (* read by every serving domain, cleared by stop *)
 }
 
 let io_timeout = 5.0 (* seconds a peer may stall a read or write *)
+let max_keepalive_requests = 100
 
 let create ?(host = "127.0.0.1") ?(port = 0) handler =
   (* A peer that resets or closes before reading the response would
@@ -29,14 +36,14 @@ let create ?(host = "127.0.0.1") ?(port = 0) handler =
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
      Unix.bind sock (Unix.ADDR_INET (addr, port));
-     Unix.listen sock 16
+     Unix.listen sock 64
    with e ->
      Unix.close sock;
      raise e);
   let bound_port =
     match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
   in
-  { sock; bound_port; handler; running = true }
+  { sock; bound_port; handler; running = Atomic.make true }
 
 let port t = t.bound_port
 
@@ -66,25 +73,37 @@ let serve_conn t conn =
      response write) surface as Unix_error here; a broken peer
      must never take down the accept loop. *)
   (try
-     let response =
-       match Http.parse_request (Unix.read conn) with
-       | Error e -> Http.response_of_error e
-       | Ok req -> (
-         match t.handler req with
-         | resp -> Some resp
-         (* the handler boundary: any handler failure must answer 500,
-            never kill the accept loop — srclint: allow-catchall *)
-         | exception _ ->
-           Some { Http.status = 500; content_type = "text/plain"; body = "internal error\n" })
-     in
-     match response with
-     | None -> ()
-     | Some resp -> write_all conn (Http.render resp)
+     (* Keep-alive loop: serve requests off this connection until the
+        peer closes, asks to close, errors, or hits the reuse bound. *)
+     let remaining = ref max_keepalive_requests in
+     let continue = ref true in
+     while !continue && !remaining > 0 do
+       decr remaining;
+       match Http.parse_request (read_retry conn) with
+       | Error e ->
+         (* any parse error ends the connection: framing is suspect *)
+         (match Http.response_of_error e with
+         | Some resp -> write_all conn (Http.render resp)
+         | None -> ());
+         continue := false
+       | Ok req ->
+         let resp =
+           match t.handler req with
+           | resp -> resp
+           (* the handler boundary: any handler failure must answer 500,
+              never kill the accept loop — srclint: allow-catchall *)
+           | exception _ ->
+             { Http.status = 500; content_type = "text/plain"; body = "internal error\n" }
+         in
+         let ka = Http.keep_alive req && !remaining > 0 && Atomic.get t.running in
+         write_all conn (Http.render ~keep_alive:ka resp);
+         continue := ka
+     done
    with Unix.Unix_error _ -> ());
   try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
 
 let handle_one t =
-  if not t.running then false
+  if not (Atomic.get t.running) then false
   else
     match Unix.accept t.sock with
     | conn, _ ->
@@ -96,30 +115,37 @@ let handle_one t =
       true
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
       (* stop closed the listener under us *)
-      t.running <- false;
+      Atomic.set t.running false;
       false
     | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
       (* signal, or the peer aborted before we accepted — keep serving *)
-      t.running
+      Atomic.get t.running
     | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE | Unix.ENOBUFS | Unix.ENOMEM), _, _)
       ->
       (* fd / buffer exhaustion: back off briefly and retry rather than
          letting the error terminate the run loop *)
       (try Unix.sleepf 0.05 with Unix.Unix_error _ -> ());
-      t.running
+      Atomic.get t.running
 
 let run t = while handle_one t do () done
 
+(* [domains] total serving domains: the calling one plus (domains - 1)
+   spawned. They all block in accept on the shared listener; stop wakes
+   every one (closing the fd fails their accepts with EBADF). *)
+let run_parallel ?(domains = 1) t =
+  let extra = max 0 (domains - 1) in
+  let spawned = List.init extra (fun _ -> Domain.spawn (fun () -> run t)) in
+  Fun.protect ~finally:(fun () -> List.iter Domain.join spawned) (fun () -> run t)
+
 let stop t =
-  if t.running then begin
-    t.running <- false;
+  if Atomic.compare_and_set t.running true false then begin
     try Unix.close t.sock with Unix.Unix_error _ -> ()
   end
 
 (* ------------------------------------------------------------------ *)
 (* Client (tests, health checks) *)
 
-let get ?(host = "127.0.0.1") ~port path =
+let request ?(host = "127.0.0.1") ~port ?(meth = "GET") ?body path =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
@@ -127,9 +153,15 @@ let get ?(host = "127.0.0.1") ~port path =
       Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
       Unix.setsockopt_float sock Unix.SO_RCVTIMEO io_timeout;
       Unix.setsockopt_float sock Unix.SO_SNDTIMEO io_timeout;
+      let body_part =
+        match body with
+        | None -> ""
+        | Some b -> Printf.sprintf "Content-Length: %d\r\n" (String.length b)
+      in
       write_all sock
-        (Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n" path host
-           port);
+        (Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n%s\r\n%s" meth
+           path host port body_part
+           (match body with Some b -> b | None -> ""));
       let buf = Buffer.create 4096 in
       let chunk = Bytes.create 4096 in
       let eof = ref false in
@@ -155,3 +187,5 @@ let get ?(host = "127.0.0.1") ~port path =
         | _ -> failwith "malformed HTTP status line"
       in
       (status, String.sub raw header_end (String.length raw - header_end)))
+
+let get ?host ~port path = request ?host ~port path

@@ -1,13 +1,16 @@
-(** Blocking single-threaded HTTP server over stdlib [Unix] sockets:
-    the embedded observability endpoint. One connection at a time, one
-    request per connection — the handler answers [/metrics]-style reads
-    in microseconds, so an accept queue is all the concurrency needed.
+(** Blocking HTTP server over stdlib [Unix] sockets: the embedded
+    observability endpoint and the store pool's data plane. {!run}
+    serves on the calling domain; {!run_parallel} adds serving domains
+    that share the one listening socket (the kernel hands each
+    connection to exactly one blocked accept). Connections persist
+    across requests when the peer allows it (HTTP/1.1 keep-alive),
+    bounded per connection so a peer cannot pin a serving domain.
 
     The listener binds eagerly in {!create} (so an ephemeral port is
     known before {!run}), and {!run} loops accept → parse → handle →
-    close until {!stop} or thread/process exit. Per-connection receive
-    and send timeouts bound how long a stalled peer can hold the
-    loop. *)
+    respond until {!stop} or thread/process exit. Per-connection receive
+    and send timeouts bound how long a stalled peer can hold a serving
+    domain. *)
 
 type handler = Http.request -> Http.response
 
@@ -22,19 +25,34 @@ val port : t -> int
 (** The bound port (useful after an ephemeral bind). *)
 
 val handle_one : t -> bool
-(** Accept and serve exactly one connection; [false] once the server
-    has been stopped. Handler exceptions are caught and answered with
-    a 500. *)
+(** Accept and serve exactly one connection (which may carry many
+    keep-alive requests); [false] once the server has been stopped.
+    Handler exceptions are caught and answered with a 500. *)
 
 val run : t -> unit
 (** Serve connections until {!stop} closes the listener. *)
+
+val run_parallel : ?domains:int -> t -> unit
+(** Like {!run} but serving on [domains] total domains (the calling one
+    plus [domains - 1] spawned); returns when {!stop} closes the
+    listener and every domain has drained. The handler runs concurrently
+    on several domains and must be domain-safe. [~domains:1] is exactly
+    {!run}. *)
+
+val max_keepalive_requests : int
+(** Most requests served over one connection before the server closes
+    it (100). *)
 
 val stop : t -> unit
 (** Close the listening socket; a blocked accept returns and {!run}
     exits. Idempotent. *)
 
+val request :
+  ?host:string -> port:int -> ?meth:string -> ?body:string -> string -> int * string
+(** Minimal blocking HTTP client for tests and health checks: connect,
+    send one request ([meth] defaults to GET; [body] adds a
+    Content-Length payload), return (status code, body). Raises on
+    connection failure or a malformed response. *)
+
 val get : ?host:string -> port:int -> string -> int * string
-(** Minimal blocking HTTP client for tests and health checks:
-    [get ~port "/metrics"] connects, sends one GET, and returns
-    (status code, body). Raises on connection failure or a malformed
-    response. *)
+(** [request] with defaults: [get ~port "/metrics"]. *)

@@ -74,7 +74,8 @@ let fallback_query ~reconstruct db ~doc path =
    run through [run_built] — in any of the six schemes, with no change to
    their signatures — executes instrumented and pushes its statement text,
    bound parameters, plan and annotated operator tree here. Dynamically
-   scoped, not thread-safe (nor is the rest of the store). *)
+   scoped *per domain* ([Domain.DLS]): a sink installed on one pool
+   reader never captures another domain's queries. *)
 type capture = {
   cap_sql : string;
   cap_params : Relstore.Value.t array;
@@ -82,13 +83,14 @@ type capture = {
   cap_annot : Relstore.Plan.annotated;
 }
 
-let capture_sink : capture list ref option ref = ref None
+let capture_sink : capture list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let collect_captures f =
   let acc = ref [] in
-  let saved = !capture_sink in
-  capture_sink := Some acc;
-  let finally () = capture_sink := saved in
+  let saved = Domain.DLS.get capture_sink in
+  Domain.DLS.set capture_sink (Some acc);
+  let finally () = Domain.DLS.set capture_sink saved in
   let r = Fun.protect ~finally f in
   (r, List.rev !acc)
 
@@ -117,7 +119,7 @@ let run_built db ?joins ~sqls ?params q =
   | Some j -> j := !j + Relstore.Plan.count_joins plan
   | None -> ());
   let tracing = Obskit.Trace.recording () in
-  match (!capture_sink, tracing) with
+  match (Domain.DLS.get capture_sink, tracing) with
   | None, false -> Relstore.Executor.run ?params (Db.catalog db) plan
   | sink, _ ->
     let run () =

@@ -8,22 +8,31 @@
                      or read-only after initialization)
      lock-planned    will be guarded by a mutex when domains arrive
      atomic-planned  will become Atomic.t / a lock-free structure
+     locked          landed: guarded by a mutex (the entry names it)
+     atomic          landed: an Atomic.t
+     domain-local    landed: one value per domain (Domain.DLS)
 
    Entries are keyed by (file, qualified binding name). DS001 reports
    allowlisted state (the worklist view), DS002 fails CI for state with
    no valid entry, DS003 flags stale entries. *)
 
-type domain = Confined | Lock_planned | Atomic_planned
+type domain = Confined | Lock_planned | Atomic_planned | Locked | Atomic | Domain_local
 
 let domain_to_string = function
   | Confined -> "confined"
   | Lock_planned -> "lock-planned"
   | Atomic_planned -> "atomic-planned"
+  | Locked -> "locked"
+  | Atomic -> "atomic"
+  | Domain_local -> "domain-local"
 
 let domain_of_string = function
   | "confined" -> Some Confined
   | "lock-planned" -> Some Lock_planned
   | "atomic-planned" -> Some Atomic_planned
+  | "locked" -> Some Locked
+  | "atomic" -> Some Atomic
+  | "domain-local" -> Some Domain_local
   | _ -> None
 
 type entry = {
@@ -94,7 +103,8 @@ let render entries =
     "; srclint domain-safety allowlist: every module-level mutable binding in\n\
      ; the tree, annotated with its multicore migration plan. DS002 fails the\n\
      ; build for state missing from this file or missing its domain: field.\n\
-     ; domains: confined | lock-planned | atomic-planned\n"
+     ; domains: confined | lock-planned | atomic-planned (plans) and\n\
+     ; locked | atomic | domain-local (landed mechanisms)\n"
   in
   header ^ String.concat "\n" (List.map (fun e -> Sexp.to_string (entry_to_sexp e)) entries) ^ "\n"
 

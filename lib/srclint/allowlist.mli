@@ -1,7 +1,13 @@
 (** The checked-in allowlist of module-level mutable state
     ([srclint_allow.sexp]) — the multicore migration worklist. *)
 
-type domain = Confined | Lock_planned | Atomic_planned
+type domain =
+  | Confined  (** stays single-domain (per-store / per-session, or read-only) *)
+  | Lock_planned  (** plan: guard with a mutex when domains arrive *)
+  | Atomic_planned  (** plan: become Atomic.t / lock-free *)
+  | Locked  (** landed: guarded by a mutex (the note names it) *)
+  | Atomic  (** landed: an Atomic.t *)
+  | Domain_local  (** landed: one value per domain (Domain.DLS) *)
 
 val domain_to_string : domain -> string
 val domain_of_string : string -> domain option

@@ -110,6 +110,9 @@ let rec mutable_kind ~mutfields (e : P.expression) : string option =
       | [ "Queue"; "create" ] -> Some "Queue.create"
       | [ "Stack"; "create" ] -> Some "Stack.create"
       | [ "Atomic"; "make" ] -> Some "Atomic.make"
+      | [ "Mutex"; "create" ] -> Some "Mutex.create"
+      | [ "Condition"; "create" ] -> Some "Condition.create"
+      | [ "Domain"; "DLS"; "new_key" ] | [ "DLS"; "new_key" ] -> Some "Domain.DLS.new_key"
       | [ "Array"; "make" ] | [ "Array"; "init" ] | [ "Array"; "create_float" ] -> Some "Array.make"
       | [ "Bytes"; "create" ] | [ "Bytes"; "make" ] -> Some "Bytes.create"
       | [ "Weak"; "create" ] -> Some "Weak.create"

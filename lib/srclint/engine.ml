@@ -67,7 +67,8 @@ let ds_diags ~allowlist ~sources =
               Source.diag_at src ~code:"DS002" ~line:s.Checks.st_line Diag.Error
                 (Printf.sprintf
                    "module-level mutable state `%s` (%s): its srclint_allow.sexp entry lacks the \
-                    required domain: annotation (confined | lock-planned | atomic-planned)"
+                    required domain: annotation (confined | lock-planned | atomic-planned | \
+                    locked | atomic | domain-local)"
                    s.Checks.st_name s.Checks.st_kind)
               :: !diags
           | None ->

@@ -1,65 +1,58 @@
 ; srclint domain-safety allowlist: every module-level mutable binding in
 ; the tree, annotated with its multicore migration plan. DS002 fails the
 ; build for state missing from this file or missing its domain: field.
-; domains: confined | lock-planned | atomic-planned
+; domains: confined | lock-planned | atomic-planned (plans) and
+; locked | atomic | domain-local (landed mechanisms)
 
-((file lib/core/store.ml) (name instance_counter) (kind ref) (domain atomic-planned)
- (note "store-id allocator; becomes Atomic.fetch_and_add when stores open from many domains"))
+((file lib/core/store.ml) (name instance_counter) (kind Atomic.make) (domain atomic)
+ (note "store-id allocator: Atomic.fetch_and_add, stores open from any domain"))
 
-((file lib/obs/trace.ml) (name sampling_mode) (kind ref) (domain lock-planned)
- (note "tracer config; the whole tracer ring moves behind one mutex"))
-((file lib/obs/trace.ml) (name capacity) (kind ref) (domain lock-planned)
- (note "tracer ring sizing, guarded with the ring"))
-((file lib/obs/trace.ml) (name ring) (kind ref) (domain lock-planned)
- (note "completed-span ring buffer, the tracer's core shared state"))
-((file lib/obs/trace.ml) (name ring_pos) (kind ref) (domain lock-planned)
- (note "ring write cursor, guarded with the ring"))
-((file lib/obs/trace.ml) (name ring_count) (kind ref) (domain lock-planned)
- (note "ring occupancy, guarded with the ring"))
-((file lib/obs/trace.ml) (name dropped) (kind ref) (domain lock-planned)
- (note "drop counter, guarded with the ring"))
-((file lib/obs/trace.ml) (name depth) (kind ref) (domain lock-planned)
- (note "open-span nesting depth; becomes domain-local when spans do"))
-((file lib/obs/trace.ml) (name recording_now) (kind ref) (domain lock-planned)
- (note "per-trace sampling decision; becomes domain-local when spans do"))
-((file lib/obs/trace.ml) (name cur_trace_id) (kind ref) (domain lock-planned)
- (note "current trace id; becomes domain-local when spans do"))
-((file lib/obs/trace.ml) (name stack) (kind ref) (domain lock-planned)
- (note "open-span stack; becomes domain-local when spans do"))
-((file lib/obs/trace.ml) (name trace_buf) (kind ref) (domain lock-planned)
- (note "in-flight trace buffer; becomes domain-local when spans do"))
-((file lib/obs/trace.ml) (name trace_len) (kind ref) (domain lock-planned)
- (note "in-flight trace length, guarded with trace_buf"))
-((file lib/obs/trace.ml) (name next_trace) (kind ref) (domain lock-planned)
- (note "trace-id allocator, guarded with the ring (or Atomic if contended)"))
-((file lib/obs/trace.ml) (name next_span) (kind ref) (domain lock-planned)
- (note "span-id allocator, guarded with the ring (or Atomic if contended)"))
-((file lib/obs/trace.ml) (name rng) (kind ref) (domain lock-planned)
- (note "sampling RNG state, guarded with the sampling decision"))
+((file lib/obs/trace.ml) (name sampling_mode) (kind Atomic.make) (domain atomic)
+ (note "tracer config toggle, read on every with_span"))
+((file lib/obs/trace.ml) (name ring_mutex) (kind Mutex.create) (domain locked)
+ (note "the tracer ring's mutex: guards ring/ring_pos/ring_count"))
+((file lib/obs/trace.ml) (name capacity) (kind Atomic.make) (domain atomic)
+ (note "tracer ring sizing; resizes swap the ring under ring_mutex"))
+((file lib/obs/trace.ml) (name ring) (kind ref) (domain locked)
+ (note "completed-span ring buffer, guarded by ring_mutex"))
+((file lib/obs/trace.ml) (name ring_pos) (kind ref) (domain locked)
+ (note "ring write cursor, guarded by ring_mutex"))
+((file lib/obs/trace.ml) (name ring_count) (kind ref) (domain locked)
+ (note "ring occupancy, guarded by ring_mutex"))
+((file lib/obs/trace.ml) (name dropped) (kind Atomic.make) (domain atomic)
+ (note "drop counter, incremented outside the ring lock"))
+((file lib/obs/trace.ml) (name tls) (kind Domain.DLS.new_key) (domain domain-local)
+ (note "per-domain trace state: open-span stack, in-flight buffer, depth, sampling RNG"))
+((file lib/obs/trace.ml) (name next_trace) (kind Atomic.make) (domain atomic)
+ (note "trace-id allocator: fetch_and_add keeps ids unique across domains"))
+((file lib/obs/trace.ml) (name next_span) (kind Atomic.make) (domain atomic)
+ (note "span-id allocator: fetch_and_add keeps ids unique across domains"))
 
 ((file lib/relational/codec.ml) (name crc_table) (kind Array.make) (domain confined)
  (note "CRC32 lookup table: written once during module initialization, read-only after"))
 
-((file lib/relational/executor.ml) (name batched_enabled) (kind ref) (domain atomic-planned)
- (note "executor feature toggle, read per query; becomes Atomic.t"))
+((file lib/relational/executor.ml) (name batched_enabled) (kind Atomic.make) (domain atomic)
+ (note "executor feature toggle, read per query"))
 
-((file lib/relational/failpoint.ml) (name armed) (kind ref) (domain confined)
- (note "crash-injection switch, armed only by single-threaded durability tests"))
+((file lib/relational/failpoint.ml) (name armed) (kind Atomic.make) (domain atomic)
+ (note "crash-injection switch: compare_and_set fires each arming at most once"))
 
-((file lib/relational/metrics.ml) (name current_label) (kind ref) (domain lock-planned)
- (note "ambient store label; becomes domain-local or carried explicitly"))
-((file lib/relational/metrics.ml) (name counters) (kind Hashtbl.create) (domain lock-planned)
- (note "metrics registry; one registry mutex covers counters/gauges/histograms"))
-((file lib/relational/metrics.ml) (name histograms) (kind Hashtbl.create) (domain lock-planned)
- (note "metrics registry, guarded with counters"))
-((file lib/relational/metrics.ml) (name gauges) (kind Hashtbl.create) (domain lock-planned)
- (note "metrics registry, guarded with counters"))
+((file lib/relational/metrics.ml) (name current_label) (kind Domain.DLS.new_key) (domain domain-local)
+ (note "ambient store label, one value per domain"))
+((file lib/relational/metrics.ml) (name registry_mutex) (kind Mutex.create) (domain locked)
+ (note "the metrics registry's mutex: guards counters/gauges/histograms"))
+((file lib/relational/metrics.ml) (name counters) (kind Hashtbl.create) (domain locked)
+ (note "metrics registry, guarded by registry_mutex"))
+((file lib/relational/metrics.ml) (name histograms) (kind Hashtbl.create) (domain locked)
+ (note "metrics registry, guarded by registry_mutex"))
+((file lib/relational/metrics.ml) (name gauges) (kind Hashtbl.create) (domain locked)
+ (note "metrics registry, guarded by registry_mutex"))
 
-((file lib/relational/planner.ml) (name staircase_enabled) (kind ref) (domain atomic-planned)
- (note "planner feature toggle, read per plan; becomes Atomic.t"))
+((file lib/relational/planner.ml) (name staircase_enabled) (kind Atomic.make) (domain atomic)
+ (note "planner feature toggle, read per plan"))
 
-((file lib/shred/mapping.ml) (name capture_sink) (kind ref) (domain confined)
- (note "statement-capture hook installed by the single lint/ANALYZE caller"))
+((file lib/shred/mapping.ml) (name capture_sink) (kind Domain.DLS.new_key) (domain domain-local)
+ (note "statement-capture hook, dynamically scoped per domain"))
 
 ((file lib/workload/auction.ml) (name regions) (kind "array literal") (domain confined)
  (note "generator vocabulary: never written, array only for O(1) pick"))

@@ -1,0 +1,206 @@
+(* Concurrency suite for the store pool: answer equality against the
+   direct single-threaded path, snapshot isolation under an in-flight
+   bulk load, metrics scrapes racing query load, and replica-permit
+   accounting when readers fail. The races run real [Domain.spawn]
+   parallelism; on a single-core host they still interleave at GC safe
+   points, which is exactly the torn-state exposure the pool must
+   mask. *)
+
+module Store = Xmlstore.Store
+module Pool = Storepool.Pool
+module Metrics = Relstore.Metrics
+module Prom = Obskit.Prom
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let strings = Alcotest.(list string)
+let check_strings = Alcotest.(check strings)
+
+let gen_doc seed =
+  Xmlwork.Auction.generate ~params:{ Xmlwork.Auction.default with seed; scale = 0.05 } ()
+
+let fresh_store ?(scheme = "edge") () =
+  let store = Store.create ~metrics_label:"pool-test" scheme in
+  let doc = Store.add_document store (gen_doc 7) in
+  (store, doc)
+
+(* ------------------------------------------------------------------ *)
+(* Answer equality: every Q1-Q12 through the pool must answer byte-for-
+   byte what the direct store answers, across reuse/refresh/rebuild. *)
+
+let test_pool_equals_direct () =
+  List.iter
+    (fun scheme ->
+      let direct, doc = fresh_store ~scheme () in
+      let snap_twin = Store.of_snapshot (Store.snapshot direct) in
+      let pool = Pool.create ~readers:2 snap_twin in
+      List.iter
+        (fun (q : Xmlwork.Queries.query) ->
+          check_strings
+            (scheme ^ " " ^ q.Xmlwork.Queries.qid)
+            (Store.query_values direct doc q.Xmlwork.Queries.xpath)
+            (Pool.query pool doc q.Xmlwork.Queries.xpath).Store.values)
+        Xmlwork.Queries.auction_queries)
+    [ "edge"; "interval"; "dewey" ]
+
+(* qcheck: random query subsets in random order, interleaved with
+   releases, still answer equal to the direct path. *)
+let prop_random_workload =
+  let direct, doc = fresh_store () in
+  let pool = Pool.create ~readers:3 (Store.of_snapshot (Store.snapshot direct)) in
+  let queries = Array.of_list Xmlwork.Queries.auction_queries in
+  QCheck.Test.make ~count:30 ~name:"random pool workloads answer like the direct store"
+    QCheck.(list_of_size Gen.(int_range 1 8) (int_range 0 (Array.length queries - 1)))
+    (fun picks ->
+      List.for_all
+        (fun i ->
+          let x = queries.(i).Xmlwork.Queries.xpath in
+          (Pool.query pool doc x).Store.values = Store.query_values direct doc x)
+        picks)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot isolation: readers racing an in-flight bulk load must see
+   either the pre-load image (the new document does not exist) or the
+   post-load image (the new document complete), never a torn state. *)
+
+let test_snapshot_isolation () =
+  let store, doc0 = fresh_store () in
+  let pool = Pool.create ~readers:3 store in
+  let new_doc = gen_doc 11 in
+  let expected_new = ref [] in
+  (* the full answer the new document must give once visible *)
+  let probe = "/site/people/person/name" in
+  let baseline = Pool.query pool doc0 probe in
+  (let scratch = Store.create "edge" in
+   let d = Store.add_document scratch new_doc in
+   expected_new := Store.query_values scratch d probe);
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let observed_post = Atomic.make 0 in
+  let readers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              (* doc0 must answer its pre-load values forever *)
+              let r0 = Pool.query pool doc0 probe in
+              if r0.Store.values <> baseline.Store.values then Atomic.incr torn;
+              (* doc1 must be absent or complete *)
+              (match Pool.query pool (doc0 + 1) probe with
+              | r1 ->
+                Atomic.incr observed_post;
+                if r1.Store.values <> !expected_new then Atomic.incr torn
+              | exception Store.Store_error _ -> ())
+            done))
+  in
+  let loaded = Pool.apply pool (fun s -> Store.add_document s new_doc) in
+  (* give readers a beat to observe the post-load epoch *)
+  let r1 = Pool.query pool loaded probe in
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  check_int "no torn observation" 0 (Atomic.get torn);
+  check_strings "post-load answer complete" !expected_new r1.Store.values;
+  check_int "epoch advanced" 1 (Pool.epoch pool)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics under fire: concurrent scrapes while reader domains hammer
+   queries must always render a Prom.lint-clean exposition. *)
+
+let test_metrics_scrape_race () =
+  let store, doc = fresh_store () in
+  let pool = Pool.create ~readers:2 store in
+  Pool.declare_series ();
+  let stop = Atomic.make false in
+  let workers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              ignore (Pool.query pool doc "//item/name")
+            done))
+  in
+  let failures = ref [] in
+  for _ = 1 to 25 do
+    let body = Metrics.prometheus () in
+    match Prom.lint body with
+    | Ok () -> ()
+    | Error problems -> failures := problems @ !failures
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join workers;
+  check_strings "every concurrent scrape lints clean" [] !failures
+
+(* ------------------------------------------------------------------ *)
+(* Permit accounting: a failing reader must never leak its slot. *)
+
+let test_no_leak_on_reader_failure () =
+  let store, doc = fresh_store () in
+  let pool = Pool.create ~readers:2 store in
+  for _ = 1 to 10 do
+    (try Pool.with_reader pool (fun _ -> failwith "reader blew up")
+     with Failure _ -> ());
+    (* a bad xpath raises inside query as well *)
+    try ignore (Pool.query pool doc "///") with Xpathkit.Parser.Parse_error _ -> ()
+  done;
+  check_int "no outstanding permits" 0 (Pool.outstanding pool);
+  (* both permits still usable: hold one while using the other *)
+  let r = Pool.acquire pool in
+  check_int "one outstanding" 1 (Pool.outstanding pool);
+  let v = Pool.with_reader pool (fun s -> List.length (Store.query_values s doc "//keyword")) in
+  check_bool "pool still answers" true (v >= 0);
+  Pool.release pool r;
+  check_int "drained" 0 (Pool.outstanding pool)
+
+let prop_permits_conserved =
+  QCheck.Test.make ~count:30 ~name:"random acquire/fail/release sequences conserve permits"
+    QCheck.(list_of_size Gen.(int_range 1 20) bool)
+    (fun plan ->
+      let store, doc = fresh_store () in
+      let pool = Pool.create ~readers:2 store in
+      List.iter
+        (fun ok ->
+          if ok then ignore (Pool.query pool doc "/site/people/person/name")
+          else
+            try Pool.with_reader pool (fun _ -> failwith "boom") with Failure _ -> ())
+        plan;
+      Pool.outstanding pool = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Epoch refresh: a replica cached before a commit is rebuilt, not
+   reused, on the acquire that follows. *)
+
+let test_epoch_refresh () =
+  let store, doc = fresh_store () in
+  let pool = Pool.create ~readers:1 store in
+  ignore (Pool.query pool doc "//keyword");
+  check_int "fresh pool epoch" 0 (Pool.epoch pool);
+  let doc2 = Pool.load_string pool "<site><people><person id=\"px\"><name>Late Arrival</name></person></people></site>" in
+  check_int "epoch bumped" 1 (Pool.epoch pool);
+  check_strings "new document visible through the pool" [ "Late Arrival" ]
+    (Pool.query pool doc2 "/site/people/person/name").Store.values;
+  check_strings "old document still answers"
+    (Store.query_values store doc "/site/people/person/name")
+    (Pool.query pool doc "/site/people/person/name").Store.values
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "pool"
+    [
+      ( "equality",
+        [
+          Alcotest.test_case "Q1-Q12 equal the direct store" `Quick test_pool_equals_direct;
+          qc prop_random_workload;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "readers never see a torn load" `Quick test_snapshot_isolation;
+          Alcotest.test_case "epoch refresh after commit" `Quick test_epoch_refresh;
+        ] );
+      ( "observability",
+        [ Alcotest.test_case "concurrent scrapes lint clean" `Quick test_metrics_scrape_race ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "reader failure leaks no permit" `Quick
+            test_no_leak_on_reader_failure;
+          qc prop_permits_conserved;
+        ] );
+    ]

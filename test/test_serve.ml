@@ -97,7 +97,49 @@ let test_render () =
   check_bool "length" true (contains r "Content-Length: 4\r\n");
   check_bool "close" true (contains r "Connection: close\r\n");
   check_bool "body last" true
-    (String.length r >= 4 && String.sub r (String.length r - 4) 4 = "gone")
+    (String.length r >= 4 && String.sub r (String.length r - 4) 4 = "gone");
+  let ka = Http.render ~keep_alive:true { Http.status = 200; content_type = "text/plain"; body = "" } in
+  check_bool "keep-alive advertised" true (contains ka "Connection: keep-alive\r\n");
+  check_bool "keep-alive never closes" true (not (contains ka "Connection: close"))
+
+let test_parse_body () =
+  (match Http.parse_string "POST /load HTTP/1.1\r\nContent-Length: 11\r\n\r\n<doc>x</doc>" with
+  | Ok r ->
+    check_string "body honours content-length" "<doc>x</do" (String.sub r.Http.body 0 10);
+    check_int "body length" 11 (String.length r.Http.body)
+  | Error _ -> Alcotest.fail "POST with body rejected");
+  (match Http.parse_string "GET /metrics HTTP/1.1\r\nHost: h\r\n\r\n" with
+  | Ok r -> check_string "no content-length means empty body" "" r.Http.body
+  | Error _ -> Alcotest.fail "bodyless request rejected");
+  (* over-budget bodies are refused before being read *)
+  (match
+     Http.parse_string
+       (Printf.sprintf "POST /load HTTP/1.1\r\nContent-Length: %d\r\n\r\n" (Http.max_body_bytes + 1))
+   with
+  | Error (Http.Body_too_large _ as e) -> (
+    match Http.response_of_error e with
+    | Some r -> check_int "renders as 413" 413 r.Http.status
+    | None -> Alcotest.fail "Body_too_large has no response")
+  | Ok _ -> Alcotest.fail "body budget not enforced"
+  | Error _ -> Alcotest.fail "wrong error for oversized body");
+  (* chunked encoding is not implemented: typed 4xx, never a hang *)
+  match Http.parse_string "POST /load HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n" with
+  | Error (Http.Bad_request _) -> ()
+  | Ok _ -> Alcotest.fail "chunked transfer-encoding accepted"
+  | Error _ -> Alcotest.fail "wrong error for transfer-encoding"
+
+let test_keep_alive_intent () =
+  let req s =
+    match Http.parse_string s with Ok r -> r | Error _ -> Alcotest.fail "request rejected"
+  in
+  check_bool "1.1 default keeps alive" true
+    (Http.keep_alive (req "GET / HTTP/1.1\r\nHost: h\r\n\r\n"));
+  check_bool "1.1 close honored" false
+    (Http.keep_alive (req "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  check_bool "1.0 default closes" false
+    (Http.keep_alive (req "GET / HTTP/1.0\r\nHost: h\r\n\r\n"));
+  check_bool "1.0 opt-in keeps alive" true
+    (Http.keep_alive (req "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"))
 
 (* ------------------------------------------------------------------ *)
 (* Parser fuzz: arbitrary byte soup must yield Ok or a typed error,
@@ -168,7 +210,7 @@ let expect_json body =
   | Error e -> Alcotest.failf "invalid JSON body: %s (%s)" e body
 
 let test_serve_end_to_end () =
-  Relstore.Metrics.reset ();
+  Metrics.reset ();
   let store = Store.create ~metrics_label:"srv" "edge" in
   let doc = Store.add_string store doc_src in
   Store.set_slow_threshold store (Some 0.0);
@@ -241,7 +283,7 @@ let test_serve_end_to_end () =
     (* unknown path and wrong verb *)
     let status, _ = Server.get ~port "/nope" in
     check_int "404" 404 status;
-    Relstore.Metrics.reset ()
+    Metrics.reset ()
 
 (* Abortive peers — reset mid-request, or gone before the response is
    written — must surface as catchable errors (not SIGPIPE, not an
@@ -285,6 +327,103 @@ let test_abortive_clients_survived () =
     check_int "still serving" 200 status;
     check_bool "body intact" true (body = "pong\n")
 
+(* One TCP connection, several requests: HTTP/1.1 keep-alive must hold
+   the connection across requests and drop it when the client says
+   Connection: close. *)
+let test_keep_alive_end_to_end () =
+  let hits = Atomic.make 0 in
+  let server =
+    Server.create (fun req ->
+        let n = Atomic.fetch_and_add hits 1 + 1 in
+        { Http.status = 200;
+          content_type = "text/plain";
+          body = Printf.sprintf "hit %d on %s\n" n req.Http.path })
+  in
+  let port = Server.port server in
+  match Unix.fork () with
+  | 0 ->
+    (try Server.run server with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        Server.stop server)
+    @@ fun () ->
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port) in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    Unix.connect sock addr;
+    let send s = ignore (Unix.write_substring sock s 0 (String.length s)) in
+    (* read one full response: headers + Content-Length body *)
+    let read_response () =
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 1024 in
+      let rec headers_done () =
+        if not (contains (Buffer.contents buf) "\r\n\r\n") then begin
+          let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+          if n = 0 then Alcotest.fail "peer closed mid-headers";
+          Buffer.add_subbytes buf chunk 0 n;
+          headers_done ()
+        end
+      in
+      headers_done ();
+      let s = Buffer.contents buf in
+      let hdr_end =
+        let rec find i =
+          if i + 4 > String.length s then Alcotest.fail "no header terminator"
+          else if String.sub s i 4 = "\r\n\r\n" then i + 4
+          else find (i + 1)
+        in
+        find 0
+      in
+      let want =
+        (* minimal Content-Length scrape over the raw header block *)
+        let lower = String.lowercase_ascii (String.sub s 0 hdr_end) in
+        let key = "content-length:" in
+        let rec find i =
+          if i + String.length key > String.length lower then 0
+          else if String.sub lower i (String.length key) = key then
+            let rest = String.sub lower (i + String.length key) (String.length lower - i - String.length key) in
+            let line = List.hd (String.split_on_char '\r' rest) in
+            int_of_string (String.trim line)
+          else find (i + 1)
+        in
+        find 0
+      in
+      let rec fill () =
+        if Buffer.length buf < hdr_end + want then begin
+          let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+          if n = 0 then Alcotest.fail "peer closed mid-body";
+          Buffer.add_subbytes buf chunk 0 n;
+          fill ()
+        end
+      in
+      fill ();
+      let s = Buffer.contents buf in
+      (String.sub s 0 hdr_end, String.sub s hdr_end want)
+    in
+    send "GET /a HTTP/1.1\r\nHost: h\r\n\r\n";
+    let hdrs1, body1 = read_response () in
+    check_bool "first response keeps alive" true
+      (contains (String.lowercase_ascii hdrs1) "connection: keep-alive");
+    check_string "first body" "hit 1 on /a\n" body1;
+    send "GET /b HTTP/1.1\r\nHost: h\r\n\r\n";
+    let hdrs2, body2 = read_response () in
+    check_bool "second response on same socket" true
+      (contains (String.lowercase_ascii hdrs2) "connection: keep-alive");
+    check_string "second body" "hit 2 on /b\n" body2;
+    send "GET /c HTTP/1.1\r\nConnection: close\r\n\r\n";
+    let hdrs3, body3 = read_response () in
+    check_bool "close honored in response" true
+      (contains (String.lowercase_ascii hdrs3) "connection: close");
+    check_string "third body" "hit 3 on /c\n" body3;
+    (* server must now close its end: next read sees EOF *)
+    let chunk = Bytes.create 16 in
+    check_int "connection closed after close" 0 (Unix.read sock chunk 0 16)
+
 let test_server_stop_idempotent () =
   let server = Server.create (fun _ -> { Http.status = 200; content_type = "text/plain"; body = "" }) in
   check_bool "port bound" true (Server.port server > 0);
@@ -303,6 +442,8 @@ let () =
           Alcotest.test_case "bare-LF request" `Quick test_parse_bare_lf;
           Alcotest.test_case "malformed requests" `Quick test_parse_errors;
           Alcotest.test_case "limits enforced" `Quick test_parse_limits;
+          Alcotest.test_case "request bodies" `Quick test_parse_body;
+          Alcotest.test_case "keep-alive intent" `Quick test_keep_alive_intent;
           Alcotest.test_case "response rendering" `Quick test_render;
         ] );
       ( "fuzz",
@@ -315,6 +456,7 @@ let () =
         [
           Alcotest.test_case "end-to-end scrape" `Quick test_serve_end_to_end;
           Alcotest.test_case "abortive clients survived" `Quick test_abortive_clients_survived;
+          Alcotest.test_case "keep-alive end to end" `Quick test_keep_alive_end_to_end;
           Alcotest.test_case "stop idempotent" `Quick test_server_stop_idempotent;
         ] );
     ]
